@@ -1,0 +1,163 @@
+//! Criterion microbenchmark behind Table 1's ratio column and the §6.4
+//! ablation: offline checking cost of the same recorded trace under
+//!
+//! * I/O refinement,
+//! * view refinement with incremental view comparison (the paper's
+//!   optimization), and
+//! * view refinement with full view comparison at every commit (the
+//!   ablation baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vyrd_core::checker::{Checker, CheckerOptions};
+use vyrd_core::log::LogMode;
+use vyrd_core::Event;
+use vyrd_harness::scenario::{record_run, CheckKind, Scenario, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::workload::WorkloadConfig;
+use vyrd_multiset::{MultisetSpec, SlotReplayer};
+
+fn recorded_trace(scenario: &dyn Scenario) -> Vec<Event> {
+    let cfg = WorkloadConfig {
+        threads: 4,
+        calls_per_thread: 100,
+        key_pool: 12,
+        shrink_pool: true,
+        internal_task: false,
+        seed: 0xFEED,
+    };
+    record_run(scenario, &cfg, LogMode::View, Variant::Correct).events
+}
+
+fn checking_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checking_cost");
+    group.sample_size(20);
+    for name in ["Multiset-Vector", "Cache", "BLinkTree"] {
+        let scenario = scenarios::by_name(name).expect("known scenario");
+        let events = recorded_trace(scenario.as_ref());
+        group.bench_with_input(BenchmarkId::new(name, "io"), &events, |b, events| {
+            b.iter(|| scenario.check(CheckKind::Io, events.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new(name, "view"), &events, |b, events| {
+            b.iter(|| scenario.check(CheckKind::View, events.clone()))
+        });
+    }
+    group.finish();
+}
+
+/// The §6.4 ablation on the multiset: incremental vs full view
+/// comparison over the identical trace.
+fn view_incremental_ablation(c: &mut Criterion) {
+    let scenario = scenarios::by_name("Multiset-Vector").expect("known scenario");
+    let events = recorded_trace(scenario.as_ref());
+    let mut group = c.benchmark_group("view_incremental_ablation");
+    group.sample_size(20);
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            Checker::view(MultisetSpec::new(), SlotReplayer::new())
+                .check_events(events.clone())
+        })
+    });
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            Checker::view(MultisetSpec::new(), SlotReplayer::new())
+                .with_options(CheckerOptions {
+                    full_view_compare: true,
+                    ..CheckerOptions::default()
+                })
+                .check_events(events.clone())
+        })
+    });
+    group.finish();
+}
+
+/// The §8 baseline comparison: per-commit view checking (VYRD) vs
+/// quiescent-only checking (commit atomicity) over the identical trace.
+fn quiescent_policy_ablation(c: &mut Criterion) {
+    use vyrd_core::checker::ViewCheckPolicy;
+    let scenario = scenarios::by_name("Multiset-Vector").expect("known scenario");
+    let events = recorded_trace(scenario.as_ref());
+    let mut group = c.benchmark_group("view_check_policy");
+    group.sample_size(20);
+    for (policy, label) in [
+        (ViewCheckPolicy::EveryCommit, "every_commit"),
+        (ViewCheckPolicy::QuiescentOnly, "quiescent_only"),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                Checker::view(MultisetSpec::new(), SlotReplayer::new())
+                    .with_options(CheckerOptions {
+                        view_check_policy: policy,
+                        ..CheckerOptions::default()
+                    })
+                    .check_events(events.clone())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The §2 scalability argument quantified: checking a window of `n`
+/// fully overlapping mutators by exhaustive serialization enumeration
+/// (the "naive method ... evaluating 4! serializations") vs the
+/// commit-order witness, on the same trace.
+fn naive_blowup(c: &mut Criterion) {
+    use vyrd_core::checker::naive::check_exhaustive;
+    use vyrd_core::{Event, ThreadId, Value};
+
+    // n overlapping Inserts followed by a LookUp that no serialization
+    // justifies, forcing the naive search to exhaust all n! orders.
+    fn overlapping_trace(n: u32, with_commits: bool) -> Vec<Event> {
+        let mut events = Vec::new();
+        for t in 0..n {
+            events.push(Event::Call {
+                tid: ThreadId(t),
+                method: "Insert".into(),
+                args: vec![Value::from(i64::from(t))],
+            });
+        }
+        events.push(Event::Call {
+            tid: ThreadId(n),
+            method: "LookUp".into(),
+            args: vec![Value::from(i64::from(n) + 1_000)],
+        });
+        for t in 0..n {
+            if with_commits {
+                events.push(Event::Commit { tid: ThreadId(t) });
+            }
+            events.push(Event::Return {
+                tid: ThreadId(t),
+                method: "Insert".into(),
+                ret: Value::success(),
+            });
+        }
+        events.push(Event::Return {
+            tid: ThreadId(n),
+            method: "LookUp".into(),
+            ret: Value::from(true), // never inserted: no witness exists
+        });
+        events
+    }
+
+    let mut group = c.benchmark_group("naive_blowup");
+    group.sample_size(10);
+    for n in [4u32, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, &n| {
+            let events = overlapping_trace(n, false);
+            b.iter(|| check_exhaustive(&MultisetSpec::new(), &events, u64::MAX))
+        });
+        group.bench_with_input(BenchmarkId::new("commit_order", n), &n, |b, &n| {
+            let events = overlapping_trace(n, true);
+            b.iter(|| Checker::io(MultisetSpec::new()).check_events(events.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    checking_cost,
+    view_incremental_ablation,
+    quiescent_policy_ablation,
+    naive_blowup
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion microbenchmark for the log wire format (§6.1): encode and
+//! decode throughput on a realistic mixed event stream.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vyrd_core::codec;
+use vyrd_core::log::LogMode;
+use vyrd_core::Event;
+use vyrd_harness::scenario::{record_run, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::workload::WorkloadConfig;
+
+fn trace() -> Vec<Event> {
+    let scenario = scenarios::by_name("Cache").expect("known scenario");
+    let cfg = WorkloadConfig {
+        threads: 4,
+        calls_per_thread: 80,
+        key_pool: 8,
+        shrink_pool: false,
+        internal_task: true,
+        seed: 0xC0DEC,
+    };
+    record_run(scenario.as_ref(), &cfg, LogMode::View, Variant::Correct).events
+}
+
+fn codec_throughput(c: &mut Criterion) {
+    let events = trace();
+    let mut encoded = Vec::new();
+    codec::write_log(&mut encoded, &events).expect("in-memory encode");
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            codec::write_log(&mut buf, &events).expect("encode");
+            buf
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| codec::read_log(&mut encoded.as_slice()).expect("decode"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, codec_throughput);
+criterion_main!(benches);

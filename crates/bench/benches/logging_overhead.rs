@@ -1,0 +1,42 @@
+//! Criterion microbenchmark behind Table 2: per-run cost of the three
+//! logging modes on representative scenarios (the write-heavy
+//! Multiset-Vector and Cache rows show the I/O-vs-view gap, the Vector
+//! row barely does — §7.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vyrd_core::log::LogMode;
+use vyrd_harness::scenario::{run_discarding, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::workload::WorkloadConfig;
+
+fn cfg() -> WorkloadConfig {
+    WorkloadConfig {
+        threads: 4,
+        calls_per_thread: 60,
+        key_pool: 12,
+        shrink_pool: true,
+        internal_task: false,
+        seed: 0xBEEF,
+    }
+}
+
+fn logging_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logging_overhead");
+    group.sample_size(10);
+    for name in ["Multiset-Vector", "Vector", "Cache"] {
+        let scenario = scenarios::by_name(name).expect("known scenario");
+        for (mode, label) in [
+            (LogMode::Off, "off"),
+            (LogMode::Io, "io"),
+            (LogMode::View, "view"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, label), &mode, |b, &mode| {
+                b.iter(|| run_discarding(scenario.as_ref(), &cfg(), mode, Variant::Correct))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, logging_overhead);
+criterion_main!(benches);

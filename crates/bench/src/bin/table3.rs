@@ -1,0 +1,84 @@
+//! Regenerates **Table 3 — Running time breakdown**.
+//!
+//! For the four systems the paper lists (with their thread/method
+//! counts), this measures:
+//!
+//! * **Prog. alone** — workload with logging off;
+//! * **Prog. + logging** — workload with view-level logging to a
+//!   discarding sink;
+//! * **Prog. + logging and VYRD** — workload with the online verification
+//!   thread consuming the log concurrently (§4.2);
+//! * **VYRD alone (off-line)** — checking a pre-recorded log of the same
+//!   workload.
+//!
+//! Usage: `cargo run --release -p vyrd-bench --bin table3 [--quick] [--seed N]`
+
+use vyrd_bench::{BenchArgs, TABLE3_REFERENCE};
+use vyrd_core::log::LogMode;
+use vyrd_harness::measure::{timed, Aggregate};
+use vyrd_harness::scenario::{record_run, run_discarding, run_online, CheckKind, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::tables::TextTable;
+use vyrd_harness::workload::WorkloadConfig;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (repeats, scale) = if args.quick { (2, 4) } else { (3, 60) };
+
+    println!("Table 3: Running time breakdown (seconds; paper values in parentheses)\n");
+
+    let mut table = TextTable::new([
+        "Program",
+        "#Thrd/#Mthd",
+        "Prog. alone (paper)",
+        "Prog.+logging (paper)",
+        "Prog.+logging and VYRD (paper)",
+        "VYRD alone, off-line (paper)",
+    ]);
+
+    for &(name, threads, methods, p_prog, p_log, p_online, p_offline) in TABLE3_REFERENCE {
+        let scenario = scenarios::by_name(name).expect("known scenario");
+        let calls = methods * scale / threads.max(1);
+        let cfg = WorkloadConfig {
+            threads,
+            calls_per_thread: calls.max(1),
+            key_pool: 16,
+            shrink_pool: true,
+            internal_task: matches!(name, "BLinkTree" | "Cache" | "Multiset-Vector"),
+            seed: args.seed,
+        };
+        let mut prog = Aggregate::new();
+        let mut logging = Aggregate::new();
+        let mut online = Aggregate::new();
+        let mut offline = Aggregate::new();
+        for rep in 0..repeats {
+            let cfg = cfg.with_seed(args.seed ^ (rep as u64) << 24);
+            let (d, _) = run_discarding(scenario.as_ref(), &cfg, LogMode::Off, Variant::Correct);
+            prog.add_duration(d);
+            let (d, _) = run_discarding(scenario.as_ref(), &cfg, LogMode::View, Variant::Correct);
+            logging.add_duration(d);
+            let (d, report) = run_online(scenario.as_ref(), &cfg, CheckKind::View, Variant::Correct);
+            assert!(report.passed(), "{name} online: {report}");
+            online.add_duration(d);
+            let artifacts = record_run(scenario.as_ref(), &cfg, LogMode::View, Variant::Correct);
+            let (report, d) = timed(|| scenario.check(CheckKind::View, artifacts.events));
+            assert!(report.passed(), "{name} offline: {report}");
+            offline.add_duration(d);
+        }
+        table.row([
+            name.to_owned(),
+            format!("{threads}/{}", threads * cfg.calls_per_thread),
+            format!("{:.3} ({p_prog})", prog.mean()),
+            format!("{:.3} ({p_log})", logging.mean()),
+            format!("{:.3} ({p_online})", online.mean()),
+            format!("{:.3} ({p_offline})", offline.mean()),
+        ]);
+    }
+
+    println!("{table}");
+    println!(
+        "Shape check: logging adds modest overhead over the bare program;\n\
+         running the online verifier costs more; the offline check is of\n\
+         the same order as the program run (§7.6)."
+    );
+}

@@ -1,0 +1,312 @@
+//! Replayer for the B-link tree (§7.2.4).
+//!
+//! "`view_I` was defined to be the sorted list of all the (key, data)
+//! pairs in the tree, along with their version numbers. ... The list was
+//! computed by a left to right traversal of the leaf pointer nodes ...
+//! The non-data nodes form an indexing structure ... but their structure
+//! is abstracted in the computation of `view_I`."
+//!
+//! Only leaf and data node writes are logged (`supp(view_I)`); replay
+//! reconstructs the leaf chain and extracts the view by walking it from
+//! the leftmost leaf (node 0).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use vyrd_core::replay::Replayer;
+use vyrd_core::view::View;
+use vyrd_core::{Value, VarId};
+
+use crate::node::{decode_data, decode_leaf, LeafRecord, NodeId};
+
+/// The materialized view: per key, every reachable `(data, version)`
+/// record in traversal order.
+type KeyRecords = BTreeMap<i64, Vec<(i64, u64)>>;
+
+/// Shadow state for the B-link tree leaf level.
+///
+/// The §6.4 incremental protocol: every write marks precisely the keys it
+/// can affect —
+///
+/// * a data-node write dirties that record's key;
+/// * a leaf write dirties the keys added to / removed from that leaf
+///   (diff of the old and new entry lists), plus every key of any leaf
+///   whose *reachability from node 0* changed (splits publish a new
+///   sibling, merges bypass one);
+///
+/// and the view is materialized by at most one chain traversal per
+/// commit (cached until the next write).
+#[derive(Debug)]
+pub struct BLinkReplayer {
+    /// leaf id -> (entries, right link).
+    leaves: HashMap<NodeId, LeafRecord>,
+    /// data node id -> (key, data, version).
+    data: HashMap<NodeId, (i64, i64, u64)>,
+    /// Leaves currently reachable from node 0 along right links.
+    reachable: BTreeSet<NodeId>,
+    /// Keys whose view entries may have changed since the last commit.
+    dirty: BTreeSet<i64>,
+    /// Materialized view, invalidated by writes.
+    cache: std::cell::RefCell<Option<KeyRecords>>,
+}
+
+impl Default for BLinkReplayer {
+    fn default() -> BLinkReplayer {
+        BLinkReplayer::new()
+    }
+}
+
+impl BLinkReplayer {
+    /// Creates the shadow state of an empty tree (one empty leftmost
+    /// leaf, node 0).
+    pub fn new() -> BLinkReplayer {
+        BLinkReplayer {
+            leaves: HashMap::from([(0, (Vec::new(), None))]),
+            data: HashMap::new(),
+            reachable: BTreeSet::from([0]),
+            dirty: BTreeSet::new(),
+            cache: std::cell::RefCell::new(None),
+        }
+    }
+
+    /// The leaves reachable from node 0 along right links (cycle-safe).
+    fn compute_reachable(&self) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        let mut cur = Some(0);
+        while let Some(id) = cur {
+            if !out.insert(id) {
+                break; // corrupt chain with a cycle: stop, let views differ
+            }
+            match self.leaves.get(&id) {
+                Some((_, right)) => cur = *right,
+                None => break, // dangling right link (corrupt log)
+            }
+        }
+        out
+    }
+
+    /// Walks the leaf chain, collecting every reachable `(data, version)`
+    /// record per key, in traversal order.
+    fn collect(&self) -> KeyRecords {
+        let mut out: BTreeMap<i64, Vec<(i64, u64)>> = BTreeMap::new();
+        let mut cur = Some(0);
+        let mut visited = HashSet::new();
+        while let Some(id) = cur {
+            if !visited.insert(id) {
+                break;
+            }
+            let Some((entries, right)) = self.leaves.get(&id) else {
+                break;
+            };
+            for &(key, data_id) in entries {
+                if let Some(&(_, data, version)) = self.data.get(&data_id) {
+                    out.entry(key).or_default().push((data, version));
+                }
+            }
+            cur = *right;
+        }
+        out
+    }
+
+    fn with_cache<T>(&self, f: impl FnOnce(&KeyRecords) -> T) -> T {
+        let mut cache = self.cache.borrow_mut();
+        if cache.is_none() {
+            *cache = Some(self.collect());
+        }
+        f(cache.as_ref().expect("materialized above"))
+    }
+
+    /// All keys a leaf currently contributes.
+    fn leaf_keys(&self, id: NodeId) -> Vec<i64> {
+        self.leaves
+            .get(&id)
+            .map(|(entries, _)| entries.iter().map(|&(k, _)| k).collect())
+            .unwrap_or_default()
+    }
+
+    fn entry_value(records: &[(i64, u64)]) -> Value {
+        records
+            .iter()
+            .map(|&(d, v)| Value::pair(Value::from(d), Value::from(v)))
+            .collect()
+    }
+}
+
+impl Replayer for BLinkReplayer {
+    fn apply_write(&mut self, var: &VarId, value: &Value) {
+        self.cache.borrow_mut().take();
+        match var.space() {
+            "leaf" => {
+                let id = var.index() as NodeId;
+                let Some((new_entries, new_right)) = decode_leaf(value) else {
+                    return; // malformed record in a corrupt log
+                };
+                // Keys entering/leaving this leaf are dirty. (Comparing
+                // (key, data-node) pairs also catches entries re-pointed
+                // at a different data node.)
+                let old: BTreeSet<(i64, NodeId)> = self
+                    .leaves
+                    .get(&id)
+                    .map(|(entries, _)| entries.iter().copied().collect())
+                    .unwrap_or_default();
+                let new: BTreeSet<(i64, NodeId)> = new_entries.iter().copied().collect();
+                for &(key, _) in old.symmetric_difference(&new) {
+                    self.dirty.insert(key);
+                }
+                self.leaves.insert(id, (new_entries, new_right));
+                // Reachability may have changed (splits link a sibling in,
+                // merges bypass one): every key of a leaf that entered or
+                // left the chain is dirty.
+                let reachable = self.compute_reachable();
+                for &changed in self.reachable.symmetric_difference(&reachable) {
+                    for key in self.leaf_keys(changed) {
+                        self.dirty.insert(key);
+                    }
+                }
+                self.reachable = reachable;
+            }
+            "data" => {
+                if let Some((key, data, version)) = decode_data(value) {
+                    let id = var.index() as NodeId;
+                    if let Some(&(old_key, ..)) = self.data.get(&id) {
+                        self.dirty.insert(old_key);
+                    }
+                    self.data.insert(id, (key, data, version));
+                    self.dirty.insert(key);
+                }
+            }
+            other => panic!("BLinkReplayer: unknown variable space {other:?}"),
+        }
+    }
+
+    fn view(&self) -> View {
+        self.with_cache(|cache| {
+            cache
+                .iter()
+                .map(|(&k, records)| (Value::from(k), Self::entry_value(records)))
+                .collect()
+        })
+    }
+
+    fn view_of(&self, key: &Value) -> Option<Value> {
+        let k = key.as_int()?;
+        self.with_cache(|cache| cache.get(&k).map(|r| Self::entry_value(r)))
+    }
+
+    fn take_dirty(&mut self) -> Option<Vec<Value>> {
+        Some(
+            std::mem::take(&mut self.dirty)
+                .into_iter()
+                .map(Value::from)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeContent;
+
+    fn write_leaf(r: &mut BLinkReplayer, id: NodeId, entries: Vec<(i64, NodeId)>, right: Option<NodeId>) {
+        let content = NodeContent::Leaf {
+            entries,
+            high: 0, // not part of the encoding
+            right,
+        };
+        r.apply_write(&VarId::new("leaf", id as i64), &content.encode_leaf());
+    }
+
+    fn write_data(r: &mut BLinkReplayer, id: NodeId, key: i64, data: i64, version: u64) {
+        let content = NodeContent::Data { key, data, version };
+        r.apply_write(&VarId::new("data", id as i64), &content.encode_data());
+    }
+
+    #[test]
+    fn empty_tree_has_empty_view() {
+        let r = BLinkReplayer::new();
+        assert!(r.view().is_empty());
+    }
+
+    #[test]
+    fn single_leaf_view() {
+        let mut r = BLinkReplayer::new();
+        write_data(&mut r, 10, 5, 50, 1);
+        write_leaf(&mut r, 0, vec![(5, 10)], None);
+        let v = r.view_of(&Value::from(5i64)).unwrap();
+        assert_eq!(v.as_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn chain_traversal_spans_splits() {
+        let mut r = BLinkReplayer::new();
+        write_data(&mut r, 10, 5, 50, 1);
+        write_data(&mut r, 11, 8, 80, 1);
+        // Split: new leaf 1 holds key 8; leaf 0 links right to it.
+        write_leaf(&mut r, 1, vec![(8, 11)], None);
+        write_leaf(&mut r, 0, vec![(5, 10)], Some(1));
+        assert_eq!(r.view().len(), 2);
+        assert!(r.view_of(&Value::from(8i64)).is_some());
+    }
+
+    #[test]
+    fn unreachable_leaves_are_invisible() {
+        let mut r = BLinkReplayer::new();
+        write_data(&mut r, 10, 5, 50, 1);
+        // Leaf 3 exists but no chain reaches it.
+        write_leaf(&mut r, 3, vec![(5, 10)], None);
+        write_leaf(&mut r, 0, vec![], None);
+        assert!(r.view().is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_produce_multi_record_entries() {
+        let mut r = BLinkReplayer::new();
+        write_data(&mut r, 10, 5, 50, 1);
+        write_data(&mut r, 11, 5, 51, 1);
+        write_leaf(&mut r, 1, vec![(5, 11)], None);
+        write_leaf(&mut r, 0, vec![(5, 10)], Some(1));
+        let v = r.view_of(&Value::from(5i64)).unwrap();
+        assert_eq!(v.as_list().unwrap().len(), 2, "duplicated data nodes visible");
+    }
+
+    #[test]
+    fn dirty_protocol_reports_precise_keys() {
+        let mut r = BLinkReplayer::new();
+        write_data(&mut r, 10, 5, 50, 1);
+        write_leaf(&mut r, 0, vec![(5, 10)], None);
+        assert_eq!(r.take_dirty(), Some(vec![Value::from(5i64)]));
+        // A pure data-node overwrite dirties just its key.
+        write_data(&mut r, 10, 5, 55, 2);
+        assert_eq!(r.take_dirty(), Some(vec![Value::from(5i64)]));
+        assert_eq!(r.take_dirty(), Some(vec![]));
+    }
+
+    #[test]
+    fn dirty_protocol_covers_reachability_changes() {
+        let mut r = BLinkReplayer::new();
+        write_data(&mut r, 10, 5, 50, 1);
+        write_data(&mut r, 11, 8, 80, 1);
+        write_leaf(&mut r, 0, vec![(5, 10), (8, 11)], None);
+        r.take_dirty();
+        // Split: leaf 1 (holding key 8) is published first — unreachable,
+        // so nothing is dirty yet beyond its own diff bookkeeping...
+        write_leaf(&mut r, 1, vec![(8, 11)], None);
+        // ...then leaf 0 links to it: key 8 moved leaves AND leaf 1
+        // entered the chain; both sides of the split are dirty.
+        write_leaf(&mut r, 0, vec![(5, 10)], Some(1));
+        let dirty = r.take_dirty().unwrap();
+        assert!(dirty.contains(&Value::from(8i64)), "{dirty:?}");
+        // A merge that bypasses leaf 1 dirties its keys as well.
+        write_leaf(&mut r, 0, vec![(5, 10), (8, 11)], None);
+        let dirty = r.take_dirty().unwrap();
+        assert!(dirty.contains(&Value::from(8i64)), "{dirty:?}");
+    }
+
+    #[test]
+    fn cyclic_chains_terminate() {
+        let mut r = BLinkReplayer::new();
+        write_leaf(&mut r, 1, vec![], Some(0));
+        write_leaf(&mut r, 0, vec![], Some(1)); // cycle 0 -> 1 -> 0
+        assert!(r.view().is_empty()); // terminates
+    }
+}

@@ -1,0 +1,216 @@
+//! Specification of the B-link tree: an atomic ordered map with
+//! per-key version numbers (§7.2.4 includes versions in the view).
+
+use std::collections::BTreeMap;
+
+use vyrd_core::spec::{MethodKind, Spec, SpecEffect, SpecError};
+use vyrd_core::view::View;
+use vyrd_core::{MethodId, Value};
+
+/// Atomic map specification: `Insert` stores/overwrites, `Delete`
+/// removes, `Lookup` observes, `Compress` must not change the contents.
+///
+/// The view entry for key `k` is a *list* of `(data, version)` pairs —
+/// a singleton in every specification state. The implementation view
+/// lists every reachable data node for `k` in leaf-chain order, so the
+/// "duplicated data nodes" bug shows up as a two-element list (§7.2.3's
+/// manually inserted bug).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BLinkSpec {
+    map: BTreeMap<i64, (i64, u64)>,
+}
+
+impl BLinkSpec {
+    /// Creates an empty map specification.
+    pub fn new() -> BLinkSpec {
+        BLinkSpec::default()
+    }
+
+    /// Current `(data, version)` stored under `key`.
+    pub fn get(&self, key: i64) -> Option<(i64, u64)> {
+        self.map.get(&key).copied()
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn int_arg(args: &[Value], i: usize) -> Result<i64, SpecError> {
+        args.get(i)
+            .and_then(Value::as_int)
+            .ok_or_else(|| SpecError::new(format!("argument {i} is not an integer")))
+    }
+
+    fn entry_value(data: i64, version: u64) -> Value {
+        Value::List(vec![Value::pair(Value::from(data), Value::from(version))])
+    }
+}
+
+impl Spec for BLinkSpec {
+    fn kind(&self, method: &MethodId) -> MethodKind {
+        if method.name() == "Lookup" {
+            MethodKind::Observer
+        } else {
+            MethodKind::Mutator
+        }
+    }
+
+    fn apply(
+        &mut self,
+        method: &MethodId,
+        args: &[Value],
+        ret: &Value,
+    ) -> Result<SpecEffect, SpecError> {
+        match method.name() {
+            "Insert" => {
+                let key = Self::int_arg(args, 0)?;
+                let data = Self::int_arg(args, 1)?;
+                // Overwrites bump the data node's version; fresh inserts
+                // start at 1 (a delete + reinsert allocates a new data
+                // node, so the version restarts).
+                let version = match self.map.get(&key) {
+                    Some(&(_, v)) => v + 1,
+                    None => 1,
+                };
+                self.map.insert(key, (data, version));
+                Ok(SpecEffect::touching([key]))
+            }
+            "Delete" => {
+                let key = Self::int_arg(args, 0)?;
+                match ret.as_bool() {
+                    Some(true) => {
+                        if self.map.remove(&key).is_some() {
+                            Ok(SpecEffect::touching([key]))
+                        } else {
+                            Err(SpecError::new(format!(
+                                "Delete({key}) returned true but {key} is not stored"
+                            )))
+                        }
+                    }
+                    // An unproductive delete is always permitted and
+                    // leaves the map unchanged.
+                    Some(false) => Ok(SpecEffect::unchanged()),
+                    None => Err(SpecError::new(format!(
+                        "Delete returns a boolean, not {ret}"
+                    ))),
+                }
+            }
+            "Compress" => {
+                if ret.is_unit() {
+                    Ok(SpecEffect::unchanged())
+                } else {
+                    Err(SpecError::new(format!("Compress returns unit, not {ret}")))
+                }
+            }
+            other => Err(SpecError::new(format!("unknown mutator {other}"))),
+        }
+    }
+
+    fn accepts_observation(&self, method: &MethodId, args: &[Value], ret: &Value) -> bool {
+        if method.name() != "Lookup" {
+            return false;
+        }
+        let Some(key) = args.first().and_then(Value::as_int) else {
+            return false;
+        };
+        match self.map.get(&key) {
+            Some(&(data, _)) => ret.as_int() == Some(data),
+            None => ret.is_unit(),
+        }
+    }
+
+    fn view(&self) -> View {
+        self.map
+            .iter()
+            .map(|(&k, &(d, v))| (Value::from(k), Self::entry_value(d, v)))
+            .collect()
+    }
+
+    fn view_of(&self, key: &Value) -> Option<Value> {
+        let k = key.as_int()?;
+        self.map.get(&k).map(|&(d, v)| Self::entry_value(d, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(name: &str) -> MethodId {
+        MethodId::from(name)
+    }
+
+    fn ints(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::from(x)).collect()
+    }
+
+    #[test]
+    fn insert_overwrites_and_versions() {
+        let mut s = BLinkSpec::new();
+        s.apply(&m("Insert"), &ints(&[5, 50]), &Value::Unit).unwrap();
+        assert_eq!(s.get(5), Some((50, 1)));
+        s.apply(&m("Insert"), &ints(&[5, 55]), &Value::Unit).unwrap();
+        assert_eq!(s.get(5), Some((55, 2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn delete_then_reinsert_restarts_versions() {
+        let mut s = BLinkSpec::new();
+        s.apply(&m("Insert"), &ints(&[5, 50]), &Value::Unit).unwrap();
+        s.apply(&m("Insert"), &ints(&[5, 51]), &Value::Unit).unwrap();
+        s.apply(&m("Delete"), &ints(&[5]), &Value::from(true)).unwrap();
+        assert!(s.is_empty());
+        s.apply(&m("Insert"), &ints(&[5, 52]), &Value::Unit).unwrap();
+        assert_eq!(s.get(5), Some((52, 1)));
+    }
+
+    #[test]
+    fn delete_true_requires_presence_false_is_free() {
+        let mut s = BLinkSpec::new();
+        assert!(s
+            .apply(&m("Delete"), &ints(&[9]), &Value::from(true))
+            .is_err());
+        s.apply(&m("Delete"), &ints(&[9]), &Value::from(false))
+            .unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn lookup_observations() {
+        let mut s = BLinkSpec::new();
+        s.apply(&m("Insert"), &ints(&[7, 70]), &Value::Unit).unwrap();
+        assert!(s.accepts_observation(&m("Lookup"), &ints(&[7]), &Value::from(70i64)));
+        assert!(!s.accepts_observation(&m("Lookup"), &ints(&[7]), &Value::from(71i64)));
+        assert!(s.accepts_observation(&m("Lookup"), &ints(&[8]), &Value::Unit));
+        assert!(!s.accepts_observation(&m("Insert"), &ints(&[7]), &Value::from(70i64)));
+    }
+
+    #[test]
+    fn view_entries_are_singleton_lists() {
+        let mut s = BLinkSpec::new();
+        s.apply(&m("Insert"), &ints(&[3, 30]), &Value::Unit).unwrap();
+        let entry = s.view_of(&Value::from(3i64)).unwrap();
+        let items = entry.as_list().unwrap();
+        assert_eq!(items.len(), 1);
+        let (d, v) = items[0].as_pair().unwrap();
+        assert_eq!((d.as_int(), v.as_int()), (Some(30), Some(1)));
+        assert_eq!(s.view().len(), 1);
+    }
+
+    #[test]
+    fn compress_is_a_no_op() {
+        let mut s = BLinkSpec::new();
+        s.apply(&m("Insert"), &ints(&[1, 10]), &Value::Unit).unwrap();
+        let before = s.clone();
+        s.apply(&m("Compress"), &[], &Value::Unit).unwrap();
+        assert_eq!(s, before);
+        assert!(s.apply(&m("Compress"), &[], &Value::from(0i64)).is_err());
+    }
+}

@@ -1,0 +1,654 @@
+//! The concurrent B-link tree (§7.2.3, Fig. 9).
+//!
+//! Concurrency discipline (after Sagiv [12]):
+//!
+//! * Descents hold at most one node lock at a time; stale routing is
+//!   repaired by *moving right* whenever the target key exceeds a node's
+//!   high key, so a half-finished split (new sibling linked, parent not
+//!   yet updated) is never harmful.
+//! * Inserts remember the internal descent path on a stack
+//!   (`MOVE-DOWN-AND-STACK` of Fig. 9) and ascend it to install separator
+//!   keys after a split; the tree is fully usable in between.
+//! * An internal **compression thread** merges underfull adjacent leaves
+//!   and rebuilds the indexing structure. It runs under an exclusive
+//!   structure gate (the same pattern as Boxwood's `RECLAIMLOCK`) and is
+//!   checked — per §7.2.3 — to leave the abstract contents (`view_I`)
+//!   unchanged.
+//!
+//! Commit points follow §7.2.5: the effect of every mutator is a single
+//! write to a leaf or data node, while the remaining writes merely
+//! restructure the tree. Fig. 9's four conditional commit points for
+//! `INSERT` map to: overwrite of an existing key (point 1), plain leaf
+//! insert (point 2), and leaf split — non-root or root (points 3/4; the
+//! data-bearing write is the same here because only the leaf chain
+//! carries data).
+//!
+//! [`BLinkVariant::DuplicateDataNodes`] reproduces the Table 1 bug
+//! "allowing duplicated data nodes": the insert skips the move-right
+//! re-validation after locking its (possibly stale) target leaf, so a
+//! concurrent split can leave the same key present in two leaves.
+
+use std::sync::Arc;
+
+use parking_lot::{ArcMutexGuard, Mutex, RawMutex, RwLock};
+use vyrd_core::instrument::{BlockGuard, MethodSession};
+use vyrd_core::log::{EventLog, ThreadLogger};
+use vyrd_core::{Value, VarId};
+
+use crate::node::{NodeContent, NodeId, MAX_KEYS};
+
+type Guard = ArcMutexGuard<RawMutex, NodeContent>;
+
+/// Which insert discipline to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BLinkVariant {
+    /// Full move-right re-validation after locking the target leaf.
+    #[default]
+    Correct,
+    /// The re-validation is skipped: a stale leaf is mutated even when a
+    /// concurrent split moved the key range (and possibly the key itself)
+    /// to a right sibling — duplicating data nodes.
+    DuplicateDataNodes,
+}
+
+#[derive(Debug)]
+struct Node {
+    content: Arc<Mutex<NodeContent>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Append-only node arena. Node 0 is the leftmost leaf, forever.
+    nodes: RwLock<Vec<Node>>,
+    /// The current root (changes on root splits and compression).
+    root: Mutex<NodeId>,
+    /// Read = an operation is in flight; write = compression may
+    /// restructure.
+    gate: RwLock<()>,
+    variant: BLinkVariant,
+    log: EventLog,
+}
+
+/// The concurrent B-link tree storing `(key, data)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_blinktree::{BLinkTree, BLinkVariant};
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let tree = BLinkTree::new(BLinkVariant::Correct, log);
+/// let h = tree.handle();
+/// for k in 0..20 {
+///     h.insert(k, k * 10);
+/// }
+/// assert_eq!(h.lookup(7), Some(70));
+/// assert!(h.delete(7));
+/// assert_eq!(h.lookup(7), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BLinkTree {
+    inner: Arc<Inner>,
+}
+
+impl BLinkTree {
+    /// Creates an empty tree.
+    pub fn new(variant: BLinkVariant, log: EventLog) -> BLinkTree {
+        BLinkTree {
+            inner: Arc::new(Inner {
+                nodes: RwLock::new(vec![Node {
+                    content: Arc::new(Mutex::new(NodeContent::empty_leaf())),
+                }]),
+                root: Mutex::new(0),
+                gate: RwLock::new(()),
+                variant,
+                log,
+            }),
+        }
+    }
+
+    /// The event log this tree records into.
+    pub fn log(&self) -> &EventLog {
+        &self.inner.log
+    }
+
+    /// Creates a per-thread handle with a fresh thread id.
+    pub fn handle(&self) -> BLinkTreeHandle {
+        BLinkTreeHandle {
+            tree: self.clone(),
+            logger: self.inner.log.logger(),
+        }
+    }
+
+    /// Number of allocated nodes (all kinds), for tests and diagnostics.
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.read().len()
+    }
+}
+
+/// Per-thread access to a [`BLinkTree`].
+#[derive(Clone, Debug)]
+pub struct BLinkTreeHandle {
+    tree: BLinkTree,
+    logger: ThreadLogger,
+}
+
+impl BLinkTreeHandle {
+    fn lock_node(&self, id: NodeId) -> Guard {
+        let arc = Arc::clone(&self.tree.inner.nodes.read()[id].content);
+        arc.lock_arc()
+    }
+
+    fn alloc(&self, content: NodeContent) -> NodeId {
+        let mut nodes = self.tree.inner.nodes.write();
+        let id = nodes.len();
+        nodes.push(Node {
+            content: Arc::new(Mutex::new(content)),
+        });
+        id
+    }
+
+    fn log_leaf(&self, id: NodeId, content: &NodeContent) {
+        self.logger
+            .write(VarId::new("leaf", id as i64), content.encode_leaf());
+    }
+
+    fn log_data(&self, id: NodeId, content: &NodeContent) {
+        self.logger
+            .write(VarId::new("data", id as i64), content.encode_data());
+    }
+
+    /// Routes `key` one level down an internal node (which must cover
+    /// `key`).
+    fn route(keys: &[i64], children: &[NodeId], key: i64) -> NodeId {
+        for (i, &s) in keys.iter().enumerate() {
+            if key <= s {
+                return children[i];
+            }
+        }
+        *children.last().expect("internal node has children")
+    }
+
+    /// `MOVE-DOWN-AND-STACK` (Fig. 9 line 5): descends to a leaf that
+    /// covered `key` at observation time, recording the internal path.
+    /// Holds no lock across steps.
+    fn descend(&self, key: i64) -> (NodeId, Vec<NodeId>) {
+        let mut stack = Vec::new();
+        let mut cur = *self.tree.inner.root.lock();
+        loop {
+            let content = self.lock_node(cur);
+            match &*content {
+                NodeContent::Internal {
+                    keys,
+                    children,
+                    high,
+                    right,
+                    ..
+                } => {
+                    if key > *high {
+                        cur = right.expect("non-rightmost node has a right link");
+                    } else {
+                        stack.push(cur);
+                        cur = Self::route(keys, children, key);
+                    }
+                }
+                NodeContent::Leaf { high, right, .. } => {
+                    if key > *high {
+                        cur = right.expect("non-rightmost leaf has a right link");
+                    } else {
+                        return (cur, stack);
+                    }
+                }
+                NodeContent::Data { .. } => unreachable!("descent reached a data node"),
+            }
+        }
+    }
+
+    /// Locks the leaf that covers `key`, starting at `start` and moving
+    /// right as needed. With `revalidate = false` (the bug), `start` is
+    /// locked and returned unconditionally.
+    fn lock_covering_leaf(&self, start: NodeId, key: i64, revalidate: bool) -> (NodeId, Guard) {
+        let mut cur = start;
+        loop {
+            let guard = self.lock_node(cur);
+            let NodeContent::Leaf { high, right, .. } = &*guard else {
+                unreachable!("leaf chain contains only leaves")
+            };
+            if !revalidate || key <= *high {
+                return (cur, guard);
+            }
+            let next = right.expect("covering leaf exists to the right");
+            drop(guard);
+            cur = next;
+        }
+    }
+
+    /// `LOOKUP(key)` — observer. Returns the stored datum, if any.
+    pub fn lookup(&self, key: i64) -> Option<i64> {
+        let _lease = self.tree.inner.gate.read();
+        let session = MethodSession::enter(&self.logger, "Lookup", &[Value::from(key)]);
+        let (leaf, _) = self.descend(key);
+        let (_, guard) = self.lock_covering_leaf(leaf, key, true);
+        let NodeContent::Leaf { entries, .. } = &*guard else {
+            unreachable!()
+        };
+        let found = entries.iter().find(|&&(k, _)| k == key).map(|&(_, did)| {
+            let data_guard = self.lock_node(did);
+            let NodeContent::Data { data, .. } = &*data_guard else {
+                unreachable!("leaf entries point at data nodes")
+            };
+            *data
+        });
+        drop(guard);
+        session.exit(Value::from(found));
+        found
+    }
+
+    /// `INSERT(key, data)` (Fig. 9): stores `data` under `key`,
+    /// overwriting any previous datum.
+    pub fn insert(&self, key: i64, data: i64) {
+        let _lease = self.tree.inner.gate.read();
+        let args = [Value::from(key), Value::from(data)];
+        let mut session = MethodSession::enter(&self.logger, "Insert", &args);
+        let (leaf, stack) = self.descend(key);
+        let revalidate = self.tree.inner.variant == BLinkVariant::Correct;
+        if !revalidate {
+            // BUG window: between the (unlocked) descent and taking the
+            // leaf lock, a concurrent split can move this key's range —
+            // and possibly the key itself — to a right sibling. The
+            // correct variant repairs this by re-checking under the lock;
+            // the buggy variant proceeds on stale information.
+            std::thread::yield_now();
+        }
+        let (leaf_id, mut guard) = self.lock_covering_leaf(leaf, key, revalidate);
+
+        let NodeContent::Leaf { entries, .. } = &*guard else {
+            unreachable!()
+        };
+        if let Some(&(_, data_id)) = entries.iter().find(|&&(k, _)| k == key) {
+            // Fig. 9 lines 12–17, commit point 1: the key exists; the
+            // single data-node overwrite is the whole effect.
+            let mut data_guard = self.lock_node(data_id);
+            let NodeContent::Data {
+                data: stored,
+                version,
+                ..
+            } = &mut *data_guard
+            else {
+                unreachable!("leaf entries point at data nodes")
+            };
+            *stored = data;
+            *version += 1;
+            let block = BlockGuard::enter(&self.logger);
+            self.log_data(data_id, &data_guard);
+            session.commit(); // Commit point 1
+            drop(block);
+            drop(data_guard);
+            drop(guard);
+            session.exit(Value::Unit);
+            return;
+        }
+
+        let data_id = self.alloc(NodeContent::Data {
+            key,
+            data,
+            version: 1,
+        });
+        let NodeContent::Leaf {
+            entries,
+            high,
+            right,
+        } = &mut *guard
+        else {
+            unreachable!()
+        };
+        let pos = entries.partition_point(|&(k, _)| k < key);
+        if entries.len() < MAX_KEYS {
+            // Fig. 9 lines 34–40, commit point 2: safe insert.
+            entries.insert(pos, (key, data_id));
+            let block = BlockGuard::enter(&self.logger);
+            self.log_data(data_id, &self.read_node(data_id));
+            self.log_leaf(leaf_id, &guard);
+            session.commit(); // Commit point 2
+            drop(block);
+            drop(guard);
+            session.exit(Value::Unit);
+            return;
+        }
+
+        // Fig. 9 lines 41–52, commit points 3/4: split, then insert the
+        // separator into the parent level (after the commit — the tree is
+        // valid half-split thanks to the right links).
+        entries.insert(pos, (key, data_id));
+        let mid = entries.len() / 2;
+        let split_key = entries[mid - 1].0;
+        let new_leaf = NodeContent::Leaf {
+            entries: entries.split_off(mid),
+            high: *high,
+            right: *right,
+        };
+        *high = split_key;
+        let new_id = self.alloc(new_leaf);
+        *right = Some(new_id);
+        let block = BlockGuard::enter(&self.logger);
+        self.log_data(data_id, &self.read_node(data_id));
+        // Log the new sibling before the node that links to it, so the
+        // replayed chain never dangles.
+        self.log_leaf(new_id, &self.read_node(new_id));
+        self.log_leaf(leaf_id, &guard);
+        session.commit(); // Commit points 3/4
+        drop(block);
+        drop(guard);
+
+        self.ascend(stack, split_key, leaf_id, new_id);
+        session.exit(Value::Unit);
+    }
+
+    /// Reads a snapshot of a node (transient lock).
+    fn read_node(&self, id: NodeId) -> NodeContent {
+        self.lock_node(id).clone()
+    }
+
+    /// Installs separators up the tree after splits, creating a new root
+    /// when the old one split.
+    ///
+    /// Bounded: if the parent level cannot be located after a few
+    /// attempts (reachable only when a bug variant has corrupted key
+    /// ranges), the separator is abandoned rather than spinning — the
+    /// tree stays *correct* through its right links (searches move right
+    /// past the missing separator), only search paths lengthen.
+    fn ascend(&self, mut stack: Vec<NodeId>, mut sep: i64, mut left: NodeId, mut new_id: NodeId) {
+        let mut failed_lookups = 0;
+        loop {
+            let parent = match stack.pop() {
+                Some(p) => p,
+                None => {
+                    // `left` was the topmost node the descent saw. If it
+                    // is still the root, grow the tree; otherwise another
+                    // thread grew it first — locate `left`'s parent level.
+                    let mut root = self.tree.inner.root.lock();
+                    if *root == left {
+                        let new_root = self.alloc(NodeContent::Internal {
+                            keys: vec![sep],
+                            children: vec![left, new_id],
+                            high: i64::MAX,
+                            right: None,
+                        });
+                        *root = new_root;
+                        return;
+                    }
+                    drop(root);
+                    match self.find_parent(sep, left) {
+                        Some(p) => p,
+                        None => {
+                            failed_lookups += 1;
+                            if failed_lookups >= 5 {
+                                return; // abandon the separator; see doc above
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
+                    }
+                }
+            };
+            match self.add_separator(parent, sep, new_id) {
+                SeparatorOutcome::Done => return,
+                SeparatorOutcome::Split {
+                    promote,
+                    left: l,
+                    new: n,
+                } => {
+                    sep = promote;
+                    left = l;
+                    new_id = n;
+                }
+            }
+        }
+    }
+
+    /// Finds the internal node that currently has `left` among its
+    /// children, by walking the level just above `left` rightwards from
+    /// the routing position of `sep`.
+    fn find_parent(&self, sep: i64, left: NodeId) -> Option<NodeId> {
+        // Descend from the root, following sep, collecting candidates at
+        // every internal level; then scan each candidate level rightwards
+        // for the node containing `left`.
+        let mut cur = *self.tree.inner.root.lock();
+        let mut levels = Vec::new();
+        loop {
+            let guard = self.lock_node(cur);
+            match &*guard {
+                NodeContent::Internal {
+                    keys,
+                    children,
+                    high,
+                    right,
+                    ..
+                } => {
+                    if sep > *high {
+                        cur = right.expect("non-rightmost node has a right link");
+                        continue;
+                    }
+                    levels.push(cur);
+                    cur = Self::route(keys, children, sep);
+                }
+                NodeContent::Leaf { .. } => break,
+                NodeContent::Data { .. } => unreachable!(),
+            }
+        }
+        // Scan levels bottom-up: the parent of `left` is usually the
+        // lowest candidate.
+        for &candidate in levels.iter().rev() {
+            let mut cur = candidate;
+            loop {
+                let guard = self.lock_node(cur);
+                let NodeContent::Internal {
+                    children, right, ..
+                } = &*guard
+                else {
+                    break;
+                };
+                if children.contains(&left) {
+                    return Some(cur);
+                }
+                match right {
+                    Some(r) => {
+                        let r = *r;
+                        drop(guard);
+                        cur = r;
+                    }
+                    None => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// Installs `(sep, new_id)` into the internal level of `parent`:
+    /// moves right until the node covers `sep`, then inserts in key order
+    /// (the Lehman–Yao discipline — positioning by child identity is
+    /// wrong once concurrent splits have reshuffled ranges).
+    fn add_separator(&self, parent: NodeId, sep: i64, new_id: NodeId) -> SeparatorOutcome {
+        let mut cur = parent;
+        loop {
+            let mut guard = self.lock_node(cur);
+            let NodeContent::Internal {
+                keys,
+                children,
+                high,
+                right,
+                ..
+            } = &mut *guard
+            else {
+                unreachable!("separators go into internal nodes")
+            };
+            if sep > *high {
+                let next = right.expect("covering node exists to the right");
+                drop(guard);
+                cur = next;
+                continue;
+            }
+            let pos = keys.partition_point(|&s| s < sep);
+            keys.insert(pos, sep);
+            children.insert(pos + 1, new_id);
+            if keys.len() <= MAX_KEYS {
+                return SeparatorOutcome::Done;
+            }
+            // Split this internal node; promote the middle separator.
+            let mid = keys.len() / 2;
+            let promote = keys[mid];
+            let sibling = NodeContent::Internal {
+                keys: keys.split_off(mid + 1),
+                children: children.split_off(mid + 1),
+                high: *high,
+                right: *right,
+            };
+            keys.pop(); // `promote` moves up, not right
+            *high = promote;
+            let sibling_id = self.alloc(sibling);
+            *right = Some(sibling_id);
+            return SeparatorOutcome::Split {
+                promote,
+                left: cur,
+                new: sibling_id,
+            };
+        }
+    }
+
+    /// `DELETE(key)`: removes the key's entry from its leaf; returns
+    /// whether it was present. The data node is left orphaned (the
+    /// compression pass never resurrects it).
+    pub fn delete(&self, key: i64) -> bool {
+        let _lease = self.tree.inner.gate.read();
+        let mut session = MethodSession::enter(&self.logger, "Delete", &[Value::from(key)]);
+        let (leaf, _) = self.descend(key);
+        let (leaf_id, mut guard) = self.lock_covering_leaf(leaf, key, true);
+        let NodeContent::Leaf { entries, .. } = &mut *guard else {
+            unreachable!()
+        };
+        let found = match entries.iter().position(|&(k, _)| k == key) {
+            Some(pos) => {
+                entries.remove(pos);
+                let block = BlockGuard::enter(&self.logger);
+                self.log_leaf(leaf_id, &guard);
+                session.commit();
+                drop(block);
+                true
+            }
+            None => {
+                session.commit();
+                false
+            }
+        };
+        drop(guard);
+        session.exit(Value::from(found));
+        found
+    }
+
+    /// One compression pass (§7.2.3): merges adjacent underfull leaves
+    /// and rebuilds the indexing structure from the leaf chain.
+    ///
+    /// Runs under the exclusive structure gate; logged as a `Compress`
+    /// mutator so view refinement verifies the abstract contents are
+    /// untouched.
+    pub fn compress(&self) {
+        let _gate = self.tree.inner.gate.write();
+        let mut session = MethodSession::enter(&self.logger, "Compress", &[]);
+        let block = BlockGuard::enter(&self.logger);
+
+        // Merge pass over the leaf chain.
+        let mut cur: NodeId = 0;
+        loop {
+            let mut guard = self.lock_node(cur);
+            let NodeContent::Leaf {
+                entries,
+                high,
+                right,
+            } = &mut *guard
+            else {
+                unreachable!("the leaf chain contains only leaves")
+            };
+            let Some(next) = *right else { break };
+            let sibling = self.read_node(next);
+            let NodeContent::Leaf {
+                entries: sib_entries,
+                high: sib_high,
+                right: sib_right,
+            } = sibling
+            else {
+                unreachable!()
+            };
+            if entries.len() + sib_entries.len() <= MAX_KEYS {
+                entries.extend(sib_entries);
+                *high = sib_high;
+                *right = sib_right;
+                self.log_leaf(cur, &guard);
+                // Loop again from the same node: it may absorb more.
+            } else {
+                drop(guard);
+                cur = next;
+            }
+        }
+
+        // Rebuild the indexing structure bottom-up from the (merged)
+        // leaf chain. Internal nodes are view-irrelevant, so none of this
+        // is logged.
+        let mut level: Vec<(NodeId, i64)> = Vec::new();
+        let mut cur = 0;
+        loop {
+            let guard = self.lock_node(cur);
+            let NodeContent::Leaf { high, right, .. } = &*guard else {
+                unreachable!()
+            };
+            level.push((cur, *high));
+            match right {
+                Some(r) => {
+                    let r = *r;
+                    drop(guard);
+                    cur = r;
+                }
+                None => break,
+            }
+        }
+        while level.len() > 1 {
+            let mut next_level = Vec::new();
+            let mut chunk_ids = Vec::new();
+            for group in level.chunks(MAX_KEYS + 1) {
+                let keys: Vec<i64> = group[..group.len() - 1].iter().map(|&(_, h)| h).collect();
+                let children: Vec<NodeId> = group.iter().map(|&(id, _)| id).collect();
+                let high = group.last().expect("non-empty group").1;
+                let id = self.alloc(NodeContent::Internal {
+                    keys,
+                    children,
+                    high,
+                    right: None, // linked below
+                });
+                chunk_ids.push((id, high));
+            }
+            // Link right pointers across the new level.
+            for w in chunk_ids.windows(2) {
+                let mut guard = self.lock_node(w[0].0);
+                if let NodeContent::Internal { right, .. } = &mut *guard {
+                    *right = Some(w[1].0);
+                }
+            }
+            next_level.extend(chunk_ids);
+            level = next_level;
+        }
+        *self.tree.inner.root.lock() = level[0].0;
+
+        session.commit();
+        drop(block);
+        session.exit(Value::Unit);
+    }
+}
+
+enum SeparatorOutcome {
+    Done,
+    Split {
+        promote: i64,
+        left: NodeId,
+        new: NodeId,
+    },
+}

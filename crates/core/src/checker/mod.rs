@@ -1,0 +1,821 @@
+//! The refinement checkers (§4, §5).
+//!
+//! [`Checker`] consumes an event log (offline from memory or a file, or
+//! online from a channel) and verifies that the logged execution refines an
+//! executable specification.
+//!
+//! * **I/O refinement** ([`Checker::io`]): builds the witness interleaving
+//!   by taking mutator executions in commit-action order, obtains each
+//!   committing method's return value by *looking ahead* in the log (as the
+//!   paper does, §2/Fig. 3), and executes the specification one method at a
+//!   time. Observer methods carry no commit annotation; their return value
+//!   is accepted if it is valid in any specification state between their
+//!   call and return (§4.3).
+//! * **View refinement** ([`Checker::view`]): additionally replays logged
+//!   shared-variable writes into a programmer-provided [`Replayer`] shadow
+//!   state and compares `view_I` with `view_S` at every mutator commit
+//!   (§5), honoring commit blocks (§5.2), computing the comparison
+//!   incrementally (§6.4), and evaluating optional invariants over the
+//!   replayed state (§7.2.1).
+//!
+//! ```
+//! use vyrd_core::checker::Checker;
+//! use vyrd_core::log::{EventLog, LogMode};
+//! use vyrd_core::spec::{MethodKind, Spec, SpecEffect, SpecError};
+//! use vyrd_core::view::View;
+//! use vyrd_core::{MethodId, Value};
+//! use std::collections::BTreeSet;
+//!
+//! #[derive(Clone, Default)]
+//! struct SetSpec(BTreeSet<i64>);
+//! impl Spec for SetSpec {
+//!     fn kind(&self, m: &MethodId) -> MethodKind {
+//!         if m.name() == "Contains" { MethodKind::Observer } else { MethodKind::Mutator }
+//!     }
+//!     fn apply(&mut self, _m: &MethodId, args: &[Value], _r: &Value)
+//!         -> Result<SpecEffect, SpecError>
+//!     {
+//!         self.0.insert(args[0].as_int().unwrap());
+//!         Ok(SpecEffect::unchanged())
+//!     }
+//!     fn accepts_observation(&self, _m: &MethodId, args: &[Value], ret: &Value) -> bool {
+//!         ret.as_bool() == Some(self.0.contains(&args[0].as_int().unwrap()))
+//!     }
+//!     fn view(&self) -> View { View::new() }
+//! }
+//!
+//! let log = EventLog::in_memory(LogMode::Io);
+//! let t = log.logger();
+//! t.call("Add", &[Value::from(3i64)]);
+//! t.commit();
+//! t.ret("Add", Value::Unit);
+//! t.call("Contains", &[Value::from(3i64)]);
+//! t.ret("Contains", Value::from(true));
+//!
+//! let report = Checker::io(SetSpec::default()).check_events(log.snapshot());
+//! assert!(report.passed());
+//! ```
+
+pub mod naive;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Read;
+
+use crossbeam::channel::Receiver;
+
+use crate::codec;
+use crate::event::{Event, MethodId, ThreadId, VarId};
+use crate::replay::{BlockBuffer, Replayer};
+use crate::spec::{MethodKind, Spec};
+use crate::value::Value;
+use crate::violation::{CheckStats, Report, Violation};
+
+/// A replayer with no state, used by I/O-only checkers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopReplayer;
+
+impl Replayer for NoopReplayer {
+    fn apply_write(&mut self, _var: &VarId, _value: &Value) {}
+
+    fn view(&self) -> crate::view::View {
+        crate::view::View::new()
+    }
+}
+
+/// The boxed predicate behind an [`Invariant`].
+type InvariantFn<R> = Box<dyn Fn(&R) -> Result<(), String> + Send>;
+
+/// A named predicate over the replayed implementation state, evaluated at
+/// every mutator commit (used for the Boxwood cache invariants, §7.2.1).
+pub struct Invariant<R> {
+    name: String,
+    check: InvariantFn<R>,
+}
+
+impl<R> Invariant<R> {
+    /// Creates a named invariant. The closure returns `Err(detail)` when
+    /// the invariant is violated.
+    pub fn new(
+        name: impl Into<String>,
+        check: impl Fn(&R) -> Result<(), String> + Send + 'static,
+    ) -> Invariant<R> {
+        Invariant {
+            name: name.into(),
+            check: Box::new(check),
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for Invariant<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Invariant").field("name", &self.name).finish()
+    }
+}
+
+/// When the view comparison (and invariants) run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ViewCheckPolicy {
+    /// At every mutator commit — VYRD's granularity (§5.2: "a check is
+    /// performed for each method execution").
+    #[default]
+    EveryCommit,
+    /// Only at *quiescent* states (no method execution in flight) — the
+    /// granularity of the commit-atomicity baseline the paper compares
+    /// against (§8, Flanagan [4]). "During any realistic execution,
+    /// quiescent points are very rare. Checking only at these points
+    /// might cause errors to be overwritten or to be discovered too
+    /// late." Deliberately weak by construction: corruption in a trace
+    /// that ends non-quiescent is never compared at all.
+    QuiescentOnly,
+}
+
+/// Tuning knobs for a [`Checker`].
+#[derive(Clone, Debug)]
+pub struct CheckerOptions {
+    /// Stop at the first violation (default) or keep the first violation
+    /// but continue consuming the log to completion (useful online, so the
+    /// program side never blocks on a full channel).
+    pub stop_at_first_violation: bool,
+    /// Compare full views at every commit instead of only dirty keys.
+    /// Correctness is identical (asserted by property tests); this is the
+    /// ablation knob for the §6.4 incremental optimization.
+    pub full_view_compare: bool,
+    /// Record the witness interleaving into [`Report`]-side storage
+    /// retrievable via [`Checker::check_events_with_witness`].
+    pub record_witness: bool,
+    /// When view comparisons run (per-commit vs quiescent-only baseline).
+    pub view_check_policy: ViewCheckPolicy,
+}
+
+impl Default for CheckerOptions {
+    fn default() -> CheckerOptions {
+        CheckerOptions {
+            stop_at_first_violation: true,
+            full_view_compare: false,
+            record_witness: false,
+            view_check_policy: ViewCheckPolicy::EveryCommit,
+        }
+    }
+}
+
+/// One step of the witness interleaving: a mutator execution, in commit
+/// order, with the signature used to drive the specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// Position in the witness interleaving (0-based commit index).
+    pub commit_index: u64,
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// Method.
+    pub method: MethodId,
+    /// Actual arguments.
+    pub args: Vec<Value>,
+    /// Return value (obtained by lookahead).
+    pub ret: Value,
+}
+
+impl std::fmt::Display for WitnessStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{} {} {}(", self.commit_index, self.tid, self.method)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ") -> {}", self.ret)
+    }
+}
+
+/// A method execution in progress (between its call and return actions).
+struct PendingExec {
+    method: MethodId,
+    args: Vec<Value>,
+    kind: MethodKind,
+    committed: bool,
+    /// For observers: number of commits applied when the call was seen —
+    /// the start of the window of §4.3.
+    window_start: u64,
+    /// For observers that *do* log an explicit commit action: the commit
+    /// index it pins the observation to (an extension of §4.3; narrows the
+    /// window to a single state).
+    explicit_commit: Option<u64>,
+}
+
+impl<S: Spec, R: Replayer> std::fmt::Debug for Checker<S, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checker")
+            .field("commits_applied", &self.commits_applied)
+            .field("position", &self.position)
+            .field("violation", &self.violation)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The refinement checker.
+///
+/// Construct with [`Checker::io`] or [`Checker::view`], then feed it a log
+/// with one of the `check_*` methods. The checker is single-use: checking
+/// consumes it.
+pub struct Checker<S: Spec, R: Replayer = NoopReplayer> {
+    spec: S,
+    replayer: Option<R>,
+    invariants: Vec<Invariant<R>>,
+    options: CheckerOptions,
+
+    // --- run state ---
+    stats: CheckStats,
+    violation: Option<Violation>,
+    witness: Vec<WitnessStep>,
+    /// Events pulled from the source while looking ahead for a return
+    /// value, not yet processed.
+    lookahead: VecDeque<Event>,
+    /// Per-thread in-flight execution.
+    pending: HashMap<ThreadId, PendingExec>,
+    /// Number of commits applied to the specification so far.
+    commits_applied: u64,
+    /// Snapshots of the specification state `s_j` (after `j` commits),
+    /// kept while observer executions are in flight (§4.3).
+    snapshots: BTreeMap<u64, S>,
+    /// Number of observer executions in flight.
+    observers_inflight: usize,
+    /// Commit-block write buffering (§5.2).
+    blocks: BlockBuffer,
+    /// Position (0-based) of the event currently being processed.
+    position: u64,
+    /// Commits applied since the last quiescent-state comparison (the
+    /// `QuiescentOnly` baseline policy).
+    commits_since_quiescent_check: u64,
+}
+
+impl<S: Spec> Checker<S, NoopReplayer> {
+    /// Creates an I/O refinement checker (§4).
+    pub fn io(spec: S) -> Checker<S, NoopReplayer> {
+        Checker::new(spec, None)
+    }
+}
+
+impl<S: Spec, R: Replayer> Checker<S, R> {
+    /// Creates a view refinement checker (§5). `replayer` reconstructs the
+    /// implementation shadow state from logged writes.
+    pub fn view(spec: S, replayer: R) -> Checker<S, R> {
+        Checker::new(spec, Some(replayer))
+    }
+
+    fn new(spec: S, replayer: Option<R>) -> Checker<S, R> {
+        Checker {
+            spec,
+            replayer,
+            invariants: Vec::new(),
+            options: CheckerOptions::default(),
+            stats: CheckStats::default(),
+            violation: None,
+            witness: Vec::new(),
+            lookahead: VecDeque::new(),
+            pending: HashMap::new(),
+            commits_applied: 0,
+            snapshots: BTreeMap::new(),
+            observers_inflight: 0,
+            blocks: BlockBuffer::new(),
+            position: 0,
+            commits_since_quiescent_check: 0,
+        }
+    }
+
+    /// Replaces the options.
+    pub fn with_options(mut self, options: CheckerOptions) -> Checker<S, R> {
+        self.options = options;
+        self
+    }
+
+    /// Adds an invariant over the replayed state, evaluated at every
+    /// mutator commit. Only meaningful for view checkers.
+    pub fn with_invariant(mut self, invariant: Invariant<R>) -> Checker<S, R> {
+        self.invariants.push(invariant);
+        self
+    }
+
+    /// Checks a complete in-memory log.
+    pub fn check_events<I: IntoIterator<Item = Event>>(self, events: I) -> Report {
+        let mut iter = events.into_iter();
+        self.run(move || iter.next()).0
+    }
+
+    /// Like [`Checker::check_events`], also returning the witness
+    /// interleaving (enable [`CheckerOptions::record_witness`]).
+    pub fn check_events_with_witness<I: IntoIterator<Item = Event>>(
+        self,
+        events: I,
+    ) -> (Report, Vec<WitnessStep>) {
+        let mut iter = events.into_iter();
+        self.run(move || iter.next())
+    }
+
+    /// Checks a log streamed from a channel (the online mode of §4.2:
+    /// the verification thread runs this while the program executes).
+    /// Returns when the channel closes or — with the default options — at
+    /// the first violation.
+    pub fn check_receiver(self, receiver: &Receiver<Event>) -> Report {
+        self.run(|| receiver.recv().ok()).0
+    }
+
+    /// Checks a log in the binary wire format (e.g. written by
+    /// [`EventLog::to_file`](crate::log::EventLog::to_file)). A decoding
+    /// error is reported as a [`Violation::MalformedLog`].
+    pub fn check_reader<Rd: Read>(self, mut reader: Rd) -> Report {
+        let mut decode_failed = false;
+        let (mut report, _) = self.run(|| {
+            if decode_failed {
+                return None;
+            }
+            match codec::read_event(&mut reader) {
+                Ok(event) => event,
+                Err(_) => {
+                    decode_failed = true;
+                    None
+                }
+            }
+        });
+        if decode_failed && report.violation.is_none() {
+            report.violation = Some(Violation::MalformedLog {
+                detail: "log stream ended with a decoding error".to_owned(),
+                log_position: report.stats.events,
+            });
+        }
+        report
+    }
+
+    // ------------------------------------------------------------------
+    // Engine
+    // ------------------------------------------------------------------
+
+    fn run(mut self, mut source: impl FnMut() -> Option<Event>) -> (Report, Vec<WitnessStep>) {
+        while let Some(event) = self.next_event(&mut source) {
+            self.stats.events += 1;
+            self.step(event, &mut source);
+            self.maybe_check_quiescent();
+            if self.violation.is_some() && self.options.stop_at_first_violation {
+                break;
+            }
+            self.position += 1;
+        }
+        self.finish();
+        (
+            Report {
+                violation: self.violation,
+                stats: self.stats,
+            },
+            self.witness,
+        )
+    }
+
+    fn next_event(&mut self, source: &mut impl FnMut() -> Option<Event>) -> Option<Event> {
+        if let Some(e) = self.lookahead.pop_front() {
+            return Some(e);
+        }
+        source()
+    }
+
+    /// Scans forward (buffering into `lookahead`) for the return value of
+    /// the method execution `tid` is currently inside. Per well-formedness
+    /// (§3.2) the next return action of `tid` is the matching one; a
+    /// return naming a different method is a malformed log (`Err`), kept
+    /// distinct from a missing return (`Ok(None)`).
+    fn lookahead_return(
+        &mut self,
+        tid: ThreadId,
+        method: &MethodId,
+        source: &mut impl FnMut() -> Option<Event>,
+    ) -> Result<Option<Value>, Violation> {
+        let matching = |m: &MethodId, ret: &Value| -> Result<Value, Violation> {
+            if m == method {
+                Ok(ret.clone())
+            } else {
+                Err(Violation::MalformedLog {
+                    detail: format!(
+                        "{tid} committed inside {method} but its next return is from {m}"
+                    ),
+                    log_position: self.position,
+                })
+            }
+        };
+        for e in &self.lookahead {
+            if let Event::Return { tid: t, method: m, ret } = e {
+                if *t == tid {
+                    return matching(m, ret).map(Some);
+                }
+            }
+        }
+        loop {
+            let Some(e) = source() else {
+                return Ok(None);
+            };
+            let found = if let Event::Return { tid: t, method: m, ret } = &e {
+                (*t == tid).then(|| matching(m, ret))
+            } else {
+                None
+            };
+            self.lookahead.push_back(e);
+            if let Some(result) = found {
+                return result.map(Some);
+            }
+        }
+    }
+
+    fn fail(&mut self, violation: Violation) {
+        if self.violation.is_none() {
+            self.violation = Some(violation);
+        }
+    }
+
+    fn step(&mut self, event: Event, source: &mut impl FnMut() -> Option<Event>) {
+        match event {
+            Event::Write { tid, var, value } => {
+                if let Some((var, value)) = self.blocks.write(tid, var, value) {
+                    self.apply_write(&var, &value);
+                }
+            }
+            Event::BlockBegin { tid } => self.blocks.begin(tid),
+            Event::BlockEnd { tid } => {
+                for (var, value) in self.blocks.end(tid) {
+                    self.apply_write(&var, &value);
+                }
+            }
+            Event::Call { tid, method, args } => self.on_call(tid, method, args),
+            Event::Commit { tid } => self.on_commit(tid, source),
+            Event::Return { tid, method, ret } => self.on_return(tid, method, ret),
+        }
+    }
+
+    fn apply_write(&mut self, var: &VarId, value: &Value) {
+        if let Some(replayer) = &mut self.replayer {
+            replayer.apply_write(var, value);
+            self.stats.writes_replayed += 1;
+        }
+    }
+
+    fn on_call(&mut self, tid: ThreadId, method: MethodId, args: Vec<Value>) {
+        if self.pending.contains_key(&tid) {
+            self.fail(Violation::MalformedLog {
+                detail: format!("{tid} called {method} while another method execution is open"),
+                log_position: self.position,
+            });
+            return;
+        }
+        let kind = self.spec.kind(&method);
+        if kind == MethodKind::Observer {
+            self.observers_inflight += 1;
+            // Snapshot s_{window_start}: the state the data structure was
+            // in when the observer was called (the "last commit action
+            // before a_call" state of §4.3).
+            self.ensure_snapshot(self.commits_applied);
+        }
+        self.pending.insert(
+            tid,
+            PendingExec {
+                method,
+                args,
+                kind,
+                committed: false,
+                window_start: self.commits_applied,
+                explicit_commit: None,
+            },
+        );
+    }
+
+    fn ensure_snapshot(&mut self, index: u64) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.snapshots.entry(index) {
+            e.insert(self.spec.clone());
+            self.stats.snapshots_taken += 1;
+        }
+    }
+
+    fn on_commit(&mut self, tid: ThreadId, source: &mut impl FnMut() -> Option<Event>) {
+        let Some(pending) = self.pending.get(&tid) else {
+            self.fail(Violation::MalformedLog {
+                detail: format!("{tid} committed outside any method execution"),
+                log_position: self.position,
+            });
+            return;
+        };
+        match pending.kind {
+            MethodKind::Observer => {
+                // Extension of §4.3: an explicitly annotated observer
+                // commit pins the observation to the current state instead
+                // of the whole call–return window.
+                let index = self.commits_applied;
+                self.ensure_snapshot(index);
+                let pending = self.pending.get_mut(&tid).expect("checked above");
+                pending.explicit_commit = Some(index);
+            }
+            MethodKind::Mutator => {
+                if pending.committed {
+                    let method = pending.method.clone();
+                    self.fail(Violation::CommitAnnotation {
+                        tid,
+                        method,
+                        detail: "more than one commit action in a single execution".to_owned(),
+                        log_position: self.position,
+                    });
+                    return;
+                }
+                let method = pending.method.clone();
+                let args = pending.args.clone();
+                // The paper derives the committing method's return value
+                // "by looking ahead in the implementation's execution".
+                let ret = match self.lookahead_return(tid, &method, source) {
+                    Ok(Some(ret)) => ret,
+                    Ok(None) => {
+                        self.fail(Violation::MalformedLog {
+                            detail: format!(
+                                "log ends before the return of committed method {tid} {method}"
+                            ),
+                            log_position: self.position,
+                        });
+                        return;
+                    }
+                    Err(violation) => {
+                        self.fail(violation);
+                        return;
+                    }
+                };
+                self.apply_mutator_commit(tid, method, args, ret);
+            }
+        }
+    }
+
+    fn apply_mutator_commit(
+        &mut self,
+        tid: ThreadId,
+        method: MethodId,
+        args: Vec<Value>,
+        ret: Value,
+    ) {
+        let commit_index = self.commits_applied;
+        let effect = match self.spec.apply(&method, &args, &ret) {
+            Ok(effect) => effect,
+            Err(err) => {
+                // Mark the execution committed anyway so that, in
+                // continue-after-violation mode, its return does not
+                // trip a second (cascading) missing-commit complaint.
+                if let Some(pending) = self.pending.get_mut(&tid) {
+                    pending.committed = true;
+                }
+                self.fail(Violation::SpecRejectedCommit {
+                    tid,
+                    method,
+                    args,
+                    ret,
+                    reason: err.message().to_owned(),
+                    commit_index,
+                    log_position: self.position,
+                });
+                return;
+            }
+        };
+        self.commits_applied += 1;
+        self.stats.commits_applied += 1;
+        if self.options.record_witness {
+            self.witness.push(WitnessStep {
+                commit_index,
+                tid,
+                method: method.clone(),
+                args: args.clone(),
+                ret: ret.clone(),
+            });
+        }
+        if let Some(pending) = self.pending.get_mut(&tid) {
+            pending.committed = true;
+        }
+        // View refinement: the committing thread's commit-block writes
+        // become visible now, contiguously (§5.2), then view_I must match
+        // view_S (§5.1) and the invariants must hold. Under the
+        // quiescent-only baseline the comparison is deferred to the next
+        // quiescent state (see `maybe_check_quiescent`).
+        if self.replayer.is_some() {
+            for (var, value) in self.blocks.flush(tid) {
+                self.apply_write(&var, &value);
+            }
+            if self.options.view_check_policy == ViewCheckPolicy::EveryCommit {
+                self.compare_views(tid, &method, &effect.dirty_keys, commit_index);
+                self.check_invariants(commit_index);
+            } else {
+                self.commits_since_quiescent_check += 1;
+            }
+        }
+        // Observer-window bookkeeping: snapshot the post-commit state while
+        // any observer is in flight (§4.3). This must happen even after a
+        // violation has been recorded: in continue-after-violation mode
+        // those observers still resolve later and consult the snapshots.
+        if self.observers_inflight > 0 {
+            self.ensure_snapshot(self.commits_applied);
+        }
+    }
+
+    fn compare_views(
+        &mut self,
+        tid: ThreadId,
+        method: &MethodId,
+        spec_dirty: &[Value],
+        commit_index: u64,
+    ) {
+        let replayer = self.replayer.as_mut().expect("view mode");
+        self.stats.view_comparisons += 1;
+        let impl_dirty = replayer.take_dirty();
+        let full = self.options.full_view_compare || impl_dirty.is_none();
+        if full {
+            let view_i = replayer.view();
+            let view_s = self.spec.view();
+            let diff = view_i.diff_keys(&view_s);
+            self.stats.view_keys_compared += view_i.len().max(view_s.len()) as u64;
+            if let Some(key) = diff.into_iter().next() {
+                let view_i = view_i.get(&key).cloned();
+                let view_s = view_s.get(&key).cloned();
+                self.fail(Violation::ViewMismatch {
+                    tid,
+                    method: method.clone(),
+                    key,
+                    view_i,
+                    view_s,
+                    commit_index,
+                    log_position: self.position,
+                });
+            }
+            return;
+        }
+        // Incremental comparison (§6.4): only the keys whose support
+        // changed on either side since the last commit.
+        let mut keys = impl_dirty.unwrap_or_default();
+        keys.extend(spec_dirty.iter().cloned());
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            self.stats.view_keys_compared += 1;
+            let view_i = self.replayer.as_ref().expect("view mode").view_of(&key);
+            let view_s = self.spec.view_of(&key);
+            if view_i != view_s {
+                self.fail(Violation::ViewMismatch {
+                    tid,
+                    method: method.clone(),
+                    key,
+                    view_i,
+                    view_s,
+                    commit_index,
+                    log_position: self.position,
+                });
+                return;
+            }
+        }
+    }
+
+    /// Under [`ViewCheckPolicy::QuiescentOnly`], run the deferred view
+    /// comparison whenever the system is quiescent (no method execution
+    /// in flight) and at least one commit happened since the last check.
+    fn maybe_check_quiescent(&mut self) {
+        if self.options.view_check_policy != ViewCheckPolicy::QuiescentOnly
+            || self.replayer.is_none()
+            || self.commits_since_quiescent_check == 0
+            || !self.pending.is_empty()
+        {
+            return;
+        }
+        self.commits_since_quiescent_check = 0;
+        let commit_index = self.commits_applied.saturating_sub(1);
+        // Quiescent comparisons are always full: the incremental dirty
+        // sets were consumed commit by commit, and the baseline is about
+        // *when*, not *how*, the comparison runs.
+        let replayer = self.replayer.as_mut().expect("view mode");
+        let _ = replayer.take_dirty();
+        let view_i = replayer.view();
+        let view_s = self.spec.view();
+        self.stats.view_comparisons += 1;
+        self.stats.view_keys_compared += view_i.len().max(view_s.len()) as u64;
+        if let Some(key) = view_i.diff_keys(&view_s).into_iter().next() {
+            let view_i = view_i.get(&key).cloned();
+            let view_s = view_s.get(&key).cloned();
+            self.fail(Violation::ViewMismatch {
+                tid: ThreadId(u32::MAX),
+                method: MethodId::from("<quiescent-check>"),
+                key,
+                view_i,
+                view_s,
+                commit_index,
+                log_position: self.position,
+            });
+            return;
+        }
+        self.check_invariants(commit_index);
+    }
+
+    fn check_invariants(&mut self, commit_index: u64) {
+        if self.violation.is_some() {
+            return;
+        }
+        let replayer = self.replayer.as_ref().expect("view mode");
+        for invariant in &self.invariants {
+            if let Err(message) = (invariant.check)(replayer) {
+                let name = invariant.name.clone();
+                self.fail(Violation::InvariantViolation {
+                    name,
+                    message,
+                    commit_index,
+                    log_position: self.position,
+                });
+                return;
+            }
+        }
+    }
+
+    fn on_return(&mut self, tid: ThreadId, method: MethodId, ret: Value) {
+        let Some(pending) = self.pending.remove(&tid) else {
+            self.fail(Violation::MalformedLog {
+                detail: format!("{tid} returned from {method} without a matching call"),
+                log_position: self.position,
+            });
+            return;
+        };
+        if pending.method != method {
+            self.fail(Violation::MalformedLog {
+                detail: format!(
+                    "{tid} returned from {method} but the open execution is {}",
+                    pending.method
+                ),
+                log_position: self.position,
+            });
+            return;
+        }
+        match pending.kind {
+            MethodKind::Mutator => {
+                if !pending.committed {
+                    self.fail(Violation::CommitAnnotation {
+                        tid,
+                        method,
+                        detail: "mutator execution returned without a commit action (every \
+                                 execution path needs exactly one, §4.1)"
+                            .to_owned(),
+                        log_position: self.position,
+                    });
+                    return;
+                }
+                self.stats.methods_completed += 1;
+            }
+            MethodKind::Observer => {
+                self.observers_inflight -= 1;
+                self.stats.observers_checked += 1;
+                let (start, end) = match pending.explicit_commit {
+                    Some(c) => (c, c),
+                    None => (pending.window_start, self.commits_applied),
+                };
+                let satisfied = (start..=end).any(|j| {
+                    let state: &S = if j == self.commits_applied {
+                        &self.spec
+                    } else {
+                        self.snapshots
+                            .get(&j)
+                            .expect("snapshot for every commit inside an open observer window")
+                    };
+                    state.accepts_observation(&method, &pending.args, &ret)
+                });
+                self.gc_snapshots();
+                if !satisfied {
+                    self.fail(Violation::ObserverUnjustified {
+                        tid,
+                        method,
+                        args: pending.args,
+                        ret,
+                        window_start: start,
+                        window_end: end,
+                        log_position: self.position,
+                    });
+                    return;
+                }
+                self.stats.methods_completed += 1;
+            }
+        }
+    }
+
+    /// Drops snapshots no open observer window can reach.
+    fn gc_snapshots(&mut self) {
+        if self.observers_inflight == 0 {
+            self.snapshots.clear();
+            return;
+        }
+        let min_start = self
+            .pending
+            .values()
+            .filter(|p| p.kind == MethodKind::Observer)
+            .map(|p| p.explicit_commit.unwrap_or(p.window_start))
+            .min()
+            .unwrap_or(u64::MAX);
+        self.snapshots = self.snapshots.split_off(&min_start);
+    }
+
+    fn finish(&mut self) {
+        // Executions still open at the end of the log are tolerated: a
+        // well-formed complete run returns from everything, but an online
+        // check can be stopped mid-run.
+    }
+}

@@ -1,0 +1,528 @@
+//! Binary wire format for persisting event logs.
+//!
+//! The paper's implementation used the .NET binary object serialization
+//! mechanism "in order to restore record objects as they are saved at
+//! runtime" (§6.1). This module plays the same role with a small,
+//! self-contained, length-delimited format:
+//!
+//! * every integer is little-endian;
+//! * variable-length payloads (strings, byte buffers, lists) carry a `u32`
+//!   length prefix;
+//! * every [`Value`] and [`Event`] starts with a one-byte tag.
+//!
+//! The format is deliberately simple so that a log written by a crashing
+//! process can be read back up to the last complete record: [`read_event`]
+//! distinguishes a clean end of stream (`Ok(None)`) from a truncated record
+//! (`Err`).
+
+use std::io::{self, Read, Write};
+
+use crate::event::{Event, MethodId, ThreadId, VarId};
+use crate::value::Value;
+
+// Value tags.
+const TAG_UNIT: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BYTES: u8 = 5;
+const TAG_PAIR: u8 = 6;
+const TAG_LIST: u8 = 7;
+
+// Event tags.
+const TAG_CALL: u8 = 16;
+const TAG_RETURN: u8 = 17;
+const TAG_COMMIT: u8 = 18;
+const TAG_BLOCK_BEGIN: u8 = 19;
+const TAG_BLOCK_END: u8 = 20;
+const TAG_WRITE: u8 = 21;
+
+/// Maximum length accepted for any single string/bytes/list payload.
+///
+/// Guards `read_event` against allocating absurd buffers when handed a
+/// corrupt or non-log file.
+const MAX_LEN: u32 = 1 << 28;
+
+/// Maximum nesting depth accepted when decoding values.
+///
+/// Guards `read_value` against stack overflow on corrupt or hostile input
+/// (e.g. a file of consecutive pair tags).
+const MAX_DEPTH: u32 = 64;
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_i64<W: Write>(w: &mut W, v: i64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_i64<R: Read>(r: &mut R) -> io::Result<i64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(i64::from_le_bytes(buf))
+}
+
+fn read_len<R: Read>(r: &mut R) -> io::Result<usize> {
+    let len = read_u32(r)?;
+    if len > MAX_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("vyrd log record length {len} exceeds limit"),
+        ));
+    }
+    Ok(len as usize)
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_string<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_len(r)?;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("invalid utf-8: {e}")))
+}
+
+/// Serializes one value.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_value<W: Write>(w: &mut W, value: &Value) -> io::Result<()> {
+    match value {
+        Value::Unit => w.write_all(&[TAG_UNIT]),
+        Value::Bool(false) => w.write_all(&[TAG_BOOL_FALSE]),
+        Value::Bool(true) => w.write_all(&[TAG_BOOL_TRUE]),
+        Value::Int(i) => {
+            w.write_all(&[TAG_INT])?;
+            write_i64(w, *i)
+        }
+        Value::Str(s) => {
+            w.write_all(&[TAG_STR])?;
+            write_str(w, s)
+        }
+        Value::Bytes(b) => {
+            w.write_all(&[TAG_BYTES])?;
+            write_u32(w, b.len() as u32)?;
+            w.write_all(b)
+        }
+        Value::Pair(p) => {
+            w.write_all(&[TAG_PAIR])?;
+            write_value(w, &p.0)?;
+            write_value(w, &p.1)
+        }
+        Value::List(items) => {
+            w.write_all(&[TAG_LIST])?;
+            write_u32(w, items.len() as u32)?;
+            for item in items {
+                write_value(w, item)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Deserializes one value.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on unknown tags, malformed payloads, or nesting
+/// deeper than the format allows, and propagates I/O errors (including
+/// `UnexpectedEof` for truncated records).
+pub fn read_value<R: Read>(r: &mut R) -> io::Result<Value> {
+    read_value_at(r, 0)
+}
+
+fn read_value_at<R: Read>(r: &mut R, depth: u32) -> io::Result<Value> {
+    if depth > MAX_DEPTH {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("vyrd value nested deeper than {MAX_DEPTH} levels"),
+        ));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    match tag[0] {
+        TAG_UNIT => Ok(Value::Unit),
+        TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+        TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => Ok(Value::Int(read_i64(r)?)),
+        TAG_STR => Ok(Value::Str(read_string(r)?)),
+        TAG_BYTES => {
+            let len = read_len(r)?;
+            let mut buf = vec![0u8; len];
+            r.read_exact(&mut buf)?;
+            Ok(Value::Bytes(buf))
+        }
+        TAG_PAIR => {
+            let a = read_value_at(r, depth + 1)?;
+            let b = read_value_at(r, depth + 1)?;
+            Ok(Value::pair(a, b))
+        }
+        TAG_LIST => {
+            let len = read_len(r)?;
+            let mut items = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                items.push(read_value_at(r, depth + 1)?);
+            }
+            Ok(Value::List(items))
+        }
+        t => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown vyrd value tag {t}"),
+        )),
+    }
+}
+
+/// Serializes one event.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_event<W: Write>(w: &mut W, event: &Event) -> io::Result<()> {
+    match event {
+        Event::Call { tid, method, args } => {
+            w.write_all(&[TAG_CALL])?;
+            write_u32(w, tid.0)?;
+            write_str(w, method.name())?;
+            write_u32(w, args.len() as u32)?;
+            for a in args {
+                write_value(w, a)?;
+            }
+            Ok(())
+        }
+        Event::Return { tid, method, ret } => {
+            w.write_all(&[TAG_RETURN])?;
+            write_u32(w, tid.0)?;
+            write_str(w, method.name())?;
+            write_value(w, ret)
+        }
+        Event::Commit { tid } => {
+            w.write_all(&[TAG_COMMIT])?;
+            write_u32(w, tid.0)
+        }
+        Event::BlockBegin { tid } => {
+            w.write_all(&[TAG_BLOCK_BEGIN])?;
+            write_u32(w, tid.0)
+        }
+        Event::BlockEnd { tid } => {
+            w.write_all(&[TAG_BLOCK_END])?;
+            write_u32(w, tid.0)
+        }
+        Event::Write { tid, var, value } => {
+            w.write_all(&[TAG_WRITE])?;
+            write_u32(w, tid.0)?;
+            write_str(w, var.space())?;
+            write_i64(w, var.index())?;
+            write_value(w, value)
+        }
+    }
+}
+
+/// Deserializes one event, or `Ok(None)` at a clean end of stream.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for unknown tags and `UnexpectedEof` when the
+/// stream ends mid-record.
+pub fn read_event<R: Read>(r: &mut R) -> io::Result<Option<Event>> {
+    let mut tag = [0u8; 1];
+    match r.read(&mut tag)? {
+        0 => return Ok(None),
+        1 => {}
+        _ => unreachable!("read of 1-byte buffer returned >1"),
+    }
+    let event = match tag[0] {
+        TAG_CALL => {
+            let tid = ThreadId(read_u32(r)?);
+            let method = MethodId::from(read_string(r)?);
+            let argc = read_len(r)?;
+            let mut args = Vec::with_capacity(argc.min(64));
+            for _ in 0..argc {
+                args.push(read_value(r)?);
+            }
+            Event::Call { tid, method, args }
+        }
+        TAG_RETURN => Event::Return {
+            tid: ThreadId(read_u32(r)?),
+            method: MethodId::from(read_string(r)?),
+            ret: read_value(r)?,
+        },
+        TAG_COMMIT => Event::Commit {
+            tid: ThreadId(read_u32(r)?),
+        },
+        TAG_BLOCK_BEGIN => Event::BlockBegin {
+            tid: ThreadId(read_u32(r)?),
+        },
+        TAG_BLOCK_END => Event::BlockEnd {
+            tid: ThreadId(read_u32(r)?),
+        },
+        TAG_WRITE => {
+            let tid = ThreadId(read_u32(r)?);
+            let space = read_string(r)?;
+            let index = read_i64(r)?;
+            let value = read_value(r)?;
+            Event::Write {
+                tid,
+                var: VarId::new(&space, index),
+                value,
+            }
+        }
+        t => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown vyrd event tag {t}"),
+            ))
+        }
+    };
+    Ok(Some(event))
+}
+
+/// Serializes a whole log.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_log<W: Write>(w: &mut W, events: &[Event]) -> io::Result<()> {
+    for e in events {
+        write_event(w, e)?;
+    }
+    Ok(())
+}
+
+/// Deserializes a whole log until end of stream.
+///
+/// # Errors
+///
+/// Returns the first decoding or I/O error; events decoded before the error
+/// are discarded (use [`read_event`] in a loop to salvage a prefix).
+pub fn read_log<R: Read>(r: &mut R) -> io::Result<Vec<Event>> {
+    let mut events = Vec::new();
+    while let Some(e) = read_event(r)? {
+        events.push(e);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_value(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        write_value(&mut buf, v).unwrap();
+        read_value(&mut buf.as_slice()).unwrap()
+    }
+
+    fn roundtrip_event(e: &Event) -> Event {
+        let mut buf = Vec::new();
+        write_event(&mut buf, e).unwrap();
+        read_event(&mut buf.as_slice()).unwrap().unwrap()
+    }
+
+    #[test]
+    fn scalar_values_round_trip() {
+        for v in [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Str(String::new()),
+            Value::Str("héllo".to_owned()),
+            Value::Bytes(vec![]),
+            Value::Bytes(vec![0, 255, 1]),
+        ] {
+            assert_eq!(roundtrip_value(&v), v);
+        }
+    }
+
+    #[test]
+    fn nested_values_round_trip() {
+        let v = Value::List(vec![
+            Value::pair(Value::Int(1), Value::List(vec![Value::Unit])),
+            Value::Bytes(vec![9; 40]),
+        ]);
+        assert_eq!(roundtrip_value(&v), v);
+    }
+
+    #[test]
+    fn all_event_kinds_round_trip() {
+        let events = [
+            Event::Call {
+                tid: ThreadId(7),
+                method: "InsertPair".into(),
+                args: vec![5i64.into(), 6i64.into()],
+            },
+            Event::Return {
+                tid: ThreadId(7),
+                method: "InsertPair".into(),
+                ret: Value::success(),
+            },
+            Event::Commit { tid: ThreadId(0) },
+            Event::BlockBegin { tid: ThreadId(1) },
+            Event::BlockEnd { tid: ThreadId(1) },
+            Event::Write {
+                tid: ThreadId(3),
+                var: VarId::new("A.valid", 2),
+                value: true.into(),
+            },
+        ];
+        for e in &events {
+            assert_eq!(&roundtrip_event(e), e);
+        }
+    }
+
+    #[test]
+    fn whole_log_round_trip() {
+        let log = vec![
+            Event::Call {
+                tid: ThreadId(1),
+                method: "m".into(),
+                args: vec![],
+            },
+            Event::Commit { tid: ThreadId(1) },
+            Event::Return {
+                tid: ThreadId(1),
+                method: "m".into(),
+                ret: Value::Unit,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_log(&mut buf, &log).unwrap();
+        assert_eq!(read_log(&mut buf.as_slice()).unwrap(), log);
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        let empty: &[u8] = &[];
+        assert!(read_event(&mut { empty }).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut buf = Vec::new();
+        write_event(
+            &mut buf,
+            &Event::Return {
+                tid: ThreadId(1),
+                method: "m".into(),
+                ret: Value::Str("abcdef".to_owned()),
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_event(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn unknown_tag_is_invalid_data() {
+        let buf = [200u8, 0, 0, 0];
+        let err = read_event(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = read_value(&mut [99u8].as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        // TAG_STR with a 512 MiB length prefix.
+        let mut buf = vec![TAG_STR];
+        buf.extend_from_slice(&(1u32 << 29).to_le_bytes());
+        let err = read_value(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // A "pair bomb": thousands of consecutive pair tags would recurse
+        // once per byte without the depth guard.
+        let bomb = vec![TAG_PAIR; 100_000];
+        let err = read_value(&mut bomb.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("nested deeper"));
+        // Legitimate nesting well under the limit still round-trips.
+        let mut v = Value::Unit;
+        for _ in 0..32 {
+            v = Value::pair(v, Value::Unit);
+        }
+        assert_eq!(roundtrip_value(&v), v);
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Unit),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            ".{0,12}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Value::pair(a, b)),
+                proptest::collection::vec(inner, 0..4).prop_map(Value::List),
+            ]
+        })
+    }
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        let tid = (0u32..64).prop_map(ThreadId);
+        prop_oneof![
+            (
+                tid.clone(),
+                "[a-zA-Z]{1,8}",
+                proptest::collection::vec(arb_value(), 0..3)
+            )
+                .prop_map(|(tid, m, args)| Event::Call {
+                    tid,
+                    method: MethodId::from(m.as_str()),
+                    args
+                }),
+            (tid.clone(), "[a-zA-Z]{1,8}", arb_value()).prop_map(|(tid, m, ret)| {
+                Event::Return {
+                    tid,
+                    method: MethodId::from(m.as_str()),
+                    ret,
+                }
+            }),
+            tid.clone().prop_map(|tid| Event::Commit { tid }),
+            tid.clone().prop_map(|tid| Event::BlockBegin { tid }),
+            tid.clone().prop_map(|tid| Event::BlockEnd { tid }),
+            (tid, "[a-z.]{1,8}", any::<i64>(), arb_value()).prop_map(|(tid, s, i, v)| {
+                Event::Write {
+                    tid,
+                    var: VarId::new(&s, i),
+                    value: v,
+                }
+            }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_value_round_trip(v in arb_value()) {
+            prop_assert_eq!(roundtrip_value(&v), v);
+        }
+
+        #[test]
+        fn prop_log_round_trip(events in proptest::collection::vec(arb_event(), 0..40)) {
+            let mut buf = Vec::new();
+            write_log(&mut buf, &events).unwrap();
+            prop_assert_eq!(read_log(&mut buf.as_slice()).unwrap(), events);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Diagnostics for refinement violations.
+//!
+//! §4.1 describes an iterative debugging workflow: when a check fails,
+//! the programmer compares the witness interleaving with the
+//! implementation trace to decide whether the implementation is wrong or
+//! the commit-point annotation is. These helpers render the evidence:
+//! the log neighborhood of the violation and a one-report summary.
+
+use std::fmt::Write as _;
+
+use crate::event::Event;
+use crate::violation::Report;
+
+/// Renders the events around `position` (0-based log index), marking the
+/// focal event with `>`.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::diagnose::excerpt;
+/// use vyrd_core::{Event, ThreadId, Value};
+///
+/// let events = vec![
+///     Event::Call { tid: ThreadId(0), method: "m".into(), args: vec![] },
+///     Event::Commit { tid: ThreadId(0) },
+///     Event::Return { tid: ThreadId(0), method: "m".into(), ret: Value::Unit },
+/// ];
+/// let text = excerpt(&events, 1, 1);
+/// assert!(text.contains("> [1]"));
+/// ```
+pub fn excerpt(events: &[Event], position: u64, radius: usize) -> String {
+    let pos = usize::try_from(position).unwrap_or(usize::MAX);
+    let start = pos.saturating_sub(radius);
+    let end = pos.saturating_add(radius + 1).min(events.len());
+    let mut out = String::new();
+    if start > 0 {
+        let _ = writeln!(out, "  ... {start} earlier events ...");
+    }
+    for (i, event) in events.iter().enumerate().take(end).skip(start) {
+        let marker = if i == pos { '>' } else { ' ' };
+        let _ = writeln!(out, "{marker} [{i}] {event}");
+    }
+    if end < events.len() {
+        let _ = writeln!(out, "  ... {} later events ...", events.len() - end);
+    }
+    out
+}
+
+/// Renders a failed report together with the log neighborhood of its
+/// violation. For passing reports, renders the summary line only.
+pub fn explain(report: &Report, events: &[Event]) -> String {
+    match &report.violation {
+        None => format!("{report}\n"),
+        Some(violation) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "{report}");
+            let _ = writeln!(out, "log neighborhood of the violation:");
+            out.push_str(&excerpt(events, violation.log_position(), 6));
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ThreadId;
+    use crate::value::Value;
+    use crate::violation::Violation;
+
+    fn sample_events(n: usize) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::Commit {
+                tid: ThreadId(i as u32),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn excerpt_windows_and_marks() {
+        let events = sample_events(10);
+        let text = excerpt(&events, 5, 2);
+        assert!(text.contains("... 3 earlier events ..."));
+        assert!(text.contains("> [5]"));
+        assert!(text.contains("  [3]"));
+        assert!(text.contains("  [7]"));
+        assert!(text.contains("... 2 later events ..."));
+        assert!(!text.contains("[8]"));
+    }
+
+    #[test]
+    fn excerpt_clamps_at_the_edges() {
+        let events = sample_events(3);
+        let text = excerpt(&events, 0, 5);
+        assert!(text.contains("> [0]"));
+        assert!(text.contains("  [2]"));
+        assert!(!text.contains("earlier events"));
+        assert!(!text.contains("later events"));
+        // Out-of-range position degrades gracefully.
+        let text = excerpt(&events, 99, 2);
+        assert!(!text.contains('>'));
+    }
+
+    #[test]
+    fn explain_includes_violation_context() {
+        let events = sample_events(4);
+        let report = Report {
+            violation: Some(Violation::MalformedLog {
+                detail: "commit outside any method execution".to_owned(),
+                log_position: 2,
+            }),
+            stats: Default::default(),
+        };
+        let text = explain(&report, &events);
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("> [2]"));
+
+        let ok = Report::default();
+        let text = explain(&ok, &events);
+        assert!(text.starts_with("PASS"));
+        assert!(!text.contains('['));
+    }
+
+    #[test]
+    fn excerpt_displays_rich_events() {
+        let events = vec![Event::Call {
+            tid: ThreadId(3),
+            method: "Insert".into(),
+            args: vec![Value::from(5i64)],
+        }];
+        let text = excerpt(&events, 0, 0);
+        assert!(text.contains("T3 call Insert(5)"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Actions recorded in the VYRD log.
+//!
+//! §3.1 of the paper models programs as state transition systems whose
+//! actions include method *calls*, *returns*, and atomic *updates* of shared
+//! state. For runtime checking the implementation is instrumented to record
+//! a subset of its actions into a log (§4.2):
+//!
+//! * **call / return** actions of public methods — required for both I/O and
+//!   view refinement;
+//! * **commit** actions of mutator methods (§4.1) — the programmer-designated
+//!   action that makes the method's effect visible to other threads;
+//! * **commit block** boundaries (§5.2) — a region the programmer asserts is
+//!   atomic, used to roll the logged execution into the equivalent execution
+//!   `t'` in which no other thread is mid-commit-block at a commit point;
+//! * **shared-variable writes** — required only for view refinement, at
+//!   either fine (one entry per write) or coarse (one replayable record per
+//!   atomic group of writes, §6.2) granularity.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Identifier of a thread, as recorded in log entries.
+///
+/// The paper partitions thread identifiers into application threads
+/// (`Tid_app`) and data-structure-internal worker threads (`Tid_ds`, e.g.
+/// the B-link tree compression thread). The partition only matters for
+/// reporting; both kinds log through the same API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Name of a public method of the data structure under test.
+///
+/// Cheap to clone (reference counted). Compared and hashed by string
+/// content.
+///
+/// ```
+/// use vyrd_core::MethodId;
+/// let m = MethodId::from("Insert");
+/// assert_eq!(m.name(), "Insert");
+/// assert_eq!(m, MethodId::from("Insert"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MethodId(Arc<str>);
+
+impl MethodId {
+    /// The method name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for MethodId {
+    fn from(s: &str) -> MethodId {
+        MethodId(Arc::from(s))
+    }
+}
+
+impl From<String> for MethodId {
+    fn from(s: String) -> MethodId {
+        MethodId(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifier of a logged shared variable.
+///
+/// A variable is addressed by a *space* (a name for a family of variables,
+/// e.g. `"A.elt"` for the multiset's element array or `"node"` for B-link
+/// tree nodes) plus an integer *index* within the space (slot number, node
+/// id, chunk handle, ...).
+///
+/// ```
+/// use vyrd_core::VarId;
+/// let v = VarId::new("A.elt", 3);
+/// assert_eq!(v.to_string(), "A.elt[3]");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId {
+    space: Arc<str>,
+    index: i64,
+}
+
+impl VarId {
+    /// Creates a variable identifier from a space name and an index.
+    pub fn new(space: &str, index: i64) -> VarId {
+        VarId {
+            space: Arc::from(space),
+            index,
+        }
+    }
+
+    /// The variable family this variable belongs to.
+    pub fn space(&self) -> &str {
+        &self.space
+    }
+
+    /// The index within the space.
+    pub fn index(&self) -> i64 {
+        self.index
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.space, self.index)
+    }
+}
+
+/// One logged action.
+///
+/// Events appear in the log in the order the corresponding actions occur in
+/// the execution; the paper achieves this by performing each logged action
+/// atomically with its log update (§4.2), and this library does the same by
+/// requiring instrumentation sites to log while holding whatever lock makes
+/// the action visible (see [`crate::instrument`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Call action `(t, µ, ν)`: thread `t` invokes public method `µ` with
+    /// actual arguments `ν`.
+    Call {
+        /// Calling thread.
+        tid: ThreadId,
+        /// Invoked method.
+        method: MethodId,
+        /// Actual arguments.
+        args: Vec<Value>,
+    },
+    /// Return action `(t, µ, ρ)`: thread `t` returns from `µ` with value `ρ`.
+    Return {
+        /// Returning thread.
+        tid: ThreadId,
+        /// Returning method.
+        method: MethodId,
+        /// Returned value (exceptional terminations are special values,
+        /// see [`Value::failure`] / [`Value::exception`]).
+        ret: Value,
+    },
+    /// The commit action of the method execution `tid` is currently inside
+    /// (§4.1). Exactly one per mutator execution path.
+    Commit {
+        /// Committing thread.
+        tid: ThreadId,
+    },
+    /// Start of a commit block (§5.2) executed by `tid`.
+    BlockBegin {
+        /// Thread entering its commit block.
+        tid: ThreadId,
+    },
+    /// End of a commit block executed by `tid`.
+    BlockEnd {
+        /// Thread leaving its commit block.
+        tid: ThreadId,
+    },
+    /// An atomic update of shared variable `var` to `value`, required in the
+    /// log only when view refinement is being checked and
+    /// `var ∈ supp(view_I)` (§5.2).
+    Write {
+        /// Writing thread.
+        tid: ThreadId,
+        /// Variable written.
+        var: VarId,
+        /// Value written (for coarse-grained records, the replayable
+        /// post-state of the whole atomic group, §6.2).
+        value: Value,
+    },
+}
+
+impl Event {
+    /// The thread that performed this action.
+    pub fn tid(&self) -> ThreadId {
+        match self {
+            Event::Call { tid, .. }
+            | Event::Return { tid, .. }
+            | Event::Commit { tid }
+            | Event::BlockBegin { tid }
+            | Event::BlockEnd { tid }
+            | Event::Write { tid, .. } => *tid,
+        }
+    }
+
+    /// Rough in-memory size in bytes, for logging-overhead accounting.
+    pub fn size_estimate(&self) -> usize {
+        16 + match self {
+            Event::Call { args, .. } => args.iter().map(Value::size_estimate).sum(),
+            Event::Return { ret, .. } => ret.size_estimate(),
+            Event::Commit { .. } | Event::BlockBegin { .. } | Event::BlockEnd { .. } => 0,
+            Event::Write { value, .. } => value.size_estimate(),
+        }
+    }
+
+    /// `true` for the events that I/O refinement requires in the log
+    /// (call, return, and commit actions, §4.2).
+    pub fn required_for_io(&self) -> bool {
+        matches!(
+            self,
+            Event::Call { .. } | Event::Return { .. } | Event::Commit { .. }
+        )
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Call { tid, method, args } => {
+                write!(f, "{tid} call {method}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Event::Return { tid, method, ret } => write!(f, "{tid} ret  {method} -> {ret}"),
+            Event::Commit { tid } => write!(f, "{tid} commit"),
+            Event::BlockBegin { tid } => write!(f, "{tid} block-begin"),
+            Event::BlockEnd { tid } => write!(f, "{tid} block-end"),
+            Event::Write { tid, var, value } => write!(f, "{tid} write {var} := {value}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u32) -> ThreadId {
+        ThreadId(n)
+    }
+
+    #[test]
+    fn method_id_semantics() {
+        let a = MethodId::from("LookUp");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "LookUp");
+        assert_ne!(a, MethodId::from("Insert"));
+        assert_eq!(MethodId::from("x".to_owned()).name(), "x");
+    }
+
+    #[test]
+    fn var_id_accessors() {
+        let v = VarId::new("valid", 9);
+        assert_eq!(v.space(), "valid");
+        assert_eq!(v.index(), 9);
+        assert_eq!(v, VarId::new("valid", 9));
+        assert_ne!(v, VarId::new("valid", 8));
+        assert_ne!(v, VarId::new("elt", 9));
+    }
+
+    #[test]
+    fn event_tid_extraction() {
+        let events = [
+            Event::Call {
+                tid: t(1),
+                method: "m".into(),
+                args: vec![],
+            },
+            Event::Return {
+                tid: t(1),
+                method: "m".into(),
+                ret: Value::Unit,
+            },
+            Event::Commit { tid: t(1) },
+            Event::BlockBegin { tid: t(1) },
+            Event::BlockEnd { tid: t(1) },
+            Event::Write {
+                tid: t(1),
+                var: VarId::new("x", 0),
+                value: Value::Unit,
+            },
+        ];
+        assert!(events.iter().all(|e| e.tid() == t(1)));
+    }
+
+    #[test]
+    fn io_required_subset() {
+        assert!(Event::Commit { tid: t(2) }.required_for_io());
+        assert!(!Event::BlockBegin { tid: t(2) }.required_for_io());
+        assert!(!Event::Write {
+            tid: t(2),
+            var: VarId::new("x", 0),
+            value: Value::Unit
+        }
+        .required_for_io());
+    }
+
+    #[test]
+    fn display_round_trip_is_readable() {
+        let e = Event::Call {
+            tid: t(3),
+            method: "Insert".into(),
+            args: vec![5i64.into(), 6i64.into()],
+        };
+        assert_eq!(e.to_string(), "T3 call Insert(5, 6)");
+        let w = Event::Write {
+            tid: t(3),
+            var: VarId::new("A.elt", 0),
+            value: 5i64.into(),
+        };
+        assert_eq!(w.to_string(), "T3 write A.elt[0] := 5");
+    }
+}

@@ -1,0 +1,223 @@
+//! Instrumentation helpers for implementations under test (§6.1).
+//!
+//! VYRD instruments implementation code "using the helper classes in VYRD
+//! to save actions performed and related data to the log at runtime". The
+//! helpers here wrap the raw [`ThreadLogger`] API with the bookkeeping every
+//! instrumented method needs:
+//!
+//! * [`MethodSession`] pairs each call action with exactly one return
+//!   action and tracks whether a commit action has been logged, so that
+//!   instrumented code cannot forget the §4.1 "exactly one commit per
+//!   execution path" obligation silently — a missing commit is still
+//!   *detected* (by the checker), but the session also exposes
+//!   [`MethodSession::has_committed`] so implementations can assert it.
+//! * [`BlockGuard`] brackets a commit block (§5.2) and logs `BlockEnd` even
+//!   on early returns or panics.
+//!
+//! Atomicity requirement: the paper requires each logged action to be
+//! performed atomically with its log update. Call [`MethodSession::commit`]
+//! and [`ThreadLogger::write`] **while holding the lock** that publishes
+//! the corresponding effect.
+
+use crate::log::ThreadLogger;
+use crate::value::Value;
+
+/// RAII wrapper for one public-method execution.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::instrument::MethodSession;
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_core::Value;
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let logger = log.logger();
+/// let mut session = MethodSession::enter(&logger, "Insert", &[Value::from(3i64)]);
+/// // ... perform the insert; at the linearization point, while holding
+/// // the publishing lock:
+/// session.commit();
+/// session.exit(Value::success());
+/// assert_eq!(log.snapshot().len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct MethodSession<'a> {
+    logger: &'a ThreadLogger,
+    method: &'static str,
+    committed: bool,
+    exited: bool,
+}
+
+impl<'a> MethodSession<'a> {
+    /// Logs the call action and opens the session.
+    pub fn enter(
+        logger: &'a ThreadLogger,
+        method: &'static str,
+        args: &[Value],
+    ) -> MethodSession<'a> {
+        logger.call(method, args);
+        MethodSession {
+            logger,
+            method,
+            committed: false,
+            exited: false,
+        }
+    }
+
+    /// Logs the commit action of this execution (§4.1).
+    ///
+    /// Call at most once, at the action that makes the method's effect
+    /// visible to other threads, while holding the publishing lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice — a double commit is an instrumentation bug
+    /// in the caller, not a property of the program under test.
+    pub fn commit(&mut self) {
+        assert!(
+            !self.committed,
+            "MethodSession::commit called twice in one execution of {}",
+            self.method
+        );
+        self.logger.commit();
+        self.committed = true;
+    }
+
+    /// Has [`MethodSession::commit`] been called?
+    pub fn has_committed(&self) -> bool {
+        self.committed
+    }
+
+    /// The logger this session records through.
+    pub fn logger(&self) -> &ThreadLogger {
+        self.logger
+    }
+
+    /// Logs the return action and closes the session, handing back the
+    /// return value for convenience:
+    /// `return session.exit(Value::success())`-style call sites stay
+    /// one-liners.
+    pub fn exit(mut self, ret: Value) -> Value {
+        self.logger.ret(self.method, ret.clone());
+        self.exited = true;
+        ret
+    }
+}
+
+impl Drop for MethodSession<'_> {
+    fn drop(&mut self) {
+        // A session dropped without exit (e.g. a panic inside the method)
+        // still logs a return so the log stays well-formed; the special
+        // value makes the incident visible to the specification.
+        if !self.exited {
+            self.logger
+                .ret(self.method, Value::exception("panicked-or-leaked"));
+        }
+    }
+}
+
+/// RAII wrapper for a commit block (§5.2).
+///
+/// ```
+/// use vyrd_core::instrument::{BlockGuard, MethodSession};
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_core::{Value, VarId};
+///
+/// let log = EventLog::in_memory(LogMode::View);
+/// let logger = log.logger();
+/// let mut session = MethodSession::enter(&logger, "InsertPair", &[]);
+/// {
+///     let _block = BlockGuard::enter(&logger);
+///     logger.write(VarId::new("A.valid", 0), Value::from(true));
+///     logger.write(VarId::new("A.valid", 1), Value::from(true));
+///     session.commit(); // the commit point is the end of the block
+/// }
+/// session.exit(Value::success());
+/// ```
+#[derive(Debug)]
+pub struct BlockGuard<'a> {
+    logger: &'a ThreadLogger,
+}
+
+impl<'a> BlockGuard<'a> {
+    /// Logs `BlockBegin` and opens the guard.
+    pub fn enter(logger: &'a ThreadLogger) -> BlockGuard<'a> {
+        logger.block_begin();
+        BlockGuard { logger }
+    }
+}
+
+impl Drop for BlockGuard<'_> {
+    fn drop(&mut self) {
+        self.logger.block_end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::log::{EventLog, LogMode};
+
+    #[test]
+    fn session_logs_call_commit_return() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let logger = log.logger();
+        let mut s = MethodSession::enter(&logger, "m", &[Value::from(1i64)]);
+        assert!(!s.has_committed());
+        s.commit();
+        assert!(s.has_committed());
+        let ret = s.exit(Value::success());
+        assert!(ret.is_success());
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(&events[2], Event::Return { ret, .. } if ret.is_success()));
+    }
+
+    #[test]
+    #[should_panic(expected = "commit called twice")]
+    fn double_commit_panics() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let logger = log.logger();
+        let mut s = MethodSession::enter(&logger, "m", &[]);
+        s.commit();
+        s.commit();
+    }
+
+    #[test]
+    fn dropped_session_logs_an_exceptional_return() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let logger = log.logger();
+        {
+            let _s = MethodSession::enter(&logger, "m", &[]);
+            // dropped without exit
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[1], Event::Return { ret, .. } if ret.is_exception()));
+    }
+
+    #[test]
+    fn block_guard_brackets_writes() {
+        let log = EventLog::in_memory(LogMode::View);
+        let logger = log.logger();
+        {
+            let _b = BlockGuard::enter(&logger);
+            logger.write(crate::VarId::new("x", 0), Value::Unit);
+        }
+        let events = log.snapshot();
+        assert!(matches!(events[0], Event::BlockBegin { .. }));
+        assert!(matches!(events[1], Event::Write { .. }));
+        assert!(matches!(events[2], Event::BlockEnd { .. }));
+    }
+
+    #[test]
+    fn block_guard_is_a_no_op_in_io_mode() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let logger = log.logger();
+        {
+            let _b = BlockGuard::enter(&logger);
+        }
+        assert!(log.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,605 @@
+//! The event log: instrumented implementation threads write entries, the
+//! verification thread reads them (§4.2).
+//!
+//! Design goals taken from the paper:
+//!
+//! * **Minimal interference** — implementation threads only append; all
+//!   checking happens elsewhere (offline over the recorded log, or online on
+//!   a separate verification thread fed through a channel sink).
+//! * **Total order** — actions must appear in the log in the order they
+//!   occur. The append path holds a single short critical section; the
+//!   instrumentation sites call it while holding the lock that makes the
+//!   logged action visible, which makes the logged action atomic with its
+//!   log update (§4.2).
+//! * **Mode control** — "program alone" runs pay only a relaxed atomic load
+//!   per instrumentation site ([`LogMode::Off`]); I/O-refinement runs log
+//!   call/return/commit only ([`LogMode::Io`]); view-refinement runs
+//!   additionally log shared-variable writes and commit blocks
+//!   ([`LogMode::View`]). This is exactly the cost split measured in
+//!   Table 2.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::codec;
+use crate::event::{Event, MethodId, ThreadId, VarId};
+use crate::value::Value;
+
+/// How much of the execution is recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LogMode {
+    /// Record nothing ("Program alone" rows of Tables 2–3).
+    Off,
+    /// Record call, return, and commit actions (enough for I/O refinement).
+    Io,
+    /// Additionally record shared-variable writes and commit-block
+    /// boundaries (required for view refinement).
+    View,
+}
+
+impl LogMode {
+    fn as_u8(self) -> u8 {
+        match self {
+            LogMode::Off => 0,
+            LogMode::Io => 1,
+            LogMode::View => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> LogMode {
+        match v {
+            0 => LogMode::Off,
+            1 => LogMode::Io,
+            _ => LogMode::View,
+        }
+    }
+}
+
+/// Where appended events go.
+///
+/// Sinks must apply events in the order `append` is called; `EventLog`
+/// guarantees call order via its internal lock.
+trait Sink: Send {
+    fn append(&mut self, event: &Event);
+    fn flush(&mut self) {}
+}
+
+/// Keeps the whole log in memory for offline checking.
+///
+/// The buffer is shared with the owning [`EventLog`] so that
+/// [`EventLog::snapshot`] and [`EventLog::drain`] can read it back.
+struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl Sink for MemorySink {
+    fn append(&mut self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Streams events to a file in the [`codec`] wire format.
+///
+/// The paper keeps the log in a file "whose tail is kept in memory for
+/// faster access"; `BufWriter` plays the role of the in-memory tail.
+struct FileSink {
+    writer: BufWriter<File>,
+    error: Option<io::Error>,
+}
+
+impl Sink for FileSink {
+    fn append(&mut self, event: &Event) {
+        if self.error.is_none() {
+            if let Err(e) = codec::write_event(&mut self.writer, event) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Forwards events to the online verification thread.
+struct ChannelSink {
+    sender: Sender<Event>,
+}
+
+impl Sink for ChannelSink {
+    fn append(&mut self, event: &Event) {
+        // The receiver hanging up just means the verifier stopped early
+        // (e.g. it already found a violation); keep running the program.
+        let _ = self.sender.send(event.clone());
+    }
+}
+
+/// Discards events (useful to measure pure instrumentation cost).
+struct NullSink;
+
+impl Sink for NullSink {
+    fn append(&mut self, _event: &Event) {}
+}
+
+/// Counters describing the logging activity of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Total events appended.
+    pub events: u64,
+    /// Call events appended.
+    pub calls: u64,
+    /// Return events appended.
+    pub returns: u64,
+    /// Commit events appended.
+    pub commits: u64,
+    /// Shared-variable write events appended.
+    pub writes: u64,
+    /// Estimated bytes of logged payload.
+    pub bytes: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    events: AtomicU64,
+    calls: AtomicU64,
+    returns: AtomicU64,
+    commits: AtomicU64,
+    writes: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl AtomicStats {
+    fn record(&self, event: &Event) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(event.size_estimate() as u64, Ordering::Relaxed);
+        let counter = match event {
+            Event::Call { .. } => &self.calls,
+            Event::Return { .. } => &self.returns,
+            Event::Commit { .. } => &self.commits,
+            Event::Write { .. } => &self.writes,
+            Event::BlockBegin { .. } | Event::BlockEnd { .. } => return,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LogStats {
+        LogStats {
+            events: self.events.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Inner {
+    mode: AtomicU8,
+    sink: Mutex<Box<dyn Sink>>,
+    /// Present iff the sink is a [`MemorySink`]; shares its buffer.
+    memory: Option<Arc<Mutex<Vec<Event>>>>,
+    stats: AtomicStats,
+    next_tid: AtomicU64,
+}
+
+/// The shared event log.
+///
+/// Clone an `EventLog` freely; clones share the same underlying sink. Hand
+/// each thread its own [`ThreadLogger`] via [`EventLog::logger`].
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_core::Value;
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let t0 = log.logger();
+/// t0.call("Insert", &[Value::from(3i64)]);
+/// t0.commit();
+/// t0.ret("Insert", Value::success());
+/// assert_eq!(log.snapshot().len(), 3);
+/// ```
+#[derive(Clone)]
+pub struct EventLog {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("mode", &self.mode())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl EventLog {
+    fn build(
+        mode: LogMode,
+        sink: Box<dyn Sink>,
+        memory: Option<Arc<Mutex<Vec<Event>>>>,
+    ) -> EventLog {
+        EventLog {
+            inner: Arc::new(Inner {
+                mode: AtomicU8::new(mode.as_u8()),
+                sink: Mutex::new(sink),
+                memory,
+                stats: AtomicStats::default(),
+                next_tid: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn with_sink(mode: LogMode, sink: Box<dyn Sink>) -> EventLog {
+        EventLog::build(mode, sink, None)
+    }
+
+    /// Creates a log that keeps all events in memory.
+    pub fn in_memory(mode: LogMode) -> EventLog {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        EventLog::build(
+            mode,
+            Box::new(MemorySink {
+                events: Arc::clone(&events),
+            }),
+            Some(events),
+        )
+    }
+
+    /// Creates a log that discards all events (but still pays the
+    /// serialization-free append path — used to isolate instrumentation
+    /// cost in benchmarks).
+    pub fn discarding(mode: LogMode) -> EventLog {
+        EventLog::with_sink(mode, Box::new(NullSink))
+    }
+
+    /// Creates a log that streams events to `path` in the binary wire
+    /// format. Read it back with [`codec::read_log`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created.
+    pub fn to_file<P: AsRef<Path>>(mode: LogMode, path: P) -> io::Result<EventLog> {
+        let file = File::create(path)?;
+        Ok(EventLog::with_sink(
+            mode,
+            Box::new(FileSink {
+                writer: BufWriter::new(file),
+                error: None,
+            }),
+        ))
+    }
+
+    /// Creates a log that forwards events to a channel for the online
+    /// verification thread, returning the receiving end.
+    pub fn to_channel(mode: LogMode) -> (EventLog, Receiver<Event>) {
+        let (sender, receiver) = channel::unbounded();
+        (
+            EventLog::with_sink(mode, Box::new(ChannelSink { sender })),
+            receiver,
+        )
+    }
+
+    /// The current logging mode.
+    pub fn mode(&self) -> LogMode {
+        LogMode::from_u8(self.inner.mode.load(Ordering::Relaxed))
+    }
+
+    /// Returns a logger handle for the calling thread, with a fresh thread
+    /// id.
+    pub fn logger(&self) -> ThreadLogger {
+        let tid = self.inner.next_tid.fetch_add(1, Ordering::Relaxed) as u32;
+        self.logger_for(ThreadId(tid))
+    }
+
+    /// Returns a logger handle with an explicit thread id (useful when the
+    /// harness wants stable ids across runs).
+    pub fn logger_for(&self, tid: ThreadId) -> ThreadLogger {
+        ThreadLogger {
+            log: self.clone(),
+            tid,
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> LogStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Copies out the events recorded so far.
+    ///
+    /// Only meaningful for in-memory logs; returns an empty vector for
+    /// file, channel, and discarding sinks.
+    pub fn snapshot(&self) -> Vec<Event> {
+        match &self.inner.memory {
+            Some(events) => events.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains the events recorded so far, leaving the log empty.
+    ///
+    /// Like [`EventLog::snapshot`], only meaningful for in-memory logs.
+    pub fn drain(&self) -> Vec<Event> {
+        match &self.inner.memory {
+            Some(events) => std::mem::take(&mut *events.lock()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Flushes buffered output (file sinks).
+    pub fn flush(&self) {
+        self.inner.sink.lock().flush();
+    }
+
+    /// Closes the log: subsequent appends are discarded, and for channel
+    /// sinks the sending side is dropped so the verification thread's
+    /// [`Checker::check_receiver`](crate::checker::Checker::check_receiver)
+    /// run terminates — even if [`ThreadLogger`] handles are still alive.
+    pub fn close(&self) {
+        let mut sink = self.inner.sink.lock();
+        sink.flush();
+        *sink = Box::new(NullSink);
+    }
+
+    fn append(&self, event: Event) {
+        self.inner.stats.record(&event);
+        self.inner.sink.lock().append(&event);
+    }
+}
+
+/// Per-thread logging handle.
+///
+/// All methods are cheap no-ops when the log mode does not require the
+/// event kind (e.g. [`ThreadLogger::write`] in [`LogMode::Io`]).
+#[derive(Clone, Debug)]
+pub struct ThreadLogger {
+    log: EventLog,
+    tid: ThreadId,
+}
+
+impl ThreadLogger {
+    /// The thread id this handle stamps onto events.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The log this handle appends to.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// `true` when shared-variable writes are being recorded; substrates
+    /// can use this to skip building expensive coarse-grained records.
+    pub fn records_writes(&self) -> bool {
+        self.log.mode() == LogMode::View
+    }
+
+    /// Logs a call action.
+    pub fn call(&self, method: &str, args: &[Value]) {
+        if self.log.mode() == LogMode::Off {
+            return;
+        }
+        self.log.append(Event::Call {
+            tid: self.tid,
+            method: MethodId::from(method),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Logs a return action.
+    pub fn ret(&self, method: &str, ret: Value) {
+        if self.log.mode() == LogMode::Off {
+            return;
+        }
+        self.log.append(Event::Return {
+            tid: self.tid,
+            method: MethodId::from(method),
+            ret,
+        });
+    }
+
+    /// Logs the commit action of the current method execution (§4.1).
+    ///
+    /// Call this while holding the lock that makes the committed effect
+    /// visible, so the log order of commits matches their order in the
+    /// execution.
+    pub fn commit(&self) {
+        if self.log.mode() == LogMode::Off {
+            return;
+        }
+        self.log.append(Event::Commit { tid: self.tid });
+    }
+
+    /// Logs a shared-variable write (view refinement only, §5.2).
+    pub fn write(&self, var: VarId, value: Value) {
+        if self.log.mode() != LogMode::View {
+            return;
+        }
+        self.log.append(Event::Write {
+            tid: self.tid,
+            var,
+            value,
+        });
+    }
+
+    /// Logs the start of a commit block (view refinement only, §5.2).
+    pub fn block_begin(&self) {
+        if self.log.mode() != LogMode::View {
+            return;
+        }
+        self.log.append(Event::BlockBegin { tid: self.tid });
+    }
+
+    /// Logs the end of a commit block (view refinement only, §5.2).
+    pub fn block_end(&self) {
+        if self.log.mode() != LogMode::View {
+            return;
+        }
+        self.log.append(Event::BlockEnd { tid: self.tid });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_log_records_in_order() {
+        let log = EventLog::in_memory(LogMode::View);
+        let a = log.logger();
+        a.call("m", &[Value::from(1i64)]);
+        a.write(VarId::new("x", 0), Value::from(2i64));
+        a.commit();
+        a.ret("m", Value::Unit);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 4);
+        assert!(matches!(events[0], Event::Call { .. }));
+        assert!(matches!(events[1], Event::Write { .. }));
+        assert!(matches!(events[2], Event::Commit { .. }));
+        assert!(matches!(events[3], Event::Return { .. }));
+    }
+
+    #[test]
+    fn io_mode_skips_writes_and_blocks() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let a = log.logger();
+        assert!(!a.records_writes());
+        a.call("m", &[]);
+        a.block_begin();
+        a.write(VarId::new("x", 0), Value::Unit);
+        a.block_end();
+        a.commit();
+        a.ret("m", Value::Unit);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(Event::required_for_io));
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let log = EventLog::in_memory(LogMode::Off);
+        let a = log.logger();
+        a.call("m", &[]);
+        a.commit();
+        a.ret("m", Value::Unit);
+        assert!(log.snapshot().is_empty());
+        assert_eq!(log.stats(), LogStats::default());
+    }
+
+    #[test]
+    fn loggers_get_distinct_tids() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let a = log.logger();
+        let b = log.logger();
+        assert_ne!(a.tid(), b.tid());
+        let c = log.logger_for(ThreadId(42));
+        assert_eq!(c.tid(), ThreadId(42));
+    }
+
+    #[test]
+    fn stats_count_by_kind() {
+        let log = EventLog::in_memory(LogMode::View);
+        let a = log.logger();
+        a.call("m", &[]);
+        a.write(VarId::new("x", 0), Value::Bytes(vec![0; 100]));
+        a.write(VarId::new("x", 1), Value::Unit);
+        a.commit();
+        a.ret("m", Value::Unit);
+        let stats = log.stats();
+        assert_eq!(stats.calls, 1);
+        assert_eq!(stats.writes, 2);
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.returns, 1);
+        assert_eq!(stats.events, 5);
+        assert!(stats.bytes >= 100);
+    }
+
+    #[test]
+    fn drain_empties_the_log() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let a = log.logger();
+        a.call("m", &[]);
+        assert_eq!(log.drain().len(), 1);
+        assert!(log.snapshot().is_empty());
+    }
+
+    #[test]
+    fn channel_sink_delivers_events() {
+        let (log, rx) = EventLog::to_channel(LogMode::Io);
+        let a = log.logger();
+        a.call("m", &[]);
+        a.commit();
+        drop(log);
+        drop(a);
+        let received: Vec<Event> = rx.iter().collect();
+        assert_eq!(received.len(), 2);
+    }
+
+    #[test]
+    fn file_sink_round_trips_through_codec() {
+        let dir = std::env::temp_dir().join(format!("vyrd-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let log = EventLog::to_file(LogMode::View, &path).unwrap();
+        let a = log.logger();
+        a.call("Insert", &[Value::from(3i64)]);
+        a.write(VarId::new("A.elt", 0), Value::from(3i64));
+        a.commit();
+        a.ret("Insert", Value::success());
+        log.flush();
+        let bytes = std::fs::read(&path).unwrap();
+        let events = crate::codec::read_log(&mut bytes.as_slice()).unwrap();
+        assert_eq!(events.len(), 4);
+        assert!(matches!(events[0], Event::Call { .. }));
+        assert!(matches!(events[3], Event::Return { .. }));
+        // File-backed logs do not retain an in-memory copy.
+        assert!(log.snapshot().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_appends_are_totally_ordered() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let logger = log.logger();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    logger.call("m", &[Value::from(i as i64)]);
+                    logger.commit();
+                    logger.ret("m", Value::Unit);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 4 * 300);
+        // Per-thread well-formedness: each thread's subsequence alternates
+        // call/commit/return.
+        for tid in 0..4u32 {
+            let sub: Vec<&Event> = events.iter().filter(|e| e.tid() == ThreadId(tid)).collect();
+            assert_eq!(sub.len(), 300);
+            for chunk in sub.chunks(3) {
+                assert!(matches!(chunk[0], Event::Call { .. }));
+                assert!(matches!(chunk[1], Event::Commit { .. }));
+                assert!(matches!(chunk[2], Event::Return { .. }));
+            }
+        }
+    }
+}

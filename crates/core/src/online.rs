@@ -1,0 +1,173 @@
+//! Online checking: a separate verification thread consumes the log while
+//! the program runs (§4.2).
+//!
+//! "To interfere minimally with the implementation, we run refinement
+//! checking on a separate thread which is informed about the
+//! implementation's actions through a log." This module wires an
+//! [`EventLog`] channel sink to a [`Checker`] running on its own thread.
+//!
+//! ```
+//! use vyrd_core::checker::Checker;
+//! use vyrd_core::log::LogMode;
+//! use vyrd_core::online::OnlineVerifier;
+//! use vyrd_core::spec::{MethodKind, Spec, SpecEffect, SpecError};
+//! use vyrd_core::view::View;
+//! use vyrd_core::{MethodId, Value};
+//!
+//! #[derive(Clone, Default)]
+//! struct Nop;
+//! impl Spec for Nop {
+//!     fn kind(&self, _m: &MethodId) -> MethodKind { MethodKind::Mutator }
+//!     fn apply(&mut self, _m: &MethodId, _a: &[Value], _r: &Value)
+//!         -> Result<SpecEffect, SpecError> { Ok(SpecEffect::unchanged()) }
+//!     fn accepts_observation(&self, _m: &MethodId, _a: &[Value], _r: &Value) -> bool { true }
+//!     fn view(&self) -> View { View::new() }
+//! }
+//!
+//! let verifier = OnlineVerifier::spawn(LogMode::Io, Checker::io(Nop));
+//! let logger = verifier.log().logger();
+//! logger.call("m", &[]);
+//! logger.commit();
+//! logger.ret("m", Value::Unit);
+//! let report = verifier.finish();
+//! assert!(report.passed());
+//! ```
+
+use std::thread::{self, JoinHandle};
+
+use crate::checker::Checker;
+use crate::log::{EventLog, LogMode};
+use crate::replay::Replayer;
+use crate::spec::Spec;
+use crate::violation::Report;
+
+/// A running online verification thread.
+///
+/// Create with [`OnlineVerifier::spawn`], hand [`OnlineVerifier::log`] to
+/// the instrumented program, then call [`OnlineVerifier::finish`] once the
+/// program is done to close the log and collect the verdict.
+#[derive(Debug)]
+pub struct OnlineVerifier {
+    log: EventLog,
+    handle: JoinHandle<Report>,
+}
+
+impl OnlineVerifier {
+    /// Spawns the verification thread. Events appended to the returned
+    /// verifier's log are checked concurrently with the program.
+    pub fn spawn<S, R>(mode: LogMode, checker: Checker<S, R>) -> OnlineVerifier
+    where
+        S: Spec,
+        R: Replayer,
+    {
+        let (log, receiver) = EventLog::to_channel(mode);
+        let handle = thread::Builder::new()
+            .name("vyrd-verifier".to_owned())
+            .spawn(move || checker.check_receiver(&receiver))
+            .expect("spawn vyrd verification thread");
+        OnlineVerifier { log, handle }
+    }
+
+    /// The log the instrumented program should append to.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Closes the log and waits for the verifier's verdict.
+    ///
+    /// Join the instrumented worker threads first so that everything they
+    /// logged is checked; events appended by stragglers after `finish` are
+    /// silently discarded.
+    pub fn finish(self) -> Report {
+        self.log.close();
+        drop(self.log);
+        match self.handle.join() {
+            Ok(report) => report,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MethodId;
+    use crate::spec::{MethodKind, SpecEffect, SpecError};
+    use crate::value::Value;
+    use crate::view::View;
+    use std::collections::BTreeSet;
+
+    #[derive(Clone, Default)]
+    struct SetSpec(BTreeSet<i64>);
+
+    impl Spec for SetSpec {
+        fn kind(&self, m: &MethodId) -> MethodKind {
+            if m.name() == "Contains" {
+                MethodKind::Observer
+            } else {
+                MethodKind::Mutator
+            }
+        }
+
+        fn apply(
+            &mut self,
+            _m: &MethodId,
+            args: &[Value],
+            _r: &Value,
+        ) -> Result<SpecEffect, SpecError> {
+            let x = args[0].as_int().unwrap();
+            self.0.insert(x);
+            Ok(SpecEffect::touching([x]))
+        }
+
+        fn accepts_observation(&self, _m: &MethodId, args: &[Value], ret: &Value) -> bool {
+            ret.as_bool() == Some(self.0.contains(&args[0].as_int().unwrap()))
+        }
+
+        fn view(&self) -> View {
+            self.0
+                .iter()
+                .map(|&x| (Value::from(x), Value::Bool(true)))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn online_pass_with_concurrent_producers() {
+        let verifier = OnlineVerifier::spawn(LogMode::Io, Checker::io(SetSpec::default()));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let logger = verifier.log().logger();
+            handles.push(thread::spawn(move || {
+                for i in 0..50 {
+                    let x = Value::from(i64::from(t) * 100 + i);
+                    logger.call("Add", std::slice::from_ref(&x));
+                    logger.commit();
+                    logger.ret("Add", Value::Unit);
+                    logger.call("Contains", std::slice::from_ref(&x));
+                    logger.ret("Contains", Value::from(true));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = verifier.finish();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.stats.commits_applied, 200);
+        assert_eq!(report.stats.observers_checked, 200);
+    }
+
+    #[test]
+    fn online_detects_violations() {
+        let verifier = OnlineVerifier::spawn(LogMode::Io, Checker::io(SetSpec::default()));
+        let logger = verifier.log().logger();
+        logger.call("Contains", &[Value::from(5i64)]);
+        logger.ret("Contains", Value::from(true)); // never added
+        let report = verifier.finish();
+        assert_eq!(
+            report.violation.unwrap().category(),
+            "observer-unjustified"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Replaying logged writes to reconstruct implementation state (§5.1, §6.2).
+//!
+//! The implementation is never modified to compute `view_I`. Instead, the
+//! verification thread maintains a **shadow state**: a [`Replayer`] consumes
+//! the logged shared-variable writes and can produce the implementation's
+//! view at any log position.
+//!
+//! Two pieces live here:
+//!
+//! * the [`Replayer`] trait, implemented once per data structure (the
+//!   programmer-provided "replay methods" of §6.2 and view construction of
+//!   §6.3);
+//! * [`BlockBuffer`], which realizes the `t → t'` transformation of §5.2:
+//!   writes a thread performs inside a commit block are buffered and
+//!   released as one contiguous group at the thread's commit action, so the
+//!   view is never computed from a state in which another thread is midway
+//!   through its commit block.
+
+use std::collections::HashMap;
+
+use crate::event::{ThreadId, VarId};
+use crate::value::Value;
+use crate::view::View;
+
+/// Rebuilds implementation shadow state from logged writes and extracts
+/// `view_I` from it.
+///
+/// Implementations are data-structure specific: the multiset replayer keeps
+/// a slot array, the B-link tree replayer keeps decoded nodes and computes
+/// its view by a left-to-right leaf traversal, the Boxwood replayer keeps a
+/// shadow cache + chunk store.
+pub trait Replayer: Send + 'static {
+    /// Applies one logged write to the shadow state.
+    fn apply_write(&mut self, var: &VarId, value: &Value);
+
+    /// Materializes the full implementation view — `view_I`.
+    fn view(&self) -> View;
+
+    /// The view entry for a single key; must agree with [`Replayer::view`].
+    fn view_of(&self, key: &Value) -> Option<Value> {
+        self.view().get(key).cloned()
+    }
+
+    /// Returns (and clears) the set of view keys whose entries may have
+    /// changed since the last call — the dependency analysis of §6.4.
+    ///
+    /// Returning `None` means "cannot tell; compare the full views". The
+    /// default conservatively always does so, which is correct for any
+    /// replayer; override for incremental comparison.
+    fn take_dirty(&mut self) -> Option<Vec<Value>> {
+        None
+    }
+}
+
+/// Per-thread buffering of commit-block writes (§5.2).
+///
+/// Conceptually the checker transforms the logged execution `t` into the
+/// equivalent execution `t'` in which each commit block executes without
+/// interleaving. `BlockBuffer` constructs the relevant portions of `t'`
+/// on the fly: writes logged between a thread's `BlockBegin` and its commit
+/// action are held back and flushed as a unit.
+///
+/// Expected discipline (checked, violations are reported by the caller):
+/// the commit action is the *last* action of its commit block, as in
+/// Fig. 4 where the commit point of `InsertPair` is the end of the
+/// `synchronized` block.
+#[derive(Debug, Default)]
+pub struct BlockBuffer {
+    buffered: HashMap<ThreadId, Vec<(VarId, Value)>>,
+    open: HashMap<ThreadId, bool>,
+}
+
+impl BlockBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> BlockBuffer {
+        BlockBuffer::default()
+    }
+
+    /// Records that `tid` entered a commit block.
+    pub fn begin(&mut self, tid: ThreadId) {
+        self.open.insert(tid, true);
+        self.buffered.entry(tid).or_default();
+    }
+
+    /// Records that `tid` left its commit block, returning any writes that
+    /// were still buffered (i.e. the block ended without a commit action —
+    /// legal for internal maintenance code whose effect must be
+    /// view-invisible).
+    pub fn end(&mut self, tid: ThreadId) -> Vec<(VarId, Value)> {
+        self.open.insert(tid, false);
+        self.buffered.remove(&tid).unwrap_or_default()
+    }
+
+    /// Is `tid` currently inside a commit block?
+    pub fn is_open(&self, tid: ThreadId) -> bool {
+        self.open.get(&tid).copied().unwrap_or(false)
+    }
+
+    /// Routes a write: buffered if `tid` is inside a commit block, passed
+    /// through otherwise.
+    pub fn write(&mut self, tid: ThreadId, var: VarId, value: Value) -> Option<(VarId, Value)> {
+        if self.is_open(tid) {
+            self.buffered.entry(tid).or_default().push((var, value));
+            None
+        } else {
+            Some((var, value))
+        }
+    }
+
+    /// Releases the writes buffered for `tid`'s commit block, to be applied
+    /// contiguously at its commit action. The block stays open; any writes
+    /// it performs after the commit keep buffering until [`BlockBuffer::end`].
+    pub fn flush(&mut self, tid: ThreadId) -> Vec<(VarId, Value)> {
+        self.buffered
+            .get_mut(&tid)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(i: i64) -> VarId {
+        VarId::new("x", i)
+    }
+
+    #[test]
+    fn writes_outside_blocks_pass_through() {
+        let mut b = BlockBuffer::new();
+        let w = b.write(ThreadId(1), var(0), Value::from(1i64));
+        assert_eq!(w, Some((var(0), Value::from(1i64))));
+    }
+
+    #[test]
+    fn writes_inside_blocks_are_buffered_until_flush() {
+        let mut b = BlockBuffer::new();
+        b.begin(ThreadId(1));
+        assert!(b.is_open(ThreadId(1)));
+        assert_eq!(b.write(ThreadId(1), var(0), Value::from(1i64)), None);
+        assert_eq!(b.write(ThreadId(1), var(1), Value::from(2i64)), None);
+        let flushed = b.flush(ThreadId(1));
+        assert_eq!(
+            flushed,
+            vec![
+                (var(0), Value::from(1i64)),
+                (var(1), Value::from(2i64))
+            ]
+        );
+        // Flush empties the buffer but keeps the block open.
+        assert!(b.is_open(ThreadId(1)));
+        assert!(b.flush(ThreadId(1)).is_empty());
+    }
+
+    #[test]
+    fn blocks_are_per_thread() {
+        let mut b = BlockBuffer::new();
+        b.begin(ThreadId(1));
+        assert_eq!(b.write(ThreadId(1), var(0), Value::Unit), None);
+        // Thread 2 is not in a block: its write passes through.
+        assert!(b.write(ThreadId(2), var(1), Value::Unit).is_some());
+        assert!(!b.is_open(ThreadId(2)));
+    }
+
+    #[test]
+    fn end_returns_leftover_writes() {
+        let mut b = BlockBuffer::new();
+        b.begin(ThreadId(3));
+        b.write(ThreadId(3), var(0), Value::from(9i64));
+        let leftover = b.end(ThreadId(3));
+        assert_eq!(leftover, vec![(var(0), Value::from(9i64))]);
+        assert!(!b.is_open(ThreadId(3)));
+    }
+
+    #[test]
+    fn post_commit_writes_buffer_until_end() {
+        let mut b = BlockBuffer::new();
+        b.begin(ThreadId(1));
+        b.write(ThreadId(1), var(0), Value::from(1i64));
+        assert_eq!(b.flush(ThreadId(1)).len(), 1);
+        // Still inside the block after the commit flush.
+        assert_eq!(b.write(ThreadId(1), var(1), Value::from(2i64)), None);
+        assert_eq!(b.end(ThreadId(1)), vec![(var(1), Value::from(2i64))]);
+    }
+}

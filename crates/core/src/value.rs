@@ -1,0 +1,342 @@
+//! Dynamically typed values exchanged between implementations, logs, and
+//! specifications.
+//!
+//! VYRD is a *generic* refinement checker: it does not know the argument or
+//! return types of the methods it checks, nor the shape of the shared
+//! variables it replays. [`Value`] is the common currency — method arguments,
+//! return values, logged shared-variable contents, and the entries of
+//! [`View`](crate::view::View)s are all `Value`s.
+//!
+//! `Value` implements a total order ([`Ord`]) so that views (canonical,
+//! *sorted* representations of abstract data-structure contents, §5 of the
+//! paper) can be keyed by arbitrary values.
+
+use std::fmt;
+
+/// A dynamically typed value.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::Value;
+///
+/// let args = vec![Value::from(3i64), Value::from(true)];
+/// assert_eq!(args[0].as_int(), Some(3));
+/// assert_eq!(args[1].as_bool(), Some(true));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Value {
+    /// The absence of a value (`null` in the paper's pseudocode, or the
+    /// return "value" of a `void` method).
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer. Keys, indices, and handles are all modeled as `Int`.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// A raw byte buffer (Boxwood chunk contents, cache entry buffers).
+    Bytes(Vec<u8>),
+    /// An ordered pair.
+    Pair(Box<(Value, Value)>),
+    /// A heterogeneous list (used for coarse-grained log records such as
+    /// whole-B-link-tree-node snapshots, §6.2).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Builds a pair value.
+    ///
+    /// ```
+    /// use vyrd_core::Value;
+    /// let p = Value::pair(Value::from(1i64), Value::from(2i64));
+    /// assert_eq!(p.as_pair().unwrap().0.as_int(), Some(1));
+    /// ```
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Pair(Box::new((a, b)))
+    }
+
+    /// Conventional "method terminated successfully" return value (§2).
+    pub fn success() -> Value {
+        Value::Str("success".to_owned())
+    }
+
+    /// Conventional "method terminated exceptionally" return value (§2).
+    ///
+    /// Exceptional terminations are modeled by special return values (§3).
+    pub fn failure() -> Value {
+        Value::Str("failure".to_owned())
+    }
+
+    /// Conventional return value for an execution that ended in a runtime
+    /// exception the specification does not sanction (e.g. the
+    /// `IndexOutOfBounds` raised by the buggy `java.util.Vector`).
+    pub fn exception(kind: &str) -> Value {
+        Value::Str(format!("exception:{kind}"))
+    }
+
+    /// Returns `true` if this is the conventional success value.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Value::Str(s) if s == "success")
+    }
+
+    /// Returns `true` if this is the conventional failure value.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Value::Str(s) if s == "failure")
+    }
+
+    /// Returns `true` if this is an [`exception`](Value::exception) value.
+    pub fn is_exception(&self) -> bool {
+        matches!(self, Value::Str(s) if s.starts_with("exception:"))
+    }
+
+    /// Extracts a boolean, if this value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts an integer, if this value is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts the byte buffer, if this value is one.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extracts the components of a pair, if this value is one.
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self {
+            Value::Pair(p) => Some((&p.0, &p.1)),
+            _ => None,
+        }
+    }
+
+    /// Extracts the elements of a list, if this value is one.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Value::Unit`].
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+
+    /// Rough in-memory size of the value in bytes, used by the logging-cost
+    /// accounting in [`LogStats`](crate::log::LogStats).
+    pub fn size_estimate(&self) -> usize {
+        match self {
+            Value::Unit | Value::Bool(_) | Value::Int(_) => 8,
+            Value::Str(s) => 8 + s.len(),
+            Value::Bytes(b) => 8 + b.len(),
+            Value::Pair(p) => 8 + p.0.size_estimate() + p.1.size_estimate(),
+            Value::List(items) => 8 + items.iter().map(Value::size_estimate).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => {
+                if b.len() <= 16 {
+                    write!(f, "bytes{b:?}")
+                } else {
+                    write!(f, "bytes[len={}; {:?}..]", b.len(), &b[..16])
+                }
+            }
+            Value::Pair(p) => write!(f, "({}, {})", p.0, p.1),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(i: u64) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Value {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Value {
+        Value::Bytes(b)
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(b: &[u8]) -> Value {
+        Value::Bytes(b.to_vec())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    /// `None` maps to [`Value::Unit`]; `Some(v)` maps to `v`.
+    ///
+    /// This mirrors the paper's pseudocode where absent array slots hold
+    /// `null`.
+    fn from(opt: Option<T>) -> Value {
+        match opt {
+            None => Value::Unit,
+            Some(v) => v.into(),
+        }
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Value {
+        Value::List(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        assert_eq!(Value::from(7i64).as_int(), Some(7));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(vec![1u8, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        let p = Value::pair(Value::from(1i64), Value::from("x"));
+        let (a, b) = p.as_pair().unwrap();
+        assert_eq!(a.as_int(), Some(1));
+        assert_eq!(b.as_str(), Some("x"));
+    }
+
+    #[test]
+    fn accessors_reject_wrong_variant() {
+        assert_eq!(Value::from(7i64).as_bool(), None);
+        assert_eq!(Value::Unit.as_int(), None);
+        assert_eq!(Value::from(true).as_str(), None);
+        assert_eq!(Value::from("x").as_pair(), None);
+        assert_eq!(Value::from(1i64).as_list(), None);
+    }
+
+    #[test]
+    fn outcome_conventions() {
+        assert!(Value::success().is_success());
+        assert!(!Value::success().is_failure());
+        assert!(Value::failure().is_failure());
+        assert!(Value::exception("oob").is_exception());
+        assert!(!Value::from("successes").is_success());
+    }
+
+    #[test]
+    fn option_conversion_models_null() {
+        let none: Option<i64> = None;
+        assert!(Value::from(none).is_unit());
+        assert_eq!(Value::from(Some(4i64)).as_int(), Some(4));
+    }
+
+    #[test]
+    fn values_have_total_order() {
+        let mut vals = [
+            Value::from(3i64),
+            Value::Unit,
+            Value::from("a"),
+            Value::from(false),
+            Value::from(1i64),
+        ];
+        vals.sort();
+        // Order is by discriminant first, then payload; Unit sorts first.
+        assert_eq!(vals[0], Value::Unit);
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Value::pair(1i64.into(), 2i64.into()).to_string(), "(1, 2)");
+        assert_eq!(
+            Value::List(vec![Value::Unit, true.into()]).to_string(),
+            "[(), true]"
+        );
+        let long = Value::Bytes(vec![0u8; 64]);
+        assert!(long.to_string().contains("len=64"));
+    }
+
+    #[test]
+    fn size_estimate_tracks_payload() {
+        assert!(Value::Bytes(vec![0; 100]).size_estimate() >= 100);
+        assert!(Value::from(1i64).size_estimate() < 100);
+        let nested = Value::List(vec![Value::Bytes(vec![0; 50]), Value::from("abcdef")]);
+        assert!(nested.size_estimate() >= 56);
+    }
+
+    #[test]
+    fn collect_into_list() {
+        let v: Value = (0..3).map(Value::from).collect();
+        assert_eq!(v.as_list().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Canonical views of abstract data-structure state (§5).
+//!
+//! A *view* is "a canonical representation of the abstract data structure
+//! state" — e.g. for a B-link tree, the sorted list of its (key, data)
+//! pairs with the indexing structure abstracted away. View refinement
+//! compares the implementation's view (`view_I`, reconstructed by replaying
+//! logged writes) with the specification's view (`view_S`) at every mutator
+//! commit.
+//!
+//! Views here are **keyed maps**: a total function from view keys to view
+//! entries. Keying the view is what enables the incremental computation and
+//! comparison of §6.4 — between two commits only a few keys' support
+//! variables change, so only those entries are recomputed and compared.
+
+use std::collections::btree_map::{self, BTreeMap};
+use std::fmt;
+
+use crate::value::Value;
+
+/// A canonical, keyed snapshot of abstract data-structure contents.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::view::View;
+/// use vyrd_core::Value;
+///
+/// let mut v = View::new();
+/// v.insert(Value::from(3i64), Value::from(1i64)); // element 3, multiplicity 1
+/// assert_eq!(v.get(&Value::from(3i64)), Some(&Value::from(1i64)));
+/// assert_eq!(v.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct View {
+    entries: BTreeMap<Value, Value>,
+}
+
+impl View {
+    /// Creates an empty view.
+    pub fn new() -> View {
+        View::default()
+    }
+
+    /// Sets the entry for `key`.
+    pub fn insert(&mut self, key: Value, entry: Value) -> Option<Value> {
+        self.entries.insert(key, entry)
+    }
+
+    /// Removes the entry for `key`.
+    pub fn remove(&mut self, key: &Value) -> Option<Value> {
+        self.entries.remove(key)
+    }
+
+    /// The entry for `key`, if present.
+    pub fn get(&self, key: &Value) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the view has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in key order.
+    pub fn iter(&self) -> btree_map::Iter<'_, Value, Value> {
+        self.entries.iter()
+    }
+
+    /// The keys present in either `self` or `other` whose entries differ.
+    ///
+    /// An empty result means the views are equal. Used by tests, full
+    /// (non-incremental) comparisons, and diagnostics.
+    pub fn diff_keys(&self, other: &View) -> Vec<Value> {
+        let mut keys = Vec::new();
+        for (k, v) in &self.entries {
+            if other.entries.get(k) != Some(v) {
+                keys.push(k.clone());
+            }
+        }
+        for k in other.entries.keys() {
+            if !self.entries.contains_key(k) {
+                keys.push(k.clone());
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} -> {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Value, Value)> for View {
+    fn from_iter<I: IntoIterator<Item = (Value, Value)>>(iter: I) -> View {
+        View {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Value, Value)> for View {
+    fn extend<I: IntoIterator<Item = (Value, Value)>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a View {
+    type Item = (&'a Value, &'a Value);
+    type IntoIter = btree_map::Iter<'a, Value, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl IntoIterator for View {
+    type Item = (Value, Value);
+    type IntoIter = btree_map::IntoIter<Value, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(k: i64, v: i64) -> (Value, Value) {
+        (Value::from(k), Value::from(v))
+    }
+
+    #[test]
+    fn basic_map_operations() {
+        let mut v = View::new();
+        assert!(v.is_empty());
+        assert_eq!(v.insert(Value::from(1i64), Value::from(10i64)), None);
+        assert_eq!(
+            v.insert(Value::from(1i64), Value::from(11i64)),
+            Some(Value::from(10i64))
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.remove(&Value::from(1i64)), Some(Value::from(11i64)));
+        assert!(v.get(&Value::from(1i64)).is_none());
+    }
+
+    #[test]
+    fn diff_keys_is_symmetric_difference_of_disagreements() {
+        let a: View = [kv(1, 10), kv(2, 20), kv(3, 30)].into_iter().collect();
+        let b: View = [kv(1, 10), kv(2, 21), kv(4, 40)].into_iter().collect();
+        let d = a.diff_keys(&b);
+        assert_eq!(
+            d,
+            vec![Value::from(2i64), Value::from(3i64), Value::from(4i64)]
+        );
+        assert_eq!(a.diff_keys(&a), Vec::<Value>::new());
+        // diff_keys is symmetric.
+        assert_eq!(a.diff_keys(&b), b.diff_keys(&a));
+    }
+
+    #[test]
+    fn equal_views_have_empty_diff() {
+        let a: View = [kv(5, 1)].into_iter().collect();
+        let b: View = [kv(5, 1)].into_iter().collect();
+        assert_eq!(a, b);
+        assert!(a.diff_keys(&b).is_empty());
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let v: View = [kv(3, 0), kv(1, 0), kv(2, 0)].into_iter().collect();
+        let keys: Vec<i64> = v.iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        let owned: Vec<i64> = v.into_iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        assert_eq!(owned, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn display_shows_entries() {
+        let v: View = [kv(1, 10)].into_iter().collect();
+        assert_eq!(v.to_string(), "{1 -> 10}");
+        assert_eq!(View::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn extend_merges_entries() {
+        let mut v: View = [kv(1, 10)].into_iter().collect();
+        v.extend([kv(1, 11), kv(2, 20)]);
+        assert_eq!(v.get(&Value::from(1i64)), Some(&Value::from(11i64)));
+        assert_eq!(v.len(), 2);
+    }
+}

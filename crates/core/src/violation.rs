@@ -1,0 +1,355 @@
+//! Refinement violations and check reports.
+
+use std::fmt;
+
+use crate::event::{MethodId, ThreadId};
+use crate::value::Value;
+
+/// A detected refinement violation, with enough context to debug it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The specification has no transition for a committing mutator with
+    /// the observed signature (I/O refinement, §4).
+    SpecRejectedCommit {
+        /// Committing thread.
+        tid: ThreadId,
+        /// Committing method.
+        method: MethodId,
+        /// Actual arguments.
+        args: Vec<Value>,
+        /// Observed return value.
+        ret: Value,
+        /// Why the specification rejected the transition.
+        reason: String,
+        /// Index of this commit in the witness interleaving (0-based).
+        commit_index: u64,
+        /// Position in the log at which the violation was established.
+        log_position: u64,
+    },
+    /// An observer's return value is not valid in *any* specification state
+    /// between its call and return (§4.3, Fig. 7).
+    ObserverUnjustified {
+        /// Observing thread.
+        tid: ThreadId,
+        /// Observer method.
+        method: MethodId,
+        /// Actual arguments.
+        args: Vec<Value>,
+        /// Observed return value.
+        ret: Value,
+        /// First commit index of the window checked (state *after* that
+        /// many commits).
+        window_start: u64,
+        /// Last commit index of the window checked.
+        window_end: u64,
+        /// Position in the log at which the violation was established.
+        log_position: u64,
+    },
+    /// `view_I` and `view_S` disagree at a commit action (view refinement,
+    /// §5).
+    ViewMismatch {
+        /// Committing thread.
+        tid: ThreadId,
+        /// Committing method (or internal task).
+        method: MethodId,
+        /// The view key at which the two views disagree.
+        key: Value,
+        /// Implementation-side entry (`None` = absent).
+        view_i: Option<Value>,
+        /// Specification-side entry (`None` = absent).
+        view_s: Option<Value>,
+        /// Index of the commit at which the mismatch was observed.
+        commit_index: u64,
+        /// Position in the log at which the violation was established.
+        log_position: u64,
+    },
+    /// A programmer-supplied invariant over the replayed implementation
+    /// state failed at a commit action (§7.2.1 checked two such invariants
+    /// for the Boxwood cache).
+    InvariantViolation {
+        /// Name of the failed invariant.
+        name: String,
+        /// Failure detail produced by the invariant.
+        message: String,
+        /// Index of the commit at which the invariant was evaluated.
+        commit_index: u64,
+        /// Position in the log at which the violation was established.
+        log_position: u64,
+    },
+    /// A mutator execution returned without having logged a commit action,
+    /// or logged more than one (§4.1 requires exactly one per path).
+    CommitAnnotation {
+        /// Offending thread.
+        tid: ThreadId,
+        /// Offending method.
+        method: MethodId,
+        /// What went wrong.
+        detail: String,
+        /// Position in the log at which the problem was established.
+        log_position: u64,
+    },
+    /// The log itself is not a well-formed trace (§3.2): e.g. a return
+    /// without a matching call, a commit outside any method execution, or a
+    /// truncated stream while a commit was awaiting its return value.
+    MalformedLog {
+        /// What is wrong with the log.
+        detail: String,
+        /// Position in the log at which the problem was established.
+        log_position: u64,
+    },
+}
+
+impl Violation {
+    /// A short machine-checkable label for the violation category.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Violation::SpecRejectedCommit { .. } => "spec-rejected-commit",
+            Violation::ObserverUnjustified { .. } => "observer-unjustified",
+            Violation::ViewMismatch { .. } => "view-mismatch",
+            Violation::InvariantViolation { .. } => "invariant-violation",
+            Violation::CommitAnnotation { .. } => "commit-annotation",
+            Violation::MalformedLog { .. } => "malformed-log",
+        }
+    }
+
+    /// `true` for the violations only view refinement can raise.
+    pub fn is_view_only(&self) -> bool {
+        matches!(
+            self,
+            Violation::ViewMismatch { .. } | Violation::InvariantViolation { .. }
+        )
+    }
+
+    /// The log position at which the violation was established.
+    pub fn log_position(&self) -> u64 {
+        match self {
+            Violation::SpecRejectedCommit { log_position, .. }
+            | Violation::ObserverUnjustified { log_position, .. }
+            | Violation::ViewMismatch { log_position, .. }
+            | Violation::InvariantViolation { log_position, .. }
+            | Violation::CommitAnnotation { log_position, .. }
+            | Violation::MalformedLog { log_position, .. } => *log_position,
+        }
+    }
+}
+
+fn fmt_args(args: &[Value], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    write!(f, ")")
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::SpecRejectedCommit {
+                tid,
+                method,
+                args,
+                ret,
+                reason,
+                commit_index,
+                ..
+            } => {
+                write!(f, "refinement violation at commit #{commit_index}: specification cannot execute {tid} {method}")?;
+                fmt_args(args, f)?;
+                write!(f, " -> {ret}: {reason}")
+            }
+            Violation::ObserverUnjustified {
+                tid,
+                method,
+                args,
+                ret,
+                window_start,
+                window_end,
+                ..
+            } => {
+                write!(f, "refinement violation: observer {tid} {method}")?;
+                fmt_args(args, f)?;
+                write!(
+                    f,
+                    " -> {ret} is not valid in any specification state in its window (commits #{window_start}..=#{window_end})"
+                )
+            }
+            Violation::ViewMismatch {
+                tid,
+                method,
+                key,
+                view_i,
+                view_s,
+                commit_index,
+                ..
+            } => {
+                write!(
+                    f,
+                    "view refinement violation at commit #{commit_index} ({tid} {method}): key {key}: view_I = "
+                )?;
+                match view_i {
+                    Some(v) => write!(f, "{v}")?,
+                    None => write!(f, "<absent>")?,
+                }
+                write!(f, ", view_S = ")?;
+                match view_s {
+                    Some(v) => write!(f, "{v}"),
+                    None => write!(f, "<absent>"),
+                }
+            }
+            Violation::InvariantViolation {
+                name,
+                message,
+                commit_index,
+                ..
+            } => write!(
+                f,
+                "invariant {name:?} violated at commit #{commit_index}: {message}"
+            ),
+            Violation::CommitAnnotation {
+                tid,
+                method,
+                detail,
+                ..
+            } => write!(f, "commit annotation problem in {tid} {method}: {detail}"),
+            Violation::MalformedLog { detail, .. } => write!(f, "malformed log: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Counters describing a checking run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Log events consumed.
+    pub events: u64,
+    /// Commits applied to the specification.
+    pub commits_applied: u64,
+    /// Method executions completed (return actions seen) before the
+    /// violation — the "time to detection" metric of Table 1. Equal to the
+    /// total number of completed methods when no violation was found.
+    pub methods_completed: u64,
+    /// Observer executions checked.
+    pub observers_checked: u64,
+    /// Specification snapshots taken for observer windows.
+    pub snapshots_taken: u64,
+    /// View comparisons performed (one per mutator commit in view mode).
+    pub view_comparisons: u64,
+    /// Individual view keys compared (incremental mode compares fewer).
+    pub view_keys_compared: u64,
+    /// Writes replayed into the shadow state.
+    pub writes_replayed: u64,
+}
+
+/// The result of checking one log.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+    /// Counters for the run.
+    pub stats: CheckStats,
+}
+
+impl Report {
+    /// `true` when the log refines the specification (no violation found).
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.violation {
+            None => write!(
+                f,
+                "PASS: {} events, {} commits, {} methods, {} observer checks",
+                self.stats.events,
+                self.stats.commits_applied,
+                self.stats.methods_completed,
+                self.stats.observers_checked
+            ),
+            Some(v) => write!(
+                f,
+                "FAIL after {} completed methods: {v}",
+                self.stats.methods_completed
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_and_view_only_flags() {
+        let v = Violation::ViewMismatch {
+            tid: ThreadId(1),
+            method: "Insert".into(),
+            key: Value::from(5i64),
+            view_i: None,
+            view_s: Some(Value::from(1i64)),
+            commit_index: 3,
+            log_position: 17,
+        };
+        assert_eq!(v.category(), "view-mismatch");
+        assert!(v.is_view_only());
+        assert_eq!(v.log_position(), 17);
+
+        let io = Violation::SpecRejectedCommit {
+            tid: ThreadId(0),
+            method: "Delete".into(),
+            args: vec![Value::from(3i64)],
+            ret: Value::from(true),
+            reason: "3 not in multiset".to_owned(),
+            commit_index: 0,
+            log_position: 4,
+        };
+        assert_eq!(io.category(), "spec-rejected-commit");
+        assert!(!io.is_view_only());
+    }
+
+    #[test]
+    fn display_messages_mention_the_essentials() {
+        let v = Violation::ObserverUnjustified {
+            tid: ThreadId(2),
+            method: "LookUp".into(),
+            args: vec![Value::from(5i64)],
+            ret: Value::from(false),
+            window_start: 1,
+            window_end: 4,
+            log_position: 30,
+        };
+        let msg = v.to_string();
+        assert!(msg.contains("LookUp"));
+        assert!(msg.contains("T2"));
+        assert!(msg.contains("#1..=#4"));
+
+        let inv = Violation::InvariantViolation {
+            name: "clean-matches-chunk".to_owned(),
+            message: "handle 7 differs".to_owned(),
+            commit_index: 9,
+            log_position: 100,
+        };
+        assert!(inv.to_string().contains("clean-matches-chunk"));
+    }
+
+    #[test]
+    fn report_pass_fail() {
+        let ok = Report::default();
+        assert!(ok.passed());
+        assert!(ok.to_string().starts_with("PASS"));
+        let bad = Report {
+            violation: Some(Violation::MalformedLog {
+                detail: "return without call".to_owned(),
+                log_position: 0,
+            }),
+            stats: CheckStats::default(),
+        };
+        assert!(!bad.passed());
+        assert!(bad.to_string().starts_with("FAIL"));
+    }
+}

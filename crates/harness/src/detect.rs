@@ -1,0 +1,160 @@
+//! Time-to-detection measurement (Table 1).
+//!
+//! For a buggy scenario, repeatedly run the §7.1 workload, check each
+//! recorded trace with *both* I/O and view refinement, and count how many
+//! method executions completed before each technique first reported a
+//! violation. The paper reports the average over many repetitions plus
+//! the ratio of view-mode to I/O-mode checking CPU time on the same
+//! traces.
+
+use std::time::Duration;
+
+use crate::measure::{timed, Aggregate};
+use crate::scenario::{CheckKind, Scenario, Variant};
+use crate::workload::WorkloadConfig;
+
+/// Outcome of a Table 1 measurement for one (scenario, thread-count)
+/// cell.
+#[derive(Clone, Debug)]
+pub struct DetectionMeasurement {
+    /// Average completed method executions before I/O refinement
+    /// detected the bug (`None` when it never did within the budget).
+    pub io_methods: Option<f64>,
+    /// Same for view refinement.
+    pub view_methods: Option<f64>,
+    /// Total CPU time spent checking in I/O mode across all traces.
+    pub io_check_time: Duration,
+    /// Total CPU time spent checking in view mode across the same traces.
+    pub view_check_time: Duration,
+    /// Number of detection experiments that contributed (repetitions in
+    /// which *view* detected; I/O may have needed more runs).
+    pub samples: u64,
+}
+
+impl DetectionMeasurement {
+    /// View-mode over I/O-mode checking time on the same traces (the
+    /// last column of Table 1).
+    pub fn cpu_ratio(&self) -> Option<f64> {
+        let io = self.io_check_time.as_secs_f64();
+        (io > f64::EPSILON).then(|| self.view_check_time.as_secs_f64() / io)
+    }
+}
+
+/// Runs up to `repetitions` detection experiments. Each experiment keeps
+/// generating fresh buggy traces (new seeds) until both checkers have
+/// detected the bug or `max_runs_per_experiment` traces were tried;
+/// methods-to-detection accumulate across the traces of one experiment,
+/// exactly as "number of methods executed before the first error was
+/// detected".
+pub fn measure_detection(
+    scenario: &dyn Scenario,
+    cfg: &WorkloadConfig,
+    repetitions: u32,
+    max_runs_per_experiment: u32,
+) -> DetectionMeasurement {
+    let mut io_methods = Aggregate::new();
+    let mut view_methods = Aggregate::new();
+    let mut io_time = Duration::ZERO;
+    let mut view_time = Duration::ZERO;
+    let mut seed = cfg.seed;
+
+    for _ in 0..repetitions {
+        let mut io_total: u64 = 0;
+        let mut view_total: u64 = 0;
+        let mut io_found = false;
+        let mut view_found = false;
+        for _ in 0..max_runs_per_experiment {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let run_cfg = cfg.with_seed(seed);
+            // Log at view granularity so the *same trace* feeds both
+            // checkers, as the ratio column requires.
+            let artifacts = crate::scenario::record_run(
+                scenario,
+                &run_cfg,
+                vyrd_core::log::LogMode::View,
+                Variant::Buggy,
+            );
+            let io_report = scenario.check(CheckKind::Io, artifacts.events.clone());
+            let view_report = scenario.check(CheckKind::View, artifacts.events.clone());
+            // The paper's ratio column compares the CPU cost of the two
+            // modes "on the same trace"; time full-trace checking so an
+            // early detection does not masquerade as cheap checking.
+            let (_, io_d) = timed(|| {
+                scenario.check_full(CheckKind::Io, artifacts.events.clone())
+            });
+            let (_, view_d) = timed(|| {
+                scenario.check_full(CheckKind::View, artifacts.events.clone())
+            });
+            io_time += io_d;
+            view_time += view_d;
+            if !io_found {
+                io_total += io_report.stats.methods_completed;
+                io_found = !io_report.passed();
+            }
+            if !view_found {
+                view_total += view_report.stats.methods_completed;
+                view_found = !view_report.passed();
+            }
+            if io_found && view_found {
+                break;
+            }
+        }
+        if io_found {
+            io_methods.add(io_total as f64);
+        }
+        if view_found {
+            view_methods.add(view_total as f64);
+        }
+    }
+
+    DetectionMeasurement {
+        io_methods: (io_methods.count() > 0).then(|| io_methods.mean()),
+        view_methods: (view_methods.count() > 0).then(|| view_methods.mean()),
+        io_check_time: io_time,
+        view_check_time: view_time,
+        samples: view_methods.count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::MultisetVectorScenario;
+
+    #[test]
+    fn detection_measurement_reports_ratio() {
+        let m = DetectionMeasurement {
+            io_methods: Some(100.0),
+            view_methods: Some(10.0),
+            io_check_time: Duration::from_millis(100),
+            view_check_time: Duration::from_millis(150),
+            samples: 5,
+        };
+        assert!((m.cpu_ratio().unwrap() - 1.5).abs() < 1e-9);
+        let empty = DetectionMeasurement {
+            io_methods: None,
+            view_methods: None,
+            io_check_time: Duration::ZERO,
+            view_check_time: Duration::ZERO,
+            samples: 0,
+        };
+        assert!(empty.cpu_ratio().is_none());
+    }
+
+    #[test]
+    fn buggy_multiset_vector_is_eventually_detected() {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            calls_per_thread: 40,
+            key_pool: 6,
+            shrink_pool: true,
+            internal_task: false,
+            seed: 7,
+        };
+        let m = measure_detection(&MultisetVectorScenario, &cfg, 2, 60);
+        assert!(
+            m.view_methods.is_some(),
+            "view refinement never detected the FindSlot bug"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! # vyrd-harness — the paper's experimental apparatus (§7)
+//!
+//! Glue between the instrumented substrates and the VYRD checkers:
+//!
+//! * [`workload`] — the §7.1 test-harness generator (shared random key
+//!   pool, N threads × M random calls, gradual pool shrink, internal
+//!   compression/flush task);
+//! * [`scenario`] — the [`Scenario`](scenario::Scenario) abstraction: one
+//!   object per benchmark system bundling its workload, specification,
+//!   and replayer, runnable offline or with an online verification
+//!   thread;
+//! * [`scenarios`] — the six systems of Tables 1–3 (Multiset-Vector,
+//!   Multiset-BinaryTree, Vector, StringBuffer, BLinkTree, Cache), each
+//!   with its paper bug toggleable;
+//! * [`detect`] — time-to-detection measurement (Table 1);
+//! * [`measure`] / [`tables`] — timing and plain-text table rendering.
+//!
+//! ```no_run
+//! use vyrd_harness::scenario::{record_run, CheckKind, Variant};
+//! use vyrd_harness::scenarios::MultisetVectorScenario;
+//! use vyrd_harness::workload::WorkloadConfig;
+//! use vyrd_core::log::LogMode;
+//!
+//! let cfg = WorkloadConfig::small();
+//! let run = record_run(&MultisetVectorScenario, &cfg, LogMode::View, Variant::Correct);
+//! let report = MultisetVectorScenario.check(CheckKind::View, run.events);
+//! assert!(report.passed());
+//! # use vyrd_harness::scenario::Scenario as _;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod detect;
+pub mod measure;
+pub mod scenario;
+pub mod scenarios;
+pub mod tables;
+pub mod workload;
+
+#[cfg(test)]
+mod tests {
+    use crate::scenario::{record_run, run_discarding, run_online, CheckKind, Scenario, Variant};
+    use crate::scenarios;
+    use crate::workload::WorkloadConfig;
+    use vyrd_core::log::LogMode;
+
+    fn small() -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 3,
+            calls_per_thread: 30,
+            key_pool: 10,
+            shrink_pool: true,
+            internal_task: true,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn registry_has_the_six_table_rows() {
+        let names: Vec<&str> = scenarios::all().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Multiset-Vector",
+                "Multiset-BinaryTree",
+                "Vector",
+                "StringBuffer",
+                "BLinkTree",
+                "Cache"
+            ]
+        );
+        assert!(scenarios::by_name("Cache").is_some());
+        assert!(scenarios::by_name("Nope").is_none());
+        for s in scenarios::all() {
+            assert!(!s.bug().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_correct_scenario_passes_both_checkers() {
+        for s in scenarios::all() {
+            let cfg = small();
+            let run = record_run(s.as_ref(), &cfg, LogMode::View, Variant::Correct);
+            assert!(
+                run.log_stats.events > 0,
+                "{}: nothing was logged",
+                s.name()
+            );
+            let io = s.check(CheckKind::Io, run.events.clone());
+            assert!(io.passed(), "{} io: {io}", s.name());
+            let view = s.check(CheckKind::View, run.events);
+            assert!(view.passed(), "{} view: {view}", s.name());
+        }
+    }
+
+    #[test]
+    fn online_checking_agrees_with_offline() {
+        for s in scenarios::all() {
+            let cfg = small();
+            let (_, report) = run_online(s.as_ref(), &cfg, CheckKind::View, Variant::Correct);
+            assert!(report.passed(), "{} online: {report}", s.name());
+        }
+    }
+
+    #[test]
+    fn discarding_runs_report_log_stats() {
+        let s = scenarios::MultisetVectorScenario;
+        let cfg = small();
+        let (_, io_stats) = run_discarding(&s, &cfg, LogMode::Io, Variant::Correct);
+        let (_, view_stats) = run_discarding(&s, &cfg, LogMode::View, Variant::Correct);
+        let (_, off_stats) = run_discarding(&s, &cfg, LogMode::Off, Variant::Correct);
+        assert_eq!(off_stats.events, 0);
+        assert!(io_stats.events > 0);
+        assert!(view_stats.events > io_stats.events, "view logs more");
+        assert_eq!(io_stats.writes, 0);
+        assert!(view_stats.writes > 0);
+    }
+
+    #[test]
+    fn buggy_runs_are_reproducible_per_seed() {
+        let s = scenarios::JavaVectorScenario;
+        let cfg = small();
+        let a = record_run(&s, &cfg, LogMode::Io, Variant::Buggy);
+        let b = record_run(&s, &cfg, LogMode::Io, Variant::Buggy);
+        // Interleavings differ between runs, but both produce well-formed
+        // logs the checker can consume without malformed-log complaints.
+        for events in [a.events, b.events] {
+            let report = s.check(CheckKind::Io, events);
+            if let Some(v) = &report.violation {
+                assert_ne!(v.category(), "malformed-log", "{v}");
+            }
+        }
+    }
+}

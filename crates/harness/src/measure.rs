@@ -1,0 +1,113 @@
+//! Timing and aggregation utilities for the experiments.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its result and wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// A small online aggregator for repeated measurements.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Aggregate {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Aggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Aggregate {
+        Aggregate {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Adds a duration sample, in seconds.
+    pub fn add_duration(&mut self, d: Duration) {
+        self.add(d.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (value, d) = timed(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(d >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let mut a = Aggregate::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), 0.0);
+        for x in [1.0, 2.0, 3.0] {
+            a.add(x);
+        }
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.sum(), 6.0);
+        a.add_duration(Duration::from_secs(4));
+        assert_eq!(a.max(), 4.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Benchmark scenarios: one per row of the paper's Tables 1–3.
+//!
+//! A [`Scenario`] couples an instrumented data structure with the §7.1
+//! workload driver, its specification, and its replayer. The harness can
+//! then run it with any logging mode / sink, check the resulting log
+//! offline (I/O or view), or verify it online on a separate thread.
+
+use std::time::Duration;
+
+use crossbeam::channel::Receiver;
+use vyrd_core::log::{EventLog, LogMode, LogStats};
+use vyrd_core::violation::Report;
+use vyrd_core::Event;
+
+use crate::measure::timed;
+use crate::workload::WorkloadConfig;
+
+/// Which bug variant of a scenario to instantiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// The correct implementation.
+    Correct,
+    /// The implementation with the scenario's known bug enabled.
+    Buggy,
+}
+
+/// Which refinement check to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckKind {
+    /// I/O refinement (§4).
+    Io,
+    /// View refinement (§5).
+    View,
+}
+
+impl CheckKind {
+    /// The logging mode this check requires.
+    pub fn log_mode(self) -> LogMode {
+        match self {
+            CheckKind::Io => LogMode::Io,
+            CheckKind::View => LogMode::View,
+        }
+    }
+}
+
+/// What a workload run produced.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// Wall-clock duration of the run (workload threads only).
+    pub wall: Duration,
+    /// Logging counters.
+    pub log_stats: LogStats,
+    /// The recorded events (empty unless an in-memory log was used).
+    pub events: Vec<Event>,
+}
+
+/// One benchmark system with its workload, specification, and replayer.
+pub trait Scenario: Send + Sync {
+    /// Row label, as in the paper's tables (e.g. `"Multiset-Vector"`).
+    fn name(&self) -> &'static str;
+
+    /// The injected/known bug, as described in Table 1.
+    fn bug(&self) -> &'static str;
+
+    /// Runs the workload against a fresh instance that records into
+    /// `log`.
+    fn run(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant);
+
+    /// Checks a recorded log offline (stops at the first violation).
+    fn check(&self, kind: CheckKind, events: Vec<Event>) -> Report;
+
+    /// Checks a recorded log offline, consuming the whole trace even
+    /// after a violation — the cost basis for Table 1's CPU-ratio column.
+    fn check_full(&self, kind: CheckKind, events: Vec<Event>) -> Report;
+
+    /// Checks a live event stream (for the online verification thread).
+    fn check_stream(&self, kind: CheckKind, receiver: &Receiver<Event>) -> Report;
+}
+
+/// Runs a scenario's workload with an in-memory log and returns the
+/// artifacts.
+pub fn record_run(
+    scenario: &dyn Scenario,
+    cfg: &WorkloadConfig,
+    mode: LogMode,
+    variant: Variant,
+) -> RunArtifacts {
+    let log = EventLog::in_memory(mode);
+    let ((), wall) = timed(|| scenario.run(cfg, &log, variant));
+    RunArtifacts {
+        wall,
+        log_stats: log.stats(),
+        events: log.drain(),
+    }
+}
+
+/// Runs a scenario's workload with a discarding log (pure program +
+/// logging cost, nothing retained) and returns the wall time.
+pub fn run_discarding(
+    scenario: &dyn Scenario,
+    cfg: &WorkloadConfig,
+    mode: LogMode,
+    variant: Variant,
+) -> (Duration, LogStats) {
+    let log = EventLog::discarding(mode);
+    let ((), wall) = timed(|| scenario.run(cfg, &log, variant));
+    (wall, log.stats())
+}
+
+/// Runs a scenario's workload while an online verification thread
+/// consumes the log concurrently (the "Prog.+logging and VYRD" column of
+/// Table 3). Returns the program-side wall time and the verifier's
+/// report.
+pub fn run_online(
+    scenario: &dyn Scenario,
+    cfg: &WorkloadConfig,
+    kind: CheckKind,
+    variant: Variant,
+) -> (Duration, Report) {
+    let (log, receiver) = EventLog::to_channel(kind.log_mode());
+    std::thread::scope(|scope| {
+        let verifier = scope.spawn(|| scenario.check_stream(kind, &receiver));
+        // Close the log even if the workload panics, so the verifier
+        // thread's recv loop terminates and the scope can unwind instead
+        // of deadlocking.
+        let run_result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                timed(|| scenario.run(cfg, &log, variant))
+            }));
+        log.close();
+        let report = verifier.join().expect("verifier thread");
+        match run_result {
+            Ok(((), wall)) => (wall, report),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}

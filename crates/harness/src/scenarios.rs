@@ -1,0 +1,466 @@
+//! The six benchmark systems of Tables 1–3, wired to the §7.1 workload
+//! driver.
+
+use vyrd_blinktree::{BLinkReplayer, BLinkSpec, BLinkTree, BLinkVariant};
+use vyrd_core::checker::{Checker, CheckerOptions};
+use vyrd_core::log::EventLog;
+use vyrd_core::violation::Report;
+use vyrd_core::Event;
+use vyrd_javalib::{
+    BufferPool, StringBufferReplayer, StringBufferSpec, StringBufferVariant, SyncVector,
+    VectorReplayer, VectorSpec, VectorVariant,
+};
+use vyrd_multiset::{
+    BstMultiset, BstReplayer, BstVariant, FindSlotVariant, MultisetSpec, SlotReplayer,
+    VectorMultiset,
+};
+use vyrd_storage::{
+    clean_matches_chunk, entry_in_exactly_one_list, BoxCache, CacheReplayer, CacheVariant,
+    ChunkManager, StoreSpec,
+};
+
+use crate::scenario::{CheckKind, Scenario, Variant};
+use crate::workload::{ThreadWorkload, WorkloadConfig};
+
+/// All six table rows, in the paper's order.
+pub fn all() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(MultisetVectorScenario),
+        Box::new(MultisetBstScenario),
+        Box::new(JavaVectorScenario),
+        Box::new(StringBufferScenario),
+        Box::new(BLinkTreeScenario),
+        Box::new(CacheScenario),
+    ]
+}
+
+/// Looks a scenario up by its table-row name.
+pub fn by_name(name: &str) -> Option<Box<dyn Scenario>> {
+    all().into_iter().find(|s| s.name() == name)
+}
+
+/// Spawns `cfg.threads` workload threads plus (optionally) an internal
+/// task thread, joining everything before returning.
+fn drive<W, T>(cfg: &WorkloadConfig, per_thread: W, internal_task: Option<T>)
+where
+    W: Fn(usize, ThreadWorkload) + Send + Sync,
+    T: FnMut() + Send,
+{
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let task_handle = internal_task.map(|mut task| {
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    task();
+                    // Internal maintenance runs continuously (§7.1) but
+                    // must not monopolize the structure lock; a short
+                    // pause keeps the workload, not the maintenance,
+                    // dominant — as in the paper's systems.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            })
+        });
+        let per_thread = &per_thread;
+        let workers: Vec<_> = (0..cfg.threads)
+            .map(|i| {
+                let wl = ThreadWorkload::new(cfg, i);
+                scope.spawn(move || per_thread(i, wl))
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("workload thread");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = task_handle {
+            h.join().expect("internal task thread");
+        }
+    });
+}
+
+
+/// Generates the three `Scenario` checking methods from the scenario's
+/// specification / replayer constructors (plus optional invariants).
+macro_rules! impl_checks {
+    ($spec:expr, $replayer:expr $(, $inv:expr)* $(,)?) => {
+        fn check(&self, kind: CheckKind, events: Vec<Event>) -> Report {
+            match kind {
+                CheckKind::Io => Checker::io($spec).check_events(events),
+                CheckKind::View => Checker::view($spec, $replayer)
+                    $(.with_invariant($inv))*
+                    .check_events(events),
+            }
+        }
+
+        fn check_full(&self, kind: CheckKind, events: Vec<Event>) -> Report {
+            let options = CheckerOptions {
+                stop_at_first_violation: false,
+                ..CheckerOptions::default()
+            };
+            match kind {
+                CheckKind::Io => Checker::io($spec)
+                    .with_options(options)
+                    .check_events(events),
+                CheckKind::View => Checker::view($spec, $replayer)
+                    $(.with_invariant($inv))*
+                    .with_options(options)
+                    .check_events(events),
+            }
+        }
+
+        fn check_stream(
+            &self,
+            kind: CheckKind,
+            receiver: &crossbeam::channel::Receiver<Event>,
+        ) -> Report {
+            match kind {
+                CheckKind::Io => Checker::io($spec).check_receiver(receiver),
+                CheckKind::View => Checker::view($spec, $replayer)
+                    $(.with_invariant($inv))*
+                    .check_receiver(receiver),
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Multiset-Vector — "moving acquire in FindSlot" (Fig. 5)
+// ---------------------------------------------------------------------
+
+/// The growable multiset with the Fig. 5 `FindSlot` bug.
+#[derive(Debug)]
+pub struct MultisetVectorScenario;
+
+impl Scenario for MultisetVectorScenario {
+    fn name(&self) -> &'static str {
+        "Multiset-Vector"
+    }
+
+    fn bug(&self) -> &'static str {
+        "Moving acquire in FindSlot"
+    }
+
+    fn run(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant) {
+        let fs = match variant {
+            Variant::Correct => FindSlotVariant::Correct,
+            Variant::Buggy => FindSlotVariant::Buggy,
+        };
+        let ms = VectorMultiset::new(fs, log.clone());
+        let task = cfg.internal_task.then(|| {
+            let h = ms.handle();
+            move || h.compress()
+        });
+        drive(
+            cfg,
+            |_, mut wl| {
+                let h = ms.handle();
+                for _ in 0..cfg.calls_per_thread {
+                    let op = wl.next_op(&[3, 2, 3, 2]);
+                    let x = wl.next_key();
+                    match op {
+                        0 => {
+                            h.insert(x);
+                        }
+                        1 => {
+                            h.insert_pair(x, wl.next_key());
+                        }
+                        2 => {
+                            h.delete(x);
+                        }
+                        _ => {
+                            h.lookup(x);
+                        }
+                    }
+                }
+            },
+            task,
+        );
+    }
+
+    impl_checks!(MultisetSpec::new(), SlotReplayer::new());
+
+}
+
+// ---------------------------------------------------------------------
+// Multiset-BinaryTree — "unlocking parent before insertion"
+// ---------------------------------------------------------------------
+
+/// The BST multiset with the lost-insert bug.
+#[derive(Debug)]
+pub struct MultisetBstScenario;
+
+impl Scenario for MultisetBstScenario {
+    fn name(&self) -> &'static str {
+        "Multiset-BinaryTree"
+    }
+
+    fn bug(&self) -> &'static str {
+        "Unlocking parent before insertion"
+    }
+
+    fn run(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant) {
+        let v = match variant {
+            Variant::Correct => BstVariant::Correct,
+            Variant::Buggy => BstVariant::UnlockParentEarly,
+        };
+        let ms = BstMultiset::new(v, log.clone());
+        let task = cfg.internal_task.then(|| {
+            let h = ms.handle();
+            move || h.compress()
+        });
+        drive(
+            cfg,
+            |_, mut wl| {
+                let h = ms.handle();
+                for _ in 0..cfg.calls_per_thread {
+                    let op = wl.next_op(&[5, 2, 3]);
+                    let x = wl.next_key();
+                    match op {
+                        0 => {
+                            h.insert(x);
+                        }
+                        1 => {
+                            h.delete(x);
+                        }
+                        _ => {
+                            h.lookup(x);
+                        }
+                    }
+                }
+            },
+            task,
+        );
+    }
+
+    impl_checks!(MultisetSpec::new(), BstReplayer::new());
+
+}
+
+// ---------------------------------------------------------------------
+// java.util.Vector — "taking length non-atomically in lastIndexOf()"
+// ---------------------------------------------------------------------
+
+/// The synchronized vector with the observer-side bug.
+#[derive(Debug)]
+pub struct JavaVectorScenario;
+
+impl Scenario for JavaVectorScenario {
+    fn name(&self) -> &'static str {
+        "Vector"
+    }
+
+    fn bug(&self) -> &'static str {
+        "Taking length non-atomically in lastIndexOf()"
+    }
+
+    fn run(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant) {
+        let v = match variant {
+            Variant::Correct => VectorVariant::Correct,
+            Variant::Buggy => VectorVariant::Buggy,
+        };
+        let vec = SyncVector::new(v, log.clone());
+        // Seed so early removeLast/lastIndexOf have content to race on.
+        let seeder = vec.handle();
+        for i in 0..8 {
+            seeder.add(i);
+        }
+        drive(
+            cfg,
+            |_, mut wl| {
+                let h = vec.handle();
+                for _ in 0..cfg.calls_per_thread {
+                    let op = wl.next_op(&[4, 3, 3, 1]);
+                    match op {
+                        0 => h.add(wl.next_key()),
+                        1 => {
+                            h.remove_last();
+                        }
+                        2 => {
+                            h.last_index_of(wl.next_key());
+                        }
+                        _ => {
+                            h.size();
+                        }
+                    }
+                }
+            },
+            None::<fn()>,
+        );
+    }
+
+    impl_checks!(VectorSpec::new(), VectorReplayer::new());
+
+}
+
+// ---------------------------------------------------------------------
+// java.util.StringBuffer — "copying from an unprotected StringBuffer"
+// ---------------------------------------------------------------------
+
+const SB_BUFFERS: usize = 4;
+
+/// The string-buffer pool with the unprotected-copy bug.
+#[derive(Debug)]
+pub struct StringBufferScenario;
+
+impl Scenario for StringBufferScenario {
+    fn name(&self) -> &'static str {
+        "StringBuffer"
+    }
+
+    fn bug(&self) -> &'static str {
+        "Copying from an unprotected StringBuffer"
+    }
+
+    fn run(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant) {
+        let v = match variant {
+            Variant::Correct => StringBufferVariant::Correct,
+            Variant::Buggy => StringBufferVariant::Buggy,
+        };
+        let pool = BufferPool::new(SB_BUFFERS, v, log.clone());
+        let seeder = pool.handle();
+        for id in 0..SB_BUFFERS as i64 {
+            seeder.append(id, "0123456789");
+        }
+        drive(
+            cfg,
+            |_, mut wl| {
+                let h = pool.handle();
+                for _ in 0..cfg.calls_per_thread {
+                    let op = wl.next_op(&[3, 4, 3, 1]);
+                    let id = wl.next_int(SB_BUFFERS as i64);
+                    match op {
+                        0 => h.append(id, "ab"),
+                        1 => {
+                            h.append_buffer(id, wl.next_int(SB_BUFFERS as i64));
+                        }
+                        2 => h.set_length(id, wl.next_int(12) as usize),
+                        _ => {
+                            h.length(id);
+                        }
+                    }
+                }
+            },
+            None::<fn()>,
+        );
+    }
+
+    impl_checks!(
+        StringBufferSpec::new(SB_BUFFERS),
+        StringBufferReplayer::with_buffers(SB_BUFFERS),
+    );
+
+}
+
+// ---------------------------------------------------------------------
+// BLinkTree — "allowing duplicated data nodes"
+// ---------------------------------------------------------------------
+
+/// The B-link tree with the duplicate-data-node bug.
+#[derive(Debug)]
+pub struct BLinkTreeScenario;
+
+impl Scenario for BLinkTreeScenario {
+    fn name(&self) -> &'static str {
+        "BLinkTree"
+    }
+
+    fn bug(&self) -> &'static str {
+        "Allowing duplicated data nodes"
+    }
+
+    fn run(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant) {
+        let v = match variant {
+            Variant::Correct => BLinkVariant::Correct,
+            Variant::Buggy => BLinkVariant::DuplicateDataNodes,
+        };
+        let tree = BLinkTree::new(v, log.clone());
+        let task = cfg.internal_task.then(|| {
+            let h = tree.handle();
+            move || h.compress()
+        });
+        drive(
+            cfg,
+            |_, mut wl| {
+                let h = tree.handle();
+                for i in 0..cfg.calls_per_thread {
+                    let op = wl.next_op(&[5, 2, 3]);
+                    let k = wl.next_key();
+                    match op {
+                        0 => h.insert(k, i as i64),
+                        1 => {
+                            h.delete(k);
+                        }
+                        _ => {
+                            h.lookup(k);
+                        }
+                    }
+                }
+            },
+            task,
+        );
+    }
+
+    impl_checks!(BLinkSpec::new(), BLinkReplayer::new());
+
+}
+
+// ---------------------------------------------------------------------
+// Cache — "writing an unprotected dirty cache entry"
+// ---------------------------------------------------------------------
+
+const CACHE_HANDLES: i64 = 6;
+const CACHE_BUF: usize = 64;
+
+/// The Boxwood cache with the §7.2.2 bug.
+#[derive(Debug)]
+pub struct CacheScenario;
+
+impl Scenario for CacheScenario {
+    fn name(&self) -> &'static str {
+        "Cache"
+    }
+
+    fn bug(&self) -> &'static str {
+        "Writing an unprotected dirty cache entry"
+    }
+
+    fn run(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant) {
+        let v = match variant {
+            Variant::Correct => CacheVariant::Correct,
+            Variant::Buggy => CacheVariant::Buggy,
+        };
+        let cache = BoxCache::new(ChunkManager::new(), v, log.clone());
+        // The flusher plays the internal-task role; without it the bug
+        // cannot manifest, so it always runs.
+        let flusher = {
+            let h = cache.handle();
+            move || h.flush()
+        };
+        drive(
+            cfg,
+            |_, mut wl| {
+                let h = cache.handle();
+                for i in 0..cfg.calls_per_thread {
+                    let op = wl.next_op(&[6, 3, 1]);
+                    let handle = wl.next_int(CACHE_HANDLES);
+                    match op {
+                        0 => h.write(handle, vec![(i % 251) as u8; CACHE_BUF]),
+                        1 => {
+                            h.read(handle);
+                        }
+                        _ => h.revoke(handle),
+                    }
+                }
+            },
+            Some(flusher),
+        );
+    }
+
+    impl_checks!(
+        StoreSpec::new(),
+        CacheReplayer::new(),
+        clean_matches_chunk(),
+        entry_in_exactly_one_list(),
+    );
+
+}

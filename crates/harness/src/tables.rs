@@ -1,0 +1,134 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> TextTable
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extras are dropped.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut TextTable
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.truncate(self.headers.len());
+        while row.len() < self.headers.len() {
+            row.push(String::new());
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:width$} ", cell, width = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        write_row(&mut out, &self.headers);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<width$}", "", width = w + 2);
+            if i + 1 == widths.len() {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a duration in seconds with 3 decimal places.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Formats a ratio with 2 decimal places, or `-` when undefined.
+pub fn ratio(numer: f64, denom: f64) -> String {
+    if denom <= f64::EPSILON {
+        "-".to_owned()
+    } else {
+        format!("{:.2}", numer / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "n"]);
+        t.row(["alpha", "1"]).row(["b", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with("|--"));
+        // All lines same width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only"]);
+        t.row(["x", "y", "z"]);
+        let s = t.render();
+        assert!(s.contains("only"));
+        assert!(!s.contains('z'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+        assert_eq!(ratio(3.0, 2.0), "1.50");
+        assert_eq!(ratio(3.0, 0.0), "-");
+    }
+}

@@ -1,0 +1,198 @@
+//! Workload generation per §7.1.
+//!
+//! "Each test program first generates a random pool of keys to be shared
+//! by all threads as arguments for method calls. Then the program creates
+//! a number of threads each of which, using arguments randomly chosen
+//! from the pool, issues a given number of random method calls to the
+//! same data structure instance concurrently. The pool is reduced
+//! gradually over time to focus more concurrent method calls on a
+//! smaller region of the data structure."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one workload run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Number of application threads issuing method calls.
+    pub threads: usize,
+    /// Method calls issued by each thread.
+    pub calls_per_thread: usize,
+    /// Size of the initial shared key pool.
+    pub key_pool: usize,
+    /// Reduce the effective pool over the run (focus contention).
+    pub shrink_pool: bool,
+    /// Run the structure's internal task (compression thread / cache
+    /// flusher) continuously alongside the workload.
+    pub internal_task: bool,
+    /// RNG seed; each thread derives its stream from this and its index.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// A compact default configuration used by tests.
+    pub fn small() -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 4,
+            calls_per_thread: 50,
+            key_pool: 16,
+            shrink_pool: true,
+            internal_task: false,
+            seed: 42,
+        }
+    }
+
+    /// Total method calls across application threads.
+    pub fn total_calls(&self) -> usize {
+        self.threads * self.calls_per_thread
+    }
+
+    /// Derives the configuration with a different seed (for repeated
+    /// detection runs).
+    pub fn with_seed(mut self, seed: u64) -> WorkloadConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-thread random stream over the shared key pool.
+#[derive(Debug)]
+pub struct ThreadWorkload {
+    rng: StdRng,
+    pool: Vec<i64>,
+    calls: usize,
+    issued: usize,
+    shrink: bool,
+}
+
+impl ThreadWorkload {
+    /// Creates the stream for thread `index` of a run.
+    pub fn new(cfg: &WorkloadConfig, index: usize) -> ThreadWorkload {
+        // The pool itself is shared (same seed ⇒ same pool in every
+        // thread); per-thread choice streams differ.
+        let mut pool_rng = StdRng::seed_from_u64(cfg.seed);
+        let pool: Vec<i64> = (0..cfg.key_pool.max(1))
+            .map(|_| pool_rng.gen_range(0..1_000_000))
+            .collect();
+        ThreadWorkload {
+            rng: StdRng::seed_from_u64(
+                cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            pool,
+            calls: cfg.calls_per_thread,
+            issued: 0,
+            shrink: cfg.shrink_pool,
+        }
+    }
+
+    /// Picks the next key from the (gradually shrinking) pool.
+    pub fn next_key(&mut self) -> i64 {
+        let len = self.effective_pool_len();
+        self.pool[self.rng.gen_range(0..len)]
+    }
+
+    /// Current effective pool size: shrinks linearly from the full pool
+    /// to a quarter of it over the run.
+    fn effective_pool_len(&self) -> usize {
+        if !self.shrink || self.calls == 0 {
+            return self.pool.len();
+        }
+        let progress = self.issued.min(self.calls) as f64 / self.calls as f64;
+        let full = self.pool.len() as f64;
+        let len = full - progress * full * 0.75;
+        (len.ceil() as usize).clamp(1, self.pool.len())
+    }
+
+    /// Draws the next operation as an index into `weights` (one weight
+    /// per operation kind), advancing the shrink schedule.
+    pub fn next_op(&mut self, weights: &[u32]) -> usize {
+        self.issued += 1;
+        let total: u32 = weights.iter().sum();
+        let mut draw = self.rng.gen_range(0..total.max(1));
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// A raw random integer in `0..bound` (for non-key parameters).
+    pub fn next_int(&mut self, bound: i64) -> i64 {
+        self.rng.gen_range(0..bound.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_shared_across_threads() {
+        let cfg = WorkloadConfig::small();
+        let a = ThreadWorkload::new(&cfg, 0);
+        let b = ThreadWorkload::new(&cfg, 1);
+        assert_eq!(a.pool, b.pool);
+    }
+
+    #[test]
+    fn streams_differ_across_threads_but_are_reproducible() {
+        let cfg = WorkloadConfig::small();
+        let mut a0 = ThreadWorkload::new(&cfg, 0);
+        let mut a0_again = ThreadWorkload::new(&cfg, 0);
+        let mut a1 = ThreadWorkload::new(&cfg, 1);
+        let seq0: Vec<i64> = (0..10).map(|_| a0.next_key()).collect();
+        let seq0_again: Vec<i64> = (0..10).map(|_| a0_again.next_key()).collect();
+        let seq1: Vec<i64> = (0..10).map(|_| a1.next_key()).collect();
+        assert_eq!(seq0, seq0_again);
+        assert_ne!(seq0, seq1);
+    }
+
+    #[test]
+    fn pool_shrinks_over_the_run() {
+        let cfg = WorkloadConfig {
+            key_pool: 100,
+            calls_per_thread: 100,
+            ..WorkloadConfig::small()
+        };
+        let mut w = ThreadWorkload::new(&cfg, 0);
+        assert_eq!(w.effective_pool_len(), 100);
+        for _ in 0..100 {
+            w.next_op(&[1]);
+        }
+        assert_eq!(w.effective_pool_len(), 25);
+    }
+
+    #[test]
+    fn no_shrink_keeps_the_pool() {
+        let cfg = WorkloadConfig {
+            shrink_pool: false,
+            ..WorkloadConfig::small()
+        };
+        let mut w = ThreadWorkload::new(&cfg, 0);
+        for _ in 0..50 {
+            w.next_op(&[1]);
+        }
+        assert_eq!(w.effective_pool_len(), cfg.key_pool);
+    }
+
+    #[test]
+    fn op_weights_are_respected() {
+        let cfg = WorkloadConfig::small();
+        let mut w = ThreadWorkload::new(&cfg, 0);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[w.next_op(&[1, 1, 8])] += 1;
+        }
+        assert!(counts[2] > counts[0] * 3, "{counts:?}");
+        assert!(counts[0] > 0 && counts[1] > 0);
+    }
+
+    #[test]
+    fn config_helpers() {
+        let cfg = WorkloadConfig::small().with_seed(7);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.total_calls(), 4 * 50);
+    }
+}

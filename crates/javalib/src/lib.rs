@@ -1,0 +1,260 @@
+//! # vyrd-javalib — the `java.util` microbenchmarks (§7.4.1)
+//!
+//! Rust reconstructions of the two multithreaded Java class-library
+//! benchmarks whose known concurrency bugs the paper detects:
+//!
+//! * [`SyncVector`] — `java.util.Vector` with the "taking length
+//!   non-atomically in `lastIndexOf()`" bug ([`VectorVariant::Buggy`]).
+//!   The bug lives in an *observer*, so — as Table 1 notes — view
+//!   refinement is no better than I/O refinement at catching it.
+//! * [`BufferPool`] — `java.util.StringBuffer` semantics with the
+//!   "copying from an unprotected StringBuffer" bug
+//!   ([`StringBufferVariant::Buggy`]), which corrupts *state* and is
+//!   therefore caught much earlier by view refinement.
+//!
+//! ```
+//! use vyrd_core::checker::Checker;
+//! use vyrd_core::log::{EventLog, LogMode};
+//! use vyrd_javalib::{SyncVector, VectorReplayer, VectorSpec, VectorVariant};
+//!
+//! let log = EventLog::in_memory(LogMode::View);
+//! let v = SyncVector::new(VectorVariant::Correct, log.clone());
+//! let h = v.handle();
+//! h.add(3);
+//! assert_eq!(h.last_index_of(3).as_int(), Some(0));
+//!
+//! let report = Checker::view(VectorSpec::new(), VectorReplayer::new())
+//!     .check_events(log.snapshot());
+//! assert!(report.passed());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod replay;
+mod spec;
+mod stringbuffer;
+mod vector;
+
+pub use replay::{StringBufferReplayer, VectorReplayer};
+pub use spec::{len_key, StringBufferSpec, VectorSpec};
+pub use stringbuffer::{BufferPool, BufferPoolHandle, StringBufferVariant};
+pub use vector::{SyncVector, SyncVectorHandle, VectorVariant};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vyrd_core::checker::Checker;
+    use vyrd_core::log::{EventLog, LogMode};
+    use vyrd_core::violation::Report;
+    use vyrd_core::Value;
+
+    fn view_log() -> EventLog {
+        EventLog::in_memory(LogMode::View)
+    }
+
+    fn check_vec_io(log: &EventLog) -> Report {
+        Checker::io(VectorSpec::new()).check_events(log.snapshot())
+    }
+
+    fn check_vec_view(log: &EventLog) -> Report {
+        Checker::view(VectorSpec::new(), VectorReplayer::new()).check_events(log.snapshot())
+    }
+
+    fn check_sb_io(log: &EventLog, n: usize) -> Report {
+        Checker::io(StringBufferSpec::new(n)).check_events(log.snapshot())
+    }
+
+    fn check_sb_view(log: &EventLog, n: usize) -> Report {
+        Checker::view(
+            StringBufferSpec::new(n),
+            StringBufferReplayer::with_buffers(n),
+        )
+        .check_events(log.snapshot())
+    }
+
+    // ---------------- SyncVector ----------------
+
+    #[test]
+    fn vector_sequential_semantics() {
+        let log = view_log();
+        let v = SyncVector::new(VectorVariant::Correct, log.clone());
+        let h = v.handle();
+        h.add(1);
+        h.add(2);
+        h.add(1);
+        assert_eq!(h.size(), 3);
+        assert_eq!(h.get(1).as_int(), Some(2));
+        assert!(h.get(7).is_exception());
+        assert_eq!(h.last_index_of(1).as_int(), Some(2));
+        assert_eq!(h.last_index_of(9).as_int(), Some(-1));
+        assert_eq!(h.remove_last().as_int(), Some(1));
+        assert_eq!(h.size(), 2);
+        let v2 = SyncVector::new(VectorVariant::Correct, view_log());
+        assert!(v2.handle().remove_last().is_failure());
+        assert!(check_vec_io(&log).passed());
+        assert!(check_vec_view(&log).passed());
+    }
+
+    #[test]
+    fn vector_concurrent_correct_run_passes() {
+        let log = view_log();
+        let v = SyncVector::new(VectorVariant::Correct, log.clone());
+        let mut workers = Vec::new();
+        for t in 0..4i64 {
+            let h = v.handle();
+            workers.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    match i % 4 {
+                        0 | 1 => h.add(t * 100 + i),
+                        2 => {
+                            h.remove_last();
+                        }
+                        _ => {
+                            h.last_index_of(t * 100);
+                            h.size();
+                        }
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let io = check_vec_io(&log);
+        assert!(io.passed(), "io: {io}");
+        let view = check_vec_view(&log);
+        assert!(view.passed(), "view: {view}");
+    }
+
+    #[test]
+    fn vector_lastindexof_bug_is_caught_by_io_refinement() {
+        for _ in 0..400 {
+            let log = view_log();
+            let v = SyncVector::new(VectorVariant::Buggy, log.clone());
+            let seed = v.handle();
+            for i in 0..8 {
+                seed.add(i);
+            }
+            let h1 = v.handle();
+            let h2 = v.handle();
+            let a = std::thread::spawn(move || {
+                for _ in 0..8 {
+                    h1.last_index_of(0);
+                }
+            });
+            let b = std::thread::spawn(move || {
+                for _ in 0..8 {
+                    h2.remove_last();
+                }
+            });
+            a.join().unwrap();
+            b.join().unwrap();
+            let io = check_vec_io(&log);
+            if !io.passed() {
+                assert_eq!(io.violation.unwrap().category(), "observer-unjustified");
+                // The bug is in an observer: view refinement sees it at
+                // the same point, no earlier (Table 1's note).
+                let view = check_vec_view(&log);
+                assert!(!view.passed());
+                assert!(!view.violation.unwrap().is_view_only());
+                return;
+            }
+        }
+        panic!("the lastIndexOf race never manifested in 400 attempts");
+    }
+
+    // ---------------- StringBuffer ----------------
+
+    #[test]
+    fn stringbuffer_sequential_semantics() {
+        let log = view_log();
+        let pool = BufferPool::new(2, StringBufferVariant::Correct, log.clone());
+        let h = pool.handle();
+        h.append(0, "ab");
+        h.append(1, "cd");
+        assert_eq!(h.append_buffer(0, 1), Value::Unit);
+        assert_eq!(h.to_string(0).as_str(), Some("abcd"));
+        assert_eq!(h.length(0), 4);
+        h.set_length(0, 2);
+        assert_eq!(h.to_string(0).as_str(), Some("ab"));
+        h.set_length(0, 3);
+        assert_eq!(h.to_string(0).as_str(), Some("ab "));
+        h.append_buffer(1, 1);
+        assert_eq!(h.to_string(1).as_str(), Some("cdcd"));
+        assert!(check_sb_io(&log, 2).passed());
+        let view = check_sb_view(&log, 2);
+        assert!(view.passed(), "view: {view}");
+    }
+
+    #[test]
+    fn stringbuffer_concurrent_correct_run_passes() {
+        let log = view_log();
+        let pool = BufferPool::new(3, StringBufferVariant::Correct, log.clone());
+        let mut workers = Vec::new();
+        for t in 0..3i64 {
+            let h = pool.handle();
+            workers.push(std::thread::spawn(move || {
+                for i in 0..30 {
+                    match i % 4 {
+                        0 => h.append(t, "x"),
+                        1 => {
+                            h.append_buffer((t + 1) % 3, t);
+                        }
+                        2 => h.set_length(t, (i % 5) as usize),
+                        _ => {
+                            h.length(t);
+                        }
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let io = check_sb_io(&log, 3);
+        assert!(io.passed(), "io: {io}");
+        let view = check_sb_view(&log, 3);
+        assert!(view.passed(), "view: {view}");
+    }
+
+    #[test]
+    fn stringbuffer_unprotected_copy_is_caught() {
+        for _ in 0..400 {
+            let log = view_log();
+            let pool = BufferPool::new(2, StringBufferVariant::Buggy, log.clone());
+            let seed = pool.handle();
+            seed.append(1, "0123456789");
+            let h1 = pool.handle();
+            let h2 = pool.handle();
+            let a = std::thread::spawn(move || {
+                for _ in 0..12 {
+                    h1.append_buffer(0, 1);
+                }
+            });
+            let b = std::thread::spawn(move || {
+                for i in 0..40 {
+                    h2.set_length(1, if i % 2 == 0 { 2 } else { 10 });
+                    // Spread the mutations across the appender's buggy
+                    // length-read/copy windows.
+                    std::thread::sleep(std::time::Duration::from_micros(10));
+                }
+            });
+            a.join().unwrap();
+            b.join().unwrap();
+            let view = check_sb_view(&log, 2);
+            if !view.passed() {
+                // Either the exceptional return (spec rejection) or the
+                // torn copy (view mismatch).
+                let v = view.violation.unwrap();
+                assert!(matches!(
+                    v.category(),
+                    "view-mismatch" | "spec-rejected-commit"
+                ));
+                return;
+            }
+        }
+        panic!("the unprotected-copy race never manifested in 400 attempts");
+    }
+}

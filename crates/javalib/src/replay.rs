@@ -1,0 +1,206 @@
+//! Replayers for the Java-library benchmarks.
+
+use std::collections::{BTreeSet, HashMap};
+
+use vyrd_core::replay::Replayer;
+use vyrd_core::view::View;
+use vyrd_core::{Value, VarId};
+
+use crate::spec::len_key;
+
+/// Shadow state for [`SyncVector`](crate::SyncVector).
+///
+/// Variables: `vec.elem[i]` (element writes) and `vec.len[0]` (length
+/// after each mutation). The view is `{ i -> elem[i] : i < len }` plus a
+/// `"len"` entry.
+#[derive(Debug, Default)]
+pub struct VectorReplayer {
+    elems: HashMap<i64, i64>,
+    len: i64,
+    dirty: BTreeSet<Value>,
+}
+
+impl VectorReplayer {
+    /// Creates an empty shadow vector.
+    pub fn new() -> VectorReplayer {
+        VectorReplayer::default()
+    }
+}
+
+impl Replayer for VectorReplayer {
+    fn apply_write(&mut self, var: &VarId, value: &Value) {
+        match var.space() {
+            "vec.elem" => {
+                self.elems.insert(var.index(), value.as_int().unwrap_or(0));
+                self.dirty.insert(Value::from(var.index()));
+            }
+            "vec.len" => {
+                let new_len = value.as_int().unwrap_or(0);
+                // Indices between the old and new length enter or leave
+                // the view.
+                let (lo, hi) = if new_len < self.len {
+                    (new_len, self.len)
+                } else {
+                    (self.len, new_len)
+                };
+                for i in lo..hi {
+                    self.dirty.insert(Value::from(i));
+                }
+                self.len = new_len;
+                self.dirty.insert(len_key());
+            }
+            other => panic!("VectorReplayer: unknown variable space {other:?}"),
+        }
+    }
+
+    fn view(&self) -> View {
+        let mut v: View = (0..self.len)
+            .filter_map(|i| {
+                self.elems
+                    .get(&i)
+                    .map(|&x| (Value::from(i), Value::from(x)))
+            })
+            .collect();
+        v.insert(len_key(), Value::from(self.len));
+        v
+    }
+
+    fn view_of(&self, key: &Value) -> Option<Value> {
+        if *key == len_key() {
+            return Some(Value::from(self.len));
+        }
+        let i = key.as_int()?;
+        if i < 0 || i >= self.len {
+            return None;
+        }
+        self.elems.get(&i).map(|&x| Value::from(x))
+    }
+
+    fn take_dirty(&mut self) -> Option<Vec<Value>> {
+        Some(std::mem::take(&mut self.dirty).into_iter().collect())
+    }
+}
+
+/// Shadow state for a [`BufferPool`](crate::BufferPool).
+///
+/// The pool logs coarse-grained *op-level* records (§6.2): the appended
+/// delta (`sb.append[id]`) or the new length (`sb.setlen[id]`). Replay
+/// re-executes the operation on the shadow buffer — the
+/// programmer-provided "replay methods" of §6.2.
+#[derive(Debug, Default)]
+pub struct StringBufferReplayer {
+    buffers: HashMap<i64, String>,
+    dirty: BTreeSet<Value>,
+}
+
+impl StringBufferReplayer {
+    /// Creates an empty shadow pool; buffers materialize as their first
+    /// writes are replayed.
+    pub fn new() -> StringBufferReplayer {
+        StringBufferReplayer::default()
+    }
+
+    /// Like [`StringBufferReplayer::new`] but with `count` buffers known
+    /// to exist up front, so the initial (all-empty) view already matches
+    /// the specification.
+    pub fn with_buffers(count: usize) -> StringBufferReplayer {
+        StringBufferReplayer {
+            buffers: (0..count as i64).map(|id| (id, String::new())).collect(),
+            dirty: BTreeSet::new(),
+        }
+    }
+}
+
+impl Replayer for StringBufferReplayer {
+    fn apply_write(&mut self, var: &VarId, value: &Value) {
+        match var.space() {
+            "sb.append" => {
+                let buf = self.buffers.entry(var.index()).or_default();
+                buf.push_str(value.as_str().unwrap_or(""));
+                self.dirty.insert(Value::from(var.index()));
+            }
+            "sb.setlen" => {
+                let n = value.as_int().and_then(|n| usize::try_from(n).ok()).unwrap_or(0);
+                let buf = self.buffers.entry(var.index()).or_default();
+                if n <= buf.len() {
+                    buf.truncate(n);
+                } else {
+                    let pad = n - buf.len();
+                    buf.extend(std::iter::repeat_n(' ', pad));
+                }
+                self.dirty.insert(Value::from(var.index()));
+            }
+            other => panic!("StringBufferReplayer: unknown variable space {other:?}"),
+        }
+    }
+
+    fn view(&self) -> View {
+        self.buffers
+            .iter()
+            .map(|(&id, s)| (Value::from(id), Value::from(s.clone())))
+            .collect()
+    }
+
+    fn view_of(&self, key: &Value) -> Option<Value> {
+        self.buffers
+            .get(&key.as_int()?)
+            .map(|s| Value::from(s.clone()))
+    }
+
+    fn take_dirty(&mut self) -> Option<Vec<Value>> {
+        Some(std::mem::take(&mut self.dirty).into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(r: &mut impl Replayer, space: &str, index: i64, value: Value) {
+        r.apply_write(&VarId::new(space, index), &value);
+    }
+
+    #[test]
+    fn vector_replayer_tracks_contents_and_len() {
+        let mut r = VectorReplayer::new();
+        w(&mut r, "vec.elem", 0, Value::from(7i64));
+        w(&mut r, "vec.len", 0, Value::from(1i64));
+        assert_eq!(r.view_of(&Value::from(0i64)), Some(Value::from(7i64)));
+        assert_eq!(r.view_of(&len_key()), Some(Value::from(1i64)));
+        // Shrinking hides the element without erasing it.
+        w(&mut r, "vec.len", 0, Value::from(0i64));
+        assert_eq!(r.view_of(&Value::from(0i64)), None);
+        assert_eq!(r.view().len(), 1); // just "len"
+    }
+
+    #[test]
+    fn vector_replayer_dirty_covers_length_changes() {
+        let mut r = VectorReplayer::new();
+        w(&mut r, "vec.elem", 0, Value::from(7i64));
+        w(&mut r, "vec.len", 0, Value::from(1i64));
+        let dirty = r.take_dirty().unwrap();
+        assert!(dirty.contains(&Value::from(0i64)));
+        assert!(dirty.contains(&len_key()));
+        // Growing by two marks both new indices.
+        w(&mut r, "vec.len", 0, Value::from(3i64));
+        let dirty = r.take_dirty().unwrap();
+        assert!(dirty.contains(&Value::from(1i64)));
+        assert!(dirty.contains(&Value::from(2i64)));
+    }
+
+    #[test]
+    fn stringbuffer_replayer_replays_ops() {
+        let mut r = StringBufferReplayer::with_buffers(2);
+        assert_eq!(r.view_of(&Value::from(0i64)), Some(Value::from("")));
+        w(&mut r, "sb.append", 0, Value::from("abc"));
+        w(&mut r, "sb.append", 0, Value::from("de"));
+        assert_eq!(r.view_of(&Value::from(0i64)), Some(Value::from("abcde")));
+        w(&mut r, "sb.setlen", 0, Value::from(2i64));
+        assert_eq!(r.view_of(&Value::from(0i64)), Some(Value::from("ab")));
+        w(&mut r, "sb.setlen", 0, Value::from(4i64));
+        assert_eq!(r.view_of(&Value::from(0i64)), Some(Value::from("ab  ")));
+        assert_eq!(r.view().len(), 2);
+        let dirty = r.take_dirty().unwrap();
+        assert_eq!(dirty, vec![Value::from(0i64)]);
+    }
+}

@@ -1,0 +1,420 @@
+//! Executable specifications for the Java-library benchmarks.
+
+use vyrd_core::spec::{MethodKind, Spec, SpecEffect, SpecError};
+use vyrd_core::view::View;
+use vyrd_core::{MethodId, Value};
+
+/// The view key under which the vector's length is reported.
+pub fn len_key() -> Value {
+    Value::from("len")
+}
+
+/// Atomic specification of [`SyncVector`](crate::SyncVector): a plain
+/// sequence, every method one transition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorSpec {
+    elems: Vec<i64>,
+}
+
+impl VectorSpec {
+    /// Creates the empty-vector specification.
+    pub fn new() -> VectorSpec {
+        VectorSpec::default()
+    }
+
+    /// Current abstract contents.
+    pub fn elems(&self) -> &[i64] {
+        &self.elems
+    }
+
+    fn int_arg(args: &[Value], i: usize) -> Result<i64, SpecError> {
+        args.get(i)
+            .and_then(Value::as_int)
+            .ok_or_else(|| SpecError::new(format!("argument {i} is not an integer")))
+    }
+}
+
+impl Spec for VectorSpec {
+    fn kind(&self, method: &MethodId) -> MethodKind {
+        match method.name() {
+            "Add" | "RemoveLast" => MethodKind::Mutator,
+            _ => MethodKind::Observer,
+        }
+    }
+
+    fn apply(
+        &mut self,
+        method: &MethodId,
+        args: &[Value],
+        ret: &Value,
+    ) -> Result<SpecEffect, SpecError> {
+        match method.name() {
+            "Add" => {
+                let x = Self::int_arg(args, 0)?;
+                self.elems.push(x);
+                Ok(SpecEffect::touching([
+                    Value::from(self.elems.len() - 1),
+                    len_key(),
+                ]))
+            }
+            "RemoveLast" => {
+                if ret.is_failure() {
+                    if self.elems.is_empty() {
+                        Ok(SpecEffect::unchanged())
+                    } else {
+                        Err(SpecError::new(
+                            "RemoveLast failed although the vector is non-empty",
+                        ))
+                    }
+                } else {
+                    let x = ret.as_int().ok_or_else(|| {
+                        SpecError::new(format!("RemoveLast returns an element, not {ret}"))
+                    })?;
+                    match self.elems.last() {
+                        Some(&last) if last == x => {
+                            self.elems.pop();
+                            Ok(SpecEffect::touching([
+                                Value::from(self.elems.len()),
+                                len_key(),
+                            ]))
+                        }
+                        Some(&last) => Err(SpecError::new(format!(
+                            "RemoveLast returned {x} but the last element is {last}"
+                        ))),
+                        None => Err(SpecError::new(format!(
+                            "RemoveLast returned {x} from an empty vector"
+                        ))),
+                    }
+                }
+            }
+            other => Err(SpecError::new(format!("unknown mutator {other}"))),
+        }
+    }
+
+    fn accepts_observation(&self, method: &MethodId, args: &[Value], ret: &Value) -> bool {
+        match method.name() {
+            "Get" => {
+                let Some(i) = args.first().and_then(Value::as_int) else {
+                    return false;
+                };
+                match usize::try_from(i).ok().and_then(|i| self.elems.get(i)) {
+                    Some(&x) => ret.as_int() == Some(x),
+                    None => ret.is_exception(),
+                }
+            }
+            "Size" => ret.as_int() == Some(self.elems.len() as i64),
+            "LastIndexOf" => {
+                let Some(x) = args.first().and_then(Value::as_int) else {
+                    return false;
+                };
+                // The atomic LastIndexOf never throws.
+                let expected = self
+                    .elems
+                    .iter()
+                    .rposition(|&e| e == x)
+                    .map(|i| i as i64)
+                    .unwrap_or(-1);
+                ret.as_int() == Some(expected)
+            }
+            _ => false,
+        }
+    }
+
+    fn view(&self) -> View {
+        let mut v: View = self
+            .elems
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (Value::from(i), Value::from(x)))
+            .collect();
+        v.insert(len_key(), Value::from(self.elems.len()));
+        v
+    }
+
+    fn view_of(&self, key: &Value) -> Option<Value> {
+        if *key == len_key() {
+            return Some(Value::from(self.elems.len()));
+        }
+        let i = usize::try_from(key.as_int()?).ok()?;
+        self.elems.get(i).map(|&x| Value::from(x))
+    }
+}
+
+/// Atomic specification of a [`BufferPool`](crate::BufferPool): a fixed
+/// group of strings, every method one transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StringBufferSpec {
+    buffers: Vec<String>,
+}
+
+impl StringBufferSpec {
+    /// Creates a specification with `count` empty buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize) -> StringBufferSpec {
+        assert!(count > 0, "buffer pool must not be empty");
+        StringBufferSpec {
+            buffers: vec![String::new(); count],
+        }
+    }
+
+    /// Current abstract content of buffer `id`.
+    pub fn content(&self, id: usize) -> &str {
+        &self.buffers[id]
+    }
+
+    fn buffer_arg(&self, args: &[Value], i: usize) -> Result<usize, SpecError> {
+        let id = args
+            .get(i)
+            .and_then(Value::as_int)
+            .ok_or_else(|| SpecError::new(format!("argument {i} is not a buffer id")))?;
+        let id = usize::try_from(id)
+            .ok()
+            .filter(|&id| id < self.buffers.len())
+            .ok_or_else(|| SpecError::new(format!("buffer id {id} out of range")))?;
+        Ok(id)
+    }
+}
+
+impl Spec for StringBufferSpec {
+    fn kind(&self, method: &MethodId) -> MethodKind {
+        match method.name() {
+            "Append" | "SetLength" | "AppendBuffer" => MethodKind::Mutator,
+            _ => MethodKind::Observer,
+        }
+    }
+
+    fn apply(
+        &mut self,
+        method: &MethodId,
+        args: &[Value],
+        ret: &Value,
+    ) -> Result<SpecEffect, SpecError> {
+        match method.name() {
+            "Append" => {
+                let id = self.buffer_arg(args, 0)?;
+                let s = args
+                    .get(1)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| SpecError::new("Append takes a string"))?;
+                self.buffers[id].push_str(s);
+                Ok(SpecEffect::touching([id]))
+            }
+            "SetLength" => {
+                let id = self.buffer_arg(args, 0)?;
+                let n = args
+                    .get(1)
+                    .and_then(Value::as_int)
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| SpecError::new("SetLength takes a non-negative length"))?;
+                let buf = &mut self.buffers[id];
+                if n <= buf.len() {
+                    buf.truncate(n);
+                } else {
+                    let pad = n - buf.len();
+                    buf.extend(std::iter::repeat_n(' ', pad));
+                }
+                Ok(SpecEffect::touching([id]))
+            }
+            "AppendBuffer" => {
+                let dst = self.buffer_arg(args, 0)?;
+                let src = self.buffer_arg(args, 1)?;
+                if !ret.is_unit() {
+                    // The atomic append never terminates exceptionally —
+                    // this is exactly how the unprotected-copy bug
+                    // surfaces to I/O refinement.
+                    return Err(SpecError::new(format!(
+                        "AppendBuffer returns unit, not {ret}"
+                    )));
+                }
+                let copy = self.buffers[src].clone();
+                self.buffers[dst].push_str(&copy);
+                Ok(SpecEffect::touching([dst]))
+            }
+            other => Err(SpecError::new(format!("unknown mutator {other}"))),
+        }
+    }
+
+    fn accepts_observation(&self, method: &MethodId, args: &[Value], ret: &Value) -> bool {
+        let Ok(id) = self.buffer_arg(args, 0) else {
+            return false;
+        };
+        match method.name() {
+            "ToString" => ret.as_str() == Some(self.buffers[id].as_str()),
+            "Length" => ret.as_int() == Some(self.buffers[id].len() as i64),
+            _ => false,
+        }
+    }
+
+    fn view(&self) -> View {
+        self.buffers
+            .iter()
+            .enumerate()
+            .map(|(id, s)| (Value::from(id), Value::from(s.clone())))
+            .collect()
+    }
+
+    fn view_of(&self, key: &Value) -> Option<Value> {
+        let id = usize::try_from(key.as_int()?).ok()?;
+        self.buffers.get(id).map(|s| Value::from(s.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(name: &str) -> MethodId {
+        MethodId::from(name)
+    }
+
+    #[test]
+    fn vector_add_and_remove() {
+        let mut s = VectorSpec::new();
+        s.apply(&m("Add"), &[Value::from(7i64)], &Value::Unit).unwrap();
+        s.apply(&m("Add"), &[Value::from(9i64)], &Value::Unit).unwrap();
+        assert_eq!(s.elems(), &[7, 9]);
+        s.apply(&m("RemoveLast"), &[], &Value::from(9i64)).unwrap();
+        assert_eq!(s.elems(), &[7]);
+        // Wrong element rejected.
+        assert!(s.apply(&m("RemoveLast"), &[], &Value::from(3i64)).is_err());
+        s.apply(&m("RemoveLast"), &[], &Value::from(7i64)).unwrap();
+        // Failure only on empty.
+        s.apply(&m("RemoveLast"), &[], &Value::failure()).unwrap();
+        s.apply(&m("Add"), &[Value::from(1i64)], &Value::Unit).unwrap();
+        assert!(s.apply(&m("RemoveLast"), &[], &Value::failure()).is_err());
+    }
+
+    #[test]
+    fn vector_observers() {
+        let mut s = VectorSpec::new();
+        for x in [5, 6, 5] {
+            s.apply(&m("Add"), &[Value::from(x)], &Value::Unit).unwrap();
+        }
+        assert!(s.accepts_observation(&m("Get"), &[Value::from(1i64)], &Value::from(6i64)));
+        assert!(s.accepts_observation(
+            &m("Get"),
+            &[Value::from(9i64)],
+            &Value::exception("IndexOutOfBounds")
+        ));
+        assert!(s.accepts_observation(&m("Size"), &[], &Value::from(3i64)));
+        assert!(s.accepts_observation(
+            &m("LastIndexOf"),
+            &[Value::from(5i64)],
+            &Value::from(2i64)
+        ));
+        assert!(s.accepts_observation(
+            &m("LastIndexOf"),
+            &[Value::from(42i64)],
+            &Value::from(-1i64)
+        ));
+        // The atomic LastIndexOf never throws.
+        assert!(!s.accepts_observation(
+            &m("LastIndexOf"),
+            &[Value::from(5i64)],
+            &Value::exception("IndexOutOfBounds")
+        ));
+    }
+
+    #[test]
+    fn vector_view_includes_len() {
+        let mut s = VectorSpec::new();
+        s.apply(&m("Add"), &[Value::from(4i64)], &Value::Unit).unwrap();
+        let v = s.view();
+        assert_eq!(v.get(&Value::from(0i64)), Some(&Value::from(4i64)));
+        assert_eq!(v.get(&len_key()), Some(&Value::from(1i64)));
+        assert_eq!(s.view_of(&len_key()), Some(Value::from(1i64)));
+        assert_eq!(s.view_of(&Value::from(5i64)), None);
+    }
+
+    #[test]
+    fn stringbuffer_append_and_set_length() {
+        let mut s = StringBufferSpec::new(2);
+        s.apply(
+            &m("Append"),
+            &[Value::from(0i64), Value::from("abc")],
+            &Value::Unit,
+        )
+        .unwrap();
+        assert_eq!(s.content(0), "abc");
+        s.apply(
+            &m("SetLength"),
+            &[Value::from(0i64), Value::from(1i64)],
+            &Value::Unit,
+        )
+        .unwrap();
+        assert_eq!(s.content(0), "a");
+        s.apply(
+            &m("SetLength"),
+            &[Value::from(0i64), Value::from(3i64)],
+            &Value::Unit,
+        )
+        .unwrap();
+        assert_eq!(s.content(0), "a  ");
+    }
+
+    #[test]
+    fn stringbuffer_append_buffer_uses_spec_content() {
+        let mut s = StringBufferSpec::new(2);
+        s.apply(
+            &m("Append"),
+            &[Value::from(1i64), Value::from("xy")],
+            &Value::Unit,
+        )
+        .unwrap();
+        s.apply(
+            &m("AppendBuffer"),
+            &[Value::from(0i64), Value::from(1i64)],
+            &Value::Unit,
+        )
+        .unwrap();
+        assert_eq!(s.content(0), "xy");
+        // Self-append doubles.
+        s.apply(
+            &m("AppendBuffer"),
+            &[Value::from(0i64), Value::from(0i64)],
+            &Value::Unit,
+        )
+        .unwrap();
+        assert_eq!(s.content(0), "xyxy");
+        // Exceptional return rejected.
+        assert!(s
+            .apply(
+                &m("AppendBuffer"),
+                &[Value::from(0i64), Value::from(1i64)],
+                &Value::exception("IndexOutOfBounds"),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn stringbuffer_observers_and_view() {
+        let mut s = StringBufferSpec::new(2);
+        s.apply(
+            &m("Append"),
+            &[Value::from(0i64), Value::from("hi")],
+            &Value::Unit,
+        )
+        .unwrap();
+        assert!(s.accepts_observation(&m("ToString"), &[Value::from(0i64)], &Value::from("hi")));
+        assert!(!s.accepts_observation(&m("ToString"), &[Value::from(0i64)], &Value::from("ho")));
+        assert!(s.accepts_observation(&m("Length"), &[Value::from(0i64)], &Value::from(2i64)));
+        assert_eq!(s.view_of(&Value::from(0i64)), Some(Value::from("hi")));
+        assert_eq!(s.view().len(), 2);
+    }
+
+    #[test]
+    fn stringbuffer_rejects_bad_ids() {
+        let mut s = StringBufferSpec::new(1);
+        assert!(s
+            .apply(
+                &m("Append"),
+                &[Value::from(5i64), Value::from("x")],
+                &Value::Unit
+            )
+            .is_err());
+        assert!(!s.accepts_observation(&m("Length"), &[Value::from(-1i64)], &Value::from(0i64)));
+    }
+}

@@ -1,0 +1,255 @@
+//! `SyncStringBuffer`: the `java.util.StringBuffer` benchmark (§7.4.1).
+//!
+//! `StringBuffer` methods are individually synchronized, but
+//! `append(StringBuffer other)` needs *both* monitors to be atomic. The
+//! known bug the paper checks for ("copying from an unprotected
+//! StringBuffer", Table 1) is that `append` reads `other.length()` in one
+//! synchronized step and copies `other`'s characters in another — if a
+//! concurrent `setLength` shrinks `other` in between, the copy either
+//! throws (modeled as an exceptional return the specification rejects) or
+//! silently appends stale content (caught by view refinement at the
+//! commit).
+//!
+//! Buffers live in a [`BufferPool`] and are addressed by integer ids so
+//! the specification can model the whole group of buffers as one
+//! method-atomic transition system.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vyrd_core::instrument::{BlockGuard, MethodSession};
+use vyrd_core::log::{EventLog, ThreadLogger};
+use vyrd_core::{Value, VarId};
+
+/// Which `AppendBuffer` implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StringBufferVariant {
+    /// Both monitors are held (in id order) across the copy.
+    #[default]
+    Correct,
+    /// The source length is read in one monitor section, the characters
+    /// copied in another ("copying from an unprotected StringBuffer").
+    Buggy,
+}
+
+#[derive(Debug)]
+struct Inner {
+    buffers: Vec<Mutex<String>>,
+    variant: StringBufferVariant,
+    log: EventLog,
+}
+
+/// A fixed group of monitor-synchronized string buffers.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_javalib::{BufferPool, StringBufferVariant};
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let pool = BufferPool::new(2, StringBufferVariant::Correct, log);
+/// let h = pool.handle();
+/// h.append(0, "ab");
+/// h.append(1, "cd");
+/// h.append_buffer(0, 1);
+/// assert_eq!(h.to_string(0).as_str(), Some("abcd"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    inner: Arc<Inner>,
+}
+
+impl BufferPool {
+    /// Creates `count` empty buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize, variant: StringBufferVariant, log: EventLog) -> BufferPool {
+        assert!(count > 0, "buffer pool must not be empty");
+        BufferPool {
+            inner: Arc::new(Inner {
+                buffers: (0..count).map(|_| Mutex::new(String::new())).collect(),
+                variant,
+                log,
+            }),
+        }
+    }
+
+    /// Number of buffers in the pool.
+    pub fn len(&self) -> usize {
+        self.inner.buffers.len()
+    }
+
+    /// `true` if the pool has no buffers (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.inner.buffers.is_empty()
+    }
+
+    /// The event log this pool records into.
+    pub fn log(&self) -> &EventLog {
+        &self.inner.log
+    }
+
+    /// Creates a per-thread handle with a fresh thread id.
+    pub fn handle(&self) -> BufferPoolHandle {
+        BufferPoolHandle {
+            pool: self.clone(),
+            logger: self.inner.log.logger(),
+        }
+    }
+}
+
+/// Per-thread access to a [`BufferPool`].
+#[derive(Clone, Debug)]
+pub struct BufferPoolHandle {
+    pool: BufferPool,
+    logger: ThreadLogger,
+}
+
+impl BufferPoolHandle {
+    fn buffer(&self, id: i64) -> &Mutex<String> {
+        &self.pool.inner.buffers[id as usize]
+    }
+
+    /// Coarse-grained op-level log records (§6.2): the appended delta /
+    /// the new length, not the whole buffer — keeping log volume
+    /// proportional to the work done.
+    fn log_append(&self, id: i64, delta: &str) {
+        self.logger
+            .write(VarId::new("sb.append", id), Value::from(delta.to_owned()));
+    }
+
+    fn log_set_len(&self, id: i64, n: usize) {
+        self.logger
+            .write(VarId::new("sb.setlen", id), Value::from(n));
+    }
+
+    /// `Append(id, s)`: appends the literal `s` to buffer `id`.
+    pub fn append(&self, id: i64, s: &str) {
+        let args = [Value::from(id), Value::from(s)];
+        let mut session = MethodSession::enter(&self.logger, "Append", &args);
+        {
+            let mut buf = self.buffer(id).lock();
+            let block = BlockGuard::enter(&self.logger);
+            buf.push_str(s);
+            self.log_append(id, s);
+            session.commit();
+            drop(block);
+        }
+        session.exit(Value::Unit);
+    }
+
+    /// `SetLength(id, n)`: truncates buffer `id` to `n` characters, or
+    /// pads it with spaces up to `n`.
+    pub fn set_length(&self, id: i64, n: usize) {
+        let args = [Value::from(id), Value::from(n)];
+        let mut session = MethodSession::enter(&self.logger, "SetLength", &args);
+        {
+            let mut buf = self.buffer(id).lock();
+            let block = BlockGuard::enter(&self.logger);
+            if n <= buf.len() {
+                buf.truncate(n);
+            } else {
+                let pad = n - buf.len();
+                buf.extend(std::iter::repeat_n(' ', pad));
+            }
+            self.log_set_len(id, n);
+            session.commit();
+            drop(block);
+        }
+        session.exit(Value::Unit);
+    }
+
+    /// `AppendBuffer(dst, src)`: appends the current content of buffer
+    /// `src` to buffer `dst`.
+    ///
+    /// The correct variant holds both monitors (in id order) across the
+    /// copy; the buggy variant reproduces the classic race.
+    pub fn append_buffer(&self, dst: i64, src: i64) -> Value {
+        let args = [Value::from(dst), Value::from(src)];
+        let mut session = MethodSession::enter(&self.logger, "AppendBuffer", &args);
+        if dst == src {
+            // sb.append(sb): doubles the content under one monitor.
+            let mut buf = self.buffer(dst).lock();
+            let block = BlockGuard::enter(&self.logger);
+            let copy = buf.clone();
+            buf.push_str(&copy);
+            self.log_append(dst, &copy);
+            session.commit();
+            drop(block);
+            return session.exit(Value::Unit);
+        }
+        match self.pool.inner.variant {
+            StringBufferVariant::Correct => {
+                // Lock both monitors in id order (deadlock-free) so the
+                // read of src and the write of dst are one atomic step.
+                let (lo, hi) = (dst.min(src), dst.max(src));
+                let lo_guard = self.buffer(lo).lock();
+                let hi_guard = self.buffer(hi).lock();
+                let (mut dst_guard, src_guard) = if dst < src {
+                    (lo_guard, hi_guard)
+                } else {
+                    (hi_guard, lo_guard)
+                };
+                let block = BlockGuard::enter(&self.logger);
+                let copy = src_guard.clone();
+                dst_guard.push_str(&copy);
+                self.log_append(dst, &copy);
+                session.commit();
+                drop(block);
+                drop(dst_guard);
+                drop(src_guard);
+                session.exit(Value::Unit)
+            }
+            StringBufferVariant::Buggy => {
+                // BUG step 1: read src's length under its monitor...
+                let n = self.buffer(src).lock().len();
+                // A real scheduling window (not just a yield) so the race
+                // manifests reliably under test harnesses.
+                std::thread::sleep(std::time::Duration::from_micros(30));
+                // BUG step 2: ...then copy n characters in a separate
+                // monitor section. src may have shrunk: Java's getChars
+                // throws; a same-length rewrite silently copies different
+                // content than the length-read observed.
+                let copied = {
+                    let src_guard = self.buffer(src).lock();
+                    if src_guard.len() < n {
+                        None
+                    } else {
+                        Some(src_guard[..n].to_owned())
+                    }
+                };
+                let Some(copied) = copied else {
+                    // ArrayIndexOutOfBoundsException escapes append().
+                    session.commit();
+                    return session.exit(Value::exception("IndexOutOfBounds"));
+                };
+                let mut dst_guard = self.buffer(dst).lock();
+                let block = BlockGuard::enter(&self.logger);
+                dst_guard.push_str(&copied);
+                self.log_append(dst, &copied);
+                session.commit();
+                drop(block);
+                drop(dst_guard);
+                session.exit(Value::Unit)
+            }
+        }
+    }
+
+    /// `ToString(id)`: the current content of buffer `id`. Observer.
+    pub fn to_string(&self, id: i64) -> Value {
+        let session = MethodSession::enter(&self.logger, "ToString", &[Value::from(id)]);
+        let content = self.buffer(id).lock().clone();
+        session.exit(Value::from(content))
+    }
+
+    /// `Length(id)`: the current length of buffer `id`. Observer.
+    pub fn length(&self, id: i64) -> i64 {
+        let session = MethodSession::enter(&self.logger, "Length", &[Value::from(id)]);
+        let n = self.buffer(id).lock().len() as i64;
+        session.exit(Value::from(n));
+        n
+    }
+}

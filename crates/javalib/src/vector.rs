@@ -1,0 +1,199 @@
+//! `SyncVector`: the `java.util.Vector` benchmark (§7.4.1).
+//!
+//! `java.util.Vector` is "synchronized": every public method takes the
+//! object monitor. The known concurrency bug the paper checks for
+//! ("taking length non-atomically in `lastIndexOf()`", Table 1) is that
+//! `lastIndexOf(Object)` first reads `size()` in one synchronized step and
+//! then scans `elementAt(size-1) .. elementAt(0)` in another — if a
+//! concurrent `removeLast` shrinks the vector in between, the scan indexes
+//! past the end and throws `ArrayIndexOutOfBoundsException` (modeled here
+//! as an exceptional return value, which the specification never allows
+//! for `LastIndexOf`).
+//!
+//! Methods: `Add(x)`, `RemoveLast()`, `Get(i)`, `Size()`,
+//! `LastIndexOf(x)`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vyrd_core::instrument::{BlockGuard, MethodSession};
+use vyrd_core::log::{EventLog, ThreadLogger};
+use vyrd_core::{Value, VarId};
+
+/// Which `LastIndexOf` implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VectorVariant {
+    /// `LastIndexOf` holds the monitor across the whole length-read +
+    /// scan.
+    #[default]
+    Correct,
+    /// The length is read in one monitor section and the scan runs in
+    /// another ("taking length non-atomically").
+    Buggy,
+}
+
+#[derive(Debug)]
+struct Inner {
+    elems: Mutex<Vec<i64>>,
+    variant: VectorVariant,
+    log: EventLog,
+}
+
+/// A monitor-synchronized growable vector of integers.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_javalib::{SyncVector, VectorVariant};
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let v = SyncVector::new(VectorVariant::Correct, log);
+/// let h = v.handle();
+/// h.add(7);
+/// h.add(9);
+/// h.add(7);
+/// assert_eq!(h.last_index_of(7).as_int(), Some(2));
+/// assert_eq!(h.size(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SyncVector {
+    inner: Arc<Inner>,
+}
+
+impl SyncVector {
+    /// Creates an empty vector.
+    pub fn new(variant: VectorVariant, log: EventLog) -> SyncVector {
+        SyncVector {
+            inner: Arc::new(Inner {
+                elems: Mutex::new(Vec::new()),
+                variant,
+                log,
+            }),
+        }
+    }
+
+    /// The event log this vector records into.
+    pub fn log(&self) -> &EventLog {
+        &self.inner.log
+    }
+
+    /// Creates a per-thread handle with a fresh thread id.
+    pub fn handle(&self) -> SyncVectorHandle {
+        SyncVectorHandle {
+            v: self.clone(),
+            logger: self.inner.log.logger(),
+        }
+    }
+}
+
+/// Per-thread access to a [`SyncVector`].
+#[derive(Clone, Debug)]
+pub struct SyncVectorHandle {
+    v: SyncVector,
+    logger: ThreadLogger,
+}
+
+impl SyncVectorHandle {
+    /// `Add(x)`: appends `x`. The commit action is the append, performed
+    /// and logged under the monitor.
+    pub fn add(&self, x: i64) {
+        let mut session = MethodSession::enter(&self.logger, "Add", &[Value::from(x)]);
+        {
+            let mut elems = self.v.inner.elems.lock();
+            let block = BlockGuard::enter(&self.logger);
+            let i = elems.len() as i64;
+            elems.push(x);
+            self.logger.write(VarId::new("vec.elem", i), Value::from(x));
+            self.logger
+                .write(VarId::new("vec.len", 0), Value::from(elems.len()));
+            session.commit();
+            drop(block);
+        }
+        session.exit(Value::Unit);
+    }
+
+    /// `RemoveLast()`: removes and returns the last element, or fails on
+    /// an empty vector.
+    pub fn remove_last(&self) -> Value {
+        let mut session = MethodSession::enter(&self.logger, "RemoveLast", &[]);
+        let ret = {
+            let mut elems = self.v.inner.elems.lock();
+            let block = BlockGuard::enter(&self.logger);
+            let ret = match elems.pop() {
+                Some(x) => {
+                    self.logger
+                        .write(VarId::new("vec.len", 0), Value::from(elems.len()));
+                    Value::from(x)
+                }
+                None => Value::failure(),
+            };
+            session.commit();
+            drop(block);
+            ret
+        };
+        session.exit(ret)
+    }
+
+    /// `Get(i)`: the element at `i`, or an exceptional value when out of
+    /// bounds. Observer.
+    pub fn get(&self, i: i64) -> Value {
+        let session = MethodSession::enter(&self.logger, "Get", &[Value::from(i)]);
+        let ret = {
+            let elems = self.v.inner.elems.lock();
+            match usize::try_from(i).ok().and_then(|i| elems.get(i)) {
+                Some(&x) => Value::from(x),
+                None => Value::exception("IndexOutOfBounds"),
+            }
+        };
+        session.exit(ret)
+    }
+
+    /// `Size()`: the current length. Observer.
+    pub fn size(&self) -> i64 {
+        let session = MethodSession::enter(&self.logger, "Size", &[]);
+        let n = self.v.inner.elems.lock().len() as i64;
+        session.exit(Value::from(n));
+        n
+    }
+
+    /// `LastIndexOf(x)`: the greatest index holding `x`, or `-1`.
+    /// Observer.
+    ///
+    /// The [`VectorVariant::Buggy`] version reads the length and performs
+    /// the backwards scan in *separate* monitor sections; a concurrent
+    /// `RemoveLast` in between makes the scan index out of bounds, which
+    /// surfaces as an exceptional return the specification rejects.
+    pub fn last_index_of(&self, x: i64) -> Value {
+        let session = MethodSession::enter(&self.logger, "LastIndexOf", &[Value::from(x)]);
+        let ret = match self.v.inner.variant {
+            VectorVariant::Correct => {
+                let elems = self.v.inner.elems.lock();
+                match elems.iter().rposition(|&e| e == x) {
+                    Some(i) => Value::from(i as i64),
+                    None => Value::from(-1i64),
+                }
+            }
+            VectorVariant::Buggy => {
+                // Synchronized step 1: read the length.
+                let n = self.v.inner.elems.lock().len();
+                // A real scheduling window (not just a yield) so the race
+                // manifests reliably under test harnesses.
+                std::thread::sleep(std::time::Duration::from_micros(30));
+                // Synchronized step 2: scan from n-1 downwards — but the
+                // vector may have shrunk.
+                let elems = self.v.inner.elems.lock();
+                if n > elems.len() {
+                    // elementAt(n-1) throws in Java.
+                    Value::exception("IndexOutOfBounds")
+                } else {
+                    match elems[..n].iter().rposition(|&e| e == x) {
+                        Some(i) => Value::from(i as i64),
+                        None => Value::from(-1i64),
+                    }
+                }
+            }
+        };
+        session.exit(ret)
+    }
+}

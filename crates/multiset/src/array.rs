@@ -1,0 +1,287 @@
+//! The array-based concurrent multiset of §2 (Figs. 2, 4, 5).
+//!
+//! Elements live in a fixed array `A[0..n-1]`; each slot carries an `elt`
+//! field and a `valid` bit (the Fig. 4 extension) and is protected by its
+//! own lock. `FindSlot` reserves a slot by writing `elt` under the slot
+//! lock; an element is a member of the multiset only once its `valid` bit
+//! is set — that write is the commit action of the inserting method.
+//!
+//! [`FindSlotVariant::Buggy`] reproduces Fig. 5: the emptiness check is
+//! performed *before* acquiring the slot lock and is not repeated after,
+//! so two concurrent `FindSlot`s can both reserve the same slot and one
+//! element is silently overwritten (the Fig. 6 refinement violation).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vyrd_core::instrument::{BlockGuard, MethodSession};
+use vyrd_core::log::{EventLog, ThreadLogger};
+use vyrd_core::{Value, VarId};
+
+use crate::spec::methods;
+
+/// Which `FindSlot` implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FindSlotVariant {
+    /// Fig. 2: the emptiness check and the reservation happen under the
+    /// slot lock.
+    #[default]
+    Correct,
+    /// Fig. 5: "moving acquire in FindSlot" — the emptiness check races
+    /// with concurrent reservations.
+    Buggy,
+}
+
+#[derive(Debug, Default)]
+struct SlotState {
+    elt: Option<i64>,
+    valid: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    slots: Box<[Mutex<SlotState>]>,
+    variant: FindSlotVariant,
+    log: EventLog,
+}
+
+/// The concurrent array multiset (Figs. 2 and 4).
+///
+/// Cheap to clone; clones share the same storage. Each thread should
+/// obtain its own [`ArrayMultisetHandle`] via [`ArrayMultiset::handle`].
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_multiset::{ArrayMultiset, FindSlotVariant};
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let ms = ArrayMultiset::new(8, FindSlotVariant::Correct, log);
+/// let h = ms.handle();
+/// assert!(h.insert(5).is_success());
+/// assert!(h.lookup(5));
+/// assert!(h.delete(5));
+/// assert!(!h.lookup(5));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ArrayMultiset {
+    inner: Arc<Inner>,
+}
+
+impl ArrayMultiset {
+    /// Creates a multiset with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, variant: FindSlotVariant, log: EventLog) -> ArrayMultiset {
+        assert!(capacity > 0, "multiset capacity must be positive");
+        let slots = (0..capacity)
+            .map(|_| Mutex::new(SlotState::default()))
+            .collect();
+        ArrayMultiset {
+            inner: Arc::new(Inner {
+                slots,
+                variant,
+                log,
+            }),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// The event log this multiset records into.
+    pub fn log(&self) -> &EventLog {
+        &self.inner.log
+    }
+
+    /// Creates a per-thread handle with a fresh thread id.
+    pub fn handle(&self) -> ArrayMultisetHandle {
+        ArrayMultisetHandle {
+            ms: self.clone(),
+            logger: self.inner.log.logger(),
+        }
+    }
+}
+
+/// Per-thread access to an [`ArrayMultiset`].
+#[derive(Clone, Debug)]
+pub struct ArrayMultisetHandle {
+    ms: ArrayMultiset,
+    logger: ThreadLogger,
+}
+
+impl ArrayMultisetHandle {
+    fn slots(&self) -> &[Mutex<SlotState>] {
+        &self.ms.inner.slots
+    }
+
+    /// `FindSlot(x)` (Fig. 2 / Fig. 5): reserves a free slot for `x` and
+    /// returns its index, or `-1` if the array is full.
+    fn find_slot(&self, x: i64) -> i64 {
+        match self.ms.inner.variant {
+            FindSlotVariant::Correct => {
+                for (i, slot) in self.slots().iter().enumerate() {
+                    let mut state = slot.lock();
+                    if state.elt.is_none() {
+                        state.elt = Some(x);
+                        self.logger.write(VarId::new("elt", i as i64), Value::from(x));
+                        return i as i64;
+                    }
+                }
+                -1
+            }
+            FindSlotVariant::Buggy => {
+                for (i, slot) in self.slots().iter().enumerate() {
+                    // Fig. 5 line 2: the check happens without the lock...
+                    let free = slot.lock().elt.is_none();
+                    if free {
+                        // ...and the reservation does not re-check, so a
+                        // concurrent FindSlot that reserved slot i in the
+                        // meantime is silently overwritten.
+                        std::thread::yield_now();
+                        let mut state = slot.lock();
+                        state.elt = Some(x);
+                        self.logger.write(VarId::new("elt", i as i64), Value::from(x));
+                        return i as i64;
+                    }
+                }
+                -1
+            }
+        }
+    }
+
+    /// Releases a reservation made by [`find_slot`](Self::find_slot)
+    /// (Fig. 4 line 6).
+    fn release_slot(&self, i: i64) {
+        let mut state = self.slots()[i as usize].lock();
+        state.elt = None;
+        self.logger.write(VarId::new("elt", i), Value::Unit);
+    }
+
+    /// `Insert(x)`: adds one occurrence of `x`. Fails (leaving the
+    /// multiset unchanged) when no slot is free.
+    ///
+    /// The commit action of a successful insert is the `valid := true`
+    /// write; a failing insert commits at the point the full scan
+    /// completes.
+    pub fn insert(&self, x: i64) -> Value {
+        let mut session = MethodSession::enter(&self.logger, methods::INSERT, &[Value::from(x)]);
+        let i = self.find_slot(x);
+        if i == -1 {
+            session.commit();
+            return session.exit(Value::failure());
+        }
+        {
+            let mut state = self.slots()[i as usize].lock();
+            let block = BlockGuard::enter(&self.logger);
+            state.valid = true;
+            self.logger.write(VarId::new("valid", i), Value::from(true));
+            session.commit();
+            drop(block);
+        }
+        session.exit(Value::success())
+    }
+
+    /// `InsertPair(x, y)` (Fig. 4): atomically adds both `x` and `y`, or
+    /// neither.
+    ///
+    /// The commit block spans the two `valid := true` writes (Fig. 4
+    /// lines 9–13); the commit point is the end of the block.
+    pub fn insert_pair(&self, x: i64, y: i64) -> Value {
+        let args = [Value::from(x), Value::from(y)];
+        let mut session = MethodSession::enter(&self.logger, methods::INSERT_PAIR, &args);
+        let i = self.find_slot(x);
+        if i == -1 {
+            session.commit();
+            return session.exit(Value::failure());
+        }
+        let j = self.find_slot(y);
+        if j == -1 {
+            self.release_slot(i);
+            session.commit();
+            return session.exit(Value::failure());
+        }
+        if i == j {
+            // Only reachable through the Fig. 5 FindSlot race (a
+            // concurrent overwrite + delete can recycle a reservation this
+            // thread still believes it owns). Java's reentrant
+            // `synchronized(A[i])` would take the single lock once; mirror
+            // that instead of self-deadlocking — the refinement checker
+            // then reports the lost element.
+            let mut state = self.slots()[i as usize].lock();
+            let block = BlockGuard::enter(&self.logger);
+            state.valid = true;
+            self.logger.write(VarId::new("valid", i), Value::from(true));
+            session.commit();
+            drop(block);
+            drop(state);
+            return session.exit(Value::success());
+        }
+        // Fig. 4 locks A[i] then A[j]; we take the two distinct slot locks
+        // in index order to rule out a lock-order inversion between
+        // concurrent pairs (possible once deletes free low slots).
+        let (lo, hi) = (i.min(j) as usize, i.max(j) as usize);
+        let mut lo_guard = self.slots()[lo].lock();
+        let mut hi_guard = self.slots()[hi].lock();
+        let block = BlockGuard::enter(&self.logger);
+        lo_guard.valid = true;
+        self.logger
+            .write(VarId::new("valid", lo as i64), Value::from(true));
+        hi_guard.valid = true;
+        self.logger
+            .write(VarId::new("valid", hi as i64), Value::from(true));
+        session.commit(); // Fig. 4 line 13: end of the commit block
+        drop(block);
+        drop(hi_guard);
+        drop(lo_guard);
+        session.exit(Value::success())
+    }
+
+    /// `Delete(x)`: removes one occurrence of `x`; returns whether an
+    /// occurrence was found. The commit action of a successful delete is
+    /// the `valid := false` write.
+    pub fn delete(&self, x: i64) -> bool {
+        let mut session = MethodSession::enter(&self.logger, methods::DELETE, &[Value::from(x)]);
+        for (i, slot) in self.slots().iter().enumerate() {
+            let mut state = slot.lock();
+            if state.elt == Some(x) && state.valid {
+                let block = BlockGuard::enter(&self.logger);
+                state.valid = false;
+                self.logger
+                    .write(VarId::new("valid", i as i64), Value::from(false));
+                state.elt = None;
+                self.logger.write(VarId::new("elt", i as i64), Value::Unit);
+                session.commit();
+                drop(block);
+                drop(state);
+                session.exit(Value::from(true));
+                return true;
+            }
+        }
+        session.commit();
+        session.exit(Value::from(false));
+        false
+    }
+
+    /// `LookUp(x)`: is `x` a member? Observer — not commit-annotated; the
+    /// checker validates the return value against every specification
+    /// state between call and return (§4.3).
+    pub fn lookup(&self, x: i64) -> bool {
+        let session = MethodSession::enter(&self.logger, methods::LOOKUP, &[Value::from(x)]);
+        for slot in self.slots() {
+            let state = slot.lock();
+            if state.elt == Some(x) && state.valid {
+                drop(state);
+                session.exit(Value::from(true));
+                return true;
+            }
+        }
+        session.exit(Value::from(false));
+        false
+    }
+}

@@ -1,0 +1,253 @@
+//! Using the atomized implementation as the specification (§4.4).
+//!
+//! "If a separate specification does not exist, our technique enables the
+//! use of an atomized version of the same implementation code as the
+//! specification": the program is forced into method-atomic executions
+//! (conceptually via a global lock) and each method is re-parameterized to
+//! take the observed return value as an input that steers it to the
+//! matching execution path.
+//!
+//! [`AtomizedArrayMultiset`] is that transformation applied to the Fig. 2 /
+//! Fig. 4 array multiset: a *sequential* slot array whose transitions are
+//! driven by `(method, args, ret)` signatures. It implements
+//! [`Spec`], so it can replace [`MultisetSpec`](crate::MultisetSpec) in
+//! either checker — demonstrating the §4.4 decomposition where the
+//! atomized implementation stands in for a higher-level specification.
+
+use vyrd_core::spec::{MethodKind, Spec, SpecEffect, SpecError};
+use vyrd_core::view::View;
+use vyrd_core::{MethodId, Value};
+
+use crate::spec::methods;
+
+/// The sequential, atomized array multiset of §4.4.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtomizedArrayMultiset {
+    slots: Vec<Option<i64>>,
+}
+
+impl AtomizedArrayMultiset {
+    /// Creates an atomized multiset with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> AtomizedArrayMultiset {
+        assert!(capacity > 0, "multiset capacity must be positive");
+        AtomizedArrayMultiset {
+            slots: vec![None; capacity],
+        }
+    }
+
+    fn find_slot(&mut self, x: i64) -> Option<usize> {
+        let i = self.slots.iter().position(Option::is_none)?;
+        self.slots[i] = Some(x);
+        Some(i)
+    }
+
+    fn free_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    fn contains(&self, x: i64) -> bool {
+        self.slots.contains(&Some(x))
+    }
+
+    fn int_arg(args: &[Value], i: usize) -> Result<i64, SpecError> {
+        args.get(i)
+            .and_then(Value::as_int)
+            .ok_or_else(|| SpecError::new(format!("argument {i} is not an integer")))
+    }
+}
+
+impl Spec for AtomizedArrayMultiset {
+    fn kind(&self, method: &MethodId) -> MethodKind {
+        if method.name() == methods::LOOKUP {
+            MethodKind::Observer
+        } else {
+            MethodKind::Mutator
+        }
+    }
+
+    fn apply(
+        &mut self,
+        method: &MethodId,
+        args: &[Value],
+        ret: &Value,
+    ) -> Result<SpecEffect, SpecError> {
+        match method.name() {
+            methods::INSERT => {
+                let x = Self::int_arg(args, 0)?;
+                if ret.is_success() {
+                    // The atomized code path for a successful insert: a
+                    // slot must be available.
+                    match self.find_slot(x) {
+                        Some(_) => Ok(SpecEffect::touching([x])),
+                        None => Err(SpecError::new(
+                            "Insert returned success but the atomized array is full",
+                        )),
+                    }
+                } else if ret.is_failure() {
+                    // Sequentially, Insert fails only when the array is
+                    // full; a concurrent implementation may also fail under
+                    // contention, which the atomized spec permits by
+                    // leaving the state unchanged either way.
+                    Ok(SpecEffect::unchanged())
+                } else {
+                    Err(SpecError::new(format!(
+                        "Insert may return success or failure, not {ret}"
+                    )))
+                }
+            }
+            methods::INSERT_PAIR => {
+                let x = Self::int_arg(args, 0)?;
+                let y = Self::int_arg(args, 1)?;
+                if ret.is_success() {
+                    if self.free_slots() < 2 {
+                        return Err(SpecError::new(
+                            "InsertPair returned success but fewer than two slots are free",
+                        ));
+                    }
+                    self.find_slot(x);
+                    self.find_slot(y);
+                    Ok(SpecEffect::touching([x, y]))
+                } else if ret.is_failure() {
+                    Ok(SpecEffect::unchanged())
+                } else {
+                    Err(SpecError::new(format!(
+                        "InsertPair may return success or failure, not {ret}"
+                    )))
+                }
+            }
+            methods::DELETE => {
+                let x = Self::int_arg(args, 0)?;
+                match ret.as_bool() {
+                    Some(true) => match self.slots.iter().position(|s| *s == Some(x)) {
+                        Some(i) => {
+                            self.slots[i] = None;
+                            Ok(SpecEffect::touching([x]))
+                        }
+                        None => Err(SpecError::new(format!(
+                            "Delete({x}) returned true but {x} is not present"
+                        ))),
+                    },
+                    Some(false) => Ok(SpecEffect::unchanged()),
+                    None => Err(SpecError::new(format!(
+                        "Delete returns a boolean, not {ret}"
+                    ))),
+                }
+            }
+            other => Err(SpecError::new(format!("unknown mutator {other}"))),
+        }
+    }
+
+    fn accepts_observation(&self, method: &MethodId, args: &[Value], ret: &Value) -> bool {
+        method.name() == methods::LOOKUP
+            && match args.first().and_then(Value::as_int) {
+                Some(x) => ret.as_bool() == Some(self.contains(x)),
+                None => false,
+            }
+    }
+
+    fn view(&self) -> View {
+        let mut counts: std::collections::BTreeMap<i64, u64> = Default::default();
+        for slot in self.slots.iter().flatten() {
+            *counts.entry(*slot).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(x, n)| (Value::from(x), Value::from(n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(name: &str) -> MethodId {
+        MethodId::from(name)
+    }
+
+    fn ints(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::from(x)).collect()
+    }
+
+    #[test]
+    fn successful_insert_fills_a_slot() {
+        let mut s = AtomizedArrayMultiset::new(2);
+        s.apply(&m("Insert"), &ints(&[5]), &Value::success()).unwrap();
+        assert!(s.contains(5));
+        assert_eq!(s.free_slots(), 1);
+    }
+
+    #[test]
+    fn success_with_full_array_is_rejected() {
+        let mut s = AtomizedArrayMultiset::new(1);
+        s.apply(&m("Insert"), &ints(&[5]), &Value::success()).unwrap();
+        let err = s
+            .apply(&m("Insert"), &ints(&[6]), &Value::success())
+            .unwrap_err();
+        assert!(err.message().contains("full"));
+        // failure is fine at any time.
+        s.apply(&m("Insert"), &ints(&[6]), &Value::failure()).unwrap();
+    }
+
+    #[test]
+    fn insert_pair_needs_two_slots() {
+        let mut s = AtomizedArrayMultiset::new(3);
+        s.apply(&m("Insert"), &ints(&[1]), &Value::success()).unwrap();
+        s.apply(&m("Insert"), &ints(&[2]), &Value::success()).unwrap();
+        assert!(s
+            .apply(&m("InsertPair"), &ints(&[3, 4]), &Value::success())
+            .is_err());
+        let mut s2 = AtomizedArrayMultiset::new(3);
+        s2.apply(&m("InsertPair"), &ints(&[3, 4]), &Value::success())
+            .unwrap();
+        assert!(s2.contains(3) && s2.contains(4));
+    }
+
+    #[test]
+    fn delete_frees_the_slot() {
+        let mut s = AtomizedArrayMultiset::new(1);
+        s.apply(&m("Insert"), &ints(&[5]), &Value::success()).unwrap();
+        s.apply(&m("Delete"), &ints(&[5]), &Value::from(true)).unwrap();
+        assert_eq!(s.free_slots(), 1);
+        assert!(s
+            .apply(&m("Delete"), &ints(&[5]), &Value::from(true))
+            .is_err());
+    }
+
+    #[test]
+    fn observations_and_views_match_the_abstract_multiset() {
+        let mut s = AtomizedArrayMultiset::new(4);
+        s.apply(&m("Insert"), &ints(&[5]), &Value::success()).unwrap();
+        s.apply(&m("Insert"), &ints(&[5]), &Value::success()).unwrap();
+        assert!(s.accepts_observation(&m("LookUp"), &ints(&[5]), &Value::from(true)));
+        assert!(!s.accepts_observation(&m("LookUp"), &ints(&[6]), &Value::from(true)));
+        assert_eq!(s.view().get(&Value::from(5i64)), Some(&Value::from(2u64)));
+    }
+
+    #[test]
+    fn agrees_with_the_abstract_spec_on_a_trace() {
+        // Drive both specifications with the same witness interleaving and
+        // compare their views step by step (the §4.4 claim: the atomized
+        // implementation is itself a valid specification).
+        use crate::spec::MultisetSpec;
+        let mut abstract_spec = MultisetSpec::new();
+        let mut atomized = AtomizedArrayMultiset::new(8);
+        let steps: Vec<(&str, Vec<i64>, Value)> = vec![
+            ("Insert", vec![5], Value::success()),
+            ("InsertPair", vec![6, 7], Value::success()),
+            ("Delete", vec![5], Value::from(true)),
+            ("Insert", vec![9], Value::failure()),
+            ("Delete", vec![42], Value::from(false)),
+        ];
+        for (name, args, ret) in steps {
+            let args = ints(&args);
+            abstract_spec.apply(&m(name), &args, &ret).unwrap();
+            atomized.apply(&m(name), &args, &ret).unwrap();
+            assert_eq!(abstract_spec.view(), atomized.view(), "after {name}");
+        }
+    }
+}

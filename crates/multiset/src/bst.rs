@@ -1,0 +1,368 @@
+//! The binary-search-tree multiset of §7.4.2 ("Multiset-BinaryTree" in
+//! Table 1).
+//!
+//! Each key is stored in at most one node together with its multiplicity;
+//! deletion decrements the count, leaving count-0 *tombstones* that an
+//! internal compression task unlinks later. Descent uses hand-over-hand
+//! per-node locking; compression excludes concurrent method executions via
+//! a structure read–write gate (the same pattern as Boxwood's
+//! `RECLAIMLOCK`).
+//!
+//! [`BstVariant::UnlockParentEarly`] reproduces the Table 1 bug
+//! "unlocking parent before insertion": when linking a freshly created
+//! node, the buggy variant releases the parent's lock before the link
+//! write and re-acquires it without re-checking the child pointer, so two
+//! concurrent inserts under the same parent can overwrite each other's
+//! link and silently lose a node.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use vyrd_core::instrument::{BlockGuard, MethodSession};
+use vyrd_core::log::{EventLog, ThreadLogger};
+use vyrd_core::{Value, VarId};
+
+use crate::spec::methods;
+
+/// Which insert linking discipline to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BstVariant {
+    /// The parent stays locked across the link write.
+    #[default]
+    Correct,
+    /// The parent lock is released before the link write and re-acquired
+    /// without re-validation — the lost-insert race.
+    UnlockParentEarly,
+}
+
+#[derive(Debug)]
+struct NodeData {
+    key: i64,
+    count: u64,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+#[derive(Debug)]
+struct Node {
+    data: Mutex<NodeData>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Append-only node arena; ids are indices.
+    nodes: RwLock<Vec<Arc<Node>>>,
+    root: Mutex<Option<usize>>,
+    /// Read = a public method is in flight; write = compression may
+    /// restructure.
+    gate: RwLock<()>,
+    variant: BstVariant,
+    log: EventLog,
+}
+
+/// The concurrent BST multiset.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_multiset::{BstMultiset, BstVariant};
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let ms = BstMultiset::new(BstVariant::Correct, log);
+/// let h = ms.handle();
+/// h.insert(50);
+/// h.insert(30);
+/// h.insert(50);
+/// assert!(h.lookup(30));
+/// assert!(h.delete(50));
+/// assert!(h.lookup(50)); // multiplicity was 2
+/// ```
+#[derive(Clone, Debug)]
+pub struct BstMultiset {
+    inner: Arc<Inner>,
+}
+
+impl BstMultiset {
+    /// Creates an empty multiset.
+    pub fn new(variant: BstVariant, log: EventLog) -> BstMultiset {
+        BstMultiset {
+            inner: Arc::new(Inner {
+                nodes: RwLock::new(Vec::new()),
+                root: Mutex::new(None),
+                gate: RwLock::new(()),
+                variant,
+                log,
+            }),
+        }
+    }
+
+    /// The event log this multiset records into.
+    pub fn log(&self) -> &EventLog {
+        &self.inner.log
+    }
+
+    /// Creates a per-thread handle with a fresh thread id.
+    pub fn handle(&self) -> BstMultisetHandle {
+        BstMultisetHandle {
+            ms: self.clone(),
+            logger: self.inner.log.logger(),
+        }
+    }
+}
+
+/// Per-thread access to a [`BstMultiset`].
+#[derive(Clone, Debug)]
+pub struct BstMultisetHandle {
+    ms: BstMultiset,
+    logger: ThreadLogger,
+}
+
+impl BstMultisetHandle {
+    fn node(&self, id: usize) -> Arc<Node> {
+        Arc::clone(&self.ms.inner.nodes.read()[id])
+    }
+
+    /// Allocates a node (not yet linked; invisible to the view until a
+    /// link write publishes it).
+    fn alloc_node(&self, key: i64) -> usize {
+        let mut nodes = self.ms.inner.nodes.write();
+        let id = nodes.len();
+        nodes.push(Arc::new(Node {
+            data: Mutex::new(NodeData {
+                key,
+                count: 1,
+                left: None,
+                right: None,
+            }),
+        }));
+        drop(nodes);
+        self.logger.write(VarId::new("bst.key", id as i64), Value::from(key));
+        self.logger
+            .write(VarId::new("bst.count", id as i64), Value::from(1i64));
+        id
+    }
+
+    fn log_count(&self, id: usize, count: u64) {
+        self.logger
+            .write(VarId::new("bst.count", id as i64), Value::from(count as i64));
+    }
+
+    fn log_link(&self, parent: usize, right: bool, child: Option<usize>) {
+        let space = if right { "bst.right" } else { "bst.left" };
+        self.logger.write(
+            VarId::new(space, parent as i64),
+            Value::from(child.map(|c| c as i64)),
+        );
+    }
+
+    /// `Insert(x)`: adds one occurrence of `x` (always succeeds).
+    pub fn insert(&self, x: i64) -> Value {
+        let _lease = self.ms.inner.gate.read();
+        let mut session = MethodSession::enter(&self.logger, methods::INSERT, &[Value::from(x)]);
+        // Empty tree: install a root.
+        let mut root = self.ms.inner.root.lock();
+        let Some(root_id) = *root else {
+            let id = self.alloc_node(x);
+            let block = BlockGuard::enter(&self.logger);
+            *root = Some(id);
+            self.logger
+                .write(VarId::new("bst.root", 0), Value::from(id as i64));
+            session.commit();
+            drop(block);
+            drop(root);
+            return session.exit(Value::success());
+        };
+        // Descend one locked node at a time. In the correct variant every
+        // decision made under a node's lock (key match, child presence) is
+        // acted on while that lock is still held, so a concurrent insert
+        // cannot invalidate it.
+        let mut cur_id = root_id;
+        drop(root);
+        loop {
+            let cur_arc = self.node(cur_id);
+            let mut cur = cur_arc.data.lock();
+            if cur.key == x {
+                let new_count = cur.count + 1;
+                cur.count = new_count;
+                let block = BlockGuard::enter(&self.logger);
+                self.log_count(cur_id, new_count);
+                session.commit();
+                drop(block);
+                drop(cur);
+                return session.exit(Value::success());
+            }
+            let go_right = x > cur.key;
+            let child = if go_right { cur.right } else { cur.left };
+            match child {
+                Some(next_id) => {
+                    drop(cur);
+                    cur_id = next_id;
+                }
+                None => {
+                    match self.ms.inner.variant {
+                        BstVariant::Correct => {
+                            // Link while the parent lock (which observed
+                            // the empty child pointer) is still held.
+                            let id = self.alloc_node(x);
+                            let block = BlockGuard::enter(&self.logger);
+                            if go_right {
+                                cur.right = Some(id);
+                            } else {
+                                cur.left = Some(id);
+                            }
+                            self.log_link(cur_id, go_right, Some(id));
+                            session.commit();
+                            drop(block);
+                            drop(cur);
+                        }
+                        BstVariant::UnlockParentEarly => {
+                            // BUG: the parent lock is dropped before the
+                            // new node is linked...
+                            drop(cur);
+                            let id = self.alloc_node(x);
+                            std::thread::yield_now();
+                            // ...and the link write does not re-check that
+                            // the child pointer is still empty, so it can
+                            // overwrite a link a concurrent insert just
+                            // published — losing that node.
+                            let mut parent = cur_arc.data.lock();
+                            let block = BlockGuard::enter(&self.logger);
+                            if go_right {
+                                parent.right = Some(id);
+                            } else {
+                                parent.left = Some(id);
+                            }
+                            self.log_link(cur_id, go_right, Some(id));
+                            session.commit();
+                            drop(block);
+                            drop(parent);
+                        }
+                    }
+                    return session.exit(Value::success());
+                }
+            }
+        }
+    }
+
+    /// Descends to the node holding `x`, returning its id and lock.
+    fn find_node(&self, x: i64) -> Option<(usize, Arc<Node>)> {
+        let root = self.ms.inner.root.lock();
+        let mut cur_id = (*root)?;
+        drop(root);
+        loop {
+            let arc = self.node(cur_id);
+            let data = arc.data.lock();
+            if data.key == x {
+                drop(data);
+                return Some((cur_id, arc));
+            }
+            let child = if x > data.key { data.right } else { data.left };
+            drop(data);
+            cur_id = child?;
+        }
+    }
+
+    /// `Delete(x)`: removes one occurrence; returns whether one was found.
+    pub fn delete(&self, x: i64) -> bool {
+        let _lease = self.ms.inner.gate.read();
+        let mut session = MethodSession::enter(&self.logger, methods::DELETE, &[Value::from(x)]);
+        if let Some((id, arc)) = self.find_node(x) {
+            let mut data = arc.data.lock();
+            if data.count > 0 {
+                let new_count = data.count - 1;
+                data.count = new_count;
+                let block = BlockGuard::enter(&self.logger);
+                self.log_count(id, new_count);
+                session.commit();
+                drop(block);
+                drop(data);
+                session.exit(Value::from(true));
+                return true;
+            }
+        }
+        session.commit();
+        session.exit(Value::from(false));
+        false
+    }
+
+    /// `LookUp(x)`: is `x` a member? Observer.
+    pub fn lookup(&self, x: i64) -> bool {
+        let _lease = self.ms.inner.gate.read();
+        let session = MethodSession::enter(&self.logger, methods::LOOKUP, &[Value::from(x)]);
+        let found = match self.find_node(x) {
+            Some((_, arc)) => arc.data.lock().count > 0,
+            None => false,
+        };
+        session.exit(Value::from(found));
+        found
+    }
+
+    /// One compression pass: unlinks tombstoned (count = 0) nodes that
+    /// have at most one child, splicing the child into their place.
+    ///
+    /// Holds the structure gate exclusively, so no method execution is in
+    /// flight. Logged as a `Compress` mutator in one commit block; view
+    /// refinement checks it leaves the contents unchanged (§7.2.3).
+    pub fn compress(&self) {
+        let _gate = self.ms.inner.gate.write();
+        let mut session = MethodSession::enter(&self.logger, methods::COMPRESS, &[]);
+        let block = BlockGuard::enter(&self.logger);
+        // With the gate held exclusively, traverse freely.
+        while let Some(victim) = self.find_tombstone_with_le1_child() {
+            self.splice_out(victim);
+        }
+        session.commit();
+        drop(block);
+        session.exit(Value::Unit);
+    }
+
+    /// Finds `(parent, is_right_child, node)` for some splice-able
+    /// tombstone, or the root itself (`parent = None`).
+    fn find_tombstone_with_le1_child(&self) -> Option<(Option<(usize, bool)>, usize)> {
+        let root = *self.ms.inner.root.lock();
+        let mut stack: Vec<(Option<(usize, bool)>, usize)> =
+            root.map(|r| (None, r)).into_iter().collect();
+        while let Some((parent, id)) = stack.pop() {
+            let arc = self.node(id);
+            let d = arc.data.lock();
+            if d.count == 0 && (d.left.is_none() || d.right.is_none()) {
+                return Some((parent, id));
+            }
+            if let Some(l) = d.left {
+                stack.push((Some((id, false)), l));
+            }
+            if let Some(r) = d.right {
+                stack.push((Some((id, true)), r));
+            }
+        }
+        None
+    }
+
+    fn splice_out(&self, (parent, id): (Option<(usize, bool)>, usize)) {
+        let arc = self.node(id);
+        let d = arc.data.lock();
+        let replacement = d.left.or(d.right);
+        drop(d);
+        match parent {
+            None => {
+                let mut root = self.ms.inner.root.lock();
+                *root = replacement;
+                self.logger.write(
+                    VarId::new("bst.root", 0),
+                    Value::from(replacement.map(|r| r as i64)),
+                );
+            }
+            Some((pid, is_right)) => {
+                let parc = self.node(pid);
+                let mut pd = parc.data.lock();
+                if is_right {
+                    pd.right = replacement;
+                } else {
+                    pd.left = replacement;
+                }
+                self.log_link(pid, is_right, replacement);
+            }
+        }
+    }
+}

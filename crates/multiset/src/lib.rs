@@ -1,0 +1,408 @@
+//! # vyrd-multiset — the paper's running example (§2, §7.4.2)
+//!
+//! Three instrumented concurrent multiset implementations, their executable
+//! specification, and the replayers that reconstruct `view_I` from logged
+//! writes:
+//!
+//! * [`ArrayMultiset`] — the fixed-capacity array multiset of Figs. 2/4,
+//!   including `InsertPair` with its commit block and the Fig. 5 buggy
+//!   `FindSlot` ([`FindSlotVariant::Buggy`]).
+//! * [`VectorMultiset`] — the growable "Multiset-Vector" of §7.4.2 with an
+//!   internal compression task.
+//! * [`BstMultiset`] — the binary-search-tree multiset with tombstoning
+//!   deletes, compression, and the "unlocking parent before insertion"
+//!   bug ([`BstVariant::UnlockParentEarly`]).
+//! * [`MultisetSpec`] — the atomic specification of Fig. 1.
+//! * [`AtomizedArrayMultiset`] — the atomized implementation used *as* the
+//!   specification (§4.4).
+//! * [`SlotReplayer`] / [`BstReplayer`] — shadow states for view
+//!   refinement.
+//!
+//! ```
+//! use vyrd_core::checker::Checker;
+//! use vyrd_core::log::{EventLog, LogMode};
+//! use vyrd_multiset::{ArrayMultiset, FindSlotVariant, MultisetSpec, SlotReplayer};
+//!
+//! let log = EventLog::in_memory(LogMode::View);
+//! let ms = ArrayMultiset::new(8, FindSlotVariant::Correct, log.clone());
+//! let h = ms.handle();
+//! h.insert_pair(5, 6);
+//! assert!(h.lookup(5));
+//!
+//! let report = Checker::view(MultisetSpec::new(), SlotReplayer::new())
+//!     .check_events(log.snapshot());
+//! assert!(report.passed());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod array;
+mod atomized;
+mod bst;
+mod replay;
+mod spec;
+mod vector;
+
+pub use array::{ArrayMultiset, ArrayMultisetHandle, FindSlotVariant};
+pub use atomized::AtomizedArrayMultiset;
+pub use bst::{BstMultiset, BstMultisetHandle, BstVariant};
+pub use replay::{BstReplayer, SlotReplayer};
+pub use spec::{methods, MultisetSpec};
+pub use vector::{VectorMultiset, VectorMultisetHandle};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vyrd_core::checker::Checker;
+    use vyrd_core::log::{EventLog, LogMode};
+    use vyrd_core::violation::Report;
+
+    fn view_log() -> EventLog {
+        EventLog::in_memory(LogMode::View)
+    }
+
+    fn check_io(log: &EventLog) -> Report {
+        Checker::io(MultisetSpec::new()).check_events(log.snapshot())
+    }
+
+    fn check_view(log: &EventLog) -> Report {
+        Checker::view(MultisetSpec::new(), SlotReplayer::new()).check_events(log.snapshot())
+    }
+
+    fn check_view_bst(log: &EventLog) -> Report {
+        Checker::view(MultisetSpec::new(), BstReplayer::new()).check_events(log.snapshot())
+    }
+
+    // ---------------- array multiset ----------------
+
+    #[test]
+    fn array_sequential_semantics() {
+        let log = view_log();
+        let ms = ArrayMultiset::new(4, FindSlotVariant::Correct, log.clone());
+        let h = ms.handle();
+        assert!(h.insert(1).is_success());
+        assert!(h.insert(1).is_success());
+        assert!(h.lookup(1));
+        assert!(!h.lookup(2));
+        assert!(h.delete(1));
+        assert!(h.lookup(1));
+        assert!(h.delete(1));
+        assert!(!h.lookup(1));
+        assert!(!h.delete(1));
+        assert!(check_io(&log).passed());
+        assert!(check_view(&log).passed());
+    }
+
+    #[test]
+    fn array_fills_up_and_fails() {
+        let log = view_log();
+        let ms = ArrayMultiset::new(2, FindSlotVariant::Correct, log.clone());
+        let h = ms.handle();
+        assert!(h.insert(1).is_success());
+        assert!(h.insert(2).is_success());
+        assert!(h.insert(3).is_failure());
+        // InsertPair with one slot free must fail and release its
+        // reservation.
+        assert!(h.delete(1));
+        assert!(h.insert_pair(8, 9).is_failure());
+        assert!(h.insert(4).is_success());
+        assert!(check_view(&log).passed());
+    }
+
+    #[test]
+    fn array_insert_pair_is_atomic() {
+        let log = view_log();
+        let ms = ArrayMultiset::new(8, FindSlotVariant::Correct, log.clone());
+        let h = ms.handle();
+        assert!(h.insert_pair(5, 6).is_success());
+        assert!(h.lookup(5) && h.lookup(6));
+        assert!(h.insert_pair(7, 7).is_success());
+        assert!(h.delete(7) && h.delete(7) && !h.delete(7));
+        assert!(check_view(&log).passed());
+    }
+
+    #[test]
+    fn array_concurrent_correct_run_passes_both_checkers() {
+        let log = view_log();
+        let ms = ArrayMultiset::new(64, FindSlotVariant::Correct, log.clone());
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            let h = ms.handle();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..40 {
+                    let x = (t * 40 + i) % 23;
+                    match i % 4 {
+                        0 => {
+                            h.insert(x);
+                        }
+                        1 => {
+                            h.insert_pair(x, x + 1);
+                        }
+                        2 => {
+                            h.delete(x);
+                        }
+                        _ => {
+                            h.lookup(x);
+                        }
+                    }
+                }
+            }));
+        }
+        for th in handles {
+            th.join().unwrap();
+        }
+        let io = check_io(&log);
+        assert!(io.passed(), "io: {io}");
+        let view = check_view(&log);
+        assert!(view.passed(), "view: {view}");
+    }
+
+    #[test]
+    fn fig6_buggy_findslot_is_caught_by_view_refinement() {
+        // Re-run until the race actually fires (it usually does within a
+        // few attempts thanks to the yield in the buggy FindSlot).
+        for _ in 0..200 {
+            let log = view_log();
+            let ms = ArrayMultiset::new(4, FindSlotVariant::Buggy, log.clone());
+            let h1 = ms.handle();
+            let h2 = ms.handle();
+            let t1 = std::thread::spawn(move || h1.insert_pair(5, 6));
+            let t2 = std::thread::spawn(move || h2.insert_pair(7, 8));
+            t1.join().unwrap();
+            t2.join().unwrap();
+            let report = check_view(&log);
+            if !report.passed() {
+                let v = report.violation.unwrap();
+                assert_eq!(v.category(), "view-mismatch");
+                return;
+            }
+        }
+        panic!("the FindSlot race never manifested in 200 attempts");
+    }
+
+    #[test]
+    fn fig6_buggy_findslot_needs_a_lookup_for_io_refinement() {
+        // I/O refinement detects the same bug only once an observer
+        // surfaces the lost element (§5's motivation for views).
+        for _ in 0..200 {
+            let log = view_log();
+            let ms = ArrayMultiset::new(4, FindSlotVariant::Buggy, log.clone());
+            let h1 = ms.handle();
+            let h2 = ms.handle();
+            let a = std::thread::spawn(move || h1.insert_pair(5, 6));
+            let b = std::thread::spawn(move || h2.insert_pair(7, 8));
+            a.join().unwrap();
+            b.join().unwrap();
+            let h = ms.handle();
+            let all_present =
+                h.lookup(5) && h.lookup(6) && h.lookup(7) && h.lookup(8);
+            let io = check_io(&log);
+            if !all_present {
+                assert!(
+                    !io.passed(),
+                    "an element was lost but I/O refinement passed"
+                );
+                return;
+            }
+            assert!(io.passed(), "no element lost yet I/O refinement failed: {io}");
+        }
+        panic!("the FindSlot race never manifested in 200 attempts");
+    }
+
+    // ---------------- vector multiset ----------------
+
+    #[test]
+    fn vector_grows_and_compacts() {
+        let log = view_log();
+        let ms = VectorMultiset::new(FindSlotVariant::Correct, log.clone());
+        let h = ms.handle();
+        for x in 0..10 {
+            h.insert(x);
+        }
+        assert_eq!(ms.slot_count(), 10);
+        for x in 0..5 {
+            assert!(h.delete(x * 2));
+        }
+        h.compress();
+        assert!(ms.slot_count() <= 5, "compaction shrank to {}", ms.slot_count());
+        for x in [1, 3, 5, 7, 9] {
+            assert!(h.lookup(x), "{x} survived compaction");
+        }
+        for x in [0, 2, 4, 6, 8] {
+            assert!(!h.lookup(x));
+        }
+        assert!(check_view(&log).passed());
+        assert!(check_io(&log).passed());
+    }
+
+    #[test]
+    fn vector_concurrent_with_compression_passes() {
+        let log = view_log();
+        let ms = VectorMultiset::new(FindSlotVariant::Correct, log.clone());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let compressor = {
+            let ms = ms.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let h = ms.handle();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    h.compress();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let mut workers = Vec::new();
+        for t in 0..4i64 {
+            let h = ms.handle();
+            workers.push(std::thread::spawn(move || {
+                for i in 0..60 {
+                    let x = (t * 7 + i) % 11;
+                    match i % 3 {
+                        0 => {
+                            h.insert(x);
+                        }
+                        1 => {
+                            h.delete(x);
+                        }
+                        _ => {
+                            h.lookup(x);
+                        }
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        compressor.join().unwrap();
+        let view = check_view(&log);
+        assert!(view.passed(), "view: {view}");
+    }
+
+    #[test]
+    fn vector_buggy_findslot_detected_under_contention() {
+        for _ in 0..200 {
+            let log = view_log();
+            let ms = VectorMultiset::new(FindSlotVariant::Buggy, log.clone());
+            // Pre-populate one free slot so both inserters race for it.
+            let h0 = ms.handle();
+            h0.insert(100);
+            h0.delete(100);
+            let h1 = ms.handle();
+            let h2 = ms.handle();
+            let a = std::thread::spawn(move || h1.insert(5));
+            let b = std::thread::spawn(move || h2.insert(7));
+            a.join().unwrap();
+            b.join().unwrap();
+            let report = check_view(&log);
+            if !report.passed() {
+                assert!(report.violation.unwrap().is_view_only());
+                return;
+            }
+        }
+        panic!("the FindSlot race never manifested in 200 attempts");
+    }
+
+    // ---------------- BST multiset ----------------
+
+    #[test]
+    fn bst_sequential_semantics() {
+        let log = view_log();
+        let ms = BstMultiset::new(BstVariant::Correct, log.clone());
+        let h = ms.handle();
+        for x in [50, 30, 70, 30, 20, 80] {
+            h.insert(x);
+        }
+        assert!(h.lookup(30));
+        assert!(h.delete(30));
+        assert!(h.lookup(30), "multiplicity 2");
+        assert!(h.delete(30));
+        assert!(!h.lookup(30));
+        assert!(!h.delete(30));
+        assert!(h.lookup(80));
+        assert!(check_io(&log).passed());
+        assert!(check_view_bst(&log).passed());
+    }
+
+    #[test]
+    fn bst_compression_preserves_the_view() {
+        let log = view_log();
+        let ms = BstMultiset::new(BstVariant::Correct, log.clone());
+        let h = ms.handle();
+        for x in [50, 30, 70, 20, 40, 60, 80] {
+            h.insert(x);
+        }
+        for x in [30, 70, 50] {
+            h.delete(x);
+        }
+        h.compress();
+        for x in [20, 40, 60, 80] {
+            assert!(h.lookup(x), "{x} survived compression");
+        }
+        for x in [30, 50, 70] {
+            assert!(!h.lookup(x));
+        }
+        let report = check_view_bst(&log);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn bst_concurrent_correct_run_passes() {
+        let log = view_log();
+        let ms = BstMultiset::new(BstVariant::Correct, log.clone());
+        let mut workers = Vec::new();
+        for t in 0..4i64 {
+            let h = ms.handle();
+            workers.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let x = (t * 31 + i * 7) % 17;
+                    match i % 3 {
+                        0 => {
+                            h.insert(x);
+                        }
+                        1 => {
+                            h.delete(x);
+                        }
+                        _ => {
+                            h.lookup(x);
+                        }
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let h = ms.handle();
+        h.compress();
+        let view = check_view_bst(&log);
+        assert!(view.passed(), "view: {view}");
+        assert!(check_io(&log).passed());
+    }
+
+    #[test]
+    fn bst_unlock_parent_bug_is_caught() {
+        for _ in 0..400 {
+            let log = view_log();
+            let ms = BstMultiset::new(BstVariant::UnlockParentEarly, log.clone());
+            let h0 = ms.handle();
+            h0.insert(50); // shared parent
+            let h1 = ms.handle();
+            let h2 = ms.handle();
+            // Both go left under 50 and race on the same link.
+            let a = std::thread::spawn(move || h1.insert(20));
+            let b = std::thread::spawn(move || h2.insert(30));
+            a.join().unwrap();
+            b.join().unwrap();
+            let report = check_view_bst(&log);
+            if !report.passed() {
+                assert_eq!(report.violation.unwrap().category(), "view-mismatch");
+                return;
+            }
+        }
+        panic!("the unlock-parent race never manifested in 400 attempts");
+    }
+}

@@ -1,0 +1,367 @@
+//! Replayers: reconstruct multiset shadow state from logged writes and
+//! extract `view_I` (§5.1).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use vyrd_core::replay::Replayer;
+use vyrd_core::view::View;
+use vyrd_core::{Value, VarId};
+
+/// Shadow state for the slot-based multisets ([`ArrayMultiset`] and
+/// [`VectorMultiset`]).
+///
+/// Variables:
+///
+/// * `elt[i]` — the element reserved in slot `i` (`Unit` = empty);
+/// * `valid[i]` — slot `i`'s membership bit.
+///
+/// `view_I` is the multiset `{ elt[i] : valid[i] }` computed exactly as in
+/// §5.1, but maintained *incrementally*: each write adjusts a multiplicity
+/// map and marks the affected element values dirty (§6.4).
+///
+/// [`ArrayMultiset`]: crate::ArrayMultiset
+/// [`VectorMultiset`]: crate::VectorMultiset
+#[derive(Debug, Default)]
+pub struct SlotReplayer {
+    slots: HashMap<i64, (Option<i64>, bool)>,
+    counts: BTreeMap<i64, u64>,
+    dirty: BTreeSet<i64>,
+}
+
+impl SlotReplayer {
+    /// Creates an empty shadow state.
+    pub fn new() -> SlotReplayer {
+        SlotReplayer::default()
+    }
+
+    /// Multiplicity of `x` in the replayed multiset.
+    pub fn count(&self, x: i64) -> u64 {
+        self.counts.get(&x).copied().unwrap_or(0)
+    }
+
+    fn contribution(state: &(Option<i64>, bool)) -> Option<i64> {
+        match state {
+            (Some(x), true) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn update(&mut self, index: i64, f: impl FnOnce(&mut (Option<i64>, bool))) {
+        let state = self.slots.entry(index).or_insert((None, false));
+        let before = Self::contribution(state);
+        f(state);
+        let after = Self::contribution(state);
+        if before == after {
+            return;
+        }
+        if let Some(x) = before {
+            let n = self.counts.entry(x).or_insert(0);
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.counts.remove(&x);
+            }
+            self.dirty.insert(x);
+        }
+        if let Some(x) = after {
+            *self.counts.entry(x).or_insert(0) += 1;
+            self.dirty.insert(x);
+        }
+    }
+}
+
+impl Replayer for SlotReplayer {
+    fn apply_write(&mut self, var: &VarId, value: &Value) {
+        match var.space() {
+            "elt" => self.update(var.index(), |s| s.0 = value.as_int()),
+            "valid" => self.update(var.index(), |s| s.1 = value.as_bool().unwrap_or(false)),
+            other => panic!("SlotReplayer: unknown variable space {other:?}"),
+        }
+    }
+
+    fn view(&self) -> View {
+        self.counts
+            .iter()
+            .map(|(&x, &n)| (Value::from(x), Value::from(n)))
+            .collect()
+    }
+
+    fn view_of(&self, key: &Value) -> Option<Value> {
+        let x = key.as_int()?;
+        self.counts.get(&x).map(|&n| Value::from(n))
+    }
+
+    fn take_dirty(&mut self) -> Option<Vec<Value>> {
+        Some(
+            std::mem::take(&mut self.dirty)
+                .into_iter()
+                .map(Value::from)
+                .collect(),
+        )
+    }
+}
+
+/// Shadow state for the binary-search-tree multiset.
+///
+/// Variables (all indexed by node id):
+///
+/// * `bst.key[id]`, `bst.count[id]` — the node's key and multiplicity;
+/// * `bst.left[id]`, `bst.right[id]` — child links (`Unit` = none);
+/// * `bst.root[0]` — the root node id.
+///
+/// Unlike [`SlotReplayer`], membership depends on *reachability*: a node
+/// that exists but is not linked from the root does not contribute (this
+/// is what catches the "unlocking parent before insertion" lost-insert
+/// bug — the lost node is unreachable, so `view_I` is missing an element
+/// the specification has). `view_I` is computed by an in-order traversal,
+/// mirroring the paper's leaf traversal for the B-link tree (§7.2.4).
+///
+/// Incrementality: while the tree *structure* is unchanged, count updates
+/// are tracked per key; any structural write falls back to a full
+/// comparison (`take_dirty` → `None`).
+#[derive(Debug, Default)]
+pub struct BstReplayer {
+    keys: HashMap<i64, i64>,
+    counts: HashMap<i64, u64>,
+    left: HashMap<i64, Option<i64>>,
+    right: HashMap<i64, Option<i64>>,
+    root: Option<i64>,
+    dirty: BTreeSet<i64>,
+    structure_changed: bool,
+}
+
+impl BstReplayer {
+    /// Creates an empty shadow tree.
+    pub fn new() -> BstReplayer {
+        BstReplayer::default()
+    }
+
+    fn reachable_counts(&self) -> BTreeMap<i64, u64> {
+        let mut out = BTreeMap::new();
+        let mut stack = Vec::new();
+        if let Some(root) = self.root {
+            stack.push(root);
+        }
+        let mut visited = BTreeSet::new();
+        while let Some(id) = stack.pop() {
+            if !visited.insert(id) {
+                // A cycle in the shadow tree (corrupt structure): stop
+                // rather than loop forever; the resulting partial view
+                // will mismatch and be reported.
+                continue;
+            }
+            if let (Some(&key), Some(&count)) = (self.keys.get(&id), self.counts.get(&id)) {
+                if count > 0 {
+                    *out.entry(key).or_insert(0) += count;
+                }
+            }
+            for link in [self.left.get(&id), self.right.get(&id)] {
+                if let Some(Some(child)) = link {
+                    stack.push(*child);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Replayer for BstReplayer {
+    fn apply_write(&mut self, var: &VarId, value: &Value) {
+        let id = var.index();
+        match var.space() {
+            "bst.key" => {
+                self.keys.insert(id, value.as_int().unwrap_or(0));
+                self.structure_changed = true;
+            }
+            "bst.count" => {
+                let count = value.as_int().unwrap_or(0).max(0) as u64;
+                self.counts.insert(id, count);
+                if let Some(&key) = self.keys.get(&id) {
+                    self.dirty.insert(key);
+                }
+            }
+            "bst.left" => {
+                self.left.insert(id, value.as_int());
+                self.structure_changed = true;
+            }
+            "bst.right" => {
+                self.right.insert(id, value.as_int());
+                self.structure_changed = true;
+            }
+            "bst.root" => {
+                self.root = value.as_int();
+                self.structure_changed = true;
+            }
+            other => panic!("BstReplayer: unknown variable space {other:?}"),
+        }
+    }
+
+    fn view(&self) -> View {
+        self.reachable_counts()
+            .into_iter()
+            .map(|(x, n)| (Value::from(x), Value::from(n)))
+            .collect()
+    }
+
+    fn view_of(&self, key: &Value) -> Option<Value> {
+        // Reachability makes per-key extraction as costly as a traversal;
+        // keep a straightforward implementation (the dirty protocol below
+        // falls back to full comparison whenever structure changed).
+        let x = key.as_int()?;
+        let counts = self.reachable_counts();
+        counts.get(&x).map(|&n| Value::from(n))
+    }
+
+    fn take_dirty(&mut self) -> Option<Vec<Value>> {
+        if std::mem::take(&mut self.structure_changed) {
+            self.dirty.clear();
+            return None; // full comparison
+        }
+        Some(
+            std::mem::take(&mut self.dirty)
+                .into_iter()
+                .map(Value::from)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(r: &mut impl Replayer, space: &str, index: i64, value: Value) {
+        r.apply_write(&VarId::new(space, index), &value);
+    }
+
+    #[test]
+    fn slot_replayer_counts_valid_elements_only() {
+        let mut r = SlotReplayer::new();
+        w(&mut r, "elt", 0, Value::from(5i64));
+        assert!(r.view().is_empty(), "reserved but not valid");
+        w(&mut r, "valid", 0, Value::from(true));
+        assert_eq!(r.count(5), 1);
+        w(&mut r, "elt", 1, Value::from(5i64));
+        w(&mut r, "valid", 1, Value::from(true));
+        assert_eq!(r.count(5), 2);
+        w(&mut r, "valid", 0, Value::from(false));
+        assert_eq!(r.count(5), 1);
+        w(&mut r, "elt", 0, Value::Unit);
+        assert_eq!(r.count(5), 1);
+    }
+
+    #[test]
+    fn slot_replayer_overwrite_loses_the_old_element() {
+        // The Fig. 6 scenario: slot 0 reserved for 5, overwritten with 7.
+        let mut r = SlotReplayer::new();
+        w(&mut r, "elt", 0, Value::from(5i64));
+        w(&mut r, "elt", 0, Value::from(7i64));
+        w(&mut r, "valid", 0, Value::from(true));
+        assert_eq!(r.count(5), 0);
+        assert_eq!(r.count(7), 1);
+    }
+
+    #[test]
+    fn slot_replayer_dirty_tracks_affected_values() {
+        let mut r = SlotReplayer::new();
+        w(&mut r, "elt", 0, Value::from(5i64));
+        w(&mut r, "valid", 0, Value::from(true));
+        let dirty = r.take_dirty().unwrap();
+        assert_eq!(dirty, vec![Value::from(5i64)]);
+        assert!(r.take_dirty().unwrap().is_empty());
+        // Changing the element of a valid slot dirties both values.
+        w(&mut r, "elt", 0, Value::from(9i64));
+        let dirty = r.take_dirty().unwrap();
+        assert_eq!(dirty, vec![Value::from(5i64), Value::from(9i64)]);
+    }
+
+    #[test]
+    fn slot_replayer_view_of_matches_view() {
+        let mut r = SlotReplayer::new();
+        w(&mut r, "elt", 3, Value::from(8i64));
+        w(&mut r, "valid", 3, Value::from(true));
+        assert_eq!(r.view_of(&Value::from(8i64)), Some(Value::from(1u64)));
+        assert_eq!(r.view_of(&Value::from(9i64)), None);
+        assert_eq!(r.view().get(&Value::from(8i64)), Some(&Value::from(1u64)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable space")]
+    fn slot_replayer_rejects_foreign_writes() {
+        let mut r = SlotReplayer::new();
+        w(&mut r, "chunk", 0, Value::Unit);
+    }
+
+    fn link(r: &mut BstReplayer, id: i64, key: i64, count: i64) {
+        w(r, "bst.key", id, Value::from(key));
+        w(r, "bst.count", id, Value::from(count));
+    }
+
+    #[test]
+    fn bst_replayer_counts_reachable_nodes_only() {
+        let mut r = BstReplayer::new();
+        link(&mut r, 1, 50, 1);
+        // Not yet linked from the root: invisible.
+        assert!(r.view().is_empty());
+        w(&mut r, "bst.root", 0, Value::from(1i64));
+        assert_eq!(r.view_of(&Value::from(50i64)), Some(Value::from(1u64)));
+
+        // A second node linked as left child.
+        link(&mut r, 2, 30, 2);
+        w(&mut r, "bst.left", 1, Value::from(2i64));
+        assert_eq!(r.view_of(&Value::from(30i64)), Some(Value::from(2u64)));
+
+        // An orphan node never linked: invisible (the lost-insert bug).
+        link(&mut r, 3, 99, 1);
+        assert_eq!(r.view_of(&Value::from(99i64)), None);
+
+        // Unlinking the subtree hides it again.
+        w(&mut r, "bst.left", 1, Value::Unit);
+        assert_eq!(r.view_of(&Value::from(30i64)), None);
+    }
+
+    #[test]
+    fn bst_replayer_zero_count_is_a_tombstone() {
+        let mut r = BstReplayer::new();
+        link(&mut r, 1, 50, 1);
+        w(&mut r, "bst.root", 0, Value::from(1i64));
+        w(&mut r, "bst.count", 1, Value::from(0i64));
+        assert!(r.view().is_empty());
+    }
+
+    #[test]
+    fn bst_replayer_structural_writes_force_full_compare() {
+        let mut r = BstReplayer::new();
+        link(&mut r, 1, 50, 1);
+        w(&mut r, "bst.root", 0, Value::from(1i64));
+        assert_eq!(r.take_dirty(), None, "structure changed");
+        // Pure count updates afterwards are tracked incrementally.
+        w(&mut r, "bst.count", 1, Value::from(2i64));
+        assert_eq!(r.take_dirty(), Some(vec![Value::from(50i64)]));
+    }
+
+    #[test]
+    fn bst_replayer_survives_a_cycle() {
+        let mut r = BstReplayer::new();
+        link(&mut r, 1, 10, 1);
+        link(&mut r, 2, 20, 1);
+        w(&mut r, "bst.root", 0, Value::from(1i64));
+        w(&mut r, "bst.left", 1, Value::from(2i64));
+        w(&mut r, "bst.left", 2, Value::from(1i64)); // cycle!
+        // Must terminate and report both nodes once.
+        let v = r.view();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn bst_replayer_duplicate_keys_sum_their_counts() {
+        // Two distinct reachable nodes with the same key: the view shows
+        // the total multiplicity (and will mismatch a spec that expected
+        // a single node — the duplicated-data-node bug shape).
+        let mut r = BstReplayer::new();
+        link(&mut r, 1, 50, 1);
+        link(&mut r, 2, 50, 1);
+        w(&mut r, "bst.root", 0, Value::from(1i64));
+        w(&mut r, "bst.right", 1, Value::from(2i64));
+        assert_eq!(r.view_of(&Value::from(50i64)), Some(Value::from(2u64)));
+    }
+}

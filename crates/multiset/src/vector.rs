@@ -1,0 +1,339 @@
+//! The Vector-backed multiset of §7.4.2 ("Multiset-Vector" in Tables 1–2).
+//!
+//! Same slot discipline as [`ArrayMultiset`](crate::ArrayMultiset) —
+//! per-slot locks, `elt` + `valid` fields, `FindSlot` reservation — but the
+//! slot vector *grows* on demand and an internal **compression task**
+//! compacts the storage by moving valid elements from high slots into free
+//! low slots and truncating the tail.
+//!
+//! Concurrency structure:
+//!
+//! * public methods hold a **read** lease on the structure lock for their
+//!   whole duration (slots may be scanned without fear of compaction
+//!   moving elements mid-scan);
+//! * growth appends slots under a brief **write** hold;
+//! * compression holds the **write** lease, so it runs only between method
+//!   executions — the same pattern as Boxwood's `RECLAIMLOCK` (Fig. 8).
+//!
+//! Compression is logged as a `Compress` mutator whose specification
+//! transition leaves the multiset unchanged, so view refinement verifies
+//! compression's atomic state update does not disturb the abstract
+//! contents (the §7.2.3 check).
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use vyrd_core::instrument::{BlockGuard, MethodSession};
+use vyrd_core::log::{EventLog, ThreadLogger};
+use vyrd_core::{Value, VarId};
+
+use crate::array::FindSlotVariant;
+use crate::spec::methods;
+
+#[derive(Debug, Default)]
+struct SlotState {
+    elt: Option<i64>,
+    valid: bool,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Stable identity used in the log; survives compaction.
+    id: i64,
+    state: Mutex<SlotState>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Structure lock: read = slot vector is stable, write = may grow,
+    /// compact, or move elements.
+    slots: RwLock<Vec<Arc<Slot>>>,
+    next_id: Mutex<i64>,
+    variant: FindSlotVariant,
+    log: EventLog,
+}
+
+/// The growable, compacting multiset ("Multiset-Vector").
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_multiset::{FindSlotVariant, VectorMultiset};
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let ms = VectorMultiset::new(FindSlotVariant::Correct, log);
+/// let h = ms.handle();
+/// assert!(h.insert(1).is_success());
+/// assert!(h.insert(2).is_success());
+/// assert!(h.delete(1));
+/// h.compress();
+/// assert!(h.lookup(2));
+/// assert!(!h.lookup(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VectorMultiset {
+    inner: Arc<Inner>,
+}
+
+impl VectorMultiset {
+    /// Creates an empty multiset.
+    pub fn new(variant: FindSlotVariant, log: EventLog) -> VectorMultiset {
+        VectorMultiset {
+            inner: Arc::new(Inner {
+                slots: RwLock::new(Vec::new()),
+                next_id: Mutex::new(0),
+                variant,
+                log,
+            }),
+        }
+    }
+
+    /// The event log this multiset records into.
+    pub fn log(&self) -> &EventLog {
+        &self.inner.log
+    }
+
+    /// Current number of slots (occupied or free).
+    pub fn slot_count(&self) -> usize {
+        self.inner.slots.read().len()
+    }
+
+    /// Creates a per-thread handle with a fresh thread id.
+    pub fn handle(&self) -> VectorMultisetHandle {
+        VectorMultisetHandle {
+            ms: self.clone(),
+            logger: self.inner.log.logger(),
+        }
+    }
+}
+
+/// Per-thread access to a [`VectorMultiset`].
+#[derive(Clone, Debug)]
+pub struct VectorMultisetHandle {
+    ms: VectorMultiset,
+    logger: ThreadLogger,
+}
+
+impl VectorMultisetHandle {
+    /// Reserves a slot for `x` under the read lease, growing the vector if
+    /// the scan finds no free slot. Never fails (storage is unbounded).
+    fn find_or_grow_slot(&self, x: i64) -> Arc<Slot> {
+        {
+            let slots = self.ms.inner.slots.read();
+            for slot in slots.iter() {
+                match self.ms.inner.variant {
+                    FindSlotVariant::Correct => {
+                        let mut state = slot.state.lock();
+                        if state.elt.is_none() {
+                            state.elt = Some(x);
+                            self.logger
+                                .write(VarId::new("elt", slot.id), Value::from(x));
+                            return Arc::clone(slot);
+                        }
+                    }
+                    FindSlotVariant::Buggy => {
+                        // Fig. 5: check without holding the lock across
+                        // the reservation, and no re-check after.
+                        let free = slot.state.lock().elt.is_none();
+                        if free {
+                            std::thread::yield_now();
+                            let mut state = slot.state.lock();
+                            state.elt = Some(x);
+                            self.logger
+                                .write(VarId::new("elt", slot.id), Value::from(x));
+                            return Arc::clone(slot);
+                        }
+                    }
+                }
+            }
+        }
+        // No free slot: grow by one under the write lock, reserving the
+        // new slot for `x` in the same critical section. (If the slot
+        // were pushed empty and reserved on a later re-scan, a
+        // concurrently spinning compression task could truncate it before
+        // the re-scan ever saw it — a livelock.)
+        let mut slots = self.ms.inner.slots.write();
+        let id = {
+            let mut next = self.ms.inner.next_id.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        let slot = Arc::new(Slot {
+            id,
+            state: Mutex::new(SlotState {
+                elt: Some(x),
+                valid: false,
+            }),
+        });
+        self.logger.write(VarId::new("elt", id), Value::from(x));
+        slots.push(Arc::clone(&slot));
+        slot
+    }
+
+    /// `Insert(x)`: adds one occurrence of `x`. The growable storage never
+    /// rejects, so this always succeeds.
+    pub fn insert(&self, x: i64) -> Value {
+        let mut session = MethodSession::enter(&self.logger, methods::INSERT, &[Value::from(x)]);
+        let slot = self.find_or_grow_slot(x);
+        {
+            let mut state = slot.state.lock();
+            let block = BlockGuard::enter(&self.logger);
+            state.valid = true;
+            self.logger
+                .write(VarId::new("valid", slot.id), Value::from(true));
+            session.commit();
+            drop(block);
+        }
+        session.exit(Value::success())
+    }
+
+    /// `InsertPair(x, y)`: atomically adds both `x` and `y`.
+    pub fn insert_pair(&self, x: i64, y: i64) -> Value {
+        let args = [Value::from(x), Value::from(y)];
+        let mut session = MethodSession::enter(&self.logger, methods::INSERT_PAIR, &args);
+        let sx = self.find_or_grow_slot(x);
+        let sy = self.find_or_grow_slot(y);
+        if sx.id == sy.id {
+            // Only reachable through the FindSlot race (a concurrent
+            // overwrite + delete can recycle a reservation this thread
+            // still believes it owns). Java's reentrant `synchronized`
+            // would lock the single slot once; mirror that instead of
+            // self-deadlocking — the refinement checker then reports the
+            // resulting lost element.
+            let mut state = sx.state.lock();
+            let block = BlockGuard::enter(&self.logger);
+            state.valid = true;
+            self.logger
+                .write(VarId::new("valid", sx.id), Value::from(true));
+            session.commit();
+            drop(block);
+            drop(state);
+            return session.exit(Value::success());
+        }
+        // Lock both slots in id order.
+        let (lo, hi) = if sx.id < sy.id { (&sx, &sy) } else { (&sy, &sx) };
+        let mut lo_state = lo.state.lock();
+        let mut hi_state = hi.state.lock();
+        let block = BlockGuard::enter(&self.logger);
+        lo_state.valid = true;
+        self.logger
+            .write(VarId::new("valid", lo.id), Value::from(true));
+        hi_state.valid = true;
+        self.logger
+            .write(VarId::new("valid", hi.id), Value::from(true));
+        session.commit();
+        drop(block);
+        drop(hi_state);
+        drop(lo_state);
+        session.exit(Value::success())
+    }
+
+    /// `Delete(x)`: removes one occurrence; returns whether one was found.
+    pub fn delete(&self, x: i64) -> bool {
+        let mut session = MethodSession::enter(&self.logger, methods::DELETE, &[Value::from(x)]);
+        {
+            let slots = self.ms.inner.slots.read();
+            for slot in slots.iter() {
+                let mut state = slot.state.lock();
+                if state.elt == Some(x) && state.valid {
+                    let block = BlockGuard::enter(&self.logger);
+                    state.valid = false;
+                    self.logger
+                        .write(VarId::new("valid", slot.id), Value::from(false));
+                    state.elt = None;
+                    self.logger.write(VarId::new("elt", slot.id), Value::Unit);
+                    session.commit();
+                    drop(block);
+                    drop(state);
+                    drop(slots);
+                    session.exit(Value::from(true));
+                    return true;
+                }
+            }
+        }
+        session.commit();
+        session.exit(Value::from(false));
+        false
+    }
+
+    /// `LookUp(x)`: is `x` a member? Observer.
+    pub fn lookup(&self, x: i64) -> bool {
+        let session = MethodSession::enter(&self.logger, methods::LOOKUP, &[Value::from(x)]);
+        let found = {
+            let slots = self.ms.inner.slots.read();
+            slots.iter().any(|slot| {
+                let state = slot.state.lock();
+                state.elt == Some(x) && state.valid
+            })
+        };
+        session.exit(Value::from(found));
+        found
+    }
+
+    /// One compression pass: moves valid elements from high slots into
+    /// free low slots and drops trailing empty slots.
+    ///
+    /// Runs under the structure write lock, so no public method is in
+    /// flight. Logged as a `Compress` mutator whose entire state update is
+    /// one commit block — view refinement checks it leaves the multiset
+    /// contents unchanged (§7.2.3).
+    pub fn compress(&self) {
+        let mut session = MethodSession::enter(&self.logger, methods::COMPRESS, &[]);
+        {
+            let mut slots = self.ms.inner.slots.write();
+            let block = BlockGuard::enter(&self.logger);
+            // Two-finger compaction over the current snapshot.
+            let mut free = 0usize;
+            for occupied in 0..slots.len() {
+                let (elt, valid) = {
+                    let s = slots[occupied].state.lock();
+                    (s.elt, s.valid)
+                };
+                let Some(x) = elt else { continue };
+                if !valid {
+                    // A reservation with no membership: some thread is
+                    // mid-insert; compression must leave it alone. (Cannot
+                    // happen while we hold the write lock *and* methods
+                    // hold read leases for their duration, but stay safe.)
+                    continue;
+                }
+                // Find the first free slot before `occupied`.
+                while free < occupied && slots[free].state.lock().elt.is_some() {
+                    free += 1;
+                }
+                if free >= occupied {
+                    continue;
+                }
+                let (src, dst) = (&slots[occupied], &slots[free]);
+                // Slot locks are always taken in id order (the vector is
+                // id-sorted and free < occupied), matching insert_pair's
+                // ordering discipline.
+                let mut dst_state = dst.state.lock();
+                let mut src_state = src.state.lock();
+                dst_state.elt = Some(x);
+                self.logger.write(VarId::new("elt", dst.id), Value::from(x));
+                dst_state.valid = true;
+                self.logger
+                    .write(VarId::new("valid", dst.id), Value::from(true));
+                src_state.valid = false;
+                self.logger
+                    .write(VarId::new("valid", src.id), Value::from(false));
+                src_state.elt = None;
+                self.logger.write(VarId::new("elt", src.id), Value::Unit);
+            }
+            // Drop trailing empty slots.
+            while let Some(last) = slots.last() {
+                if last.state.lock().elt.is_none() {
+                    slots.pop();
+                } else {
+                    break;
+                }
+            }
+            session.commit();
+            drop(block);
+        }
+        session.exit(Value::Unit);
+    }
+}

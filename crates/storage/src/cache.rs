@@ -1,0 +1,407 @@
+//! The Boxwood Cache module (Fig. 8, §7.2.1–§7.2.2).
+//!
+//! The cache sits between clients (the B-link tree) and the
+//! [`ChunkManager`]: it holds *clean* entries (known equal to the chunk
+//! store) and *dirty* entries (newer than the chunk store). One lock —
+//! `LOCK(clean)` in the pseudocode — protects both lists; a read–write
+//! `RECLAIMLOCK` serializes reclamation (eviction/revocation) against
+//! ordinary operations.
+//!
+//! `WRITE(handle, buffer)` has the three paths of Fig. 8 with their three
+//! commit points:
+//!
+//! 1. miss → make a private entry, copy, **add to the dirty list**;
+//! 2. clean hit → remove from clean, copy, **add to the dirty list**;
+//! 3. dirty hit → **copy in place**.
+//!
+//! The §7.2.2 bug lives in path 3: the in-place `COPY-TO-CACHE` "not being
+//! protected by the proper lock (`LOCK(clean)`)". A concurrent `FLUSH`
+//! (which *does* hold `LOCK(clean)`) can then read the entry mid-copy and
+//! write a buffer that is "partly old and partly new" to the Chunk
+//! Manager — after which the entry is marked clean although it does not
+//! match the stored chunk. [`CacheVariant::Buggy`] reproduces exactly
+//! this; the copy is chunked with yield points so the race manifests
+//! readily.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use vyrd_core::instrument::{BlockGuard, MethodSession};
+use vyrd_core::log::{EventLog, ThreadLogger};
+use vyrd_core::{Value, VarId};
+
+use crate::chunk::ChunkManager;
+
+/// Which `WRITE` path-3 protection to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CacheVariant {
+    /// The in-place copy holds `LOCK(clean)`, excluding flushes.
+    #[default]
+    Correct,
+    /// §7.2.2: the in-place copy is unprotected — a concurrent flush can
+    /// persist a torn buffer and mark the entry clean.
+    Buggy,
+}
+
+/// How many bytes `COPY-TO-CACHE` moves per step; each step is a separate
+/// lock acquisition with a yield in between, so a racing flush can observe
+/// a partially updated buffer (in the buggy variant).
+const COPY_CHUNK: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    Clean,
+    Dirty,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    /// Retained for diagnostics (Debug output) when dumping cache state.
+    #[allow(dead_code)]
+    handle: i64,
+    data: Mutex<Vec<u8>>,
+}
+
+#[derive(Debug, Default)]
+struct Lists {
+    /// handle -> (entry, which list). One map with a state tag keeps
+    /// invariant (ii) ("an entry is in either the clean or dirty list")
+    /// structurally true in the implementation; the *replayed* state can
+    /// still violate it if the log shows otherwise.
+    entries: HashMap<i64, (Arc<CacheEntry>, EntryState)>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    chunk_mgr: ChunkManager,
+    /// `LOCK(clean)` of Fig. 8.
+    lists: Mutex<Lists>,
+    /// `RECLAIMLOCK` of Fig. 8.
+    reclaim: RwLock<()>,
+    variant: CacheVariant,
+    log: EventLog,
+}
+
+/// The Boxwood cache over a [`ChunkManager`].
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_storage::{BoxCache, CacheVariant, ChunkManager};
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let cache = BoxCache::new(ChunkManager::new(), CacheVariant::Correct, log);
+/// let h = cache.handle();
+/// h.write(1, vec![1, 2, 3]);
+/// assert_eq!(h.read(1).as_bytes(), Some(&[1, 2, 3][..]));
+/// h.flush();
+/// h.revoke(1);
+/// assert_eq!(h.read(1).as_bytes(), Some(&[1, 2, 3][..])); // refetched
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoxCache {
+    inner: Arc<Inner>,
+}
+
+impl BoxCache {
+    /// Creates a cache over `chunk_mgr`.
+    pub fn new(chunk_mgr: ChunkManager, variant: CacheVariant, log: EventLog) -> BoxCache {
+        BoxCache {
+            inner: Arc::new(Inner {
+                chunk_mgr,
+                lists: Mutex::new(Lists::default()),
+                reclaim: RwLock::new(()),
+                variant,
+                log,
+            }),
+        }
+    }
+
+    /// The underlying chunk store.
+    pub fn chunk_manager(&self) -> &ChunkManager {
+        &self.inner.chunk_mgr
+    }
+
+    /// The event log this cache records into.
+    pub fn log(&self) -> &EventLog {
+        &self.inner.log
+    }
+
+    /// Creates a per-thread handle with a fresh thread id.
+    pub fn handle(&self) -> BoxCacheHandle {
+        BoxCacheHandle {
+            cache: self.clone(),
+            logger: self.inner.log.logger(),
+        }
+    }
+}
+
+/// Per-thread access to a [`BoxCache`].
+#[derive(Clone, Debug)]
+pub struct BoxCacheHandle {
+    cache: BoxCache,
+    logger: ThreadLogger,
+}
+
+impl BoxCacheHandle {
+    fn inner(&self) -> &Inner {
+        &self.cache.inner
+    }
+
+    /// `COPY-TO-CACHE` (Fig. 8): byte-wise in-place overwrite of the entry
+    /// buffer, in small locked steps.
+    fn copy_to_cache(&self, entry: &CacheEntry, buffer: &[u8]) {
+        let mut offset = 0;
+        while offset < buffer.len() {
+            let end = (offset + COPY_CHUNK).min(buffer.len());
+            {
+                let mut data = entry.data.lock();
+                if data.len() < buffer.len() {
+                    data.resize(buffer.len(), 0);
+                }
+                data[offset..end].copy_from_slice(&buffer[offset..end]);
+                if end == buffer.len() {
+                    data.truncate(buffer.len());
+                }
+            }
+            offset = end;
+            std::thread::yield_now();
+        }
+        if buffer.is_empty() {
+            entry.data.lock().clear();
+        }
+    }
+
+    fn log_entry_state(&self, handle: i64, state: &str) {
+        self.logger
+            .write(VarId::new("cache.state", handle), Value::from(state));
+    }
+
+    fn log_entry_content(&self, handle: i64, content: &[u8]) {
+        self.logger
+            .write(VarId::new("cache", handle), Value::from(content));
+    }
+
+    fn log_chunk(&self, handle: i64, content: &[u8]) {
+        self.logger
+            .write(VarId::new("chunk", handle), Value::from(content));
+    }
+
+    /// `WRITE(handle, buffer)` (Fig. 8): stores `buffer` as the current
+    /// contents of `handle`, through the cache.
+    pub fn write(&self, handle: i64, buffer: Vec<u8>) {
+        let args = [Value::from(handle), Value::from(buffer.as_slice())];
+        let mut session = MethodSession::enter(&self.logger, "Write", &args);
+        let _reclaim = self.inner().reclaim.read();
+        match self.inner().variant {
+            CacheVariant::Correct => self.write_correct(handle, &buffer, &mut session),
+            CacheVariant::Buggy => self.write_buggy(handle, &buffer, &mut session),
+        }
+        session.exit(Value::Unit);
+    }
+
+    /// The fixed WRITE: every hit path re-validates and copies under
+    /// `LOCK(clean)` and leaves the entry dirty, so a flush can neither
+    /// observe a mid-copy buffer nor leave a stale-clean entry behind.
+    fn write_correct(&self, handle: i64, buffer: &[u8], session: &mut MethodSession<'_>) {
+        // Path 1's copy happens outside LOCK(clean) into a private entry,
+        // as in Fig. 8 lines 9–11.
+        let fresh = {
+            let lists = self.inner().lists.lock();
+            !lists.entries.contains_key(&handle)
+        };
+        let private = if fresh {
+            let entry = Arc::new(CacheEntry {
+                handle,
+                data: Mutex::new(Vec::new()),
+            });
+            self.copy_to_cache(&entry, buffer);
+            Some(entry)
+        } else {
+            None
+        };
+        let mut lists = self.inner().lists.lock();
+        // Re-validate under the lock and act on what is true *now*.
+        match (lists.entries.get(&handle).cloned(), private) {
+            (None, Some(entry)) => {
+                // Path 1 (lines 12–14): publish the private entry dirty.
+                let block = BlockGuard::enter(&self.logger);
+                lists.entries.insert(handle, (entry, EntryState::Dirty));
+                self.log_entry_content(handle, buffer);
+                self.log_entry_state(handle, "dirty");
+                session.commit(); // Commit point 1
+                drop(block);
+            }
+            (None, None) => {
+                // The entry vanished (revoked) between the probe and the
+                // lock: fall back to a locked copy into a fresh entry.
+                let entry = Arc::new(CacheEntry {
+                    handle,
+                    data: Mutex::new(buffer.to_vec()),
+                });
+                let block = BlockGuard::enter(&self.logger);
+                lists.entries.insert(handle, (entry, EntryState::Dirty));
+                self.log_entry_content(handle, buffer);
+                self.log_entry_state(handle, "dirty");
+                session.commit();
+                drop(block);
+            }
+            (Some((entry, _)), _) => {
+                // Paths 2 and 3 unified: copy in place under LOCK(clean)
+                // and (re-)mark dirty.
+                self.copy_to_cache(&entry, buffer);
+                let block = BlockGuard::enter(&self.logger);
+                lists.entries.insert(handle, (entry, EntryState::Dirty));
+                self.log_entry_content(handle, buffer);
+                self.log_entry_state(handle, "dirty");
+                session.commit(); // Commit points 2/3
+                drop(block);
+            }
+        }
+    }
+
+    /// The Fig. 8 WRITE verbatim, including the §7.2.2 bug: path
+    /// classification uses a *stale* probe, and the path-3 in-place copy
+    /// runs without `LOCK(clean)`.
+    fn write_buggy(&self, handle: i64, buffer: &[u8], session: &mut MethodSession<'_>) {
+        // Fig. 8 lines 2–5: consult the lists, then UNLOCK(clean).
+        let existing = {
+            let lists = self.inner().lists.lock();
+            lists.entries.get(&handle).cloned()
+        };
+        match existing {
+            None => {
+                // Path 1 (lines 7–14).
+                let entry = Arc::new(CacheEntry {
+                    handle,
+                    data: Mutex::new(Vec::new()),
+                });
+                self.copy_to_cache(&entry, buffer);
+                let mut lists = self.inner().lists.lock();
+                let block = BlockGuard::enter(&self.logger);
+                lists.entries.insert(handle, (entry, EntryState::Dirty));
+                self.log_entry_content(handle, buffer);
+                self.log_entry_state(handle, "dirty");
+                session.commit(); // Commit point 1
+                drop(block);
+            }
+            Some((entry, EntryState::Clean)) => {
+                // Path 2 (lines 16–21): under LOCK(clean).
+                let mut lists = self.inner().lists.lock();
+                self.copy_to_cache(&entry, buffer);
+                let block = BlockGuard::enter(&self.logger);
+                lists.entries.insert(handle, (entry, EntryState::Dirty));
+                self.log_entry_content(handle, buffer);
+                self.log_entry_state(handle, "dirty");
+                session.commit(); // Commit point 2
+                drop(block);
+            }
+            Some((entry, EntryState::Dirty)) => {
+                // Path 3 (line 23). BUG: "the call to COPY-TO-CACHE in
+                // line 23 [is] not protected by the proper lock
+                // (LOCK(clean))" — a flush can interleave with the chunked
+                // copy and persist a torn buffer.
+                self.copy_to_cache(&entry, buffer);
+                let block = BlockGuard::enter(&self.logger);
+                self.log_entry_content(handle, buffer);
+                session.commit(); // Commit point 3
+                drop(block);
+            }
+        }
+    }
+
+    /// `READ(handle)`: the current contents of `handle` (cache first, then
+    /// chunk store, faulting the chunk in as a clean entry). Observer.
+    /// Returns [`Value::Unit`] for a handle never written.
+    pub fn read(&self, handle: i64) -> Value {
+        let session = MethodSession::enter(&self.logger, "Read", &[Value::from(handle)]);
+        let _reclaim = self.inner().reclaim.read();
+        let ret = {
+            let mut lists = self.inner().lists.lock();
+            match lists.entries.get(&handle) {
+                Some((entry, _)) => Value::from(entry.data.lock().clone()),
+                None => match self.inner().chunk_mgr.read(handle) {
+                    Some(chunk) => {
+                        // Fault in as a clean entry. This preserves the
+                        // view (entry content == chunk content), so READ
+                        // stays an observer.
+                        let entry = Arc::new(CacheEntry {
+                            handle,
+                            data: Mutex::new(chunk.data.clone()),
+                        });
+                        lists.entries.insert(handle, (entry, EntryState::Clean));
+                        // The two log records are bracketed as a block so
+                        // the replayed entry never transiently exists with
+                        // contents but no list (invariant (ii)).
+                        let block = BlockGuard::enter(&self.logger);
+                        self.log_entry_content(handle, &chunk.data);
+                        self.log_entry_state(handle, "clean");
+                        drop(block);
+                        Value::from(chunk.data)
+                    }
+                    None => Value::Unit,
+                },
+            }
+        };
+        session.exit(ret)
+    }
+
+    /// `FLUSH()` (Fig. 8): writes every dirty entry to the chunk manager
+    /// and moves it to the clean list. Holds `LOCK(clean)` throughout;
+    /// the commit point is the end of the method.
+    pub fn flush(&self) {
+        let mut session = MethodSession::enter(&self.logger, "Flush", &[]);
+        {
+            let mut lists = self.inner().lists.lock();
+            let block = BlockGuard::enter(&self.logger);
+            let handles: Vec<i64> = lists
+                .entries
+                .iter()
+                .filter(|(_, (_, s))| *s == EntryState::Dirty)
+                .map(|(&h, _)| h)
+                .collect();
+            for handle in handles {
+                let (entry, _) = lists.entries.get(&handle).expect("listed above").clone();
+                // BOXWOOD-ALLOCATOR-WRITE: read whatever is in the buffer
+                // *now* — in the buggy variant this can be mid-copy.
+                let snapshot = entry.data.lock().clone();
+                self.inner().chunk_mgr.write(handle, snapshot.clone());
+                self.log_chunk(handle, &snapshot);
+                // REMOVE-FROM-DIRTY-LIST / ADD-TO-CLEAN-LIST.
+                lists.entries.insert(handle, (entry, EntryState::Clean));
+                self.log_entry_state(handle, "clean");
+            }
+            session.commit(); // Fig. 8 FLUSH commit point
+            drop(block);
+        }
+        session.exit(Value::Unit);
+    }
+
+    /// `REVOKE(handle)` (§7.2.1's "revoke method"): writes the single
+    /// entry back to the chunk manager if dirty, then drops it from the
+    /// cache. Takes the reclaim lock exclusively.
+    pub fn revoke(&self, handle: i64) {
+        let mut session = MethodSession::enter(&self.logger, "Revoke", &[Value::from(handle)]);
+        {
+            let _reclaim = self.inner().reclaim.write();
+            let mut lists = self.inner().lists.lock();
+            let block = BlockGuard::enter(&self.logger);
+            if let Some((entry, state)) = lists.entries.remove(&handle) {
+                if state == EntryState::Dirty {
+                    let snapshot = entry.data.lock().clone();
+                    self.inner().chunk_mgr.write(handle, snapshot.clone());
+                    self.log_chunk(handle, &snapshot);
+                }
+                // An entry "believed clean" is dropped without write-back —
+                // this is what lets the §7.2.2 corruption reach READ.
+                self.log_entry_content(handle, &[]);
+                self.log_entry_state(handle, "absent");
+            }
+            session.commit();
+            drop(block);
+        }
+        session.exit(Value::Unit);
+    }
+}

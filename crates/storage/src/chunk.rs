@@ -1,0 +1,123 @@
+//! The Chunk Manager: Boxwood's data-store abstraction (§7.2, Fig. 10).
+//!
+//! "Each shared variable is a byte-array identified by a unique handle, and
+//! is stored and managed by the Chunk Manager module. Shared variables have
+//! version numbers that are incremented after each write."
+//!
+//! The paper *assumes* the Chunk Manager is implemented correctly and
+//! verifies the Cache (+BLinkTree) on top of it; this module is that
+//! assumed-correct substrate: a straightforward, fully synchronized
+//! versioned byte-array store.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A stored byte array plus its version number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Current contents.
+    pub data: Vec<u8>,
+    /// Number of writes this handle has received.
+    pub version: u64,
+}
+
+/// The versioned byte-array store.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_storage::ChunkManager;
+///
+/// let cm = ChunkManager::new();
+/// cm.write(7, vec![1, 2, 3]);
+/// assert_eq!(cm.read(7).unwrap().data, vec![1, 2, 3]);
+/// assert_eq!(cm.read(7).unwrap().version, 1);
+/// cm.write(7, vec![4]);
+/// assert_eq!(cm.read(7).unwrap().version, 2);
+/// assert!(cm.read(8).is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ChunkManager {
+    chunks: Arc<Mutex<HashMap<i64, Chunk>>>,
+}
+
+impl ChunkManager {
+    /// Creates an empty store.
+    pub fn new() -> ChunkManager {
+        ChunkManager::default()
+    }
+
+    /// Writes `data` to `handle`, incrementing its version.
+    pub fn write(&self, handle: i64, data: Vec<u8>) {
+        let mut chunks = self.chunks.lock();
+        let chunk = chunks.entry(handle).or_insert(Chunk {
+            data: Vec::new(),
+            version: 0,
+        });
+        chunk.data = data;
+        chunk.version += 1;
+    }
+
+    /// Reads the chunk stored at `handle`.
+    pub fn read(&self, handle: i64) -> Option<Chunk> {
+        self.chunks.lock().get(&handle).cloned()
+    }
+
+    /// Number of stored handles.
+    pub fn len(&self) -> usize {
+        self.chunks.lock().len()
+    }
+
+    /// `true` if nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_increment_per_write() {
+        let cm = ChunkManager::new();
+        cm.write(1, vec![0]);
+        cm.write(1, vec![1]);
+        cm.write(2, vec![2]);
+        assert_eq!(cm.read(1).unwrap().version, 2);
+        assert_eq!(cm.read(2).unwrap().version, 1);
+        assert_eq!(cm.len(), 2);
+        assert!(!cm.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let cm = ChunkManager::new();
+        let cm2 = cm.clone();
+        cm.write(5, vec![9]);
+        assert_eq!(cm2.read(5).unwrap().data, vec![9]);
+    }
+
+    #[test]
+    fn concurrent_writes_are_serialized() {
+        let cm = ChunkManager::new();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let cm = cm.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    cm.write(t % 2, vec![i as u8]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            cm.read(0).unwrap().version + cm.read(1).unwrap().version,
+            400
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! # vyrd-storage — the Boxwood storage stack (§7.2, Figs. 8 & 10)
+//!
+//! The modules of Boxwood the paper verifies, rebuilt in Rust:
+//!
+//! * [`ChunkManager`] — the assumed-correct versioned byte-array store;
+//! * [`BoxCache`] — the Cache of Fig. 8 (clean/dirty lists, `LOCK(clean)`,
+//!   `RECLAIMLOCK`, three WRITE commit points, FLUSH, REVOKE), with the
+//!   real §7.2.2 bug reproducible via [`CacheVariant::Buggy`];
+//! * [`StoreSpec`] — the abstract data store the combination must refine;
+//! * [`CacheReplayer`] with the §7.2.1 invariants
+//!   [`clean_matches_chunk`] and [`entry_in_exactly_one_list`].
+//!
+//! ```
+//! use vyrd_core::checker::Checker;
+//! use vyrd_core::log::{EventLog, LogMode};
+//! use vyrd_storage::{
+//!     clean_matches_chunk, BoxCache, CacheReplayer, CacheVariant, ChunkManager, StoreSpec,
+//! };
+//!
+//! let log = EventLog::in_memory(LogMode::View);
+//! let cache = BoxCache::new(ChunkManager::new(), CacheVariant::Correct, log.clone());
+//! let h = cache.handle();
+//! h.write(1, vec![1, 2, 3]);
+//! h.flush();
+//!
+//! let report = Checker::view(StoreSpec::new(), CacheReplayer::new())
+//!     .with_invariant(clean_matches_chunk())
+//!     .check_events(log.snapshot());
+//! assert!(report.passed());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod chunk;
+mod spec;
+
+pub use cache::{BoxCache, BoxCacheHandle, CacheVariant};
+pub use chunk::{Chunk, ChunkManager};
+pub use spec::{
+    clean_matches_chunk, entry_in_exactly_one_list, CacheReplayer, ReplayedEntryState, StoreSpec,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vyrd_core::checker::Checker;
+    use vyrd_core::log::{EventLog, LogMode};
+    use vyrd_core::violation::Report;
+
+    fn view_log() -> EventLog {
+        EventLog::in_memory(LogMode::View)
+    }
+
+    fn check_io(log: &EventLog) -> Report {
+        Checker::io(StoreSpec::new()).check_events(log.snapshot())
+    }
+
+    fn check_view(log: &EventLog) -> Report {
+        Checker::view(StoreSpec::new(), CacheReplayer::new())
+            .with_invariant(clean_matches_chunk())
+            .with_invariant(entry_in_exactly_one_list())
+            .check_events(log.snapshot())
+    }
+
+    fn cache(variant: CacheVariant, log: &EventLog) -> BoxCache {
+        BoxCache::new(ChunkManager::new(), variant, log.clone())
+    }
+
+    #[test]
+    fn sequential_write_read_flush_revoke() {
+        let log = view_log();
+        let c = cache(CacheVariant::Correct, &log);
+        let h = c.handle();
+        assert!(h.read(1).is_unit());
+        h.write(1, vec![1, 2, 3]);
+        assert_eq!(h.read(1).as_bytes(), Some(&[1u8, 2, 3][..]));
+        h.flush();
+        assert_eq!(c.chunk_manager().read(1).unwrap().data, vec![1, 2, 3]);
+        h.revoke(1);
+        assert_eq!(h.read(1).as_bytes(), Some(&[1u8, 2, 3][..]));
+        // Overwrite through the hit paths: clean hit, then dirty hit.
+        h.write(1, vec![4; 20]);
+        h.write(1, vec![5; 20]);
+        assert_eq!(h.read(1).as_bytes(), Some(&[5u8; 20][..]));
+        assert!(check_io(&log).passed());
+        let view = check_view(&log);
+        assert!(view.passed(), "view: {view}");
+    }
+
+    #[test]
+    fn revoke_of_dirty_entry_writes_back() {
+        let log = view_log();
+        let c = cache(CacheVariant::Correct, &log);
+        let h = c.handle();
+        h.write(2, vec![9; 10]);
+        h.revoke(2);
+        assert_eq!(c.chunk_manager().read(2).unwrap().data, vec![9; 10]);
+        assert_eq!(h.read(2).as_bytes(), Some(&[9u8; 10][..]));
+        assert!(check_view(&log).passed());
+    }
+
+    #[test]
+    fn concurrent_correct_run_passes_with_flusher() {
+        let log = view_log();
+        let c = cache(CacheVariant::Correct, &log);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flusher = {
+            let c = c.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let h = c.handle();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    h.flush();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let mut workers = Vec::new();
+        for t in 0..4u8 {
+            let h = c.handle();
+            workers.push(std::thread::spawn(move || {
+                for i in 0..40u8 {
+                    let handle = i64::from(i % 5);
+                    match i % 3 {
+                        0 | 1 => h.write(handle, vec![t.wrapping_mul(40).wrapping_add(i); 24]),
+                        _ => {
+                            h.read(handle);
+                        }
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        flusher.join().unwrap();
+        let io = check_io(&log);
+        assert!(io.passed(), "io: {io}");
+        let view = check_view(&log);
+        assert!(view.passed(), "view: {view}");
+    }
+
+    #[test]
+    fn the_722_bug_is_caught_by_the_invariant() {
+        // One thread repeatedly overwrites a dirty entry in place (path 3)
+        // while another flushes: in the buggy variant a torn buffer
+        // reaches the chunk manager and the entry is marked clean.
+        for _ in 0..300 {
+            let log = view_log();
+            let c = cache(CacheVariant::Buggy, &log);
+            let seed = c.handle();
+            seed.write(1, vec![0; 64]); // dirty entry exists
+            let writer = {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    let h = c.handle();
+                    for round in 1..=4u8 {
+                        h.write(1, vec![round; 64]); // path 3, unprotected
+                    }
+                })
+            };
+            let flusher = {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    let h = c.handle();
+                    for _ in 0..4 {
+                        h.flush();
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            writer.join().unwrap();
+            flusher.join().unwrap();
+            let view = check_view(&log);
+            if !view.passed() {
+                let v = view.violation.unwrap();
+                assert!(
+                    v.is_view_only(),
+                    "expected a view/invariant violation, got {v}"
+                );
+                return;
+            }
+        }
+        panic!("the cache race never manifested in 300 attempts");
+    }
+
+    #[test]
+    fn the_722_bug_reaches_io_refinement_only_after_eviction_and_read() {
+        // Reproduce the paper's scenario end to end: torn flush -> entry
+        // evicted while "clean" -> read faults the corrupted chunk back in
+        // and returns it -> the Read observation is unjustified.
+        for _ in 0..300 {
+            let log = view_log();
+            let c = cache(CacheVariant::Buggy, &log);
+            let seed = c.handle();
+            seed.write(1, vec![0; 64]);
+            let writer = {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    let h = c.handle();
+                    h.write(1, vec![7; 64]);
+                })
+            };
+            let flusher = {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    let h = c.handle();
+                    h.flush();
+                })
+            };
+            writer.join().unwrap();
+            flusher.join().unwrap();
+            // Quiescent now. If the chunk got corrupted, it differs from
+            // both the old and the new buffer; evict and re-read to
+            // surface it.
+            let h = c.handle();
+            h.revoke(1);
+            h.read(1);
+            let io = check_io(&log);
+            let stored = c.chunk_manager().read(1).unwrap().data;
+            let torn = stored != vec![7; 64] && stored != vec![0; 64];
+            if torn {
+                assert!(!io.passed(), "chunk is torn but I/O refinement passed");
+                assert_eq!(io.violation.unwrap().category(), "observer-unjustified");
+                return;
+            }
+        }
+        panic!("the cache race never manifested in 300 attempts");
+    }
+}

@@ -1,0 +1,67 @@
+//! Using the atomized implementation as the specification (§4.4).
+//!
+//! "If a separate specification does not exist, our technique enables the
+//! use of an atomized version of the same implementation code as the
+//! specification." This example checks the concurrent array multiset
+//! against *itself*, atomized: a sequential slot array whose transitions
+//! are driven by the observed `(method, args, return)` signatures.
+//!
+//! Run with: `cargo run --example atomized_spec`
+
+use vyrd::core::checker::Checker;
+use vyrd::core::log::{EventLog, LogMode};
+use vyrd::multiset::{ArrayMultiset, AtomizedArrayMultiset, FindSlotVariant, MultisetSpec};
+
+fn main() {
+    const CAPACITY: usize = 16;
+
+    let log = EventLog::in_memory(LogMode::Io);
+    let multiset = ArrayMultiset::new(CAPACITY, FindSlotVariant::Correct, log.clone());
+
+    let mut workers = Vec::new();
+    for t in 0..4i64 {
+        let h = multiset.handle();
+        workers.push(std::thread::spawn(move || {
+            for i in 0..30 {
+                let x = (t * 30 + i) % 11;
+                match i % 4 {
+                    0 => {
+                        h.insert(x);
+                    }
+                    1 => {
+                        h.insert_pair(x, x + 1);
+                    }
+                    2 => {
+                        h.delete(x);
+                    }
+                    _ => {
+                        h.lookup(x);
+                    }
+                }
+            }
+        }));
+    }
+    for w in workers {
+        w.join().expect("worker");
+    }
+    let events = log.snapshot();
+    println!("recorded {} events", events.len());
+
+    // Check against the atomized implementation (§4.4)...
+    let atomized = AtomizedArrayMultiset::new(CAPACITY);
+    let report = Checker::io(atomized).check_events(events.clone());
+    println!("\nrefines the ATOMIZED implementation? {report}");
+    assert!(report.passed());
+
+    // ...and against the separate abstract specification (Fig. 1). The
+    // §4.4 decomposition: implementation ⊑ atomized version ⊑ abstract
+    // spec; both checks pass on the same trace.
+    let report = Checker::io(MultisetSpec::new()).check_events(events);
+    println!("refines the ABSTRACT specification? {report}");
+    assert!(report.passed());
+
+    println!(
+        "\nboth hold — the atomized implementation is a valid stand-in \
+         specification ✔"
+    );
+}

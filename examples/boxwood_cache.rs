@@ -1,0 +1,88 @@
+//! The real Boxwood Cache bug (§7.2.2), end to end.
+//!
+//! One thread overwrites a dirty cache entry in place (Fig. 8's WRITE
+//! path 3, whose `COPY-TO-CACHE` the buggy variant leaves unprotected by
+//! `LOCK(clean)`); a concurrent `FLUSH` reads the entry mid-copy and
+//! persists a buffer that is "partly old and partly new" to the Chunk
+//! Manager — then marks the entry clean.
+//!
+//! View refinement detects this immediately through the §7.2.1 invariant
+//! "a clean cache entry must equal its chunk". I/O refinement only sees
+//! it after the corrupted entry is evicted (without write-back — it is
+//! believed clean!) and a later READ returns the torn bytes.
+//!
+//! Run with: `cargo run --example boxwood_cache`
+
+use vyrd::core::checker::Checker;
+use vyrd::core::log::{EventLog, LogMode};
+use vyrd::storage::{
+    clean_matches_chunk, entry_in_exactly_one_list, BoxCache, CacheReplayer, CacheVariant,
+    ChunkManager, StoreSpec,
+};
+
+fn check_view(events: Vec<vyrd::core::Event>) -> vyrd::core::Report {
+    Checker::view(StoreSpec::new(), CacheReplayer::new())
+        .with_invariant(clean_matches_chunk())
+        .with_invariant(entry_in_exactly_one_list())
+        .check_events(events)
+}
+
+fn main() {
+    for attempt in 1..=500 {
+        let log = EventLog::in_memory(LogMode::View);
+        let cache = BoxCache::new(ChunkManager::new(), CacheVariant::Buggy, log.clone());
+
+        // Make handle 1 dirty so subsequent writes take path 3.
+        cache.handle().write(1, vec![0u8; 64]);
+
+        // A single write racing a single flush: if the flush catches the
+        // copy mid-flight, the torn buffer reaches the chunk manager and
+        // the entry is marked clean — with no later write to heal it
+        // before the eviction below (the paper's exact scenario).
+        let writer = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                let h = cache.handle();
+                h.write(1, vec![7; 64]);
+            })
+        };
+        let flusher = {
+            let cache = cache.clone();
+            std::thread::spawn(move || {
+                let h = cache.handle();
+                h.flush();
+            })
+        };
+        writer.join().expect("writer");
+        flusher.join().expect("flusher");
+
+        let view_report = check_view(log.snapshot());
+        if let Some(violation) = view_report.violation {
+            println!("race manifested on attempt {attempt}");
+            println!("\nview refinement verdict:\n  {violation}");
+
+            let stored = cache.chunk_manager().read(1).expect("chunk exists").data;
+            let uniform = stored.windows(2).all(|w| w[0] == w[1]);
+            println!(
+                "\nchunk manager now holds {} ({} bytes): {:?}...",
+                if uniform { "a complete buffer" } else { "a TORN buffer" },
+                stored.len(),
+                &stored[..8.min(stored.len())]
+            );
+
+            // The paper's I/O-visible continuation: evict the
+            // believed-clean entry and read the handle back.
+            let h = cache.handle();
+            h.revoke(1);
+            let read_back = h.read(1);
+            println!(
+                "after eviction, READ(1) returned {} bytes",
+                read_back.as_bytes().map(<[u8]>::len).unwrap_or(0)
+            );
+            let io_report = Checker::io(StoreSpec::new()).check_events(log.snapshot());
+            println!("I/O refinement after eviction + read: {io_report}");
+            return;
+        }
+    }
+    println!("the cache race did not manifest in 500 attempts — try again");
+}

@@ -1,0 +1,69 @@
+//! The Fig. 5 / Fig. 6 scenario: the buggy `FindSlot` loses an insert,
+//! and view refinement catches it at the very commit that overwrote the
+//! element — long before any `LookUp` would have surfaced it.
+//!
+//! Two threads run `InsertPair(5, 6)` and `InsertPair(7, 8)` against a
+//! small multiset whose `FindSlot` checks slot emptiness without holding
+//! the slot lock across the reservation (Fig. 5). When the race fires,
+//! both reserve slot 0 and one element is silently overwritten; the
+//! specification says the multiset is `{5, 6, 7, 8}` while the
+//! implementation holds only three of the four.
+//!
+//! Run with: `cargo run --example multiset_violation`
+
+use vyrd::core::checker::Checker;
+use vyrd::core::log::{EventLog, LogMode};
+use vyrd::multiset::{ArrayMultiset, FindSlotVariant, MultisetSpec, SlotReplayer};
+
+fn main() {
+    for attempt in 1..=500 {
+        let log = EventLog::in_memory(LogMode::View);
+        let multiset = ArrayMultiset::new(4, FindSlotVariant::Buggy, log.clone());
+
+        let h1 = multiset.handle();
+        let h2 = multiset.handle();
+        let t1 = std::thread::spawn(move || h1.insert_pair(5, 6));
+        let t2 = std::thread::spawn(move || h2.insert_pair(7, 8));
+        t1.join().expect("t1");
+        t2.join().expect("t2");
+
+        let events = log.snapshot();
+
+        // View refinement inspects the replayed implementation state at
+        // every commit.
+        let view_report = Checker::view(MultisetSpec::new(), SlotReplayer::new())
+            .check_events(events.clone());
+
+        // I/O refinement sees only call/return values; with no LookUp in
+        // the trace it has nothing to object to (§5's motivating point).
+        let io_report = Checker::io(MultisetSpec::new()).check_events(events.clone());
+
+        if view_report.violation.is_some() {
+            println!("race manifested on attempt {attempt}");
+            println!(
+                "\n{}",
+                vyrd::core::diagnose::explain(&view_report, &events)
+            );
+            println!(
+                "\nI/O refinement on the same trace: {}",
+                if io_report.passed() {
+                    "PASS — the lost insert is invisible without an observer"
+                } else {
+                    "FAIL"
+                }
+            );
+
+            // Now surface it the I/O way, as Fig. 6 describes: a LookUp(5)
+            // after both InsertPairs must return true per the
+            // specification, but the implementation lost the element.
+            let h = multiset.handle();
+            let five = h.lookup(5);
+            let seven = h.lookup(7);
+            println!("\nafter the fact: lookup(5) = {five}, lookup(7) = {seven}");
+            let io_after = Checker::io(MultisetSpec::new()).check_events(log.snapshot());
+            println!("I/O refinement with the LookUps appended: {io_after}");
+            return;
+        }
+    }
+    println!("the FindSlot race did not manifest in 500 attempts — try again");
+}

@@ -1,0 +1,128 @@
+//! Reproduces Fig. 3: four overlapping method executions are serialized
+//! by their **commit actions**, not by call/return order, and the
+//! observer `LookUp(3)` is justified by the witness interleaving.
+//!
+//! The figure's execution: `LookUp(3)`, `Insert(3)`, `Insert(4)`, and
+//! `Delete(3)` overlap. `LookUp(3)` *starts before* `Insert(3)` and
+//! returns `true` — correct because `Insert(3)`'s commit lies inside the
+//! lookup's window. A `LookUp(3)` run after all four must return `false`
+//! because `Delete(3)` commits after `Insert(3)`.
+
+use vyrd::core::checker::{Checker, CheckerOptions};
+use vyrd::core::{Event, MethodId, ThreadId, Value};
+use vyrd::multiset::MultisetSpec;
+
+fn call(tid: u32, m: &str, args: &[i64]) -> Event {
+    Event::Call {
+        tid: ThreadId(tid),
+        method: MethodId::from(m),
+        args: args.iter().map(|&a| Value::from(a)).collect(),
+    }
+}
+
+fn ret(tid: u32, m: &str, value: Value) -> Event {
+    Event::Return {
+        tid: ThreadId(tid),
+        method: MethodId::from(m),
+        ret: value,
+    }
+}
+
+fn commit(tid: u32) -> Event {
+    Event::Commit { tid: ThreadId(tid) }
+}
+
+/// The Fig. 3 interleaving, with the final lookup returning `expected`.
+fn fig3_trace(lookup3_result: bool, final_lookup: Option<bool>) -> Vec<Event> {
+    let mut events = vec![
+        // Four overlapping executions; calls happen in this order.
+        call(0, "LookUp", &[3]), // the "gray thread"
+        call(1, "Insert", &[3]),
+        call(2, "Insert", &[4]),
+        call(3, "Delete", &[3]),
+        // Commit order: Insert(3), Insert(4), then Delete(3).
+        commit(1),
+        ret(1, "Insert", Value::success()),
+        commit(2),
+        ret(2, "Insert", Value::success()),
+        // LookUp(3) returns before Delete commits; its window spans the
+        // Insert(3) commit, so `true` is justified.
+        ret(0, "LookUp", Value::from(lookup3_result)),
+        commit(3),
+        ret(3, "Delete", Value::from(true)),
+    ];
+    if let Some(result) = final_lookup {
+        events.push(call(0, "LookUp", &[3]));
+        events.push(ret(0, "LookUp", Value::from(result)));
+    }
+    events
+}
+
+#[test]
+fn overlapping_lookup_true_is_justified_by_commit_order() {
+    let report = Checker::io(MultisetSpec::new()).check_events(fig3_trace(true, None));
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn overlapping_lookup_false_is_also_justified() {
+    // The window also contains the pre-Insert state, so false is fine too.
+    let report = Checker::io(MultisetSpec::new()).check_events(fig3_trace(false, None));
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn witness_interleaving_is_the_commit_order() {
+    let (report, witness) = Checker::io(MultisetSpec::new())
+        .with_options(CheckerOptions {
+            record_witness: true,
+            ..CheckerOptions::default()
+        })
+        .check_events_with_witness(fig3_trace(true, None));
+    assert!(report.passed());
+    let order: Vec<String> = witness
+        .iter()
+        .map(|s| format!("{}{:?}", s.method, s.args.first().and_then(Value::as_int)))
+        .collect();
+    assert_eq!(
+        order,
+        vec!["InsertSome(3)", "InsertSome(4)", "DeleteSome(3)"],
+        "mutators serialize in commit order"
+    );
+}
+
+#[test]
+fn lookup_after_the_dust_settles_must_see_the_delete() {
+    // "a LookUp(3) that occurs after the methods in Fig. 3 should return
+    // false" — §2.
+    let ok = Checker::io(MultisetSpec::new()).check_events(fig3_trace(true, Some(false)));
+    assert!(ok.passed(), "{ok}");
+    let bad = Checker::io(MultisetSpec::new()).check_events(fig3_trace(true, Some(true)));
+    assert_eq!(
+        bad.violation.expect("must fail").category(),
+        "observer-unjustified"
+    );
+}
+
+#[test]
+fn naive_return_order_serialization_would_be_wrong() {
+    // If the checker serialized by RETURN order instead of commit order,
+    // Delete(3) (returning last) would still be correct, but a trace in
+    // which Delete COMMITS FIRST and the later lookup sees the element
+    // must pass — prove the checker follows commits, not returns.
+    let events = vec![
+        call(3, "Delete", &[3]),
+        call(1, "Insert", &[3]),
+        // Delete commits first (unproductive: 3 not yet inserted).
+        commit(3),
+        // Insert commits after.
+        commit(1),
+        ret(1, "Insert", Value::success()),
+        ret(3, "Delete", Value::from(false)),
+        // 3 is in the multiset now.
+        call(0, "LookUp", &[3]),
+        ret(0, "LookUp", Value::from(true)),
+    ];
+    let report = Checker::io(MultisetSpec::new()).check_events(events);
+    assert!(report.passed(), "{report}");
+}

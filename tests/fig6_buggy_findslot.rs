@@ -1,0 +1,162 @@
+//! Reproduces Fig. 6 **deterministically**: the exact interleaving in
+//! which the buggy `FindSlot` (Fig. 5) makes two `InsertPair`s collide on
+//! slot 0, so thread T2 overwrites the 5 that T1 reserved.
+//!
+//! The log is built by hand (no racing threads), which pins down the
+//! paper's claims precisely:
+//!
+//! * view refinement flags the violation at T1's commit — the multiset
+//!   should contain 5 but the replayed array does not;
+//! * I/O refinement passes the same trace (no observer ran);
+//! * appending `LookUp(5) -> false` makes I/O refinement fail too.
+
+use vyrd::core::checker::Checker;
+use vyrd::core::{Event, MethodId, ThreadId, Value, VarId, Violation};
+use vyrd::multiset::{MultisetSpec, SlotReplayer};
+
+fn call(tid: u32, m: &str, args: &[i64]) -> Event {
+    Event::Call {
+        tid: ThreadId(tid),
+        method: MethodId::from(m),
+        args: args.iter().map(|&a| Value::from(a)).collect(),
+    }
+}
+
+fn ret(tid: u32, m: &str, value: Value) -> Event {
+    Event::Return {
+        tid: ThreadId(tid),
+        method: MethodId::from(m),
+        ret: value,
+    }
+}
+
+fn commit(tid: u32) -> Event {
+    Event::Commit { tid: ThreadId(tid) }
+}
+
+fn write_elt(tid: u32, slot: i64, value: Value) -> Event {
+    Event::Write {
+        tid: ThreadId(tid),
+        var: VarId::new("elt", slot),
+        value,
+    }
+}
+
+fn write_valid(tid: u32, slot: i64, value: bool) -> Event {
+    Event::Write {
+        tid: ThreadId(tid),
+        var: VarId::new("valid", slot),
+        value: Value::from(value),
+    }
+}
+
+fn block_begin(tid: u32) -> Event {
+    Event::BlockBegin { tid: ThreadId(tid) }
+}
+
+fn block_end(tid: u32) -> Event {
+    Event::BlockEnd { tid: ThreadId(tid) }
+}
+
+/// The Fig. 6 interleaving. T1 = InsertPair(5, 6), T2 = InsertPair(7, 8).
+fn fig6_trace() -> Vec<Event> {
+    vec![
+        call(1, "InsertPair", &[5, 6]),
+        call(2, "InsertPair", &[7, 8]),
+        // T1's FindSlot(5) sees slot 0 free and reserves it.
+        write_elt(1, 0, Value::from(5i64)),
+        // T2's buggy FindSlot(7) saw slot 0 free *before* T1's write and
+        // overwrites the reservation (Fig. 5's missing re-check).
+        write_elt(2, 0, Value::from(7i64)),
+        // T2's FindSlot(8) takes slot 1.
+        write_elt(2, 1, Value::from(8i64)),
+        // T1's FindSlot(6) takes slot 2 (slots 0 and 1 look taken).
+        write_elt(1, 2, Value::from(6i64)),
+        // T2 commits its pair: valid bits for slots 0 and 1.
+        block_begin(2),
+        write_valid(2, 0, true),
+        write_valid(2, 1, true),
+        commit(2),
+        block_end(2),
+        ret(2, "InsertPair", Value::success()),
+        // T1 commits its pair: valid bits for slots 0 and 2 — but slot 0
+        // now holds 7, so element 5 is lost.
+        block_begin(1),
+        write_valid(1, 0, true),
+        write_valid(1, 2, true),
+        commit(1),
+        block_end(1),
+        ret(1, "InsertPair", Value::success()),
+    ]
+}
+
+#[test]
+fn view_refinement_flags_the_lost_element_at_the_commit() {
+    let report =
+        Checker::view(MultisetSpec::new(), SlotReplayer::new()).check_events(fig6_trace());
+    match report.violation.expect("must fail") {
+        Violation::ViewMismatch { key, view_i, view_s, .. } => {
+            assert_eq!(key, Value::from(5i64), "element 5 is the casualty");
+            assert_eq!(view_i, None, "the implementation lost it");
+            assert_eq!(view_s, Some(Value::from(1u64)), "the spec has it once");
+        }
+        v => panic!("wrong violation: {v}"),
+    }
+}
+
+#[test]
+fn io_refinement_passes_without_an_observer() {
+    let report = Checker::io(MultisetSpec::new()).check_events(fig6_trace());
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn io_refinement_fails_once_a_lookup_surfaces_it() {
+    // "If the test program included a LookUp(5) after both InsertPair
+    // operations complete, the specification state would be {5,6,7,8} and
+    // require that the return value be true while, in the implementation,
+    // the return value would be false." — §2.1
+    let mut events = fig6_trace();
+    events.push(call(3, "LookUp", &[5]));
+    events.push(ret(3, "LookUp", Value::from(false)));
+    let report = Checker::io(MultisetSpec::new()).check_events(events);
+    assert_eq!(
+        report.violation.expect("must fail").category(),
+        "observer-unjustified"
+    );
+    // Lookups of the surviving elements are fine.
+    for x in [6i64, 7, 8] {
+        let mut events = fig6_trace();
+        events.push(call(3, "LookUp", &[x]));
+        events.push(ret(3, "LookUp", Value::from(true)));
+        let report = Checker::io(MultisetSpec::new()).check_events(events);
+        assert!(report.passed(), "lookup({x}): {report}");
+    }
+}
+
+#[test]
+fn the_correct_interleaving_of_the_same_calls_passes_view_refinement() {
+    // Same two InsertPairs without the slot collision: slots 0..3.
+    let events = vec![
+        call(1, "InsertPair", &[5, 6]),
+        call(2, "InsertPair", &[7, 8]),
+        write_elt(1, 0, Value::from(5i64)),
+        write_elt(2, 1, Value::from(7i64)),
+        write_elt(2, 2, Value::from(8i64)),
+        write_elt(1, 3, Value::from(6i64)),
+        block_begin(2),
+        write_valid(2, 1, true),
+        write_valid(2, 2, true),
+        commit(2),
+        block_end(2),
+        ret(2, "InsertPair", Value::success()),
+        block_begin(1),
+        write_valid(1, 0, true),
+        write_valid(1, 3, true),
+        commit(1),
+        block_end(1),
+        ret(1, "InsertPair", Value::success()),
+    ];
+    let report = Checker::view(MultisetSpec::new(), SlotReplayer::new()).check_events(events);
+    assert!(report.passed(), "{report}");
+}

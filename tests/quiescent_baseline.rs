@@ -1,0 +1,97 @@
+//! VYRD's per-commit view checking vs the commit-atomicity-style
+//! *quiescent-only* baseline (§8): on the same buggy Boxwood-cache traces,
+//! the baseline can never detect earlier, and it misses transient
+//! corruption entirely whenever the state heals before the next quiescent
+//! point.
+
+use vyrd::core::checker::{Checker, CheckerOptions, ViewCheckPolicy};
+use vyrd::core::log::LogMode;
+use vyrd::core::{Event, Report};
+use vyrd::harness::scenario::{record_run, Variant};
+use vyrd::harness::scenarios::CacheScenario;
+use vyrd::harness::scenario::Scenario as _;
+use vyrd::harness::workload::WorkloadConfig;
+use vyrd::storage::{clean_matches_chunk, entry_in_exactly_one_list, CacheReplayer, StoreSpec};
+
+fn check_with_policy(events: Vec<Event>, policy: ViewCheckPolicy) -> Report {
+    Checker::view(StoreSpec::new(), CacheReplayer::new())
+        .with_invariant(clean_matches_chunk())
+        .with_invariant(entry_in_exactly_one_list())
+        .with_options(CheckerOptions {
+            view_check_policy: policy,
+            ..CheckerOptions::default()
+        })
+        .check_events(events)
+}
+
+#[test]
+fn quiescent_baseline_never_detects_earlier() {
+    let mut per_commit_detections = 0u32;
+    let mut baseline_missed_or_later = 0u32;
+    for seed in 0..40u64 {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            calls_per_thread: 40,
+            key_pool: 6,
+            shrink_pool: true,
+            internal_task: true,
+            seed,
+        };
+        let run = record_run(&CacheScenario, &cfg, LogMode::View, Variant::Buggy);
+        let per_commit = check_with_policy(run.events.clone(), ViewCheckPolicy::EveryCommit);
+        let baseline = check_with_policy(run.events, ViewCheckPolicy::QuiescentOnly);
+        match (&per_commit.violation, &baseline.violation) {
+            (None, Some(b)) => panic!(
+                "baseline detected something per-commit checking missed: {b}"
+            ),
+            (Some(p), Some(b)) => {
+                per_commit_detections += 1;
+                assert!(
+                    b.log_position() >= p.log_position(),
+                    "seed {seed}: baseline ({}) earlier than per-commit ({})",
+                    b.log_position(),
+                    p.log_position()
+                );
+                if b.log_position() > p.log_position() {
+                    baseline_missed_or_later += 1;
+                }
+            }
+            (Some(_), None) => {
+                per_commit_detections += 1;
+                baseline_missed_or_later += 1;
+            }
+            (None, None) => {}
+        }
+    }
+    assert!(
+        per_commit_detections > 0,
+        "the cache bug never manifested in 40 seeds"
+    );
+    assert!(
+        baseline_missed_or_later > 0,
+        "the baseline matched per-commit checking on every trace — \
+         the granularity difference should show on at least one"
+    );
+}
+
+#[test]
+fn both_policies_pass_correct_runs() {
+    for seed in 0..5u64 {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            calls_per_thread: 30,
+            key_pool: 6,
+            shrink_pool: true,
+            internal_task: true,
+            seed,
+        };
+        let run = record_run(&CacheScenario, &cfg, LogMode::View, Variant::Correct);
+        // Sanity: the scenario's own checker agrees.
+        let standard = CacheScenario.check(vyrd::harness::scenario::CheckKind::View, run.events.clone());
+        assert!(standard.passed(), "seed {seed}: {standard}");
+        for policy in [ViewCheckPolicy::EveryCommit, ViewCheckPolicy::QuiescentOnly] {
+            let report = check_with_policy(run.events.clone(), policy);
+            assert!(report.passed(), "seed {seed} {policy:?}: {report}");
+        }
+    }
+}
