@@ -1,20 +1,25 @@
-//! Criterion microbenchmark behind Table 1's ratio column and the §6.4
-//! ablation: offline checking cost of the same recorded trace under
+//! Microbenchmark behind Table 1's ratio column and the §6.4 ablation:
+//! offline checking cost of the same recorded trace under
 //!
 //! * I/O refinement,
 //! * view refinement with incremental view comparison (the paper's
 //!   optimization), and
 //! * view refinement with full view comparison at every commit (the
 //!   ablation baseline).
+//!
+//! Runs on [`vyrd_rt::bench`]; each group writes its own
+//! `BENCH_<group>.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vyrd_core::checker::{Checker, CheckerOptions};
+use vyrd_core::checker::{Checker, CheckerOptions, ViewCheckPolicy};
 use vyrd_core::log::LogMode;
 use vyrd_core::Event;
 use vyrd_harness::scenario::{record_run, CheckKind, Scenario, Variant};
 use vyrd_harness::scenarios;
 use vyrd_harness::workload::WorkloadConfig;
 use vyrd_multiset::{MultisetSpec, SlotReplayer};
+use vyrd_rt::bench::{black_box, BenchGroup};
+
+const SEED: u64 = 0xFEED;
 
 fn recorded_trace(scenario: &dyn Scenario) -> Vec<Event> {
     let cfg = WorkloadConfig {
@@ -23,86 +28,86 @@ fn recorded_trace(scenario: &dyn Scenario) -> Vec<Event> {
         key_pool: 12,
         shrink_pool: true,
         internal_task: false,
-        seed: 0xFEED,
+        seed: SEED,
     };
     record_run(scenario, &cfg, LogMode::View, Variant::Correct).events
 }
 
-fn checking_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checking_cost");
+fn checking_cost() {
+    let mut group = BenchGroup::new("checking_cost");
     group.sample_size(20);
     for name in ["Multiset-Vector", "Cache", "BLinkTree"] {
         let scenario = scenarios::by_name(name).expect("known scenario");
         let events = recorded_trace(scenario.as_ref());
-        group.bench_with_input(BenchmarkId::new(name, "io"), &events, |b, events| {
-            b.iter(|| scenario.check(CheckKind::Io, events.clone()))
+        group.bench(&format!("{name}/io"), || {
+            black_box(scenario.check(CheckKind::Io, events.clone()));
         });
-        group.bench_with_input(BenchmarkId::new(name, "view"), &events, |b, events| {
-            b.iter(|| scenario.check(CheckKind::View, events.clone()))
+        group.bench(&format!("{name}/view"), || {
+            black_box(scenario.check(CheckKind::View, events.clone()));
         });
     }
-    group.finish();
+    group.finish().expect("write BENCH_checking_cost.json");
 }
 
 /// The §6.4 ablation on the multiset: incremental vs full view
 /// comparison over the identical trace.
-fn view_incremental_ablation(c: &mut Criterion) {
+fn view_incremental_ablation() {
     let scenario = scenarios::by_name("Multiset-Vector").expect("known scenario");
     let events = recorded_trace(scenario.as_ref());
-    let mut group = c.benchmark_group("view_incremental_ablation");
+    let mut group = BenchGroup::new("view_incremental_ablation");
     group.sample_size(20);
-    group.bench_function("incremental", |b| {
-        b.iter(|| {
-            Checker::view(MultisetSpec::new(), SlotReplayer::new())
-                .check_events(events.clone())
-        })
+    group.bench("incremental", || {
+        black_box(
+            Checker::view(MultisetSpec::new(), SlotReplayer::new()).check_events(events.clone()),
+        );
     });
-    group.bench_function("full", |b| {
-        b.iter(|| {
+    group.bench("full", || {
+        black_box(
             Checker::view(MultisetSpec::new(), SlotReplayer::new())
                 .with_options(CheckerOptions {
                     full_view_compare: true,
                     ..CheckerOptions::default()
                 })
-                .check_events(events.clone())
-        })
+                .check_events(events.clone()),
+        );
     });
-    group.finish();
+    group
+        .finish()
+        .expect("write BENCH_view_incremental_ablation.json");
 }
 
 /// The §8 baseline comparison: per-commit view checking (VYRD) vs
 /// quiescent-only checking (commit atomicity) over the identical trace.
-fn quiescent_policy_ablation(c: &mut Criterion) {
-    use vyrd_core::checker::ViewCheckPolicy;
+fn quiescent_policy_ablation() {
     let scenario = scenarios::by_name("Multiset-Vector").expect("known scenario");
     let events = recorded_trace(scenario.as_ref());
-    let mut group = c.benchmark_group("view_check_policy");
+    let mut group = BenchGroup::new("view_check_policy");
     group.sample_size(20);
     for (policy, label) in [
         (ViewCheckPolicy::EveryCommit, "every_commit"),
         (ViewCheckPolicy::QuiescentOnly, "quiescent_only"),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
+        group.bench(label, || {
+            black_box(
                 Checker::view(MultisetSpec::new(), SlotReplayer::new())
                     .with_options(CheckerOptions {
                         view_check_policy: policy,
                         ..CheckerOptions::default()
                     })
-                    .check_events(events.clone())
-            })
+                    .check_events(events.clone()),
+            );
         });
     }
-    group.finish();
+    group.finish().expect("write BENCH_view_check_policy.json");
 }
 
 /// The §2 scalability argument quantified: checking a window of `n`
 /// fully overlapping mutators by exhaustive serialization enumeration
 /// (the "naive method ... evaluating 4! serializations") vs the
 /// commit-order witness, on the same trace.
-fn naive_blowup(c: &mut Criterion) {
+fn naive_blowup() {
     use vyrd_core::checker::naive::check_exhaustive;
-    use vyrd_core::{Event, ThreadId, Value};
+    use vyrd_core::{ThreadId, Value};
 
     // n overlapping Inserts followed by a LookUp that no serialization
     // justifies, forcing the naive search to exhaust all n! orders.
@@ -138,26 +143,29 @@ fn naive_blowup(c: &mut Criterion) {
         events
     }
 
-    let mut group = c.benchmark_group("naive_blowup");
+    let mut group = BenchGroup::new("naive_blowup");
     group.sample_size(10);
     for n in [4u32, 6, 8] {
-        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, &n| {
-            let events = overlapping_trace(n, false);
-            b.iter(|| check_exhaustive(&MultisetSpec::new(), &events, u64::MAX))
+        let exhaustive_events = overlapping_trace(n, false);
+        group.bench(&format!("exhaustive/{n}"), || {
+            black_box(check_exhaustive(
+                &MultisetSpec::new(),
+                &exhaustive_events,
+                u64::MAX,
+            ));
         });
-        group.bench_with_input(BenchmarkId::new("commit_order", n), &n, |b, &n| {
-            let events = overlapping_trace(n, true);
-            b.iter(|| Checker::io(MultisetSpec::new()).check_events(events.clone()))
+        let commit_events = overlapping_trace(n, true);
+        group.bench(&format!("commit_order/{n}"), || {
+            black_box(Checker::io(MultisetSpec::new()).check_events(commit_events.clone()));
         });
     }
-    group.finish();
+    group.finish().expect("write BENCH_naive_blowup.json");
 }
 
-criterion_group!(
-    benches,
-    checking_cost,
-    view_incremental_ablation,
-    quiescent_policy_ablation,
-    naive_blowup
-);
-criterion_main!(benches);
+fn main() {
+    eprintln!("workload seed: {SEED:#x}");
+    checking_cost();
+    view_incremental_ablation();
+    quiescent_policy_ablation();
+    naive_blowup();
+}

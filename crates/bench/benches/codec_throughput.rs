@@ -1,13 +1,16 @@
-//! Criterion microbenchmark for the log wire format (§6.1): encode and
-//! decode throughput on a realistic mixed event stream.
+//! Microbenchmark for the log wire format (§6.1): encode and decode
+//! throughput on a realistic mixed event stream. Runs on
+//! [`vyrd_rt::bench`] and writes `BENCH_codec.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use vyrd_core::codec;
 use vyrd_core::log::LogMode;
 use vyrd_core::Event;
 use vyrd_harness::scenario::{record_run, Variant};
 use vyrd_harness::scenarios;
 use vyrd_harness::workload::WorkloadConfig;
+use vyrd_rt::bench::{black_box, BenchGroup};
+
+const SEED: u64 = 0xC0DEC;
 
 fn trace() -> Vec<Event> {
     let scenario = scenarios::by_name("Cache").expect("known scenario");
@@ -17,30 +20,26 @@ fn trace() -> Vec<Event> {
         key_pool: 8,
         shrink_pool: false,
         internal_task: true,
-        seed: 0xC0DEC,
+        seed: SEED,
     };
     record_run(scenario.as_ref(), &cfg, LogMode::View, Variant::Correct).events
 }
 
-fn codec_throughput(c: &mut Criterion) {
+fn main() {
+    eprintln!("workload seed: {SEED:#x}");
     let events = trace();
     let mut encoded = Vec::new();
     codec::write_log(&mut encoded, &events).expect("in-memory encode");
+    let bytes = encoded.len() as u64;
 
-    let mut group = c.benchmark_group("codec");
-    group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(encoded.len());
-            codec::write_log(&mut buf, &events).expect("encode");
-            buf
-        })
+    let mut group = BenchGroup::new("codec");
+    group.bench_bytes("encode", bytes, || {
+        let mut buf = Vec::with_capacity(encoded.len());
+        codec::write_log(&mut buf, &events).expect("encode");
+        black_box(buf);
     });
-    group.bench_function("decode", |b| {
-        b.iter(|| codec::read_log(&mut encoded.as_slice()).expect("decode"))
+    group.bench_bytes("decode", bytes, || {
+        black_box(codec::read_log(&mut encoded.as_slice()).expect("decode"));
     });
-    group.finish();
+    group.finish().expect("write BENCH_codec.json");
 }
-
-criterion_group!(benches, codec_throughput);
-criterion_main!(benches);

@@ -1,13 +1,14 @@
-//! Criterion microbenchmark behind Table 2: per-run cost of the three
-//! logging modes on representative scenarios (the write-heavy
-//! Multiset-Vector and Cache rows show the I/O-vs-view gap, the Vector
-//! row barely does — §7.6).
+//! Microbenchmark behind Table 2: per-run cost of the three logging
+//! modes on representative scenarios (the write-heavy Multiset-Vector
+//! and Cache rows show the I/O-vs-view gap, the Vector row barely does —
+//! §7.6). Runs on [`vyrd_rt::bench`] and writes
+//! `BENCH_logging_overhead.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vyrd_core::log::LogMode;
 use vyrd_harness::scenario::{run_discarding, Variant};
 use vyrd_harness::scenarios;
 use vyrd_harness::workload::WorkloadConfig;
+use vyrd_rt::bench::{black_box, BenchGroup};
 
 fn cfg() -> WorkloadConfig {
     WorkloadConfig {
@@ -20,8 +21,9 @@ fn cfg() -> WorkloadConfig {
     }
 }
 
-fn logging_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("logging_overhead");
+fn main() {
+    eprintln!("workload seed: {:#x}", cfg().seed);
+    let mut group = BenchGroup::new("logging_overhead");
     group.sample_size(10);
     for name in ["Multiset-Vector", "Vector", "Cache"] {
         let scenario = scenarios::by_name(name).expect("known scenario");
@@ -30,13 +32,10 @@ fn logging_overhead(c: &mut Criterion) {
             (LogMode::Io, "io"),
             (LogMode::View, "view"),
         ] {
-            group.bench_with_input(BenchmarkId::new(name, label), &mode, |b, &mode| {
-                b.iter(|| run_discarding(scenario.as_ref(), &cfg(), mode, Variant::Correct))
+            group.bench(&format!("{name}/{label}"), || {
+                black_box(run_discarding(scenario.as_ref(), &cfg(), mode, Variant::Correct));
             });
         }
     }
-    group.finish();
+    group.finish().expect("write BENCH_logging_overhead.json");
 }
-
-criterion_group!(benches, logging_overhead);
-criterion_main!(benches);

@@ -26,7 +26,8 @@ fn main() {
     let (repetitions, max_runs) = if args.quick { (2, 30) } else { (5, 120) };
 
     println!("Table 1: Time to detection of error");
-    println!("(methods executed before first detection; paper values in parentheses)\n");
+    println!("(methods executed before first detection; paper values in parentheses)");
+    println!("workload seed: {} (replay with --seed {})\n", args.seed, args.seed);
 
     let mut table = TextTable::new([
         "Implementation",

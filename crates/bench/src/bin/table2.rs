@@ -22,7 +22,8 @@ fn main() {
     let args = BenchArgs::parse();
     let (threads, repeats, scale) = if args.quick { (4, 2, 4) } else { (8, 3, 60) };
 
-    println!("Table 2: Overhead of logging (seconds; paper values in parentheses)\n");
+    println!("Table 2: Overhead of logging (seconds; paper values in parentheses)");
+    println!("workload seed: {} (replay with --seed {})\n", args.seed, args.seed);
 
     let mut table = TextTable::new([
         "Implementation",

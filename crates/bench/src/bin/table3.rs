@@ -25,7 +25,8 @@ fn main() {
     let args = BenchArgs::parse();
     let (repeats, scale) = if args.quick { (2, 4) } else { (3, 60) };
 
-    println!("Table 3: Running time breakdown (seconds; paper values in parentheses)\n");
+    println!("Table 3: Running time breakdown (seconds; paper values in parentheses)");
+    println!("workload seed: {} (replay with --seed {})\n", args.seed, args.seed);
 
     let mut table = TextTable::new([
         "Program",

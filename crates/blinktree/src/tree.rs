@@ -30,14 +30,14 @@
 
 use std::sync::Arc;
 
-use parking_lot::{ArcMutexGuard, Mutex, RawMutex, RwLock};
+use vyrd_rt::sync::{ArcLockExt as _, ArcMutexGuard, Mutex, RwLock};
 use vyrd_core::instrument::{BlockGuard, MethodSession};
 use vyrd_core::log::{EventLog, ThreadLogger};
 use vyrd_core::{Value, VarId};
 
 use crate::node::{NodeContent, NodeId, MAX_KEYS};
 
-type Guard = ArcMutexGuard<RawMutex, NodeContent>;
+type Guard = ArcMutexGuard<NodeContent>;
 
 /// Which insert discipline to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]

@@ -64,7 +64,7 @@ mod tests;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::Read;
 
-use crossbeam::channel::Receiver;
+use vyrd_rt::channel::Receiver;
 
 use crate::codec;
 use crate::event::{Event, MethodId, ThreadId, VarId};

@@ -318,7 +318,7 @@ pub fn read_log<R: Read>(r: &mut R) -> io::Result<Vec<Event>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vyrd_rt::rng::Rng;
 
     fn roundtrip_value(v: &Value) -> Value {
         let mut buf = Vec::new();
@@ -462,67 +462,89 @@ mod tests {
         assert_eq!(roundtrip_value(&v), v);
     }
 
-    fn arb_value() -> impl Strategy<Value = Value> {
-        let leaf = prop_oneof![
-            Just(Value::Unit),
-            any::<bool>().prop_map(Value::Bool),
-            any::<i64>().prop_map(Value::Int),
-            ".{0,12}".prop_map(Value::Str),
-            proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
-        ];
-        leaf.prop_recursive(3, 24, 4, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Value::pair(a, b)),
-                proptest::collection::vec(inner, 0..4).prop_map(Value::List),
-            ]
-        })
+    // Seed-driven random structure generators (see `rand_gen`): each
+    // property runs over a block of fixed seeds and reports the failing
+    // seed so a counterexample replays exactly.
+
+    fn rand_string(rng: &mut Rng, alphabet: &[char], max_len: usize) -> String {
+        let len = rng.gen_range(0..max_len + 1);
+        (0..len).map(|_| *rng.choose(alphabet).unwrap()).collect()
     }
 
-    fn arb_event() -> impl Strategy<Value = Event> {
-        let tid = (0u32..64).prop_map(ThreadId);
-        prop_oneof![
-            (
-                tid.clone(),
-                "[a-zA-Z]{1,8}",
-                proptest::collection::vec(arb_value(), 0..3)
-            )
-                .prop_map(|(tid, m, args)| Event::Call {
-                    tid,
-                    method: MethodId::from(m.as_str()),
-                    args
-                }),
-            (tid.clone(), "[a-zA-Z]{1,8}", arb_value()).prop_map(|(tid, m, ret)| {
-                Event::Return {
-                    tid,
-                    method: MethodId::from(m.as_str()),
-                    ret,
-                }
-            }),
-            tid.clone().prop_map(|tid| Event::Commit { tid }),
-            tid.clone().prop_map(|tid| Event::BlockBegin { tid }),
-            tid.clone().prop_map(|tid| Event::BlockEnd { tid }),
-            (tid, "[a-z.]{1,8}", any::<i64>(), arb_value()).prop_map(|(tid, s, i, v)| {
-                Event::Write {
-                    tid,
-                    var: VarId::new(&s, i),
-                    value: v,
-                }
-            }),
-        ]
-    }
-
-    proptest! {
-        #[test]
-        fn prop_value_round_trip(v in arb_value()) {
-            prop_assert_eq!(roundtrip_value(&v), v);
+    fn rand_value(rng: &mut Rng, depth: usize) -> Value {
+        let kinds = if depth == 0 { 5 } else { 7 };
+        match rng.gen_range(0..kinds) {
+            0u32 => Value::Unit,
+            1 => Value::Bool(rng.gen_bool(0.5)),
+            2 => Value::Int(rng.next_u64() as i64),
+            3 => {
+                let alphabet: Vec<char> = "abcχéz .0\"\\\n".chars().collect();
+                Value::Str(rand_string(rng, &alphabet, 12))
+            }
+            4 => {
+                let mut bytes = vec![0u8; rng.gen_range(0..32usize)];
+                rng.fill_bytes(&mut bytes);
+                Value::Bytes(bytes)
+            }
+            5 => Value::pair(rand_value(rng, depth - 1), rand_value(rng, depth - 1)),
+            _ => {
+                let n = rng.gen_range(0..4usize);
+                Value::List((0..n).map(|_| rand_value(rng, depth - 1)).collect())
+            }
         }
+    }
 
-        #[test]
-        fn prop_log_round_trip(events in proptest::collection::vec(arb_event(), 0..40)) {
+    fn rand_event(rng: &mut Rng) -> Event {
+        let tid = ThreadId(rng.gen_range(0..64u32));
+        let methods: Vec<char> = ('a'..='z').chain('A'..='Z').collect();
+        let spaces: Vec<char> = ('a'..='z').chain(['.']).collect();
+        match rng.gen_range(0..6u32) {
+            0 => Event::Call {
+                tid,
+                method: MethodId::from(format!("m{}", rand_string(rng, &methods, 7)).as_str()),
+                args: (0..rng.gen_range(0..3usize))
+                    .map(|_| rand_value(rng, 3))
+                    .collect(),
+            },
+            1 => Event::Return {
+                tid,
+                method: MethodId::from(format!("m{}", rand_string(rng, &methods, 7)).as_str()),
+                ret: rand_value(rng, 3),
+            },
+            2 => Event::Commit { tid },
+            3 => Event::BlockBegin { tid },
+            4 => Event::BlockEnd { tid },
+            _ => Event::Write {
+                tid,
+                var: VarId::new(&rand_string(rng, &spaces, 8), rng.next_u64() as i64),
+                value: rand_value(rng, 3),
+            },
+        }
+    }
+
+    #[test]
+    fn prop_value_round_trip() {
+        for seed in 0..256u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let v = rand_value(&mut rng, 3);
+            assert_eq!(roundtrip_value(&v), v, "failing seed: {seed}");
+        }
+    }
+
+    #[test]
+    fn prop_log_round_trip() {
+        for seed in 1_000..1_128u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let events: Vec<Event> = (0..rng.gen_range(0..40usize))
+                .map(|_| rand_event(&mut rng))
+                .collect();
             let mut buf = Vec::new();
             write_log(&mut buf, &events).unwrap();
-            prop_assert_eq!(read_log(&mut buf.as_slice()).unwrap(), events);
+            assert_eq!(
+                read_log(&mut buf.as_slice()).unwrap(),
+                events,
+                "failing seed: {seed}"
+            );
         }
     }
 }

@@ -24,8 +24,8 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::Mutex;
+use vyrd_rt::channel::{self, Receiver, Sender};
+use vyrd_rt::sync::Mutex;
 
 use crate::codec;
 use crate::event::{Event, MethodId, ThreadId, VarId};

@@ -158,6 +158,37 @@ mod tests {
         assert_eq!(report.stats.observers_checked, 200);
     }
 
+    /// Regression test for the close/drain contract: the program thread
+    /// drops its [`ThreadLogger`](crate::log::ThreadLogger) without
+    /// closing the log, so the only disconnect signal the verifier ever
+    /// gets is the one [`EventLog::close`] issues inside `finish()`. If
+    /// close failed to drop the channel's sender — or if the channel
+    /// discarded buffered events on disconnect — `finish()` would block
+    /// forever on the verifier join (the bug class this substrate's
+    /// drain-before-disconnect semantics exist to prevent).
+    #[test]
+    fn finish_cannot_hang_after_program_threads_drop_their_loggers() {
+        let (done_tx, done_rx) = vyrd_rt::channel::unbounded();
+        let t = thread::spawn(move || {
+            let verifier = OnlineVerifier::spawn(LogMode::Io, Checker::io(SetSpec::default()));
+            let logger = verifier.log().logger();
+            logger.call("Add", &[Value::from(1i64)]);
+            logger.commit();
+            logger.ret("Add", Value::Unit);
+            // The program thread walks away while the verifier is still
+            // blocked in recv().
+            drop(logger);
+            let _ = done_tx.send(verifier.finish());
+        });
+        let report = done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("finish() hung: close() must disconnect the channel sink");
+        t.join().unwrap();
+        assert!(report.passed(), "{report}");
+        // The events buffered before close() were drained, not dropped.
+        assert_eq!(report.stats.commits_applied, 1);
+    }
+
     #[test]
     fn online_detects_violations() {
         let verifier = OnlineVerifier::spawn(LogMode::Io, Checker::io(SetSpec::default()));

@@ -12,12 +12,14 @@
 //! * **View agreement**: view refinement with a faithful write stream
 //!   also accepts; dropping one logged write makes it reject at (or
 //!   after) that commit.
+//!
+//! Properties run over fixed seed blocks via [`vyrd_rt::rng`]; every
+//! assertion message names the failing seed so a counterexample replays
+//! exactly (`generate_log(seed, …)` is deterministic).
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vyrd_rt::rng::Rng;
 
 use vyrd_core::checker::{Checker, CheckerOptions};
 use vyrd_core::replay::Replayer;
@@ -102,7 +104,7 @@ enum ThreadState {
 /// Generates a well-formed, refinement-valid log; returns the events and
 /// the log indices of observer Return events (corruption targets).
 fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usize>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut regs: BTreeMap<i64, i64> = BTreeMap::new();
     let mut states: Vec<ThreadState> = (0..threads).map(|_| ThreadState::Idle).collect();
     let mut events = Vec::new();
@@ -213,36 +215,67 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
     (events, observer_returns)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Drives a property over `cases` consecutive seeds starting at `base`.
+/// The per-case thread count and step budget are derived from the seed,
+/// so the corpus spans the same shape space the proptest version did;
+/// the closure's panic message is wrapped with the failing seed.
+fn for_each_case(
+    base: u64,
+    cases: u64,
+    threads_range: std::ops::Range<usize>,
+    steps_range: std::ops::Range<usize>,
+    body: impl Fn(u64, usize, usize),
+) {
+    for seed in base..base + cases {
+        let mut shape = Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let threads = shape.gen_range(threads_range.clone());
+        let steps = shape.gen_range(steps_range.clone());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(seed, threads, steps)
+        }));
+        if result.is_err() {
+            panic!("property failed at seed {seed} (threads={threads}, steps={steps}); replay with generate_log({seed}, {threads}, {steps})");
+        }
+    }
+}
 
-    #[test]
-    fn generated_valid_logs_pass_io(seed in any::<u64>(), threads in 1usize..6, steps in 1usize..120) {
+#[test]
+fn generated_valid_logs_pass_io() {
+    for_each_case(0, 64, 1..6, 1..120, |seed, threads, steps| {
         let (events, _) = generate_log(seed, threads, steps);
         let report = Checker::io(RegSpec::default()).check_events(events);
-        prop_assert!(report.passed(), "{report}");
-    }
+        assert!(report.passed(), "{report}");
+    });
+}
 
-    #[test]
-    fn generated_valid_logs_pass_view(seed in any::<u64>(), threads in 1usize..6, steps in 1usize..120) {
+#[test]
+fn generated_valid_logs_pass_view() {
+    for_each_case(100, 64, 1..6, 1..120, |seed, threads, steps| {
         let (events, _) = generate_log(seed, threads, steps);
-        let report = Checker::view(RegSpec::default(), RegReplayer::default())
-            .check_events(events.clone());
-        prop_assert!(report.passed(), "{report}");
+        let report =
+            Checker::view(RegSpec::default(), RegReplayer::default()).check_events(events.clone());
+        assert!(report.passed(), "{report}");
         // Incremental-vs-full equivalence on the same trace (there is no
         // incremental protocol here, so both take the full path — this
         // guards the option against divergence).
         let full = Checker::view(RegSpec::default(), RegReplayer::default())
-            .with_options(CheckerOptions { full_view_compare: true, ..Default::default() })
+            .with_options(CheckerOptions {
+                full_view_compare: true,
+                ..Default::default()
+            })
             .check_events(events);
-        prop_assert!(full.passed(), "{full}");
-    }
+        assert!(full.passed(), "{full}");
+    });
+}
 
-    #[test]
-    fn corrupted_observer_returns_fail(seed in any::<u64>(), threads in 1usize..6, steps in 8usize..120) {
+#[test]
+fn corrupted_observer_returns_fail() {
+    for_each_case(200, 64, 1..6, 8..120, |seed, threads, steps| {
         let (mut events, observer_returns) = generate_log(seed, threads, steps);
-        prop_assume!(!observer_returns.is_empty());
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        if observer_returns.is_empty() {
+            return;
+        }
+        let mut rng = Rng::seed_from_u64(seed ^ 0xDEAD);
         let idx = observer_returns[rng.gen_range(0..observer_returns.len())];
         // Replace the observed value with one no register ever holds.
         let Event::Return { tid, method, .. } = &events[idx] else {
@@ -254,15 +287,17 @@ proptest! {
             ret: Value::from(-1i64),
         };
         let report = Checker::io(RegSpec::default()).check_events(events);
-        prop_assert!(!report.passed(), "corruption must be detected");
-        prop_assert_eq!(
+        assert!(!report.passed(), "corruption must be detected");
+        assert_eq!(
             report.violation.expect("violation").category(),
             "observer-unjustified"
         );
-    }
+    });
+}
 
-    #[test]
-    fn dropped_writes_fail_view_refinement(seed in any::<u64>(), threads in 1usize..6, steps in 8usize..120) {
+#[test]
+fn dropped_writes_fail_view_refinement() {
+    for_each_case(300, 64, 1..6, 8..120, |seed, threads, steps| {
         let (events, _) = generate_log(seed, threads, steps);
         let write_positions: Vec<usize> = events
             .iter()
@@ -270,8 +305,10 @@ proptest! {
             .filter(|(_, e)| matches!(e, Event::Write { .. }))
             .map(|(i, _)| i)
             .collect();
-        prop_assume!(!write_positions.is_empty());
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        if write_positions.is_empty() {
+            return;
+        }
+        let mut rng = Rng::seed_from_u64(seed ^ 0xBEEF);
         let drop_idx = write_positions[rng.gen_range(0..write_positions.len())];
         // Losing a write makes view_I diverge from view_S *unless* a
         // later write restores the same value before any comparison...
@@ -283,24 +320,26 @@ proptest! {
             .filter(|&(i, _)| i != drop_idx)
             .map(|(_, e)| e.clone())
             .collect();
-        let report = Checker::view(RegSpec::default(), RegReplayer::default())
-            .check_events(mutated);
+        let report =
+            Checker::view(RegSpec::default(), RegReplayer::default()).check_events(mutated);
         // The lost write is only visible if the committed value differed
         // from what the register already held.
         let Event::Write { var, value, .. } = &events[drop_idx] else {
             unreachable!()
         };
         let prior = events[..drop_idx].iter().rev().find_map(|e| match e {
-            Event::Write { var: v2, value: v, .. } if v2 == var => Some(v.clone()),
+            Event::Write {
+                var: v2, value: v, ..
+            } if v2 == var => Some(v.clone()),
             _ => None,
         });
         let visible = prior.as_ref() != Some(value) && prior.is_some()
             || (prior.is_none() && value.as_int() != Some(0));
         if visible {
-            prop_assert!(!report.passed(), "lost write must be detected");
-            prop_assert!(report.violation.expect("violation").is_view_only());
+            assert!(!report.passed(), "lost write must be detected");
+            assert!(report.violation.expect("violation").is_view_only());
         }
-    }
+    });
 }
 
 mod naive_oracle {
@@ -314,30 +353,24 @@ mod naive_oracle {
     use super::*;
     use vyrd_core::checker::naive::{check_exhaustive, NaiveOutcome};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn naive_agrees_on_generated_valid_logs(
-            seed in any::<u64>(),
-            threads in 1usize..4,
-            steps in 1usize..30,
-        ) {
+    #[test]
+    fn naive_agrees_on_generated_valid_logs() {
+        for_each_case(400, 48, 1..4, 1..30, |seed, threads, steps| {
             let (events, _) = generate_log(seed, threads, steps);
             let commit_report = Checker::io(RegSpec::default()).check_events(events.clone());
-            prop_assert!(commit_report.passed());
+            assert!(commit_report.passed());
             let naive = check_exhaustive(&RegSpec::default(), &events, 2_000_000);
-            prop_assert_eq!(naive.outcome, NaiveOutcome::Linearizable);
-        }
+            assert_eq!(naive.outcome, NaiveOutcome::Linearizable);
+        });
+    }
 
-        #[test]
-        fn naive_agrees_on_corrupted_observers(
-            seed in any::<u64>(),
-            threads in 1usize..4,
-            steps in 8usize..30,
-        ) {
+    #[test]
+    fn naive_agrees_on_corrupted_observers() {
+        for_each_case(500, 48, 1..4, 8..30, |seed, threads, steps| {
             let (mut events, observer_returns) = generate_log(seed, threads, steps);
-            prop_assume!(!observer_returns.is_empty());
+            if observer_returns.is_empty() {
+                return;
+            }
             let idx = observer_returns[0];
             let Event::Return { tid, method, .. } = &events[idx] else {
                 unreachable!()
@@ -348,10 +381,10 @@ mod naive_oracle {
                 ret: Value::from(-1i64), // never a stored value
             };
             let commit_report = Checker::io(RegSpec::default()).check_events(events.clone());
-            prop_assert!(!commit_report.passed());
+            assert!(!commit_report.passed());
             let naive = check_exhaustive(&RegSpec::default(), &events, 2_000_000);
-            prop_assert_eq!(naive.outcome, NaiveOutcome::NotLinearizable);
-        }
+            assert_eq!(naive.outcome, NaiveOutcome::NotLinearizable);
+        });
     }
 
     #[test]
@@ -397,9 +430,8 @@ mod naive_oracle {
         // value is 10.
         let commit_report = Checker::io(RegSpec::default()).check_events(events.clone());
         assert!(!commit_report.passed());
-        // The naive search accepts: serializing T2's Put before T1's...
-        // no — before T1's would give 10; T1 before T2 gives 20, also
-        // consistent with real time. A linearization exists.
+        // The naive search accepts: serializing T1's Put before T2's
+        // gives 20, consistent with real time. A linearization exists.
         let naive = check_exhaustive(&RegSpec::default(), &events, 1_000_000);
         assert_eq!(naive.outcome, NaiveOutcome::Linearizable);
         // §4.1: "Comparing the witness interleaving with the

@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use crossbeam::channel::Receiver;
+use vyrd_rt::channel::Receiver;
 use vyrd_core::log::{EventLog, LogMode, LogStats};
 use vyrd_core::violation::Report;
 use vyrd_core::Event;

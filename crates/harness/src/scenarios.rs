@@ -111,7 +111,7 @@ macro_rules! impl_checks {
         fn check_stream(
             &self,
             kind: CheckKind,
-            receiver: &crossbeam::channel::Receiver<Event>,
+            receiver: &vyrd_rt::channel::Receiver<Event>,
         ) -> Report {
             match kind {
                 CheckKind::Io => Checker::io($spec).check_receiver(receiver),

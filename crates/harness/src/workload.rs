@@ -8,8 +8,7 @@
 //! gradually over time to focus more concurrent method calls on a
 //! smaller region of the data structure."
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vyrd_rt::rng::Rng;
 
 /// Parameters of one workload run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,7 +57,7 @@ impl WorkloadConfig {
 /// Per-thread random stream over the shared key pool.
 #[derive(Debug)]
 pub struct ThreadWorkload {
-    rng: StdRng,
+    rng: Rng,
     pool: Vec<i64>,
     calls: usize,
     issued: usize,
@@ -70,12 +69,12 @@ impl ThreadWorkload {
     pub fn new(cfg: &WorkloadConfig, index: usize) -> ThreadWorkload {
         // The pool itself is shared (same seed ⇒ same pool in every
         // thread); per-thread choice streams differ.
-        let mut pool_rng = StdRng::seed_from_u64(cfg.seed);
+        let mut pool_rng = Rng::seed_from_u64(cfg.seed);
         let pool: Vec<i64> = (0..cfg.key_pool.max(1))
             .map(|_| pool_rng.gen_range(0..1_000_000))
             .collect();
         ThreadWorkload {
-            rng: StdRng::seed_from_u64(
+            rng: Rng::seed_from_u64(
                 cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             ),
             pool,

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use vyrd_rt::sync::Mutex;
 use vyrd_core::instrument::{BlockGuard, MethodSession};
 use vyrd_core::log::{EventLog, ThreadLogger};
 use vyrd_core::{Value, VarId};

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use vyrd_rt::sync::{Mutex, RwLock};
 use vyrd_core::instrument::{BlockGuard, MethodSession};
 use vyrd_core::log::{EventLog, ThreadLogger};
 use vyrd_core::{Value, VarId};

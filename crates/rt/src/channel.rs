@@ -1,0 +1,492 @@
+//! An unbounded multi-producer single-consumer channel.
+//!
+//! API-compatible with the subset of `crossbeam::channel` the event log
+//! and harness use. Semantics that matter to the online verifier (§4.2):
+//!
+//! * **Drain before disconnect** — `recv` keeps returning buffered
+//!   messages after every [`Sender`] is gone; only an *empty* and
+//!   disconnected channel yields [`RecvError`]. The verification thread
+//!   therefore always checks every event the program managed to log.
+//! * **Disconnect wakes blockers** — dropping the last `Sender` (e.g. via
+//!   `EventLog::close()` swapping the channel sink out, or a straggler
+//!   thread dropping its logger) acquires the queue lock before
+//!   signalling, so a receiver blocked in `recv`/`recv_timeout` cannot
+//!   miss the wakeup and hang.
+//! * **Sends never block** — the queue is unbounded; `send` to a dropped
+//!   [`Receiver`] returns the value back instead of panicking.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries
+/// the unsent value back.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`]: the channel is empty and every
+/// sender is gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Live [`Sender`] handles. 0 ⇒ disconnected on the producing side.
+    senders: usize,
+    /// The [`Receiver`] is still alive.
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on every send and on producer-side disconnect.
+    ready: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Locks the state, shrugging off poison: a panicking producer must
+    /// not wedge the verification thread (the queue contents stay valid —
+    /// all critical sections are a push/pop plus counter updates).
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Creates an unbounded MPSC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half; clone freely (multi-producer).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Appends a message; never blocks. Fails (returning the message)
+    /// when the [`Receiver`] has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.lock();
+        if !state.receiver_alive {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        let disconnected = state.senders == 0;
+        // Signal *while the lock's release is ordered after the count
+        // update*: a receiver blocked in `wait` re-acquires the lock and
+        // re-checks `senders` before sleeping again, so this cannot race
+        // into a lost wakeup.
+        drop(state);
+        if disconnected {
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+/// The receiving half (single consumer by convention; `&self` methods).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available or the channel disconnects.
+    /// Buffered messages are always drained before [`RecvError`].
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.lock();
+        match state.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _timed_out) = self
+                .shared
+                .ready
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().queue.is_empty()
+    }
+
+    /// A blocking iterator: yields until the channel is empty *and*
+    /// disconnected.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// A non-blocking iterator over the currently buffered messages.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.lock().receiver_alive = false;
+    }
+}
+
+/// Blocking iterator returned by [`Receiver::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+/// Non-blocking iterator returned by [`Receiver::try_iter`].
+#[derive(Debug)]
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Owning blocking iterator returned by [`Receiver::into_iter`].
+#[derive(Debug)]
+pub struct IntoIter<T> {
+    receiver: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { receiver: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn try_recv_empty_then_value_then_disconnected() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn disconnect_drains_buffered_messages_first() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn dropping_last_sender_wakes_blocked_receiver() {
+        let (tx, rx) = unbounded::<i32>();
+        let t = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn dropping_a_clone_does_not_disconnect() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(5).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_the_value() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(41), Err(SendError(41)));
+    }
+
+    #[test]
+    fn recv_timeout_orderings() {
+        let (tx, rx) = unbounded();
+        // Value already queued: immediate.
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(1));
+        // Empty but connected: times out.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        // Value arrives mid-wait: received.
+        let t = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                tx.send(2).unwrap();
+            })
+        };
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(2));
+        t.join().unwrap();
+        // Disconnected while empty: Disconnected, not Timeout.
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn iterators_drain_until_disconnect() {
+        let (tx, rx) = unbounded();
+        let producer = thread::spawn(move || {
+            for i in 0..50 {
+                tx.send(i).unwrap();
+            }
+        });
+        let collected: Vec<i32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(collected, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_iter_is_non_blocking() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let drained: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(drained, vec![1, 2]);
+        // Channel still connected; try_iter stopped instead of blocking.
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn mpsc_from_many_threads_delivers_everything() {
+        let (tx, rx) = unbounded();
+        let mut producers = Vec::new();
+        for t in 0..8 {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..500 {
+                    tx.send((t, i)).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut counts = [0usize; 8];
+        let mut last_seen = [-1i64; 8];
+        for (t, i) in rx.iter() {
+            counts[t] += 1;
+            // Per-producer FIFO order.
+            assert!(i64::from(i) > last_seen[t]);
+            last_seen[t] = i64::from(i);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert!(counts.iter().all(|&c| c == 500));
+    }
+}

@@ -1,0 +1,38 @@
+//! # vyrd-rt — the workspace's own concurrency & measurement substrate
+//!
+//! The paper's logging discipline (§4.2) demands that the infrastructure
+//! under the [`EventLog`](../vyrd_core/log/struct.EventLog.html) —
+//! channels, locks, timers — "interfere minimally with the
+//! implementation". Runtime-verification folklore (Leucker) adds that the
+//! monitor's own synchronization shapes which interleavings can be
+//! observed at all. Owning these primitives in-tree therefore serves two
+//! purposes:
+//!
+//! 1. the workspace builds and tests **offline, `std`-only** — no
+//!    crates.io access, nothing vendored;
+//! 2. later work can shard the logger or instrument the channel itself
+//!    without fighting an opaque dependency.
+//!
+//! Four modules:
+//!
+//! * [`channel`] — an unbounded MPSC channel with the `crossbeam::channel`
+//!   subset the event log uses (`send`/`recv`/`try_recv`/`recv_timeout`,
+//!   iterator draining, disconnect semantics);
+//! * [`sync`] — poison-free [`Mutex`](sync::Mutex)/[`RwLock`](sync::RwLock)
+//!   wrappers whose `lock()`/`read()`/`write()` return guards directly,
+//!   plus an owned [`ArcMutexGuard`](sync::ArcMutexGuard) for
+//!   hand-over-hand locking;
+//! * [`rng`] — a seedable SplitMix64/xoshiro256++ PRNG
+//!   (`gen_range`, `gen_bool`, `shuffle`, `fill_bytes`) making workloads
+//!   deterministic by seed;
+//! * [`bench`] — a minimal benchmark runner (warmup, N timed iterations,
+//!   mean/median/p95/stddev, `BENCH_*.json` emission) so the
+//!   `crates/bench` binaries run as plain `harness = false` programs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bench;
+pub mod channel;
+pub mod rng;
+pub mod sync;

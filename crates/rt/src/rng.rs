@@ -1,0 +1,257 @@
+//! A small, seedable, deterministic PRNG: xoshiro256++ seeded through
+//! SplitMix64.
+//!
+//! Replaces `rand` for workload generation and property tests. Not
+//! cryptographic — the point is *reproducibility*: the same seed yields
+//! the same workload on every platform, so a failing run can be replayed
+//! from the seed the harness prints.
+
+use std::ops::Range;
+
+/// Advances a SplitMix64 state and returns the next output. Used both
+/// for seeding xoshiro and as the stream behind [`Rng::seed_from_u64`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256++ generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose full 256-bit state is expanded from
+    /// `seed` with SplitMix64 (the construction recommended by the
+    /// xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+
+    /// The next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value below `bound` (`bound` ≥ 1), via Lemire's
+    /// widening-multiply reduction.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound >= 1);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform value from `range` (panics when empty), for all the
+    /// integer types the workspace draws.
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 bits of mantissa are plenty for test probabilities.
+        let draw = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        draw < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Picks a uniformly random element (`None` on an empty slice).
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len() as u64) as usize])
+        }
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a uniform sample from the half-open `range`.
+    fn sample(rng: &mut Rng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut Rng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range on an empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u8, u16, u32, usize);
+
+impl SampleUniform for u64 {
+    fn sample(rng: &mut Rng, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range on an empty range");
+        match range.end - range.start {
+            0 => unreachable!(),
+            span => range.start + rng.below(span),
+        }
+    }
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut Rng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range on an empty range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let sa: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_across_types() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&u));
+            let i: i64 = rng.gen_range(-50..-10);
+            assert!((-50..-10).contains(&i));
+            let w: u32 = rng.gen_range(0..1);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_whole_range() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5..5i64);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = Rng::seed_from_u64(3);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..32).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        let mut rng2 = Rng::seed_from_u64(9);
+        let mut v2: Vec<u32> = (0..32).collect();
+        rng2.shuffle(&mut v2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut rng = Rng::seed_from_u64(5);
+        for len in [0usize, 1, 7, 8, 9, 64, 65] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn choose_picks_elements() {
+        let mut rng = Rng::seed_from_u64(13);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        let pool = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(pool.contains(rng.choose(&pool).unwrap()));
+        }
+    }
+}

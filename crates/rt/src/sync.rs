@@ -1,0 +1,405 @@
+//! Poison-free lock wrappers over `std::sync`.
+//!
+//! The substrates call `lock()` / `read()` / `write()` and get guards
+//! back directly — the `parking_lot` calling convention. Poisoning is
+//! deliberately shrugged off: the VYRD harness runs workloads under
+//! `catch_unwind` (and buggy variants are *expected* to misbehave), and a
+//! panicked workload thread must not cascade into every later lock
+//! acquisition panicking too. All critical sections in this workspace are
+//! small state updates that remain internally consistent at every await
+//! point, so continuing past a poisoned lock is sound here.
+//!
+//! [`ArcMutexGuard`] (via [`ArcLockExt::lock_arc`]) is the owned-guard
+//! equivalent used for hand-over-hand locking: the guard keeps its
+//! `Arc<Mutex<T>>` alive, so it can outlive the scope that looked the
+//! node up — e.g. the B-link tree's `descend` holds at most one node lock
+//! while walking right across siblings.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, PoisonError};
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// A mutual-exclusion lock whose [`Mutex::lock`] returns the guard
+/// directly (no poison `Result`).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: guard }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Owned guard (hand-over-hand locking)
+// ---------------------------------------------------------------------
+
+/// An owned mutex guard: holds a strong reference to its
+/// `Arc<Mutex<T>>`, so it is not tied to the lifetime of any borrow of
+/// the `Arc`. Created by [`ArcLockExt::lock_arc`].
+pub struct ArcMutexGuard<T: 'static> {
+    /// # Safety invariants
+    ///
+    /// The `'static` lifetime is a lie told to the type system: the guard
+    /// really borrows the `std::sync::Mutex` inside `arc`'s heap
+    /// allocation. This is sound because
+    /// * `arc` keeps that allocation alive for as long as `self` exists
+    ///   (the allocation's address is stable under moves of `self`), and
+    /// * `Drop` releases `guard` *before* `arc`'s strong count drops.
+    guard: ManuallyDrop<std::sync::MutexGuard<'static, T>>,
+    arc: Arc<Mutex<T>>,
+}
+
+impl<T: 'static> ArcMutexGuard<T> {
+    /// The `Arc` this guard keeps locked.
+    pub fn mutex(&self) -> &Arc<Mutex<T>> {
+        &self.arc
+    }
+}
+
+impl<T: 'static> Drop for ArcMutexGuard<T> {
+    fn drop(&mut self) {
+        // Safety: `guard` is never touched again; `arc` (and with it the
+        // mutex the guard points into) is still alive here and is
+        // released only after this body returns.
+        unsafe { ManuallyDrop::drop(&mut self.guard) };
+    }
+}
+
+impl<T: 'static> Deref for ArcMutexGuard<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: 'static> DerefMut for ArcMutexGuard<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: fmt::Debug + 'static> fmt::Debug for ArcMutexGuard<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Extension trait providing [`lock_arc`](ArcLockExt::lock_arc) on
+/// `Arc<Mutex<T>>`.
+pub trait ArcLockExt<T: 'static> {
+    /// Acquires the lock, returning an owned guard that keeps the `Arc`
+    /// alive.
+    fn lock_arc(&self) -> ArcMutexGuard<T>;
+}
+
+impl<T: 'static> ArcLockExt<T> for Arc<Mutex<T>> {
+    fn lock_arc(&self) -> ArcMutexGuard<T> {
+        let arc = Arc::clone(self);
+        let guard = arc
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Safety: see the invariants on `ArcMutexGuard::guard`. The
+        // transmute only erases the borrow of `arc`, which is moved into
+        // the same struct and outlives the guard by construction.
+        let guard: std::sync::MutexGuard<'static, T> =
+            unsafe { std::mem::transmute::<std::sync::MutexGuard<'_, T>, _>(guard) };
+        ArcMutexGuard {
+            guard: ManuallyDrop::new(guard),
+            arc,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// A reader-writer lock whose [`RwLock::read`]/[`RwLock::write`] return
+/// guards directly (no poison `Result`).
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(guard) => f.debug_tuple("RwLock").field(&&*guard).finish(),
+            Err(_) => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+/// RAII shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// RAII exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_try_lock() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 0);
+    }
+
+    #[test]
+    fn mutex_survives_a_panicking_holder() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // A poisoned std mutex would panic here; ours shrugs it off.
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(vec![1, 2]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(a.len() + b.len(), 4);
+        }
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn arc_guard_outlives_the_lookup_borrow() {
+        // The pattern the B-link tree uses: look an Arc up in a table,
+        // lock it, and keep the guard after the table borrow ends.
+        let table = RwLock::new(vec![Arc::new(Mutex::new(String::from("node")))]);
+        let guard = {
+            let nodes = table.read();
+            nodes[0].lock_arc()
+        };
+        // Table can even be mutated while the node stays locked.
+        table.write().push(Arc::new(Mutex::new(String::new())));
+        assert_eq!(&*guard, "node");
+        assert_eq!(Arc::strong_count(guard.mutex()), 2);
+    }
+
+    #[test]
+    fn arc_guard_hand_over_hand() {
+        // Chain of nodes; walk while holding at most one owned lock,
+        // releasing the previous node only after acquiring the next.
+        let nodes: Vec<Arc<Mutex<usize>>> =
+            (0..10).map(|i| Arc::new(Mutex::new(i + 1))).collect();
+        let mut guard = nodes[0].lock_arc();
+        let mut visited = vec![0];
+        while *guard < nodes.len() {
+            let next = nodes[*guard].lock_arc();
+            visited.push(*guard);
+            guard = next; // previous guard drops here
+        }
+        assert_eq!(visited, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn arc_guard_is_exclusive_and_releases() {
+        let arc = Arc::new(Mutex::new(0));
+        let g = arc.lock_arc();
+        assert!(arc.try_lock().is_none());
+        drop(g);
+        assert!(arc.try_lock().is_some());
+        assert_eq!(Arc::strong_count(&arc), 1, "guard released its clone");
+    }
+
+    #[test]
+    fn arc_guard_keeps_the_mutex_alive() {
+        let arc = Arc::new(Mutex::new(String::from("kept")));
+        let mut guard = arc.lock_arc();
+        drop(arc); // guard's clone is now the only owner
+        guard.push_str(" alive");
+        assert_eq!(&*guard, "kept alive");
+    }
+
+    #[test]
+    fn debug_impls_do_not_deadlock() {
+        let m = Mutex::new(1);
+        let held = m.lock();
+        assert_eq!(format!("{m:?}"), "Mutex(<locked>)");
+        drop(held);
+        assert_eq!(format!("{m:?}"), "Mutex(1)");
+        let l = RwLock::new(2);
+        assert_eq!(format!("{l:?}"), "RwLock(2)");
+    }
+}

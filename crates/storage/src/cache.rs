@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use vyrd_rt::sync::{Mutex, RwLock};
 use vyrd_core::instrument::{BlockGuard, MethodSession};
 use vyrd_core::log::{EventLog, ThreadLogger};
 use vyrd_core::{Value, VarId};

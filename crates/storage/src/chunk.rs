@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use vyrd_rt::sync::Mutex;
 
 /// A stored byte array plus its version number.
 #[derive(Clone, Debug, PartialEq, Eq)]

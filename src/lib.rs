@@ -11,7 +11,10 @@
 //! * [`javalib`] — the `java.util.Vector` / `StringBuffer` benchmarks;
 //! * [`storage`] — the Boxwood ChunkManager + Cache stack (Fig. 8);
 //! * [`blinktree`] — the Boxwood B-link tree (Fig. 9);
-//! * [`harness`] — the §7.1 workload harness and the Tables 1–3 drivers.
+//! * [`harness`] — the §7.1 workload harness and the Tables 1–3 drivers;
+//! * [`rt`] — the in-tree, `std`-only concurrency & measurement substrate
+//!   (MPSC channel, poison-free locks, seedable PRNG, benchmark runner)
+//!   that keeps the whole workspace dependency-free.
 //!
 //! See the `examples/` directory for runnable walkthroughs:
 //!
@@ -32,4 +35,5 @@ pub use vyrd_core as core;
 pub use vyrd_harness as harness;
 pub use vyrd_javalib as javalib;
 pub use vyrd_multiset as multiset;
+pub use vyrd_rt as rt;
 pub use vyrd_storage as storage;

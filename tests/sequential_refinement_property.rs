@@ -5,8 +5,11 @@
 //! This is the soundness backstop for the whole stack: if any generated
 //! single-threaded run failed, the bug would be in an implementation,
 //! spec, replayer, or the checker itself — not in thread scheduling.
+//!
+//! Each property runs over a block of fixed [`vyrd::rt::rng`] seeds and
+//! names the failing seed on assertion failure, so counterexamples
+//! replay deterministically.
 
-use proptest::prelude::*;
 use vyrd::blinktree::{BLinkReplayer, BLinkSpec, BLinkTree, BLinkVariant};
 use vyrd::core::checker::{Checker, CheckerOptions};
 use vyrd::core::log::{EventLog, LogMode};
@@ -15,10 +18,26 @@ use vyrd::javalib::{
     VectorReplayer, VectorSpec, VectorVariant,
 };
 use vyrd::multiset::{ArrayMultiset, FindSlotVariant, MultisetSpec, SlotReplayer};
+use vyrd::rt::rng::Rng;
 use vyrd::storage::{
     clean_matches_chunk, entry_in_exactly_one_list, BoxCache, CacheReplayer, CacheVariant,
     ChunkManager, StoreSpec,
 };
+
+const CASES: u64 = 48;
+
+/// Runs `body` once per seed; a panic inside is re-raised with the seed
+/// so the case replays exactly.
+fn for_each_seed(base: u64, body: impl Fn(&mut Rng)) {
+    for seed in base..base + CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if result.is_err() {
+            panic!("property failed at seed {seed}");
+        }
+    }
+}
 
 #[derive(Clone, Debug)]
 enum MsOp {
@@ -28,134 +47,178 @@ enum MsOp {
     Lookup(i64),
 }
 
-fn ms_op() -> impl Strategy<Value = MsOp> {
-    let key = 0..8i64;
-    prop_oneof![
-        key.clone().prop_map(MsOp::Insert),
-        (key.clone(), key.clone()).prop_map(|(a, b)| MsOp::InsertPair(a, b)),
-        key.clone().prop_map(MsOp::Delete),
-        key.prop_map(MsOp::Lookup),
-    ]
+fn ms_op(rng: &mut Rng) -> MsOp {
+    let key = rng.gen_range(0..8i64);
+    match rng.gen_range(0..4u32) {
+        0 => MsOp::Insert(key),
+        1 => MsOp::InsertPair(key, rng.gen_range(0..8i64)),
+        2 => MsOp::Delete(key),
+        _ => MsOp::Lookup(key),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn multiset_sequential_runs_refine(ops in proptest::collection::vec(ms_op(), 0..60)) {
+#[test]
+fn multiset_sequential_runs_refine() {
+    for_each_seed(0, |rng| {
+        let ops: Vec<MsOp> = (0..rng.gen_range(0..60usize)).map(|_| ms_op(rng)).collect();
         let log = EventLog::in_memory(LogMode::View);
         let ms = ArrayMultiset::new(16, FindSlotVariant::Correct, log.clone());
         let h = ms.handle();
         for op in &ops {
             match *op {
-                MsOp::Insert(x) => { h.insert(x); }
-                MsOp::InsertPair(x, y) => { h.insert_pair(x, y); }
-                MsOp::Delete(x) => { h.delete(x); }
-                MsOp::Lookup(x) => { h.lookup(x); }
+                MsOp::Insert(x) => {
+                    h.insert(x);
+                }
+                MsOp::InsertPair(x, y) => {
+                    h.insert_pair(x, y);
+                }
+                MsOp::Delete(x) => {
+                    h.delete(x);
+                }
+                MsOp::Lookup(x) => {
+                    h.lookup(x);
+                }
             }
         }
         let events = log.snapshot();
         let io = Checker::io(MultisetSpec::new()).check_events(events.clone());
-        prop_assert!(io.passed(), "io: {io}");
-        let view = Checker::view(MultisetSpec::new(), SlotReplayer::new())
-            .check_events(events.clone());
-        prop_assert!(view.passed(), "view: {view}");
+        assert!(io.passed(), "io: {io}");
+        let view =
+            Checker::view(MultisetSpec::new(), SlotReplayer::new()).check_events(events.clone());
+        assert!(view.passed(), "view: {view}");
         // §6.4 equivalence: incremental and full comparison agree.
         let full = Checker::view(MultisetSpec::new(), SlotReplayer::new())
-            .with_options(CheckerOptions { full_view_compare: true, ..Default::default() })
+            .with_options(CheckerOptions {
+                full_view_compare: true,
+                ..Default::default()
+            })
             .check_events(events);
-        prop_assert_eq!(view.passed(), full.passed());
-    }
+        assert_eq!(view.passed(), full.passed());
+    });
+}
 
-    #[test]
-    fn blinktree_sequential_runs_refine(
-        ops in proptest::collection::vec((0..3u8, 0..24i64, 0..100i64), 0..80)
-    ) {
+#[test]
+fn blinktree_sequential_runs_refine() {
+    for_each_seed(1_000, |rng| {
+        let n = rng.gen_range(0..80usize);
         let log = EventLog::in_memory(LogMode::View);
         let tree = BLinkTree::new(BLinkVariant::Correct, log.clone());
         let h = tree.handle();
-        for &(kind, key, data) in &ops {
+        for _ in 0..n {
+            let kind = rng.gen_range(0..3u8);
+            let key = rng.gen_range(0..24i64);
+            let data = rng.gen_range(0..100i64);
             match kind {
                 0 => h.insert(key, data),
-                1 => { h.delete(key); }
-                _ => { h.lookup(key); }
+                1 => {
+                    h.delete(key);
+                }
+                _ => {
+                    h.lookup(key);
+                }
             }
         }
         h.compress();
         let events = log.snapshot();
         let io = Checker::io(BLinkSpec::new()).check_events(events.clone());
-        prop_assert!(io.passed(), "io: {io}");
+        assert!(io.passed(), "io: {io}");
         let view = Checker::view(BLinkSpec::new(), BLinkReplayer::new()).check_events(events);
-        prop_assert!(view.passed(), "view: {view}");
-    }
+        assert!(view.passed(), "view: {view}");
+    });
+}
 
-    #[test]
-    fn vector_sequential_runs_refine(
-        ops in proptest::collection::vec((0..4u8, 0..10i64), 0..60)
-    ) {
+#[test]
+fn vector_sequential_runs_refine() {
+    for_each_seed(2_000, |rng| {
+        let n = rng.gen_range(0..60usize);
         let log = EventLog::in_memory(LogMode::View);
         let v = SyncVector::new(VectorVariant::Correct, log.clone());
         let h = v.handle();
-        for &(kind, x) in &ops {
+        for _ in 0..n {
+            let kind = rng.gen_range(0..4u8);
+            let x = rng.gen_range(0..10i64);
             match kind {
                 0 => h.add(x),
-                1 => { h.remove_last(); }
-                2 => { h.last_index_of(x); }
-                _ => { h.get(x); h.size(); }
+                1 => {
+                    h.remove_last();
+                }
+                2 => {
+                    h.last_index_of(x);
+                }
+                _ => {
+                    h.get(x);
+                    h.size();
+                }
             }
         }
         let events = log.snapshot();
         let io = Checker::io(VectorSpec::new()).check_events(events.clone());
-        prop_assert!(io.passed(), "io: {io}");
+        assert!(io.passed(), "io: {io}");
         let view = Checker::view(VectorSpec::new(), VectorReplayer::new()).check_events(events);
-        prop_assert!(view.passed(), "view: {view}");
-    }
+        assert!(view.passed(), "view: {view}");
+    });
+}
 
-    #[test]
-    fn stringbuffer_sequential_runs_refine(
-        ops in proptest::collection::vec((0..4u8, 0..3i64, 0..3i64, 0..12usize), 0..50)
-    ) {
+#[test]
+fn stringbuffer_sequential_runs_refine() {
+    for_each_seed(3_000, |rng| {
+        let n = rng.gen_range(0..50usize);
         let log = EventLog::in_memory(LogMode::View);
         let pool = BufferPool::new(3, StringBufferVariant::Correct, log.clone());
         let h = pool.handle();
-        for &(kind, a, b, n) in &ops {
+        for _ in 0..n {
+            let kind = rng.gen_range(0..4u8);
+            let a = rng.gen_range(0..3i64);
             match kind {
                 0 => h.append(a, "xy"),
-                1 => { h.append_buffer(a, b); }
-                2 => h.set_length(a, n),
-                _ => { h.to_string(a); h.length(a); }
+                1 => {
+                    h.append_buffer(a, rng.gen_range(0..3i64));
+                }
+                2 => h.set_length(a, rng.gen_range(0..12usize)),
+                _ => {
+                    h.to_string(a);
+                    h.length(a);
+                }
             }
         }
         let events = log.snapshot();
         let io = Checker::io(StringBufferSpec::new(3)).check_events(events.clone());
-        prop_assert!(io.passed(), "io: {io}");
+        assert!(io.passed(), "io: {io}");
         let view = Checker::view(StringBufferSpec::new(3), StringBufferReplayer::with_buffers(3))
             .check_events(events);
-        prop_assert!(view.passed(), "view: {view}");
-    }
+        assert!(view.passed(), "view: {view}");
+    });
+}
 
-    #[test]
-    fn cache_sequential_runs_refine(
-        ops in proptest::collection::vec((0..5u8, 0..4i64, any::<u8>()), 0..50)
-    ) {
+#[test]
+fn cache_sequential_runs_refine() {
+    for_each_seed(4_000, |rng| {
+        let n = rng.gen_range(0..50usize);
         let log = EventLog::in_memory(LogMode::View);
         let cache = BoxCache::new(ChunkManager::new(), CacheVariant::Correct, log.clone());
         let h = cache.handle();
-        for &(kind, handle, byte) in &ops {
+        for _ in 0..n {
+            let kind = rng.gen_range(0..5u8);
+            let handle = rng.gen_range(0..4i64);
             match kind {
-                0 | 1 => h.write(handle, vec![byte; 24]),
-                2 => { h.read(handle); }
+                0 | 1 => {
+                    let byte = rng.gen_range(0..256u32) as u8;
+                    h.write(handle, vec![byte; 24]);
+                }
+                2 => {
+                    h.read(handle);
+                }
                 3 => h.flush(),
                 _ => h.revoke(handle),
             }
         }
         let events = log.snapshot();
         let io = Checker::io(StoreSpec::new()).check_events(events.clone());
-        prop_assert!(io.passed(), "io: {io}");
+        assert!(io.passed(), "io: {io}");
         let view = Checker::view(StoreSpec::new(), CacheReplayer::new())
             .with_invariant(clean_matches_chunk())
             .with_invariant(entry_in_exactly_one_list())
             .check_events(events);
-        prop_assert!(view.passed(), "view: {view}");
-    }
+        assert!(view.passed(), "view: {view}");
+    });
 }
