@@ -107,7 +107,7 @@ fn quiescent_policy_ablation() {
 /// commit-order witness, on the same trace.
 fn naive_blowup() {
     use vyrd_core::checker::naive::check_exhaustive;
-    use vyrd_core::{ThreadId, Value};
+    use vyrd_core::{ObjectId, ThreadId, Value};
 
     // n overlapping Inserts followed by a LookUp that no serialization
     // justifies, forcing the naive search to exhaust all n! orders.
@@ -116,27 +116,31 @@ fn naive_blowup() {
         for t in 0..n {
             events.push(Event::Call {
                 tid: ThreadId(t),
+                object: ObjectId::DEFAULT,
                 method: "Insert".into(),
                 args: vec![Value::from(i64::from(t))],
             });
         }
         events.push(Event::Call {
             tid: ThreadId(n),
+            object: ObjectId::DEFAULT,
             method: "LookUp".into(),
             args: vec![Value::from(i64::from(n) + 1_000)],
         });
         for t in 0..n {
             if with_commits {
-                events.push(Event::Commit { tid: ThreadId(t) });
+                events.push(Event::Commit { tid: ThreadId(t), object: ObjectId::DEFAULT });
             }
             events.push(Event::Return {
                 tid: ThreadId(t),
+                object: ObjectId::DEFAULT,
                 method: "Insert".into(),
                 ret: Value::success(),
             });
         }
         events.push(Event::Return {
             tid: ThreadId(n),
+            object: ObjectId::DEFAULT,
             method: "LookUp".into(),
             ret: Value::from(true), // never inserted: no witness exists
         });

@@ -27,6 +27,16 @@ fn main() {
     group.sample_size(10);
     for name in ["Multiset-Vector", "Vector", "Cache"] {
         let scenario = scenarios::by_name(name).expect("known scenario");
+        // The Cache workload takes milliseconds per run, so calibration
+        // lands on iters = 1 after a handful of warmup runs and
+        // scheduling noise can invert the off/io/view ordering (an io
+        // mean *below* off was observed). Pin the iteration count and
+        // buy stability with more samples instead.
+        if name == "Cache" {
+            group.sample_size(30).fixed_iters(1);
+        } else {
+            group.sample_size(10).auto_iters();
+        }
         for (mode, label) in [
             (LogMode::Off, "off"),
             (LogMode::Io, "io"),

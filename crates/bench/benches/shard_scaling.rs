@@ -1,0 +1,136 @@
+//! Verifier throughput under per-object log sharding (§6.1, §8).
+//!
+//! One workload — `KEYS_TOTAL` multiset entries plus `LOOKUPS_TOTAL`
+//! observer windows, each window spanning one mutator commit — is spread
+//! over K ∈ {1, 2, 4, 8} independent multiset instances with **disjoint
+//! key ranges**, then checked shard by shard (K fresh checkers over the
+//! per-object subsequences; at K = 1 this is exactly the unsharded
+//! combined checker).
+//!
+//! The total event count and key population are identical at every K, so
+//! the measured difference is the sharding benefit itself: a per-object
+//! checker carries 1/K of the specification state, and the §4.3 observer
+//! snapshots (`spec.clone()` per open window at each commit) shrink with
+//! it. That makes the speedup *algorithmic* — it holds on a single core,
+//! before any parallelism across pool workers is added on top.
+//!
+//! Emits `BENCH_shard_scaling.json`; the shape target is 4-shard
+//! throughput ≥ 2× the 1-shard configuration.
+
+use vyrd_core::checker::Checker;
+use vyrd_core::shard::partition_by_object;
+use vyrd_core::{Event, ObjectId, ThreadId, Value};
+use vyrd_multiset::MultisetSpec;
+use vyrd_rt::bench::{black_box, BenchGroup};
+use vyrd_rt::rng::Rng;
+
+/// Multiset entries across all objects (spec-state size at K = 1).
+const KEYS_TOTAL: u32 = 2048;
+/// Observer windows across all objects; each takes ≥ 1 spec snapshot.
+const LOOKUPS_TOTAL: u32 = 2048;
+const SEED: u64 = 0x5AD5;
+
+/// Builds the K-object trace: populate every object's disjoint key range,
+/// then run observer windows (LookUp spanning a re-insert commit) round-
+/// robin across objects. Same total events for every K.
+fn multi_object_trace(objects: u32) -> Vec<Event> {
+    let keys_per_obj = KEYS_TOTAL / objects;
+    let key = |obj: u32, k: u32| i64::from(obj) * 1_000_000 + i64::from(k);
+    let mut events = Vec::new();
+    for k in 0..keys_per_obj {
+        for obj in 0..objects {
+            let (tid, object) = (ThreadId(obj), ObjectId(obj));
+            events.push(Event::Call {
+                tid,
+                object,
+                method: "Insert".into(),
+                args: vec![Value::from(key(obj, k))],
+            });
+            events.push(Event::Commit { tid, object });
+            events.push(Event::Return {
+                tid,
+                object,
+                method: "Insert".into(),
+                ret: Value::success(),
+            });
+        }
+    }
+    let mut rng = Rng::seed_from_u64(SEED);
+    for j in 0..LOOKUPS_TOTAL {
+        let obj = j % objects;
+        let object = ObjectId(obj);
+        let t_obs = ThreadId(1_000 + obj);
+        let t_mut = ThreadId(2_000 + obj);
+        let looked_up = key(obj, rng.gen_range(0..keys_per_obj));
+        let reinserted = key(obj, rng.gen_range(0..keys_per_obj));
+        events.push(Event::Call {
+            tid: t_obs,
+            object,
+            method: "LookUp".into(),
+            args: vec![Value::from(looked_up)],
+        });
+        // A mutator commits inside the observer's window, forcing a
+        // snapshot of the (per-object) spec state. Re-inserting an
+        // existing key keeps the spec size constant across windows.
+        events.push(Event::Call {
+            tid: t_mut,
+            object,
+            method: "Insert".into(),
+            args: vec![Value::from(reinserted)],
+        });
+        events.push(Event::Commit {
+            tid: t_mut,
+            object,
+        });
+        events.push(Event::Return {
+            tid: t_mut,
+            object,
+            method: "Insert".into(),
+            ret: Value::success(),
+        });
+        events.push(Event::Return {
+            tid: t_obs,
+            object,
+            method: "LookUp".into(),
+            ret: Value::from(true),
+        });
+    }
+    events
+}
+
+fn main() {
+    let mut group = BenchGroup::new("shard_scaling");
+    // Whole-trace checks are slow (≫ the calibration target); pin one
+    // iteration per sample and take more samples instead.
+    group.sample_size(10).fixed_iters(1);
+    let mut means = Vec::new();
+    for k in [1u32, 2, 4, 8] {
+        let events = multi_object_trace(k);
+        let total_events = events.len() as f64;
+        let shards: Vec<Vec<Event>> = partition_by_object(events).into_values().collect();
+        assert_eq!(shards.len(), k as usize);
+        let stats = group.bench(&format!("shards/{k}"), || {
+            for shard in &shards {
+                let report = Checker::io(MultisetSpec::new()).check_events(shard.clone());
+                assert!(black_box(report).passed());
+            }
+        });
+        eprintln!(
+            "    {k} shard(s): {:.0} events/s checked",
+            total_events / stats.mean_ns * 1e9
+        );
+        means.push((k, stats.mean_ns));
+    }
+    group.finish().expect("write BENCH_shard_scaling.json");
+    let t1 = means[0].1;
+    for &(k, t) in &means[1..] {
+        eprintln!("  speedup at {k} shards vs 1: {:.2}x", t1 / t);
+    }
+    let t4 = means.iter().find(|(k, _)| *k == 4).expect("k=4 row").1;
+    if t1 / t4 < 2.0 {
+        eprintln!(
+            "  WARNING: 4-shard speedup {:.2}x below the 2x shape target",
+            t1 / t4
+        );
+    }
+}

@@ -323,15 +323,21 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
     }
 
     /// Checks a log in the binary wire format (e.g. written by
-    /// [`EventLog::to_file`](crate::log::EventLog::to_file)). A decoding
-    /// error is reported as a [`Violation::MalformedLog`].
-    pub fn check_reader<Rd: Read>(self, mut reader: Rd) -> Report {
+    /// [`EventLog::to_file`](crate::log::EventLog::to_file)), in either
+    /// the current versioned format or the legacy headerless v1 format
+    /// (see [`codec::LogReader`]). A decoding error is reported as a
+    /// [`Violation::MalformedLog`].
+    pub fn check_reader<Rd: Read>(self, reader: Rd) -> Report {
         let mut decode_failed = false;
+        let mut log_reader = codec::LogReader::new(reader).ok();
+        if log_reader.is_none() {
+            decode_failed = true;
+        }
         let (mut report, _) = self.run(|| {
             if decode_failed {
                 return None;
             }
-            match codec::read_event(&mut reader) {
+            match log_reader.as_mut().expect("reader present").next_event() {
                 Ok(event) => event,
                 Err(_) => {
                     decode_failed = true;
@@ -403,7 +409,13 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             }
         };
         for e in &self.lookahead {
-            if let Event::Return { tid: t, method: m, ret } = e {
+            if let Event::Return {
+                tid: t,
+                method: m,
+                ret,
+                ..
+            } = e
+            {
                 if *t == tid {
                     return matching(m, ret).map(Some);
                 }
@@ -413,7 +425,13 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             let Some(e) = source() else {
                 return Ok(None);
             };
-            let found = if let Event::Return { tid: t, method: m, ret } = &e {
+            let found = if let Event::Return {
+                tid: t,
+                method: m,
+                ret,
+                ..
+            } = &e
+            {
                 (*t == tid).then(|| matching(m, ret))
             } else {
                 None
@@ -433,20 +451,26 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
 
     fn step(&mut self, event: Event, source: &mut impl FnMut() -> Option<Event>) {
         match event {
-            Event::Write { tid, var, value } => {
+            Event::Write {
+                tid, var, value, ..
+            } => {
                 if let Some((var, value)) = self.blocks.write(tid, var, value) {
                     self.apply_write(&var, &value);
                 }
             }
-            Event::BlockBegin { tid } => self.blocks.begin(tid),
-            Event::BlockEnd { tid } => {
+            Event::BlockBegin { tid, .. } => self.blocks.begin(tid),
+            Event::BlockEnd { tid, .. } => {
                 for (var, value) in self.blocks.end(tid) {
                     self.apply_write(&var, &value);
                 }
             }
-            Event::Call { tid, method, args } => self.on_call(tid, method, args),
-            Event::Commit { tid } => self.on_commit(tid, source),
-            Event::Return { tid, method, ret } => self.on_return(tid, method, ret),
+            Event::Call {
+                tid, method, args, ..
+            } => self.on_call(tid, method, args),
+            Event::Commit { tid, .. } => self.on_commit(tid, source),
+            Event::Return {
+                tid, method, ret, ..
+            } => self.on_return(tid, method, ret),
         }
     }
 

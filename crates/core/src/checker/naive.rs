@@ -77,10 +77,14 @@ pub fn extract_executions(events: &[Event]) -> Vec<MethodExecution> {
     let mut out = Vec::new();
     for (pos, event) in events.iter().enumerate() {
         match event {
-            Event::Call { tid, method, args } => {
+            Event::Call {
+                tid, method, args, ..
+            } => {
                 open.insert(*tid, (method.clone(), args.clone(), pos));
             }
-            Event::Return { tid, method, ret } => {
+            Event::Return {
+                tid, method, ret, ..
+            } => {
                 if let Some((m, args, call_pos)) = open.remove(tid) {
                     if &m == method {
                         out.push(MethodExecution {
@@ -237,6 +241,7 @@ mod tests {
     fn call(tid: u32, m: &str, args: &[i64]) -> Event {
         Event::Call {
             tid: ThreadId(tid),
+            object: crate::event::ObjectId::DEFAULT,
             method: m.into(),
             args: args.iter().map(|&a| Value::from(a)).collect(),
         }
@@ -245,6 +250,7 @@ mod tests {
     fn ret(tid: u32, m: &str, v: Value) -> Event {
         Event::Return {
             tid: ThreadId(tid),
+            object: crate::event::ObjectId::DEFAULT,
             method: m.into(),
             ret: v,
         }

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use crate::checker::{Checker, CheckerOptions, Invariant};
-use crate::event::{Event, MethodId, ThreadId, VarId};
+use crate::event::{Event, MethodId, ObjectId, ThreadId, VarId};
 use crate::replay::Replayer;
 use crate::spec::{MethodKind, Spec, SpecEffect, SpecError};
 use crate::value::Value;
@@ -104,6 +104,7 @@ fn t(n: u32) -> ThreadId {
 fn call(tid: u32, m: &str, args: &[i64]) -> Event {
     Event::Call {
         tid: t(tid),
+        object: ObjectId::DEFAULT,
         method: m.into(),
         args: args.iter().map(|&a| Value::from(a)).collect(),
     }
@@ -112,18 +113,20 @@ fn call(tid: u32, m: &str, args: &[i64]) -> Event {
 fn ret(tid: u32, m: &str, value: Value) -> Event {
     Event::Return {
         tid: t(tid),
+        object: ObjectId::DEFAULT,
         method: m.into(),
         ret: value,
     }
 }
 
 fn commit(tid: u32) -> Event {
-    Event::Commit { tid: t(tid) }
+    Event::Commit { tid: t(tid), object: ObjectId::DEFAULT }
 }
 
 fn write(tid: u32, k: i64, v: i64) -> Event {
     Event::Write {
         tid: t(tid),
+        object: ObjectId::DEFAULT,
         var: VarId::new("reg", k),
         value: Value::from(v),
     }
@@ -477,7 +480,7 @@ fn commit_block_writes_become_visible_atomically() {
     // commit, T2's view comparison never sees the dirty state (§5.2).
     let events = vec![
         call(1, "Put", &[1, 10]),
-        Event::BlockBegin { tid: t(1) },
+        Event::BlockBegin { tid: t(1), object: ObjectId::DEFAULT },
         write(1, 1, 999), // dirty intermediate
         // context switch: T2 runs a Touch and commits.
         call(2, "Touch", &[0]),
@@ -486,7 +489,7 @@ fn commit_block_writes_become_visible_atomically() {
         // T1 finishes its block and commits.
         write(1, 1, 10),
         commit(1),
-        Event::BlockEnd { tid: t(1) },
+        Event::BlockEnd { tid: t(1), object: ObjectId::DEFAULT },
         ret(1, "Put", Value::Unit),
     ];
     let report = view_check(events);

@@ -10,14 +10,27 @@
 //!   length prefix;
 //! * every [`Value`] and [`Event`] starts with a one-byte tag.
 //!
+//! # Versioning
+//!
+//! A log stream starts with a header — the magic bytes `b"VYRD"` followed
+//! by a `u32` format version — and then holds bare records. Version 2 (the
+//! current version) added a `u32` [`ObjectId`](crate::ObjectId) to every
+//! event record, right after the thread id. Version-1 streams predate the
+//! header entirely: they start directly with an event tag. [`LogReader`]
+//! tells the two apart by sniffing the first byte (the magic's `b'V'` can
+//! never be a record tag) and decodes v1 records with
+//! [`ObjectId::DEFAULT`](crate::ObjectId::DEFAULT), so old logs keep
+//! reading.
+//!
 //! The format is deliberately simple so that a log written by a crashing
 //! process can be read back up to the last complete record: [`read_event`]
 //! distinguishes a clean end of stream (`Ok(None)`) from a truncated record
 //! (`Err`).
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
-use crate::event::{Event, MethodId, ThreadId, VarId};
+use crate::event::{Event, MethodId, ObjectId, ThreadId, VarId};
 use crate::value::Value;
 
 // Value tags.
@@ -37,6 +50,14 @@ const TAG_COMMIT: u8 = 18;
 const TAG_BLOCK_BEGIN: u8 = 19;
 const TAG_BLOCK_END: u8 = 20;
 const TAG_WRITE: u8 = 21;
+
+/// Magic bytes opening a versioned log stream. `b'V'` (0x56) is far from
+/// the record tag space (0..=21), so a headerless v1 stream can never be
+/// mistaken for a versioned one.
+pub const MAGIC: [u8; 4] = *b"VYRD";
+
+/// The log format version this module writes.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Maximum length accepted for any single string/bytes/list payload.
 ///
@@ -185,16 +206,26 @@ fn read_value_at<R: Read>(r: &mut R, depth: u32) -> io::Result<Value> {
     }
 }
 
-/// Serializes one event.
+/// Serializes one event as a current-version (v2) record.
+///
+/// Records are headerless; a reader needs the stream header to know their
+/// version, so prepend one with [`write_header`] (as [`write_log`] and the
+/// file sink do) when starting a fresh stream.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying writer.
 pub fn write_event<W: Write>(w: &mut W, event: &Event) -> io::Result<()> {
     match event {
-        Event::Call { tid, method, args } => {
+        Event::Call {
+            tid,
+            object,
+            method,
+            args,
+        } => {
             w.write_all(&[TAG_CALL])?;
             write_u32(w, tid.0)?;
+            write_u32(w, object.0)?;
             write_str(w, method.name())?;
             write_u32(w, args.len() as u32)?;
             for a in args {
@@ -202,27 +233,42 @@ pub fn write_event<W: Write>(w: &mut W, event: &Event) -> io::Result<()> {
             }
             Ok(())
         }
-        Event::Return { tid, method, ret } => {
+        Event::Return {
+            tid,
+            object,
+            method,
+            ret,
+        } => {
             w.write_all(&[TAG_RETURN])?;
             write_u32(w, tid.0)?;
+            write_u32(w, object.0)?;
             write_str(w, method.name())?;
             write_value(w, ret)
         }
-        Event::Commit { tid } => {
+        Event::Commit { tid, object } => {
             w.write_all(&[TAG_COMMIT])?;
-            write_u32(w, tid.0)
+            write_u32(w, tid.0)?;
+            write_u32(w, object.0)
         }
-        Event::BlockBegin { tid } => {
+        Event::BlockBegin { tid, object } => {
             w.write_all(&[TAG_BLOCK_BEGIN])?;
-            write_u32(w, tid.0)
+            write_u32(w, tid.0)?;
+            write_u32(w, object.0)
         }
-        Event::BlockEnd { tid } => {
+        Event::BlockEnd { tid, object } => {
             w.write_all(&[TAG_BLOCK_END])?;
-            write_u32(w, tid.0)
+            write_u32(w, tid.0)?;
+            write_u32(w, object.0)
         }
-        Event::Write { tid, var, value } => {
+        Event::Write {
+            tid,
+            object,
+            var,
+            value,
+        } => {
             w.write_all(&[TAG_WRITE])?;
             write_u32(w, tid.0)?;
+            write_u32(w, object.0)?;
             write_str(w, var.space())?;
             write_i64(w, var.index())?;
             write_value(w, value)
@@ -230,7 +276,79 @@ pub fn write_event<W: Write>(w: &mut W, event: &Event) -> io::Result<()> {
     }
 }
 
-/// Deserializes one event, or `Ok(None)` at a clean end of stream.
+/// Writes the stream header: magic bytes plus the current format version.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_header<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    write_u32(w, FORMAT_VERSION)
+}
+
+/// Decodes the record body after the tag byte. Every version puts the
+/// thread id first; v2 adds the object id right after it.
+fn read_event_body<R: Read>(r: &mut R, tag: u8, version: u32) -> io::Result<Event> {
+    if !(TAG_CALL..=TAG_WRITE).contains(&tag) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown vyrd event tag {tag}"),
+        ));
+    }
+    let tid = ThreadId(read_u32(r)?);
+    let object = if version >= 2 {
+        ObjectId(read_u32(r)?)
+    } else {
+        ObjectId::DEFAULT
+    };
+    let event = match tag {
+        TAG_CALL => {
+            let method = MethodId::from(read_string(r)?);
+            let argc = read_len(r)?;
+            let mut args = Vec::with_capacity(argc.min(64));
+            for _ in 0..argc {
+                args.push(read_value(r)?);
+            }
+            Event::Call {
+                tid,
+                object,
+                method,
+                args,
+            }
+        }
+        TAG_RETURN => Event::Return {
+            tid,
+            object,
+            method: MethodId::from(read_string(r)?),
+            ret: read_value(r)?,
+        },
+        TAG_COMMIT => Event::Commit { tid, object },
+        TAG_BLOCK_BEGIN => Event::BlockBegin { tid, object },
+        TAG_BLOCK_END => Event::BlockEnd { tid, object },
+        TAG_WRITE => {
+            let space = read_string(r)?;
+            let index = read_i64(r)?;
+            let value = read_value(r)?;
+            Event::Write {
+                tid,
+                object,
+                var: VarId::new(&space, index),
+                value,
+            }
+        }
+        t => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown vyrd event tag {t}"),
+            ))
+        }
+    };
+    Ok(event)
+}
+
+/// Deserializes one current-version (v2) event record, or `Ok(None)` at a
+/// clean end of stream. To read a stream whose version is not known in
+/// advance, use [`LogReader`].
 ///
 /// # Errors
 ///
@@ -243,73 +361,143 @@ pub fn read_event<R: Read>(r: &mut R) -> io::Result<Option<Event>> {
         1 => {}
         _ => unreachable!("read of 1-byte buffer returned >1"),
     }
-    let event = match tag[0] {
-        TAG_CALL => {
-            let tid = ThreadId(read_u32(r)?);
-            let method = MethodId::from(read_string(r)?);
-            let argc = read_len(r)?;
-            let mut args = Vec::with_capacity(argc.min(64));
-            for _ in 0..argc {
-                args.push(read_value(r)?);
-            }
-            Event::Call { tid, method, args }
-        }
-        TAG_RETURN => Event::Return {
-            tid: ThreadId(read_u32(r)?),
-            method: MethodId::from(read_string(r)?),
-            ret: read_value(r)?,
-        },
-        TAG_COMMIT => Event::Commit {
-            tid: ThreadId(read_u32(r)?),
-        },
-        TAG_BLOCK_BEGIN => Event::BlockBegin {
-            tid: ThreadId(read_u32(r)?),
-        },
-        TAG_BLOCK_END => Event::BlockEnd {
-            tid: ThreadId(read_u32(r)?),
-        },
-        TAG_WRITE => {
-            let tid = ThreadId(read_u32(r)?);
-            let space = read_string(r)?;
-            let index = read_i64(r)?;
-            let value = read_value(r)?;
-            Event::Write {
-                tid,
-                var: VarId::new(&space, index),
-                value,
-            }
-        }
-        t => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown vyrd event tag {t}"),
-            ))
-        }
-    };
-    Ok(Some(event))
+    read_event_body(r, tag[0], FORMAT_VERSION).map(Some)
 }
 
-/// Serializes a whole log.
+/// Version-aware streaming decoder.
+///
+/// Sniffs the stream's first byte: the magic's `b'V'` means a versioned
+/// header follows; an event tag (or clean EOF) means a legacy headerless v1
+/// stream, whose records decode with
+/// [`ObjectId::DEFAULT`](crate::ObjectId::DEFAULT).
+pub struct LogReader<R: Read> {
+    reader: R,
+    version: u32,
+    /// First byte of a v1 stream, consumed while sniffing for the magic.
+    pending_tag: Option<u8>,
+}
+
+impl<R: Read> fmt::Debug for LogReader<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogReader")
+            .field("version", &self.version)
+            .field("pending_tag", &self.pending_tag)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Read> LogReader<R> {
+    /// Opens a log stream, consuming its header if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a corrupt magic or an unsupported version,
+    /// and propagates I/O errors.
+    pub fn new(mut reader: R) -> io::Result<LogReader<R>> {
+        let mut first = [0u8; 1];
+        match reader.read(&mut first)? {
+            0 => {
+                // Empty stream: version is moot, `next_event` yields None.
+                return Ok(LogReader {
+                    reader,
+                    version: FORMAT_VERSION,
+                    pending_tag: None,
+                });
+            }
+            1 => {}
+            _ => unreachable!("read of 1-byte buffer returned >1"),
+        }
+        if first[0] == MAGIC[0] {
+            let mut rest = [0u8; 3];
+            reader.read_exact(&mut rest)?;
+            if rest != MAGIC[1..] {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "corrupt vyrd log magic",
+                ));
+            }
+            let version = read_u32(&mut reader)?;
+            if version == 0 || version > FORMAT_VERSION {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported vyrd log version {version}"),
+                ));
+            }
+            Ok(LogReader {
+                reader,
+                version,
+                pending_tag: None,
+            })
+        } else {
+            // No magic: a legacy v1 stream; the byte we read is its first
+            // record tag.
+            Ok(LogReader {
+                reader,
+                version: 1,
+                pending_tag: Some(first[0]),
+            })
+        }
+    }
+
+    /// The format version of the stream being read.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Decodes the next event, or `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for unknown tags and `UnexpectedEof` when the
+    /// stream ends mid-record.
+    pub fn next_event(&mut self) -> io::Result<Option<Event>> {
+        let tag = match self.pending_tag.take() {
+            Some(t) => t,
+            None => {
+                let mut tag = [0u8; 1];
+                match self.reader.read(&mut tag)? {
+                    0 => return Ok(None),
+                    1 => tag[0],
+                    _ => unreachable!("read of 1-byte buffer returned >1"),
+                }
+            }
+        };
+        read_event_body(&mut self.reader, tag, self.version).map(Some)
+    }
+}
+
+impl<R: Read> Iterator for LogReader<R> {
+    type Item = io::Result<Event>;
+
+    fn next(&mut self) -> Option<io::Result<Event>> {
+        self.next_event().transpose()
+    }
+}
+
+/// Serializes a whole log: the versioned header, then one record per event.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying writer.
 pub fn write_log<W: Write>(w: &mut W, events: &[Event]) -> io::Result<()> {
+    write_header(w)?;
     for e in events {
         write_event(w, e)?;
     }
     Ok(())
 }
 
-/// Deserializes a whole log until end of stream.
+/// Deserializes a whole log until end of stream, accepting both versioned
+/// (headered) and legacy headerless v1 streams.
 ///
 /// # Errors
 ///
 /// Returns the first decoding or I/O error; events decoded before the error
-/// are discarded (use [`read_event`] in a loop to salvage a prefix).
+/// are discarded (use [`LogReader`] directly to salvage a prefix).
 pub fn read_log<R: Read>(r: &mut R) -> io::Result<Vec<Event>> {
+    let mut reader = LogReader::new(r)?;
     let mut events = Vec::new();
-    while let Some(e) = read_event(r)? {
+    while let Some(e) = reader.next_event()? {
         events.push(e);
     }
     Ok(events)
@@ -363,19 +551,31 @@ mod tests {
         let events = [
             Event::Call {
                 tid: ThreadId(7),
+                object: ObjectId(3),
                 method: "InsertPair".into(),
                 args: vec![5i64.into(), 6i64.into()],
             },
             Event::Return {
                 tid: ThreadId(7),
+                object: ObjectId(3),
                 method: "InsertPair".into(),
                 ret: Value::success(),
             },
-            Event::Commit { tid: ThreadId(0) },
-            Event::BlockBegin { tid: ThreadId(1) },
-            Event::BlockEnd { tid: ThreadId(1) },
+            Event::Commit {
+                tid: ThreadId(0),
+                object: ObjectId::DEFAULT,
+            },
+            Event::BlockBegin {
+                tid: ThreadId(1),
+                object: ObjectId(u32::MAX),
+            },
+            Event::BlockEnd {
+                tid: ThreadId(1),
+                object: ObjectId(u32::MAX),
+            },
             Event::Write {
                 tid: ThreadId(3),
+                object: ObjectId(1),
                 var: VarId::new("A.valid", 2),
                 value: true.into(),
             },
@@ -390,25 +590,61 @@ mod tests {
         let log = vec![
             Event::Call {
                 tid: ThreadId(1),
+                object: ObjectId(2),
                 method: "m".into(),
                 args: vec![],
             },
-            Event::Commit { tid: ThreadId(1) },
+            Event::Commit {
+                tid: ThreadId(1),
+                object: ObjectId(2),
+            },
             Event::Return {
                 tid: ThreadId(1),
+                object: ObjectId(2),
                 method: "m".into(),
                 ret: Value::Unit,
             },
         ];
         let mut buf = Vec::new();
         write_log(&mut buf, &log).unwrap();
+        assert_eq!(&buf[..4], &MAGIC);
         assert_eq!(read_log(&mut buf.as_slice()).unwrap(), log);
+    }
+
+    #[test]
+    fn headerless_v1_stream_decodes_with_default_object() {
+        // Hand-encode a v1 `Commit` record: tag, then tid only — no object.
+        let mut buf = vec![TAG_COMMIT];
+        buf.extend_from_slice(&9u32.to_le_bytes());
+        let mut reader = LogReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.version(), 1);
+        assert_eq!(
+            reader.next_event().unwrap(),
+            Some(Event::Commit {
+                tid: ThreadId(9),
+                object: ObjectId::DEFAULT,
+            })
+        );
+        assert_eq!(reader.next_event().unwrap(), None);
     }
 
     #[test]
     fn clean_eof_yields_none() {
         let empty: &[u8] = &[];
         assert!(read_event(&mut { empty }).unwrap().is_none());
+        assert!(read_log(&mut { empty }).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_magic_and_bad_version_are_rejected() {
+        let err = read_log(&mut b"VYRQ\x02\x00\x00\x00".as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut future = Vec::new();
+        future.extend_from_slice(&MAGIC);
+        future.extend_from_slice(&99u32.to_le_bytes());
+        let err = read_log(&mut future.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 99"));
     }
 
     #[test]
@@ -418,6 +654,7 @@ mod tests {
             &mut buf,
             &Event::Return {
                 tid: ThreadId(1),
+                object: ObjectId::DEFAULT,
                 method: "m".into(),
                 ret: Value::Str("abcdef".to_owned()),
             },
@@ -496,11 +733,13 @@ mod tests {
 
     fn rand_event(rng: &mut Rng) -> Event {
         let tid = ThreadId(rng.gen_range(0..64u32));
+        let object = ObjectId(rng.gen_range(0..5u32));
         let methods: Vec<char> = ('a'..='z').chain('A'..='Z').collect();
         let spaces: Vec<char> = ('a'..='z').chain(['.']).collect();
         match rng.gen_range(0..6u32) {
             0 => Event::Call {
                 tid,
+                object,
                 method: MethodId::from(format!("m{}", rand_string(rng, &methods, 7)).as_str()),
                 args: (0..rng.gen_range(0..3usize))
                     .map(|_| rand_value(rng, 3))
@@ -508,14 +747,16 @@ mod tests {
             },
             1 => Event::Return {
                 tid,
+                object,
                 method: MethodId::from(format!("m{}", rand_string(rng, &methods, 7)).as_str()),
                 ret: rand_value(rng, 3),
             },
-            2 => Event::Commit { tid },
-            3 => Event::BlockBegin { tid },
-            4 => Event::BlockEnd { tid },
+            2 => Event::Commit { tid, object },
+            3 => Event::BlockBegin { tid, object },
+            4 => Event::BlockEnd { tid, object },
             _ => Event::Write {
                 tid,
+                object,
                 var: VarId::new(&rand_string(rng, &spaces, 8), rng.next_u64() as i64),
                 value: rand_value(rng, 3),
             },

@@ -18,12 +18,13 @@ use crate::violation::Report;
 ///
 /// ```
 /// use vyrd_core::diagnose::excerpt;
-/// use vyrd_core::{Event, ThreadId, Value};
+/// use vyrd_core::{Event, ObjectId, ThreadId, Value};
 ///
+/// let o = ObjectId::DEFAULT;
 /// let events = vec![
-///     Event::Call { tid: ThreadId(0), method: "m".into(), args: vec![] },
-///     Event::Commit { tid: ThreadId(0) },
-///     Event::Return { tid: ThreadId(0), method: "m".into(), ret: Value::Unit },
+///     Event::Call { tid: ThreadId(0), object: o, method: "m".into(), args: vec![] },
+///     Event::Commit { tid: ThreadId(0), object: o },
+///     Event::Return { tid: ThreadId(0), object: o, method: "m".into(), ret: Value::Unit },
 /// ];
 /// let text = excerpt(&events, 1, 1);
 /// assert!(text.contains("> [1]"));
@@ -64,7 +65,7 @@ pub fn explain(report: &Report, events: &[Event]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::ThreadId;
+    use crate::event::{ObjectId, ThreadId};
     use crate::value::Value;
     use crate::violation::Violation;
 
@@ -72,6 +73,7 @@ mod tests {
         (0..n)
             .map(|i| Event::Commit {
                 tid: ThreadId(i as u32),
+                object: ObjectId::DEFAULT,
             })
             .collect()
     }
@@ -125,6 +127,7 @@ mod tests {
     fn excerpt_displays_rich_events() {
         let events = vec![Event::Call {
             tid: ThreadId(3),
+            object: ObjectId::DEFAULT,
             method: "Insert".into(),
             args: vec![Value::from(5i64)],
         }];

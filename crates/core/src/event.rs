@@ -36,6 +36,34 @@ impl fmt::Display for ThreadId {
     }
 }
 
+/// Identifier of the data-structure *instance* an action belongs to.
+///
+/// The paper keeps "actions of different objects in separate logs" (§6.1)
+/// so that per-object logs can be checked concurrently and independently
+/// (§8). Every event carries the object it acted on; single-object runs
+/// use [`ObjectId::DEFAULT`] throughout, which is also what pre-`ObjectId`
+/// logs decode to (see [`crate::codec`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The object id used when a run does not distinguish objects — and
+    /// the id assigned to every event of a legacy (pre-`ObjectId`) log.
+    pub const DEFAULT: ObjectId = ObjectId(0);
+}
+
+impl Default for ObjectId {
+    fn default() -> ObjectId {
+        ObjectId::DEFAULT
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
 /// Name of a public method of the data structure under test.
 ///
 /// Cheap to clone (reference counted). Compared and hashed by string
@@ -133,6 +161,8 @@ pub enum Event {
     Call {
         /// Calling thread.
         tid: ThreadId,
+        /// Object the method was invoked on.
+        object: ObjectId,
         /// Invoked method.
         method: MethodId,
         /// Actual arguments.
@@ -142,6 +172,8 @@ pub enum Event {
     Return {
         /// Returning thread.
         tid: ThreadId,
+        /// Object the method was invoked on.
+        object: ObjectId,
         /// Returning method.
         method: MethodId,
         /// Returned value (exceptional terminations are special values,
@@ -153,16 +185,22 @@ pub enum Event {
     Commit {
         /// Committing thread.
         tid: ThreadId,
+        /// Object the committing method belongs to.
+        object: ObjectId,
     },
     /// Start of a commit block (§5.2) executed by `tid`.
     BlockBegin {
         /// Thread entering its commit block.
         tid: ThreadId,
+        /// Object whose commit block is being entered.
+        object: ObjectId,
     },
     /// End of a commit block executed by `tid`.
     BlockEnd {
         /// Thread leaving its commit block.
         tid: ThreadId,
+        /// Object whose commit block is being left.
+        object: ObjectId,
     },
     /// An atomic update of shared variable `var` to `value`, required in the
     /// log only when view refinement is being checked and
@@ -170,6 +208,8 @@ pub enum Event {
     Write {
         /// Writing thread.
         tid: ThreadId,
+        /// Object whose shared state was written.
+        object: ObjectId,
         /// Variable written.
         var: VarId,
         /// Value written (for coarse-grained records, the replayable
@@ -184,10 +224,23 @@ impl Event {
         match self {
             Event::Call { tid, .. }
             | Event::Return { tid, .. }
-            | Event::Commit { tid }
-            | Event::BlockBegin { tid }
-            | Event::BlockEnd { tid }
+            | Event::Commit { tid, .. }
+            | Event::BlockBegin { tid, .. }
+            | Event::BlockEnd { tid, .. }
             | Event::Write { tid, .. } => *tid,
+        }
+    }
+
+    /// The object this action belongs to — the sharding key of
+    /// [`crate::shard::ShardRouter`].
+    pub fn object(&self) -> ObjectId {
+        match self {
+            Event::Call { object, .. }
+            | Event::Return { object, .. }
+            | Event::Commit { object, .. }
+            | Event::BlockBegin { object, .. }
+            | Event::BlockEnd { object, .. }
+            | Event::Write { object, .. } => *object,
         }
     }
 
@@ -213,8 +266,15 @@ impl Event {
 
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Single-object runs keep the familiar rendering; multi-object
+        // runs prefix the object so sharded traces stay readable.
+        if self.object() != ObjectId::DEFAULT {
+            write!(f, "{} ", self.object())?;
+        }
         match self {
-            Event::Call { tid, method, args } => {
+            Event::Call {
+                tid, method, args, ..
+            } => {
                 write!(f, "{tid} call {method}(")?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
@@ -224,11 +284,15 @@ impl fmt::Display for Event {
                 }
                 write!(f, ")")
             }
-            Event::Return { tid, method, ret } => write!(f, "{tid} ret  {method} -> {ret}"),
-            Event::Commit { tid } => write!(f, "{tid} commit"),
-            Event::BlockBegin { tid } => write!(f, "{tid} block-begin"),
-            Event::BlockEnd { tid } => write!(f, "{tid} block-end"),
-            Event::Write { tid, var, value } => write!(f, "{tid} write {var} := {value}"),
+            Event::Return {
+                tid, method, ret, ..
+            } => write!(f, "{tid} ret  {method} -> {ret}"),
+            Event::Commit { tid, .. } => write!(f, "{tid} commit"),
+            Event::BlockBegin { tid, .. } => write!(f, "{tid} block-begin"),
+            Event::BlockEnd { tid, .. } => write!(f, "{tid} block-end"),
+            Event::Write {
+                tid, var, value, ..
+            } => write!(f, "{tid} write {var} := {value}"),
         }
     }
 }
@@ -262,36 +326,57 @@ mod tests {
     }
 
     #[test]
-    fn event_tid_extraction() {
+    fn event_tid_and_object_extraction() {
+        let o = ObjectId(7);
         let events = [
             Event::Call {
                 tid: t(1),
+                object: o,
                 method: "m".into(),
                 args: vec![],
             },
             Event::Return {
                 tid: t(1),
+                object: o,
                 method: "m".into(),
                 ret: Value::Unit,
             },
-            Event::Commit { tid: t(1) },
-            Event::BlockBegin { tid: t(1) },
-            Event::BlockEnd { tid: t(1) },
+            Event::Commit { tid: t(1), object: o },
+            Event::BlockBegin { tid: t(1), object: o },
+            Event::BlockEnd { tid: t(1), object: o },
             Event::Write {
                 tid: t(1),
+                object: o,
                 var: VarId::new("x", 0),
                 value: Value::Unit,
             },
         ];
         assert!(events.iter().all(|e| e.tid() == t(1)));
+        assert!(events.iter().all(|e| e.object() == o));
+    }
+
+    #[test]
+    fn object_id_default_and_display() {
+        assert_eq!(ObjectId::default(), ObjectId::DEFAULT);
+        assert_eq!(ObjectId(0), ObjectId::DEFAULT);
+        assert_eq!(ObjectId(4).to_string(), "O4");
     }
 
     #[test]
     fn io_required_subset() {
-        assert!(Event::Commit { tid: t(2) }.required_for_io());
-        assert!(!Event::BlockBegin { tid: t(2) }.required_for_io());
+        assert!(Event::Commit {
+            tid: t(2),
+            object: ObjectId::DEFAULT
+        }
+        .required_for_io());
+        assert!(!Event::BlockBegin {
+            tid: t(2),
+            object: ObjectId::DEFAULT
+        }
+        .required_for_io());
         assert!(!Event::Write {
             tid: t(2),
+            object: ObjectId::DEFAULT,
             var: VarId::new("x", 0),
             value: Value::Unit
         }
@@ -302,15 +387,26 @@ mod tests {
     fn display_round_trip_is_readable() {
         let e = Event::Call {
             tid: t(3),
+            object: ObjectId::DEFAULT,
             method: "Insert".into(),
             args: vec![5i64.into(), 6i64.into()],
         };
         assert_eq!(e.to_string(), "T3 call Insert(5, 6)");
         let w = Event::Write {
             tid: t(3),
+            object: ObjectId::DEFAULT,
             var: VarId::new("A.elt", 0),
             value: 5i64.into(),
         };
         assert_eq!(w.to_string(), "T3 write A.elt[0] := 5");
+    }
+
+    #[test]
+    fn display_prefixes_non_default_object() {
+        let e = Event::Commit {
+            tid: t(3),
+            object: ObjectId(2),
+        };
+        assert_eq!(e.to_string(), "O2 T3 commit");
     }
 }

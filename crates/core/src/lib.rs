@@ -96,14 +96,18 @@ pub mod event;
 pub mod instrument;
 pub mod log;
 pub mod online;
+pub mod pool;
 pub mod replay;
+pub mod shard;
 pub mod spec;
 pub mod value;
 pub mod view;
 pub mod violation;
 
-pub use event::{Event, MethodId, ThreadId, VarId};
+pub use event::{Event, MethodId, ObjectId, ThreadId, VarId};
 pub use log::{EventLog, LogMode, ThreadLogger};
+pub use pool::{ObjectChecker, VerifierPool};
+pub use shard::{ShardConfig, ShardRouter};
 pub use spec::{MethodKind, Spec, SpecEffect, SpecError};
 pub use value::Value;
 pub use view::View;

@@ -17,18 +17,23 @@
 //!   additionally log shared-variable writes and commit blocks
 //!   ([`LogMode::View`]). This is exactly the cost split measured in
 //!   Table 2.
+//!
+//! Multi-object programs scope a log handle to one data-structure instance
+//! with [`EventLog::with_object`]; every event appended through that handle
+//! (or through loggers derived from it) is stamped with the instance's
+//! [`ObjectId`], which is what [`crate::shard::ShardRouter`] fans out on.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use vyrd_rt::channel::{self, Receiver, Sender};
 use vyrd_rt::sync::Mutex;
 
 use crate::codec;
-use crate::event::{Event, MethodId, ThreadId, VarId};
+use crate::event::{Event, MethodId, ObjectId, ThreadId, VarId};
 use crate::value::Value;
 
 /// How much of the execution is recorded.
@@ -124,6 +129,21 @@ impl Sink for ChannelSink {
     }
 }
 
+/// Hands each event to an arbitrary callback — the hook
+/// [`crate::shard::ShardRouter`] uses to fan events out per object.
+///
+/// The callback runs inside the log's append critical section, so it
+/// observes events in log order; it must stay as cheap as a channel send.
+struct DispatchSink {
+    dispatch: Box<dyn FnMut(&Event) + Send>,
+}
+
+impl Sink for DispatchSink {
+    fn append(&mut self, event: &Event) {
+        (self.dispatch)(event);
+    }
+}
+
 /// Discards events (useful to measure pure instrumentation cost).
 struct NullSink;
 
@@ -146,6 +166,9 @@ pub struct LogStats {
     pub writes: u64,
     /// Estimated bytes of logged payload.
     pub bytes: u64,
+    /// Events appended after [`EventLog::close`] and therefore dropped —
+    /// straggler threads still logging while the run is being torn down.
+    pub events_discarded_after_close: u64,
 }
 
 #[derive(Default)]
@@ -156,6 +179,7 @@ struct AtomicStats {
     commits: AtomicU64,
     writes: AtomicU64,
     bytes: AtomicU64,
+    discarded_after_close: AtomicU64,
 }
 
 impl AtomicStats {
@@ -181,6 +205,7 @@ impl AtomicStats {
             commits: self.commits.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            events_discarded_after_close: self.discarded_after_close.load(Ordering::Relaxed),
         }
     }
 }
@@ -188,6 +213,9 @@ impl AtomicStats {
 struct Inner {
     mode: AtomicU8,
     sink: Mutex<Box<dyn Sink>>,
+    /// Set by [`EventLog::close`]; guarded by the sink lock for the
+    /// store/check that decides whether an append counts as discarded.
+    closed: AtomicBool,
     /// Present iff the sink is a [`MemorySink`]; shares its buffer.
     memory: Option<Arc<Mutex<Vec<Event>>>>,
     stats: AtomicStats,
@@ -197,7 +225,8 @@ struct Inner {
 /// The shared event log.
 ///
 /// Clone an `EventLog` freely; clones share the same underlying sink. Hand
-/// each thread its own [`ThreadLogger`] via [`EventLog::logger`].
+/// each thread its own [`ThreadLogger`] via [`EventLog::logger`], and scope
+/// a clone to one data-structure instance with [`EventLog::with_object`].
 ///
 /// # Examples
 ///
@@ -215,12 +244,15 @@ struct Inner {
 #[derive(Clone)]
 pub struct EventLog {
     inner: Arc<Inner>,
+    /// Object id stamped onto events appended through this handle.
+    object: ObjectId,
 }
 
 impl std::fmt::Debug for EventLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventLog")
             .field("mode", &self.mode())
+            .field("object", &self.object)
             .field("stats", &self.stats())
             .finish()
     }
@@ -236,10 +268,12 @@ impl EventLog {
             inner: Arc::new(Inner {
                 mode: AtomicU8::new(mode.as_u8()),
                 sink: Mutex::new(sink),
+                closed: AtomicBool::new(false),
                 memory,
                 stats: AtomicStats::default(),
                 next_tid: AtomicU64::new(0),
             }),
+            object: ObjectId::DEFAULT,
         }
     }
 
@@ -267,17 +301,20 @@ impl EventLog {
     }
 
     /// Creates a log that streams events to `path` in the binary wire
-    /// format. Read it back with [`codec::read_log`].
+    /// format (with the versioned header). Read it back with
+    /// [`codec::read_log`].
     ///
     /// # Errors
     ///
-    /// Fails if the file cannot be created.
+    /// Fails if the file cannot be created or the header cannot be written.
     pub fn to_file<P: AsRef<Path>>(mode: LogMode, path: P) -> io::Result<EventLog> {
         let file = File::create(path)?;
+        let mut writer = BufWriter::new(file);
+        codec::write_header(&mut writer)?;
         Ok(EventLog::with_sink(
             mode,
             Box::new(FileSink {
-                writer: BufWriter::new(file),
+                writer,
                 error: None,
             }),
         ))
@@ -293,9 +330,41 @@ impl EventLog {
         )
     }
 
+    /// Creates a log that hands each event to `dispatch`, in log order.
+    ///
+    /// The callback runs inside the append critical section — per-object
+    /// order falls out for free, but the callback must stay cheap (the
+    /// shard router's per-object channel send is the intended shape).
+    pub fn dispatching<F>(mode: LogMode, dispatch: F) -> EventLog
+    where
+        F: FnMut(&Event) + Send + 'static,
+    {
+        EventLog::with_sink(
+            mode,
+            Box::new(DispatchSink {
+                dispatch: Box::new(dispatch),
+            }),
+        )
+    }
+
     /// The current logging mode.
     pub fn mode(&self) -> LogMode {
         LogMode::from_u8(self.inner.mode.load(Ordering::Relaxed))
+    }
+
+    /// Returns a handle scoped to data-structure instance `object`: events
+    /// appended through it (and loggers derived from it) carry that id.
+    /// The underlying sink, mode, and stats stay shared.
+    pub fn with_object(&self, object: ObjectId) -> EventLog {
+        EventLog {
+            inner: Arc::clone(&self.inner),
+            object,
+        }
+    }
+
+    /// The object id this handle stamps onto events.
+    pub fn object(&self) -> ObjectId {
+        self.object
     }
 
     /// Returns a logger handle for the calling thread, with a fresh thread
@@ -311,6 +380,7 @@ impl EventLog {
         ThreadLogger {
             log: self.clone(),
             tid,
+            object: self.object,
         }
     }
 
@@ -345,19 +415,39 @@ impl EventLog {
         self.inner.sink.lock().flush();
     }
 
-    /// Closes the log: subsequent appends are discarded, and for channel
-    /// sinks the sending side is dropped so the verification thread's
+    /// Closes the log: subsequent appends are discarded (and counted in
+    /// [`LogStats::events_discarded_after_close`]), and for channel sinks
+    /// the sending side is dropped so the verification thread's
     /// [`Checker::check_receiver`](crate::checker::Checker::check_receiver)
     /// run terminates — even if [`ThreadLogger`] handles are still alive.
     pub fn close(&self) {
         let mut sink = self.inner.sink.lock();
         sink.flush();
+        self.inner.closed.store(true, Ordering::Relaxed);
         *sink = Box::new(NullSink);
     }
 
+    /// Appends a pre-built event (subject only to the [`LogMode::Off`]
+    /// gate). [`ThreadLogger`] is the usual front door; this entry point
+    /// exists for replay tooling and tests that carry whole [`Event`]s.
+    pub fn append_event(&self, event: Event) {
+        if self.mode() == LogMode::Off {
+            return;
+        }
+        self.append(event);
+    }
+
     fn append(&self, event: Event) {
+        let mut sink = self.inner.sink.lock();
+        if self.inner.closed.load(Ordering::Relaxed) {
+            self.inner
+                .stats
+                .discarded_after_close
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         self.inner.stats.record(&event);
-        self.inner.sink.lock().append(&event);
+        sink.append(&event);
     }
 }
 
@@ -369,6 +459,7 @@ impl EventLog {
 pub struct ThreadLogger {
     log: EventLog,
     tid: ThreadId,
+    object: ObjectId,
 }
 
 impl ThreadLogger {
@@ -377,9 +468,25 @@ impl ThreadLogger {
         self.tid
     }
 
+    /// The object id this handle stamps onto events.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
     /// The log this handle appends to.
     pub fn log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// Returns a handle for the same thread scoped to another object —
+    /// how one application thread logs against several data-structure
+    /// instances (§6.1 keeps their actions in separate per-object logs).
+    pub fn for_object(&self, object: ObjectId) -> ThreadLogger {
+        ThreadLogger {
+            log: self.log.clone(),
+            tid: self.tid,
+            object,
+        }
     }
 
     /// `true` when shared-variable writes are being recorded; substrates
@@ -395,6 +502,7 @@ impl ThreadLogger {
         }
         self.log.append(Event::Call {
             tid: self.tid,
+            object: self.object,
             method: MethodId::from(method),
             args: args.to_vec(),
         });
@@ -407,6 +515,7 @@ impl ThreadLogger {
         }
         self.log.append(Event::Return {
             tid: self.tid,
+            object: self.object,
             method: MethodId::from(method),
             ret,
         });
@@ -421,7 +530,10 @@ impl ThreadLogger {
         if self.log.mode() == LogMode::Off {
             return;
         }
-        self.log.append(Event::Commit { tid: self.tid });
+        self.log.append(Event::Commit {
+            tid: self.tid,
+            object: self.object,
+        });
     }
 
     /// Logs a shared-variable write (view refinement only, §5.2).
@@ -431,6 +543,7 @@ impl ThreadLogger {
         }
         self.log.append(Event::Write {
             tid: self.tid,
+            object: self.object,
             var,
             value,
         });
@@ -441,7 +554,10 @@ impl ThreadLogger {
         if self.log.mode() != LogMode::View {
             return;
         }
-        self.log.append(Event::BlockBegin { tid: self.tid });
+        self.log.append(Event::BlockBegin {
+            tid: self.tid,
+            object: self.object,
+        });
     }
 
     /// Logs the end of a commit block (view refinement only, §5.2).
@@ -449,7 +565,10 @@ impl ThreadLogger {
         if self.log.mode() != LogMode::View {
             return;
         }
-        self.log.append(Event::BlockEnd { tid: self.tid });
+        self.log.append(Event::BlockEnd {
+            tid: self.tid,
+            object: self.object,
+        });
     }
 }
 
@@ -496,6 +615,10 @@ mod tests {
         a.call("m", &[]);
         a.commit();
         a.ret("m", Value::Unit);
+        log.append_event(Event::Commit {
+            tid: ThreadId(0),
+            object: ObjectId::DEFAULT,
+        });
         assert!(log.snapshot().is_empty());
         assert_eq!(log.stats(), LogStats::default());
     }
@@ -508,6 +631,27 @@ mod tests {
         assert_ne!(a.tid(), b.tid());
         let c = log.logger_for(ThreadId(42));
         assert_eq!(c.tid(), ThreadId(42));
+    }
+
+    #[test]
+    fn object_scoping_stamps_events() {
+        let log = EventLog::in_memory(LogMode::View);
+        assert_eq!(log.object(), ObjectId::DEFAULT);
+        let scoped = log.with_object(ObjectId(3));
+        assert_eq!(scoped.object(), ObjectId(3));
+        let a = scoped.logger();
+        assert_eq!(a.object(), ObjectId(3));
+        a.call("m", &[]);
+        a.for_object(ObjectId(5)).commit();
+        a.ret("m", Value::Unit);
+        // Clones share the sink: the base handle sees all three events.
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].object(), ObjectId(3));
+        assert_eq!(events[1].object(), ObjectId(5));
+        assert_eq!(events[2].object(), ObjectId(3));
+        // `for_object` keeps the thread id.
+        assert_eq!(events[1].tid(), events[0].tid());
     }
 
     #[test]
@@ -526,6 +670,37 @@ mod tests {
         assert_eq!(stats.returns, 1);
         assert_eq!(stats.events, 5);
         assert!(stats.bytes >= 100);
+    }
+
+    #[test]
+    fn appends_after_close_are_counted_not_logged() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let a = log.logger();
+        a.call("m", &[]);
+        log.close();
+        a.commit();
+        a.ret("m", Value::Unit);
+        let stats = log.stats();
+        assert_eq!(log.snapshot().len(), 1);
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.events_discarded_after_close, 2);
+    }
+
+    #[test]
+    fn dispatch_sink_sees_events_in_order() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        let log = EventLog::dispatching(LogMode::Io, move |e: &Event| {
+            sink_seen.lock().push(e.clone());
+        });
+        let a = log.logger();
+        a.call("m", &[]);
+        a.commit();
+        a.ret("m", Value::Unit);
+        let events = seen.lock().clone();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0], Event::Call { .. }));
+        assert!(matches!(events[2], Event::Return { .. }));
     }
 
     #[test]
@@ -562,6 +737,8 @@ mod tests {
         a.ret("Insert", Value::success());
         log.flush();
         let bytes = std::fs::read(&path).unwrap();
+        // The file opens with the versioned header.
+        assert_eq!(&bytes[..4], &crate::codec::MAGIC);
         let events = crate::codec::read_log(&mut bytes.as_slice()).unwrap();
         assert_eq!(events.len(), 4);
         assert!(matches!(events[0], Event::Call { .. }));

@@ -76,15 +76,24 @@ impl OnlineVerifier {
     /// Closes the log and waits for the verifier's verdict.
     ///
     /// Join the instrumented worker threads first so that everything they
-    /// logged is checked; events appended by stragglers after `finish` are
-    /// silently discarded.
+    /// logged is checked. Events appended by stragglers after `finish` are
+    /// discarded, but not silently: the report's
+    /// [`events_discarded_after_close`](crate::violation::CheckStats::events_discarded_after_close)
+    /// counts them, so a verdict that covers only a prefix of the
+    /// execution says so.
     pub fn finish(self) -> Report {
         self.log.close();
-        drop(self.log);
-        match self.handle.join() {
+        let mut report = match self.handle.join() {
             Ok(report) => report,
             Err(panic) => std::panic::resume_unwind(panic),
-        }
+        };
+        // Read the counter after the join: it keeps growing while
+        // stragglers run, and any append that raced `close()` has
+        // certainly been counted by the time the verifier drained the
+        // channel and exited.
+        report.stats.events_discarded_after_close =
+            self.log.stats().events_discarded_after_close;
+        report
     }
 }
 
@@ -187,6 +196,30 @@ mod tests {
         assert!(report.passed(), "{report}");
         // The events buffered before close() were drained, not dropped.
         assert_eq!(report.stats.commits_applied, 1);
+    }
+
+    /// Regression test for the silent-discard footgun: a straggler thread
+    /// that keeps logging after `finish()` closed the log used to have its
+    /// events vanish without a trace. They are still discarded — the
+    /// verifier is already winding down — but the report now counts them.
+    #[test]
+    fn finish_counts_events_discarded_after_close() {
+        let verifier = OnlineVerifier::spawn(LogMode::Io, Checker::io(SetSpec::default()));
+        let logger = verifier.log().logger();
+        logger.call("Add", &[Value::from(1i64)]);
+        logger.commit();
+        logger.ret("Add", Value::Unit);
+        // Simulate the straggler deterministically: close the log (exactly
+        // what finish() does first), append, then collect the verdict.
+        verifier.log().close();
+        logger.call("Add", &[Value::from(2i64)]);
+        logger.commit();
+        logger.ret("Add", Value::Unit);
+        let report = verifier.finish();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.stats.commits_applied, 1);
+        assert_eq!(report.stats.events_discarded_after_close, 3);
+        assert!(report.to_string().contains("3 events discarded after close"));
     }
 
     #[test]

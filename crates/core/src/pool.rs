@@ -1,0 +1,421 @@
+//! A pool of verifier threads checking per-object logs concurrently (§8).
+//!
+//! [`VerifierPool`] is the multi-object counterpart of
+//! [`OnlineVerifier`](crate::online::OnlineVerifier): it owns a
+//! [`ShardRouter`](crate::shard::ShardRouter) and a set of worker threads.
+//! Each worker pulls newly-announced shards and runs one [`Checker`] —
+//! built per object by a caller-supplied factory — over that object's
+//! event stream. Checking per object is not just parallel, it is *cheaper*:
+//! each checker carries 1/K of the specification state, so the per-commit
+//! costs that scale with spec size (observer-window snapshots, §4.3, and
+//! view comparisons, §5) shrink with it.
+//!
+//! `finish()` follows the [`OnlineVerifier`](crate::online::OnlineVerifier)
+//! contract — close the log, join the workers, return a merged [`Report`]:
+//! stats are summed across objects, the first violation wins (ties broken
+//! by lowest object id, so the verdict is deterministic), and events
+//! appended after close are counted, not silently dropped.
+//!
+//! ```
+//! use vyrd_core::checker::Checker;
+//! use vyrd_core::log::LogMode;
+//! use vyrd_core::pool::VerifierPool;
+//! use vyrd_core::spec::{MethodKind, Spec, SpecEffect, SpecError};
+//! use vyrd_core::view::View;
+//! use vyrd_core::{MethodId, ObjectId, Value};
+//! use std::collections::BTreeSet;
+//!
+//! #[derive(Clone, Default)]
+//! struct SetSpec(BTreeSet<i64>);
+//! impl Spec for SetSpec {
+//!     fn kind(&self, m: &MethodId) -> MethodKind {
+//!         if m.name() == "Contains" { MethodKind::Observer } else { MethodKind::Mutator }
+//!     }
+//!     fn apply(&mut self, _m: &MethodId, args: &[Value], _r: &Value)
+//!         -> Result<SpecEffect, SpecError>
+//!     {
+//!         self.0.insert(args[0].as_int().unwrap());
+//!         Ok(SpecEffect::unchanged())
+//!     }
+//!     fn accepts_observation(&self, _m: &MethodId, args: &[Value], ret: &Value) -> bool {
+//!         ret.as_bool() == Some(self.0.contains(&args[0].as_int().unwrap()))
+//!     }
+//!     fn view(&self) -> View { View::new() }
+//! }
+//!
+//! // One independent set per object; the factory builds its checker.
+//! let pool = VerifierPool::spawn(LogMode::Io, 2, |_object: ObjectId| {
+//!     Box::new(Checker::io(SetSpec::default())) as _
+//! });
+//! for obj in 0..2u32 {
+//!     let logger = pool.log().with_object(ObjectId(obj)).logger();
+//!     logger.call("Add", &[Value::from(7i64)]);
+//!     logger.commit();
+//!     logger.ret("Add", Value::Unit);
+//!     logger.call("Contains", &[Value::from(7i64)]);
+//!     logger.ret("Contains", Value::from(true));
+//! }
+//! let report = pool.finish();
+//! assert!(report.passed());
+//! assert_eq!(report.stats.commits_applied, 2);
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use vyrd_rt::channel::Receiver;
+use vyrd_rt::sync::Mutex;
+
+use crate::checker::Checker;
+use crate::event::{Event, ObjectId};
+use crate::log::{EventLog, LogMode};
+use crate::replay::Replayer;
+use crate::shard::{ShardConfig, ShardRouter};
+use crate::spec::Spec;
+use crate::violation::Report;
+
+/// An object-erased checker: what the [`VerifierPool`] factory returns.
+///
+/// Blanket-implemented for every [`Checker`], so a factory is typically
+/// `|object| Box::new(Checker::view(spec_for(object), replayer_for(object))) as _`.
+pub trait ObjectChecker: Send {
+    /// Consumes the checker, checking one object's event stream to
+    /// completion (the shard channel closing ends the stream).
+    fn check(self: Box<Self>, receiver: &Receiver<Event>) -> Report;
+}
+
+impl<S: Spec, R: Replayer> ObjectChecker for Checker<S, R> {
+    fn check(self: Box<Self>, receiver: &Receiver<Event>) -> Report {
+        (*self).check_receiver(receiver)
+    }
+}
+
+/// The factory building one checker per object, shared across workers.
+type Factory = Arc<dyn Fn(ObjectId) -> Box<dyn ObjectChecker> + Send + Sync>;
+
+/// Per-object verdicts plus the merged one, from
+/// [`VerifierPool::finish_all`].
+#[derive(Debug)]
+pub struct PoolReport {
+    /// The merged verdict (what [`VerifierPool::finish`] returns).
+    pub merged: Report,
+    /// One report per object that logged at least one event, ordered by
+    /// object id.
+    pub per_object: Vec<(ObjectId, Report)>,
+}
+
+impl fmt::Display for PoolReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.merged)?;
+        for (object, report) in &self.per_object {
+            write!(f, "\n  {object}: {report}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A running pool of per-object verifier threads.
+///
+/// Create with [`VerifierPool::spawn`], hand [`VerifierPool::log`] (scoped
+/// per instance via [`EventLog::with_object`]) to the instrumented
+/// program, then call [`VerifierPool::finish`] for the merged verdict.
+pub struct VerifierPool {
+    log: EventLog,
+    workers: Vec<JoinHandle<()>>,
+    results: Arc<Mutex<Vec<(ObjectId, Report)>>>,
+}
+
+impl fmt::Debug for VerifierPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerifierPool")
+            .field("workers", &self.workers.len())
+            .field("log", &self.log)
+            .finish()
+    }
+}
+
+impl VerifierPool {
+    /// Spawns `workers` verifier threads over unbounded shards. `factory`
+    /// builds the spec/replayer checker for each object the program
+    /// touches, the first time an event of that object arrives.
+    pub fn spawn<F>(mode: LogMode, workers: usize, factory: F) -> VerifierPool
+    where
+        F: Fn(ObjectId) -> Box<dyn ObjectChecker> + Send + Sync + 'static,
+    {
+        VerifierPool::spawn_with(mode, workers, ShardConfig::default(), factory)
+    }
+
+    /// Like [`VerifierPool::spawn`] with explicit shard configuration.
+    /// With a bounded [`ShardConfig`], run at least as many workers as
+    /// live objects (see the deadlock rule on [`ShardConfig::capacity`]).
+    pub fn spawn_with<F>(
+        mode: LogMode,
+        workers: usize,
+        config: ShardConfig,
+        factory: F,
+    ) -> VerifierPool
+    where
+        F: Fn(ObjectId) -> Box<dyn ObjectChecker> + Send + Sync + 'static,
+    {
+        let (log, router) = ShardRouter::new(mode, config);
+        let router = Arc::new(router);
+        let factory: Factory = Arc::new(factory);
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let router = Arc::clone(&router);
+                let factory = Arc::clone(&factory);
+                let results = Arc::clone(&results);
+                thread::Builder::new()
+                    .name(format!("vyrd-verifier-{i}"))
+                    .spawn(move || {
+                        // Workers compete for newly announced shards; each
+                        // shard is checked by exactly one worker, start to
+                        // finish. recv_shard errors once the log is closed
+                        // and every shard has been handed out.
+                        while let Ok((object, receiver)) = router.recv_shard() {
+                            let checker = factory(object);
+                            let report = checker.check(&receiver);
+                            results.lock().push((object, report));
+                        }
+                    })
+                    .expect("spawn vyrd verifier pool thread")
+            })
+            .collect();
+        VerifierPool {
+            log,
+            workers,
+            results,
+        }
+    }
+
+    /// The log the instrumented program should append to. Scope
+    /// per-instance handles with [`EventLog::with_object`].
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes the log, waits for every per-object verdict, and merges
+    /// them: stats summed, first violation wins (lowest object id on a
+    /// tie, so the verdict is deterministic), discarded-after-close events
+    /// counted. Same contract as
+    /// [`OnlineVerifier::finish`](crate::online::OnlineVerifier::finish).
+    pub fn finish(self) -> Report {
+        self.finish_all().merged
+    }
+
+    /// Like [`VerifierPool::finish`], also returning the per-object
+    /// reports.
+    pub fn finish_all(self) -> PoolReport {
+        self.log.close();
+        for handle in self.workers {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        let mut per_object = std::mem::take(&mut *self.results.lock());
+        per_object.sort_by_key(|(object, _)| *object);
+        let mut merged = Report::default();
+        for (_, report) in &per_object {
+            let s = &report.stats;
+            let m = &mut merged.stats;
+            m.events += s.events;
+            m.commits_applied += s.commits_applied;
+            m.methods_completed += s.methods_completed;
+            m.observers_checked += s.observers_checked;
+            m.snapshots_taken += s.snapshots_taken;
+            m.view_comparisons += s.view_comparisons;
+            m.view_keys_compared += s.view_keys_compared;
+            m.writes_replayed += s.writes_replayed;
+            if merged.violation.is_none() {
+                merged.violation = report.violation.clone();
+            }
+        }
+        merged.stats.events_discarded_after_close =
+            self.log.stats().events_discarded_after_close;
+        PoolReport { merged, per_object }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MethodId;
+    use crate::spec::{MethodKind, SpecEffect, SpecError};
+    use crate::value::Value;
+    use crate::view::View;
+    use std::collections::BTreeSet;
+
+    #[derive(Clone, Default)]
+    struct SetSpec(BTreeSet<i64>);
+
+    impl Spec for SetSpec {
+        fn kind(&self, m: &MethodId) -> MethodKind {
+            if m.name() == "Contains" {
+                MethodKind::Observer
+            } else {
+                MethodKind::Mutator
+            }
+        }
+
+        fn apply(
+            &mut self,
+            _m: &MethodId,
+            args: &[Value],
+            _r: &Value,
+        ) -> Result<SpecEffect, SpecError> {
+            let x = args[0].as_int().unwrap();
+            self.0.insert(x);
+            Ok(SpecEffect::touching([x]))
+        }
+
+        fn accepts_observation(&self, _m: &MethodId, args: &[Value], ret: &Value) -> bool {
+            ret.as_bool() == Some(self.0.contains(&args[0].as_int().unwrap()))
+        }
+
+        fn view(&self) -> View {
+            self.0
+                .iter()
+                .map(|&x| (Value::from(x), Value::Bool(true)))
+                .collect()
+        }
+    }
+
+    fn set_pool(workers: usize) -> VerifierPool {
+        VerifierPool::spawn(LogMode::Io, workers, |_object| {
+            Box::new(Checker::io(SetSpec::default())) as _
+        })
+    }
+
+    #[test]
+    fn multi_object_pass_with_concurrent_producers() {
+        let pool = set_pool(3);
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let log = pool.log().clone();
+            handles.push(thread::spawn(move || {
+                for obj in 0..3u32 {
+                    let logger = log.with_object(ObjectId(obj)).logger();
+                    for i in 0..25 {
+                        let x = Value::from(i64::from(t) * 100 + i);
+                        logger.call("Add", std::slice::from_ref(&x));
+                        logger.commit();
+                        logger.ret("Add", Value::Unit);
+                        logger.call("Contains", std::slice::from_ref(&x));
+                        logger.ret("Contains", Value::from(true));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let all = pool.finish_all();
+        assert!(all.merged.passed(), "{all}");
+        assert_eq!(all.per_object.len(), 3);
+        assert_eq!(all.merged.stats.commits_applied, 4 * 3 * 25);
+        assert_eq!(all.merged.stats.observers_checked, 4 * 3 * 25);
+    }
+
+    #[test]
+    fn violation_in_one_object_fails_the_merged_report() {
+        let pool = set_pool(2);
+        // Object 0 is clean; object 2 claims to contain a value never
+        // added.
+        let clean = pool.log().with_object(ObjectId(0)).logger();
+        clean.call("Add", &[Value::from(1i64)]);
+        clean.commit();
+        clean.ret("Add", Value::Unit);
+        let bad = pool.log().with_object(ObjectId(2)).logger();
+        bad.call("Contains", &[Value::from(5i64)]);
+        bad.ret("Contains", Value::from(true));
+        let all = pool.finish_all();
+        assert!(!all.merged.passed());
+        assert_eq!(
+            all.merged.violation.as_ref().unwrap().category(),
+            "observer-unjustified"
+        );
+        // Per-object reports pinpoint the culprit.
+        assert!(all.per_object[0].1.passed());
+        assert_eq!(all.per_object[1].0, ObjectId(2));
+        assert!(!all.per_object[1].1.passed());
+    }
+
+    #[test]
+    fn lowest_object_violation_wins_deterministically() {
+        // Both objects fail; the merged verdict must come from the lower
+        // object id regardless of worker scheduling.
+        for _ in 0..8 {
+            let pool = set_pool(2);
+            for obj in [3u32, 1] {
+                let logger = pool.log().with_object(ObjectId(obj)).logger();
+                logger.call("Contains", &[Value::from(i64::from(obj))]);
+                logger.ret("Contains", Value::from(true));
+            }
+            let all = pool.finish_all();
+            assert_eq!(all.per_object.len(), 2);
+            assert_eq!(all.per_object[0].0, ObjectId(1));
+            let merged = all.merged.violation.unwrap();
+            let from_obj1 = all.per_object[0].1.violation.clone().unwrap();
+            assert_eq!(merged, from_obj1);
+        }
+    }
+
+    #[test]
+    fn more_objects_than_workers_still_all_checked() {
+        let pool = set_pool(2);
+        for obj in 0..6u32 {
+            let logger = pool.log().with_object(ObjectId(obj)).logger();
+            logger.call("Add", &[Value::from(i64::from(obj))]);
+            logger.commit();
+            logger.ret("Add", Value::Unit);
+        }
+        let all = pool.finish_all();
+        assert!(all.merged.passed(), "{all}");
+        assert_eq!(all.per_object.len(), 6);
+        assert_eq!(all.merged.stats.commits_applied, 6);
+    }
+
+    #[test]
+    fn finish_counts_discarded_stragglers() {
+        let pool = set_pool(1);
+        let logger = pool.log().with_object(ObjectId(0)).logger();
+        logger.call("Add", &[Value::from(1i64)]);
+        logger.commit();
+        logger.ret("Add", Value::Unit);
+        pool.log().close();
+        logger.call("Add", &[Value::from(2i64)]);
+        logger.commit();
+        logger.ret("Add", Value::Unit);
+        let report = pool.finish();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.stats.events_discarded_after_close, 3);
+    }
+
+    #[test]
+    fn bounded_pool_with_enough_workers_completes() {
+        let pool = VerifierPool::spawn_with(
+            LogMode::Io,
+            2,
+            ShardConfig::bounded(8),
+            |_object| Box::new(Checker::io(SetSpec::default())) as _,
+        );
+        for obj in 0..2u32 {
+            let logger = pool.log().with_object(ObjectId(obj)).logger();
+            for i in 0..100 {
+                logger.call("Add", &[Value::from(i64::from(i))]);
+                logger.commit();
+                logger.ret("Add", Value::Unit);
+            }
+        }
+        let report = pool.finish();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.stats.commits_applied, 200);
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-object log sharding (§6.1, §8).
+//!
+//! The paper keeps "actions of different objects in separate logs" and
+//! observes that those logs can be checked **concurrently and
+//! independently**: refinement of a multi-object program factors into
+//! refinement of each object's subsequence of the log, because the
+//! specification of one instance never constrains another.
+//!
+//! [`ShardRouter`] is the fan-out point. It poses as an ordinary
+//! [`EventLog`] to the instrumented program — one shared append path, one
+//! critical section — and routes every event to a per-object channel keyed
+//! by the event's [`ObjectId`]. Because routing happens inside the log's
+//! append critical section, each object's channel receives that object's
+//! events in exactly their log order; no order is imposed *between*
+//! objects, which is the independence §8 exploits.
+//!
+//! ```text
+//!   program threads ──► EventLog (dispatch sink, one lock)
+//!                           │ route on event.object()
+//!               ┌───────────┼───────────┐
+//!               ▼           ▼           ▼
+//!           chan(O0)    chan(O1)    chan(O2)      per-object total order
+//!               │           │           │
+//!               └──── announced to ShardRouter ──► VerifierPool workers
+//! ```
+//!
+//! Backpressure: with [`ShardConfig::capacity`] set, each per-object
+//! channel is bounded and a program thread appending to a full shard
+//! blocks (inside the log lock) until the shard's checker catches up —
+//! trading program throughput for a hard memory bound. See
+//! [`ShardConfig`] for the deadlock rule this imposes on pool sizing.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use vyrd_rt::channel::{self, Receiver, RecvError, Sender, TryRecvError};
+
+use crate::event::{Event, ObjectId};
+use crate::log::{EventLog, LogMode};
+
+/// Configuration for a [`ShardRouter`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Bound for each per-object channel. `None` (default) — unbounded:
+    /// appends never block, a slow verifier buffers events. `Some(n)` —
+    /// appends to a full shard block the *program* until the shard's
+    /// checker drains it, so a slow verifier cannot OOM the program.
+    ///
+    /// **Deadlock rule**: a bounded router requires that every announced
+    /// shard is eventually serviced concurrently — run the
+    /// [`VerifierPool`](crate::pool::VerifierPool) with at least as many
+    /// workers as live objects. With fewer workers, an unserviced shard
+    /// can fill up and block the program (which holds the log lock)
+    /// forever, because the workers that would drain it are themselves
+    /// waiting for events that can no longer be appended.
+    pub capacity: Option<usize>,
+}
+
+impl ShardConfig {
+    /// Unbounded shards (the default).
+    pub fn unbounded() -> ShardConfig {
+        ShardConfig { capacity: None }
+    }
+
+    /// Bounded shards: each per-object channel holds at most `n` events
+    /// before appends block. See the deadlock rule on
+    /// [`ShardConfig::capacity`].
+    pub fn bounded(n: usize) -> ShardConfig {
+        ShardConfig { capacity: Some(n) }
+    }
+}
+
+/// Fans a program's events out into per-object logs (§6.1).
+///
+/// Create with [`ShardRouter::new`]; hand the returned [`EventLog`] to the
+/// instrumented program (scoping per-instance handles with
+/// [`EventLog::with_object`]). The first event of each object announces a
+/// new shard — a `(ObjectId, Receiver<Event>)` pair — which the consumer
+/// collects with [`ShardRouter::recv_shard`] and checks independently.
+/// [`VerifierPool`](crate::pool::VerifierPool) does exactly that with a
+/// worker pool; drive the router directly for custom topologies.
+///
+/// Closing the log ([`EventLog::close`]) drops the router's sending side:
+/// every shard channel drains and disconnects, and `recv_shard` reports
+/// [`RecvError`] once all announced shards have been handed out.
+#[derive(Debug)]
+pub struct ShardRouter {
+    shards: Receiver<(ObjectId, Receiver<Event>)>,
+}
+
+impl ShardRouter {
+    /// Creates a router and the log that feeds it.
+    pub fn new(mode: LogMode, config: ShardConfig) -> (EventLog, ShardRouter) {
+        let (announce, shards) = channel::unbounded();
+        let mut senders: HashMap<u32, Sender<Event>> = HashMap::new();
+        let log = EventLog::dispatching(mode, move |event: &Event| {
+            let object = event.object();
+            let sender = senders.entry(object.0).or_insert_with(|| {
+                let (tx, rx) = match config.capacity {
+                    Some(n) => channel::bounded(n),
+                    None => channel::unbounded(),
+                };
+                // The consumer side being gone just means checking was
+                // abandoned; keep the program running (same contract as
+                // the plain channel sink).
+                let _ = announce.send((object, rx));
+                tx
+            });
+            let _ = sender.send(event.clone());
+        });
+        (log, ShardRouter { shards })
+    }
+
+    /// Blocks for the next newly-announced shard. Returns [`RecvError`]
+    /// once the feeding log has been closed and every announced shard has
+    /// been handed out.
+    pub fn recv_shard(&self) -> Result<(ObjectId, Receiver<Event>), RecvError> {
+        self.shards.recv()
+    }
+
+    /// Non-blocking variant of [`ShardRouter::recv_shard`].
+    pub fn try_recv_shard(&self) -> Result<(ObjectId, Receiver<Event>), TryRecvError> {
+        self.shards.try_recv()
+    }
+}
+
+/// Partitions a recorded log by object, preserving each object's order —
+/// the offline analogue of [`ShardRouter`], for checking per-object
+/// subsequences of an existing event vector.
+pub fn partition_by_object<I: IntoIterator<Item = Event>>(
+    events: I,
+) -> BTreeMap<ObjectId, Vec<Event>> {
+    let mut parts: BTreeMap<ObjectId, Vec<Event>> = BTreeMap::new();
+    for event in events {
+        parts.entry(event.object()).or_default().push(event);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ThreadId;
+    use crate::value::Value;
+    use std::thread;
+
+    fn drive(log: &EventLog, object: ObjectId, calls: u32) {
+        let logger = log.with_object(object).logger();
+        for i in 0..calls {
+            logger.call("Add", &[Value::from(i64::from(i))]);
+            logger.commit();
+            logger.ret("Add", Value::Unit);
+        }
+    }
+
+    #[test]
+    fn router_splits_by_object_preserving_order() {
+        let (log, router) = ShardRouter::new(LogMode::Io, ShardConfig::default());
+        drive(&log, ObjectId(0), 5);
+        drive(&log, ObjectId(1), 3);
+        drive(&log, ObjectId(0), 2);
+        log.close();
+        let mut seen = BTreeMap::new();
+        while let Ok((object, rx)) = router.recv_shard() {
+            seen.insert(object, rx.iter().collect::<Vec<Event>>());
+        }
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[&ObjectId(0)].len(), 7 * 3);
+        assert_eq!(seen[&ObjectId(1)].len(), 3 * 3);
+        // Per-object streams are well-formed call/commit/return triples —
+        // the per-object total order survived the fan-out.
+        for events in seen.values() {
+            for chunk in events.chunks(3) {
+                assert!(matches!(chunk[0], Event::Call { .. }));
+                assert!(matches!(chunk[1], Event::Commit { .. }));
+                assert!(matches!(chunk[2], Event::Return { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn each_object_is_announced_exactly_once() {
+        let (log, router) = ShardRouter::new(LogMode::Io, ShardConfig::default());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let log = log.clone();
+            handles.push(thread::spawn(move || {
+                // Every thread touches both objects.
+                drive(&log, ObjectId(t % 2), 20);
+                drive(&log, ObjectId((t + 1) % 2), 20);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        log.close();
+        let mut announced = Vec::new();
+        while let Ok((object, _rx)) = router.recv_shard() {
+            announced.push(object);
+        }
+        announced.sort();
+        assert_eq!(announced, vec![ObjectId(0), ObjectId(1)]);
+    }
+
+    #[test]
+    fn bounded_shard_applies_backpressure_to_the_program() {
+        let (log, router) = ShardRouter::new(LogMode::Io, ShardConfig::bounded(4));
+        // Consumer drains slowly on another thread while the producer
+        // pushes far more events than the bound.
+        let consumer = thread::spawn(move || {
+            let (object, rx) = router.recv_shard().unwrap();
+            assert_eq!(object, ObjectId::DEFAULT);
+            let mut n = 0u32;
+            for _ in rx.iter() {
+                n += 1;
+            }
+            n
+        });
+        drive(&log, ObjectId::DEFAULT, 200);
+        log.close();
+        assert_eq!(consumer.join().unwrap(), 600);
+    }
+
+    #[test]
+    fn partition_by_object_is_order_preserving() {
+        let log = EventLog::in_memory(LogMode::Io);
+        drive(&log, ObjectId(2), 2);
+        drive(&log, ObjectId(1), 1);
+        drive(&log, ObjectId(2), 1);
+        let parts = partition_by_object(log.snapshot());
+        assert_eq!(
+            parts.keys().copied().collect::<Vec<_>>(),
+            vec![ObjectId(1), ObjectId(2)]
+        );
+        assert_eq!(parts[&ObjectId(1)].len(), 3);
+        assert_eq!(parts[&ObjectId(2)].len(), 9);
+        let tids: Vec<ThreadId> = parts[&ObjectId(2)].iter().map(Event::tid).collect();
+        // Two loggers drove object 2; their events stay grouped in append
+        // order (first logger's 6, then the third logger's 3).
+        assert_eq!(tids[..6], vec![tids[0]; 6][..]);
+        assert_eq!(tids[6..], vec![tids[6]; 3][..]);
+    }
+}

@@ -242,6 +242,11 @@ pub struct CheckStats {
     pub view_keys_compared: u64,
     /// Writes replayed into the shadow state.
     pub writes_replayed: u64,
+    /// Events the program appended after the log was closed — actions the
+    /// verifier never saw (straggler threads still running at
+    /// `finish()`). Nonzero means the verdict covers a prefix of the
+    /// execution only.
+    pub events_discarded_after_close: u64,
 }
 
 /// The result of checking one log.
@@ -270,13 +275,21 @@ impl fmt::Display for Report {
                 self.stats.commits_applied,
                 self.stats.methods_completed,
                 self.stats.observers_checked
-            ),
+            )?,
             Some(v) => write!(
                 f,
                 "FAIL after {} completed methods: {v}",
                 self.stats.methods_completed
-            ),
+            )?,
         }
+        if self.stats.events_discarded_after_close > 0 {
+            write!(
+                f,
+                " [{} events discarded after close — verdict covers a prefix]",
+                self.stats.events_discarded_after_close
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -351,5 +364,15 @@ mod tests {
         };
         assert!(!bad.passed());
         assert!(bad.to_string().starts_with("FAIL"));
+    }
+
+    #[test]
+    fn report_surfaces_discarded_events() {
+        let mut r = Report::default();
+        assert!(!r.to_string().contains("discarded"));
+        r.stats.events_discarded_after_close = 3;
+        let msg = r.to_string();
+        assert!(msg.starts_with("PASS"));
+        assert!(msg.contains("3 events discarded after close"));
     }
 }

@@ -25,9 +25,10 @@ use vyrd_core::checker::{Checker, CheckerOptions};
 use vyrd_core::replay::Replayer;
 use vyrd_core::spec::{MethodKind, Spec, SpecEffect, SpecError};
 use vyrd_core::view::View;
-use vyrd_core::{Event, MethodId, ThreadId, Value, VarId};
+use vyrd_core::{Event, MethodId, ObjectId, ThreadId, Value, VarId};
 
 const KEYS: i64 = 3;
+const OBJ: ObjectId = ObjectId::DEFAULT;
 
 /// Register-map spec: `Put(k, v)` / `Get(k)` (0 when unset).
 #[derive(Clone, Default)]
@@ -120,6 +121,7 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
                     let v = rng.gen_range(1..100);
                     events.push(Event::Call {
                         tid,
+                        object: OBJ,
                         method: "Put".into(),
                         args: vec![Value::from(k), Value::from(v)],
                     });
@@ -128,6 +130,7 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
                     let current = regs.get(&k).copied().unwrap_or(0);
                     events.push(Event::Call {
                         tid,
+                        object: OBJ,
                         method: "Get".into(),
                         args: vec![Value::from(k)],
                     });
@@ -141,10 +144,11 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
                 let (k, v) = (*k, *v);
                 events.push(Event::Write {
                     tid,
+                    object: OBJ,
                     var: VarId::new("reg", k),
                     value: Value::from(v),
                 });
-                events.push(Event::Commit { tid });
+                events.push(Event::Commit { tid, object: OBJ });
                 regs.insert(k, v);
                 // Every pending observer of key k gains a candidate.
                 for s in states.iter_mut() {
@@ -159,6 +163,7 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
             ThreadState::PutCommitted => {
                 events.push(Event::Return {
                     tid,
+                    object: OBJ,
                     method: "Put".into(),
                     ret: Value::Unit,
                 });
@@ -169,6 +174,7 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
                 observer_returns.push(events.len());
                 events.push(Event::Return {
                     tid,
+                    object: OBJ,
                     method: "Get".into(),
                     ret: Value::from(pick),
                 });
@@ -184,13 +190,15 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
             ThreadState::PutOpen { k, v } => {
                 events.push(Event::Write {
                     tid,
+                    object: OBJ,
                     var: VarId::new("reg", *k),
                     value: Value::from(*v),
                 });
-                events.push(Event::Commit { tid });
+                events.push(Event::Commit { tid, object: OBJ });
                 regs.insert(*k, *v);
                 events.push(Event::Return {
                     tid,
+                    object: OBJ,
                     method: "Put".into(),
                     ret: Value::Unit,
                 });
@@ -198,6 +206,7 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
             ThreadState::PutCommitted => {
                 events.push(Event::Return {
                     tid,
+                    object: OBJ,
                     method: "Put".into(),
                     ret: Value::Unit,
                 });
@@ -206,6 +215,7 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
                 observer_returns.push(events.len());
                 events.push(Event::Return {
                     tid,
+                    object: OBJ,
                     method: "Get".into(),
                     ret: Value::from(candidates[candidates.len() - 1]),
                 });
@@ -283,6 +293,7 @@ fn corrupted_observer_returns_fail() {
         };
         events[idx] = Event::Return {
             tid: *tid,
+            object: OBJ,
             method: method.clone(),
             ret: Value::from(-1i64),
         };
@@ -377,6 +388,7 @@ mod naive_oracle {
             };
             events[idx] = Event::Return {
                 tid: *tid,
+                object: OBJ,
                 method: method.clone(),
                 ret: Value::from(-1i64), // never a stored value
             };
@@ -395,33 +407,39 @@ mod naive_oracle {
         let events = vec![
             Event::Call {
                 tid: ThreadId(1),
+                object: OBJ,
                 method: "Put".into(),
                 args: vec![Value::from(1i64), Value::from(10i64)],
             },
             Event::Call {
                 tid: ThreadId(2),
+                object: OBJ,
                 method: "Put".into(),
                 args: vec![Value::from(1i64), Value::from(20i64)],
             },
-            Event::Commit { tid: ThreadId(2) },
-            Event::Commit { tid: ThreadId(1) },
+            Event::Commit { tid: ThreadId(2), object: OBJ },
+            Event::Commit { tid: ThreadId(1), object: OBJ },
             Event::Return {
                 tid: ThreadId(1),
+                object: OBJ,
                 method: "Put".into(),
                 ret: Value::Unit,
             },
             Event::Return {
                 tid: ThreadId(2),
+                object: OBJ,
                 method: "Put".into(),
                 ret: Value::Unit,
             },
             Event::Call {
                 tid: ThreadId(3),
+                object: OBJ,
                 method: "Get".into(),
                 args: vec![Value::from(1i64)],
             },
             Event::Return {
                 tid: ThreadId(3),
+                object: OBJ,
                 method: "Get".into(),
                 ret: Value::from(20i64),
             },

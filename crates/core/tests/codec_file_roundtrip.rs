@@ -6,7 +6,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use vyrd_core::codec::{read_log, write_log};
-use vyrd_core::{Event, ThreadId, Value, VarId};
+use vyrd_core::{Event, ObjectId, ThreadId, Value, VarId};
 use vyrd_rt::rng::Rng;
 
 fn mixed_log(seed: u64, len: usize) -> Vec<Event> {
@@ -14,9 +14,11 @@ fn mixed_log(seed: u64, len: usize) -> Vec<Event> {
     (0..len)
         .map(|i| {
             let tid = ThreadId(rng.gen_range(0..8u32));
+            let object = ObjectId(rng.gen_range(0..4u32));
             match i % 5 {
                 0 => Event::Call {
                     tid,
+                    object,
                     method: "Insert".into(),
                     args: vec![
                         Value::from(rng.gen_range(-1_000..1_000i64)),
@@ -25,6 +27,7 @@ fn mixed_log(seed: u64, len: usize) -> Vec<Event> {
                 },
                 1 => Event::Write {
                     tid,
+                    object,
                     var: VarId::new("A.elt", rng.gen_range(0..64i64)),
                     value: Value::pair(
                         Value::Bool(rng.gen_bool(0.5)),
@@ -35,13 +38,14 @@ fn mixed_log(seed: u64, len: usize) -> Vec<Event> {
                         }),
                     ),
                 },
-                2 => Event::Commit { tid },
+                2 => Event::Commit { tid, object },
                 3 => Event::Return {
                     tid,
+                    object,
                     method: "Insert".into(),
                     ret: Value::success(),
                 },
-                _ => Event::BlockBegin { tid },
+                _ => Event::BlockBegin { tid, object },
             }
         })
         .collect()

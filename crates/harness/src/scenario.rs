@@ -5,15 +5,21 @@
 //! then run it with any logging mode / sink, check the resulting log
 //! offline (I/O or view), or verify it online on a separate thread.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use vyrd_rt::channel::Receiver;
 use vyrd_core::log::{EventLog, LogMode, LogStats};
+use vyrd_core::pool::{ObjectChecker, VerifierPool};
 use vyrd_core::violation::Report;
-use vyrd_core::Event;
+use vyrd_core::{Event, ObjectId};
 
 use crate::measure::timed;
 use crate::workload::WorkloadConfig;
+
+/// Builds one checker per object for sharded verification — what a
+/// scenario hands to a [`VerifierPool`].
+pub type ShardFactory = Arc<dyn Fn(ObjectId) -> Box<dyn ObjectChecker> + Send + Sync>;
 
 /// Which bug variant of a scenario to instantiate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +81,22 @@ pub trait Scenario: Send + Sync {
 
     /// Checks a live event stream (for the online verification thread).
     fn check_stream(&self, kind: CheckKind, receiver: &Receiver<Event>) -> Report;
+
+    /// Runs the workload over `objects` independent instances of the data
+    /// structure, each logging under its own [`ObjectId`] (via
+    /// [`EventLog::with_object`]). Returns `false` when the scenario has
+    /// no multi-object mode (the default).
+    fn run_multi(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant, objects: u32) -> bool {
+        let _ = (cfg, log, variant, objects);
+        false
+    }
+
+    /// The per-object checker factory for sharded verification, or `None`
+    /// when the scenario has no multi-object mode (the default).
+    fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
+        let _ = kind;
+        None
+    }
 }
 
 /// Runs a scenario's workload with an in-memory log and returns the
@@ -134,4 +156,36 @@ pub fn run_online(
             Err(panic) => std::panic::resume_unwind(panic),
         }
     })
+}
+
+/// Runs a scenario's multi-object workload while a [`VerifierPool`]
+/// checks each object's log shard concurrently (§8's "logs of different
+/// objects checked concurrently and independently"). Returns the
+/// program-side wall time and the pool's merged report, or `None` when
+/// the scenario has no multi-object mode.
+pub fn run_online_sharded(
+    scenario: &dyn Scenario,
+    cfg: &WorkloadConfig,
+    kind: CheckKind,
+    variant: Variant,
+    objects: u32,
+    workers: usize,
+) -> Option<(Duration, Report)> {
+    let factory = scenario.shard_factory(kind)?;
+    let pool = VerifierPool::spawn(kind.log_mode(), workers, move |object| factory(object));
+    let run_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        timed(|| scenario.run_multi(cfg, pool.log(), variant, objects))
+    }));
+    match run_result {
+        Ok((supported, wall)) => {
+            let report = pool.finish();
+            supported.then_some((wall, report))
+        }
+        Err(panic) => {
+            // Unblock the workers before unwinding; dropping the pool
+            // detaches them and the closed log ends their shards.
+            pool.log().close();
+            std::panic::resume_unwind(panic)
+        }
+    }
 }

@@ -19,7 +19,12 @@ use vyrd_storage::{
     ChunkManager, StoreSpec,
 };
 
-use crate::scenario::{CheckKind, Scenario, Variant};
+use std::sync::Arc;
+
+use vyrd_core::pool::ObjectChecker;
+use vyrd_core::ObjectId;
+
+use crate::scenario::{CheckKind, Scenario, ShardFactory, Variant};
 use crate::workload::{ThreadWorkload, WorkloadConfig};
 
 /// All six table rows, in the paper's order.
@@ -179,6 +184,59 @@ impl Scenario for MultisetVectorScenario {
 
     impl_checks!(MultisetSpec::new(), SlotReplayer::new());
 
+    /// §8 multi-object mode: `objects` independent multisets, each
+    /// logging under its own [`ObjectId`]; every call picks an instance
+    /// from the workload stream.
+    fn run_multi(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant, objects: u32) -> bool {
+        let fs = match variant {
+            Variant::Correct => FindSlotVariant::Correct,
+            Variant::Buggy => FindSlotVariant::Buggy,
+        };
+        let sets: Vec<VectorMultiset> = (0..objects.max(1))
+            .map(|i| VectorMultiset::new(fs, log.with_object(ObjectId(i))))
+            .collect();
+        let task = cfg.internal_task.then(|| {
+            let handles: Vec<_> = sets.iter().map(|s| s.handle()).collect();
+            let mut next = 0usize;
+            move || {
+                handles[next % handles.len()].compress();
+                next += 1;
+            }
+        });
+        drive(
+            cfg,
+            |_, mut wl| {
+                for _ in 0..cfg.calls_per_thread {
+                    let h = sets[wl.next_int(sets.len() as i64) as usize].handle();
+                    let op = wl.next_op(&[3, 2, 3, 2]);
+                    let x = wl.next_key();
+                    match op {
+                        0 => {
+                            h.insert(x);
+                        }
+                        1 => {
+                            h.insert_pair(x, wl.next_key());
+                        }
+                        2 => {
+                            h.delete(x);
+                        }
+                        _ => {
+                            h.lookup(x);
+                        }
+                    }
+                }
+            },
+            task,
+        );
+        true
+    }
+
+    fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
+        Some(Arc::new(move |_object| match kind {
+            CheckKind::Io => Box::new(Checker::io(MultisetSpec::new())) as Box<dyn ObjectChecker>,
+            CheckKind::View => Box::new(Checker::view(MultisetSpec::new(), SlotReplayer::new())),
+        }))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -463,4 +521,54 @@ impl Scenario for CacheScenario {
         entry_in_exactly_one_list(),
     );
 
+    /// §8 multi-object mode: one cache (over its own chunk group) per
+    /// object; each call picks a cache from the workload stream. The
+    /// flusher services every cache in rotation.
+    fn run_multi(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant, objects: u32) -> bool {
+        let v = match variant {
+            Variant::Correct => CacheVariant::Correct,
+            Variant::Buggy => CacheVariant::Buggy,
+        };
+        let caches: Vec<BoxCache> = (0..objects.max(1))
+            .map(|i| BoxCache::new(ChunkManager::new(), v, log.with_object(ObjectId(i))))
+            .collect();
+        let flusher = {
+            let handles: Vec<_> = caches.iter().map(|c| c.handle()).collect();
+            let mut next = 0usize;
+            move || {
+                handles[next % handles.len()].flush();
+                next += 1;
+            }
+        };
+        drive(
+            cfg,
+            |_, mut wl| {
+                for i in 0..cfg.calls_per_thread {
+                    let h = caches[wl.next_int(caches.len() as i64) as usize].handle();
+                    let op = wl.next_op(&[6, 3, 1]);
+                    let handle = wl.next_int(CACHE_HANDLES);
+                    match op {
+                        0 => h.write(handle, vec![(i % 251) as u8; CACHE_BUF]),
+                        1 => {
+                            h.read(handle);
+                        }
+                        _ => h.revoke(handle),
+                    }
+                }
+            },
+            Some(flusher),
+        );
+        true
+    }
+
+    fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
+        Some(Arc::new(move |_object| match kind {
+            CheckKind::Io => Box::new(Checker::io(StoreSpec::new())) as Box<dyn ObjectChecker>,
+            CheckKind::View => Box::new(
+                Checker::view(StoreSpec::new(), CacheReplayer::new())
+                    .with_invariant(clean_matches_chunk())
+                    .with_invariant(entry_in_exactly_one_list()),
+            ),
+        }))
+    }
 }

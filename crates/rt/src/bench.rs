@@ -81,7 +81,7 @@ struct Record {
 ///
 /// ```
 /// let mut group = vyrd_rt::bench::BenchGroup::new("example");
-/// group.sample_size(5);
+/// group.sample_size(5).out_dir(std::env::temp_dir());
 /// let mut acc = 0u64;
 /// group.bench("wrapping_add", || acc = acc.wrapping_add(3));
 /// let report = group.report();
@@ -91,6 +91,7 @@ struct Record {
 pub struct BenchGroup {
     name: String,
     sample_size: usize,
+    fixed_iters: Option<u64>,
     out_dir: Option<PathBuf>,
     records: Vec<Record>,
     finished: bool,
@@ -105,6 +106,7 @@ impl BenchGroup {
         BenchGroup {
             name: name.to_string(),
             sample_size: 20,
+            fixed_iters: None,
             out_dir: None,
             records: Vec::new(),
             finished: false,
@@ -114,6 +116,27 @@ impl BenchGroup {
     /// Sets how many timed samples each benchmark takes (minimum 2).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(2);
+        self
+    }
+
+    /// Pins the per-sample iteration count for subsequent benchmarks,
+    /// bypassing warmup calibration (minimum 1).
+    ///
+    /// Calibration targets [`TARGET_SAMPLE_TIME`]; a workload slower than
+    /// that gets `iters = 1`, and its run-to-run variance then lands
+    /// directly in the summary statistics. Pinning the count (together
+    /// with a larger [`sample_size`](Self::sample_size)) makes such rows
+    /// reproducible across runs — see the Cache scenario in
+    /// `logging_overhead`, whose per-run time is dominated by scheduling
+    /// noise at `iters = 1`.
+    pub fn fixed_iters(&mut self, n: u64) -> &mut Self {
+        self.fixed_iters = Some(n.max(1));
+        self
+    }
+
+    /// Returns subsequent benchmarks to warmup calibration (the default).
+    pub fn auto_iters(&mut self) -> &mut Self {
+        self.fixed_iters = None;
         self
     }
 
@@ -136,7 +159,15 @@ impl BenchGroup {
     }
 
     fn record(&mut self, id: &str, bytes: Option<u64>, mut f: impl FnMut()) -> Stats {
-        let iters = calibrate(&mut f);
+        let iters = match self.fixed_iters {
+            Some(n) => {
+                // Still warm up (code paths, allocator, caches) — just
+                // don't let the elapsed time pick the count.
+                f();
+                n
+            }
+            None => calibrate(&mut f),
+        };
         let mut per_iter_ns = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let start = Instant::now();
@@ -315,6 +346,23 @@ mod tests {
         assert!(report.contains("\"samples\": 3"));
         // Two result objects, comma-separated.
         assert_eq!(report.matches("\"id\":").count(), 2);
+        group.finished = true; // don't write a file from the unit test
+    }
+
+    #[test]
+    fn fixed_iters_pins_the_iteration_count() {
+        let mut group = BenchGroup::new("pinned");
+        group.sample_size(2).fixed_iters(17);
+        let s = group.bench("noop", || {
+            black_box(1u32);
+        });
+        assert_eq!(s.iters_per_sample, 17);
+        group.auto_iters();
+        let s = group.bench("noop_auto", || {
+            black_box(1u32);
+        });
+        // A no-op calibrates to far more than one iteration per sample.
+        assert!(s.iters_per_sample > 17);
         group.finished = true; // don't write a file from the unit test
     }
 

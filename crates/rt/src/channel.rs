@@ -1,4 +1,4 @@
-//! An unbounded multi-producer single-consumer channel.
+//! A multi-producer single-consumer channel, unbounded or bounded.
 //!
 //! API-compatible with the subset of `crossbeam::channel` the event log
 //! and harness use. Semantics that matter to the online verifier (§4.2):
@@ -11,9 +11,15 @@
 //!   `EventLog::close()` swapping the channel sink out, or a straggler
 //!   thread dropping its logger) acquires the queue lock before
 //!   signalling, so a receiver blocked in `recv`/`recv_timeout` cannot
-//!   miss the wakeup and hang.
-//! * **Sends never block** — the queue is unbounded; `send` to a dropped
-//!   [`Receiver`] returns the value back instead of panicking.
+//!   miss the wakeup and hang. Symmetrically, dropping the [`Receiver`]
+//!   wakes senders blocked on a full bounded channel.
+//! * **Unbounded sends never block** — [`unbounded`] queues without limit;
+//!   `send` to a dropped [`Receiver`] returns the value back instead of
+//!   panicking.
+//! * **Bounded sends apply backpressure** — [`bounded`] makes `send` block
+//!   while the queue holds `capacity` messages, so a producer that outruns
+//!   its consumer (a program outrunning a slow verifier) is slowed down
+//!   instead of growing the heap without bound.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -98,6 +104,8 @@ impl std::error::Error for RecvTimeoutError {}
 
 struct State<T> {
     queue: VecDeque<T>,
+    /// `Some(n)` ⇒ `send` blocks while the queue holds `n` messages.
+    capacity: Option<usize>,
     /// Live [`Sender`] handles. 0 ⇒ disconnected on the producing side.
     senders: usize,
     /// The [`Receiver`] is still alive.
@@ -108,6 +116,9 @@ struct Shared<T> {
     state: Mutex<State<T>>,
     /// Signalled on every send and on producer-side disconnect.
     ready: Condvar,
+    /// Signalled on every receive and on receiver drop; only senders on a
+    /// bounded channel ever wait on it.
+    not_full: Condvar,
 }
 
 impl<T> Shared<T> {
@@ -121,15 +132,16 @@ impl<T> Shared<T> {
     }
 }
 
-/// Creates an unbounded MPSC channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+fn channel_with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             queue: VecDeque::new(),
+            capacity,
             senders: 1,
             receiver_alive: true,
         }),
         ready: Condvar::new(),
+        not_full: Condvar::new(),
     });
     (
         Sender {
@@ -137,6 +149,26 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         },
         Receiver { shared },
     )
+}
+
+/// Creates an unbounded MPSC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel_with_capacity(None)
+}
+
+/// Creates a bounded MPSC channel holding at most `capacity` messages:
+/// `send` blocks while the channel is full, which is the backpressure knob
+/// a logging producer uses so a slow consumer cannot make it buffer
+/// without bound.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (rendezvous channels are not supported —
+/// an event log must be able to buffer at least one event without a
+/// consumer already waiting).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "bounded channel capacity must be at least 1");
+    channel_with_capacity(Some(capacity))
 }
 
 /// The sending half; clone freely (multi-producer).
@@ -151,12 +183,25 @@ impl<T> fmt::Debug for Sender<T> {
 }
 
 impl<T> Sender<T> {
-    /// Appends a message; never blocks. Fails (returning the message)
-    /// when the [`Receiver`] has been dropped.
+    /// Appends a message. On an unbounded channel this never blocks; on a
+    /// bounded channel it blocks while the channel is full. Fails
+    /// (returning the message) when the [`Receiver`] has been dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut state = self.shared.lock();
-        if !state.receiver_alive {
-            return Err(SendError(value));
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            match state.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self
+                        .shared
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                _ => break,
+            }
         }
         state.queue.push_back(value);
         drop(state);
@@ -208,6 +253,7 @@ impl<T> Receiver<T> {
         let mut state = self.shared.lock();
         loop {
             if let Some(v) = state.queue.pop_front() {
+                self.notify_not_full(&state);
                 return Ok(v);
             }
             if state.senders == 0 {
@@ -225,7 +271,10 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut state = self.shared.lock();
         match state.queue.pop_front() {
-            Some(v) => Ok(v),
+            Some(v) => {
+                self.notify_not_full(&state);
+                Ok(v)
+            }
             None if state.senders == 0 => Err(TryRecvError::Disconnected),
             None => Err(TryRecvError::Empty),
         }
@@ -237,6 +286,7 @@ impl<T> Receiver<T> {
         let mut state = self.shared.lock();
         loop {
             if let Some(v) = state.queue.pop_front() {
+                self.notify_not_full(&state);
                 return Ok(v);
             }
             if state.senders == 0 {
@@ -276,11 +326,28 @@ impl<T> Receiver<T> {
     pub fn try_iter(&self) -> TryIter<'_, T> {
         TryIter { receiver: self }
     }
+
+    /// Wakes one sender blocked on a full bounded channel. Signalling
+    /// while still holding the lock is fine: the woken sender re-acquires
+    /// it and re-checks the queue length before proceeding.
+    fn notify_not_full(&self, state: &State<T>) {
+        if state.capacity.is_some() {
+            self.shared.not_full.notify_one();
+        }
+    }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.shared.lock().receiver_alive = false;
+        let mut state = self.shared.lock();
+        state.receiver_alive = false;
+        let bounded = state.capacity.is_some();
+        drop(state);
+        if bounded {
+            // Senders blocked on a full channel must observe the dead
+            // receiver and fail out instead of sleeping forever.
+            self.shared.not_full.notify_all();
+        }
     }
 }
 
@@ -461,6 +528,49 @@ mod tests {
         // Channel still connected; try_iter stopped instead of blocking.
         tx.send(3).unwrap();
         assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_slot_frees() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // Third send must block until the receiver pops.
+        let t = thread::spawn(move || {
+            tx.send(3).unwrap();
+            3
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.len(), 2, "third send should still be blocked");
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(t.join().unwrap(), 3);
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_errors_out_when_receiver_drops_mid_block() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn bounded_drains_before_disconnect_like_unbounded() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn bounded_rejects_zero_capacity() {
+        let _ = bounded::<i32>(0);
     }
 
     #[test]

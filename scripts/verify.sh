@@ -14,6 +14,16 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q --offline"
 cargo test --workspace -q --offline
 
+# Smoke-run every example: each is a runnable walkthrough that must
+# exit 0 (the violation demos report their detection and succeed).
+echo "==> example smoke runs"
+cargo build --release --offline --examples
+for ex in examples/*.rs; do
+    name="$(basename "$ex" .rs)"
+    echo "    -> $name"
+    cargo run --release --offline -q --example "$name" >/dev/null
+done
+
 # Clippy is optional tooling: run it when the component is installed,
 # skip quietly when not (the container may ship a bare toolchain).
 if cargo clippy --version >/dev/null 2>&1; then

@@ -9,12 +9,13 @@
 //! because `Delete(3)` commits after `Insert(3)`.
 
 use vyrd::core::checker::{Checker, CheckerOptions};
-use vyrd::core::{Event, MethodId, ThreadId, Value};
+use vyrd::core::{Event, MethodId, ObjectId, ThreadId, Value};
 use vyrd::multiset::MultisetSpec;
 
 fn call(tid: u32, m: &str, args: &[i64]) -> Event {
     Event::Call {
         tid: ThreadId(tid),
+        object: ObjectId::DEFAULT,
         method: MethodId::from(m),
         args: args.iter().map(|&a| Value::from(a)).collect(),
     }
@@ -23,13 +24,17 @@ fn call(tid: u32, m: &str, args: &[i64]) -> Event {
 fn ret(tid: u32, m: &str, value: Value) -> Event {
     Event::Return {
         tid: ThreadId(tid),
+        object: ObjectId::DEFAULT,
         method: MethodId::from(m),
         ret: value,
     }
 }
 
 fn commit(tid: u32) -> Event {
-    Event::Commit { tid: ThreadId(tid) }
+    Event::Commit {
+        tid: ThreadId(tid),
+        object: ObjectId::DEFAULT,
+    }
 }
 
 /// The Fig. 3 interleaving, with the final lookup returning `expected`.

@@ -11,12 +11,13 @@
 //! * appending `LookUp(5) -> false` makes I/O refinement fail too.
 
 use vyrd::core::checker::Checker;
-use vyrd::core::{Event, MethodId, ThreadId, Value, VarId, Violation};
+use vyrd::core::{Event, MethodId, ObjectId, ThreadId, Value, VarId, Violation};
 use vyrd::multiset::{MultisetSpec, SlotReplayer};
 
 fn call(tid: u32, m: &str, args: &[i64]) -> Event {
     Event::Call {
         tid: ThreadId(tid),
+        object: ObjectId::DEFAULT,
         method: MethodId::from(m),
         args: args.iter().map(|&a| Value::from(a)).collect(),
     }
@@ -25,18 +26,23 @@ fn call(tid: u32, m: &str, args: &[i64]) -> Event {
 fn ret(tid: u32, m: &str, value: Value) -> Event {
     Event::Return {
         tid: ThreadId(tid),
+        object: ObjectId::DEFAULT,
         method: MethodId::from(m),
         ret: value,
     }
 }
 
 fn commit(tid: u32) -> Event {
-    Event::Commit { tid: ThreadId(tid) }
+    Event::Commit {
+        tid: ThreadId(tid),
+        object: ObjectId::DEFAULT,
+    }
 }
 
 fn write_elt(tid: u32, slot: i64, value: Value) -> Event {
     Event::Write {
         tid: ThreadId(tid),
+        object: ObjectId::DEFAULT,
         var: VarId::new("elt", slot),
         value,
     }
@@ -45,17 +51,24 @@ fn write_elt(tid: u32, slot: i64, value: Value) -> Event {
 fn write_valid(tid: u32, slot: i64, value: bool) -> Event {
     Event::Write {
         tid: ThreadId(tid),
+        object: ObjectId::DEFAULT,
         var: VarId::new("valid", slot),
         value: Value::from(value),
     }
 }
 
 fn block_begin(tid: u32) -> Event {
-    Event::BlockBegin { tid: ThreadId(tid) }
+    Event::BlockBegin {
+        tid: ThreadId(tid),
+        object: ObjectId::DEFAULT,
+    }
 }
 
 fn block_end(tid: u32) -> Event {
-    Event::BlockEnd { tid: ThreadId(tid) }
+    Event::BlockEnd {
+        tid: ThreadId(tid),
+        object: ObjectId::DEFAULT,
+    }
 }
 
 /// The Fig. 6 interleaving. T1 = InsertPair(5, 6), T2 = InsertPair(7, 8).

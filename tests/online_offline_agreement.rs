@@ -26,24 +26,11 @@ fn check_via_channel(
     events: Vec<Event>,
 ) -> vyrd::core::Report {
     // Reuse the EventLog channel sink so the events flow exactly as they
-    // would online: re-append each recorded event through a logger handle
-    // stamped with its original thread id, then close the log.
+    // would online: re-append each recorded event (thread and object ids
+    // intact), then close the log.
     let (log, rx) = vyrd::core::log::EventLog::to_channel(vyrd::core::log::LogMode::View);
     for e in &events {
-        match e {
-            Event::Call { tid, method, args } => {
-                log.logger_for(*tid).call(method.name(), args);
-            }
-            Event::Return { tid, method, ret } => {
-                log.logger_for(*tid).ret(method.name(), ret.clone());
-            }
-            Event::Commit { tid } => log.logger_for(*tid).commit(),
-            Event::BlockBegin { tid } => log.logger_for(*tid).block_begin(),
-            Event::BlockEnd { tid } => log.logger_for(*tid).block_end(),
-            Event::Write { tid, var, value } => {
-                log.logger_for(*tid).write(var.clone(), value.clone());
-            }
-        }
+        log.append_event(e.clone());
     }
     log.close();
     drop(log);
