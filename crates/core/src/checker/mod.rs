@@ -373,6 +373,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             Report {
                 violation: self.violation,
                 stats: self.stats,
+                ..Report::default()
             },
             self.witness,
         )

@@ -13,19 +13,29 @@
 //! # Versioning
 //!
 //! A log stream starts with a header — the magic bytes `b"VYRD"` followed
-//! by a `u32` format version — and then holds bare records. Version 2 (the
-//! current version) added a `u32` [`ObjectId`](crate::ObjectId) to every
-//! event record, right after the thread id. Version-1 streams predate the
-//! header entirely: they start directly with an event tag. [`LogReader`]
-//! tells the two apart by sniffing the first byte (the magic's `b'V'` can
-//! never be a record tag) and decodes v1 records with
+//! by a `u32` format version. Version 2 added a `u32`
+//! [`ObjectId`](crate::ObjectId) to every event record, right after the
+//! thread id. Version 3 (the current version) wraps each record in a
+//! crash-tolerant frame: a `u32` payload length, a `u32` CRC-32 (IEEE) of
+//! the payload, then the payload itself — a bare v2 record. Version-1
+//! streams predate the header entirely: they start directly with an event
+//! tag. [`LogReader`] tells headered and headerless streams apart by
+//! sniffing the first byte (the magic's `b'V'` can never be a record tag)
+//! and decodes v1 records with
 //! [`ObjectId::DEFAULT`](crate::ObjectId::DEFAULT), so old logs keep
 //! reading.
 //!
-//! The format is deliberately simple so that a log written by a crashing
-//! process can be read back up to the last complete record: [`read_event`]
-//! distinguishes a clean end of stream (`Ok(None)`) from a truncated record
-//! (`Err`).
+//! # Crash tolerance
+//!
+//! The paper's post-mortem workflow (§2) reads the log *after* the
+//! implementation crashed, so a torn tail is the expected case, not an
+//! anomaly. The v3 frame makes recovery explicit: a frame whose length
+//! prefix, checksum, or payload is damaged marks the end of the trusted
+//! prefix. [`read_log_recovering`] decodes any stream (v1–v3) and returns
+//! [`DecodeOutcome::RecoveredPrefix`] — every record before the damage,
+//! plus the byte offset where decoding stopped — instead of an error.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -57,7 +67,41 @@ const TAG_WRITE: u8 = 21;
 pub const MAGIC: [u8; 4] = *b"VYRD";
 
 /// The log format version this module writes.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
+
+/// The last format version whose records were written bare (unframed).
+const LAST_UNFRAMED_VERSION: u32 = 2;
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) checksum, as used by v3 record frames.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// Maximum length accepted for any single string/bytes/list payload.
 ///
@@ -206,7 +250,8 @@ fn read_value_at<R: Read>(r: &mut R, depth: u32) -> io::Result<Value> {
     }
 }
 
-/// Serializes one event as a current-version (v2) record.
+/// Serializes one event as a bare (unframed) v2 record — also the payload
+/// encoding inside a v3 frame (see [`write_frame`]).
 ///
 /// Records are headerless; a reader needs the stream header to know their
 /// version, so prepend one with [`write_header`] (as [`write_log`] and the
@@ -274,6 +319,28 @@ pub fn write_event<W: Write>(w: &mut W, event: &Event) -> io::Result<()> {
             write_value(w, value)
         }
     }
+}
+
+/// Serializes one event as a v3 frame: payload length, CRC-32 of the
+/// payload, then the payload (a bare v2 record as written by
+/// [`write_event`]).
+///
+/// Honors the `codec.write` failpoint: a
+/// [`Drop`](vyrd_rt::fault::FaultAction::Drop) disposition skips the frame
+/// entirely, simulating a record lost to a crash mid-write.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame<W: Write>(w: &mut W, event: &Event) -> io::Result<()> {
+    if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("codec.write") {
+        return Ok(());
+    }
+    let mut payload = Vec::with_capacity(32);
+    write_event(&mut payload, event)?;
+    write_u32(w, payload.len() as u32)?;
+    write_u32(w, crc32(&payload))?;
+    w.write_all(&payload)
 }
 
 /// Writes the stream header: magic bytes plus the current format version.
@@ -346,7 +413,7 @@ fn read_event_body<R: Read>(r: &mut R, tag: u8, version: u32) -> io::Result<Even
     Ok(event)
 }
 
-/// Deserializes one current-version (v2) event record, or `Ok(None)` at a
+/// Deserializes one bare (unframed) v2 event record, or `Ok(None)` at a
 /// clean end of stream. To read a stream whose version is not known in
 /// advance, use [`LogReader`].
 ///
@@ -361,7 +428,22 @@ pub fn read_event<R: Read>(r: &mut R) -> io::Result<Option<Event>> {
         1 => {}
         _ => unreachable!("read of 1-byte buffer returned >1"),
     }
-    read_event_body(r, tag[0], FORMAT_VERSION).map(Some)
+    read_event_body(r, tag[0], LAST_UNFRAMED_VERSION).map(Some)
+}
+
+/// A [`Read`] adapter that tracks how many bytes have been consumed, so
+/// the decoder can report *where* a stream went bad.
+struct CountingReader<R: Read> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
 }
 
 /// Version-aware streaming decoder.
@@ -371,7 +453,7 @@ pub fn read_event<R: Read>(r: &mut R) -> io::Result<Option<Event>> {
 /// stream, whose records decode with
 /// [`ObjectId::DEFAULT`](crate::ObjectId::DEFAULT).
 pub struct LogReader<R: Read> {
-    reader: R,
+    reader: CountingReader<R>,
     version: u32,
     /// First byte of a v1 stream, consumed while sniffing for the magic.
     pending_tag: Option<u8>,
@@ -393,7 +475,11 @@ impl<R: Read> LogReader<R> {
     ///
     /// Returns `InvalidData` for a corrupt magic or an unsupported version,
     /// and propagates I/O errors.
-    pub fn new(mut reader: R) -> io::Result<LogReader<R>> {
+    pub fn new(reader: R) -> io::Result<LogReader<R>> {
+        let mut reader = CountingReader {
+            inner: reader,
+            pos: 0,
+        };
         let mut first = [0u8; 1];
         match reader.read(&mut first)? {
             0 => {
@@ -444,13 +530,32 @@ impl<R: Read> LogReader<R> {
         self.version
     }
 
+    /// The byte offset at which the *next* record starts — i.e. how much of
+    /// the stream has been decoded into trusted records so far.
+    pub fn next_record_offset(&self) -> u64 {
+        // A sniffed-but-unconsumed v1 tag byte still belongs to the next
+        // record.
+        self.reader.pos - u64::from(self.pending_tag.is_some())
+    }
+
     /// Decodes the next event, or `Ok(None)` at a clean end of stream.
+    ///
+    /// Honors the `codec.read` failpoint: a
+    /// [`Drop`](vyrd_rt::fault::FaultAction::Drop) disposition reports a
+    /// (spurious) clean end of stream, simulating a reader cut off early.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` for unknown tags and `UnexpectedEof` when the
-    /// stream ends mid-record.
+    /// Returns `InvalidData` for unknown tags, checksum mismatches, and
+    /// malformed frames, and `UnexpectedEof` when the stream ends
+    /// mid-record ("torn tail").
     pub fn next_event(&mut self) -> io::Result<Option<Event>> {
+        if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("codec.read") {
+            return Ok(None);
+        }
+        if self.version > LAST_UNFRAMED_VERSION {
+            return self.next_framed_event();
+        }
         let tag = match self.pending_tag.take() {
             Some(t) => t,
             None => {
@@ -464,6 +569,55 @@ impl<R: Read> LogReader<R> {
         };
         read_event_body(&mut self.reader, tag, self.version).map(Some)
     }
+
+    /// Decodes one v3 frame: `[len: u32][crc32: u32][payload]`.
+    fn next_framed_event(&mut self) -> io::Result<Option<Event>> {
+        // A clean end of stream is 0 bytes exactly at a frame boundary;
+        // 1–3 bytes of length prefix are already a torn tail.
+        let mut len_buf = [0u8; 4];
+        let mut filled = 0;
+        while filled < 4 {
+            let n = self.reader.read(&mut len_buf[filled..])?;
+            if n == 0 {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "torn vyrd frame: stream ended inside a length prefix",
+                ));
+            }
+            filled += n;
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len == 0 || len > MAX_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("vyrd frame length {len} out of range"),
+            ));
+        }
+        let expected_crc = read_u32(&mut self.reader)?;
+        let mut payload = vec![0u8; len as usize];
+        self.reader.read_exact(&mut payload)?;
+        let actual_crc = crc32(&payload);
+        if actual_crc != expected_crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "vyrd frame checksum mismatch: stored {expected_crc:#010x}, computed {actual_crc:#010x}"
+                ),
+            ));
+        }
+        let mut body = &payload[1..];
+        let event = read_event_body(&mut body, payload[0], LAST_UNFRAMED_VERSION)?;
+        if !body.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("vyrd frame has {} trailing bytes", body.len()),
+            ));
+        }
+        Ok(Some(event))
+    }
 }
 
 impl<R: Read> Iterator for LogReader<R> {
@@ -474,7 +628,8 @@ impl<R: Read> Iterator for LogReader<R> {
     }
 }
 
-/// Serializes a whole log: the versioned header, then one record per event.
+/// Serializes a whole log: the versioned header, then one v3 frame per
+/// event.
 ///
 /// # Errors
 ///
@@ -482,18 +637,19 @@ impl<R: Read> Iterator for LogReader<R> {
 pub fn write_log<W: Write>(w: &mut W, events: &[Event]) -> io::Result<()> {
     write_header(w)?;
     for e in events {
-        write_event(w, e)?;
+        write_frame(w, e)?;
     }
     Ok(())
 }
 
-/// Deserializes a whole log until end of stream, accepting both versioned
-/// (headered) and legacy headerless v1 streams.
+/// Deserializes a whole log until end of stream, accepting any supported
+/// version (headered v2/v3 and legacy headerless v1 streams).
 ///
 /// # Errors
 ///
 /// Returns the first decoding or I/O error; events decoded before the error
-/// are discarded (use [`LogReader`] directly to salvage a prefix).
+/// are discarded. Use [`read_log_recovering`] to salvage the valid prefix
+/// of a damaged log instead.
 pub fn read_log<R: Read>(r: &mut R) -> io::Result<Vec<Event>> {
     let mut reader = LogReader::new(r)?;
     let mut events = Vec::new();
@@ -503,8 +659,111 @@ pub fn read_log<R: Read>(r: &mut R) -> io::Result<Vec<Event>> {
     Ok(events)
 }
 
+/// The result of decoding a possibly-damaged log with
+/// [`read_log_recovering`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// The stream decoded to a clean end: every byte was accounted for.
+    Complete {
+        /// All records, in log order.
+        records: Vec<Event>,
+    },
+    /// Decoding hit damage (torn tail, checksum mismatch, malformed
+    /// record); everything before it was recovered.
+    RecoveredPrefix {
+        /// The records decoded before the damage, in log order.
+        records: Vec<Event>,
+        /// Byte offset of the first record that could not be trusted.
+        truncated_at: u64,
+        /// Human-readable description of what stopped decoding.
+        detail: String,
+    },
+}
+
+impl DecodeOutcome {
+    /// The decoded records, complete or not.
+    pub fn records(&self) -> &[Event] {
+        match self {
+            DecodeOutcome::Complete { records } | DecodeOutcome::RecoveredPrefix { records, .. } => {
+                records
+            }
+        }
+    }
+
+    /// Consumes the outcome, yielding the decoded records.
+    pub fn into_records(self) -> Vec<Event> {
+        match self {
+            DecodeOutcome::Complete { records } | DecodeOutcome::RecoveredPrefix { records, .. } => {
+                records
+            }
+        }
+    }
+
+    /// True when the whole stream decoded cleanly.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, DecodeOutcome::Complete { .. })
+    }
+}
+
+impl fmt::Display for DecodeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeOutcome::Complete { records } => {
+                write!(f, "complete: {} records", records.len())
+            }
+            DecodeOutcome::RecoveredPrefix {
+                records,
+                truncated_at,
+                detail,
+            } => write!(
+                f,
+                "recovered {} records up to byte {truncated_at} ({detail})",
+                records.len()
+            ),
+        }
+    }
+}
+
+/// Decodes a whole log, recovering the maximal valid prefix of a damaged
+/// stream instead of erroring.
+///
+/// Never panics and never returns an error: a torn tail, flipped byte, or
+/// outright garbage yields [`DecodeOutcome::RecoveredPrefix`] with however
+/// many records decoded before the damage (possibly zero). This is the
+/// entry point for the paper's post-mortem use case — checking the log of
+/// a crashed run offline.
+pub fn read_log_recovering<R: Read>(r: R) -> DecodeOutcome {
+    let mut reader = match LogReader::new(r) {
+        Ok(reader) => reader,
+        Err(e) => {
+            return DecodeOutcome::RecoveredPrefix {
+                records: Vec::new(),
+                truncated_at: 0,
+                detail: e.to_string(),
+            }
+        }
+    };
+    let mut records = Vec::new();
+    loop {
+        let offset = reader.next_record_offset();
+        match reader.next_event() {
+            Ok(Some(e)) => records.push(e),
+            Ok(None) => return DecodeOutcome::Complete { records },
+            Err(e) => {
+                return DecodeOutcome::RecoveredPrefix {
+                    records,
+                    truncated_at: offset,
+                    detail: e.to_string(),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use vyrd_rt::rng::Rng;
 
@@ -663,6 +922,126 @@ mod tests {
         buf.truncate(buf.len() - 2);
         let err = read_event(&mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard check vector for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn sample_log() -> Vec<Event> {
+        vec![
+            Event::Call {
+                tid: ThreadId(1),
+                object: ObjectId(2),
+                method: "m".into(),
+                args: vec![Value::Int(5)],
+            },
+            Event::Commit {
+                tid: ThreadId(1),
+                object: ObjectId(2),
+            },
+            Event::Return {
+                tid: ThreadId(1),
+                object: ObjectId(2),
+                method: "m".into(),
+                ret: Value::success(),
+            },
+        ]
+    }
+
+    #[test]
+    fn v3_frames_round_trip_and_read_complete() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &log).unwrap();
+        let reader = LogReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.version(), 3);
+        assert_eq!(read_log(&mut buf.as_slice()).unwrap(), log);
+        assert_eq!(
+            read_log_recovering(buf.as_slice()),
+            DecodeOutcome::Complete {
+                records: log.clone()
+            }
+        );
+    }
+
+    #[test]
+    fn v2_streams_still_decode() {
+        // A v2 stream is the old header followed by bare records.
+        let log = sample_log();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        for e in &log {
+            write_event(&mut buf, e).unwrap();
+        }
+        let mut reader = LogReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.version(), 2);
+        let mut events = Vec::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            events.push(e);
+        }
+        assert_eq!(events, log);
+    }
+
+    #[test]
+    fn torn_v3_tail_recovers_the_frame_prefix() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &log).unwrap();
+        // Chop mid-way through the final frame.
+        let torn = &buf[..buf.len() - 3];
+        let err = read_log(&mut { torn }).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        match read_log_recovering(torn) {
+            DecodeOutcome::RecoveredPrefix {
+                records,
+                truncated_at,
+                ..
+            } => {
+                assert_eq!(records, log[..2]);
+                // The damage starts exactly where the third frame began.
+                let mut prefix = Vec::new();
+                write_header(&mut prefix).unwrap();
+                write_frame(&mut prefix, &log[0]).unwrap();
+                write_frame(&mut prefix, &log[1]).unwrap();
+                assert_eq!(truncated_at, prefix.len() as u64);
+            }
+            other => panic!("expected RecoveredPrefix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_caught_by_the_checksum() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_log(&mut buf, &log).unwrap();
+        // Flip a byte inside the last frame's payload.
+        let target = buf.len() - 2;
+        buf[target] ^= 0xFF;
+        let err = read_log(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+        match read_log_recovering(buf.as_slice()) {
+            DecodeOutcome::RecoveredPrefix { records, .. } => assert_eq!(records, log[..2]),
+            other => panic!("expected RecoveredPrefix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_of_garbage_yields_an_empty_prefix() {
+        let outcome = read_log_recovering(&b"\xFF\xFE\xFD"[..]);
+        assert!(!outcome.is_complete());
+        assert!(outcome.records().is_empty());
+        // A valid magic with a hostile version is also damage, not a panic.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let outcome = read_log_recovering(buf.as_slice());
+        assert!(outcome.records().is_empty());
     }
 
     #[test]

@@ -111,7 +111,7 @@ mod tests {
                 detail: "commit outside any method execution".to_owned(),
                 log_position: 2,
             }),
-            stats: Default::default(),
+            ..Report::default()
         };
         let text = explain(&report, &events);
         assert!(text.contains("FAIL"));

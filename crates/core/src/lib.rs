@@ -104,11 +104,12 @@ pub mod value;
 pub mod view;
 pub mod violation;
 
+pub use codec::DecodeOutcome;
 pub use event::{Event, MethodId, ObjectId, ThreadId, VarId};
 pub use log::{EventLog, LogMode, ThreadLogger};
-pub use pool::{ObjectChecker, VerifierPool};
-pub use shard::{ShardConfig, ShardRouter};
+pub use pool::{ObjectChecker, SupervisorConfig, VerifierPool};
+pub use shard::{OverloadPolicy, ShardConfig, ShardRouter};
 pub use spec::{MethodKind, Spec, SpecEffect, SpecError};
 pub use value::Value;
 pub use view::View;
-pub use violation::{CheckStats, Report, Violation};
+pub use violation::{CheckStats, Degradation, Report, ShardFailure, Verdict, Violation};

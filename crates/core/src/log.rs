@@ -23,6 +23,8 @@
 //! (or through loggers derived from it) is stamped with the instance's
 //! [`ObjectId`], which is what [`crate::shard::ShardRouter`] fans out on.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
@@ -101,7 +103,7 @@ struct FileSink {
 impl Sink for FileSink {
     fn append(&mut self, event: &Event) {
         if self.error.is_none() {
-            if let Err(e) = codec::write_event(&mut self.writer, event) {
+            if let Err(e) = codec::write_frame(&mut self.writer, event) {
                 self.error = Some(e);
             }
         }
@@ -169,6 +171,9 @@ pub struct LogStats {
     /// Events appended after [`EventLog::close`] and therefore dropped —
     /// straggler threads still logging while the run is being torn down.
     pub events_discarded_after_close: u64,
+    /// Events dropped by the `log.append` failpoint
+    /// ([`vyrd_rt::fault`]) — zero outside fault-injection runs.
+    pub events_dropped_injected: u64,
 }
 
 #[derive(Default)]
@@ -180,6 +185,7 @@ struct AtomicStats {
     writes: AtomicU64,
     bytes: AtomicU64,
     discarded_after_close: AtomicU64,
+    dropped_injected: AtomicU64,
 }
 
 impl AtomicStats {
@@ -206,6 +212,7 @@ impl AtomicStats {
             writes: self.writes.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             events_discarded_after_close: self.discarded_after_close.load(Ordering::Relaxed),
+            events_dropped_injected: self.dropped_injected.load(Ordering::Relaxed),
         }
     }
 }
@@ -438,6 +445,18 @@ impl EventLog {
     }
 
     fn append(&self, event: Event) {
+        // `log.append` failpoint: a Drop disposition loses this event (as a
+        // crashing writer would) but counts the loss so a report can show
+        // the gap in coverage. Evaluated outside the sink lock.
+        if vyrd_rt::fault::enabled() {
+            if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("log.append") {
+                self.inner
+                    .stats
+                    .dropped_injected
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
         let mut sink = self.inner.sink.lock();
         if self.inner.closed.load(Ordering::Relaxed) {
             self.inner
@@ -574,6 +593,8 @@ impl ThreadLogger {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]

@@ -33,39 +33,129 @@
 //! assert!(report.passed());
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
+use vyrd_rt::channel::Receiver;
+use vyrd_rt::sync::Mutex;
+
 use crate::checker::Checker;
+use crate::event::{Event, ObjectId};
 use crate::log::{EventLog, LogMode};
+use crate::pool::panic_message;
 use crate::replay::Replayer;
 use crate::spec::Spec;
-use crate::violation::Report;
+use crate::violation::{Report, ShardFailure};
+
+/// A deferred checking job: what the verification thread runs, and what
+/// `finish` runs inline if that thread could not be spawned.
+type Job = Box<dyn FnOnce() -> Report + Send>;
+
+/// Where the verdict will come from.
+enum Worker {
+    /// The usual case: a dedicated verification thread.
+    Thread(JoinHandle<Report>),
+    /// Thread spawn failed; the job waits here and `finish` runs it
+    /// inline. The events buffer in the (unbounded) channel meanwhile, so
+    /// coverage is complete — just no longer concurrent.
+    Inline(Arc<Mutex<Option<Job>>>),
+}
+
+/// Runs the checker under a panic boundary: a panicking checker yields a
+/// degraded report (with the panic message and the lost-coverage count)
+/// instead of unwinding the verifier.
+fn supervised_check<S, R>(checker: Checker<S, R>, receiver: &Receiver<Event>) -> Report
+where
+    S: Spec,
+    R: Replayer,
+{
+    let consumed_before = receiver.popped();
+    match catch_unwind(AssertUnwindSafe(|| {
+        // `online.check` failpoint: a Panic action here exercises exactly
+        // this boundary.
+        if vyrd_rt::fault::enabled() {
+            vyrd_rt::fault::inject("online.check");
+        }
+        checker.check_receiver(receiver)
+    })) {
+        Ok(report) => report,
+        Err(panic) => {
+            // Drain what is already queued so the loss is counted, not
+            // just suffered.
+            while receiver.try_recv().is_ok() {}
+            let events_lost = receiver.popped() - consumed_before;
+            let mut report = Report::default();
+            report.degradation.events_lost = events_lost;
+            report.degradation.shard_failures.push(ShardFailure {
+                object: ObjectId::DEFAULT,
+                panic_msg: panic_message(panic.as_ref()),
+                events_lost,
+                restarts: 0,
+            });
+            report
+        }
+    }
+}
 
 /// A running online verification thread.
 ///
 /// Create with [`OnlineVerifier::spawn`], hand [`OnlineVerifier::log`] to
 /// the instrumented program, then call [`OnlineVerifier::finish`] once the
 /// program is done to close the log and collect the verdict.
-#[derive(Debug)]
 pub struct OnlineVerifier {
     log: EventLog,
-    handle: JoinHandle<Report>,
+    worker: Worker,
+}
+
+impl fmt::Debug for OnlineVerifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OnlineVerifier")
+            .field("log", &self.log)
+            .field(
+                "worker",
+                match &self.worker {
+                    Worker::Thread(_) => &"thread",
+                    Worker::Inline(_) => &"inline-fallback",
+                },
+            )
+            .finish()
+    }
 }
 
 impl OnlineVerifier {
     /// Spawns the verification thread. Events appended to the returned
     /// verifier's log are checked concurrently with the program.
+    ///
+    /// If the thread cannot be spawned, the verifier degrades instead of
+    /// panicking: events buffer in the log's channel and
+    /// [`OnlineVerifier::finish`] checks them inline (noted in the report
+    /// as a spawn fallback).
     pub fn spawn<S, R>(mode: LogMode, checker: Checker<S, R>) -> OnlineVerifier
     where
         S: Spec,
         R: Replayer,
     {
         let (log, receiver) = EventLog::to_channel(mode);
-        let handle = thread::Builder::new()
+        let job: Job = Box::new(move || supervised_check(checker, &receiver));
+        // Park the job in a shared slot so a failed spawn does not lose
+        // it (`Builder::spawn` consumes its closure even on error).
+        let slot = Arc::new(Mutex::new(Some(job)));
+        let thread_slot = Arc::clone(&slot);
+        let spawned = thread::Builder::new()
             .name("vyrd-verifier".to_owned())
-            .spawn(move || checker.check_receiver(&receiver))
-            .expect("spawn vyrd verification thread");
-        OnlineVerifier { log, handle }
+            .spawn(move || match thread_slot.lock().take() {
+                Some(job) => job(),
+                None => Report::default(),
+            });
+        let worker = match spawned {
+            Ok(handle) => Worker::Thread(handle),
+            Err(_) => Worker::Inline(slot),
+        };
+        OnlineVerifier { log, worker }
     }
 
     /// The log the instrumented program should append to.
@@ -80,12 +170,31 @@ impl OnlineVerifier {
     /// discarded, but not silently: the report's
     /// [`events_discarded_after_close`](crate::violation::CheckStats::events_discarded_after_close)
     /// counts them, so a verdict that covers only a prefix of the
-    /// execution says so.
+    /// execution says so. A checker that panicked yields a *degraded*
+    /// report carrying the panic message — never an unwind of the caller.
     pub fn finish(self) -> Report {
         self.log.close();
-        let mut report = match self.handle.join() {
-            Ok(report) => report,
-            Err(panic) => std::panic::resume_unwind(panic),
+        let mut report = match self.worker {
+            Worker::Thread(handle) => match handle.join() {
+                Ok(report) => report,
+                // supervised_check catches checker panics, so a dead
+                // worker here is out-of-model; report the lost coverage
+                // rather than unwinding.
+                Err(_) => {
+                    let mut report = Report::default();
+                    report.degradation.lost_workers = 1;
+                    report
+                }
+            },
+            Worker::Inline(slot) => {
+                let job = slot.lock().take();
+                let mut report = match job {
+                    Some(job) => job(),
+                    None => Report::default(),
+                };
+                report.degradation.spawn_fallbacks = 1;
+                report
+            }
         };
         // Read the counter after the join: it keeps growing while
         // stragglers run, and any append that raced `close()` has
@@ -99,6 +208,8 @@ impl OnlineVerifier {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::event::MethodId;
     use crate::spec::{MethodKind, SpecEffect, SpecError};
@@ -220,6 +331,26 @@ mod tests {
         assert_eq!(report.stats.commits_applied, 1);
         assert_eq!(report.stats.events_discarded_after_close, 3);
         assert!(report.to_string().contains("3 events discarded after close"));
+    }
+
+    /// A checker panic (here: indexing a missing argument in the spec)
+    /// must surface as a degraded report, never unwind `finish`.
+    #[test]
+    fn panicking_checker_degrades_instead_of_unwinding() {
+        let verifier = OnlineVerifier::spawn(LogMode::Io, Checker::io(SetSpec::default()));
+        let logger = verifier.log().logger();
+        logger.call("Add", &[]); // SetSpec::apply indexes args[0] → panic
+        logger.commit();
+        logger.ret("Add", Value::Unit);
+        let report = verifier.finish();
+        assert!(report.is_degraded(), "{report}");
+        assert_eq!(report.degradation.shard_failures.len(), 1);
+        assert!(report.degradation.events_lost > 0);
+        assert_ne!(
+            report.verdict(),
+            crate::violation::Verdict::Pass,
+            "a panicked check must never read as a clean pass"
+        );
     }
 
     #[test]

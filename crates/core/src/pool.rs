@@ -60,9 +60,17 @@
 //! assert_eq!(report.stats.commits_applied, 2);
 //! ```
 
+// The pool is the component that must keep running while everything else
+// fails; panicking escape hatches are banned outside tests.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::any::Any;
 use std::fmt;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 use vyrd_rt::channel::Receiver;
 use vyrd_rt::sync::Mutex;
@@ -73,7 +81,7 @@ use crate::log::{EventLog, LogMode};
 use crate::replay::Replayer;
 use crate::shard::{ShardConfig, ShardRouter};
 use crate::spec::Spec;
-use crate::violation::Report;
+use crate::violation::{Degradation, Report, ShardFailure};
 
 /// An object-erased checker: what the [`VerifierPool`] factory returns.
 ///
@@ -93,6 +101,115 @@ impl<S: Spec, R: Replayer> ObjectChecker for Checker<S, R> {
 
 /// The factory building one checker per object, shared across workers.
 type Factory = Arc<dyn Fn(ObjectId) -> Box<dyn ObjectChecker> + Send + Sync>;
+
+/// How the pool supervises a checker that panics.
+///
+/// A panicking checker never unwinds the pool: the worker catches it,
+/// rebuilds the checker from the factory, and retries — up to
+/// `max_restarts` times, sleeping `backoff` (doubled per retry) between
+/// attempts. A shard that exhausts its restarts is abandoned with a
+/// structured [`ShardFailure`] in the merged report, and the rest of the
+/// pool keeps checking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Restarts allowed per shard before it is abandoned.
+    pub max_restarts: u32,
+    /// Sleep before the first restart; doubles on each further restart.
+    pub backoff: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            max_restarts: 2,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(panic: &(dyn Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one shard's checker to completion under supervision: panics are
+/// caught, the checker is rebuilt and retried per `sup`, and a shard that
+/// exhausts its restarts yields a degraded (never absent) report.
+///
+/// Events the failed attempts consumed are gone — a restarted checker
+/// sees only the remaining suffix of the shard — so each panic's toll is
+/// counted into [`Degradation::events_lost`].
+fn check_shard(
+    object: ObjectId,
+    receiver: &Receiver<Event>,
+    factory: &Factory,
+    sup: SupervisorConfig,
+) -> Report {
+    let mut restarts: u32 = 0;
+    let mut events_lost: u64 = 0;
+    let mut last_panic = String::new();
+    loop {
+        let consumed_before = receiver.popped();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let checker = factory(object);
+            // `pool.check.<object>` failpoint: a Panic action here is
+            // indistinguishable from the checker itself panicking, and
+            // fires before any event is consumed, so a restart re-checks
+            // the full stream.
+            if vyrd_rt::fault::enabled() {
+                vyrd_rt::fault::inject(&format!("pool.check.{}", object.0));
+            }
+            checker.check(receiver)
+        }));
+        match outcome {
+            Ok(mut report) => {
+                if restarts > 0 {
+                    report.degradation.restarts += u64::from(restarts);
+                    report.degradation.events_lost += events_lost;
+                    report.degradation.shard_failures.push(ShardFailure {
+                        object,
+                        panic_msg: last_panic,
+                        events_lost,
+                        restarts,
+                    });
+                }
+                return report;
+            }
+            Err(panic) => {
+                events_lost += receiver.popped() - consumed_before;
+                last_panic = panic_message(panic.as_ref());
+                if restarts >= sup.max_restarts {
+                    // Give up on this shard: drain whatever is already
+                    // queued (counting it as lost coverage) and report.
+                    // Dropping the receiver afterwards disconnects the
+                    // channel, so blocked producers wake instead of
+                    // stalling on a full shard nobody will ever drain.
+                    let drain_before = receiver.popped();
+                    while receiver.try_recv().is_ok() {}
+                    events_lost += receiver.popped() - drain_before;
+                    let mut report = Report::default();
+                    report.degradation.restarts += u64::from(restarts);
+                    report.degradation.events_lost += events_lost;
+                    report.degradation.shard_failures.push(ShardFailure {
+                        object,
+                        panic_msg: last_panic,
+                        events_lost,
+                        restarts,
+                    });
+                    return report;
+                }
+                thread::sleep(sup.backoff * 2u32.saturating_pow(restarts.min(16)));
+                restarts += 1;
+            }
+        }
+    }
+}
 
 /// Per-object verdicts plus the merged one, from
 /// [`VerifierPool::finish_all`].
@@ -122,6 +239,9 @@ impl fmt::Display for PoolReport {
 /// program, then call [`VerifierPool::finish`] for the merged verdict.
 pub struct VerifierPool {
     log: EventLog,
+    router: Arc<ShardRouter>,
+    factory: Factory,
+    supervisor: SupervisorConfig,
     workers: Vec<JoinHandle<()>>,
     results: Arc<Mutex<Vec<(ObjectId, Report)>>>,
 }
@@ -131,7 +251,7 @@ impl fmt::Debug for VerifierPool {
         f.debug_struct("VerifierPool")
             .field("workers", &self.workers.len())
             .field("log", &self.log)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -147,8 +267,9 @@ impl VerifierPool {
     }
 
     /// Like [`VerifierPool::spawn`] with explicit shard configuration.
-    /// With a bounded [`ShardConfig`], run at least as many workers as
-    /// live objects (see the deadlock rule on [`ShardConfig::capacity`]).
+    /// With a bounded blocking [`ShardConfig`], run at least as many
+    /// workers as live objects (see the deadlock rule on
+    /// [`ShardConfig::capacity`]).
     pub fn spawn_with<F>(
         mode: LogMode,
         workers: usize,
@@ -158,15 +279,39 @@ impl VerifierPool {
     where
         F: Fn(ObjectId) -> Box<dyn ObjectChecker> + Send + Sync + 'static,
     {
+        VerifierPool::spawn_supervised(mode, workers, config, SupervisorConfig::default(), factory)
+    }
+
+    /// Like [`VerifierPool::spawn_with`] with explicit panic supervision.
+    pub fn spawn_supervised<F>(
+        mode: LogMode,
+        workers: usize,
+        config: ShardConfig,
+        supervisor: SupervisorConfig,
+        factory: F,
+    ) -> VerifierPool
+    where
+        F: Fn(ObjectId) -> Box<dyn ObjectChecker> + Send + Sync + 'static,
+    {
         let (log, router) = ShardRouter::new(mode, config);
         let router = Arc::new(router);
         let factory: Factory = Arc::new(factory);
         let results = Arc::new(Mutex::new(Vec::new()));
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let router = Arc::clone(&router);
-                let factory = Arc::clone(&factory);
-                let results = Arc::clone(&results);
+        let mut handles = Vec::new();
+        for i in 0..workers.max(1) {
+            let worker_router = Arc::clone(&router);
+            let worker_factory = Arc::clone(&factory);
+            let worker_results = Arc::clone(&results);
+            // `pool.spawn` failpoint: a Drop disposition simulates the OS
+            // refusing the thread. Whether injected or real, a failed
+            // spawn is not fatal — the shards that worker would have
+            // serviced are checked inline during `finish` instead.
+            let spawned = if matches!(
+                vyrd_rt::fault::inject("pool.spawn"),
+                vyrd_rt::fault::Disposition::Drop
+            ) {
+                Err(io::Error::other("injected worker spawn failure"))
+            } else {
                 thread::Builder::new()
                     .name(format!("vyrd-verifier-{i}"))
                     .spawn(move || {
@@ -174,18 +319,23 @@ impl VerifierPool {
                         // shard is checked by exactly one worker, start to
                         // finish. recv_shard errors once the log is closed
                         // and every shard has been handed out.
-                        while let Ok((object, receiver)) = router.recv_shard() {
-                            let checker = factory(object);
-                            let report = checker.check(&receiver);
-                            results.lock().push((object, report));
+                        while let Ok((object, receiver)) = worker_router.recv_shard() {
+                            let report =
+                                check_shard(object, &receiver, &worker_factory, supervisor);
+                            worker_results.lock().push((object, report));
                         }
                     })
-                    .expect("spawn vyrd verifier pool thread")
-            })
-            .collect();
+            };
+            if let Ok(handle) = spawned {
+                handles.push(handle);
+            }
+        }
         VerifierPool {
             log,
-            workers,
+            router,
+            factory,
+            supervisor,
+            workers: handles,
             results,
         }
     }
@@ -204,7 +354,9 @@ impl VerifierPool {
     /// Closes the log, waits for every per-object verdict, and merges
     /// them: stats summed, first violation wins (lowest object id on a
     /// tie, so the verdict is deterministic), discarded-after-close events
-    /// counted. Same contract as
+    /// counted, and every degradation (sheds, lost events, restarts, shard
+    /// failures) absorbed so reduced coverage is visible in the verdict.
+    /// Same contract as
     /// [`OnlineVerifier::finish`](crate::online::OnlineVerifier::finish).
     pub fn finish(self) -> Report {
         self.finish_all().merged
@@ -214,10 +366,23 @@ impl VerifierPool {
     /// reports.
     pub fn finish_all(self) -> PoolReport {
         self.log.close();
+        let mut lost_workers = 0u64;
         for handle in self.workers {
-            if let Err(panic) = handle.join() {
-                std::panic::resume_unwind(panic);
+            // check_shard already catches checker panics, so a worker
+            // dying here is out-of-model — record it as lost coverage
+            // rather than unwinding the caller.
+            if handle.join().is_err() {
+                lost_workers += 1;
             }
+        }
+        // Shards no worker ever picked up — spawn failures (injected or
+        // real) or lost workers — are checked inline, on this thread, so
+        // coverage survives even a pool that never got off the ground.
+        let mut spawn_fallbacks = 0u64;
+        while let Ok((object, receiver)) = self.router.try_recv_shard() {
+            let report = check_shard(object, &receiver, &self.factory, self.supervisor);
+            self.results.lock().push((object, report));
+            spawn_fallbacks += 1;
         }
         let mut per_object = std::mem::take(&mut *self.results.lock());
         per_object.sort_by_key(|(object, _)| *object);
@@ -233,18 +398,32 @@ impl VerifierPool {
             m.view_comparisons += s.view_comparisons;
             m.view_keys_compared += s.view_keys_compared;
             m.writes_replayed += s.writes_replayed;
+            merged.degradation.absorb(&report.degradation);
             if merged.violation.is_none() {
                 merged.violation = report.violation.clone();
             }
         }
-        merged.stats.events_discarded_after_close =
-            self.log.stats().events_discarded_after_close;
+        // Coverage lost before any checker saw the events: router-level
+        // sheds (overload or injected routing drops) and appends dropped
+        // by the `log.append` failpoint.
+        let routing_losses = Degradation {
+            sheds_by_object: self.router.sheds(),
+            lost_workers,
+            spawn_fallbacks,
+            ..Degradation::default()
+        };
+        merged.degradation.absorb(&routing_losses);
+        let log_stats = self.log.stats();
+        merged.degradation.events_lost += log_stats.events_dropped_injected;
+        merged.stats.events_discarded_after_close = log_stats.events_discarded_after_close;
         PoolReport { merged, per_object }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::event::MethodId;
     use crate::spec::{MethodKind, SpecEffect, SpecError};
@@ -396,6 +575,102 @@ mod tests {
         let report = pool.finish();
         assert!(report.passed(), "{report}");
         assert_eq!(report.stats.events_discarded_after_close, 3);
+    }
+
+    /// A checker that panics on its first `fail_times` constructions
+    /// (attempt counter shared through the factory), then checks cleanly.
+    struct FlakyChecker {
+        fail: bool,
+    }
+
+    impl ObjectChecker for FlakyChecker {
+        fn check(self: Box<Self>, receiver: &Receiver<Event>) -> Report {
+            if self.fail {
+                panic!("induced checker failure");
+            }
+            let mut report = Report::default();
+            while receiver.recv().is_ok() {
+                report.stats.events += 1;
+            }
+            report
+        }
+    }
+
+    fn flaky_pool(fail_times: u32, supervisor: SupervisorConfig) -> VerifierPool {
+        let attempts = std::sync::atomic::AtomicU32::new(0);
+        VerifierPool::spawn_supervised(
+            LogMode::Io,
+            1,
+            ShardConfig::default(),
+            supervisor,
+            move |_object| {
+                let n = attempts.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Box::new(FlakyChecker { fail: n < fail_times }) as _
+            },
+        )
+    }
+
+    fn log_some_events(pool: &VerifierPool, n: u32) {
+        let logger = pool.log().with_object(ObjectId(0)).logger();
+        for i in 0..n {
+            logger.call("Add", &[Value::from(i64::from(i))]);
+            logger.commit();
+            logger.ret("Add", Value::Unit);
+        }
+    }
+
+    #[test]
+    fn panicking_checker_is_restarted_and_the_pool_survives() {
+        let pool = flaky_pool(2, SupervisorConfig::default());
+        log_some_events(&pool, 5);
+        let report = pool.finish();
+        assert!(report.passed(), "{report}");
+        assert!(report.is_degraded());
+        assert_eq!(report.degradation.restarts, 2);
+        assert_eq!(report.degradation.shard_failures.len(), 1);
+        let failure = &report.degradation.shard_failures[0];
+        assert_eq!(failure.object, ObjectId(0));
+        assert!(failure.panic_msg.contains("induced checker failure"));
+        // The panics fired before any event was consumed, so the retry
+        // saw the whole stream.
+        assert_eq!(failure.events_lost, 0);
+        assert_eq!(report.stats.events, 15);
+        assert_eq!(
+            report.verdict(),
+            crate::violation::Verdict::DegradedPass,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn exhausted_restarts_abandon_the_shard_not_the_process() {
+        let supervisor = SupervisorConfig {
+            max_restarts: 1,
+            backoff: Duration::from_micros(100),
+        };
+        let pool = flaky_pool(u32::MAX, supervisor);
+        log_some_events(&pool, 4);
+        let all = pool.finish_all();
+        let report = &all.merged;
+        assert!(report.passed(), "no violation was *observed*");
+        assert!(report.is_degraded(), "{report}");
+        assert_eq!(report.degradation.restarts, 1);
+        let failure = &report.degradation.shard_failures[0];
+        assert_eq!(failure.restarts, 1);
+        // Every queued event was drained (uninspected) when the shard was
+        // abandoned.
+        assert_eq!(failure.events_lost, 12);
+        assert_eq!(report.degradation.events_lost, 12);
+    }
+
+    #[test]
+    fn clean_run_reports_zero_degradation() {
+        let pool = set_pool(2);
+        log_some_events(&pool, 10);
+        let report = pool.finish();
+        assert!(report.passed());
+        assert!(!report.is_degraded(), "{report}");
+        assert_eq!(report.degradation, Degradation::default());
     }
 
     #[test]

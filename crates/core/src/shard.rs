@@ -25,49 +25,110 @@
 //! ```
 //!
 //! Backpressure: with [`ShardConfig::capacity`] set, each per-object
-//! channel is bounded and a program thread appending to a full shard
-//! blocks (inside the log lock) until the shard's checker catches up —
-//! trading program throughput for a hard memory bound. See
-//! [`ShardConfig`] for the deadlock rule this imposes on pool sizing.
+//! channel is bounded. What happens when a shard fills is the
+//! [`OverloadPolicy`]: [`OverloadPolicy::Block`] stalls the program until
+//! the shard's checker catches up (a hard memory bound, at the price of
+//! the deadlock rule on pool sizing), while [`OverloadPolicy::Shed`]
+//! bounds the stall with a timeout and *drops* the event instead,
+//! counting the loss per object so the merged report can surface the
+//! reduced coverage — degraded, never silently passed.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
-use vyrd_rt::channel::{self, Receiver, RecvError, Sender, TryRecvError};
+use vyrd_rt::channel::{self, Receiver, RecvError, SendTimeoutError, Sender, TryRecvError};
+use vyrd_rt::sync::Mutex;
 
 use crate::event::{Event, ObjectId};
 use crate::log::{EventLog, LogMode};
+
+/// What a bounded shard does when a program thread appends to it while it
+/// is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block the appending program thread (inside the log lock) until the
+    /// shard's checker drains a slot. Hard memory bound, but see the
+    /// deadlock rule on [`ShardConfig::capacity`].
+    #[default]
+    Block,
+    /// Wait at most `timeout` for a slot, then drop the event and count
+    /// it as a per-object *shed*. After `budget` sheds the whole shard is
+    /// abandoned — its channel is dropped so the checker finishes on what
+    /// it has — and every later event for that object sheds immediately.
+    /// Shed counts surface through [`ShardRouter::sheds`]; any nonzero
+    /// count makes the merged verdict *degraded*, never a clean pass.
+    Shed {
+        /// How long an append may stall before the event is shed.
+        timeout: Duration,
+        /// Sheds tolerated per object before its shard is abandoned.
+        budget: u64,
+    },
+}
 
 /// Configuration for a [`ShardRouter`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShardConfig {
     /// Bound for each per-object channel. `None` (default) — unbounded:
     /// appends never block, a slow verifier buffers events. `Some(n)` —
-    /// appends to a full shard block the *program* until the shard's
-    /// checker drains it, so a slow verifier cannot OOM the program.
+    /// appends to a full shard apply the [`OverloadPolicy`], so a slow
+    /// verifier cannot OOM the program.
     ///
-    /// **Deadlock rule**: a bounded router requires that every announced
-    /// shard is eventually serviced concurrently — run the
+    /// **Deadlock rule** (for [`OverloadPolicy::Block`]): a bounded
+    /// blocking router requires that every announced shard is eventually
+    /// serviced concurrently — run the
     /// [`VerifierPool`](crate::pool::VerifierPool) with at least as many
     /// workers as live objects. With fewer workers, an unserviced shard
     /// can fill up and block the program (which holds the log lock)
     /// forever, because the workers that would drain it are themselves
     /// waiting for events that can no longer be appended.
+    /// [`OverloadPolicy::Shed`] bounds that stall instead of forbidding
+    /// it.
     pub capacity: Option<usize>,
+    /// Behavior when a bounded shard is full. Ignored for unbounded
+    /// shards.
+    pub policy: OverloadPolicy,
 }
 
 impl ShardConfig {
     /// Unbounded shards (the default).
     pub fn unbounded() -> ShardConfig {
-        ShardConfig { capacity: None }
+        ShardConfig {
+            capacity: None,
+            policy: OverloadPolicy::Block,
+        }
     }
 
     /// Bounded shards: each per-object channel holds at most `n` events
     /// before appends block. See the deadlock rule on
     /// [`ShardConfig::capacity`].
     pub fn bounded(n: usize) -> ShardConfig {
-        ShardConfig { capacity: Some(n) }
+        ShardConfig {
+            capacity: Some(n),
+            policy: OverloadPolicy::Block,
+        }
     }
+
+    /// Bounded shards that shed instead of blocking: an append to a full
+    /// shard waits at most `timeout`, then drops the event; after
+    /// `budget` sheds the object's shard is abandoned. The program can
+    /// never be stalled indefinitely by a slow (or dead) checker.
+    pub fn bounded_shedding(n: usize, timeout: Duration, budget: u64) -> ShardConfig {
+        ShardConfig {
+            capacity: Some(n),
+            policy: OverloadPolicy::Shed { timeout, budget },
+        }
+    }
+}
+
+/// The per-object routing slot: a live channel, or a tombstone for a
+/// shard abandoned after exhausting its shed budget.
+enum Slot {
+    Live(Sender<Event>),
+    Shedding,
 }
 
 /// Fans a program's events out into per-object logs (§6.1).
@@ -86,16 +147,27 @@ impl ShardConfig {
 #[derive(Debug)]
 pub struct ShardRouter {
     shards: Receiver<(ObjectId, Receiver<Event>)>,
+    sheds: Arc<Mutex<BTreeMap<ObjectId, u64>>>,
 }
 
 impl ShardRouter {
     /// Creates a router and the log that feeds it.
     pub fn new(mode: LogMode, config: ShardConfig) -> (EventLog, ShardRouter) {
         let (announce, shards) = channel::unbounded();
-        let mut senders: HashMap<u32, Sender<Event>> = HashMap::new();
+        let sheds: Arc<Mutex<BTreeMap<ObjectId, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let dispatch_sheds = Arc::clone(&sheds);
+        let mut slots: HashMap<u32, Slot> = HashMap::new();
         let log = EventLog::dispatching(mode, move |event: &Event| {
             let object = event.object();
-            let sender = senders.entry(object.0).or_insert_with(|| {
+            // `shard.route` failpoint: a Drop disposition loses the event
+            // in the fan-out, counted as a shed for its object.
+            if vyrd_rt::fault::enabled() {
+                if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("shard.route") {
+                    *dispatch_sheds.lock().entry(object).or_insert(0) += 1;
+                    return;
+                }
+            }
+            let slot = slots.entry(object.0).or_insert_with(|| {
                 let (tx, rx) = match config.capacity {
                     Some(n) => channel::bounded(n),
                     None => channel::unbounded(),
@@ -104,11 +176,41 @@ impl ShardRouter {
                 // abandoned; keep the program running (same contract as
                 // the plain channel sink).
                 let _ = announce.send((object, rx));
-                tx
+                Slot::Live(tx)
             });
-            let _ = sender.send(event.clone());
+            let sender = match slot {
+                Slot::Live(sender) => sender,
+                Slot::Shedding => {
+                    *dispatch_sheds.lock().entry(object).or_insert(0) += 1;
+                    return;
+                }
+            };
+            match config.policy {
+                OverloadPolicy::Shed { timeout, budget } if config.capacity.is_some() => {
+                    match sender.send_timeout(event.clone(), timeout) {
+                        Ok(()) => {}
+                        // Checker hung up: checking was abandoned for this
+                        // object, not overload — keep the program running.
+                        Err(SendTimeoutError::Closed(_)) => {}
+                        Err(SendTimeoutError::Timeout(_)) => {
+                            let mut sheds = dispatch_sheds.lock();
+                            let count = sheds.entry(object).or_insert(0);
+                            *count += 1;
+                            if *count >= budget {
+                                // Abandon the shard: dropping the sender
+                                // disconnects the channel so the checker
+                                // finishes on the events it already has.
+                                *slot = Slot::Shedding;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let _ = sender.send(event.clone());
+                }
+            }
         });
-        (log, ShardRouter { shards })
+        (log, ShardRouter { shards, sheds })
     }
 
     /// Blocks for the next newly-announced shard. Returns [`RecvError`]
@@ -121,6 +223,17 @@ impl ShardRouter {
     /// Non-blocking variant of [`ShardRouter::recv_shard`].
     pub fn try_recv_shard(&self) -> Result<(ObjectId, Receiver<Event>), TryRecvError> {
         self.shards.try_recv()
+    }
+
+    /// Events shed (dropped under overload or by injected faults) per
+    /// object, in object order. Nonzero sheds mean the affected objects'
+    /// verdicts cover only part of the execution — degraded coverage.
+    pub fn sheds(&self) -> Vec<(ObjectId, u64)> {
+        self.sheds
+            .lock()
+            .iter()
+            .map(|(object, count)| (*object, *count))
+            .collect()
     }
 }
 
@@ -139,6 +252,8 @@ pub fn partition_by_object<I: IntoIterator<Item = Event>>(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::event::ThreadId;
     use crate::value::Value;
@@ -219,6 +334,31 @@ mod tests {
         drive(&log, ObjectId::DEFAULT, 200);
         log.close();
         assert_eq!(consumer.join().unwrap(), 600);
+    }
+
+    #[test]
+    fn shedding_policy_never_stalls_the_program() {
+        // Capacity 2 and nobody draining: a blocking router would deadlock
+        // here. The shedding router must complete, dropping the overflow
+        // and counting every dropped event.
+        let (log, router) =
+            ShardRouter::new(LogMode::Io, ShardConfig::bounded_shedding(2, Duration::from_millis(1), 3));
+        drive(&log, ObjectId::DEFAULT, 10); // 30 events
+        log.close();
+        let (object, rx) = router.recv_shard().unwrap();
+        assert_eq!(object, ObjectId::DEFAULT);
+        let delivered = rx.iter().count() as u64;
+        assert_eq!(delivered, 2, "only the capacity's worth gets through");
+        assert_eq!(router.sheds(), vec![(ObjectId::DEFAULT, 30 - delivered)]);
+    }
+
+    #[test]
+    fn clean_runs_report_zero_sheds() {
+        let (log, router) = ShardRouter::new(LogMode::Io, ShardConfig::default());
+        drive(&log, ObjectId(0), 5);
+        log.close();
+        while router.recv_shard().is_ok() {}
+        assert!(router.sheds().is_empty());
     }
 
     #[test]

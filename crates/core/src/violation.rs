@@ -1,8 +1,10 @@
 //! Refinement violations and check reports.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::fmt;
 
-use crate::event::{MethodId, ThreadId};
+use crate::event::{MethodId, ObjectId, ThreadId};
 use crate::value::Value;
 
 /// A detected refinement violation, with enough context to debug it.
@@ -249,6 +251,139 @@ pub struct CheckStats {
     pub events_discarded_after_close: u64,
 }
 
+/// One shard checker's crash record: what a supervised
+/// [`VerifierPool`](crate::pool::VerifierPool) worker writes into the
+/// report when a checker panicked (after any successful restart, or after
+/// the restart budget ran out).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The object whose checker panicked.
+    pub object: ObjectId,
+    /// The panic payload (stringified).
+    pub panic_msg: String,
+    /// Events of this shard that were consumed by crashed checker
+    /// attempts or drained unchecked after the restart budget ran out —
+    /// coverage the verdict does *not* include.
+    pub events_lost: u64,
+    /// How many times the supervisor restarted the shard's checker.
+    pub restarts: u32,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: checker panicked ({:?}), {} events lost, {} restarts",
+            self.object, self.panic_msg, self.events_lost, self.restarts
+        )
+    }
+}
+
+/// Lost-coverage accounting attached to every [`Report`].
+///
+/// Refinement checking degrades rather than aborts: a shed event, a
+/// crashed checker, a worker that could not be spawned all leave the
+/// pipeline running — but the verdict then covers *less* of the execution
+/// than a clean run would, and this struct is where that gap is recorded.
+/// A report with `violation: None` but [`Degradation::is_degraded`] true
+/// is a **degraded pass**: "no violation found in what was checked",
+/// never "the execution refines the spec".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Events shed by an overloaded shard router (timeout expired under a
+    /// `Shed` overload policy, or an injected route drop) — per object.
+    pub sheds_by_object: Vec<(ObjectId, u64)>,
+    /// Events lost to checker crashes or dropped before reaching any
+    /// checker (e.g. an injected append drop).
+    pub events_lost: u64,
+    /// Total checker restarts performed by supervisors.
+    pub restarts: u64,
+    /// One record per shard whose checker panicked.
+    pub shard_failures: Vec<ShardFailure>,
+    /// Shards checked inline on the merging thread because a verifier
+    /// worker could not be spawned. Coverage is complete (the events
+    /// *were* checked, just not concurrently), so this alone does not
+    /// degrade the verdict — but the report says it happened.
+    pub spawn_fallbacks: u64,
+    /// Verifier worker threads that died outside checker supervision.
+    pub lost_workers: u64,
+}
+
+impl Degradation {
+    /// Total shed events across all objects.
+    pub fn sheds(&self) -> u64 {
+        self.sheds_by_object.iter().map(|(_, n)| n).sum()
+    }
+
+    /// `true` when the verdict covers less than the full execution: any
+    /// sheds, lost events, checker crashes, restarts, or dead workers.
+    /// (Spawn fallbacks alone do not count — see
+    /// [`Degradation::spawn_fallbacks`].)
+    pub fn is_degraded(&self) -> bool {
+        self.sheds() > 0
+            || self.events_lost > 0
+            || self.restarts > 0
+            || !self.shard_failures.is_empty()
+            || self.lost_workers > 0
+    }
+
+    /// Folds another degradation record into this one (used when merging
+    /// per-object reports).
+    pub fn absorb(&mut self, other: &Degradation) {
+        for (object, n) in &other.sheds_by_object {
+            match self.sheds_by_object.iter_mut().find(|(o, _)| o == object) {
+                Some((_, total)) => *total += n,
+                None => self.sheds_by_object.push((*object, *n)),
+            }
+        }
+        self.sheds_by_object.sort_by_key(|(object, _)| *object);
+        self.events_lost += other.events_lost;
+        self.restarts += other.restarts;
+        self.shard_failures.extend(other.shard_failures.iter().cloned());
+        self.spawn_fallbacks += other.spawn_fallbacks;
+        self.lost_workers += other.lost_workers;
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sheds, {} events lost, {} restarts, {} failed shards",
+            self.sheds(),
+            self.events_lost,
+            self.restarts,
+            self.shard_failures.len()
+        )?;
+        if self.lost_workers > 0 {
+            write!(f, ", {} lost workers", self.lost_workers)?;
+        }
+        Ok(())
+    }
+}
+
+/// The three-valued outcome of a check, from [`Report::verdict`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No violation and full coverage.
+    Pass,
+    /// No violation found, but parts of the execution went unchecked
+    /// (sheds, crashes, lost events) — *not* evidence of refinement.
+    DegradedPass,
+    /// A refinement violation was found.
+    Fail,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Pass => "PASS",
+            Verdict::DegradedPass => "DEGRADED PASS",
+            Verdict::Fail => "FAIL",
+        })
+    }
+}
+
 /// The result of checking one log.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -256,12 +391,34 @@ pub struct Report {
     pub violation: Option<Violation>,
     /// Counters for the run.
     pub stats: CheckStats,
+    /// Lost-coverage accounting; all-zero on a clean run.
+    pub degradation: Degradation,
 }
 
 impl Report {
-    /// `true` when the log refines the specification (no violation found).
+    /// `true` when no violation was found. Check
+    /// [`Report::is_degraded`] (or use [`Report::verdict`]) before
+    /// treating a pass as evidence of refinement: a degraded pass only
+    /// covers part of the execution.
     pub fn passed(&self) -> bool {
         self.violation.is_none()
+    }
+
+    /// `true` when the verdict covers less than the full execution.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation.is_degraded()
+    }
+
+    /// The three-valued outcome: a violation always wins; otherwise a
+    /// degraded run is distinguished from a clean pass.
+    pub fn verdict(&self) -> Verdict {
+        if self.violation.is_some() {
+            Verdict::Fail
+        } else if self.is_degraded() {
+            Verdict::DegradedPass
+        } else {
+            Verdict::Pass
+        }
     }
 }
 
@@ -270,7 +427,8 @@ impl fmt::Display for Report {
         match &self.violation {
             None => write!(
                 f,
-                "PASS: {} events, {} commits, {} methods, {} observer checks",
+                "{}: {} events, {} commits, {} methods, {} observer checks",
+                self.verdict(),
                 self.stats.events,
                 self.stats.commits_applied,
                 self.stats.methods_completed,
@@ -289,12 +447,24 @@ impl fmt::Display for Report {
                 self.stats.events_discarded_after_close
             )?;
         }
+        if self.is_degraded() {
+            write!(f, " [degraded: {}]", self.degradation)?;
+        }
+        if self.degradation.spawn_fallbacks > 0 {
+            write!(
+                f,
+                " [{} shards checked inline after worker spawn failure]",
+                self.degradation.spawn_fallbacks
+            )?;
+        }
         Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -360,10 +530,68 @@ mod tests {
                 detail: "return without call".to_owned(),
                 log_position: 0,
             }),
-            stats: CheckStats::default(),
+            ..Report::default()
         };
         assert!(!bad.passed());
         assert!(bad.to_string().starts_with("FAIL"));
+    }
+
+    #[test]
+    fn degraded_pass_is_never_displayed_as_a_clean_pass() {
+        let mut r = Report::default();
+        assert_eq!(r.verdict(), Verdict::Pass);
+        r.degradation.sheds_by_object.push((ObjectId(2), 5));
+        assert!(r.passed(), "no violation was found");
+        assert!(r.is_degraded());
+        assert_eq!(r.verdict(), Verdict::DegradedPass);
+        let msg = r.to_string();
+        assert!(msg.starts_with("DEGRADED PASS"), "{msg}");
+        assert!(msg.contains("5 sheds"), "{msg}");
+        // A violation still trumps degradation.
+        r.violation = Some(Violation::MalformedLog {
+            detail: "x".to_owned(),
+            log_position: 0,
+        });
+        assert_eq!(r.verdict(), Verdict::Fail);
+    }
+
+    #[test]
+    fn degradation_absorb_merges_counters_and_failures() {
+        let mut a = Degradation {
+            sheds_by_object: vec![(ObjectId(1), 2)],
+            events_lost: 1,
+            restarts: 1,
+            ..Degradation::default()
+        };
+        let b = Degradation {
+            sheds_by_object: vec![(ObjectId(0), 3), (ObjectId(1), 4)],
+            events_lost: 2,
+            shard_failures: vec![ShardFailure {
+                object: ObjectId(0),
+                panic_msg: "boom".to_owned(),
+                events_lost: 2,
+                restarts: 0,
+            }],
+            lost_workers: 1,
+            ..Degradation::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.sheds(), 9);
+        assert_eq!(a.sheds_by_object, vec![(ObjectId(0), 3), (ObjectId(1), 6)]);
+        assert_eq!(a.events_lost, 3);
+        assert_eq!(a.restarts, 1);
+        assert_eq!(a.shard_failures.len(), 1);
+        assert_eq!(a.lost_workers, 1);
+        assert!(a.is_degraded());
+    }
+
+    #[test]
+    fn spawn_fallback_alone_is_noted_but_not_degraded() {
+        let mut r = Report::default();
+        r.degradation.spawn_fallbacks = 2;
+        assert!(!r.is_degraded(), "coverage is complete, just not concurrent");
+        assert_eq!(r.verdict(), Verdict::Pass);
+        assert!(r.to_string().contains("checked inline after worker spawn failure"));
     }
 
     #[test]

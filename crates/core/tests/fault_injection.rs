@@ -1,0 +1,206 @@
+//! Fault-injection coverage for the pipeline's drop-sites: every unit of
+//! work a failpoint discards must be *accounted for* in the report or the
+//! decode outcome — nothing disappears silently, nothing unwinds the
+//! caller.
+//!
+//! The fault registry is process-global, so this binary owns its own
+//! process and serializes its tests on a mutex.
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use vyrd_core::checker::Checker;
+use vyrd_core::codec;
+use vyrd_core::log::LogMode;
+use vyrd_core::pool::VerifierPool;
+use vyrd_core::spec::{MethodKind, Spec, SpecEffect, SpecError};
+use vyrd_core::view::View;
+use vyrd_core::{Event, MethodId, ObjectId, ThreadId, Value};
+use vyrd_rt::fault::{self, FaultAction, FaultPlan, FaultRule};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[derive(Clone, Default)]
+struct SetSpec(BTreeSet<i64>);
+
+impl Spec for SetSpec {
+    fn kind(&self, m: &MethodId) -> MethodKind {
+        if m.name() == "Contains" {
+            MethodKind::Observer
+        } else {
+            MethodKind::Mutator
+        }
+    }
+
+    fn apply(&mut self, _m: &MethodId, args: &[Value], _r: &Value) -> Result<SpecEffect, SpecError> {
+        let x = args[0].as_int().unwrap();
+        self.0.insert(x);
+        Ok(SpecEffect::touching([x]))
+    }
+
+    fn accepts_observation(&self, _m: &MethodId, args: &[Value], ret: &Value) -> bool {
+        ret.as_bool() == Some(self.0.contains(&args[0].as_int().unwrap()))
+    }
+
+    fn view(&self) -> View {
+        View::new()
+    }
+}
+
+fn set_pool() -> VerifierPool {
+    VerifierPool::spawn(LogMode::Io, 2, |_object| {
+        Box::new(Checker::io(SetSpec::default())) as _
+    })
+}
+
+/// `adds` completed Add calls (3 events each) on each of `objects`.
+fn drive(pool: &VerifierPool, objects: u32, adds: u32) {
+    for obj in 0..objects {
+        let logger = pool.log().with_object(ObjectId(obj)).logger();
+        for i in 0..adds {
+            logger.call("Add", &[Value::from(i64::from(i))]);
+            logger.commit();
+            logger.ret("Add", Value::Unit);
+        }
+    }
+}
+
+#[test]
+fn refused_worker_spawns_fall_back_to_inline_checking() {
+    let _serial = serial();
+    let _scope = fault::install(
+        FaultPlan::seeded(11).rule("pool.spawn", FaultRule::always(FaultAction::Drop)),
+    );
+    let pool = set_pool();
+    assert_eq!(pool.workers(), 0, "every spawn was refused");
+    drive(&pool, 3, 5);
+    let report = pool.finish();
+    // Inline fallback preserved full coverage: clean verdict, all events
+    // checked, and the fallback itself is noted (not a degradation).
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.stats.commits_applied, 15);
+    assert_eq!(report.degradation.spawn_fallbacks, 3);
+    assert!(!report.is_degraded(), "{report}");
+}
+
+#[test]
+fn injected_append_drops_are_counted_as_events_lost() {
+    let _serial = serial();
+    let _scope = fault::install(
+        FaultPlan::seeded(12).rule("log.append", FaultRule::always(FaultAction::Drop).after(4).times(6)),
+    );
+    let pool = set_pool();
+    drive(&pool, 2, 10);
+    let stats = pool.log().stats();
+    let report = pool.finish();
+    assert_eq!(stats.events_dropped_injected, 6);
+    assert_eq!(report.degradation.events_lost, 6);
+    assert!(report.is_degraded(), "{report}");
+    // Dropping call/commit/return events mid-method can make the
+    // surviving stream malformed — a verdict either way, never a clean
+    // pass that hides the gap.
+    assert_ne!(
+        report.verdict(),
+        vyrd_core::Verdict::Pass,
+        "lost appends must not produce a clean PASS: {report}"
+    );
+}
+
+#[test]
+fn injected_routing_drops_are_counted_per_object() {
+    let _serial = serial();
+    let _scope = fault::install(
+        FaultPlan::seeded(13).rule("shard.route", FaultRule::always(FaultAction::Drop).times(5)),
+    );
+    let pool = set_pool();
+    drive(&pool, 2, 8);
+    let report = pool.finish();
+    assert_eq!(report.degradation.sheds(), 5);
+    // The first 5 events all belong to object 0 (drive is sequential), so
+    // the per-object ledger pins the loss where it happened.
+    assert_eq!(report.degradation.sheds_by_object, vec![(ObjectId(0), 5)]);
+    assert!(report.is_degraded(), "{report}");
+}
+
+#[test]
+fn injected_codec_write_drops_shorten_the_stream_not_corrupt_it() {
+    let _serial = serial();
+    let events: Vec<Event> = (0..10i64)
+        .flat_map(|i| {
+            let tid = ThreadId(0);
+            let object = ObjectId::DEFAULT;
+            [
+                Event::Call {
+                    tid,
+                    object,
+                    method: MethodId::from("Add"),
+                    args: vec![Value::from(i)],
+                },
+                Event::Commit { tid, object },
+                Event::Return {
+                    tid,
+                    object,
+                    method: MethodId::from("Add"),
+                    ret: Value::Unit,
+                },
+            ]
+        })
+        .collect();
+    let dropped = {
+        let _scope = fault::install(
+            FaultPlan::seeded(14)
+                .rule("codec.write", FaultRule::always(FaultAction::Drop).after(7).times(3)),
+        );
+        let mut bytes = Vec::new();
+        codec::write_log(&mut bytes, &events).unwrap();
+        bytes
+    };
+    // Three records are missing, but every surviving frame is intact: the
+    // stream still decodes cleanly end to end.
+    let outcome = codec::read_log_recovering(&dropped[..]);
+    assert!(outcome.is_complete(), "{outcome}");
+    assert_eq!(outcome.records().len(), events.len() - 3);
+}
+
+#[test]
+fn injected_codec_read_drop_ends_the_stream_early_without_error() {
+    let _serial = serial();
+    let mut bytes = Vec::new();
+    let events: Vec<Event> = (0..6u32)
+        .map(|i| Event::Commit {
+            tid: ThreadId(i),
+            object: ObjectId::DEFAULT,
+        })
+        .collect();
+    codec::write_log(&mut bytes, &events).unwrap();
+    let _scope = fault::install(
+        FaultPlan::seeded(15).rule("codec.read", FaultRule::always(FaultAction::Drop).after(4)),
+    );
+    let records = codec::read_log(&mut &bytes[..]).unwrap();
+    assert_eq!(records, events[..4], "reader stopped at the injected EOF");
+}
+
+#[test]
+fn probabilistic_plans_replay_identically_per_seed() {
+    let _serial = serial();
+    let run = |seed: u64| -> Vec<(ObjectId, u64)> {
+        let _scope = fault::install(FaultPlan::seeded(seed).rule(
+            "shard.route",
+            FaultRule::always(FaultAction::Drop).with_probability(0.25),
+        ));
+        let pool = set_pool();
+        drive(&pool, 3, 12);
+        pool.finish().degradation.sheds_by_object
+    };
+    let a = run(0xD1CE);
+    let b = run(0xD1CE);
+    let c = run(0xD1CE + 1);
+    assert_eq!(a, b, "same seed, same sheds");
+    assert!(!a.is_empty(), "0.25 over 108 events drops something");
+    assert_ne!(a, c, "different seeds diverge");
+}

@@ -13,6 +13,10 @@
 //!   Multiset-BinaryTree, Vector, StringBuffer, BLinkTree, Cache), each
 //!   with its paper bug toggleable;
 //! * [`detect`] — time-to-detection measurement (Table 1);
+//! * [`fault_matrix`] — sharded scenarios crossed with a grid of injected
+//!   faults (checker panics, overload sheds, routing drops, torn log
+//!   tails), each cell asserted to end in a verdict or an explicitly
+//!   degraded report;
 //! * [`measure`] / [`tables`] — timing and plain-text table rendering.
 //!
 //! ```no_run
@@ -33,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod detect;
+pub mod fault_matrix;
 pub mod measure;
 pub mod scenario;
 pub mod scenarios;

@@ -10,7 +10,8 @@ use std::time::Duration;
 
 use vyrd_rt::channel::Receiver;
 use vyrd_core::log::{EventLog, LogMode, LogStats};
-use vyrd_core::pool::{ObjectChecker, VerifierPool};
+use vyrd_core::pool::{ObjectChecker, PoolReport, SupervisorConfig, VerifierPool};
+use vyrd_core::shard::ShardConfig;
 use vyrd_core::violation::Report;
 use vyrd_core::{Event, ObjectId};
 
@@ -171,15 +172,49 @@ pub fn run_online_sharded(
     objects: u32,
     workers: usize,
 ) -> Option<(Duration, Report)> {
+    let (wall, all) = run_online_sharded_with(
+        scenario,
+        cfg,
+        kind,
+        variant,
+        objects,
+        workers,
+        ShardConfig::default(),
+        SupervisorConfig::default(),
+    )?;
+    Some((wall, all.merged))
+}
+
+/// Like [`run_online_sharded`] with explicit shard and supervision
+/// configuration — the entry point the fault matrix drives. Returns the
+/// full [`PoolReport`] (per-object verdicts included) so callers can
+/// compare each shard against an offline re-check.
+#[allow(clippy::too_many_arguments)]
+pub fn run_online_sharded_with(
+    scenario: &dyn Scenario,
+    cfg: &WorkloadConfig,
+    kind: CheckKind,
+    variant: Variant,
+    objects: u32,
+    workers: usize,
+    shard_config: ShardConfig,
+    supervisor: SupervisorConfig,
+) -> Option<(Duration, PoolReport)> {
     let factory = scenario.shard_factory(kind)?;
-    let pool = VerifierPool::spawn(kind.log_mode(), workers, move |object| factory(object));
+    let pool = VerifierPool::spawn_supervised(
+        kind.log_mode(),
+        workers,
+        shard_config,
+        supervisor,
+        move |object| factory(object),
+    );
     let run_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         timed(|| scenario.run_multi(cfg, pool.log(), variant, objects))
     }));
     match run_result {
         Ok((supported, wall)) => {
-            let report = pool.finish();
-            supported.then_some((wall, report))
+            let all = pool.finish_all();
+            supported.then_some((wall, all))
         }
         Err(panic) => {
             // Unblock the workers before unwinding; dropping the pool

@@ -19,7 +19,9 @@
 //! * **Bounded sends apply backpressure** — [`bounded`] makes `send` block
 //!   while the queue holds `capacity` messages, so a producer that outruns
 //!   its consumer (a program outrunning a slow verifier) is slowed down
-//!   instead of growing the heap without bound.
+//!   instead of growing the heap without bound. [`Sender::send_timeout`]
+//!   bounds that wait, which is what overload policies that *shed* instead
+//!   of stall are built on.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -44,6 +46,50 @@ impl<T> fmt::Display for SendError<T> {
 }
 
 impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Sender::send_timeout`]; carries the unsent value
+/// back either way.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout.
+    Timeout(T),
+    /// The [`Receiver`] is gone; the message can never be delivered.
+    Closed(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// Recovers the unsent message.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(v) | SendTimeoutError::Closed(v) => v,
+        }
+    }
+
+    /// Whether the failure was a timeout (as opposed to disconnection).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SendTimeoutError::Timeout(_))
+    }
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("SendTimeoutError::Timeout(..)"),
+            SendTimeoutError::Closed(_) => f.write_str("SendTimeoutError::Closed(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("timed out waiting for channel capacity"),
+            SendTimeoutError::Closed(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for SendTimeoutError<T> {}
 
 /// Error returned by [`Receiver::recv`]: the channel is empty and every
 /// sender is gone.
@@ -110,6 +156,9 @@ struct State<T> {
     senders: usize,
     /// The [`Receiver`] is still alive.
     receiver_alive: bool,
+    /// Total messages ever popped by the receiver — lets a supervisor
+    /// compute how many events a failed consumer got through before dying.
+    popped: u64,
 }
 
 struct Shared<T> {
@@ -139,6 +188,7 @@ fn channel_with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>)
             capacity,
             senders: 1,
             receiver_alive: true,
+            popped: 0,
         }),
         ready: Condvar::new(),
         not_full: Condvar::new(),
@@ -208,6 +258,52 @@ impl<T> Sender<T> {
         self.shared.ready.notify_one();
         Ok(())
     }
+
+    /// Like [`Sender::send`], but gives up after `timeout` instead of
+    /// blocking indefinitely on a full bounded channel.
+    ///
+    /// This is the primitive behind shed-style overload policies: the
+    /// producer bounds how long it will wait for the consumer, then makes
+    /// an explicit, *counted* decision about the message instead of
+    /// deadlocking (the failure mode the old all-or-nothing blocking send
+    /// documented as a sizing rule).
+    ///
+    /// # Errors
+    ///
+    /// [`SendTimeoutError::Closed`] when the [`Receiver`] is gone (also
+    /// when it drops mid-wait — a blocked sender must wake with the error,
+    /// not sleep forever); [`SendTimeoutError::Timeout`] when the channel
+    /// stayed full for the whole timeout. Both carry the value back.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if !state.receiver_alive {
+                return Err(SendTimeoutError::Closed(value));
+            }
+            match state.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    let Some(remaining) = deadline
+                        .checked_duration_since(Instant::now())
+                        .filter(|d| !d.is_zero())
+                    else {
+                        return Err(SendTimeoutError::Timeout(value));
+                    };
+                    let (guard, _timed_out) = self
+                        .shared
+                        .not_full
+                        .wait_timeout(state, remaining)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    state = guard;
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -253,6 +349,7 @@ impl<T> Receiver<T> {
         let mut state = self.shared.lock();
         loop {
             if let Some(v) = state.queue.pop_front() {
+                state.popped += 1;
                 self.notify_not_full(&state);
                 return Ok(v);
             }
@@ -272,6 +369,7 @@ impl<T> Receiver<T> {
         let mut state = self.shared.lock();
         match state.queue.pop_front() {
             Some(v) => {
+                state.popped += 1;
                 self.notify_not_full(&state);
                 Ok(v)
             }
@@ -286,6 +384,7 @@ impl<T> Receiver<T> {
         let mut state = self.shared.lock();
         loop {
             if let Some(v) = state.queue.pop_front() {
+                state.popped += 1;
                 self.notify_not_full(&state);
                 return Ok(v);
             }
@@ -314,6 +413,16 @@ impl<T> Receiver<T> {
     /// Whether the buffer is currently empty.
     pub fn is_empty(&self) -> bool {
         self.shared.lock().queue.is_empty()
+    }
+
+    /// Total messages ever received through this channel.
+    ///
+    /// Monotone across the receiver's lifetime; a supervisor restarting a
+    /// crashed consumer diffs this around the crash to report how many
+    /// messages the dead consumer had already taken off the queue (work
+    /// that is lost unless the replacement can re-derive it).
+    pub fn popped(&self) -> u64 {
+        self.shared.lock().popped
     }
 
     /// A blocking iterator: yields until the channel is empty *and*
@@ -556,6 +665,95 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         drop(rx);
         assert_eq!(t.join().unwrap(), Err(SendError(2)));
+    }
+
+    /// Regression companion to
+    /// `bounded_send_errors_out_when_receiver_drops_mid_block`: *several*
+    /// senders parked on the same full channel must all wake with
+    /// `Err(Closed)` when the receiver drops — `Receiver::drop` has to
+    /// `notify_all`, not `notify_one`, or all but one sender sleep
+    /// forever.
+    #[test]
+    fn every_blocked_sender_wakes_with_err_when_receiver_drops() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let blocked: Vec<_> = (1..=4)
+            .map(|i| {
+                let tx = tx.clone();
+                thread::spawn(move || tx.send(i))
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(rx.len(), 1, "all four senders should still be blocked");
+        drop(rx);
+        for t in blocked {
+            let result = t.join().unwrap();
+            assert!(matches!(result, Err(SendError(_))), "sender must fail out, not hang");
+        }
+    }
+
+    #[test]
+    fn send_timeout_times_out_on_a_full_channel() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let start = Instant::now();
+        let err = tx.send_timeout(2, Duration::from_millis(20)).unwrap_err();
+        assert!(err.is_timeout());
+        assert_eq!(err.into_inner(), 2);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        // The queued message is untouched.
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn send_timeout_succeeds_once_a_slot_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            rx.recv().unwrap();
+            rx
+        });
+        tx.send_timeout(2, Duration::from_secs(5)).unwrap();
+        let rx = t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn send_timeout_reports_closed_when_receiver_drops_mid_wait() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send_timeout(2, Duration::from_secs(30)));
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        match t.join().unwrap() {
+            Err(SendTimeoutError::Closed(v)) => assert_eq!(v, 2),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_timeout_reports_closed_not_timeout_when_already_disconnected() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(rx);
+        assert!(matches!(
+            tx.send_timeout(9, Duration::from_millis(1)),
+            Err(SendTimeoutError::Closed(9))
+        ));
+    }
+
+    #[test]
+    fn popped_counts_total_receives() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.popped(), 0);
+        rx.recv().unwrap();
+        rx.try_recv().unwrap();
+        rx.recv_timeout(Duration::from_millis(5)).unwrap();
+        assert_eq!(rx.popped(), 3);
+        assert_eq!(rx.len(), 2);
     }
 
     #[test]

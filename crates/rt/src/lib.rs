@@ -13,11 +13,14 @@
 //! 2. later work can shard the logger or instrument the channel itself
 //!    without fighting an opaque dependency.
 //!
-//! Four modules:
+//! Five modules:
 //!
 //! * [`channel`] — an unbounded MPSC channel with the `crossbeam::channel`
-//!   subset the event log uses (`send`/`recv`/`try_recv`/`recv_timeout`,
-//!   iterator draining, disconnect semantics);
+//!   subset the event log uses (`send`/`send_timeout`/`recv`/`try_recv`/
+//!   `recv_timeout`, iterator draining, disconnect semantics);
+//! * [`fault`] — a deterministic, seed-replayable failpoint framework
+//!   (named injection sites, panic/delay/drop actions) so the pipeline's
+//!   degradation paths can be exercised on production code;
 //! * [`sync`] — poison-free [`Mutex`](sync::Mutex)/[`RwLock`](sync::RwLock)
 //!   wrappers whose `lock()`/`read()`/`write()` return guards directly,
 //!   plus an owned [`ArcMutexGuard`](sync::ArcMutexGuard) for
@@ -34,5 +37,6 @@
 
 pub mod bench;
 pub mod channel;
+pub mod fault;
 pub mod rng;
 pub mod sync;

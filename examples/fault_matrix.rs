@@ -1,0 +1,54 @@
+//! The fault matrix: sharded verification under injected faults.
+//!
+//! A runtime checker is only trustworthy if it keeps telling the truth
+//! while parts of it misbehave. This walkthrough crosses every sharded
+//! scenario with the fault grid — checker panics (restarted and
+//! exhausted), overload sheds, routing drops, refused worker spawns, and
+//! torn log tails — and shows that every cell ends in a verdict or an
+//! *explicitly degraded* report: no hangs, no aborts, no clean pass that
+//! silently skipped coverage.
+//!
+//! The grid is deterministic per seed. Replay a cell exactly with
+//! `VYRD_FAULT_SEED=<seed> cargo run --example fault_matrix`.
+//!
+//! (The panic messages interleaved with the table are expected: they are
+//! the injected checker panics being caught and supervised.)
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use vyrd::harness::fault_matrix::run_matrix;
+use vyrd::rt::fault;
+
+/// Generous ceiling for the whole grid; a hung cell is itself a bug the
+/// matrix exists to catch, so trip a watchdog instead of hanging CI.
+const WATCHDOG: Duration = Duration::from_secs(180);
+
+fn main() {
+    let seed = fault::seed_from_env();
+    println!("fault matrix (seed {seed}, set {} to replay)\n", fault::SEED_ENV);
+
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_matrix(seed));
+    });
+    let outcomes = match rx.recv_timeout(WATCHDOG) {
+        Ok(outcomes) => outcomes,
+        Err(_) => {
+            eprintln!("fault matrix hung: no verdict within {WATCHDOG:?}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut failures = 0;
+    for outcome in &outcomes {
+        println!("{outcome}");
+        if !outcome.passed() {
+            failures += 1;
+        }
+    }
+    println!("\n{} cells, {failures} failed", outcomes.len());
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -24,8 +24,20 @@ for ex in examples/*.rs; do
     cargo run --release --offline -q --example "$name" >/dev/null
 done
 
+# Fault-matrix smoke: the full grid of injected faults over every
+# sharded scenario, under a pinned seed so any failure replays exactly
+# (the example's watchdog turns a hang into a non-zero exit). The
+# example loop above already ran it at seed 0; this pins a second seed.
+echo "==> fault-matrix smoke (VYRD_FAULT_SEED=3405691582)"
+VYRD_FAULT_SEED=3405691582 \
+    cargo run --release --offline -q --example fault_matrix >/dev/null
+
 # Clippy is optional tooling: run it when the component is installed,
 # skip quietly when not (the container may ship a bare toolchain).
+# Note: crates/core's pipeline modules (log/shard/pool/online/codec/
+# violation) carry `#![deny(clippy::unwrap_used, clippy::expect_used)]`
+# inner attributes, so this run also gates panicking escape hatches out
+# of the degrade-gracefully paths.
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --offline"
     # result_large_err fires on the checker's pre-existing Report-sized
