@@ -1,0 +1,62 @@
+//! Aggregate append throughput of the batched logging fast path: total
+//! events/second absorbed by one [`EventLog`] as the number of logging
+//! threads grows. The point of the per-thread buffers + sequence
+//! stamping design is that threads no longer serialize on one log lock,
+//! so throughput should *scale* with thread count instead of flatlining.
+//! Runs on [`vyrd_rt::bench`] and writes `BENCH_append_throughput.json`;
+//! ids are `t<threads>/<mode>` and every iteration appends exactly
+//! `threads × EVENTS_PER_THREAD` events, so
+//! `events/sec = threads × EVENTS_PER_THREAD / mean_seconds`.
+
+use std::thread;
+
+use vyrd_core::event::{ThreadId, VarId};
+use vyrd_core::log::{EventLog, LogMode};
+use vyrd_core::value::Value;
+use vyrd_rt::bench::BenchGroup;
+
+const EVENTS_PER_THREAD: u64 = 4_000;
+
+/// One benchmark iteration: `threads` workers each append
+/// `EVENTS_PER_THREAD` events (a call/commit/ret/write mix matching the
+/// instrumentation sites) into a fresh discarding log, then the log is
+/// flushed and closed so every buffered event has passed the merger.
+fn run(threads: u32, mode: LogMode) {
+    let log = EventLog::discarding(mode);
+    let var = VarId::new("slot", 0);
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let logger = log.logger_for(ThreadId(t));
+            let var = var.clone();
+            scope.spawn(move || {
+                let args = [Value::from(i64::from(t))];
+                let ret = Value::from(1i64);
+                for _ in 0..EVENTS_PER_THREAD / 4 {
+                    logger.call("Insert", &args);
+                    logger.commit();
+                    logger.write(var.clone(), Value::from(2i64));
+                    logger.ret_ref("Insert", &ret);
+                }
+            });
+        }
+    });
+    log.close();
+}
+
+fn main() {
+    let mut group = BenchGroup::new("append_throughput");
+    group.sample_size(20).fixed_iters(1);
+    for threads in [1u32, 2, 4, 8] {
+        for (mode, label) in [
+            (LogMode::Off, "off"),
+            (LogMode::Io, "io"),
+            (LogMode::View, "view"),
+        ] {
+            let stats = group.bench(&format!("t{threads}/{label}"), || run(threads, mode));
+            let events_per_sec =
+                f64::from(threads) * EVENTS_PER_THREAD as f64 / (stats.mean_ns / 1e9);
+            eprintln!("    -> {:.2} M events/s aggregate", events_per_sec / 1e6);
+        }
+    }
+    group.finish().expect("write BENCH_append_throughput.json");
+}

@@ -118,14 +118,14 @@ fn naive_blowup() {
                 tid: ThreadId(t),
                 object: ObjectId::DEFAULT,
                 method: "Insert".into(),
-                args: vec![Value::from(i64::from(t))],
+                args: vec![Value::from(i64::from(t))].into(),
             });
         }
         events.push(Event::Call {
             tid: ThreadId(n),
             object: ObjectId::DEFAULT,
             method: "LookUp".into(),
-            args: vec![Value::from(i64::from(n) + 1_000)],
+            args: vec![Value::from(i64::from(n) + 1_000)].into(),
         });
         for t in 0..n {
             if with_commits {

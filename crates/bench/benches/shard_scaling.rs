@@ -44,7 +44,7 @@ fn multi_object_trace(objects: u32) -> Vec<Event> {
                 tid,
                 object,
                 method: "Insert".into(),
-                args: vec![Value::from(key(obj, k))],
+                args: vec![Value::from(key(obj, k))].into(),
             });
             events.push(Event::Commit { tid, object });
             events.push(Event::Return {
@@ -67,7 +67,7 @@ fn multi_object_trace(objects: u32) -> Vec<Event> {
             tid: t_obs,
             object,
             method: "LookUp".into(),
-            args: vec![Value::from(looked_up)],
+            args: vec![Value::from(looked_up)].into(),
         });
         // A mutator commits inside the observer's window, forcing a
         // snapshot of the (per-object) spec state. Re-inserting an
@@ -76,7 +76,7 @@ fn multi_object_trace(objects: u32) -> Vec<Event> {
             tid: t_mut,
             object,
             method: "Insert".into(),
-            args: vec![Value::from(reinserted)],
+            args: vec![Value::from(reinserted)].into(),
         });
         events.push(Event::Commit {
             tid: t_mut,

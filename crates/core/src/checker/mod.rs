@@ -67,7 +67,7 @@ use std::io::Read;
 use vyrd_rt::channel::Receiver;
 
 use crate::codec;
-use crate::event::{Event, MethodId, ThreadId, VarId};
+use crate::event::{ArgList, Event, MethodId, ThreadId, VarId};
 use crate::replay::{BlockBuffer, Replayer};
 use crate::spec::{MethodKind, Spec};
 use crate::value::Value;
@@ -193,7 +193,7 @@ impl std::fmt::Display for WitnessStep {
 /// A method execution in progress (between its call and return actions).
 struct PendingExec {
     method: MethodId,
-    args: Vec<Value>,
+    args: ArgList,
     kind: MethodKind,
     committed: bool,
     /// For observers: number of commits applied when the call was seen —
@@ -482,7 +482,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
         }
     }
 
-    fn on_call(&mut self, tid: ThreadId, method: MethodId, args: Vec<Value>) {
+    fn on_call(&mut self, tid: ThreadId, method: MethodId, args: ArgList) {
         if self.pending.contains_key(&tid) {
             self.fail(Violation::MalformedLog {
                 detail: format!("{tid} called {method} while another method execution is open"),
@@ -538,7 +538,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             }
             MethodKind::Mutator => {
                 if pending.committed {
-                    let method = pending.method.clone();
+                    let method = pending.method;
                     self.fail(Violation::CommitAnnotation {
                         tid,
                         method,
@@ -547,7 +547,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
                     });
                     return;
                 }
-                let method = pending.method.clone();
+                let method = pending.method;
                 let args = pending.args.clone();
                 // The paper derives the committing method's return value
                 // "by looking ahead in the implementation's execution".
@@ -576,7 +576,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
         &mut self,
         tid: ThreadId,
         method: MethodId,
-        args: Vec<Value>,
+        args: ArgList,
         ret: Value,
     ) {
         let commit_index = self.commits_applied;
@@ -592,7 +592,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
                 self.fail(Violation::SpecRejectedCommit {
                     tid,
                     method,
-                    args,
+                    args: args.to_vec(),
                     ret,
                     reason: err.message().to_owned(),
                     commit_index,
@@ -607,8 +607,8 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             self.witness.push(WitnessStep {
                 commit_index,
                 tid,
-                method: method.clone(),
-                args: args.clone(),
+                method,
+                args: args.to_vec(),
                 ret: ret.clone(),
             });
         }
@@ -661,7 +661,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
                 let view_s = view_s.get(&key).cloned();
                 self.fail(Violation::ViewMismatch {
                     tid,
-                    method: method.clone(),
+                    method: *method,
                     key,
                     view_i,
                     view_s,
@@ -684,7 +684,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             if view_i != view_s {
                 self.fail(Violation::ViewMismatch {
                     tid,
-                    method: method.clone(),
+                    method: *method,
                     key,
                     view_i,
                     view_s,
@@ -809,7 +809,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
                     self.fail(Violation::ObserverUnjustified {
                         tid,
                         method,
-                        args: pending.args,
+                        args: pending.args.to_vec(),
                         ret,
                         window_start: start,
                         window_end: end,

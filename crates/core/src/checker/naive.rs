@@ -80,7 +80,7 @@ pub fn extract_executions(events: &[Event]) -> Vec<MethodExecution> {
             Event::Call {
                 tid, method, args, ..
             } => {
-                open.insert(*tid, (method.clone(), args.clone(), pos));
+                open.insert(*tid, (*method, args.to_vec(), pos));
             }
             Event::Return {
                 tid, method, ret, ..

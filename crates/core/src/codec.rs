@@ -333,14 +333,33 @@ pub fn write_event<W: Write>(w: &mut W, event: &Event) -> io::Result<()> {
 ///
 /// Propagates I/O errors from the underlying writer.
 pub fn write_frame<W: Write>(w: &mut W, event: &Event) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(32);
+    write_frame_with(w, &mut payload, event)
+}
+
+/// [`write_frame`] with a caller-provided scratch buffer for the payload.
+///
+/// The batched file sink encodes thousands of frames back to back; reusing
+/// one scratch `Vec` across the batch makes the steady-state encode path
+/// allocation-free. The buffer is cleared on entry, so any `Vec` may be
+/// passed; its capacity is retained for the next frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame_with<W: Write>(
+    w: &mut W,
+    scratch: &mut Vec<u8>,
+    event: &Event,
+) -> io::Result<()> {
     if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("codec.write") {
         return Ok(());
     }
-    let mut payload = Vec::with_capacity(32);
-    write_event(&mut payload, event)?;
-    write_u32(w, payload.len() as u32)?;
-    write_u32(w, crc32(&payload))?;
-    w.write_all(&payload)
+    scratch.clear();
+    write_event(scratch, event)?;
+    write_u32(w, scratch.len() as u32)?;
+    write_u32(w, crc32(scratch))?;
+    w.write_all(scratch)
 }
 
 /// Writes the stream header: magic bytes plus the current format version.
@@ -380,7 +399,7 @@ fn read_event_body<R: Read>(r: &mut R, tag: u8, version: u32) -> io::Result<Even
                 tid,
                 object,
                 method,
-                args,
+                args: args.into(),
             }
         }
         TAG_RETURN => Event::Return {
@@ -636,8 +655,9 @@ impl<R: Read> Iterator for LogReader<R> {
 /// Propagates I/O errors from the underlying writer.
 pub fn write_log<W: Write>(w: &mut W, events: &[Event]) -> io::Result<()> {
     write_header(w)?;
+    let mut scratch = Vec::with_capacity(64);
     for e in events {
-        write_frame(w, e)?;
+        write_frame_with(w, &mut scratch, e)?;
     }
     Ok(())
 }
@@ -812,7 +832,7 @@ mod tests {
                 tid: ThreadId(7),
                 object: ObjectId(3),
                 method: "InsertPair".into(),
-                args: vec![5i64.into(), 6i64.into()],
+                args: vec![5i64.into(), 6i64.into()].into(),
             },
             Event::Return {
                 tid: ThreadId(7),
@@ -851,7 +871,7 @@ mod tests {
                 tid: ThreadId(1),
                 object: ObjectId(2),
                 method: "m".into(),
-                args: vec![],
+                args: vec![].into(),
             },
             Event::Commit {
                 tid: ThreadId(1),
@@ -937,7 +957,7 @@ mod tests {
                 tid: ThreadId(1),
                 object: ObjectId(2),
                 method: "m".into(),
-                args: vec![Value::Int(5)],
+                args: vec![Value::Int(5)].into(),
             },
             Event::Commit {
                 tid: ThreadId(1),

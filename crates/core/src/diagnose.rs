@@ -22,7 +22,7 @@ use crate::violation::Report;
 ///
 /// let o = ObjectId::DEFAULT;
 /// let events = vec![
-///     Event::Call { tid: ThreadId(0), object: o, method: "m".into(), args: vec![] },
+///     Event::Call { tid: ThreadId(0), object: o, method: "m".into(), args: vec![].into() },
 ///     Event::Commit { tid: ThreadId(0), object: o },
 ///     Event::Return { tid: ThreadId(0), object: o, method: "m".into(), ret: Value::Unit },
 /// ];
@@ -129,7 +129,7 @@ mod tests {
             tid: ThreadId(3),
             object: ObjectId::DEFAULT,
             method: "Insert".into(),
-            args: vec![Value::from(5i64)],
+            args: vec![Value::from(5i64)].into(),
         }];
         let text = excerpt(&events, 0, 0);
         assert!(text.contains("T3 call Insert(5)"));

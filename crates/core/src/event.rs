@@ -19,6 +19,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use vyrd_rt::intern::Interner;
+
 use crate::value::Value;
 
 /// Identifier of a thread, as recorded in log entries.
@@ -64,10 +66,22 @@ impl fmt::Display for ObjectId {
     }
 }
 
+/// The process-wide method-name registry backing [`MethodId`].
+///
+/// Distinct method names of a program under test are few and static, so
+/// the bounded leak of the copy-on-write interner is negligible — and the
+/// logging fast path gets a `Copy` `u32` id instead of a reference count
+/// bump (let alone an allocation) per recorded call/return.
+static METHOD_NAMES: Interner = Interner::new();
+
 /// Name of a public method of the data structure under test.
 ///
-/// Cheap to clone (reference counted). Compared and hashed by string
-/// content.
+/// Interned: the string is registered once in a process-wide table and
+/// the id is a dense `u32`, so `MethodId` is `Copy` and event
+/// construction on the logging hot path never allocates. Equality is by
+/// id, which coincides with equality by string content (interning is
+/// injective); ordering compares the names themselves so sort orders
+/// stay textual.
 ///
 /// ```
 /// use vyrd_core::MethodId;
@@ -75,31 +89,186 @@ impl fmt::Display for ObjectId {
 /// assert_eq!(m.name(), "Insert");
 /// assert_eq!(m, MethodId::from("Insert"));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct MethodId(Arc<str>);
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MethodId(u32);
 
 impl MethodId {
     /// The method name.
-    pub fn name(&self) -> &str {
-        &self.0
+    pub fn name(&self) -> &'static str {
+        // The only constructors go through the interner, so the id is
+        // always resolvable; the fallback keeps this total anyway.
+        METHOD_NAMES.get(self.0).unwrap_or("<unknown-method>")
     }
 }
 
 impl From<&str> for MethodId {
     fn from(s: &str) -> MethodId {
-        MethodId(Arc::from(s))
+        MethodId(METHOD_NAMES.intern(s))
     }
 }
 
 impl From<String> for MethodId {
     fn from(s: String) -> MethodId {
-        MethodId(Arc::from(s.as_str()))
+        MethodId(METHOD_NAMES.intern(&s))
+    }
+}
+
+impl PartialOrd for MethodId {
+    fn partial_cmp(&self, other: &MethodId) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MethodId {
+    fn cmp(&self, other: &MethodId) -> std::cmp::Ordering {
+        // By name, not id: reports and tables sort methods textually.
+        self.name().cmp(other.name())
     }
 }
 
 impl fmt::Display for MethodId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.name())
+    }
+}
+
+/// Argument list of a [`Event::Call`], inlining small arities.
+///
+/// Almost every public method of the paper's benchmark systems takes 0–2
+/// arguments; `ArgList` stores those inline, so building a call event
+/// performs no heap allocation. Longer lists fall back to a `Vec`.
+/// Dereferences to `&[Value]`, so read sites (`args.len()`,
+/// `args.iter()`, `&args[0]`) treat it exactly like a slice.
+///
+/// ```
+/// use vyrd_core::event::ArgList;
+/// use vyrd_core::Value;
+/// let args = ArgList::from_slice(&[Value::from(1i64), Value::from(2i64)]);
+/// assert_eq!(args.len(), 2);
+/// assert_eq!(args, ArgList::from(vec![Value::from(1i64), Value::from(2i64)]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ArgList(ArgRepr);
+
+#[derive(Clone, Debug)]
+enum ArgRepr {
+    /// `len` live values at the front of `vals`; the rest are `Unit`
+    /// padding.
+    Inline { len: u8, vals: [Value; 2] },
+    Heap(Vec<Value>),
+}
+
+impl ArgList {
+    /// The empty argument list.
+    pub const fn new() -> ArgList {
+        ArgList(ArgRepr::Inline {
+            len: 0,
+            vals: [Value::Unit, Value::Unit],
+        })
+    }
+
+    /// Builds an argument list by cloning a slice — allocation-free for
+    /// up to two arguments.
+    pub fn from_slice(args: &[Value]) -> ArgList {
+        match args {
+            [] => ArgList::new(),
+            [a] => ArgList(ArgRepr::Inline {
+                len: 1,
+                vals: [a.clone(), Value::Unit],
+            }),
+            [a, b] => ArgList(ArgRepr::Inline {
+                len: 2,
+                vals: [a.clone(), b.clone()],
+            }),
+            _ => ArgList(ArgRepr::Heap(args.to_vec())),
+        }
+    }
+
+    /// The arguments as a slice.
+    pub fn as_slice(&self) -> &[Value] {
+        match &self.0 {
+            ArgRepr::Inline { len, vals } => &vals[..*len as usize],
+            ArgRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for ArgList {
+    fn default() -> ArgList {
+        ArgList::new()
+    }
+}
+
+impl std::ops::Deref for ArgList {
+    type Target = [Value];
+
+    fn deref(&self) -> &[Value] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<Value>> for ArgList {
+    fn from(mut v: Vec<Value>) -> ArgList {
+        match v.len() {
+            0 => ArgList::new(),
+            1 => {
+                let a = v.remove(0);
+                ArgList(ArgRepr::Inline {
+                    len: 1,
+                    vals: [a, Value::Unit],
+                })
+            }
+            2 => {
+                let b = v.remove(1);
+                let a = v.remove(0);
+                ArgList(ArgRepr::Inline {
+                    len: 2,
+                    vals: [a, b],
+                })
+            }
+            _ => ArgList(ArgRepr::Heap(v)),
+        }
+    }
+}
+
+impl From<&[Value]> for ArgList {
+    fn from(args: &[Value]) -> ArgList {
+        ArgList::from_slice(args)
+    }
+}
+
+impl FromIterator<Value> for ArgList {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> ArgList {
+        iter.into_iter().collect::<Vec<Value>>().into()
+    }
+}
+
+impl<'a> IntoIterator for &'a ArgList {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+
+    fn into_iter(self) -> std::slice::Iter<'a, Value> {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for ArgList {
+    fn eq(&self, other: &ArgList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ArgList {}
+
+impl PartialEq<[Value]> for ArgList {
+    fn eq(&self, other: &[Value]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<Value>> for ArgList {
+    fn eq(&self, other: &Vec<Value>) -> bool {
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -166,7 +335,7 @@ pub enum Event {
         /// Invoked method.
         method: MethodId,
         /// Actual arguments.
-        args: Vec<Value>,
+        args: ArgList,
     },
     /// Return action `(t, µ, ρ)`: thread `t` returns from `µ` with value `ρ`.
     Return {
@@ -308,11 +477,28 @@ mod tests {
     #[test]
     fn method_id_semantics() {
         let a = MethodId::from("LookUp");
-        let b = a.clone();
+        let b = a; // Copy
         assert_eq!(a, b);
         assert_eq!(a.name(), "LookUp");
         assert_ne!(a, MethodId::from("Insert"));
         assert_eq!(MethodId::from("x".to_owned()).name(), "x");
+        // Ordering is textual, regardless of interning order.
+        assert!(MethodId::from("Insert") < MethodId::from("LookUp"));
+    }
+
+    #[test]
+    fn arg_list_inlines_small_arities() {
+        let empty = ArgList::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty, ArgList::from(vec![]));
+        let two = ArgList::from_slice(&[1i64.into(), 2i64.into()]);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[0], Value::from(1i64));
+        assert_eq!(two, ArgList::from(vec![Value::from(1i64), Value::from(2i64)]));
+        let three: ArgList = (0..3i64).map(Value::from).collect();
+        assert_eq!(three.len(), 3);
+        assert_eq!(three.as_slice(), ArgList::from_slice(three.as_slice()).as_slice());
+        assert_ne!(two, three);
     }
 
     #[test]
@@ -333,7 +519,7 @@ mod tests {
                 tid: t(1),
                 object: o,
                 method: "m".into(),
-                args: vec![],
+                args: ArgList::new(),
             },
             Event::Return {
                 tid: t(1),
@@ -389,7 +575,7 @@ mod tests {
             tid: t(3),
             object: ObjectId::DEFAULT,
             method: "Insert".into(),
-            args: vec![5i64.into(), 6i64.into()],
+            args: vec![5i64.into(), 6i64.into()].into(),
         };
         assert_eq!(e.to_string(), "T3 call Insert(5, 6)");
         let w = Event::Write {

@@ -19,6 +19,7 @@
 //! and [`ThreadLogger::write`] **while holding the lock** that publishes
 //! the corresponding effect.
 
+use crate::event::MethodId;
 use crate::log::ThreadLogger;
 use crate::value::Value;
 
@@ -43,18 +44,23 @@ use crate::value::Value;
 #[derive(Debug)]
 pub struct MethodSession<'a> {
     logger: &'a ThreadLogger,
-    method: &'static str,
+    method: MethodId,
     committed: bool,
     exited: bool,
 }
 
 impl<'a> MethodSession<'a> {
     /// Logs the call action and opens the session.
+    ///
+    /// The method name is interned to a [`MethodId`] once here; the
+    /// matching return action reuses the id, so a session hashes the
+    /// name exactly once no matter how many events it logs.
     pub fn enter(
         logger: &'a ThreadLogger,
-        method: &'static str,
+        method: impl Into<MethodId>,
         args: &[Value],
     ) -> MethodSession<'a> {
+        let method = method.into();
         logger.call(method, args);
         MethodSession {
             logger,
@@ -98,7 +104,7 @@ impl<'a> MethodSession<'a> {
     /// `return session.exit(Value::success())`-style call sites stay
     /// one-liners.
     pub fn exit(mut self, ret: Value) -> Value {
-        self.logger.ret(self.method, ret.clone());
+        self.logger.ret_ref(self.method, &ret);
         self.exited = true;
         ret
     }

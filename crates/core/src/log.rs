@@ -5,18 +5,31 @@
 //!
 //! * **Minimal interference** — implementation threads only append; all
 //!   checking happens elsewhere (offline over the recorded log, or online on
-//!   a separate verification thread fed through a channel sink).
+//!   a separate verification thread fed through a channel sink). The append
+//!   fast path is one relaxed mode load, one uncontended per-thread buffer
+//!   lock, one global `fetch_add`, and one `Vec` push — no global lock, no
+//!   allocation.
 //! * **Total order** — actions must appear in the log in the order they
-//!   occur. The append path holds a single short critical section; the
-//!   instrumentation sites call it while holding the lock that makes the
-//!   logged action visible, which makes the logged action atomic with its
-//!   log update (§4.2).
+//!   occur. Every event is stamped with a `seq` drawn from a global
+//!   [`AtomicU64`] at append time; the instrumentation sites append while
+//!   holding the lock that makes the logged action visible, so the stamp
+//!   order equals the order the actions become visible — the paper's
+//!   "logged action atomic with its log update" argument (§4.2). Threads
+//!   accumulate stamped events in **per-thread buffers**; a merger
+//!   releases them to the sink strictly in `seq` order, so every sink
+//!   observes the same total order the single-lock design produced.
 //! * **Mode control** — "program alone" runs pay only a relaxed atomic load
 //!   per instrumentation site ([`LogMode::Off`]); I/O-refinement runs log
 //!   call/return/commit only ([`LogMode::Io`]); view-refinement runs
 //!   additionally log shared-variable writes and commit blocks
 //!   ([`LogMode::View`]). This is exactly the cost split measured in
 //!   Table 2.
+//!
+//! Batching is invisible to readers: [`EventLog::snapshot`],
+//! [`EventLog::drain`], [`EventLog::stats`], [`EventLog::flush`], and
+//! [`EventLog::close`] all flush every live thread buffer through the
+//! merger first, so they observe a totally ordered prefix containing every
+//! event appended before the call.
 //!
 //! Multi-object programs scope a log handle to one data-structure instance
 //! with [`EventLog::with_object`]; every event appended through that handle
@@ -28,15 +41,31 @@
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Weak};
 
 use vyrd_rt::channel::{self, Receiver, Sender};
-use vyrd_rt::sync::Mutex;
+use vyrd_rt::sync::{CachePadded, Mutex};
 
 use crate::codec;
-use crate::event::{Event, MethodId, ObjectId, ThreadId, VarId};
+use crate::event::{ArgList, Event, MethodId, ObjectId, ThreadId, VarId};
 use crate::value::Value;
+
+/// Events a thread buffers locally before handing a batch to the merger.
+/// Large enough to amortize the merger lock, small enough that online
+/// verification latency stays in the microseconds.
+const BATCH: usize = 64;
+
+/// Merger-occupancy threshold (events parked in runs) above which a batch
+/// submission also flushes every other thread's buffer: the merger can
+/// only be this far behind if some buffer is sitting on a low sequence
+/// number.
+const PRESSURE: usize = 1024;
+
+/// Spent run vectors the merger keeps around for reuse; bounds the idle
+/// memory a burst leaves behind while keeping the steady state
+/// allocation-free.
+const SPARE_RUNS: usize = 8;
 
 /// How much of the execution is recorded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -68,12 +97,21 @@ impl LogMode {
     }
 }
 
-/// Where appended events go.
+/// An event plus its position in the global total order.
+struct Stamped {
+    seq: u64,
+    event: Event,
+}
+
+/// Where merged runs of events go.
 ///
-/// Sinks must apply events in the order `append` is called; `EventLog`
-/// guarantees call order via its internal lock.
+/// The merger hands each sink a *run*: a batch of owned events already in
+/// global `seq` order. Sinks consume the vector (leaving it empty) so its
+/// allocation is reused for the next run — this is what removed the
+/// per-event clone the old per-event `append(&Event)` interface forced on
+/// every destination.
 trait Sink: Send {
-    fn append(&mut self, event: &Event);
+    fn append_run(&mut self, run: &mut Vec<Event>);
     fn flush(&mut self) {}
 }
 
@@ -86,25 +124,31 @@ struct MemorySink {
 }
 
 impl Sink for MemorySink {
-    fn append(&mut self, event: &Event) {
-        self.events.lock().push(event.clone());
+    fn append_run(&mut self, run: &mut Vec<Event>) {
+        self.events.lock().append(run);
     }
 }
 
 /// Streams events to a file in the [`codec`] wire format.
 ///
 /// The paper keeps the log in a file "whose tail is kept in memory for
-/// faster access"; `BufWriter` plays the role of the in-memory tail.
+/// faster access"; `BufWriter` plays the role of the in-memory tail. The
+/// frame payload is encoded through one reusable scratch buffer, so
+/// steady-state encoding allocates nothing.
 struct FileSink {
     writer: BufWriter<File>,
+    scratch: Vec<u8>,
     error: Option<io::Error>,
 }
 
 impl Sink for FileSink {
-    fn append(&mut self, event: &Event) {
-        if self.error.is_none() {
-            if let Err(e) = codec::write_frame(&mut self.writer, event) {
-                self.error = Some(e);
+    fn append_run(&mut self, run: &mut Vec<Event>) {
+        for event in run.drain(..) {
+            if self.error.is_none() {
+                if let Err(e) = codec::write_frame_with(&mut self.writer, &mut self.scratch, &event)
+                {
+                    self.error = Some(e);
+                }
             }
         }
     }
@@ -119,30 +163,36 @@ impl Sink for FileSink {
 }
 
 /// Forwards events to the online verification thread.
+///
+/// A whole run goes through [`Sender::send_many`] — one channel lock and
+/// one receiver wakeup per batch instead of per event.
 struct ChannelSink {
     sender: Sender<Event>,
 }
 
 impl Sink for ChannelSink {
-    fn append(&mut self, event: &Event) {
+    fn append_run(&mut self, run: &mut Vec<Event>) {
         // The receiver hanging up just means the verifier stopped early
         // (e.g. it already found a violation); keep running the program.
-        let _ = self.sender.send(event.clone());
+        let _ = self.sender.send_many(run);
     }
 }
 
 /// Hands each event to an arbitrary callback — the hook
 /// [`crate::shard::ShardRouter`] uses to fan events out per object.
 ///
-/// The callback runs inside the log's append critical section, so it
-/// observes events in log order; it must stay as cheap as a channel send.
+/// The callback receives events by value, in log order, from inside the
+/// merger's critical section; it must stay as cheap as a channel send, and
+/// it must not call back into the log (the merger lock is held).
 struct DispatchSink {
-    dispatch: Box<dyn FnMut(&Event) + Send>,
+    dispatch: Box<dyn FnMut(Event) + Send>,
 }
 
 impl Sink for DispatchSink {
-    fn append(&mut self, event: &Event) {
-        (self.dispatch)(event);
+    fn append_run(&mut self, run: &mut Vec<Event>) {
+        for event in run.drain(..) {
+            (self.dispatch)(event);
+        }
     }
 }
 
@@ -150,7 +200,9 @@ impl Sink for DispatchSink {
 struct NullSink;
 
 impl Sink for NullSink {
-    fn append(&mut self, _event: &Event) {}
+    fn append_run(&mut self, run: &mut Vec<Event>) {
+        run.clear();
+    }
 }
 
 /// Counters describing the logging activity of a run.
@@ -188,19 +240,55 @@ struct AtomicStats {
     dropped_injected: AtomicU64,
 }
 
+/// Per-batch event counters, accumulated at append time — in the producer
+/// thread, not the merger's critical section — and folded into
+/// [`AtomicStats`] with one `fetch_add` per touched counter when the
+/// batch is accepted. Accepted events always reach the sink (the merger
+/// drains its runs even on close), so accept-time accounting equals
+/// delivery-time accounting at every flush point.
+#[derive(Clone, Copy, Default)]
+struct BatchStats {
+    events: u64,
+    calls: u64,
+    returns: u64,
+    commits: u64,
+    writes: u64,
+    bytes: u64,
+}
+
+impl BatchStats {
+    fn add(&mut self, event: &Event) {
+        self.events += 1;
+        self.bytes += event.size_estimate() as u64;
+        match event {
+            Event::Call { .. } => self.calls += 1,
+            Event::Return { .. } => self.returns += 1,
+            Event::Commit { .. } => self.commits += 1,
+            Event::Write { .. } => self.writes += 1,
+            Event::BlockBegin { .. } | Event::BlockEnd { .. } => {}
+        }
+    }
+}
+
 impl AtomicStats {
-    fn record(&self, event: &Event) {
-        self.events.fetch_add(1, Ordering::Relaxed);
-        self.bytes
-            .fetch_add(event.size_estimate() as u64, Ordering::Relaxed);
-        let counter = match event {
-            Event::Call { .. } => &self.calls,
-            Event::Return { .. } => &self.returns,
-            Event::Commit { .. } => &self.commits,
-            Event::Write { .. } => &self.writes,
-            Event::BlockBegin { .. } | Event::BlockEnd { .. } => return,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn record_batch(&self, b: &BatchStats) {
+        if b.events == 0 {
+            return;
+        }
+        self.events.fetch_add(b.events, Ordering::Relaxed);
+        self.bytes.fetch_add(b.bytes, Ordering::Relaxed);
+        if b.calls > 0 {
+            self.calls.fetch_add(b.calls, Ordering::Relaxed);
+        }
+        if b.returns > 0 {
+            self.returns.fetch_add(b.returns, Ordering::Relaxed);
+        }
+        if b.commits > 0 {
+            self.commits.fetch_add(b.commits, Ordering::Relaxed);
+        }
+        if b.writes > 0 {
+            self.writes.fetch_add(b.writes, Ordering::Relaxed);
+        }
     }
 
     fn snapshot(&self) -> LogStats {
@@ -217,16 +305,274 @@ impl AtomicStats {
     }
 }
 
+/// The single consumer of stamped batches: holds out-of-order arrivals as
+/// seq-sorted *runs* (one per submitted batch, kept in descending order so
+/// the next event to release is a cheap `pop`) and releases the contiguous
+/// prefix of the sequence to the sink by k-way merge. k is the number of
+/// runs in flight — roughly the number of logging threads — so ordering
+/// costs a handful of integer compares per event instead of a
+/// heap-of-events sift, and the serial section stays short enough for
+/// producers to scale.
+struct Merger {
+    /// The next sequence number the sink has not yet seen.
+    next_seq: u64,
+    /// Seq-descending runs of events whose predecessors have not all
+    /// arrived yet. Never contains an empty run; seqs are globally unique
+    /// across runs.
+    runs: Vec<Vec<Stamped>>,
+    /// Spent run storage recycled into future batches.
+    spare: Vec<Vec<Stamped>>,
+    /// Scratch run of released events, handed to the sink and reused.
+    run: Vec<Event>,
+    sink: Box<dyn Sink>,
+    /// Set by [`EventLog::close`]; batches submitted afterwards are
+    /// discarded (and counted).
+    closed: bool,
+}
+
+impl Merger {
+    /// Events parked in runs, waiting for a predecessor (the
+    /// [`PRESSURE`] gauge).
+    fn parked(&self) -> usize {
+        self.runs.iter().map(Vec::len).sum()
+    }
+
+    /// Index of the run holding the smallest outstanding seq.
+    fn min_run(&self) -> Option<usize> {
+        self.runs
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.last().map_or(u64::MAX, |s| s.seq))
+            .map(|(i, _)| i)
+    }
+
+    /// Accepts a single stamped event (the unbuffered
+    /// [`EventLog::append_event`] path).
+    fn insert(&mut self, s: Stamped) {
+        // With no gaps outstanding a lone appender takes this contiguous
+        // path for every event and no run is ever formed.
+        if s.seq == self.next_seq && self.runs.is_empty() {
+            self.next_seq += 1;
+            self.run.push(s.event);
+        } else {
+            let mut run = self.spare.pop().unwrap_or_default();
+            run.push(s);
+            self.runs.push(run);
+        }
+    }
+
+    /// Accepts a seq-ascending batch, leaving `batch` empty (but with
+    /// reusable capacity — possibly a recycled spent run). The common case
+    /// — no gaps outstanding and the batch dense from `next_seq` — releases
+    /// the whole batch without it ever becoming a run.
+    fn insert_batch(&mut self, batch: &mut Vec<Stamped>) {
+        if self.runs.is_empty() {
+            let dense = batch
+                .iter()
+                .enumerate()
+                .take_while(|(i, s)| s.seq == self.next_seq + *i as u64)
+                .count();
+            self.next_seq += dense as u64;
+            if dense == batch.len() {
+                self.run.extend(batch.drain(..).map(|s| s.event));
+                return;
+            }
+            self.run.extend(batch.drain(..dense).map(|s| s.event));
+        }
+        batch.reverse();
+        let mut run = self.spare.pop().unwrap_or_default();
+        std::mem::swap(&mut run, batch);
+        self.runs.push(run);
+    }
+
+    /// Releases the contiguous prefix of the sequence. Once the run
+    /// holding `next_seq` is found, its whole dense subsequence pops in a
+    /// tight loop: seqs are globally unique, so while this run keeps
+    /// matching `next_seq` no other run can hold an intervening event.
+    fn release_ready(&mut self) {
+        while let Some(min) = self.min_run() {
+            let run = &mut self.runs[min];
+            if run.last().map(|s| s.seq) != Some(self.next_seq) {
+                break;
+            }
+            while run.last().map(|s| s.seq) == Some(self.next_seq) {
+                if let Some(s) = run.pop() {
+                    self.next_seq += 1;
+                    self.run.push(s.event);
+                }
+            }
+            if run.is_empty() {
+                let spent = self.runs.swap_remove(min);
+                if self.spare.len() < SPARE_RUNS {
+                    self.spare.push(spent);
+                }
+            }
+        }
+    }
+}
+
+/// One thread's locally buffered events plus their pre-aggregated stats.
+#[derive(Default)]
+struct PendingBatch {
+    batch: Vec<Stamped>,
+    stats: BatchStats,
+}
+
+/// One thread's append buffer. Registered weakly with the owning log so
+/// flush points can drain it; holds the log's `Inner` strongly so the
+/// flush-on-drop below always has a merger to submit to.
+struct ThreadBuffer {
+    inner: Arc<Inner>,
+    pending: Mutex<PendingBatch>,
+}
+
+impl Drop for ThreadBuffer {
+    fn drop(&mut self) {
+        let pending = self.pending.get_mut();
+        let mut batch = std::mem::take(&mut pending.batch);
+        let stats = std::mem::take(&mut pending.stats);
+        self.inner.submit(&mut batch, stats, false);
+    }
+}
+
 struct Inner {
-    mode: AtomicU8,
-    sink: Mutex<Box<dyn Sink>>,
-    /// Set by [`EventLog::close`]; guarded by the sink lock for the
-    /// store/check that decides whether an append counts as discarded.
-    closed: AtomicBool,
+    /// Read by every append; padded so the `next_seq` ping-pong below
+    /// cannot turn those reads into coherence misses.
+    mode: CachePadded<AtomicU8>,
+    /// Global sequence stamp; drawn under a thread buffer's (or the
+    /// merger's) lock so every allocated number is reachable by a flush.
+    /// Every logging thread `fetch_add`s this line on every event — it is
+    /// the one unavoidable point of cross-thread traffic, so it gets a
+    /// cache line to itself.
+    next_seq: CachePadded<AtomicU64>,
+    merger: Mutex<Merger>,
+    /// Batches parked by producers that found the merger busy; drained by
+    /// whoever holds the merger lock (the *combiner*) and by every flush
+    /// point. Producers never block on the merger.
+    backlog: Mutex<Vec<(Vec<Stamped>, BatchStats)>>,
+    /// Live thread buffers; pruned of dead entries at each flush.
+    buffers: Mutex<Vec<Weak<ThreadBuffer>>>,
     /// Present iff the sink is a [`MemorySink`]; shares its buffer.
     memory: Option<Arc<Mutex<Vec<Event>>>>,
-    stats: AtomicStats,
+    stats: CachePadded<AtomicStats>,
     next_tid: AtomicU64,
+}
+
+impl Inner {
+    /// Accepts one batch into the merger (or counts it as discarded after
+    /// close); call with the merger locked.
+    fn accept(&self, m: &mut Merger, batch: &mut Vec<Stamped>, stats: BatchStats) {
+        if m.closed {
+            self.stats
+                .discarded_after_close
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            batch.clear();
+        } else {
+            self.stats.record_batch(&stats);
+            m.insert_batch(batch);
+        }
+    }
+
+    /// Drains batches parked by producers that found the merger busy;
+    /// call with the merger locked. Loops until a check finds the backlog
+    /// empty, so batches parked *while* draining are picked up too.
+    fn drain_backlog(&self, m: &mut Merger) {
+        loop {
+            let parked = std::mem::take(&mut *self.backlog.lock());
+            if parked.is_empty() {
+                return;
+            }
+            for (mut batch, stats) in parked {
+                self.accept(m, &mut batch, stats);
+            }
+            m.release_ready();
+        }
+    }
+
+    /// Moves a stamped batch into the merger and sinks whatever became
+    /// contiguous — without ever blocking on the merger lock: a producer
+    /// that finds it held parks the batch on the backlog for the lock
+    /// holder and returns (flag-combining). The merger's seq-contiguity
+    /// rule keeps the total order intact no matter who merges what, and
+    /// every flush point drains the backlog, so a parked batch is only
+    /// ever *delayed*, exactly like events sitting in a thread buffer.
+    ///
+    /// Lock order: (buffers →) buffer → merger → backlog; the relief
+    /// flush runs after the merger lock is released, so it re-enters from
+    /// the top of that order.
+    fn submit(&self, batch: &mut Vec<Stamped>, stats: BatchStats, allow_relief: bool) {
+        if batch.is_empty() {
+            return;
+        }
+        let overloaded = {
+            let mut m = match self.merger.try_lock() {
+                Some(m) => m,
+                None => {
+                    self.backlog.lock().push((std::mem::take(batch), stats));
+                    // The combiner may have unlocked between the failed
+                    // try_lock and the park; retry once so the batch
+                    // cannot strand with no one left to merge it.
+                    match self.merger.try_lock() {
+                        Some(m) => m,
+                        None => return,
+                    }
+                }
+            };
+            if !batch.is_empty() {
+                self.accept(&mut m, batch, stats);
+            }
+            self.drain_backlog(&mut m);
+            m.release_ready();
+            self.deliver(&mut m);
+            m.parked() >= PRESSURE
+        };
+        // A backlog this deep means some buffer is sitting on a low
+        // sequence number; drain everyone so the merger can catch up.
+        if allow_relief && overloaded {
+            self.flush_buffers();
+        }
+    }
+
+    /// Hands the merger's released run to the sink; call with the merger
+    /// locked.
+    fn deliver(&self, m: &mut Merger) {
+        if m.run.is_empty() {
+            return;
+        }
+        let Merger { run, sink, .. } = m;
+        sink.append_run(run);
+        run.clear();
+    }
+
+    /// Drains every live thread buffer through the merger. After this
+    /// returns, every event appended before the call has reached the sink
+    /// (stamps are issued under the buffer locks this walks, so no stamped
+    /// event can be in flight anywhere else — at worst on the backlog,
+    /// which the blocking drain below clears).
+    fn flush_buffers(&self) {
+        let buffers: Vec<Arc<ThreadBuffer>> = {
+            let mut registry = self.buffers.lock();
+            registry.retain(|w| w.strong_count() > 0);
+            registry.iter().filter_map(Weak::upgrade).collect()
+        };
+        let mut batch = Vec::new();
+        for buffer in buffers {
+            let stats;
+            {
+                let mut pending = buffer.pending.lock();
+                std::mem::swap(&mut pending.batch, &mut batch);
+                stats = std::mem::take(&mut pending.stats);
+            }
+            self.submit(&mut batch, stats, false);
+        }
+        // Flush points must guarantee delivery, so this drain *does*
+        // block on the merger: anything a racing producer parked is
+        // merged before we return.
+        let mut m = self.merger.lock();
+        self.drain_backlog(&mut m);
+        m.release_ready();
+        self.deliver(&mut m);
+    }
 }
 
 /// The shared event log.
@@ -266,6 +612,10 @@ impl std::fmt::Debug for EventLog {
 }
 
 impl EventLog {
+    fn with_sink(mode: LogMode, sink: Box<dyn Sink>) -> EventLog {
+        EventLog::build(mode, sink, None)
+    }
+
     fn build(
         mode: LogMode,
         sink: Box<dyn Sink>,
@@ -273,19 +623,24 @@ impl EventLog {
     ) -> EventLog {
         EventLog {
             inner: Arc::new(Inner {
-                mode: AtomicU8::new(mode.as_u8()),
-                sink: Mutex::new(sink),
-                closed: AtomicBool::new(false),
+                mode: CachePadded::new(AtomicU8::new(mode.as_u8())),
+                next_seq: CachePadded::new(AtomicU64::new(0)),
+                merger: Mutex::new(Merger {
+                    next_seq: 0,
+                    runs: Vec::new(),
+                    spare: Vec::new(),
+                    run: Vec::new(),
+                    sink,
+                    closed: false,
+                }),
+                backlog: Mutex::new(Vec::new()),
+                buffers: Mutex::new(Vec::new()),
                 memory,
-                stats: AtomicStats::default(),
+                stats: CachePadded::new(AtomicStats::default()),
                 next_tid: AtomicU64::new(0),
             }),
             object: ObjectId::DEFAULT,
         }
-    }
-
-    fn with_sink(mode: LogMode, sink: Box<dyn Sink>) -> EventLog {
-        EventLog::build(mode, sink, None)
     }
 
     /// Creates a log that keeps all events in memory.
@@ -322,13 +677,16 @@ impl EventLog {
             mode,
             Box::new(FileSink {
                 writer,
+                scratch: Vec::with_capacity(64),
                 error: None,
             }),
         ))
     }
 
     /// Creates a log that forwards events to a channel for the online
-    /// verification thread, returning the receiving end.
+    /// verification thread, returning the receiving end. Events travel in
+    /// batches ([`Sender::send_many`]), but arrive on the receiver one at
+    /// a time, in total order.
     pub fn to_channel(mode: LogMode) -> (EventLog, Receiver<Event>) {
         let (sender, receiver) = channel::unbounded();
         (
@@ -339,12 +697,13 @@ impl EventLog {
 
     /// Creates a log that hands each event to `dispatch`, in log order.
     ///
-    /// The callback runs inside the append critical section — per-object
+    /// The callback runs inside the merger's critical section — per-object
     /// order falls out for free, but the callback must stay cheap (the
-    /// shard router's per-object channel send is the intended shape).
+    /// shard router's per-object channel send is the intended shape) and
+    /// must not call back into this log.
     pub fn dispatching<F>(mode: LogMode, dispatch: F) -> EventLog
     where
-        F: FnMut(&Event) + Send + 'static,
+        F: FnMut(Event) + Send + 'static,
     {
         EventLog::with_sink(
             mode,
@@ -384,23 +743,35 @@ impl EventLog {
     /// Returns a logger handle with an explicit thread id (useful when the
     /// harness wants stable ids across runs).
     pub fn logger_for(&self, tid: ThreadId) -> ThreadLogger {
+        let buf = Arc::new(ThreadBuffer {
+            inner: Arc::clone(&self.inner),
+            pending: Mutex::new(PendingBatch {
+                batch: Vec::with_capacity(BATCH),
+                stats: BatchStats::default(),
+            }),
+        });
+        self.inner.buffers.lock().push(Arc::downgrade(&buf));
         ThreadLogger {
             log: self.clone(),
+            buf,
             tid,
             object: self.object,
         }
     }
 
-    /// Counters accumulated so far.
+    /// Counters accumulated so far (flushes thread buffers first, so every
+    /// event appended before this call is counted).
     pub fn stats(&self) -> LogStats {
+        self.inner.flush_buffers();
         self.inner.stats.snapshot()
     }
 
-    /// Copies out the events recorded so far.
+    /// Copies out the events recorded so far, in total order.
     ///
     /// Only meaningful for in-memory logs; returns an empty vector for
     /// file, channel, and discarding sinks.
     pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.flush_buffers();
         match &self.inner.memory {
             Some(events) => events.lock().clone(),
             None => Vec::new(),
@@ -411,43 +782,60 @@ impl EventLog {
     ///
     /// Like [`EventLog::snapshot`], only meaningful for in-memory logs.
     pub fn drain(&self) -> Vec<Event> {
+        self.inner.flush_buffers();
         match &self.inner.memory {
             Some(events) => std::mem::take(&mut *events.lock()),
             None => Vec::new(),
         }
     }
 
-    /// Flushes buffered output (file sinks).
+    /// Flushes thread buffers through the merger and then buffered sink
+    /// output (file sinks).
     pub fn flush(&self) {
-        self.inner.sink.lock().flush();
+        self.inner.flush_buffers();
+        self.inner.merger.lock().sink.flush();
     }
 
-    /// Closes the log: subsequent appends are discarded (and counted in
+    /// Closes the log: thread buffers are drained one final time,
+    /// subsequent appends are discarded (and counted in
     /// [`LogStats::events_discarded_after_close`]), and for channel sinks
     /// the sending side is dropped so the verification thread's
     /// [`Checker::check_receiver`](crate::checker::Checker::check_receiver)
     /// run terminates — even if [`ThreadLogger`] handles are still alive.
     pub fn close(&self) {
-        let mut sink = self.inner.sink.lock();
-        sink.flush();
-        self.inner.closed.store(true, Ordering::Relaxed);
-        *sink = Box::new(NullSink);
+        self.inner.flush_buffers();
+        let mut m = self.inner.merger.lock();
+        self.inner.drain_backlog(&mut m);
+        m.closed = true;
+        // Normally the flush above leaves no runs behind (sequence numbers
+        // are dense and all reachable through the buffers); drain anything
+        // left in seq order for robustness, jumping any gaps.
+        while let Some(min) = m.min_run() {
+            if let Some(s) = m.runs[min].last() {
+                m.next_seq = s.seq;
+            }
+            m.release_ready();
+        }
+        self.inner.deliver(&mut m);
+        m.sink.flush();
+        m.sink = Box::new(NullSink);
     }
 
     /// Appends a pre-built event (subject only to the [`LogMode::Off`]
     /// gate). [`ThreadLogger`] is the usual front door; this entry point
     /// exists for replay tooling and tests that carry whole [`Event`]s.
+    ///
+    /// Bypasses the per-thread buffers: the event is stamped and merged
+    /// immediately, so single-producer replay streams reach the sink with
+    /// no batching delay.
     pub fn append_event(&self, event: Event) {
         if self.mode() == LogMode::Off {
             return;
         }
-        self.append(event);
-    }
-
-    fn append(&self, event: Event) {
         // `log.append` failpoint: a Drop disposition loses this event (as a
         // crashing writer would) but counts the loss so a report can show
-        // the gap in coverage. Evaluated outside the sink lock.
+        // the gap in coverage. Evaluated before a seq is drawn, so dropped
+        // events leave no hole in the sequence.
         if vyrd_rt::fault::enabled() {
             if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("log.append") {
                 self.inner
@@ -457,28 +845,46 @@ impl EventLog {
                 return;
             }
         }
-        let mut sink = self.inner.sink.lock();
-        if self.inner.closed.load(Ordering::Relaxed) {
+        let mut m = self.inner.merger.lock();
+        if m.closed {
             self.inner
                 .stats
                 .discarded_after_close
                 .fetch_add(1, Ordering::Relaxed);
             return;
         }
-        self.inner.stats.record(&event);
-        sink.append(&event);
+        let mut stats = BatchStats::default();
+        stats.add(&event);
+        self.inner.stats.record_batch(&stats);
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        m.insert(Stamped { seq, event });
+        self.inner.drain_backlog(&mut m);
+        m.release_ready();
+        self.inner.deliver(&mut m);
     }
 }
 
 /// Per-thread logging handle.
 ///
 /// All methods are cheap no-ops when the log mode does not require the
-/// event kind (e.g. [`ThreadLogger::write`] in [`LogMode::Io`]).
-#[derive(Clone, Debug)]
+/// event kind (e.g. [`ThreadLogger::write`] in [`LogMode::Io`]). Events are
+/// stamped with a global sequence number at the call and buffered locally;
+/// see the module docs for when buffers drain.
+#[derive(Clone)]
 pub struct ThreadLogger {
     log: EventLog,
+    buf: Arc<ThreadBuffer>,
     tid: ThreadId,
     object: ObjectId,
+}
+
+impl std::fmt::Debug for ThreadLogger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadLogger")
+            .field("tid", &self.tid)
+            .field("object", &self.object)
+            .finish()
+    }
 }
 
 impl ThreadLogger {
@@ -500,9 +906,12 @@ impl ThreadLogger {
     /// Returns a handle for the same thread scoped to another object —
     /// how one application thread logs against several data-structure
     /// instances (§6.1 keeps their actions in separate per-object logs).
+    /// The two handles share one append buffer (events carry their object
+    /// individually).
     pub fn for_object(&self, object: ObjectId) -> ThreadLogger {
         ThreadLogger {
             log: self.log.clone(),
+            buf: Arc::clone(&self.buf),
             tid: self.tid,
             object,
         }
@@ -514,29 +923,90 @@ impl ThreadLogger {
         self.log.mode() == LogMode::View
     }
 
+    /// Stamps `event` with the next global sequence number and buffers it.
+    ///
+    /// The stamp is drawn *inside* the buffer lock: this keeps per-buffer
+    /// batches seq-ascending (the merger's contiguous fast path) and
+    /// guarantees every issued number is reachable by a buffer flush —
+    /// there is no window where a stamped event exists outside any buffer.
+    fn push(&self, event: Event) {
+        if vyrd_rt::fault::enabled() {
+            if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("log.append") {
+                self.log
+                    .inner
+                    .stats
+                    .dropped_injected
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut full = None;
+        {
+            let mut pending = self.buf.pending.lock();
+            let seq = self.log.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+            pending.stats.add(&event);
+            pending.batch.push(Stamped { seq, event });
+            if pending.batch.len() >= BATCH {
+                full = Some((
+                    std::mem::take(&mut pending.batch),
+                    std::mem::take(&mut pending.stats),
+                ));
+            }
+        }
+        if let Some((mut batch, stats)) = full {
+            self.log.inner.submit(&mut batch, stats, true);
+            // Recycle the batch's capacity so the steady state allocates
+            // nothing: move any events pushed meanwhile into it and swap.
+            let mut pending = self.buf.pending.lock();
+            if batch.capacity() > pending.batch.capacity() {
+                batch.append(&mut pending.batch);
+                pending.batch = batch;
+            }
+        }
+    }
+
     /// Logs a call action.
-    pub fn call(&self, method: &str, args: &[Value]) {
+    ///
+    /// `method` is anything convertible to a [`MethodId`]; passing an
+    /// already-interned id (as [`MethodSession`](crate::instrument::MethodSession)
+    /// does) skips the per-event hash.
+    pub fn call(&self, method: impl Into<MethodId>, args: &[Value]) {
         if self.log.mode() == LogMode::Off {
             return;
         }
-        self.log.append(Event::Call {
+        self.push(Event::Call {
             tid: self.tid,
             object: self.object,
-            method: MethodId::from(method),
-            args: args.to_vec(),
+            method: method.into(),
+            args: ArgList::from_slice(args),
         });
     }
 
     /// Logs a return action.
-    pub fn ret(&self, method: &str, ret: Value) {
+    pub fn ret(&self, method: impl Into<MethodId>, ret: Value) {
         if self.log.mode() == LogMode::Off {
             return;
         }
-        self.log.append(Event::Return {
+        self.push(Event::Return {
             tid: self.tid,
             object: self.object,
-            method: MethodId::from(method),
+            method: method.into(),
             ret,
+        });
+    }
+
+    /// Logs a return action from a borrowed value, cloning only when the
+    /// event is actually recorded — the shape instrumentation wants, since
+    /// the return value usually lives on to be returned to the caller.
+    pub fn ret_ref(&self, method: impl Into<MethodId>, ret: &Value) {
+        if self.log.mode() == LogMode::Off {
+            return;
+        }
+        self.push(Event::Return {
+            tid: self.tid,
+            object: self.object,
+            method: method.into(),
+            ret: ret.clone(),
         });
     }
 
@@ -549,7 +1019,7 @@ impl ThreadLogger {
         if self.log.mode() == LogMode::Off {
             return;
         }
-        self.log.append(Event::Commit {
+        self.push(Event::Commit {
             tid: self.tid,
             object: self.object,
         });
@@ -560,7 +1030,7 @@ impl ThreadLogger {
         if self.log.mode() != LogMode::View {
             return;
         }
-        self.log.append(Event::Write {
+        self.push(Event::Write {
             tid: self.tid,
             object: self.object,
             var,
@@ -573,7 +1043,7 @@ impl ThreadLogger {
         if self.log.mode() != LogMode::View {
             return;
         }
-        self.log.append(Event::BlockBegin {
+        self.push(Event::BlockBegin {
             tid: self.tid,
             object: self.object,
         });
@@ -584,7 +1054,7 @@ impl ThreadLogger {
         if self.log.mode() != LogMode::View {
             return;
         }
-        self.log.append(Event::BlockEnd {
+        self.push(Event::BlockEnd {
             tid: self.tid,
             object: self.object,
         });
@@ -711,13 +1181,14 @@ mod tests {
     fn dispatch_sink_sees_events_in_order() {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let sink_seen = Arc::clone(&seen);
-        let log = EventLog::dispatching(LogMode::Io, move |e: &Event| {
-            sink_seen.lock().push(e.clone());
+        let log = EventLog::dispatching(LogMode::Io, move |e: Event| {
+            sink_seen.lock().push(e);
         });
         let a = log.logger();
         a.call("m", &[]);
         a.commit();
         a.ret("m", Value::Unit);
+        log.flush();
         let events = seen.lock().clone();
         assert_eq!(events.len(), 3);
         assert!(matches!(events[0], Event::Call { .. }));
@@ -799,5 +1270,71 @@ mod tests {
                 assert!(matches!(chunk[2], Event::Return { .. }));
             }
         }
+    }
+
+    #[test]
+    fn snapshot_flushes_partial_batches() {
+        // Fewer events than BATCH: nothing has reached the sink on its
+        // own, but a snapshot must still see them all, in order.
+        let log = EventLog::in_memory(LogMode::Io);
+        let a = log.logger();
+        for i in 0..5 {
+            a.call("m", &[Value::from(i as i64)]);
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            match e {
+                Event::Call { args, .. } => assert_eq!(args[0], Value::from(i as i64)),
+                other => panic!("unexpected event {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn merger_reorders_interleaved_batches_by_seq() {
+        // Force out-of-order arrival at the merger: logger `a` stamps
+        // early seqs but is flushed *after* `b` submits a full batch.
+        let log = EventLog::in_memory(LogMode::Io);
+        let a = log.logger_for(ThreadId(0));
+        let b = log.logger_for(ThreadId(1));
+        for _ in 0..10 {
+            a.commit(); // buffered, below BATCH
+        }
+        for _ in 0..(2 * BATCH) {
+            b.commit(); // two full batches reach the merger first
+        }
+        let events = log.snapshot();
+        assert_eq!(events.len(), 10 + 2 * BATCH);
+        // Seq order puts a's events strictly first.
+        assert!(events[..10].iter().all(|e| e.tid() == ThreadId(0)));
+        assert!(events[10..].iter().all(|e| e.tid() == ThreadId(1)));
+    }
+
+    #[test]
+    fn mixed_direct_and_buffered_appends_merge_in_stamp_order() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let a = log.logger_for(ThreadId(7));
+        a.commit(); // seq 0, buffered
+        log.append_event(Event::Commit {
+            tid: ThreadId(9),
+            object: ObjectId::DEFAULT,
+        }); // seq 1, direct — held until seq 0 arrives
+        a.commit(); // seq 2, buffered
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].tid(), ThreadId(7));
+        assert_eq!(events[1].tid(), ThreadId(9));
+        assert_eq!(events[2].tid(), ThreadId(7));
+    }
+
+    #[test]
+    fn dropped_logger_flushes_its_buffer() {
+        let log = EventLog::in_memory(LogMode::Io);
+        let a = log.logger();
+        a.commit();
+        drop(a);
+        // No explicit flush: the buffer drained itself on drop.
+        assert_eq!(log.inner.memory.as_ref().unwrap().lock().len(), 1);
     }
 }

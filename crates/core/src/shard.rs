@@ -157,7 +157,7 @@ impl ShardRouter {
         let sheds: Arc<Mutex<BTreeMap<ObjectId, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
         let dispatch_sheds = Arc::clone(&sheds);
         let mut slots: HashMap<u32, Slot> = HashMap::new();
-        let log = EventLog::dispatching(mode, move |event: &Event| {
+        let log = EventLog::dispatching(mode, move |event: Event| {
             let object = event.object();
             // `shard.route` failpoint: a Drop disposition loses the event
             // in the fan-out, counted as a shed for its object.
@@ -187,7 +187,7 @@ impl ShardRouter {
             };
             match config.policy {
                 OverloadPolicy::Shed { timeout, budget } if config.capacity.is_some() => {
-                    match sender.send_timeout(event.clone(), timeout) {
+                    match sender.send_timeout(event, timeout) {
                         Ok(()) => {}
                         // Checker hung up: checking was abandoned for this
                         // object, not overload — keep the program running.
@@ -206,7 +206,7 @@ impl ShardRouter {
                     }
                 }
                 _ => {
-                    let _ = sender.send(event.clone());
+                    let _ = sender.send(event);
                 }
             }
         });

@@ -123,7 +123,7 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
                         tid,
                         object: OBJ,
                         method: "Put".into(),
-                        args: vec![Value::from(k), Value::from(v)],
+                        args: vec![Value::from(k), Value::from(v)].into(),
                     });
                     states[t] = ThreadState::PutOpen { k, v };
                 } else {
@@ -132,7 +132,7 @@ fn generate_log(seed: u64, threads: usize, steps: usize) -> (Vec<Event>, Vec<usi
                         tid,
                         object: OBJ,
                         method: "Get".into(),
-                        args: vec![Value::from(k)],
+                        args: vec![Value::from(k)].into(),
                     });
                     states[t] = ThreadState::GetOpen {
                         k,
@@ -294,7 +294,7 @@ fn corrupted_observer_returns_fail() {
         events[idx] = Event::Return {
             tid: *tid,
             object: OBJ,
-            method: method.clone(),
+            method: *method,
             ret: Value::from(-1i64),
         };
         let report = Checker::io(RegSpec::default()).check_events(events);
@@ -389,7 +389,7 @@ mod naive_oracle {
             events[idx] = Event::Return {
                 tid: *tid,
                 object: OBJ,
-                method: method.clone(),
+                method: *method,
                 ret: Value::from(-1i64), // never a stored value
             };
             let commit_report = Checker::io(RegSpec::default()).check_events(events.clone());
@@ -409,13 +409,13 @@ mod naive_oracle {
                 tid: ThreadId(1),
                 object: OBJ,
                 method: "Put".into(),
-                args: vec![Value::from(1i64), Value::from(10i64)],
+                args: vec![Value::from(1i64), Value::from(10i64)].into(),
             },
             Event::Call {
                 tid: ThreadId(2),
                 object: OBJ,
                 method: "Put".into(),
-                args: vec![Value::from(1i64), Value::from(20i64)],
+                args: vec![Value::from(1i64), Value::from(20i64)].into(),
             },
             Event::Commit { tid: ThreadId(2), object: OBJ },
             Event::Commit { tid: ThreadId(1), object: OBJ },
@@ -435,7 +435,7 @@ mod naive_oracle {
                 tid: ThreadId(3),
                 object: OBJ,
                 method: "Get".into(),
-                args: vec![Value::from(1i64)],
+                args: vec![Value::from(1i64)].into(),
             },
             Event::Return {
                 tid: ThreadId(3),

@@ -23,7 +23,8 @@ fn mixed_log(seed: u64, len: usize) -> Vec<Event> {
                     args: vec![
                         Value::from(rng.gen_range(-1_000..1_000i64)),
                         Value::Str(format!("payload-{i}")),
-                    ],
+                    ]
+                    .into(),
                 },
                 1 => Event::Write {
                     tid,

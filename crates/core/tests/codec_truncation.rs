@@ -25,7 +25,7 @@ fn sample_events() -> Vec<Event> {
             tid,
             object,
             method: MethodId::from("Insert"),
-            args: vec![Value::from(i), Value::from(format!("payload-{i}"))],
+            args: vec![Value::from(i), Value::from(format!("payload-{i}"))].into(),
         });
         events.push(Event::Write {
             tid,

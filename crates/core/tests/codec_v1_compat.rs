@@ -24,7 +24,7 @@ fn expected_events() -> Vec<Event> {
             tid: ThreadId(0),
             object: o,
             method: MethodId::from("Insert"),
-            args: vec![Value::from(5i64)],
+            args: vec![Value::from(5i64)].into(),
         },
         Event::Write {
             tid: ThreadId(0),
@@ -46,7 +46,7 @@ fn expected_events() -> Vec<Event> {
             tid: ThreadId(1),
             object: o,
             method: MethodId::from("InsertPair"),
-            args: vec![Value::from(7i64), Value::from(8i64)],
+            args: vec![Value::from(7i64), Value::from(8i64)].into(),
         },
         Event::BlockBegin {
             tid: ThreadId(1),
@@ -82,7 +82,7 @@ fn expected_events() -> Vec<Event> {
             tid: ThreadId(2),
             object: o,
             method: MethodId::from("LookUp"),
-            args: vec![Value::from(5i64)],
+            args: vec![Value::from(5i64)].into(),
         },
         Event::Return {
             tid: ThreadId(2),

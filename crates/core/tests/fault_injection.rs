@@ -139,7 +139,7 @@ fn injected_codec_write_drops_shorten_the_stream_not_corrupt_it() {
                     tid,
                     object,
                     method: MethodId::from("Add"),
-                    args: vec![Value::from(i)],
+                    args: vec![Value::from(i)].into(),
                 },
                 Event::Commit { tid, object },
                 Event::Return {

@@ -13,7 +13,7 @@
 //! 2. later work can shard the logger or instrument the channel itself
 //!    without fighting an opaque dependency.
 //!
-//! Five modules:
+//! Six modules:
 //!
 //! * [`channel`] — an unbounded MPSC channel with the `crossbeam::channel`
 //!   subset the event log uses (`send`/`send_timeout`/`recv`/`try_recv`/
@@ -21,6 +21,9 @@
 //! * [`fault`] — a deterministic, seed-replayable failpoint framework
 //!   (named injection sites, panic/delay/drop actions) so the pipeline's
 //!   degradation paths can be exercised on production code;
+//! * [`intern`] — an append-only string interner with lock-free lookups,
+//!   so identifiers recorded on the logging fast path cost a `u32`
+//!   instead of an allocation;
 //! * [`sync`] — poison-free [`Mutex`](sync::Mutex)/[`RwLock`](sync::RwLock)
 //!   wrappers whose `lock()`/`read()`/`write()` return guards directly,
 //!   plus an owned [`ArcMutexGuard`](sync::ArcMutexGuard) for
@@ -38,5 +41,6 @@
 pub mod bench;
 pub mod channel;
 pub mod fault;
+pub mod intern;
 pub mod rng;
 pub mod sync;

@@ -294,10 +294,68 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
     }
 }
 
+// ---------------------------------------------------------------------
+// CachePadded
+// ---------------------------------------------------------------------
+
+/// Aligns `T` to its own cache line so hot atomics in the same struct
+/// don't false-share: a counter every thread `fetch_add`s (e.g. a global
+/// sequence stamp) must not invalidate the line that holds a flag every
+/// thread only *reads* (e.g. a mode byte), or each read becomes a
+/// coherence miss.
+///
+/// 128 bytes covers both the common 64-byte line and the 128-byte
+/// prefetch pairs of recent x86/Apple cores (the same constant
+/// `crossbeam_utils::CachePadded` uses on those targets).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` on its own cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded(value)
+    }
+
+    /// Consumes the wrapper, returning the value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::thread;
+
+    #[test]
+    fn cache_padded_is_line_aligned_and_transparent() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        let mut p = CachePadded::new(3u64);
+        *p += 1;
+        assert_eq!(*p, 4);
+        assert_eq!(p.into_inner(), 4);
+    }
 
     #[test]
     fn mutex_basic() {

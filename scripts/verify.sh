@@ -32,6 +32,21 @@ echo "==> fault-matrix smoke (VYRD_FAULT_SEED=3405691582)"
 VYRD_FAULT_SEED=3405691582 \
     cargo run --release --offline -q --example fault_matrix >/dev/null
 
+# Fast-path agreement: the batched per-thread logging pipeline must
+# reproduce the single-lock reference order event-for-event, including
+# under injected append drops — pinned to the same seed as the fault
+# matrix so a disagreement replays exactly.
+echo "==> append agreement (VYRD_FAULT_SEED=3405691582)"
+VYRD_FAULT_SEED=3405691582 \
+    cargo test --release --offline -q --test append_agreement >/dev/null
+
+# Bench smoke: the append-throughput microbenchmark must run to
+# completion and write its JSON (numbers are not gated here — the
+# container's core count makes them environment-dependent).
+echo "==> append_throughput bench smoke"
+cargo bench --offline -p vyrd-bench --bench append_throughput >/dev/null 2>&1
+test -f crates/bench/BENCH_append_throughput.json
+
 # Clippy is optional tooling: run it when the component is installed,
 # skip quietly when not (the container may ship a bare toolchain).
 # Note: crates/core's pipeline modules (log/shard/pool/online/codec/

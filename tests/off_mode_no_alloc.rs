@@ -1,0 +1,113 @@
+//! Regression test for the "near-zero overhead when not logging" claim:
+//! with `LogMode::Off`, an instrumented call site must allocate *nothing*
+//! and deliver *nothing* — the mode check must come before any event
+//! construction, interning, or cloning.
+//!
+//! The test installs a counting global allocator for this binary (which
+//! is why it lives alone in its own integration-test file: no other test
+//! may share the process and allocate while the counter is armed) and
+//! drives every `ThreadLogger` entry point through a pre-built set of
+//! inputs, asserting the heap-allocation count stays flat.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use vyrd::core::log::{EventLog, LogMode, LogStats};
+use vyrd::core::{ThreadId, Value, VarId};
+
+/// Passes everything through to the system allocator, counting
+/// allocations (not deallocations — freeing pre-built inputs is fine)
+/// made *by the test thread* while armed. Filtering by thread matters:
+/// libtest's own harness threads allocate concurrently (name
+/// formatting, result channels), and those must not count against the
+/// logging path.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // `const`-initialized so reading it from inside the allocator is a
+    // plain TLS load — no lazy-init allocation, no recursion.
+    static IN_TEST_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counted() -> bool {
+    ARMED.load(Ordering::Relaxed)
+        && IN_TEST_THREAD.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn off_mode_logging_allocates_nothing_and_delivers_nothing() {
+    static DELIVERED: AtomicU64 = AtomicU64::new(0);
+    IN_TEST_THREAD.with(|c| c.set(true));
+    let log = EventLog::dispatching(LogMode::Off, |_event| {
+        DELIVERED.fetch_add(1, Ordering::Relaxed);
+    });
+
+    // Pre-build every input outside the measured region. `Value::Int` is
+    // allocation-free to clone; `VarId` clones an `Arc`.
+    let logger = log.logger_for(ThreadId(7));
+    let args = [Value::from(1i64), Value::from(2i64)];
+    let ret = Value::from(42i64);
+    let var = VarId::new("slot", 3);
+    let val = Value::from(9i64);
+
+    // Warm up once (lazy statics, thread-local plumbing) before arming.
+    logger.call("Insert", &args);
+    logger.ret_ref("Insert", &ret);
+
+    ARMED.store(true, Ordering::SeqCst);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..10_000 {
+        logger.call("Insert", &args);
+        logger.ret_ref("Insert", &ret);
+        logger.commit();
+        logger.write(var.clone(), val.clone());
+        logger.block_begin();
+        logger.block_end();
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "Off-mode logging hit the allocator {} time(s)",
+        after - before
+    );
+    assert_eq!(DELIVERED.load(Ordering::SeqCst), 0, "Off-mode events were delivered");
+    assert_eq!(log.stats(), LogStats::default());
+    assert!(log.snapshot().is_empty());
+}
