@@ -3,13 +3,14 @@
 //! threads grows. The point of the per-thread buffers + sequence
 //! stamping design is that threads no longer serialize on one log lock,
 //! so throughput should *scale* with thread count instead of flatlining.
-//! Runs on [`vyrd_rt::bench`] and writes `BENCH_append_throughput.json`;
+//! Runs on [`vyrd_rt::bench`] and writes `results/BENCH_append_throughput.json`;
 //! ids are `t<threads>/<mode>` and every iteration appends exactly
 //! `threads × EVENTS_PER_THREAD` events, so
 //! `events/sec = threads × EVENTS_PER_THREAD / mean_seconds`.
 
 use std::thread;
 
+use vyrd_bench::results_dir;
 use vyrd_core::event::{ThreadId, VarId};
 use vyrd_core::log::{EventLog, LogMode};
 use vyrd_core::value::Value;
@@ -45,6 +46,7 @@ fn run(threads: u32, mode: LogMode) {
 
 fn main() {
     let mut group = BenchGroup::new("append_throughput");
+    group.out_dir(results_dir());
     group.sample_size(20).fixed_iters(1);
     for threads in [1u32, 2, 4, 8] {
         for (mode, label) in [

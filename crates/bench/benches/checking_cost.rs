@@ -8,8 +8,9 @@
 //!   ablation baseline).
 //!
 //! Runs on [`vyrd_rt::bench`]; each group writes its own
-//! `BENCH_<group>.json`.
+//! `results/BENCH_<group>.json`.
 
+use vyrd_bench::results_dir;
 use vyrd_core::checker::{Checker, CheckerOptions, ViewCheckPolicy};
 use vyrd_core::log::LogMode;
 use vyrd_core::Event;
@@ -35,6 +36,7 @@ fn recorded_trace(scenario: &dyn Scenario) -> Vec<Event> {
 
 fn checking_cost() {
     let mut group = BenchGroup::new("checking_cost");
+    group.out_dir(results_dir());
     group.sample_size(20);
     for name in ["Multiset-Vector", "Cache", "BLinkTree"] {
         let scenario = scenarios::by_name(name).expect("known scenario");
@@ -55,6 +57,7 @@ fn view_incremental_ablation() {
     let scenario = scenarios::by_name("Multiset-Vector").expect("known scenario");
     let events = recorded_trace(scenario.as_ref());
     let mut group = BenchGroup::new("view_incremental_ablation");
+    group.out_dir(results_dir());
     group.sample_size(20);
     group.bench("incremental", || {
         black_box(
@@ -82,6 +85,7 @@ fn quiescent_policy_ablation() {
     let scenario = scenarios::by_name("Multiset-Vector").expect("known scenario");
     let events = recorded_trace(scenario.as_ref());
     let mut group = BenchGroup::new("view_check_policy");
+    group.out_dir(results_dir());
     group.sample_size(20);
     for (policy, label) in [
         (ViewCheckPolicy::EveryCommit, "every_commit"),
@@ -148,6 +152,7 @@ fn naive_blowup() {
     }
 
     let mut group = BenchGroup::new("naive_blowup");
+    group.out_dir(results_dir());
     group.sample_size(10);
     for n in [4u32, 6, 8] {
         let exhaustive_events = overlapping_trace(n, false);

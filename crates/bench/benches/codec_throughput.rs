@@ -1,7 +1,8 @@
 //! Microbenchmark for the log wire format (§6.1): encode and decode
 //! throughput on a realistic mixed event stream. Runs on
-//! [`vyrd_rt::bench`] and writes `BENCH_codec.json`.
+//! [`vyrd_rt::bench`] and writes `results/BENCH_codec.json`.
 
+use vyrd_bench::results_dir;
 use vyrd_core::codec;
 use vyrd_core::log::LogMode;
 use vyrd_core::Event;
@@ -33,6 +34,7 @@ fn main() {
     let bytes = encoded.len() as u64;
 
     let mut group = BenchGroup::new("codec");
+    group.out_dir(results_dir());
     group.bench_bytes("encode", bytes, || {
         let mut buf = Vec::with_capacity(encoded.len());
         codec::write_log(&mut buf, &events).expect("encode");

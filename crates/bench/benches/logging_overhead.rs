@@ -1,9 +1,11 @@
 //! Microbenchmark behind Table 2: per-run cost of the three logging
 //! modes on representative scenarios (the write-heavy Multiset-Vector
 //! and Cache rows show the I/O-vs-view gap, the Vector row barely does —
-//! §7.6). Runs on [`vyrd_rt::bench`] and writes
-//! `BENCH_logging_overhead.json`.
+//! §7.6), plus an `io+metrics` row per scenario that measures what the
+//! self-observability counters add on top of I/O logging. Runs on
+//! [`vyrd_rt::bench`] and writes `results/BENCH_logging_overhead.json`.
 
+use vyrd_bench::results_dir;
 use vyrd_core::log::LogMode;
 use vyrd_harness::scenario::{run_discarding, Variant};
 use vyrd_harness::scenarios;
@@ -24,6 +26,7 @@ fn cfg() -> WorkloadConfig {
 fn main() {
     eprintln!("workload seed: {:#x}", cfg().seed);
     let mut group = BenchGroup::new("logging_overhead");
+    group.out_dir(results_dir());
     group.sample_size(10);
     for name in ["Multiset-Vector", "Vector", "Cache"] {
         let scenario = scenarios::by_name(name).expect("known scenario");
@@ -46,6 +49,21 @@ fn main() {
                 black_box(run_discarding(scenario.as_ref(), &cfg(), mode, Variant::Correct));
             });
         }
+        // Same I/O run with the metrics registry live: the delta against
+        // the plain `io` row is the counters' whole cost (spans stay off).
+        vyrd_rt::metrics::set_enabled(true);
+        // One warmup run so the registry's one-time handle registration
+        // does not land inside a timed sample.
+        run_discarding(scenario.as_ref(), &cfg(), LogMode::Io, Variant::Correct);
+        group.bench(&format!("{name}/io+metrics"), || {
+            black_box(run_discarding(
+                scenario.as_ref(),
+                &cfg(),
+                LogMode::Io,
+                Variant::Correct,
+            ));
+        });
+        vyrd_rt::metrics::set_enabled(false);
     }
     group.finish().expect("write BENCH_logging_overhead.json");
 }

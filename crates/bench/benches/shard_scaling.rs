@@ -14,9 +14,10 @@
 //! it. That makes the speedup *algorithmic* — it holds on a single core,
 //! before any parallelism across pool workers is added on top.
 //!
-//! Emits `BENCH_shard_scaling.json`; the shape target is 4-shard
+//! Emits `results/BENCH_shard_scaling.json`; the shape target is 4-shard
 //! throughput ≥ 2× the 1-shard configuration.
 
+use vyrd_bench::results_dir;
 use vyrd_core::checker::Checker;
 use vyrd_core::shard::partition_by_object;
 use vyrd_core::{Event, ObjectId, ThreadId, Value};
@@ -100,6 +101,7 @@ fn multi_object_trace(objects: u32) -> Vec<Event> {
 
 fn main() {
     let mut group = BenchGroup::new("shard_scaling");
+    group.out_dir(results_dir());
     // Whole-trace checks are slow (≫ the calibration target); pin one
     // iteration per sample and take more samples instead.
     group.sample_size(10).fixed_iters(1);

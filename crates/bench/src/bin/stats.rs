@@ -1,0 +1,403 @@
+//! `stats` — exercise the verifier pipeline with self-observability on
+//! and export the metrics snapshots.
+//!
+//! Two phases, both driven through the public harness API:
+//!
+//! 1. **Smoke**: one sharded online run with counters *and* trace spans
+//!    enabled. Prints the snapshot as text and writes
+//!    `results/METRICS_smoke.json`. Sanity-checks the headline gauges —
+//!    in particular `pool.lag_events`, the §8 online-vs-offline tradeoff
+//!    made measurable (newest appended seq minus newest checked seq at
+//!    the end of the run).
+//! 2. **Fault reconciliation**: replays a recorded multi-object trace
+//!    through a supervised pool under pinned-seed fault plans (the same
+//!    sites the fault matrix uses) and checks that the metrics registry
+//!    agrees *exactly* — increment for increment — with the
+//!    [`Degradation`] ledger and the log's own counters. Writes
+//!    `results/METRICS_fault_matrix.json` with one record per cell.
+//!
+//! Exit status is non-zero if any reconciliation disagrees, so CI can
+//! gate on it. Seed comes from `VYRD_FAULT_SEED` (or `--seed N`),
+//! defaulting to the fault matrix's CI seed so runs replay.
+//!
+//! [`Degradation`]: vyrd_core::violation::Degradation
+
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use vyrd_bench::results_dir;
+use vyrd_core::log::EventLog;
+use vyrd_core::pool::{PoolReport, SupervisorConfig, VerifierPool};
+use vyrd_core::shard::ShardConfig;
+use vyrd_core::Event;
+use vyrd_harness::scenario::{run_online_sharded, CheckKind, Scenario, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::workload::WorkloadConfig;
+use vyrd_rt::fault::{self, FaultAction, FaultPlan, FaultRule};
+use vyrd_rt::metrics;
+
+/// Default seed: the fault matrix's CI seed, so `stats` cells replay the
+/// same schedule `scripts/verify.sh` pins.
+const DEFAULT_SEED: u64 = 3_405_691_582;
+
+/// Objects (= log shards) per run; matches the fault matrix grid.
+const OBJECTS: u32 = 3;
+const WORKERS: usize = OBJECTS as usize;
+
+fn cfg(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        threads: 4,
+        calls_per_thread: 25,
+        key_pool: 8,
+        shrink_pool: true,
+        internal_task: true,
+        seed,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut seed = match fault::seed_from_env() {
+        0 => DEFAULT_SEED,
+        s => s,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--seed" => match iter.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(s)) => seed = s,
+                Some(Err(_)) | None => {
+                    eprintln!("--seed takes an integer, e.g. --seed 42");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?} (supported: --seed N)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    eprintln!("stats: seed {seed} (replay with VYRD_FAULT_SEED={seed})");
+
+    let scenario = match scenarios::by_name("Multiset-Vector") {
+        Some(s) => s,
+        None => {
+            eprintln!("Multiset-Vector scenario missing");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ok = smoke(scenario.as_ref(), seed);
+    ok &= reconcile(scenario.as_ref(), seed);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Phase 1: a clean sharded online run with counters and spans live.
+///
+/// This phase runs the scenario *live* against the pool's log (not a
+/// recorded replay) so the instrumented method sessions produce trace
+/// spans, not just counters.
+fn smoke(scenario: &dyn Scenario, seed: u64) -> bool {
+    metrics::reset();
+    metrics::set_enabled(true);
+    metrics::set_spans_enabled(true);
+    let report = run_online_sharded(
+        scenario,
+        &cfg(seed),
+        CheckKind::View,
+        Variant::Correct,
+        OBJECTS,
+        WORKERS,
+    );
+    metrics::set_spans_enabled(false);
+    metrics::set_enabled(false);
+    let report = match report {
+        Some((_, r)) => r,
+        None => {
+            eprintln!("smoke: scenario has no shard factory");
+            return false;
+        }
+    };
+    let snap = metrics::snapshot();
+    println!("== smoke run: sharded online {} ==", scenario.name());
+    print!("{snap}");
+    println!("verdict: {}", report.verdict());
+
+    let mut ok = true;
+    let mut check = |cond: bool, what: &str| {
+        if !cond {
+            eprintln!("smoke: FAILED: {what}");
+            ok = false;
+        }
+    };
+    let appended = snap.counter("log.events_appended").unwrap_or(0);
+    let routed = snap.counter("shard.events_routed").unwrap_or(0);
+    let shed = snap.counter("shard.events_shed").unwrap_or(0);
+    let checked = snap.counter("pool.events_checked").unwrap_or(0);
+    let lag = snap.gauge("pool.lag_events");
+    check(appended > 0, "log.events_appended > 0");
+    check(
+        appended == routed + shed,
+        "every appended event routed (or counted as shed)",
+    );
+    check(checked == routed, "every routed event checked on a clean run");
+    check(lag.is_some(), "pool.lag_events gauge present");
+    check(
+        lag.unwrap_or(u64::MAX) <= appended,
+        "lag bounded by events appended",
+    );
+    check(snap.spans_recorded > 0, "trace spans recorded");
+    check(
+        snap.histogram("span.call_to_return_ns").is_some(),
+        "span latency histogram present",
+    );
+
+    let path = results_dir().join("METRICS_smoke.json");
+    match fs::write(&path, snap.to_json()) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("smoke: cannot write {}: {e}", path.display());
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// One reconciliation cell: what the ledger said vs what the registry
+/// counted, for every counter the two share.
+struct Cell {
+    case: &'static str,
+    /// `(name, ledger, metric)` triples; agreement is exact equality.
+    checks: Vec<(&'static str, u64, u64)>,
+}
+
+impl Cell {
+    fn agrees(&self) -> bool {
+        self.checks.iter().all(|&(_, a, b)| a == b)
+    }
+}
+
+/// Phase 2: pinned-seed faulted replays, reconciled counter-for-counter.
+fn reconcile(scenario: &dyn Scenario, seed: u64) -> bool {
+    let events = record_multi(scenario, seed);
+    let mut cells = Vec::new();
+
+    // Clean cell: every degradation counter and its metric are both zero,
+    // and the append/check counters match the log's own stats.
+    cells.push(run_cell("clean", scenario, &events, || None, None));
+
+    // Routing drop: the `shard.route` failpoint sheds a budgeted number
+    // of events; ledger sheds and `shard.events_shed` must agree exactly.
+    cells.push(run_cell(
+        "routing-drop",
+        scenario,
+        &events,
+        || {
+            Some(fault::install(FaultPlan::seeded(seed).rule(
+                "shard.route",
+                FaultRule::always(FaultAction::Drop).after(3).times(7),
+            )))
+        },
+        None,
+    ));
+
+    // Worker panic: one checker panic, one supervised restart.
+    cells.push(run_cell(
+        "worker-panic-restart",
+        scenario,
+        &events,
+        || {
+            Some(fault::install(
+                FaultPlan::seeded(seed)
+                    .rule("pool.check.1", FaultRule::once(FaultAction::Panic)),
+            ))
+        },
+        None,
+    ));
+
+    // Spawn fallback: every worker spawn refused, shards checked inline.
+    cells.push(run_cell(
+        "spawn-fallback",
+        scenario,
+        &events,
+        || {
+            Some(fault::install(
+                FaultPlan::seeded(seed).rule("pool.spawn", FaultRule::always(FaultAction::Drop)),
+            ))
+        },
+        None,
+    ));
+
+    // Overload shed: stalled checker + tiny bounded channels; sheds are
+    // schedule-dependent in *count*, but ledger and metric still move in
+    // lockstep because they are incremented at the same sites.
+    cells.push(run_cell(
+        "overload-shed",
+        scenario,
+        &events,
+        || {
+            Some(fault::install(FaultPlan::seeded(seed).rule(
+                "pool.check.0",
+                FaultRule::once(FaultAction::Delay(Duration::from_millis(150))),
+            )))
+        },
+        Some(ShardConfig::bounded_shedding(2, Duration::from_millis(1), 4)),
+    ));
+
+    let all_agree = cells.iter().all(Cell::agrees);
+    println!("== fault reconciliation (seed {seed}) ==");
+    for cell in &cells {
+        let mark = if cell.agrees() { "ok" } else { "DISAGREE" };
+        println!("{:<22} {mark}", cell.case);
+        for &(name, ledger, metric) in &cell.checks {
+            let tick = if ledger == metric { ' ' } else { '!' };
+            println!("  {tick} {name:<32} ledger {ledger:>8}  metric {metric:>8}");
+        }
+    }
+
+    let path = results_dir().join("METRICS_fault_matrix.json");
+    match fs::write(&path, cells_json(seed, &cells, all_agree)) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("reconcile: cannot write {}: {e}", path.display());
+            return false;
+        }
+    }
+    if !all_agree {
+        eprintln!("reconcile: FAILED: metrics disagree with the degradation ledger");
+    }
+    all_agree
+}
+
+/// Records one multi-object run of the correct variant (metrics off, so
+/// the recording does not pollute the replay's counters).
+fn record_multi(scenario: &dyn Scenario, seed: u64) -> Vec<Event> {
+    let log = EventLog::in_memory(CheckKind::View.log_mode());
+    assert!(
+        scenario.run_multi(&cfg(seed), &log, Variant::Correct, OBJECTS),
+        "{} should support multi-object runs",
+        scenario.name()
+    );
+    log.snapshot()
+}
+
+/// Replays a recorded trace through a supervised pool, returning the pool
+/// report and the log's final stats.
+fn run_pool(
+    scenario: &dyn Scenario,
+    events: &[Event],
+    config: ShardConfig,
+    supervisor: SupervisorConfig,
+) -> Option<(PoolReport, vyrd_core::log::LogStats)> {
+    let factory = scenario.shard_factory(CheckKind::View)?;
+    let pool = VerifierPool::spawn_supervised(
+        CheckKind::View.log_mode(),
+        WORKERS,
+        config,
+        supervisor,
+        move |object| factory(object),
+    );
+    let log = pool.log().clone();
+    for e in events {
+        log.append_event(e.clone());
+    }
+    let report = pool.finish_all();
+    let stats = log.stats();
+    Some((report, stats))
+}
+
+/// Runs one reconciliation cell: reset the registry, arm the cell's
+/// faults, replay, clear, and collect ledger-vs-metric pairs.
+fn run_cell(
+    case: &'static str,
+    scenario: &dyn Scenario,
+    events: &[Event],
+    arm: impl FnOnce() -> Option<fault::FaultScope>,
+    config: Option<ShardConfig>,
+) -> Cell {
+    metrics::reset();
+    metrics::set_enabled(true);
+    let scope = arm();
+    let result = run_pool(
+        scenario,
+        events,
+        config.unwrap_or_default(),
+        SupervisorConfig::default(),
+    );
+    drop(scope);
+    metrics::set_enabled(false);
+    let snap = metrics::snapshot();
+    let (report, log_stats) = match result {
+        Some(r) => r,
+        None => {
+            return Cell {
+                case,
+                // An impossible pair so the cell reads as a failure.
+                checks: vec![("shard factory missing", 0, 1)],
+            };
+        }
+    };
+    let d = &report.merged.degradation;
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    Cell {
+        case,
+        checks: vec![
+            ("sheds vs shard.events_shed", d.sheds(), c("shard.events_shed")),
+            ("restarts vs pool.restarts", d.restarts, c("pool.restarts")),
+            (
+                "spawn_fallbacks vs pool.spawn_fallbacks",
+                d.spawn_fallbacks,
+                c("pool.spawn_fallbacks"),
+            ),
+            (
+                "log events vs log.events_appended",
+                log_stats.events,
+                c("log.events_appended"),
+            ),
+            (
+                "discarded_after_close vs log.events_discarded_after_close",
+                log_stats.events_discarded_after_close,
+                c("log.events_discarded_after_close"),
+            ),
+            (
+                "dropped_injected vs log.events_dropped_injected",
+                log_stats.events_dropped_injected,
+                c("log.events_dropped_injected"),
+            ),
+        ],
+    }
+}
+
+/// Hand-rolled JSON for the reconciliation report (std-only, like the
+/// rest of the workspace).
+fn cells_json(seed: u64, cells: &[Cell], all_agree: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"all_agree\": {all_agree},");
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, cell) in cells.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"case\": \"{}\",", cell.case);
+        let _ = writeln!(out, "      \"agree\": {},", cell.agrees());
+        let _ = writeln!(out, "      \"checks\": [");
+        for (j, (name, ledger, metric)) in cell.checks.iter().enumerate() {
+            let sep = if j + 1 == cell.checks.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "        {{\"name\": \"{name}\", \"ledger\": {ledger}, \"metric\": {metric}}}{sep}"
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(out, "    }}{sep}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}

@@ -21,7 +21,32 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::path::PathBuf;
+
 use vyrd_harness::workload::WorkloadConfig;
+
+/// The repository's canonical directory for measurement artifacts
+/// (`results/` at the workspace root). Every bench and exporter writes its
+/// `BENCH_*.json` / `METRICS_*.json` here, so there is exactly one copy of
+/// each result to diff across runs.
+///
+/// Honors `$VYRD_BENCH_DIR` as an override (useful for scratch runs that
+/// should not touch the tracked results); falls back to the current
+/// directory if the workspace layout is not where it was compiled.
+pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("VYRD_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let results = workspace.join("results");
+    if results.is_dir() {
+        results
+    } else {
+        PathBuf::from(".")
+    }
+}
 
 /// Paper-reported numbers for Table 1: per scenario, the thread counts
 /// with (methods-to-detection for I/O, for view), plus the CPU ratio.

@@ -369,6 +369,19 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             self.position += 1;
         }
         self.finish();
+        // Fold this check's counters into the process-global metrics once,
+        // at the end — exact, and far cheaper than per-event updates.
+        if vyrd_rt::metrics::enabled() {
+            let pm = crate::metrics::pipeline();
+            pm.checker_events.add(self.stats.events);
+            pm.checker_commits_applied.add(self.stats.commits_applied);
+            pm.checker_methods_completed.add(self.stats.methods_completed);
+            pm.checker_observers_checked.add(self.stats.observers_checked);
+            pm.checker_snapshots_taken.add(self.stats.snapshots_taken);
+            pm.checker_view_comparisons.add(self.stats.view_comparisons);
+            pm.checker_view_keys_compared.add(self.stats.view_keys_compared);
+            pm.checker_writes_replayed.add(self.stats.writes_replayed);
+        }
         (
             Report {
                 violation: self.violation,
@@ -794,6 +807,15 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
                     Some(c) => (c, c),
                     None => (pending.window_start, self.commits_applied),
                 };
+                // Observer-window size (§4.3): how many candidate states
+                // this return must be checked against. Runs on the
+                // verifier thread, so the histogram update is off the
+                // program's critical path.
+                if vyrd_rt::metrics::enabled() {
+                    crate::metrics::pipeline()
+                        .checker_observer_window
+                        .record(end - start);
+                }
                 let satisfied = (start..=end).any(|j| {
                     let state: &S = if j == self.commits_applied {
                         &self.spec

@@ -15,13 +15,18 @@
 //! A log stream starts with a header — the magic bytes `b"VYRD"` followed
 //! by a `u32` format version. Version 2 added a `u32`
 //! [`ObjectId`](crate::ObjectId) to every event record, right after the
-//! thread id. Version 3 (the current version) wraps each record in a
-//! crash-tolerant frame: a `u32` payload length, a `u32` CRC-32 (IEEE) of
-//! the payload, then the payload itself — a bare v2 record. Version-1
-//! streams predate the header entirely: they start directly with an event
-//! tag. [`LogReader`] tells headered and headerless streams apart by
-//! sniffing the first byte (the magic's `b'V'` can never be a record tag)
-//! and decodes v1 records with
+//! thread id. Version 3 wraps each record in a crash-tolerant frame: a
+//! `u32` payload length, a `u32` CRC-32 (IEEE) of the payload, then the
+//! payload itself — a bare v2 record. Version 4 (the current version)
+//! appends one byte to the header recording the [`LogMode`] the stream was
+//! captured under, so an offline checker knows whether it holds an I/O or
+//! a view-refinement trace without scanning for `Write` records; frames
+//! are unchanged from v3. The mode byte is validated strictly: a byte that
+//! is not a defined [`LogMode`] discriminant is `InvalidData`, never
+//! silently coerced. Version-1 streams predate the header entirely: they
+//! start directly with an event tag. [`LogReader`] tells headered and
+//! headerless streams apart by sniffing the first byte (the magic's `b'V'`
+//! can never be a record tag) and decodes v1 records with
 //! [`ObjectId::DEFAULT`](crate::ObjectId::DEFAULT), so old logs keep
 //! reading.
 //!
@@ -41,6 +46,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use crate::event::{Event, MethodId, ObjectId, ThreadId, VarId};
+use crate::log::LogMode;
 use crate::value::Value;
 
 // Value tags.
@@ -67,10 +73,13 @@ const TAG_WRITE: u8 = 21;
 pub const MAGIC: [u8; 4] = *b"VYRD";
 
 /// The log format version this module writes.
-pub const FORMAT_VERSION: u32 = 3;
+pub const FORMAT_VERSION: u32 = 4;
 
 /// The last format version whose records were written bare (unframed).
 const LAST_UNFRAMED_VERSION: u32 = 2;
+
+/// The last format version whose header carried no [`LogMode`] byte.
+const LAST_MODELESS_VERSION: u32 = 3;
 
 const CRC_TABLE: [u32; 256] = crc32_table();
 
@@ -362,14 +371,16 @@ pub fn write_frame_with<W: Write>(
     w.write_all(scratch)
 }
 
-/// Writes the stream header: magic bytes plus the current format version.
+/// Writes the stream header: magic bytes, the current format version, and
+/// the [`LogMode`] the stream is being captured under (one byte, v4+).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying writer.
-pub fn write_header<W: Write>(w: &mut W) -> io::Result<()> {
+pub fn write_header<W: Write>(w: &mut W, mode: LogMode) -> io::Result<()> {
     w.write_all(&MAGIC)?;
-    write_u32(w, FORMAT_VERSION)
+    write_u32(w, FORMAT_VERSION)?;
+    w.write_all(&[mode.as_u8()])
 }
 
 /// Decodes the record body after the tag byte. Every version puts the
@@ -474,6 +485,9 @@ impl<R: Read> Read for CountingReader<R> {
 pub struct LogReader<R: Read> {
     reader: CountingReader<R>,
     version: u32,
+    /// Capture mode from the header; `None` for v1–v3 streams, which
+    /// predate the mode byte.
+    mode: Option<LogMode>,
     /// First byte of a v1 stream, consumed while sniffing for the magic.
     pending_tag: Option<u8>,
 }
@@ -482,6 +496,7 @@ impl<R: Read> fmt::Debug for LogReader<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LogReader")
             .field("version", &self.version)
+            .field("mode", &self.mode)
             .field("pending_tag", &self.pending_tag)
             .finish_non_exhaustive()
     }
@@ -506,6 +521,7 @@ impl<R: Read> LogReader<R> {
                 return Ok(LogReader {
                     reader,
                     version: FORMAT_VERSION,
+                    mode: None,
                     pending_tag: None,
                 });
             }
@@ -528,9 +544,26 @@ impl<R: Read> LogReader<R> {
                     format!("unsupported vyrd log version {version}"),
                 ));
             }
+            let mode = if version > LAST_MODELESS_VERSION {
+                let mut byte = [0u8; 1];
+                reader.read_exact(&mut byte)?;
+                // Strict: an undefined discriminant is damage, not a
+                // default. (A lenient fallback here would misreport a
+                // corrupted View stream as something it is not.)
+                let mode = LogMode::from_u8(byte[0]).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("invalid vyrd log mode byte {:#04x}", byte[0]),
+                    )
+                })?;
+                Some(mode)
+            } else {
+                None
+            };
             Ok(LogReader {
                 reader,
                 version,
+                mode,
                 pending_tag: None,
             })
         } else {
@@ -539,6 +572,7 @@ impl<R: Read> LogReader<R> {
             Ok(LogReader {
                 reader,
                 version: 1,
+                mode: None,
                 pending_tag: Some(first[0]),
             })
         }
@@ -547,6 +581,12 @@ impl<R: Read> LogReader<R> {
     /// The format version of the stream being read.
     pub fn version(&self) -> u32 {
         self.version
+    }
+
+    /// The [`LogMode`] the stream was captured under, recorded in the
+    /// header since format version 4. `None` for older streams.
+    pub fn mode(&self) -> Option<LogMode> {
+        self.mode
     }
 
     /// The byte offset at which the *next* record starts — i.e. how much of
@@ -647,14 +687,30 @@ impl<R: Read> Iterator for LogReader<R> {
     }
 }
 
-/// Serializes a whole log: the versioned header, then one v3 frame per
+/// Serializes a whole log: the versioned header, then one frame per
 /// event.
+///
+/// The header's mode byte is inferred from the events themselves: any
+/// view-refinement record (`Write`, `BlockBegin`, `BlockEnd`) marks the
+/// stream [`LogMode::View`], otherwise it is [`LogMode::Io`]. Callers that
+/// know the capture mode (the live file sink does) write the header
+/// directly instead.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying writer.
 pub fn write_log<W: Write>(w: &mut W, events: &[Event]) -> io::Result<()> {
-    write_header(w)?;
+    let mode = if events.iter().any(|e| {
+        matches!(
+            e,
+            Event::Write { .. } | Event::BlockBegin { .. } | Event::BlockEnd { .. }
+        )
+    }) {
+        LogMode::View
+    } else {
+        LogMode::Io
+    };
+    write_header(w, mode)?;
     let mut scratch = Vec::with_capacity(64);
     for e in events {
         write_frame_with(w, &mut scratch, e)?;
@@ -973,12 +1029,14 @@ mod tests {
     }
 
     #[test]
-    fn v3_frames_round_trip_and_read_complete() {
+    fn v4_frames_round_trip_and_read_complete() {
         let log = sample_log();
         let mut buf = Vec::new();
         write_log(&mut buf, &log).unwrap();
         let reader = LogReader::new(buf.as_slice()).unwrap();
-        assert_eq!(reader.version(), 3);
+        assert_eq!(reader.version(), 4);
+        // sample_log is pure call/commit/return, so the inferred mode is Io.
+        assert_eq!(reader.mode(), Some(LogMode::Io));
         assert_eq!(read_log(&mut buf.as_slice()).unwrap(), log);
         assert_eq!(
             read_log_recovering(buf.as_slice()),
@@ -986,6 +1044,88 @@ mod tests {
                 records: log.clone()
             }
         );
+    }
+
+    #[test]
+    fn write_log_infers_view_mode_from_view_records() {
+        let log = vec![
+            Event::BlockBegin {
+                tid: ThreadId(1),
+                object: ObjectId(2),
+            },
+            Event::Write {
+                tid: ThreadId(1),
+                object: ObjectId(2),
+                var: VarId::new("x", 0),
+                value: Value::Unit,
+            },
+            Event::BlockEnd {
+                tid: ThreadId(1),
+                object: ObjectId(2),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_log(&mut buf, &log).unwrap();
+        let reader = LogReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.mode(), Some(LogMode::View));
+        assert_eq!(read_log(&mut buf.as_slice()).unwrap(), log);
+    }
+
+    #[test]
+    fn v3_streams_still_decode_without_a_mode() {
+        // A v3 stream is the modeless header followed by frames.
+        let log = sample_log();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        let mut scratch = Vec::new();
+        for e in &log {
+            write_frame_with(&mut buf, &mut scratch, e).unwrap();
+        }
+        let mut reader = LogReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.version(), 3);
+        assert_eq!(reader.mode(), None);
+        let mut events = Vec::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            events.push(e);
+        }
+        assert_eq!(events, log);
+    }
+
+    #[test]
+    fn undefined_mode_byte_is_invalid_data_not_a_default() {
+        // Regression: `LogMode::from_u8` used to map every unknown byte to
+        // `View`; a v4 header with mode byte 3 must be a decode error.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.push(3);
+        let err = LogReader::new(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("mode byte"), "{err}");
+        // The recovering reader treats it as damage at offset zero.
+        match read_log_recovering(buf.as_slice()) {
+            DecodeOutcome::RecoveredPrefix {
+                records,
+                truncated_at,
+                detail,
+            } => {
+                assert!(records.is_empty());
+                assert_eq!(truncated_at, 0);
+                assert!(detail.contains("mode byte"), "{detail}");
+            }
+            other => panic!("expected RecoveredPrefix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn log_mode_from_u8_rejects_unknown_discriminants() {
+        assert_eq!(LogMode::from_u8(0), Some(LogMode::Off));
+        assert_eq!(LogMode::from_u8(1), Some(LogMode::Io));
+        assert_eq!(LogMode::from_u8(2), Some(LogMode::View));
+        for bad in [3u8, 4, 0x7F, 0xFF] {
+            assert_eq!(LogMode::from_u8(bad), None, "byte {bad} must not decode");
+        }
     }
 
     #[test]
@@ -1025,7 +1165,7 @@ mod tests {
                 assert_eq!(records, log[..2]);
                 // The damage starts exactly where the third frame began.
                 let mut prefix = Vec::new();
-                write_header(&mut prefix).unwrap();
+                write_header(&mut prefix, LogMode::Io).unwrap();
                 write_frame(&mut prefix, &log[0]).unwrap();
                 write_frame(&mut prefix, &log[1]).unwrap();
                 assert_eq!(truncated_at, prefix.len() as u64);

@@ -18,10 +18,25 @@
 //! performed atomically with its log update. Call [`MethodSession::commit`]
 //! and [`ThreadLogger::write`] **while holding the lock** that publishes
 //! the corresponding effect.
+//!
+//! When span recording is on ([`vyrd_rt::metrics::spans_enabled`]), each
+//! session additionally captures call→commit→return timestamps keyed by
+//! the call event's log sequence number and feeds them to the metrics
+//! ring — the per-method trace the `stats` exporter renders. Off is the
+//! default and costs one relaxed load per session.
 
 use crate::event::MethodId;
 use crate::log::ThreadLogger;
 use crate::value::Value;
+
+/// Timing state carried by a session while span recording is on.
+#[derive(Debug)]
+struct SpanState {
+    /// Log seq of the call event (keys the span to the trace).
+    seq: u64,
+    t_call_ns: u64,
+    t_commit_ns: Option<u64>,
+}
 
 /// RAII wrapper for one public-method execution.
 ///
@@ -47,6 +62,7 @@ pub struct MethodSession<'a> {
     method: MethodId,
     committed: bool,
     exited: bool,
+    span: Option<SpanState>,
 }
 
 impl<'a> MethodSession<'a> {
@@ -61,12 +77,25 @@ impl<'a> MethodSession<'a> {
         args: &[Value],
     ) -> MethodSession<'a> {
         let method = method.into();
-        logger.call(method, args);
+        let span = if vyrd_rt::metrics::spans_enabled() {
+            let t_call_ns = vyrd_rt::metrics::now_ns();
+            // The seq comes back `None` in `Off` mode or when a fault
+            // dropped the call event — no trace entry, so no span either.
+            logger.call_seq(method, args).map(|seq| SpanState {
+                seq,
+                t_call_ns,
+                t_commit_ns: None,
+            })
+        } else {
+            logger.call(method, args);
+            None
+        };
         MethodSession {
             logger,
             method,
             committed: false,
             exited: false,
+            span,
         }
     }
 
@@ -87,6 +116,9 @@ impl<'a> MethodSession<'a> {
         );
         self.logger.commit();
         self.committed = true;
+        if let Some(span) = &mut self.span {
+            span.t_commit_ns = Some(vyrd_rt::metrics::now_ns());
+        }
     }
 
     /// Has [`MethodSession::commit`] been called?
@@ -118,6 +150,28 @@ impl Drop for MethodSession<'_> {
         if !self.exited {
             self.logger
                 .ret(self.method, Value::exception("panicked-or-leaked"));
+        }
+        // `exit()` consumes the session, so its drop lands here too — the
+        // one place every execution path funnels through, which is what
+        // makes the span's return timestamp total.
+        if let Some(span) = self.span.take() {
+            let t_return_ns = vyrd_rt::metrics::now_ns();
+            vyrd_rt::metrics::record_span(vyrd_rt::metrics::SpanRecord {
+                seq: span.seq,
+                tid: self.logger.tid().0,
+                object: self.logger.object().0,
+                name: self.method.name(),
+                t_call_ns: span.t_call_ns,
+                t_commit_ns: span.t_commit_ns,
+                t_return_ns,
+            });
+            let pm = crate::metrics::pipeline();
+            if let Some(tc) = span.t_commit_ns {
+                pm.span_call_to_commit_ns
+                    .record(tc.saturating_sub(span.t_call_ns));
+            }
+            pm.span_call_to_return_ns
+                .record(t_return_ns.saturating_sub(span.t_call_ns));
         }
     }
 }

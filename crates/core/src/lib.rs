@@ -95,6 +95,7 @@ pub mod diagnose;
 pub mod event;
 pub mod instrument;
 pub mod log;
+pub mod metrics;
 pub mod online;
 pub mod pool;
 pub mod replay;

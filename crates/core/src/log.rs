@@ -49,6 +49,7 @@ use vyrd_rt::sync::{CachePadded, Mutex};
 
 use crate::codec;
 use crate::event::{ArgList, Event, MethodId, ObjectId, ThreadId, VarId};
+use crate::metrics::pipeline;
 use crate::value::Value;
 
 /// Events a thread buffers locally before handing a batch to the merger.
@@ -80,7 +81,8 @@ pub enum LogMode {
 }
 
 impl LogMode {
-    fn as_u8(self) -> u8 {
+    /// The wire encoding of this mode (the codec's v4 header records it).
+    pub fn as_u8(self) -> u8 {
         match self {
             LogMode::Off => 0,
             LogMode::Io => 1,
@@ -88,11 +90,18 @@ impl LogMode {
         }
     }
 
-    fn from_u8(v: u8) -> LogMode {
+    /// Decodes a wire byte, rejecting unknown values.
+    ///
+    /// An earlier version mapped every byte ≥ 3 to [`LogMode::View`],
+    /// so a corrupted or future-version header silently decoded to the
+    /// *most expensive* mode instead of surfacing an error. Unknown
+    /// bytes are now a decode failure the codec reports.
+    pub fn from_u8(v: u8) -> Option<LogMode> {
         match v {
-            0 => LogMode::Off,
-            1 => LogMode::Io,
-            _ => LogMode::View,
+            0 => Some(LogMode::Off),
+            1 => Some(LogMode::Io),
+            2 => Some(LogMode::View),
+            _ => None,
         }
     }
 }
@@ -466,9 +475,18 @@ impl Inner {
             self.stats
                 .discarded_after_close
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            if vyrd_rt::metrics::enabled() {
+                pipeline().log_events_discarded.add(batch.len() as u64);
+            }
             batch.clear();
         } else {
             self.stats.record_batch(&stats);
+            if vyrd_rt::metrics::enabled() {
+                let pm = pipeline();
+                pm.log_events_appended.add(batch.len() as u64);
+                pm.log_batches_submitted.inc();
+                pm.log_batch_occupancy.record(batch.len() as u64);
+            }
             m.insert_batch(batch);
         }
     }
@@ -508,7 +526,15 @@ impl Inner {
             let mut m = match self.merger.try_lock() {
                 Some(m) => m,
                 None => {
-                    self.backlog.lock().push((std::mem::take(batch), stats));
+                    {
+                        let mut backlog = self.backlog.lock();
+                        backlog.push((std::mem::take(batch), stats));
+                        if vyrd_rt::metrics::enabled() {
+                            let pm = pipeline();
+                            pm.log_backlog_parked.inc();
+                            pm.log_backlog_depth_peak.set_max(backlog.len() as u64);
+                        }
+                    }
                     // The combiner may have unlocked between the failed
                     // try_lock and the park; retry once so the batch
                     // cannot strand with no one left to merge it.
@@ -524,11 +550,18 @@ impl Inner {
             self.drain_backlog(&mut m);
             m.release_ready();
             self.deliver(&mut m);
-            m.parked() >= PRESSURE
+            let parked = m.parked();
+            if vyrd_rt::metrics::enabled() {
+                pipeline().log_merger_parked_peak.set_max(parked as u64);
+            }
+            parked >= PRESSURE
         };
         // A backlog this deep means some buffer is sitting on a low
         // sequence number; drain everyone so the merger can catch up.
         if allow_relief && overloaded {
+            if vyrd_rt::metrics::enabled() {
+                pipeline().log_pressure_flushes.inc();
+            }
             self.flush_buffers();
         }
     }
@@ -672,7 +705,7 @@ impl EventLog {
     pub fn to_file<P: AsRef<Path>>(mode: LogMode, path: P) -> io::Result<EventLog> {
         let file = File::create(path)?;
         let mut writer = BufWriter::new(file);
-        codec::write_header(&mut writer)?;
+        codec::write_header(&mut writer, mode)?;
         Ok(EventLog::with_sink(
             mode,
             Box::new(FileSink {
@@ -715,7 +748,9 @@ impl EventLog {
 
     /// The current logging mode.
     pub fn mode(&self) -> LogMode {
-        LogMode::from_u8(self.inner.mode.load(Ordering::Relaxed))
+        // The atomic only ever holds bytes written by `LogMode::as_u8`,
+        // so the decode cannot actually fail.
+        LogMode::from_u8(self.inner.mode.load(Ordering::Relaxed)).unwrap_or(LogMode::Off)
     }
 
     /// Returns a handle scoped to data-structure instance `object`: events
@@ -842,6 +877,9 @@ impl EventLog {
                     .stats
                     .dropped_injected
                     .fetch_add(1, Ordering::Relaxed);
+                if vyrd_rt::metrics::enabled() {
+                    pipeline().log_events_dropped_injected.inc();
+                }
                 return;
             }
         }
@@ -851,11 +889,17 @@ impl EventLog {
                 .stats
                 .discarded_after_close
                 .fetch_add(1, Ordering::Relaxed);
+            if vyrd_rt::metrics::enabled() {
+                pipeline().log_events_discarded.inc();
+            }
             return;
         }
         let mut stats = BatchStats::default();
         stats.add(&event);
         self.inner.stats.record_batch(&stats);
+        if vyrd_rt::metrics::enabled() {
+            pipeline().log_events_appended.inc();
+        }
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
         m.insert(Stamped { seq, event });
         self.inner.drain_backlog(&mut m);
@@ -929,7 +973,7 @@ impl ThreadLogger {
     /// batches seq-ascending (the merger's contiguous fast path) and
     /// guarantees every issued number is reachable by a buffer flush —
     /// there is no window where a stamped event exists outside any buffer.
-    fn push(&self, event: Event) {
+    fn push(&self, event: Event) -> Option<u64> {
         if vyrd_rt::fault::enabled() {
             if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("log.append") {
                 self.log
@@ -937,13 +981,17 @@ impl ThreadLogger {
                     .stats
                     .dropped_injected
                     .fetch_add(1, Ordering::Relaxed);
-                return;
+                if vyrd_rt::metrics::enabled() {
+                    pipeline().log_events_dropped_injected.inc();
+                }
+                return None;
             }
         }
         let mut full = None;
+        let seq;
         {
             let mut pending = self.buf.pending.lock();
-            let seq = self.log.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+            seq = self.log.inner.next_seq.fetch_add(1, Ordering::Relaxed);
             pending.stats.add(&event);
             pending.batch.push(Stamped { seq, event });
             if pending.batch.len() >= BATCH {
@@ -963,6 +1011,7 @@ impl ThreadLogger {
                 pending.batch = batch;
             }
         }
+        Some(seq)
     }
 
     /// Logs a call action.
@@ -971,15 +1020,23 @@ impl ThreadLogger {
     /// already-interned id (as [`MethodSession`](crate::instrument::MethodSession)
     /// does) skips the per-event hash.
     pub fn call(&self, method: impl Into<MethodId>, args: &[Value]) {
+        self.call_seq(method.into(), args);
+    }
+
+    /// Logs a call action, returning the event's global sequence number —
+    /// `None` in [`LogMode::Off`] or when an injected fault dropped the
+    /// event. Span-recording instrumentation uses the seq to key the span
+    /// to the recorded trace.
+    pub(crate) fn call_seq(&self, method: MethodId, args: &[Value]) -> Option<u64> {
         if self.log.mode() == LogMode::Off {
-            return;
+            return None;
         }
         self.push(Event::Call {
             tid: self.tid,
             object: self.object,
-            method: method.into(),
+            method,
             args: ArgList::from_slice(args),
-        });
+        })
     }
 
     /// Logs a return action.

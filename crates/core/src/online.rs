@@ -74,6 +74,9 @@ where
     R: Replayer,
 {
     let consumed_before = receiver.popped();
+    if vyrd_rt::metrics::enabled() {
+        crate::metrics::pipeline().online_checks.inc();
+    }
     match catch_unwind(AssertUnwindSafe(|| {
         // `online.check` failpoint: a Panic action here exercises exactly
         // this boundary.

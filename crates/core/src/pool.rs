@@ -70,7 +70,7 @@ use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vyrd_rt::channel::Receiver;
 use vyrd_rt::sync::Mutex;
@@ -78,6 +78,7 @@ use vyrd_rt::sync::Mutex;
 use crate::checker::Checker;
 use crate::event::{Event, ObjectId};
 use crate::log::{EventLog, LogMode};
+use crate::metrics::pipeline;
 use crate::replay::Replayer;
 use crate::shard::{ShardConfig, ShardRouter};
 use crate::spec::Spec;
@@ -154,6 +155,16 @@ fn check_shard(
     let mut restarts: u32 = 0;
     let mut events_lost: u64 = 0;
     let mut last_panic = String::new();
+    // Verdict latency covers the whole supervised check — retries and
+    // backoff included — because that is the wall time the shard's
+    // verdict actually took to arrive.
+    let started = vyrd_rt::metrics::enabled().then(Instant::now);
+    let record_latency = |started: Option<Instant>| {
+        if let Some(t) = started {
+            let us = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+            pipeline().pool_verdict_latency_us.record(us);
+        }
+    };
     loop {
         let consumed_before = receiver.popped();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -169,7 +180,14 @@ fn check_shard(
         }));
         match outcome {
             Ok(mut report) => {
+                if vyrd_rt::metrics::enabled() {
+                    pipeline().pool_events_checked.add(report.stats.events);
+                    record_latency(started);
+                }
                 if restarts > 0 {
+                    if vyrd_rt::metrics::enabled() {
+                        pipeline().pool_shard_failures.inc();
+                    }
                     report.degradation.restarts += u64::from(restarts);
                     report.degradation.events_lost += events_lost;
                     report.degradation.shard_failures.push(ShardFailure {
@@ -193,6 +211,10 @@ fn check_shard(
                     let drain_before = receiver.popped();
                     while receiver.try_recv().is_ok() {}
                     events_lost += receiver.popped() - drain_before;
+                    if vyrd_rt::metrics::enabled() {
+                        pipeline().pool_shard_failures.inc();
+                        record_latency(started);
+                    }
                     let mut report = Report::default();
                     report.degradation.restarts += u64::from(restarts);
                     report.degradation.events_lost += events_lost;
@@ -206,6 +228,9 @@ fn check_shard(
                 }
                 thread::sleep(sup.backoff * 2u32.saturating_pow(restarts.min(16)));
                 restarts += 1;
+                if vyrd_rt::metrics::enabled() {
+                    pipeline().pool_restarts.inc();
+                }
             }
         }
     }
@@ -416,6 +441,16 @@ impl VerifierPool {
         let log_stats = self.log.stats();
         merged.degradation.events_lost += log_stats.events_dropped_injected;
         merged.stats.events_discarded_after_close = log_stats.events_discarded_after_close;
+        if vyrd_rt::metrics::enabled() {
+            let pm = pipeline();
+            pm.pool_spawn_fallbacks.add(spawn_fallbacks);
+            // End-of-run verifier lag: events the program appended that no
+            // checker ever stepped. Sheds, injected drops, lost workers,
+            // and panic-drained shards all keep this above zero — the
+            // §8 online/offline health signal.
+            pm.pool_lag_events
+                .set(log_stats.events.saturating_sub(merged.stats.events));
+        }
         PoolReport { merged, per_object }
     }
 }

@@ -45,6 +45,7 @@ use vyrd_rt::sync::Mutex;
 
 use crate::event::{Event, ObjectId};
 use crate::log::{EventLog, LogMode};
+use crate::metrics::pipeline;
 
 /// What a bounded shard does when a program thread appends to it while it
 /// is full.
@@ -157,6 +158,10 @@ impl ShardRouter {
         let sheds: Arc<Mutex<BTreeMap<ObjectId, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
         let dispatch_sheds = Arc::clone(&sheds);
         let mut slots: HashMap<u32, Slot> = HashMap::new();
+        // Per-object delivery counters, registered lazily as each object
+        // announces its shard (the registration allocation happens once
+        // per object, not per event).
+        let mut fanout: HashMap<u32, Arc<vyrd_rt::metrics::Counter>> = HashMap::new();
         let log = EventLog::dispatching(mode, move |event: Event| {
             let object = event.object();
             // `shard.route` failpoint: a Drop disposition loses the event
@@ -164,8 +169,22 @@ impl ShardRouter {
             if vyrd_rt::fault::enabled() {
                 if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("shard.route") {
                     *dispatch_sheds.lock().entry(object).or_insert(0) += 1;
+                    if vyrd_rt::metrics::enabled() {
+                        pipeline().shard_events_shed.inc();
+                    }
                     return;
                 }
+            }
+            if vyrd_rt::metrics::enabled() {
+                let pm = pipeline();
+                pm.shard_events_routed.inc();
+                fanout
+                    .entry(object.0)
+                    .or_insert_with(|| {
+                        vyrd_rt::metrics::counter(&format!("shard.fanout.obj{}", object.0))
+                    })
+                    .inc();
+                pm.shard_objects_seen.set_max(fanout.len() as u64);
             }
             let slot = slots.entry(object.0).or_insert_with(|| {
                 let (tx, rx) = match config.capacity {
@@ -182,6 +201,9 @@ impl ShardRouter {
                 Slot::Live(sender) => sender,
                 Slot::Shedding => {
                     *dispatch_sheds.lock().entry(object).or_insert(0) += 1;
+                    if vyrd_rt::metrics::enabled() {
+                        pipeline().shard_events_shed.inc();
+                    }
                     return;
                 }
             };
@@ -196,6 +218,9 @@ impl ShardRouter {
                             let mut sheds = dispatch_sheds.lock();
                             let count = sheds.entry(object).or_insert(0);
                             *count += 1;
+                            if vyrd_rt::metrics::enabled() {
+                                pipeline().shard_events_shed.inc();
+                            }
                             if *count >= budget {
                                 // Abandon the shard: dropping the sender
                                 // disconnects the channel so the checker

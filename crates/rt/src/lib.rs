@@ -13,7 +13,7 @@
 //! 2. later work can shard the logger or instrument the channel itself
 //!    without fighting an opaque dependency.
 //!
-//! Six modules:
+//! Seven modules:
 //!
 //! * [`channel`] — an unbounded MPSC channel with the `crossbeam::channel`
 //!   subset the event log uses (`send`/`send_timeout`/`recv`/`try_recv`/
@@ -24,6 +24,10 @@
 //! * [`intern`] — an append-only string interner with lock-free lookups,
 //!   so identifiers recorded on the logging fast path cost a `u32`
 //!   instead of an allocation;
+//! * [`metrics`] — a zero-allocation metrics registry (counters, gauges,
+//!   fixed-bucket histograms on `CachePadded` atomics) plus per-method
+//!   trace spans, so the pipeline can report its own lag, backlog depth,
+//!   and verdict latency without outside tooling;
 //! * [`sync`] — poison-free [`Mutex`](sync::Mutex)/[`RwLock`](sync::RwLock)
 //!   wrappers whose `lock()`/`read()`/`write()` return guards directly,
 //!   plus an owned [`ArcMutexGuard`](sync::ArcMutexGuard) for
@@ -42,5 +46,6 @@ pub mod bench;
 pub mod channel;
 pub mod fault;
 pub mod intern;
+pub mod metrics;
 pub mod rng;
 pub mod sync;

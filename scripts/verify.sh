@@ -41,11 +41,35 @@ VYRD_FAULT_SEED=3405691582 \
     cargo test --release --offline -q --test append_agreement >/dev/null
 
 # Bench smoke: the append-throughput microbenchmark must run to
-# completion and write its JSON (numbers are not gated here — the
-# container's core count makes them environment-dependent).
+# completion and write its JSON into results/, the canonical artifact
+# directory (numbers are not gated here — the container's core count
+# makes them environment-dependent).
 echo "==> append_throughput bench smoke"
 cargo bench --offline -p vyrd-bench --bench append_throughput >/dev/null 2>&1
-test -f crates/bench/BENCH_append_throughput.json
+test -f results/BENCH_append_throughput.json
+
+# Metrics export + reconciliation: the stats binary runs a live sharded
+# scenario with metrics and spans on, then replays the pinned-seed fault
+# matrix and exits non-zero unless every metric agrees exactly with the
+# Degradation ledger and log stats (lag >= 0 is among its own checks).
+echo "==> metrics export + fault-matrix reconciliation (stats)"
+VYRD_FAULT_SEED=3405691582 \
+    cargo run --release --offline -q -p vyrd-bench --bin stats >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+for name in ("results/METRICS_smoke.json", "results/METRICS_fault_matrix.json"):
+    with open(name) as f:
+        doc = json.load(f)
+    assert doc, f"{name} is empty"
+matrix = json.load(open("results/METRICS_fault_matrix.json"))
+assert matrix["all_agree"] is True, "fault-matrix metrics disagree with ledger"
+print("    -> METRICS JSON artifacts parse; all cells agree")
+EOF
+else
+    test -s results/METRICS_smoke.json
+    test -s results/METRICS_fault_matrix.json
+fi
 
 # Clippy is optional tooling: run it when the component is installed,
 # skip quietly when not (the container may ship a bare toolchain).
