@@ -1,0 +1,287 @@
+//! `continuous` — drive the durable segmented log + checkpointed
+//! continuous verification service from the command line.
+//!
+//! Three modes, designed so a harness (or `scripts/verify.sh`) can kill
+//! the process mid-run and prove recovery:
+//!
+//! * `produce` — run a scenario's workload into a segment directory
+//!   while a [`ContinuousVerifier`] polls it on the same process,
+//!   checkpointing and deleting checked segments. Emits one `progress`
+//!   line per observable change (stdout is line-buffered, so an external
+//!   watcher can gate a `SIGKILL` on them) and a `final` line on clean
+//!   completion.
+//! * `resume` — reopen a segment directory (typically after the
+//!   `produce` process was killed), resume from the newest checkpoint,
+//!   finalize, and print the same `final` line; optionally exports the
+//!   outcome as JSON.
+//! * `single` — the reference: the same workload checked in one process
+//!   with an in-memory log, for verdict comparison.
+//!
+//! All lines are `key=value` tokens so they parse with `split_whitespace`
+//! alone; the kill/resume integration test and the CI smoke step both
+//! rely on that.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use vyrd_core::log::EventLog;
+use vyrd_core::metrics::pipeline;
+use vyrd_core::segment::{scan_segments, ContinuousOptions, ContinuousVerifier, SegmentConfig};
+use vyrd_core::violation::Report;
+use vyrd_harness::scenario::{record_run, CheckKind, Scenario, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::workload::WorkloadConfig;
+use vyrd_rt::metrics;
+
+/// Default seed: the fault matrix's CI seed, so runs replay under the
+/// schedule `scripts/verify.sh` pins.
+const DEFAULT_SEED: u64 = 3_405_691_582;
+
+struct Options {
+    mode: String,
+    dir: std::path::PathBuf,
+    scenario: String,
+    kind: CheckKind,
+    seed: u64,
+    threads: usize,
+    calls: usize,
+    segment_bytes: u64,
+    checkpoint_every: u64,
+    json: Option<std::path::PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: continuous <produce|resume|single> [--dir D] [--scenario NAME] \
+         [--kind io|view] [--seed N] [--threads N] [--calls N] \
+         [--segment-bytes N] [--checkpoint-every N] [--json PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let mode = match args.next() {
+        Some(m) if ["produce", "resume", "single"].contains(&m.as_str()) => m,
+        _ => return Err(usage()),
+    };
+    let mut opts = Options {
+        mode,
+        dir: std::env::temp_dir().join(format!("vyrd-continuous-{}", std::process::id())),
+        scenario: "Multiset-Vector".to_owned(),
+        kind: CheckKind::Io,
+        seed: DEFAULT_SEED,
+        threads: 4,
+        calls: 2_000,
+        segment_bytes: 4_096,
+        checkpoint_every: 1,
+        json: None,
+    };
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or_else(usage);
+        match a.as_str() {
+            "--dir" => opts.dir = value()?.into(),
+            "--scenario" => opts.scenario = value()?,
+            "--kind" => {
+                opts.kind = match value()?.as_str() {
+                    "io" => CheckKind::Io,
+                    "view" => CheckKind::View,
+                    _ => return Err(usage()),
+                }
+            }
+            "--seed" => opts.seed = value()?.parse().map_err(|_| usage())?,
+            "--threads" => opts.threads = value()?.parse().map_err(|_| usage())?,
+            "--calls" => opts.calls = value()?.parse().map_err(|_| usage())?,
+            "--segment-bytes" => opts.segment_bytes = value()?.parse().map_err(|_| usage())?,
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value()?.parse().map_err(|_| usage())?
+            }
+            "--json" => opts.json = Some(value()?.into()),
+            _ => return Err(usage()),
+        }
+    }
+    Ok(opts)
+}
+
+fn workload(opts: &Options) -> WorkloadConfig {
+    WorkloadConfig {
+        threads: opts.threads,
+        calls_per_thread: opts.calls,
+        key_pool: 16,
+        shrink_pool: true,
+        internal_task: false,
+        seed: opts.seed,
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let Some(scenario) = scenarios::by_name(&opts.scenario) else {
+        eprintln!("unknown scenario {:?}", opts.scenario);
+        return ExitCode::from(2);
+    };
+    metrics::set_enabled(true);
+    let outcome = match opts.mode.as_str() {
+        "produce" => produce(scenario.as_ref(), &opts),
+        "resume" => resume(scenario.as_ref(), &opts),
+        "single" => {
+            single(scenario.as_ref(), &opts);
+            Ok(())
+        }
+        _ => unreachable!("parse_args validated the mode"),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.mode);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One snapshot of the observable progress counters.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+struct Progress {
+    next_seq: u64,
+    sealed: u64,
+    deleted: u64,
+    checkpoints: u64,
+    live: u64,
+}
+
+fn progress_of(verifier: &ContinuousVerifier, live: u64) -> Progress {
+    let p = pipeline();
+    Progress {
+        next_seq: verifier.next_seq(),
+        sealed: p.segment_sealed.get(),
+        deleted: p.segment_deleted.get(),
+        checkpoints: p.checkpoint_written.get(),
+        live,
+    }
+}
+
+fn print_progress(p: Progress) {
+    println!(
+        "progress next_seq={} sealed={} deleted={} checkpoints={} live_segments={}",
+        p.next_seq, p.sealed, p.deleted, p.checkpoints, p.live
+    );
+}
+
+fn print_final(report: &Report, resume_seq: u64, live: u64, peak_live: u64) {
+    let p = pipeline();
+    println!(
+        "final passed={} degraded={} events={} events_lost={} torn_bytes={} \
+         sealed={} deleted={} checkpoints={} live_segments={} resume_seq={} \
+         peak_live_segments={}",
+        report.passed(),
+        report.is_degraded(),
+        report.stats.events,
+        report.degradation.events_lost,
+        report.degradation.torn_bytes_discarded,
+        p.segment_sealed.get(),
+        p.segment_deleted.get(),
+        p.checkpoint_written.get(),
+        live,
+        resume_seq,
+        peak_live
+    );
+}
+
+/// Runs the workload into segments with a concurrent polling verifier.
+fn produce(scenario: &dyn Scenario, opts: &Options) -> std::io::Result<()> {
+    let factory = scenario
+        .stepping_factory(opts.kind)
+        .ok_or_else(|| std::io::Error::other("scenario has no checkpointable checker"))?;
+    let config = SegmentConfig::new(&opts.dir).segment_bytes(opts.segment_bytes);
+    let (log, handle) = EventLog::to_segments(opts.kind.log_mode(), config)?;
+    let cfg = workload(opts);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| {
+            scenario.run(&cfg, &log, Variant::Correct);
+            done.store(true, Ordering::Relaxed);
+        });
+        let mut verifier = ContinuousVerifier::open(
+            &opts.dir,
+            factory,
+            ContinuousOptions {
+                checkpoint_every_segments: opts.checkpoint_every,
+                delete_checked: true,
+            },
+        )?;
+        println!("start dir={} resume_seq={}", opts.dir.display(), verifier.resume_seq());
+        let mut last = Progress::default();
+        let mut peak_live = 0u64;
+        while !done.load(Ordering::Relaxed) {
+            verifier.step()?;
+            let live = scan_segments(&opts.dir)?.len() as u64;
+            peak_live = peak_live.max(live);
+            let now = progress_of(&verifier, live);
+            if now != last {
+                print_progress(now);
+                last = now;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        worker.join().expect("workload thread");
+        log.close();
+        let summary = handle.finish()?;
+        let resume_seq = verifier.resume_seq();
+        let report = verifier.finalize()?;
+        let live = scan_segments(&opts.dir)?.len() as u64;
+        peak_live = peak_live.max(summary.segments_sealed.min(live));
+        print_final(&report, resume_seq, live, peak_live);
+        std::io::stdout().flush()
+    })
+}
+
+/// Reopens a segment directory after a crash and finishes the check.
+fn resume(scenario: &dyn Scenario, opts: &Options) -> std::io::Result<()> {
+    let factory = scenario
+        .stepping_factory(opts.kind)
+        .ok_or_else(|| std::io::Error::other("scenario has no checkpointable checker"))?;
+    let verifier =
+        ContinuousVerifier::open(&opts.dir, factory, ContinuousOptions::default())?;
+    let resume_seq = verifier.resume_seq();
+    println!("resume dir={} resume_seq={resume_seq}", opts.dir.display());
+    let report = verifier.finalize()?;
+    let live = scan_segments(&opts.dir)?.len() as u64;
+    print_final(&report, resume_seq, live, 0);
+    if let Some(path) = &opts.json {
+        let p = pipeline();
+        let json = format!(
+            "{{\n  \"scenario\": \"{}\",\n  \"seed\": {},\n  \"resume_seq\": {},\n  \
+             \"passed\": {},\n  \"degraded\": {},\n  \"events_checked_after_resume\": {},\n  \
+             \"events_lost\": {},\n  \"torn_bytes_discarded\": {},\n  \
+             \"checkpoints_written\": {},\n  \"segments_deleted\": {},\n  \
+             \"live_segments\": {}\n}}\n",
+            scenario.name(),
+            opts.seed,
+            resume_seq,
+            report.passed(),
+            report.is_degraded(),
+            report.stats.events,
+            report.degradation.events_lost,
+            report.degradation.torn_bytes_discarded,
+            p.checkpoint_written.get(),
+            p.segment_deleted.get(),
+            live,
+        );
+        std::fs::write(path, json)?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+/// The single-process reference check (in-memory log, no segments).
+fn single(scenario: &dyn Scenario, opts: &Options) {
+    let cfg = workload(opts);
+    let run = record_run(scenario, &cfg, opts.kind.log_mode(), Variant::Correct);
+    let report = scenario.check(opts.kind, run.events);
+    print_final(&report, 0, 0, 0);
+}

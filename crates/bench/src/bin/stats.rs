@@ -249,6 +249,11 @@ fn reconcile(scenario: &dyn Scenario, seed: u64) -> bool {
         Some(ShardConfig::bounded_shedding(2, Duration::from_millis(1), 4)),
     ));
 
+    // Torn tail: spill a trace to durable segments, tear the unsealed
+    // tail mid-frame, and reconcile the continuous verifier's damage
+    // accounting against the codec's own recovery report.
+    cells.push(run_torn_cell(scenario, seed));
+
     let all_agree = cells.iter().all(Cell::agrees);
     println!("== fault reconciliation (seed {seed}) ==");
     for cell in &cells {
@@ -368,6 +373,117 @@ fn run_cell(
                 "dropped_injected vs log.events_dropped_injected",
                 log_stats.events_dropped_injected,
                 c("log.events_dropped_injected"),
+            ),
+        ],
+    }
+}
+
+/// Torn-tail cell: spill a single-object I/O trace into a segment
+/// directory, un-seal the last segment and tear it mid-frame (a crash
+/// mid-write), then reconcile the continuous verifier's
+/// `torn_bytes_discarded` ledger and its recovered event count against an
+/// independent `codec::read_log_recovering` pass over the same damaged
+/// file — byte for byte, event for event.
+fn run_torn_cell(scenario: &dyn Scenario, seed: u64) -> Cell {
+    use vyrd_core::codec::{self, DecodeOutcome};
+    use vyrd_core::log::LogMode;
+    use vyrd_core::segment::{scan_segments, ContinuousOptions, ContinuousVerifier, SegmentConfig};
+
+    let case = "torn-tail";
+    let fail = |what: &'static str| Cell {
+        case,
+        checks: vec![(what, 0, 1)],
+    };
+    let Some(factory) = scenario.stepping_factory(CheckKind::Io) else {
+        return fail("stepping factory missing");
+    };
+
+    // Record and spill (metrics stay off; both columns of this cell come
+    // from the ledger and the codec, not the registry).
+    let dir = std::env::temp_dir().join(format!("vyrd-stats-torn-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let run = (|| -> std::io::Result<()> {
+        let (log, handle) =
+            EventLog::to_segments(LogMode::Io, SegmentConfig::new(&dir).segment_bytes(2048))?;
+        let recorded = EventLog::in_memory(LogMode::Io);
+        scenario.run(&cfg(seed), &recorded, Variant::Correct);
+        for e in recorded.drain() {
+            log.append_event(e);
+        }
+        log.close();
+        handle.finish()?;
+        Ok(())
+    })();
+    if run.is_err() {
+        return fail("segment spill failed");
+    }
+
+    // Un-seal the last segment (drop its manifest line) and tear three
+    // trailing bytes — every frame is at least nine bytes, so the cut is
+    // guaranteed to land mid-frame.
+    let manifest_path = dir.join("manifest.log");
+    let Ok(manifest) = fs::read_to_string(&manifest_path) else {
+        return fail("manifest unreadable");
+    };
+    let mut lines: Vec<&str> = manifest.lines().collect();
+    if lines.len() < 3 {
+        return fail("trace too small to segment");
+    }
+    lines.pop();
+    if fs::write(&manifest_path, format!("{}\n", lines.join("\n"))).is_err() {
+        return fail("manifest rewrite failed");
+    }
+    let Ok(segments) = scan_segments(&dir) else {
+        return fail("segment scan failed");
+    };
+    let Some(tail) = segments.iter().find(|s| s.sealed_events.is_none()) else {
+        return fail("no unsealed tail after manifest rewrite");
+    };
+    let Ok(bytes) = fs::read(&tail.path) else {
+        return fail("tail unreadable");
+    };
+    if bytes.len() < 12 || fs::write(&tail.path, &bytes[..bytes.len() - 3]).is_err() {
+        return fail("tail tear failed");
+    }
+
+    // Independent damage report straight from the codec.
+    let (codec_events, codec_bytes) = match fs::File::open(&tail.path) {
+        Ok(f) => match codec::read_log_recovering(f) {
+            DecodeOutcome::Complete { records } => (records.len() as u64, 0),
+            DecodeOutcome::RecoveredPrefix {
+                records,
+                bytes_discarded,
+                ..
+            } => (records.len() as u64, bytes_discarded),
+        },
+        Err(_) => return fail("torn tail unopenable"),
+    };
+    let sealed_events: u64 = segments.iter().filter_map(|s| s.sealed_events).sum();
+
+    // The service's own accounting over the same directory.
+    let report = ContinuousVerifier::open(&dir, factory, ContinuousOptions::default())
+        .and_then(ContinuousVerifier::finalize);
+    let _ = fs::remove_dir_all(&dir);
+    let Ok(report) = report else {
+        return fail("continuous verification failed");
+    };
+    Cell {
+        case,
+        checks: vec![
+            (
+                "torn_bytes_discarded vs codec bytes_discarded",
+                report.degradation.torn_bytes_discarded,
+                codec_bytes,
+            ),
+            (
+                "events checked vs codec recoverable prefix",
+                report.stats.events,
+                sealed_events + codec_events,
+            ),
+            (
+                "verdict stays a pass over the clean prefix",
+                u64::from(report.passed()),
+                1,
             ),
         ],
     }

@@ -136,6 +136,35 @@ impl Spec for BLinkSpec {
         let k = key.as_int()?;
         self.map.get(&k).map(|&(d, v)| Self::entry_value(d, v))
     }
+
+    fn save_state(&self) -> Option<Value> {
+        Some(Value::List(
+            self.map
+                .iter()
+                .map(|(&k, &(d, v))| {
+                    Value::List(vec![Value::from(k), Value::from(d), Value::from(v)])
+                })
+                .collect(),
+        ))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SpecError> {
+        let entries = state
+            .as_list()
+            .ok_or_else(|| SpecError::new("b-link state must be a list"))?;
+        let mut map = BTreeMap::new();
+        for entry in entries {
+            let parsed = entry.as_list().and_then(|triple| match triple {
+                [k, d, v] => Some((k.as_int()?, (d.as_int()?, u64::try_from(v.as_int()?).ok()?))),
+                _ => None,
+            });
+            let (k, dv) = parsed
+                .ok_or_else(|| SpecError::new("b-link entry must be a (key, data, version) triple"))?;
+            map.insert(k, dv);
+        }
+        self.map = map;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@
 //! ```
 
 pub mod naive;
+pub mod state;
 
 #[cfg(test)]
 mod tests;
@@ -82,6 +83,14 @@ impl Replayer for NoopReplayer {
 
     fn view(&self) -> crate::view::View {
         crate::view::View::new()
+    }
+
+    fn save_state(&self) -> Option<Value> {
+        Some(Value::Unit)
+    }
+
+    fn restore_state(&mut self, _state: &Value) -> Result<(), crate::spec::SpecError> {
+        Ok(())
     }
 }
 
@@ -230,9 +239,18 @@ pub struct Checker<S: Spec, R: Replayer = NoopReplayer> {
     stats: CheckStats,
     violation: Option<Violation>,
     witness: Vec<WitnessStep>,
-    /// Events pulled from the source while looking ahead for a return
-    /// value, not yet processed.
+    /// Events pulled from the input queue while looking ahead for a
+    /// return value, not yet processed.
     lookahead: VecDeque<Event>,
+    /// Fed events not yet processed (nor buffered into `lookahead`).
+    /// The engine is push-based: [`Checker::feed`] enqueues here and the
+    /// pump processes as far as the commit-lookahead rule allows.
+    input: VecDeque<Event>,
+    /// Per-thread count of `Return` events sitting unprocessed in
+    /// `input` + `lookahead`. A mutator commit needs its return value by
+    /// lookahead (§2/Fig. 3); the pump stalls on a commit until the
+    /// committing thread's return has been fed (or the log ends).
+    returns_buffered: HashMap<ThreadId, usize>,
     /// Per-thread in-flight execution.
     pending: HashMap<ThreadId, PendingExec>,
     /// Number of commits applied to the specification so far.
@@ -249,6 +267,13 @@ pub struct Checker<S: Spec, R: Replayer = NoopReplayer> {
     /// Commits applied since the last quiescent-state comparison (the
     /// `QuiescentOnly` baseline policy).
     commits_since_quiescent_check: u64,
+    /// Set by [`Checker::mark_input_truncated`]: the fed history is a
+    /// crash-recovered prefix, so a commit whose return was lost with
+    /// the missing tail is unchecked coverage, not a malformed log.
+    input_truncated: bool,
+    /// Commits dropped at end-of-input under `input_truncated`; charged
+    /// to the report's degradation ledger.
+    truncated_commits_lost: u64,
 }
 
 impl<S: Spec> Checker<S, NoopReplayer> {
@@ -275,6 +300,8 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             violation: None,
             witness: Vec::new(),
             lookahead: VecDeque::new(),
+            input: VecDeque::new(),
+            returns_buffered: HashMap::new(),
             pending: HashMap::new(),
             commits_applied: 0,
             snapshots: BTreeMap::new(),
@@ -282,6 +309,8 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             blocks: BlockBuffer::new(),
             position: 0,
             commits_since_quiescent_check: 0,
+            input_truncated: false,
+            truncated_commits_lost: 0,
         }
     }
 
@@ -356,18 +385,63 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
 
     // ------------------------------------------------------------------
     // Engine
+    //
+    // The engine is *push-based*: events are enqueued with `feed` (or the
+    // private `push`) and `pump` processes them in log order, stalling on
+    // a mutator commit until the committing thread's return value has
+    // been fed (the paper's lookahead, §2/Fig. 3). The pull-based
+    // `check_*` entry points are thin wrappers that drain their source
+    // into the queue. Push form exists so a checker can be suspended at
+    // any event boundary — the continuous verification service
+    // checkpoints and resumes checkers mid-log (see `save_state`).
     // ------------------------------------------------------------------
 
     fn run(mut self, mut source: impl FnMut() -> Option<Event>) -> (Report, Vec<WitnessStep>) {
-        while let Some(event) = self.next_event(&mut source) {
-            self.stats.events += 1;
-            self.step(event, &mut source);
-            self.maybe_check_quiescent();
-            if self.violation.is_some() && self.options.stop_at_first_violation {
-                break;
-            }
-            self.position += 1;
+        while !(self.violation.is_some() && self.options.stop_at_first_violation) {
+            let Some(event) = source() else { break };
+            self.push(event);
+            self.pump(false);
         }
+        self.seal()
+    }
+
+    /// Feeds one event into the checker, processing as far as the
+    /// lookahead rule allows. Call [`Checker::into_report`] after the
+    /// last event; events fed after a violation (with the default
+    /// stop-at-first option) are buffered but not processed.
+    pub fn feed(&mut self, event: Event) {
+        self.push(event);
+        self.pump(false);
+    }
+
+    /// True once a violation has been recorded (useful to stop feeding
+    /// early under [`CheckerOptions::stop_at_first_violation`]).
+    pub fn violation_found(&self) -> bool {
+        self.violation.is_some()
+    }
+
+    /// Finishes a push-fed check: the end of the log is now known, so
+    /// commits still stalled waiting for a return resolve (to a
+    /// malformed-log violation if the return never arrived) and the
+    /// report is produced.
+    pub fn into_report(self) -> Report {
+        self.seal().0
+    }
+
+    /// Declares that the fed history is a crash-recovered prefix of the
+    /// real execution (e.g. a torn log tail was discarded by
+    /// [`codec::read_log_recovering`]). A commit still stalled at
+    /// end-of-input then resolves to *lost coverage* — charged to the
+    /// report's [`Degradation`](crate::violation::Degradation) ledger —
+    /// instead of a [`Violation::MalformedLog`], because its return
+    /// value plausibly died with the missing tail. Violations found in
+    /// the surviving prefix are unaffected.
+    pub fn mark_input_truncated(&mut self) {
+        self.input_truncated = true;
+    }
+
+    fn seal(mut self) -> (Report, Vec<WitnessStep>) {
+        self.pump(true);
         self.finish();
         // Fold this check's counters into the process-global metrics once,
         // at the end — exact, and far cheaper than per-event updates.
@@ -382,21 +456,84 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             pm.checker_view_keys_compared.add(self.stats.view_keys_compared);
             pm.checker_writes_replayed.add(self.stats.writes_replayed);
         }
+        let degradation = crate::violation::Degradation {
+            events_lost: self.truncated_commits_lost,
+            ..Default::default()
+        };
         (
             Report {
                 violation: self.violation,
                 stats: self.stats,
-                ..Report::default()
+                degradation,
             },
             self.witness,
         )
     }
 
-    fn next_event(&mut self, source: &mut impl FnMut() -> Option<Event>) -> Option<Event> {
-        if let Some(e) = self.lookahead.pop_front() {
-            return Some(e);
+    /// Enqueues an event without processing.
+    fn push(&mut self, event: Event) {
+        if let Event::Return { tid, .. } = &event {
+            *self.returns_buffered.entry(*tid).or_insert(0) += 1;
         }
-        source()
+        self.input.push_back(event);
+    }
+
+    /// Processes queued events in log order until the queue is empty, a
+    /// mutator commit stalls on a not-yet-fed return (`eof` false), or a
+    /// violation stops the run.
+    fn pump(&mut self, eof: bool) {
+        loop {
+            if self.violation.is_some() && self.options.stop_at_first_violation {
+                return;
+            }
+            // The next event in log order is the lookahead front (events
+            // buffered while scanning for an earlier return), else the
+            // input front. Either way, a stalled commit parks the pump
+            // until the committing thread's return is fed.
+            match self.lookahead.front().or_else(|| self.input.front()) {
+                None => return,
+                Some(e) if !eof && self.commit_stalled(e) => return,
+                Some(_) => {}
+            }
+            let event = match self.lookahead.pop_front().or_else(|| self.input.pop_front()) {
+                Some(e) => e,
+                None => return,
+            };
+            if let Event::Return { tid, .. } = &event {
+                if let Some(n) = self.returns_buffered.get_mut(tid) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.returns_buffered.remove(tid);
+                    }
+                }
+            }
+            self.stats.events += 1;
+            self.step(event);
+            self.maybe_check_quiescent();
+            if self.violation.is_some() && self.options.stop_at_first_violation {
+                return;
+            }
+            self.position += 1;
+        }
+    }
+
+    /// True when `event` is a mutator commit whose return value has not
+    /// been fed yet: processing it now would turn a merely-incomplete
+    /// stream into a spurious malformed-log verdict. Observer commits,
+    /// double commits, and orphan commits never stall — they resolve
+    /// without lookahead.
+    fn commit_stalled(&self, event: &Event) -> bool {
+        let Event::Commit { tid, .. } = event else {
+            return false;
+        };
+        match self.pending.get(tid) {
+            Some(p) => {
+                p.kind == MethodKind::Mutator
+                    && !p.committed
+                    && self.returns_buffered.get(tid).copied().unwrap_or(0) == 0
+            }
+            None => false,
+        }
     }
 
     /// Scans forward (buffering into `lookahead`) for the return value of
@@ -408,7 +545,6 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
         &mut self,
         tid: ThreadId,
         method: &MethodId,
-        source: &mut impl FnMut() -> Option<Event>,
     ) -> Result<Option<Value>, Violation> {
         let matching = |m: &MethodId, ret: &Value| -> Result<Value, Violation> {
             if m == method {
@@ -436,7 +572,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             }
         }
         loop {
-            let Some(e) = source() else {
+            let Some(e) = self.input.pop_front() else {
                 return Ok(None);
             };
             let found = if let Event::Return {
@@ -463,7 +599,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
         }
     }
 
-    fn step(&mut self, event: Event, source: &mut impl FnMut() -> Option<Event>) {
+    fn step(&mut self, event: Event) {
         match event {
             Event::Write {
                 tid, var, value, ..
@@ -481,7 +617,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             Event::Call {
                 tid, method, args, ..
             } => self.on_call(tid, method, args),
-            Event::Commit { tid, .. } => self.on_commit(tid, source),
+            Event::Commit { tid, .. } => self.on_commit(tid),
             Event::Return {
                 tid, method, ret, ..
             } => self.on_return(tid, method, ret),
@@ -531,7 +667,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
         }
     }
 
-    fn on_commit(&mut self, tid: ThreadId, source: &mut impl FnMut() -> Option<Event>) {
+    fn on_commit(&mut self, tid: ThreadId) {
         let Some(pending) = self.pending.get(&tid) else {
             self.fail(Violation::MalformedLog {
                 detail: format!("{tid} committed outside any method execution"),
@@ -564,9 +700,17 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
                 let args = pending.args.clone();
                 // The paper derives the committing method's return value
                 // "by looking ahead in the implementation's execution".
-                let ret = match self.lookahead_return(tid, &method, source) {
+                let ret = match self.lookahead_return(tid, &method) {
                     Ok(Some(ret)) => ret,
                     Ok(None) => {
+                        if self.input_truncated {
+                            // The return died with the discarded tail:
+                            // the commit is unchecked coverage, not a
+                            // malformed log. Leave the execution pending
+                            // (open executions are tolerated at EOF).
+                            self.truncated_commits_lost += 1;
+                            return;
+                        }
                         self.fail(Violation::MalformedLog {
                             detail: format!(
                                 "log ends before the return of committed method {tid} {method}"

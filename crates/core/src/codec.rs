@@ -75,6 +75,10 @@ pub const MAGIC: [u8; 4] = *b"VYRD";
 /// The log format version this module writes.
 pub const FORMAT_VERSION: u32 = 4;
 
+/// Encoded size of the stream header written by [`write_header`]:
+/// magic bytes, format version, and the mode byte.
+pub const HEADER_LEN: u64 = (MAGIC.len() + 4 + 1) as u64;
+
 /// The last format version whose records were written bare (unframed).
 const LAST_UNFRAMED_VERSION: u32 = 2;
 
@@ -753,6 +757,12 @@ pub enum DecodeOutcome {
         truncated_at: u64,
         /// Human-readable description of what stopped decoding.
         detail: String,
+        /// How many trailing bytes were discarded as untrusted — the
+        /// stream's total length minus `truncated_at`. Distinguishes a
+        /// tear that lost half a frame from one that lost a megabyte of
+        /// tail, which a caller folding losses into a
+        /// [`Degradation`](crate::violation::Degradation) ledger needs.
+        bytes_discarded: u64,
     },
 }
 
@@ -791,9 +801,10 @@ impl fmt::Display for DecodeOutcome {
                 records,
                 truncated_at,
                 detail,
+                bytes_discarded,
             } => write!(
                 f,
-                "recovered {} records up to byte {truncated_at} ({detail})",
+                "recovered {} records up to byte {truncated_at}, discarded {bytes_discarded} trailing bytes ({detail})",
                 records.len()
             ),
         }
@@ -809,31 +820,46 @@ impl fmt::Display for DecodeOutcome {
 /// entry point for the paper's post-mortem use case — checking the log of
 /// a crashed run offline.
 pub fn read_log_recovering<R: Read>(r: R) -> DecodeOutcome {
-    let mut reader = match LogReader::new(r) {
+    // An outer byte counter survives the decoder, so after damage the
+    // untrusted remainder can be measured (drained) rather than guessed.
+    let mut outer = CountingReader { inner: r, pos: 0 };
+    let mut reader = match LogReader::new(&mut outer) {
         Ok(reader) => reader,
         Err(e) => {
+            let detail = e.to_string();
+            drain_remaining(&mut outer);
             return DecodeOutcome::RecoveredPrefix {
                 records: Vec::new(),
                 truncated_at: 0,
-                detail: e.to_string(),
-            }
+                detail,
+                bytes_discarded: outer.pos,
+            };
         }
     };
     let mut records = Vec::new();
-    loop {
+    let (offset, detail) = loop {
         let offset = reader.next_record_offset();
         match reader.next_event() {
             Ok(Some(e)) => records.push(e),
             Ok(None) => return DecodeOutcome::Complete { records },
-            Err(e) => {
-                return DecodeOutcome::RecoveredPrefix {
-                    records,
-                    truncated_at: offset,
-                    detail: e.to_string(),
-                }
-            }
+            Err(e) => break (offset, e.to_string()),
         }
+    };
+    drain_remaining(&mut outer);
+    DecodeOutcome::RecoveredPrefix {
+        records,
+        truncated_at: offset,
+        detail,
+        bytes_discarded: outer.pos.saturating_sub(offset),
     }
+}
+
+/// Best-effort read-to-EOF so the counting wrapper's position reflects the
+/// stream's full length. An I/O error mid-drain leaves the count at
+/// however far the drain got — an undercount, never an overcount.
+fn drain_remaining<R: Read>(r: &mut CountingReader<R>) {
+    let mut scratch = [0u8; 4096];
+    while matches!(r.read(&mut scratch), Ok(n) if n > 0) {}
 }
 
 #[cfg(test)]
@@ -1109,10 +1135,13 @@ mod tests {
                 records,
                 truncated_at,
                 detail,
+                bytes_discarded,
             } => {
                 assert!(records.is_empty());
                 assert_eq!(truncated_at, 0);
                 assert!(detail.contains("mode byte"), "{detail}");
+                // Nothing was trusted, so the whole stream was discarded.
+                assert_eq!(bytes_discarded, buf.len() as u64);
             }
             other => panic!("expected RecoveredPrefix, got {other:?}"),
         }
@@ -1160,6 +1189,7 @@ mod tests {
             DecodeOutcome::RecoveredPrefix {
                 records,
                 truncated_at,
+                bytes_discarded,
                 ..
             } => {
                 assert_eq!(records, log[..2]);
@@ -1169,6 +1199,8 @@ mod tests {
                 write_frame(&mut prefix, &log[0]).unwrap();
                 write_frame(&mut prefix, &log[1]).unwrap();
                 assert_eq!(truncated_at, prefix.len() as u64);
+                // Everything after the last trusted frame was discarded.
+                assert_eq!(bytes_discarded, (torn.len() - prefix.len()) as u64);
             }
             other => panic!("expected RecoveredPrefix, got {other:?}"),
         }

@@ -99,6 +99,7 @@ pub mod metrics;
 pub mod online;
 pub mod pool;
 pub mod replay;
+pub mod segment;
 pub mod shard;
 pub mod spec;
 pub mod value;
@@ -109,6 +110,7 @@ pub use codec::DecodeOutcome;
 pub use event::{Event, MethodId, ObjectId, ThreadId, VarId};
 pub use log::{EventLog, LogMode, ThreadLogger};
 pub use pool::{ObjectChecker, SupervisorConfig, VerifierPool};
+pub use segment::{ContinuousVerifier, SegmentConfig, SegmentLogHandle};
 pub use shard::{OverloadPolicy, ShardConfig, ShardRouter};
 pub use spec::{MethodKind, Spec, SpecEffect, SpecError};
 pub use value::Value;

@@ -50,6 +50,7 @@ use vyrd_rt::sync::{CachePadded, Mutex};
 use crate::codec;
 use crate::event::{ArgList, Event, MethodId, ObjectId, ThreadId, VarId};
 use crate::metrics::pipeline;
+use crate::segment;
 use crate::value::Value;
 
 /// Events a thread buffers locally before handing a batch to the merger.
@@ -202,6 +203,28 @@ impl Sink for DispatchSink {
         for event in run.drain(..) {
             (self.dispatch)(event);
         }
+    }
+}
+
+/// Spills merged runs to the background segment writer — the durable
+/// sink mode behind [`EventLog::to_segments`].
+///
+/// Each run crosses the channel as an owned `Vec` (the writer thread
+/// keeps it), so unlike [`FileSink`] this sink allocates per run; in
+/// exchange the program threads never block on disk I/O.
+struct SegmentSink {
+    handle: segment::SegmentLogHandle,
+}
+
+impl Sink for SegmentSink {
+    fn append_run(&mut self, run: &mut Vec<Event>) {
+        self.handle.append(std::mem::take(run));
+    }
+
+    fn flush(&mut self) {
+        // A flush that races the writer's shutdown is not an error the
+        // log can act on; `SegmentLogHandle::finish` reports it.
+        let _ = self.handle.flush_sync();
     }
 }
 
@@ -714,6 +737,31 @@ impl EventLog {
                 error: None,
             }),
         ))
+    }
+
+    /// Creates a log whose events are spilled to file-backed segments by
+    /// a background writer thread (see [`crate::segment`]): the durable
+    /// sink mode for long runs checked by a
+    /// [`ContinuousVerifier`](crate::segment::ContinuousVerifier).
+    ///
+    /// The returned handle controls the writer; call
+    /// [`SegmentLogHandle::finish`](crate::segment::SegmentLogHandle::finish)
+    /// **after** [`EventLog::close`] to seal the final segment and join
+    /// the thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the segment directory (or its manifest) cannot be
+    /// created, or the writer thread cannot be spawned.
+    pub fn to_segments(
+        mode: LogMode,
+        config: segment::SegmentConfig,
+    ) -> io::Result<(EventLog, segment::SegmentLogHandle)> {
+        let handle = segment::SegmentLogHandle::spawn(mode, config)?;
+        let sink = SegmentSink {
+            handle: handle.clone(),
+        };
+        Ok((EventLog::with_sink(mode, Box::new(sink)), handle))
     }
 
     /// Creates a log that forwards events to a channel for the online

@@ -101,6 +101,17 @@ pub struct PipelineMetrics {
     /// Supervised single-stream check attempts (incl. restarts).
     pub online_checks: Arc<Counter>,
 
+    // -- Segmented durable log (crate::segment) --
+    /// Segments sealed (flushed, synced, and recorded in the manifest).
+    pub segment_sealed: Arc<Counter>,
+    /// Fully checked segments deleted by the continuous verifier.
+    pub segment_deleted: Arc<Counter>,
+    /// Checkpoints durably written by the continuous verifier.
+    pub checkpoint_written: Arc<Counter>,
+    /// Durable sequence number the continuous verifier resumed from
+    /// (set once per [`ContinuousVerifier::open`](crate::segment::ContinuousVerifier::open)).
+    pub checker_resume_seq: Arc<Gauge>,
+
     // -- Trace spans (crate::instrument) --
     /// Call→commit latency per method execution, ns.
     pub span_call_to_commit_ns: Arc<Histogram>,
@@ -143,6 +154,10 @@ pub fn pipeline() -> &'static PipelineMetrics {
         checker_writes_replayed: metrics::counter("checker.writes_replayed"),
         checker_observer_window: metrics::histogram("checker.observer_window"),
         online_checks: metrics::counter("online.checks"),
+        segment_sealed: metrics::counter("segment.sealed"),
+        segment_deleted: metrics::counter("segment.deleted"),
+        checkpoint_written: metrics::counter("checkpoint.written"),
+        checker_resume_seq: metrics::gauge("checker.resume_seq"),
         span_call_to_commit_ns: metrics::histogram("span.call_to_commit_ns"),
         span_call_to_return_ns: metrics::histogram("span.call_to_return_ns"),
     })

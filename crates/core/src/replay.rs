@@ -50,6 +50,26 @@ pub trait Replayer: Send + 'static {
     fn take_dirty(&mut self) -> Option<Vec<Value>> {
         None
     }
+
+    /// Serializes the complete shadow state as a [`Value`] for
+    /// checkpointing, or `None` when this replayer does not support it
+    /// (the default). Mirrors [`Spec::save_state`](crate::spec::Spec::save_state).
+    fn save_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores state produced by [`Replayer::save_state`], fully
+    /// overwriting the current shadow state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`](crate::spec::SpecError) when the encoding
+    /// is unrecognized or checkpointing is unsupported (the default).
+    fn restore_state(&mut self, _state: &Value) -> Result<(), crate::spec::SpecError> {
+        Err(crate::spec::SpecError::new(
+            "this replayer does not support checkpoint restore",
+        ))
+    }
 }
 
 /// Per-thread buffering of commit-block writes (§5.2).
@@ -69,6 +89,14 @@ pub struct BlockBuffer {
     buffered: HashMap<ThreadId, Vec<(VarId, Value)>>,
     open: HashMap<ThreadId, bool>,
 }
+
+/// Per-thread buffered commit-block writes, as dismantled by
+/// [`BlockBuffer::to_parts`] (sorted by thread id).
+pub type BufferedBlockWrites = Vec<(ThreadId, Vec<(VarId, Value)>)>;
+
+/// Per-thread commit-block open flags, as dismantled by
+/// [`BlockBuffer::to_parts`] (sorted by thread id).
+pub type OpenBlockFlags = Vec<(ThreadId, bool)>;
 
 impl BlockBuffer {
     /// Creates an empty buffer.
@@ -115,6 +143,29 @@ impl BlockBuffer {
             .get_mut(&tid)
             .map(std::mem::take)
             .unwrap_or_default()
+    }
+
+    /// Dismantles the buffer into plain data for checkpointing: the
+    /// buffered writes and the open flags, each sorted by thread id so
+    /// the encoding is deterministic.
+    pub fn to_parts(&self) -> (BufferedBlockWrites, OpenBlockFlags) {
+        let mut buffered: Vec<_> = self
+            .buffered
+            .iter()
+            .map(|(tid, writes)| (*tid, writes.clone()))
+            .collect();
+        buffered.sort_by_key(|(tid, _)| tid.0);
+        let mut open: Vec<_> = self.open.iter().map(|(tid, o)| (*tid, *o)).collect();
+        open.sort_by_key(|(tid, _)| tid.0);
+        (buffered, open)
+    }
+
+    /// Rebuilds a buffer from [`BlockBuffer::to_parts`] output.
+    pub fn from_parts(buffered: BufferedBlockWrites, open: OpenBlockFlags) -> BlockBuffer {
+        BlockBuffer {
+            buffered: buffered.into_iter().collect(),
+            open: open.into_iter().collect(),
+        }
     }
 }
 

@@ -1,0 +1,704 @@
+//! The continuous verifier: checks a segment directory as it grows,
+//! checkpointing its state and deleting fully-checked segments.
+//!
+//! [`ContinuousVerifier`] is the consumer half of the segmented log
+//! (see the [module docs](super)). It is single-threaded and driven by
+//! polling: each [`ContinuousVerifier::step`] call checks every segment
+//! the manifest has sealed since the last call, in strict durable-
+//! sequence order; [`ContinuousVerifier::finalize`] additionally
+//! recovers the unsealed tail (legitimately torn after a crash) and
+//! folds the per-object reports into one merged
+//! [`Report`](crate::violation::Report), exactly like
+//! [`VerifierPool::finish_all`](crate::pool::VerifierPool::finish_all).
+//!
+//! Crash-recovery invariants:
+//!
+//! * **Checkpoint-then-delete** — a segment is deleted only after a
+//!   checkpoint with `next_seq` past its end was fsynced and renamed
+//!   into place, so the union of (newest readable checkpoint, surviving
+//!   segments) always covers the durable history.
+//! * **Torn data degrades, never forges** — bytes discarded while
+//!   recovering the tail, sealed segments that decode short, and holes
+//!   left by missing files are charged to the
+//!   [`Degradation`](crate::violation::Degradation) ledger, so the final
+//!   verdict can be a degraded pass but never a clean `PASS` over a
+//!   damaged history.
+//! * **Strict order** — events past a hole or a damaged segment are
+//!   never fed to a checker (their prefix context is gone); they are
+//!   counted as lost instead.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::checker::state::StateError;
+use crate::checker::Checker;
+use crate::codec::{self, DecodeOutcome};
+use crate::event::{Event, ObjectId};
+use crate::metrics::pipeline;
+use crate::replay::Replayer;
+use crate::spec::Spec;
+use crate::value::Value;
+use crate::violation::{Degradation, Report};
+
+use super::checkpoint::{self, Checkpoint};
+use super::{scan_segments, ScannedSegment};
+
+/// A checker that can be fed one event at a time and serialized between
+/// events — what the continuous verifier needs from
+/// [`Checker`](crate::checker::Checker), object-safe so checkers over
+/// different specifications can share a map.
+pub trait SteppingChecker: Send {
+    /// Feeds the next event of this object's subsequence.
+    fn feed(&mut self, event: Event);
+    /// `true` once a violation was found.
+    fn violation_found(&self) -> bool;
+    /// Serializes the full checker state (see
+    /// [`Checker::save_state`](crate::checker::Checker::save_state)).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a component of the state is not checkpointable.
+    fn save_state(&self) -> Result<Value, StateError>;
+    /// Restores state saved by [`SteppingChecker::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or incompatible state.
+    fn restore_state(&mut self, state: &Value) -> Result<(), StateError>;
+    /// Declares the fed history a crash-recovered prefix (see
+    /// [`Checker::mark_input_truncated`](crate::checker::Checker::mark_input_truncated)).
+    fn mark_input_truncated(&mut self);
+    /// Ends the log and produces the report.
+    fn finish(self: Box<Self>) -> Report;
+}
+
+impl<S: Spec, R: Replayer> SteppingChecker for Checker<S, R> {
+    fn feed(&mut self, event: Event) {
+        Checker::feed(self, event);
+    }
+
+    fn violation_found(&self) -> bool {
+        Checker::violation_found(self)
+    }
+
+    fn save_state(&self) -> Result<Value, StateError> {
+        Checker::save_state(self)
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), StateError> {
+        Checker::restore_state(self, state)
+    }
+
+    fn mark_input_truncated(&mut self) {
+        Checker::mark_input_truncated(self);
+    }
+
+    fn finish(self: Box<Self>) -> Report {
+        (*self).into_report()
+    }
+}
+
+/// Builds one checkpointable checker per object, on demand and again
+/// after recovery.
+pub type SteppingFactory = Arc<dyn Fn(ObjectId) -> Box<dyn SteppingChecker> + Send + Sync>;
+
+/// Tuning knobs for the continuous verifier.
+#[derive(Clone, Debug)]
+pub struct ContinuousOptions {
+    /// Checkpoint after this many newly checked segments (≥ 1).
+    pub checkpoint_every_segments: u64,
+    /// Delete segments once a checkpoint covers them (disable to keep
+    /// the full history, e.g. to re-check it from scratch afterwards).
+    pub delete_checked: bool,
+}
+
+impl Default for ContinuousOptions {
+    fn default() -> ContinuousOptions {
+        ContinuousOptions {
+            checkpoint_every_segments: 1,
+            delete_checked: true,
+        }
+    }
+}
+
+/// What one [`ContinuousVerifier::step`] call accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepProgress {
+    /// Sealed segments fully checked by this call.
+    pub segments_checked: u64,
+    /// Events fed to checkers by this call.
+    pub events_checked: u64,
+}
+
+/// Checks a segment directory incrementally with bounded memory.
+///
+/// See the [module docs](self) for the polling protocol and the
+/// crash-recovery invariants.
+pub struct ContinuousVerifier {
+    dir: PathBuf,
+    factory: SteppingFactory,
+    options: ContinuousOptions,
+    checkers: BTreeMap<ObjectId, Box<dyn SteppingChecker>>,
+    /// Durable sequence number of the first unchecked event.
+    next_seq: u64,
+    /// The `next_seq` recovered from the checkpoint at open time.
+    resume_seq: u64,
+    segments_since_checkpoint: u64,
+    degradation: Degradation,
+    /// Set when a hole or damaged sealed segment makes everything after
+    /// it uncheckable; consumption stops, accounting continues.
+    stalled: bool,
+}
+
+impl std::fmt::Debug for ContinuousVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContinuousVerifier")
+            .field("dir", &self.dir)
+            .field("next_seq", &self.next_seq)
+            .field("resume_seq", &self.resume_seq)
+            .field("objects", &self.checkers.len())
+            .field("stalled", &self.stalled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ContinuousVerifier {
+    /// Opens a segment directory for checking, resuming from the newest
+    /// checkpoint whose payload decodes *and* whose checker states
+    /// restore; without one, checking starts at sequence 0 with fresh
+    /// checkers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory I/O errors.
+    pub fn open<P: Into<PathBuf>>(
+        dir: P,
+        factory: SteppingFactory,
+        options: ContinuousOptions,
+    ) -> io::Result<ContinuousVerifier> {
+        let dir = dir.into();
+        let mut verifier = ContinuousVerifier {
+            dir,
+            factory,
+            options: ContinuousOptions {
+                checkpoint_every_segments: options.checkpoint_every_segments.max(1),
+                ..options
+            },
+            checkers: BTreeMap::new(),
+            next_seq: 0,
+            resume_seq: 0,
+            segments_since_checkpoint: 0,
+            degradation: Degradation::default(),
+            stalled: false,
+        };
+        for path in checkpoint::list_checkpoints(&verifier.dir)? {
+            let Ok(checkpoint) = checkpoint::read_checkpoint(&path) else {
+                continue;
+            };
+            if verifier.restore(&checkpoint).is_ok() {
+                break;
+            }
+            verifier.checkers.clear();
+        }
+        verifier.resume_seq = verifier.next_seq;
+        if vyrd_rt::metrics::enabled() {
+            pipeline().checker_resume_seq.set(verifier.next_seq);
+        }
+        Ok(verifier)
+    }
+
+    fn restore(&mut self, checkpoint: &Checkpoint) -> Result<(), StateError> {
+        let mut checkers = BTreeMap::new();
+        for (object, state) in &checkpoint.states {
+            let mut checker = (self.factory)(*object);
+            checker.restore_state(state)?;
+            checkers.insert(*object, checker);
+        }
+        self.checkers = checkers;
+        self.next_seq = checkpoint.next_seq;
+        self.degradation = checkpoint.degradation.clone();
+        Ok(())
+    }
+
+    /// Durable sequence number of the first unchecked event.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The position checking resumed from at [`ContinuousVerifier::open`]
+    /// (0 for a fresh directory).
+    pub fn resume_seq(&self) -> u64 {
+        self.resume_seq
+    }
+
+    /// `true` once a hole or damaged sealed segment stopped consumption.
+    pub fn stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// `true` if any checker has already found a violation.
+    pub fn violation_found(&self) -> bool {
+        self.checkers.values().any(|c| c.violation_found())
+    }
+
+    /// Checks every sealed segment the manifest gained since the last
+    /// call, checkpointing per
+    /// [`ContinuousOptions::checkpoint_every_segments`] and deleting
+    /// covered segments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates segment-directory and checkpoint I/O errors.
+    pub fn step(&mut self) -> io::Result<StepProgress> {
+        let mut progress = StepProgress::default();
+        if self.stalled {
+            return Ok(progress);
+        }
+        let segments = scan_segments(&self.dir)?;
+        for segment in &segments {
+            let Some(end_seq) = segment.end_seq() else {
+                continue; // unsealed tail: only `finalize` may touch it
+            };
+            if end_seq <= self.next_seq {
+                continue; // already checked (and maybe awaiting deletion)
+            }
+            if self.hole_before(segment) {
+                break;
+            }
+            let sealed_events = segment.sealed_events.unwrap_or(0);
+            let (events, damage) = read_sealed(segment)?;
+            let decoded = events.len() as u64;
+            progress.events_checked += self.feed_from(segment.first_seq, events);
+            if decoded < sealed_events || damage > 0 {
+                // A *sealed* segment decoding short is real corruption
+                // (the seal fsynced it): everything after it is lost.
+                self.degradation.torn_bytes_discarded += damage;
+                self.degradation.events_lost += sealed_events - decoded;
+                self.next_seq = segment.first_seq + decoded;
+                self.stalled = true;
+                break;
+            }
+            self.next_seq = end_seq;
+            progress.segments_checked += 1;
+            self.segments_since_checkpoint += 1;
+            if self.segments_since_checkpoint >= self.options.checkpoint_every_segments {
+                self.checkpoint()?;
+            }
+        }
+        Ok(progress)
+    }
+
+    /// Records a hole (missing segment file) in front of `segment`;
+    /// returns `true` and stalls if one exists.
+    fn hole_before(&mut self, segment: &ScannedSegment) -> bool {
+        if segment.first_seq <= self.next_seq {
+            return false;
+        }
+        self.degradation.events_lost += segment.first_seq - self.next_seq;
+        self.stalled = true;
+        true
+    }
+
+    /// Feeds `events` (the contents of the segment starting at
+    /// `first_seq`) to the per-object checkers, skipping the prefix
+    /// already covered by `next_seq`. Returns how many were fed.
+    fn feed_from(&mut self, first_seq: u64, events: Vec<Event>) -> u64 {
+        let mut fed = 0;
+        for (i, event) in events.into_iter().enumerate() {
+            let seq = first_seq + i as u64;
+            if seq < self.next_seq {
+                continue;
+            }
+            let object = event.object();
+            let factory = &self.factory;
+            let checker = self
+                .checkers
+                .entry(object)
+                .or_insert_with(|| factory(object));
+            checker.feed(event);
+            fed += 1;
+        }
+        fed
+    }
+
+    /// Serializes every checker's state plus the degradation ledger into
+    /// a new checkpoint file, then (if configured) deletes the segments
+    /// the checkpoint covers.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a checker state is not serializable
+    /// ([`io::ErrorKind::InvalidInput`]) or on I/O errors; the previous
+    /// checkpoint survives either way.
+    pub fn checkpoint(&mut self) -> io::Result<PathBuf> {
+        let mut states = Vec::with_capacity(self.checkers.len());
+        for (object, checker) in &self.checkers {
+            let state = checker.save_state().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("object {} state not checkpointable: {e}", object.0),
+                )
+            })?;
+            states.push((*object, state));
+        }
+        let path = checkpoint::write_checkpoint(
+            &self.dir,
+            &Checkpoint {
+                next_seq: self.next_seq,
+                states,
+                degradation: self.degradation.clone(),
+            },
+        )?;
+        self.segments_since_checkpoint = 0;
+        if self.options.delete_checked {
+            self.delete_covered()?;
+        }
+        Ok(path)
+    }
+
+    /// Deletes sealed segments lying entirely below `next_seq`.
+    fn delete_covered(&self) -> io::Result<()> {
+        for segment in scan_segments(&self.dir)? {
+            if matches!(segment.end_seq(), Some(end) if end <= self.next_seq) {
+                fs::remove_file(&segment.path)?;
+                if vyrd_rt::metrics::enabled() {
+                    pipeline().segment_deleted.inc();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the run: checks any remaining sealed segments, recovers
+    /// the unsealed tail (torn frames tolerated and charged to the
+    /// ledger), writes a final checkpoint, and merges the per-object
+    /// reports.
+    ///
+    /// Call once the writer has stopped (after
+    /// [`SegmentLogHandle::finish`](super::SegmentLogHandle::finish), or
+    /// when recovering a directory whose writer process died).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and non-checkpointable-state errors from
+    /// the final checkpoint.
+    pub fn finalize(mut self) -> io::Result<Report> {
+        self.step()?;
+        let mut crash_evidence = self.stalled;
+        if !self.stalled {
+            crash_evidence |= self.consume_tail()?;
+        }
+        if crash_evidence {
+            // The durable history demonstrably ends short of the real
+            // execution (unsealed tail, torn frames, or a hole), so a
+            // commit whose return is missing at EOF is lost coverage,
+            // not a malformed log.
+            for checker in self.checkers.values_mut() {
+                checker.mark_input_truncated();
+            }
+        }
+        self.checkpoint()?;
+        let mut merged = Report::default();
+        for (_, checker) in std::mem::take(&mut self.checkers) {
+            let report = checker.finish();
+            let m = &mut merged.stats;
+            let s = &report.stats;
+            m.events += s.events;
+            m.commits_applied += s.commits_applied;
+            m.methods_completed += s.methods_completed;
+            m.observers_checked += s.observers_checked;
+            m.snapshots_taken += s.snapshots_taken;
+            m.view_comparisons += s.view_comparisons;
+            m.view_keys_compared += s.view_keys_compared;
+            m.writes_replayed += s.writes_replayed;
+            merged.degradation.absorb(&report.degradation);
+            if merged.violation.is_none() {
+                merged.violation = report.violation.clone();
+            }
+        }
+        merged.degradation.absorb(&self.degradation);
+        Ok(merged)
+    }
+
+    /// Consumes the unsealed tail segments (files past the manifest's
+    /// coverage) with torn-tail recovery. Only the *last* file may be
+    /// torn legitimately; damage in front of surviving data stalls
+    /// consumption and counts the survivors as lost. Returns `true` when
+    /// the directory shows crash evidence (an unsealed tail exists — a
+    /// clean [`SegmentLogHandle::finish`](super::SegmentLogHandle::finish)
+    /// seals everything — or frames were torn).
+    fn consume_tail(&mut self) -> io::Result<bool> {
+        let segments = scan_segments(&self.dir)?;
+        let tails: Vec<&ScannedSegment> = segments
+            .iter()
+            .filter(|s| s.sealed_events.is_none())
+            .collect();
+        let crash_evidence = !tails.is_empty();
+        for segment in tails {
+            if self.stalled {
+                // Unreachable data behind damage: count its payload as
+                // discarded so the verdict cannot claim full coverage.
+                let len = fs::metadata(&segment.path).map(|m| m.len()).unwrap_or(0);
+                self.degradation.torn_bytes_discarded += len;
+                continue;
+            }
+            if segment.first_seq < self.next_seq {
+                // A tail file the checkpoint already covers (e.g. sealed
+                // right before the crash, manifest line lost): skip the
+                // checked prefix below.
+            } else if self.hole_before(segment) {
+                let len = fs::metadata(&segment.path).map(|m| m.len()).unwrap_or(0);
+                self.degradation.torn_bytes_discarded += len;
+                continue;
+            }
+            let (events, damage) = match File::open(&segment.path) {
+                Ok(file) => match codec::read_log_recovering(file) {
+                    DecodeOutcome::Complete { records } => (records, 0),
+                    DecodeOutcome::RecoveredPrefix {
+                        records,
+                        bytes_discarded,
+                        ..
+                    } => (records, bytes_discarded),
+                },
+                Err(e) => return Err(e),
+            };
+            let decoded = events.len() as u64;
+            self.feed_from(segment.first_seq, events);
+            self.next_seq = segment.first_seq + decoded;
+            if damage > 0 {
+                self.degradation.torn_bytes_discarded += damage;
+                // Anything after a torn file lost its prefix.
+                self.stalled = true;
+            }
+        }
+        Ok(crash_evidence)
+    }
+}
+
+/// Reads one sealed segment, tolerating (and measuring) a damaged tail.
+/// Returns the decoded events and the number of damaged bytes.
+fn read_sealed(segment: &ScannedSegment) -> io::Result<(Vec<Event>, u64)> {
+    let file = File::open(&segment.path)?;
+    Ok(match codec::read_log_recovering(file) {
+        DecodeOutcome::Complete { records } => (records, 0),
+        DecodeOutcome::RecoveredPrefix {
+            records,
+            bytes_discarded,
+            ..
+        } => (records, bytes_discarded),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogMode;
+    use crate::segment::{SegmentConfig, SegmentLogHandle};
+    use crate::spec::{MethodKind, SpecEffect, SpecError};
+    use crate::view::View;
+    use crate::MethodId;
+
+    /// A multiset-flavoured spec small enough for unit tests.
+    #[derive(Clone, Default)]
+    struct CountSpec(std::collections::BTreeMap<i64, u64>);
+
+    impl Spec for CountSpec {
+        fn kind(&self, m: &MethodId) -> MethodKind {
+            if m.name() == "Get" {
+                MethodKind::Observer
+            } else {
+                MethodKind::Mutator
+            }
+        }
+
+        fn apply(
+            &mut self,
+            m: &MethodId,
+            args: &[Value],
+            _ret: &Value,
+        ) -> Result<SpecEffect, SpecError> {
+            let x = args[0].as_int().ok_or_else(|| SpecError::new("non-int"))?;
+            match m.name() {
+                "Add" => {
+                    *self.0.entry(x).or_insert(0) += 1;
+                    Ok(SpecEffect::touching([x]))
+                }
+                other => Err(SpecError::new(format!("unknown {other}"))),
+            }
+        }
+
+        fn accepts_observation(&self, _m: &MethodId, args: &[Value], ret: &Value) -> bool {
+            let x = args[0].as_int().unwrap_or(0);
+            ret.as_int() == Some(self.0.get(&x).copied().unwrap_or(0) as i64)
+        }
+
+        fn view(&self) -> View {
+            self.0
+                .iter()
+                .map(|(&x, &n)| (Value::from(x), Value::from(n)))
+                .collect()
+        }
+
+        fn save_state(&self) -> Option<Value> {
+            Some(Value::List(
+                self.0
+                    .iter()
+                    .map(|(&x, &n)| Value::pair(Value::from(x), Value::from(n as i64)))
+                    .collect(),
+            ))
+        }
+
+        fn restore_state(&mut self, state: &Value) -> Result<(), SpecError> {
+            let entries = state
+                .as_list()
+                .ok_or_else(|| SpecError::new("state must be a list"))?;
+            self.0.clear();
+            for e in entries {
+                let (x, n) = e.as_pair().ok_or_else(|| SpecError::new("pair"))?;
+                let (Some(x), Some(n)) = (x.as_int(), n.as_int()) else {
+                    return Err(SpecError::new("ints"));
+                };
+                self.0.insert(x, n as u64);
+            }
+            Ok(())
+        }
+    }
+
+    fn factory() -> SteppingFactory {
+        Arc::new(|_| Box::new(Checker::io(CountSpec::default())))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vyrd-{tag}-{}", std::process::id()))
+    }
+
+    /// Records `rounds` Add/Get pairs through a segmented log and
+    /// returns the directory.
+    fn record(dir: &PathBuf, rounds: i64, budget: u64) -> u64 {
+        let handle = SegmentLogHandle::spawn(
+            LogMode::Io,
+            SegmentConfig::new(dir).segment_bytes(budget),
+        )
+        .unwrap();
+        let mut events = Vec::new();
+        for i in 0..rounds {
+            let tid = crate::event::ThreadId(0);
+            let object = ObjectId(0);
+            events.push(Event::Call {
+                tid,
+                object,
+                method: MethodId::from("Add"),
+                args: crate::event::ArgList::from_slice(&[Value::from(i % 5)]),
+            });
+            events.push(Event::Commit { tid, object });
+            events.push(Event::Return {
+                tid,
+                object,
+                method: MethodId::from("Add"),
+                ret: Value::Unit,
+            });
+        }
+        let total = events.len() as u64;
+        handle.append(events);
+        let summary = handle.finish().unwrap();
+        assert_eq!(summary.events, total);
+        total
+    }
+
+    #[test]
+    fn checks_deletes_and_resumes() {
+        let dir = temp_dir("continuous-basic");
+        std::fs::remove_dir_all(&dir).ok();
+        let total = record(&dir, 40, 256);
+
+        let mut verifier =
+            ContinuousVerifier::open(&dir, factory(), ContinuousOptions::default()).unwrap();
+        let progress = verifier.step().unwrap();
+        assert!(progress.segments_checked > 1, "{progress:?}");
+        // Checked segments were deleted; only the ones past the last
+        // checkpoint remain.
+        let remaining = scan_segments(&dir).unwrap();
+        assert!(
+            (remaining.len() as u64) < progress.segments_checked,
+            "expected deletions, {} segments remain",
+            remaining.len()
+        );
+        let report = verifier.finalize().unwrap();
+        assert!(report.passed(), "{report:?}");
+        assert!(!report.is_degraded(), "{:?}", report.degradation);
+        assert_eq!(report.stats.events, total);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resumes_from_checkpoint_without_rechecking() {
+        let dir = temp_dir("continuous-resume");
+        std::fs::remove_dir_all(&dir).ok();
+        let total = record(&dir, 40, 256);
+
+        // First pass: check a few segments, checkpoint, then drop the
+        // verifier (simulating a crash after the checkpoint).
+        let mut first =
+            ContinuousVerifier::open(&dir, factory(), ContinuousOptions::default()).unwrap();
+        first.step().unwrap();
+        let reached = first.next_seq();
+        assert!(reached > 0);
+        drop(first);
+
+        // Second pass resumes exactly at the checkpointed position.
+        let resumed =
+            ContinuousVerifier::open(&dir, factory(), ContinuousOptions::default()).unwrap();
+        assert_eq!(resumed.resume_seq(), reached);
+        let report = resumed.finalize().unwrap();
+        assert!(report.passed(), "{report:?}");
+        assert!(!report.is_degraded());
+        // Events checked across both processes cover the full history:
+        // the resumed run checked total - reached, and recovery restored
+        // the counters for the first `reached`.
+        assert_eq!(report.stats.events, total);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_degrades_but_never_fails_clean_prefix() {
+        let dir = temp_dir("continuous-torn");
+        std::fs::remove_dir_all(&dir).ok();
+        record(&dir, 40, 100_000); // single open segment, sealed at finish
+        // Un-seal it: drop the manifest entry and tear the file.
+        let manifest = dir.join("manifest.log");
+        std::fs::write(&manifest, "vyrd-segment-manifest v1\n").unwrap();
+        let seg = scan_segments(&dir).unwrap().remove(0);
+        assert!(seg.sealed_events.is_none());
+        let bytes = std::fs::read(&seg.path).unwrap();
+        std::fs::write(&seg.path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let verifier =
+            ContinuousVerifier::open(&dir, factory(), ContinuousOptions::default()).unwrap();
+        let report = verifier.finalize().unwrap();
+        assert!(report.passed(), "prefix is clean: {report:?}");
+        assert!(report.is_degraded(), "torn bytes must degrade");
+        assert!(report.degradation.torn_bytes_discarded > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_sealed_segment_is_a_hole_not_a_pass() {
+        let dir = temp_dir("continuous-hole");
+        std::fs::remove_dir_all(&dir).ok();
+        record(&dir, 40, 256);
+        let segments = scan_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        // Delete a middle segment without any covering checkpoint.
+        std::fs::remove_file(&segments[1].path).unwrap();
+
+        let verifier =
+            ContinuousVerifier::open(&dir, factory(), ContinuousOptions::default()).unwrap();
+        let report = verifier.finalize().unwrap();
+        assert!(report.is_degraded(), "{:?}", report.degradation);
+        assert!(report.degradation.events_lost > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -158,6 +158,30 @@ pub trait Spec: Clone + Send + 'static {
     fn view_of(&self, key: &Value) -> Option<Value> {
         self.view().get(key).cloned()
     }
+
+    /// Serializes the complete specification state as a [`Value`] for
+    /// checkpointing, or `None` when this spec does not support it (the
+    /// default). Specs for fixed ADTs have small, closed state and should
+    /// override this pair so a continuous verification run can persist and
+    /// resume them (see `vyrd_core::segment`).
+    fn save_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores state previously produced by [`Spec::save_state`],
+    /// **fully overwriting** the current state (the receiver is typically
+    /// a freshly constructed spec; constructor parameters such as buffer
+    /// counts are *not* part of the serialized state and must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] when the encoding is unrecognized or
+    /// checkpointing is unsupported (the default).
+    fn restore_state(&mut self, _state: &Value) -> Result<(), SpecError> {
+        Err(SpecError::new(
+            "this specification does not support checkpoint restore",
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -307,6 +307,15 @@ pub struct Degradation {
     pub spawn_fallbacks: u64,
     /// Verifier worker threads that died outside checker supervision.
     pub lost_workers: u64,
+    /// Bytes of torn-tail (or otherwise untrusted) log data discarded by
+    /// crash recovery ([`codec::read_log_recovering`]'s
+    /// [`DecodeOutcome::RecoveredPrefix`] accounting). The events those
+    /// bytes encoded were never checked, so any nonzero value degrades
+    /// the verdict.
+    ///
+    /// [`codec::read_log_recovering`]: crate::codec::read_log_recovering
+    /// [`DecodeOutcome::RecoveredPrefix`]: crate::codec::DecodeOutcome::RecoveredPrefix
+    pub torn_bytes_discarded: u64,
 }
 
 impl Degradation {
@@ -325,6 +334,7 @@ impl Degradation {
             || self.restarts > 0
             || !self.shard_failures.is_empty()
             || self.lost_workers > 0
+            || self.torn_bytes_discarded > 0
     }
 
     /// Folds another degradation record into this one (used when merging
@@ -342,6 +352,7 @@ impl Degradation {
         self.shard_failures.extend(other.shard_failures.iter().cloned());
         self.spawn_fallbacks += other.spawn_fallbacks;
         self.lost_workers += other.lost_workers;
+        self.torn_bytes_discarded += other.torn_bytes_discarded;
     }
 }
 
@@ -357,6 +368,9 @@ impl fmt::Display for Degradation {
         )?;
         if self.lost_workers > 0 {
             write!(f, ", {} lost workers", self.lost_workers)?;
+        }
+        if self.torn_bytes_discarded > 0 {
+            write!(f, ", {} torn bytes discarded", self.torn_bytes_discarded)?;
         }
         Ok(())
     }

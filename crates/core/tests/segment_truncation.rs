@@ -1,0 +1,248 @@
+//! Multi-file extension of the `codec_truncation` contract, aimed at the
+//! segment directory: every segment file truncated at every frame
+//! boundary (and one byte either side of it), plus a payload-corruption
+//! pass, must leave the continuous verifier checking exactly the maximal
+//! checkable prefix — and the verdict must **never** be a clean `PASS`
+//! over a damaged history.
+//!
+//! The exact-boundary cut is the subtle case: the file itself decodes
+//! cleanly (`DecodeOutcome::Complete`), and only the manifest's sealed
+//! event count betrays that frames are missing.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use vyrd_core::checker::Checker;
+use vyrd_core::codec;
+use vyrd_core::log::{EventLog, LogMode};
+use vyrd_core::segment::{
+    scan_segments, ContinuousOptions, ContinuousVerifier, SegmentConfig, SteppingFactory,
+};
+use vyrd_core::spec::{MethodKind, Spec, SpecEffect, SpecError};
+use vyrd_core::view::View;
+use vyrd_core::{MethodId, Value};
+
+/// A tiny checkpointable multiset spec (mirror of the one the segment
+/// module's unit tests use).
+#[derive(Clone, Default)]
+struct CountSpec(std::collections::BTreeMap<i64, u64>);
+
+impl Spec for CountSpec {
+    fn kind(&self, m: &MethodId) -> MethodKind {
+        if m.name() == "Get" {
+            MethodKind::Observer
+        } else {
+            MethodKind::Mutator
+        }
+    }
+
+    fn apply(&mut self, m: &MethodId, args: &[Value], _ret: &Value) -> Result<SpecEffect, SpecError> {
+        let x = args[0].as_int().ok_or_else(|| SpecError::new("non-int"))?;
+        match m.name() {
+            "Add" => {
+                *self.0.entry(x).or_insert(0) += 1;
+                Ok(SpecEffect::touching([x]))
+            }
+            other => Err(SpecError::new(format!("unknown {other}"))),
+        }
+    }
+
+    fn accepts_observation(&self, _m: &MethodId, args: &[Value], ret: &Value) -> bool {
+        let x = args[0].as_int().unwrap_or(0);
+        ret.as_int() == Some(self.0.get(&x).copied().unwrap_or(0) as i64)
+    }
+
+    fn view(&self) -> View {
+        self.0
+            .iter()
+            .map(|(&x, &n)| (Value::from(x), Value::from(n)))
+            .collect()
+    }
+
+    fn save_state(&self) -> Option<Value> {
+        Some(Value::List(
+            self.0
+                .iter()
+                .map(|(&x, &n)| Value::pair(Value::from(x), Value::from(n as i64)))
+                .collect(),
+        ))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SpecError> {
+        let entries = state
+            .as_list()
+            .ok_or_else(|| SpecError::new("state must be a list"))?;
+        self.0.clear();
+        for e in entries {
+            let (x, n) = e.as_pair().ok_or_else(|| SpecError::new("pair"))?;
+            let (Some(x), Some(n)) = (x.as_int(), n.as_int()) else {
+                return Err(SpecError::new("ints"));
+            };
+            self.0.insert(x, n as u64);
+        }
+        Ok(())
+    }
+}
+
+fn factory() -> SteppingFactory {
+    Arc::new(|_| Box::new(Checker::io(CountSpec::default())))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vyrd-{tag}-{}", std::process::id()))
+}
+
+/// Records a clean workload into a fresh segment directory; returns the
+/// directory and the total event count.
+fn build_fixture(tag: &str) -> (PathBuf, u64) {
+    let dir = temp_dir(tag);
+    fs::remove_dir_all(&dir).ok();
+    let (log, handle) =
+        EventLog::to_segments(LogMode::Io, SegmentConfig::new(&dir).segment_bytes(320))
+            .expect("spawn segment writer");
+    let logger = log.logger();
+    for i in 0..40i64 {
+        logger.call("Add", &[Value::from(i % 5)]);
+        logger.commit();
+        logger.ret("Add", Value::Unit);
+    }
+    log.close();
+    let summary = handle.finish().expect("seal segments");
+    (dir, summary.events)
+}
+
+/// Byte offsets of the frame boundaries of one segment file: the header
+/// end, then the end of each complete `[len][crc][payload]` frame.
+fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut offsets = vec![codec::HEADER_LEN as usize];
+    let mut pos = codec::HEADER_LEN as usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        pos += 8 + len;
+        if pos > bytes.len() {
+            break;
+        }
+        offsets.push(pos);
+    }
+    offsets
+}
+
+/// Copies the fixture into a scratch directory the verifier may mutate
+/// (it deletes checked segments and writes checkpoints).
+fn scratch_copy(fixture: &Path, tag: &str, case: usize) -> PathBuf {
+    let dir = temp_dir(&format!("{tag}-case{case}"));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).expect("scratch dir");
+    for entry in fs::read_dir(fixture).expect("fixture dir") {
+        let entry = entry.expect("fixture entry");
+        fs::copy(entry.path(), dir.join(entry.file_name())).expect("copy fixture file");
+    }
+    dir
+}
+
+/// Runs the continuous verifier over a (possibly damaged) directory and
+/// asserts the invariant pair: exactly `expected_prefix` events checked,
+/// and any shortfall from `total` surfaces as degradation — never as a
+/// clean pass, and never as a violation (the prefix itself is clean).
+fn assert_maximal_prefix(dir: &Path, expected_prefix: u64, total: u64, what: &str) {
+    let verifier = ContinuousVerifier::open(dir, factory(), ContinuousOptions::default())
+        .expect("open verifier");
+    let report = verifier.finalize().expect("finalize");
+    assert!(report.passed(), "{what}: clean prefix must not fail: {report}");
+    assert_eq!(
+        report.stats.events, expected_prefix,
+        "{what}: not the maximal checkable prefix ({:?})",
+        report.degradation
+    );
+    if expected_prefix < total {
+        assert!(
+            report.is_degraded(),
+            "{what}: silent loss — {expected_prefix}/{total} events checked but report \
+             claims full coverage"
+        );
+    } else {
+        assert!(
+            !report.is_degraded(),
+            "{what}: undamaged directory reported degradation: {:?}",
+            report.degradation
+        );
+    }
+}
+
+#[test]
+fn every_segment_truncated_at_every_frame_boundary_yields_the_maximal_prefix() {
+    let (fixture, total) = build_fixture("segtrunc");
+    let segments = scan_segments(&fixture).expect("scan fixture");
+    assert!(segments.len() >= 3, "budget too large to multi-segment");
+    let mut case = 0usize;
+    for (k, segment) in segments.iter().enumerate() {
+        let preceding: u64 = segments[..k].iter().filter_map(|s| s.sealed_events).sum();
+        let bytes = fs::read(&segment.path).expect("segment bytes");
+        let boundaries = frame_boundaries(&bytes);
+        assert_eq!(
+            boundaries.len() as u64 - 1,
+            segment.sealed_events.expect("sealed"),
+            "fixture segment frame count disagrees with its manifest entry"
+        );
+        for (f, &boundary) in boundaries.iter().enumerate() {
+            // The cut at the exact boundary leaves a cleanly decodable
+            // file; only the manifest count reveals the damage. The ±1
+            // cuts leave a torn frame the codec itself reports.
+            for cut in [boundary.saturating_sub(1), boundary, boundary + 1] {
+                if cut >= bytes.len() {
+                    continue; // intact file: covered by the final case below
+                }
+                let scratch = scratch_copy(&fixture, "segtrunc", case);
+                case += 1;
+                let name = segment.path.file_name().expect("name");
+                fs::write(scratch.join(name), &bytes[..cut]).expect("truncate copy");
+                // Complete frames fully inside the cut survive; after the
+                // damaged segment, consumption stops (strict order).
+                let decodable =
+                    (boundaries.iter().filter(|&&b| b <= cut).count() as u64).saturating_sub(1);
+                let expected = preceding + decodable;
+                assert_maximal_prefix(
+                    &scratch,
+                    expected,
+                    total,
+                    &format!("segment {k} frame {f} cut {cut}"),
+                );
+                fs::remove_dir_all(&scratch).ok();
+            }
+        }
+    }
+    // The untouched directory checks completely.
+    assert_maximal_prefix(&fixture, total, total, "intact directory");
+    fs::remove_dir_all(&fixture).ok();
+}
+
+#[test]
+fn corrupted_payload_in_any_segment_stops_at_the_damaged_frame() {
+    let (fixture, total) = build_fixture("segcorrupt");
+    let segments = scan_segments(&fixture).expect("scan fixture");
+    let mut case = 0usize;
+    for (k, segment) in segments.iter().enumerate() {
+        let preceding: u64 = segments[..k].iter().filter_map(|s| s.sealed_events).sum();
+        let bytes = fs::read(&segment.path).expect("segment bytes");
+        let boundaries = frame_boundaries(&bytes);
+        // Flip the first payload byte of each frame: the frame's CRC must
+        // reject it, and checking must stop right there.
+        for (f, &boundary) in boundaries[..boundaries.len() - 1].iter().enumerate() {
+            let scratch = scratch_copy(&fixture, "segcorrupt", case);
+            case += 1;
+            let mut corrupt = bytes.clone();
+            corrupt[boundary + 8] ^= 0x40;
+            let name = segment.path.file_name().expect("name");
+            fs::write(scratch.join(name), &corrupt).expect("write corrupted copy");
+            assert_maximal_prefix(
+                &scratch,
+                preceding + f as u64,
+                total,
+                &format!("segment {k} corrupted frame {f}"),
+            );
+            fs::remove_dir_all(&scratch).ok();
+        }
+    }
+    fs::remove_dir_all(&fixture).ok();
+}

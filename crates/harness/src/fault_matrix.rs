@@ -373,6 +373,7 @@ fn case_torn_log_tail(scenario: &dyn Scenario, seed: u64) -> Result<String, Stri
             records,
             truncated_at,
             ref detail,
+            ..
         } => {
             if truncated_at > cut as u64 {
                 return Err(format!(

@@ -46,10 +46,13 @@ pub mod workload;
 
 #[cfg(test)]
 mod tests {
-    use crate::scenario::{record_run, run_discarding, run_online, CheckKind, Scenario, Variant};
+    use crate::scenario::{
+        record_run, run_continuous, run_discarding, run_online, CheckKind, Scenario, Variant,
+    };
     use crate::scenarios;
     use crate::workload::WorkloadConfig;
     use vyrd_core::log::LogMode;
+    use vyrd_core::segment::{ContinuousOptions, SegmentConfig};
 
     fn small() -> WorkloadConfig {
         WorkloadConfig {
@@ -121,6 +124,68 @@ mod tests {
         assert!(view_stats.events > io_stats.events, "view logs more");
         assert_eq!(io_stats.writes, 0);
         assert!(view_stats.writes > 0);
+    }
+
+    #[test]
+    fn continuous_checking_passes_every_correct_scenario() {
+        for s in scenarios::all() {
+            let cfg = small();
+            let dir = std::env::temp_dir().join(format!(
+                "vyrd-harness-continuous-{}-{}",
+                s.name(),
+                std::process::id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let artifacts = run_continuous(
+                s.as_ref(),
+                &cfg,
+                CheckKind::Io,
+                Variant::Correct,
+                SegmentConfig::new(&dir).segment_bytes(4096),
+                ContinuousOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            let report = &artifacts.report;
+            assert!(report.passed(), "{}: {report}", s.name());
+            assert!(!report.is_degraded(), "{}: {:?}", s.name(), report.degradation);
+            // Every durably written event reached a checker.
+            assert_eq!(report.stats.events, artifacts.summary.events, "{}", s.name());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn continuous_view_checking_works_where_the_replayer_checkpoints() {
+        let s = scenarios::CacheScenario;
+        let cfg = small();
+        let dir = std::env::temp_dir()
+            .join(format!("vyrd-harness-continuous-view-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let artifacts = run_continuous(
+            &s,
+            &cfg,
+            CheckKind::View,
+            Variant::Correct,
+            SegmentConfig::new(&dir).segment_bytes(8192),
+            ContinuousOptions::default(),
+        )
+        .unwrap();
+        assert!(artifacts.report.passed(), "{}", artifacts.report);
+        assert!(artifacts.report.stats.view_comparisons > 0);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Scenarios whose replayer cannot checkpoint refuse view mode
+        // rather than failing mid-run.
+        let err = run_continuous(
+            &scenarios::BLinkTreeScenario,
+            &cfg,
+            CheckKind::View,
+            Variant::Correct,
+            SegmentConfig::new(std::env::temp_dir().join("vyrd-harness-unsupported")),
+            ContinuousOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
     }
 
     #[test]

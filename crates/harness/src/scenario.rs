@@ -5,12 +5,17 @@
 //! then run it with any logging mode / sink, check the resulting log
 //! offline (I/O or view), or verify it online on a separate thread.
 
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use vyrd_rt::channel::Receiver;
 use vyrd_core::log::{EventLog, LogMode, LogStats};
 use vyrd_core::pool::{ObjectChecker, PoolReport, SupervisorConfig, VerifierPool};
+use vyrd_core::segment::{
+    ContinuousOptions, ContinuousVerifier, SegmentConfig, SegmentWriterSummary, SteppingFactory,
+};
 use vyrd_core::shard::ShardConfig;
 use vyrd_core::violation::Report;
 use vyrd_core::{Event, ObjectId};
@@ -95,6 +100,16 @@ pub trait Scenario: Send + Sync {
     /// The per-object checker factory for sharded verification, or `None`
     /// when the scenario has no multi-object mode (the default).
     fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
+        let _ = kind;
+        None
+    }
+
+    /// The per-object *checkpointable* checker factory for the continuous
+    /// verification service, or `None` when the scenario's spec/replayer
+    /// cannot serialize its state for `kind` (the default). I/O-mode
+    /// checkers need only the spec to be checkpointable; view-mode
+    /// checkers additionally need the replayer.
+    fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
         let _ = kind;
         None
     }
@@ -223,4 +238,80 @@ pub fn run_online_sharded_with(
             std::panic::resume_unwind(panic)
         }
     }
+}
+
+/// What a continuous (durably segmented) run produced.
+#[derive(Debug)]
+pub struct ContinuousArtifacts {
+    /// Wall-clock duration of the run (workload threads only).
+    pub wall: Duration,
+    /// The continuous verifier's merged report.
+    pub report: Report,
+    /// The segment writer's totals (segments sealed, events, bytes).
+    pub summary: SegmentWriterSummary,
+}
+
+/// Runs a scenario's workload with a durable segmented log while a
+/// [`ContinuousVerifier`] polls the segment directory on its own thread —
+/// checking sealed segments as they appear, checkpointing its state, and
+/// deleting fully-checked segments so neither memory nor disk holds the
+/// whole history.
+///
+/// The directory in `segments` is left with the final checkpoint plus any
+/// segments not yet covered by it; reopening it with
+/// [`ContinuousVerifier::open`] resumes where this run left off.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::Unsupported`] when the scenario has no
+/// checkpointable checker for `kind` (see
+/// [`Scenario::stepping_factory`]); otherwise propagates segment-
+/// directory and checkpoint I/O errors.
+pub fn run_continuous(
+    scenario: &dyn Scenario,
+    cfg: &WorkloadConfig,
+    kind: CheckKind,
+    variant: Variant,
+    segments: SegmentConfig,
+    options: ContinuousOptions,
+) -> io::Result<ContinuousArtifacts> {
+    let factory = scenario.stepping_factory(kind).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("{} has no checkpointable {kind:?} checker", scenario.name()),
+        )
+    })?;
+    let dir = segments.dir.clone();
+    let (log, handle) = EventLog::to_segments(kind.log_mode(), segments)?;
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let verifier = scope.spawn(|| -> io::Result<Report> {
+            let mut verifier =
+                ContinuousVerifier::open(&dir, factory, options)?;
+            while !stop.load(Ordering::Relaxed) {
+                verifier.step()?;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // The writer has sealed its tail into the manifest by now;
+            // `finalize` picks up the remaining sealed segments.
+            verifier.finalize()
+        });
+        let run_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            timed(|| scenario.run(cfg, &log, variant))
+        }));
+        // Drain the log into the writer and seal the tail even when the
+        // workload panicked, so the verifier thread can terminate.
+        log.close();
+        let summary = handle.finish();
+        stop.store(true, Ordering::Relaxed);
+        let report = verifier.join().expect("continuous verifier thread");
+        match run_result {
+            Ok(((), wall)) => Ok(ContinuousArtifacts {
+                wall,
+                report: report?,
+                summary: summary?,
+            }),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
 }

@@ -22,6 +22,8 @@ use vyrd_storage::{
 use std::sync::Arc;
 
 use vyrd_core::pool::ObjectChecker;
+use vyrd_core::segment::{SteppingChecker, SteppingFactory};
+use vyrd_core::spec::Spec;
 use vyrd_core::ObjectId;
 
 use crate::scenario::{CheckKind, Scenario, ShardFactory, Variant};
@@ -83,6 +85,19 @@ where
     });
 }
 
+
+/// A continuous-verification factory over I/O-mode checkers of `make`'s
+/// specification. Every spec in this module is checkpointable, so every
+/// scenario supports continuous I/O checking; view-mode support
+/// additionally needs a checkpointable replayer (only the cache's
+/// replayer has one so far).
+fn io_stepping<S, F>(make: F) -> SteppingFactory
+where
+    S: Spec + 'static,
+    F: Fn() -> S + Send + Sync + 'static,
+{
+    Arc::new(move |_object| Box::new(Checker::io(make())) as Box<dyn SteppingChecker>)
+}
 
 /// Generates the three `Scenario` checking methods from the scenario's
 /// specification / replayer constructors (plus optional invariants).
@@ -237,6 +252,10 @@ impl Scenario for MultisetVectorScenario {
             CheckKind::View => Box::new(Checker::view(MultisetSpec::new(), SlotReplayer::new())),
         }))
     }
+
+    fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
+        (kind == CheckKind::Io).then(|| io_stepping(MultisetSpec::new))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -292,6 +311,9 @@ impl Scenario for MultisetBstScenario {
 
     impl_checks!(MultisetSpec::new(), BstReplayer::new());
 
+    fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
+        (kind == CheckKind::Io).then(|| io_stepping(MultisetSpec::new))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -348,6 +370,9 @@ impl Scenario for JavaVectorScenario {
 
     impl_checks!(VectorSpec::new(), VectorReplayer::new());
 
+    fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
+        (kind == CheckKind::Io).then(|| io_stepping(VectorSpec::new))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -407,6 +432,9 @@ impl Scenario for StringBufferScenario {
         StringBufferReplayer::with_buffers(SB_BUFFERS),
     );
 
+    fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
+        (kind == CheckKind::Io).then(|| io_stepping(|| StringBufferSpec::new(SB_BUFFERS)))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -460,6 +488,9 @@ impl Scenario for BLinkTreeScenario {
 
     impl_checks!(BLinkSpec::new(), BLinkReplayer::new());
 
+    fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
+        (kind == CheckKind::Io).then(|| io_stepping(BLinkSpec::new))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -570,5 +601,20 @@ impl Scenario for CacheScenario {
                     .with_invariant(entry_in_exactly_one_list()),
             ),
         }))
+    }
+
+    /// The cache replayer is checkpointable, so this is the one scenario
+    /// with continuous *view* refinement.
+    fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
+        Some(match kind {
+            CheckKind::Io => io_stepping(StoreSpec::new),
+            CheckKind::View => Arc::new(|_object| {
+                Box::new(
+                    Checker::view(StoreSpec::new(), CacheReplayer::new())
+                        .with_invariant(clean_matches_chunk())
+                        .with_invariant(entry_in_exactly_one_list()),
+                ) as Box<dyn SteppingChecker>
+            }),
+        })
     }
 }

@@ -1,0 +1,158 @@
+//! Checkpoint round-trip coverage for every scenario family: a checker
+//! split at an arbitrary event boundary, serialized through the real
+//! checkpoint *file* format (framed, checksummed, fsynced), restored
+//! into a fresh checker, and fed the rest of the trace must end with
+//! exactly the verdict and counters of a checker that saw the whole
+//! trace in one sitting — on pinned seeds, for both the correct and the
+//! buggy variant of each system.
+
+use std::path::PathBuf;
+
+use vyrd_core::segment::checkpoint::{self, Checkpoint};
+use vyrd_core::violation::{Degradation, Report};
+use vyrd_core::{Event, ObjectId};
+use vyrd_harness::scenario::{record_run, CheckKind, Scenario, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::workload::WorkloadConfig;
+
+const SEED: u64 = 3_405_691_582;
+
+fn cfg() -> WorkloadConfig {
+    WorkloadConfig {
+        threads: 3,
+        calls_per_thread: 40,
+        key_pool: 10,
+        shrink_pool: true,
+        internal_task: true,
+        seed: SEED,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vyrd-ckpt-{tag}-{}", std::process::id()))
+}
+
+/// Checks `events` straight through (the reference run).
+fn check_scratch(scenario: &dyn Scenario, kind: CheckKind, events: &[Event]) -> Report {
+    let factory = scenario.stepping_factory(kind).expect("stepping factory");
+    let mut checker = factory(ObjectId(0));
+    for e in events {
+        checker.feed(e.clone());
+    }
+    checker.finish()
+}
+
+/// Checks `events` with a save/persist/restore cycle at `split`: the
+/// state crosses the on-disk checkpoint format, not just memory.
+fn check_via_checkpoint(
+    scenario: &dyn Scenario,
+    kind: CheckKind,
+    events: &[Event],
+    split: usize,
+    tag: &str,
+) -> Report {
+    let factory = scenario.stepping_factory(kind).expect("stepping factory");
+    let mut first = factory(ObjectId(0));
+    for e in &events[..split] {
+        first.feed(e.clone());
+    }
+    let state = first
+        .save_state()
+        .unwrap_or_else(|e| panic!("{} split {split}: save_state: {e}", scenario.name()));
+    drop(first);
+
+    let dir = temp_dir(tag);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("checkpoint dir");
+    let path = checkpoint::write_checkpoint(
+        &dir,
+        &Checkpoint {
+            next_seq: split as u64,
+            states: vec![(ObjectId(0), state)],
+            degradation: Degradation::default(),
+        },
+    )
+    .expect("write checkpoint");
+    let restored = checkpoint::read_checkpoint(&path).expect("read checkpoint");
+    assert_eq!(restored.next_seq, split as u64);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut second = factory(ObjectId(0));
+    let (object, state) = &restored.states[0];
+    assert_eq!(*object, ObjectId(0));
+    second
+        .restore_state(state)
+        .unwrap_or_else(|e| panic!("{} split {split}: restore_state: {e}", scenario.name()));
+    for e in &events[split..] {
+        second.feed(e.clone());
+    }
+    second.finish()
+}
+
+/// The equality contract between a from-scratch report and a
+/// replay-from-checkpoint report over the same trace.
+fn assert_reports_agree(scratch: &Report, resumed: &Report, what: &str) {
+    assert_eq!(scratch.passed(), resumed.passed(), "{what}: verdicts differ");
+    assert_eq!(
+        scratch.violation.as_ref().map(|v| v.category()),
+        resumed.violation.as_ref().map(|v| v.category()),
+        "{what}: violation categories differ\nscratch: {scratch}\nresumed: {resumed}"
+    );
+    let (a, b) = (&scratch.stats, &resumed.stats);
+    assert_eq!(a.events, b.events, "{what}: events");
+    assert_eq!(a.commits_applied, b.commits_applied, "{what}: commits");
+    assert_eq!(a.methods_completed, b.methods_completed, "{what}: methods");
+    assert_eq!(a.observers_checked, b.observers_checked, "{what}: observers");
+    assert_eq!(a.view_comparisons, b.view_comparisons, "{what}: view comparisons");
+    assert_eq!(a.writes_replayed, b.writes_replayed, "{what}: writes replayed");
+}
+
+/// Sweeps a few split points (including mid-trace positions certain to
+/// bisect in-flight methods) for one scenario/kind/variant combination.
+fn roundtrip(scenario: &dyn Scenario, kind: CheckKind, variant: Variant, tag: &str) {
+    let run = record_run(scenario, &cfg(), kind.log_mode(), variant);
+    let events = run.events;
+    assert!(events.len() > 16, "{tag}: trace too small");
+    let scratch = check_scratch(scenario, kind, &events);
+    let n = events.len();
+    // Quarter points bisect in-flight methods; 0 and n are the edges
+    // (checkpoint before anything / after everything).
+    for split in [n / 4, n / 2, 3 * n / 4, n / 3 + 1, 0, n] {
+        let resumed = check_via_checkpoint(scenario, kind, &events, split, tag);
+        assert_reports_agree(
+            &scratch,
+            &resumed,
+            &format!("{tag} {variant:?} split {split}/{n}"),
+        );
+    }
+}
+
+#[test]
+fn io_checkpoints_round_trip_for_every_scenario_family() {
+    for s in scenarios::all() {
+        roundtrip(s.as_ref(), CheckKind::Io, Variant::Correct, s.name());
+    }
+}
+
+#[test]
+fn io_checkpoints_preserve_buggy_verdicts() {
+    // The buggy variants' violations are interleaving-dependent, so the
+    // contract here is *agreement*, not necessarily failure: whatever the
+    // scratch checker concluded on this pinned trace, the resumed checker
+    // must conclude too — a checkpoint must never mask a violation.
+    for s in scenarios::all() {
+        roundtrip(
+            s.as_ref(),
+            CheckKind::Io,
+            Variant::Buggy,
+            &format!("{}-buggy", s.name()),
+        );
+    }
+}
+
+#[test]
+fn view_checkpoints_round_trip_where_the_replayer_supports_them() {
+    let s = scenarios::CacheScenario;
+    roundtrip(&s, CheckKind::View, Variant::Correct, "Cache-view");
+    roundtrip(&s, CheckKind::View, Variant::Buggy, "Cache-view-buggy");
+}

@@ -138,6 +138,24 @@ impl Spec for VectorSpec {
         let i = usize::try_from(key.as_int()?).ok()?;
         self.elems.get(i).map(|&x| Value::from(x))
     }
+
+    fn save_state(&self) -> Option<Value> {
+        Some(self.elems.iter().map(|&x| Value::from(x)).collect())
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SpecError> {
+        let elems = state
+            .as_list()
+            .ok_or_else(|| SpecError::new("vector state must be a list"))?;
+        self.elems = elems
+            .iter()
+            .map(|v| {
+                v.as_int()
+                    .ok_or_else(|| SpecError::new("vector element must be an integer"))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(())
+    }
 }
 
 /// Atomic specification of a [`BufferPool`](crate::BufferPool): a fixed
@@ -259,6 +277,35 @@ impl Spec for StringBufferSpec {
     fn view_of(&self, key: &Value) -> Option<Value> {
         let id = usize::try_from(key.as_int()?).ok()?;
         self.buffers.get(id).map(|s| Value::from(s.clone()))
+    }
+
+    fn save_state(&self) -> Option<Value> {
+        Some(self.buffers.iter().map(|s| Value::from(s.clone())).collect())
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SpecError> {
+        let buffers = state
+            .as_list()
+            .ok_or_else(|| SpecError::new("string-buffer state must be a list"))?;
+        // The pool size is a constructor parameter, not part of the
+        // serialized state; a mismatch means the checkpoint belongs to a
+        // differently configured run.
+        if buffers.len() != self.buffers.len() {
+            return Err(SpecError::new(format!(
+                "checkpoint has {} buffers but this pool was built with {}",
+                buffers.len(),
+                self.buffers.len()
+            )));
+        }
+        self.buffers = buffers
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| SpecError::new("buffer content must be a string"))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(())
     }
 }
 

@@ -197,6 +197,31 @@ impl Spec for MultisetSpec {
         let x = key.as_int()?;
         self.counts.get(&x).map(|&n| Value::from(n))
     }
+
+    fn save_state(&self) -> Option<Value> {
+        Some(Value::List(
+            self.counts
+                .iter()
+                .map(|(&x, &n)| Value::pair(Value::from(x), Value::from(n)))
+                .collect(),
+        ))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SpecError> {
+        let entries = state
+            .as_list()
+            .ok_or_else(|| SpecError::new("multiset state must be a list"))?;
+        let mut counts = BTreeMap::new();
+        for entry in entries {
+            let (x, n) = entry
+                .as_pair()
+                .and_then(|(x, n)| Some((x.as_int()?, u64::try_from(n.as_int()?).ok()?)))
+                .ok_or_else(|| SpecError::new("multiset entry must be an (int, count) pair"))?;
+            counts.insert(x, n);
+        }
+        self.counts = counts;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,31 @@ impl Spec for StoreSpec {
             .get(&key.as_int()?)
             .map(|data| Value::from(data.as_slice()))
     }
+
+    fn save_state(&self) -> Option<Value> {
+        Some(Value::List(
+            self.store
+                .iter()
+                .map(|(&h, data)| Value::pair(Value::from(h), Value::from(data.as_slice())))
+                .collect(),
+        ))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SpecError> {
+        let entries = state
+            .as_list()
+            .ok_or_else(|| SpecError::new("store state must be a list"))?;
+        let mut store = std::collections::BTreeMap::new();
+        for entry in entries {
+            let (h, data) = entry
+                .as_pair()
+                .and_then(|(h, data)| Some((h.as_int()?, data.as_bytes()?.to_vec())))
+                .ok_or_else(|| SpecError::new("store entry must be a (handle, bytes) pair"))?;
+            store.insert(h, data);
+        }
+        self.store = store;
+        Ok(())
+    }
 }
 
 /// Where a replayed cache entry currently lives.
@@ -232,6 +257,80 @@ impl Replayer for CacheReplayer {
                 .map(Value::from)
                 .collect(),
         )
+    }
+
+    fn save_state(&self) -> Option<Value> {
+        let mut chunks: Vec<_> = self.chunks.iter().collect();
+        chunks.sort_by_key(|(&h, _)| h);
+        let mut entries: Vec<_> = self.entries.iter().collect();
+        entries.sort_by_key(|(&h, _)| h);
+        Some(Value::List(vec![
+            Value::List(
+                chunks
+                    .into_iter()
+                    .map(|(&h, data)| Value::pair(Value::from(h), Value::from(data.as_slice())))
+                    .collect(),
+            ),
+            Value::List(
+                entries
+                    .into_iter()
+                    .map(|(&h, (data, state))| {
+                        let state = match state {
+                            None => 0i64,
+                            Some(ReplayedEntryState::Clean) => 1,
+                            Some(ReplayedEntryState::Dirty) => 2,
+                        };
+                        Value::List(vec![
+                            Value::from(h),
+                            Value::from(data.as_slice()),
+                            Value::from(state),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Value::List(self.dirty.iter().map(|&h| Value::from(h)).collect()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SpecError> {
+        let malformed = || SpecError::new("malformed cache-replayer state");
+        let parts = state.as_list().ok_or_else(malformed)?;
+        let [chunks_v, entries_v, dirty_v] = parts else {
+            return Err(malformed());
+        };
+        let mut chunks = HashMap::new();
+        for entry in chunks_v.as_list().ok_or_else(malformed)? {
+            let (h, data) = entry
+                .as_pair()
+                .and_then(|(h, data)| Some((h.as_int()?, data.as_bytes()?.to_vec())))
+                .ok_or_else(malformed)?;
+            chunks.insert(h, data);
+        }
+        let mut entries = HashMap::new();
+        for entry in entries_v.as_list().ok_or_else(malformed)? {
+            let parsed = entry.as_list().and_then(|triple| match triple {
+                [h, data, state] => {
+                    let state = match state.as_int()? {
+                        0 => None,
+                        1 => Some(ReplayedEntryState::Clean),
+                        2 => Some(ReplayedEntryState::Dirty),
+                        _ => return None,
+                    };
+                    Some((h.as_int()?, (data.as_bytes()?.to_vec(), state)))
+                }
+                _ => None,
+            });
+            let (h, e) = parsed.ok_or_else(malformed)?;
+            entries.insert(h, e);
+        }
+        let mut dirty = BTreeSet::new();
+        for h in dirty_v.as_list().ok_or_else(malformed)? {
+            dirty.insert(h.as_int().ok_or_else(malformed)?);
+        }
+        self.chunks = chunks;
+        self.entries = entries;
+        self.dirty = dirty;
+        Ok(())
     }
 }
 

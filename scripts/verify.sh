@@ -71,6 +71,84 @@ else
     test -s results/METRICS_fault_matrix.json
 fi
 
+# Continuous-service kill/resume smoke: run the segmented producer with
+# its polling verifier under the pinned seed, SIGKILL it mid-stream once
+# at least two checkpoints are durable and a checked segment has been
+# physically deleted, then resume in a fresh process. The resumed run
+# must PASS, must start from a checkpoint (resume_seq > 0), and its
+# segment accounting must reconcile exactly: every sealed segment
+# present at resume is deleted, and at most the unsealed tail file
+# (kept as crash evidence) survives.
+echo "==> continuous kill/resume smoke (VYRD_FAULT_SEED=3405691582)"
+SEG_DIR="${TMPDIR:-/tmp}/vyrd-segment-smoke.$$"
+SEG_LOG="$SEG_DIR.produce.log"
+rm -rf "$SEG_DIR" "$SEG_LOG"
+VYRD_FAULT_SEED=3405691582 \
+    target/release/continuous produce --dir "$SEG_DIR" --seed 3405691582 \
+    --calls 12000 --segment-bytes 4096 >"$SEG_LOG" &
+SEG_PID=$!
+seg_gate() {
+    awk '
+        /^progress/ {
+            cp = del = ns = 0
+            for (i = 1; i <= NF; i++)
+                if (split($i, kv, "=") == 2) {
+                    if (kv[1] == "checkpoints") cp = kv[2] + 0
+                    if (kv[1] == "deleted")     del = kv[2] + 0
+                    if (kv[1] == "next_seq")    ns = kv[2] + 0
+                }
+            if (cp >= 2 && del >= 1 && ns > 0) { hit = 1; exit }
+        }
+        END { exit hit ? 0 : 1 }
+    ' "$SEG_LOG"
+}
+seg_gate_hit=0
+while kill -0 "$SEG_PID" 2>/dev/null; do
+    if seg_gate; then
+        seg_gate_hit=1
+        break
+    fi
+    sleep 0.02
+done
+if [ "$seg_gate_hit" -ne 1 ]; then
+    echo "    !! produce finished before the kill gate fired" >&2
+    cat "$SEG_LOG" >&2
+    exit 1
+fi
+kill -9 "$SEG_PID" 2>/dev/null || true
+wait "$SEG_PID" 2>/dev/null || true
+# The durable state the kill left behind: a manifest, at least one
+# checkpoint, and the segments the checkpoints do not yet cover.
+test -f "$SEG_DIR/manifest.log"
+ls "$SEG_DIR"/checkpoint-*.vyc >/dev/null
+SEG_LIVE_AT_RESUME="$(ls "$SEG_DIR"/seg-*.vyl 2>/dev/null | wc -l | tr -d ' ')"
+VYRD_FAULT_SEED=3405691582 \
+    target/release/continuous resume --dir "$SEG_DIR" --seed 3405691582 \
+    --json results/SEGMENT_smoke.json >"$SEG_DIR.resume.log"
+grep -q '^final passed=true' "$SEG_DIR.resume.log"
+if command -v python3 >/dev/null 2>&1; then
+    SEG_LIVE_AT_RESUME="$SEG_LIVE_AT_RESUME" python3 - <<'EOF'
+import json, os
+doc = json.load(open("results/SEGMENT_smoke.json"))
+at_resume = int(os.environ["SEG_LIVE_AT_RESUME"])
+assert doc["passed"] is True, doc
+assert doc["resume_seq"] > 0, f"did not resume from a checkpoint: {doc}"
+assert doc["events_checked_after_resume"] >= doc["resume_seq"], doc
+assert doc["checkpoints_written"] >= 1, doc
+assert doc["live_segments"] <= 1, f"disk not reclaimed: {doc}"
+assert doc["segments_deleted"] + doc["live_segments"] == at_resume, (
+    f"segment accounting does not reconcile: {at_resume} present at "
+    f"resume vs {doc}"
+)
+print("    -> resumed PASS from seq", doc["resume_seq"],
+      "| segments reconciled:", doc["segments_deleted"], "deleted +",
+      doc["live_segments"], "live =", at_resume)
+EOF
+else
+    test -s results/SEGMENT_smoke.json
+fi
+rm -rf "$SEG_DIR" "$SEG_LOG" "$SEG_DIR.resume.log"
+
 # Clippy is optional tooling: run it when the component is installed,
 # skip quietly when not (the container may ship a bare toolchain).
 # Note: crates/core's pipeline modules (log/shard/pool/online/codec/
