@@ -1,0 +1,53 @@
+//! Linearizability-checking overhead: the same recorded lock-free trace
+//! checked under I/O refinement (`Checker::io`) and under the
+//! window-searching linearizability mode (`Checker::lin`), for both the
+//! Treiber stack and the Michael–Scott queue.
+//!
+//! Lin mode replays mutator commits exactly as Io does; its extra cost
+//! is the observer-window search, bounded by the retained digests'
+//! fast path. The `bytes/s` figures are *events per second* (each
+//! iteration is charged the trace's event count), so the JSON doubles as
+//! an events/s and mean-µs-per-mode record.
+//!
+//! Runs on [`vyrd_rt::bench`]; writes `results/BENCH_lin_check.json`.
+
+use vyrd_bench::results_dir;
+use vyrd_core::log::LogMode;
+use vyrd_core::Event;
+use vyrd_harness::scenario::{record_run, CheckKind, Scenario, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::workload::WorkloadConfig;
+use vyrd_rt::bench::{black_box, BenchGroup};
+
+const SEED: u64 = 0x11FEED;
+
+fn recorded_trace(scenario: &dyn Scenario) -> Vec<Event> {
+    let cfg = WorkloadConfig {
+        threads: 4,
+        calls_per_thread: 200,
+        key_pool: 12,
+        shrink_pool: true,
+        internal_task: false,
+        seed: SEED,
+    };
+    record_run(scenario, &cfg, LogMode::Io, Variant::Correct).events
+}
+
+fn main() {
+    eprintln!("workload seed: {SEED:#x}");
+    let mut group = BenchGroup::new("lin_check");
+    group.out_dir(results_dir());
+    group.sample_size(20);
+    for name in ["Treiber-Stack", "MS-Queue"] {
+        let scenario = scenarios::by_name(name).expect("known scenario");
+        let events = recorded_trace(scenario.as_ref());
+        let n = events.len() as u64;
+        group.bench_bytes(&format!("{name}/io"), n, || {
+            black_box(scenario.check(CheckKind::Io, events.clone()));
+        });
+        group.bench_bytes(&format!("{name}/lin"), n, || {
+            black_box(scenario.check(CheckKind::Lin, events.clone()));
+        });
+    }
+    group.finish().expect("write BENCH_lin_check.json");
+}

@@ -55,7 +55,7 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: continuous <produce|resume|single> [--dir D] [--scenario NAME] \
-         [--kind io|view] [--seed N] [--threads N] [--calls N] \
+         [--kind io|view|lin] [--seed N] [--threads N] [--calls N] \
          [--segment-bytes N] [--checkpoint-every N] [--json PATH]"
     );
     ExitCode::from(2)
@@ -88,6 +88,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                 opts.kind = match value()?.as_str() {
                     "io" => CheckKind::Io,
                     "view" => CheckKind::View,
+                    "lin" => CheckKind::Lin,
                     _ => return Err(usage()),
                 }
             }

@@ -254,6 +254,11 @@ fn reconcile(scenario: &dyn Scenario, seed: u64) -> bool {
     // accounting against the codec's own recovery report.
     cells.push(run_torn_cell(scenario, seed));
 
+    // Lin metrics: a lock-free trace pool-checked in Lin mode; the
+    // report's lin counters and the registry's `lin.*` counters must
+    // agree exactly.
+    cells.push(run_lin_cell(seed));
+
     let all_agree = cells.iter().all(Cell::agrees);
     println!("== fault reconciliation (seed {seed}) ==");
     for cell in &cells {
@@ -483,6 +488,77 @@ fn run_torn_cell(scenario: &dyn Scenario, seed: u64) -> Cell {
             (
                 "verdict stays a pass over the clean prefix",
                 u64::from(report.passed()),
+                1,
+            ),
+        ],
+    }
+}
+
+/// Lin-metrics cell: a lock-free multi-object trace pool-checked in
+/// `Lin` mode with the registry live. The merged report's lin counters
+/// and the registry's `lin.*` counters are folded at the same point
+/// (checker seal), so they must agree increment for increment — and a
+/// trace with observers must have actually searched some windows.
+fn run_lin_cell(seed: u64) -> Cell {
+    let case = "lin-metrics";
+    let fail = |what: &'static str| Cell {
+        case,
+        checks: vec![(what, 0, 1)],
+    };
+    let Some(scenario) = scenarios::by_name("Treiber-Stack") else {
+        return fail("Treiber-Stack scenario missing");
+    };
+    let log = EventLog::in_memory(CheckKind::Lin.log_mode());
+    if !scenario.run_multi(&cfg(seed), &log, Variant::Correct, OBJECTS) {
+        return fail("multi-object run unsupported");
+    }
+    let events = log.snapshot();
+    let Some(factory) = scenario.shard_factory(CheckKind::Lin) else {
+        return fail("Lin shard factory missing");
+    };
+    metrics::reset();
+    metrics::set_enabled(true);
+    let pool = VerifierPool::spawn_supervised(
+        CheckKind::Lin.log_mode(),
+        WORKERS,
+        ShardConfig::default(),
+        SupervisorConfig::default(),
+        move |object| factory(object),
+    );
+    for e in &events {
+        pool.log().append_event(e.clone());
+    }
+    let report = pool.finish_all();
+    metrics::set_enabled(false);
+    let snap = metrics::snapshot();
+    let s = &report.merged.stats;
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    Cell {
+        case,
+        checks: vec![
+            (
+                "windows vs lin.windows_searched",
+                s.lin_windows_searched,
+                c("lin.windows_searched"),
+            ),
+            (
+                "backtracks vs lin.witness_backtracks",
+                s.lin_witness_backtracks,
+                c("lin.witness_backtracks"),
+            ),
+            (
+                "fastpath vs lin.fastpath_hits",
+                s.lin_fastpath_hits,
+                c("lin.fastpath_hits"),
+            ),
+            (
+                "windows searched on an observer-bearing trace",
+                u64::from(s.lin_windows_searched > 0),
+                1,
+            ),
+            (
+                "verdict stays a pass",
+                u64::from(report.merged.passed()),
                 1,
             ),
         ],

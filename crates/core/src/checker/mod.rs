@@ -258,6 +258,15 @@ pub struct Checker<S: Spec, R: Replayer = NoopReplayer> {
     /// Snapshots of the specification state `s_j` (after `j` commits),
     /// kept while observer executions are in flight (§4.3).
     snapshots: BTreeMap<u64, S>,
+    /// Linearizability checking mode ([`Checker::lin`]): observer
+    /// windows are searched for a commit-order-consistent sequential
+    /// witness, with per-window accounting and — where the spec
+    /// provides [`Spec::observation_digest`] — O(1) digests retained
+    /// per window state instead of full snapshots.
+    lin: bool,
+    /// Observation digests of the specification state `s_j`, the lin
+    /// mode's fixed-ADT replacement for `snapshots` (same keying).
+    digests: BTreeMap<u64, Value>,
     /// Number of observer executions in flight.
     observers_inflight: usize,
     /// Commit-block write buffering (§5.2).
@@ -280,6 +289,21 @@ impl<S: Spec> Checker<S, NoopReplayer> {
     /// Creates an I/O refinement checker (§4).
     pub fn io(spec: S) -> Checker<S, NoopReplayer> {
         Checker::new(spec, None)
+    }
+
+    /// Creates a linearizability checker: mutators are replayed in
+    /// commit order exactly as in [`Checker::io`], and each observer
+    /// window (§4.3) is *searched* for a commit-order-consistent
+    /// sequential witness — a state in the window at which the observed
+    /// return value is a legal linearization of the observer. The
+    /// search is accounted in the lin-specific [`CheckStats`] counters
+    /// (windows searched, witness backtracks, fast-path hits), and for
+    /// specs that provide [`Spec::observation_digest`] it runs on O(1)
+    /// retained digests instead of full specification snapshots.
+    pub fn lin(spec: S) -> Checker<S, NoopReplayer> {
+        let mut checker = Checker::new(spec, None);
+        checker.lin = true;
+        checker
     }
 }
 
@@ -305,6 +329,8 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             pending: HashMap::new(),
             commits_applied: 0,
             snapshots: BTreeMap::new(),
+            lin: false,
+            digests: BTreeMap::new(),
             observers_inflight: 0,
             blocks: BlockBuffer::new(),
             position: 0,
@@ -455,6 +481,10 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             pm.checker_view_comparisons.add(self.stats.view_comparisons);
             pm.checker_view_keys_compared.add(self.stats.view_keys_compared);
             pm.checker_writes_replayed.add(self.stats.writes_replayed);
+            pm.checker_lin_windows_searched.add(self.stats.lin_windows_searched);
+            pm.checker_lin_witness_backtracks
+                .add(self.stats.lin_witness_backtracks);
+            pm.checker_lin_fastpath_hits.add(self.stats.lin_fastpath_hits);
         }
         let degradation = crate::violation::Degradation {
             events_lost: self.truncated_commits_lost,
@@ -661,6 +691,17 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
     }
 
     fn ensure_snapshot(&mut self, index: u64) {
+        // Lin-mode fixed-ADT fast path: retain the O(1) observation
+        // digest instead of cloning the whole specification.
+        if self.lin {
+            if self.digests.contains_key(&index) {
+                return;
+            }
+            if let Some(digest) = self.spec.observation_digest() {
+                self.digests.insert(index, digest);
+                return;
+            }
+        }
         if let std::collections::btree_map::Entry::Vacant(e) = self.snapshots.entry(index) {
             e.insert(self.spec.clone());
             self.stats.snapshots_taken += 1;
@@ -960,16 +1001,30 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
                         .checker_observer_window
                         .record(end - start);
                 }
-                let satisfied = (start..=end).any(|j| {
-                    let state: &S = if j == self.commits_applied {
-                        &self.spec
-                    } else {
-                        self.snapshots
-                            .get(&j)
-                            .expect("snapshot for every commit inside an open observer window")
-                    };
-                    state.accepts_observation(&method, &pending.args, &ret)
-                });
+                // The window search: in io mode, §4.3 verbatim — the
+                // return is accepted if valid in any window state. In
+                // lin mode the same search is the hunt for a
+                // commit-order-consistent sequential witness, with
+                // every rejected candidate counted as a backtrack and
+                // digest-resolved windows counted as fast-path hits.
+                let mut satisfied = false;
+                let mut rejected = 0u64;
+                let mut digest_only = self.lin;
+                for j in start..=end {
+                    if self.observation_holds_at(j, &method, &pending.args, &ret, &mut digest_only)
+                    {
+                        satisfied = true;
+                        break;
+                    }
+                    rejected += 1;
+                }
+                if self.lin {
+                    self.stats.lin_windows_searched += 1;
+                    self.stats.lin_witness_backtracks += rejected;
+                    if digest_only {
+                        self.stats.lin_fastpath_hits += 1;
+                    }
+                }
                 self.gc_snapshots();
                 if !satisfied {
                     self.fail(Violation::ObserverUnjustified {
@@ -988,10 +1043,46 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
         }
     }
 
-    /// Drops snapshots no open observer window can reach.
+    /// Judges one window candidate: is the observation valid at state
+    /// `s_j`? Lin mode consults the retained digest (or, at the live
+    /// state, a freshly computed one) when the spec provides it; the
+    /// full-snapshot fallback clears `digest_only` so the window is not
+    /// counted as a fast-path hit.
+    fn observation_holds_at(
+        &self,
+        j: u64,
+        method: &MethodId,
+        args: &[Value],
+        ret: &Value,
+        digest_only: &mut bool,
+    ) -> bool {
+        if self.lin {
+            if let Some(digest) = self.digests.get(&j) {
+                return self.spec.accepts_observation_digest(method, args, ret, digest);
+            }
+            if j == self.commits_applied {
+                if let Some(digest) = self.spec.observation_digest() {
+                    return self.spec.accepts_observation_digest(method, args, ret, &digest);
+                }
+            }
+            *digest_only = false;
+        }
+        let state: &S = if j == self.commits_applied {
+            &self.spec
+        } else {
+            self.snapshots
+                .get(&j)
+                .expect("snapshot for every commit inside an open observer window")
+        };
+        state.accepts_observation(method, args, ret)
+    }
+
+    /// Drops snapshots (and lin-mode digests) no open observer window
+    /// can reach.
     fn gc_snapshots(&mut self) {
         if self.observers_inflight == 0 {
             self.snapshots.clear();
+            self.digests.clear();
             return;
         }
         let min_start = self
@@ -1002,6 +1093,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             .min()
             .unwrap_or(u64::MAX);
         self.snapshots = self.snapshots.split_off(&min_start);
+        self.digests = self.digests.split_off(&min_start);
     }
 
     fn finish(&mut self) {

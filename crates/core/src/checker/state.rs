@@ -243,6 +243,13 @@ fn violation_value(v: &Violation) -> Result<Value, StateError> {
             5,
             vec![Value::from(detail.as_str()), u64_value(*log_position)?],
         ),
+        Violation::UnsupportedMode {
+            detail,
+            log_position,
+        } => tagged(
+            6,
+            vec![Value::from(detail.as_str()), u64_value(*log_position)?],
+        ),
     })
 }
 
@@ -306,6 +313,10 @@ fn value_violation(v: &Value) -> Result<Violation, StateError> {
             detail: string(0)?,
             log_position: num(1)?,
         },
+        6 => Violation::UnsupportedMode {
+            detail: string(0)?,
+            log_position: num(1)?,
+        },
         other => return Err(err(format!("unknown violation tag {other}"))),
     })
 }
@@ -321,14 +332,24 @@ fn stats_value(s: &CheckStats) -> Result<Value, StateError> {
         u64_value(s.view_keys_compared)?,
         u64_value(s.writes_replayed)?,
         u64_value(s.events_discarded_after_close)?,
+        u64_value(s.lin_windows_searched)?,
+        u64_value(s.lin_witness_backtracks)?,
+        u64_value(s.lin_fastpath_hits)?,
     ]))
 }
 
 fn value_stats(v: &Value) -> Result<CheckStats, StateError> {
     let items = value_list(v)?;
-    if items.len() != 9 {
-        return Err(err(format!("expected 9 stats counters, got {}", items.len())));
+    // 9 counters is the pre-lin layout; its lin counters are zero.
+    if items.len() != 9 && items.len() != 12 {
+        return Err(err(format!(
+            "expected 9 or 12 stats counters, got {}",
+            items.len()
+        )));
     }
+    let lin = |i: usize| -> Result<u64, StateError> {
+        items.get(i).map(value_u64).transpose().map(Option::unwrap_or_default)
+    };
     Ok(CheckStats {
         events: value_u64(&items[0])?,
         commits_applied: value_u64(&items[1])?,
@@ -339,6 +360,9 @@ fn value_stats(v: &Value) -> Result<CheckStats, StateError> {
         view_keys_compared: value_u64(&items[6])?,
         writes_replayed: value_u64(&items[7])?,
         events_discarded_after_close: value_u64(&items[8])?,
+        lin_windows_searched: lin(9)?,
+        lin_witness_backtracks: lin(10)?,
+        lin_fastpath_hits: lin(11)?,
     })
 }
 
@@ -480,6 +504,10 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
         for (index, snap) in &self.snapshots {
             snapshots.push(Value::List(vec![u64_value(*index)?, spec_state(snap)?]));
         }
+        let mut digests = Vec::with_capacity(self.digests.len());
+        for (index, digest) in &self.digests {
+            digests.push(Value::List(vec![u64_value(*index)?, digest.clone()]));
+        }
         let mut pending: Vec<_> = self.pending.iter().collect();
         pending.sort_by_key(|(tid, _)| tid.0);
         Ok(Value::List(vec![
@@ -509,6 +537,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             blocks_value(&self.blocks)?,
             u64_value(self.position)?,
             u64_value(self.commits_since_quiescent_check)?,
+            Value::List(digests),
         ]))
     }
 
@@ -523,9 +552,10 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
     /// the spec/replayer rejects its serialized state.
     pub fn restore_state(&mut self, state: &Value) -> Result<(), StateError> {
         let items = value_list(state)?;
-        if items.len() != 13 {
+        // 13 fields is the pre-lin layout (no retained digests).
+        if items.len() != 13 && items.len() != 14 {
             return Err(err(format!(
-                "malformed checkpoint state: expected 13 fields, got {}",
+                "malformed checkpoint state: expected 13 or 14 fields, got {}",
                 items.len()
             )));
         }
@@ -580,6 +610,17 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
         self.blocks = value_blocks(&items[10])?;
         self.position = value_u64(&items[11])?;
         self.commits_since_quiescent_check = value_u64(&items[12])?;
+        let mut digests = BTreeMap::new();
+        if let Some(digests_v) = items.get(13) {
+            for entry in value_list(digests_v)? {
+                let pair = value_list(entry)?;
+                let [index, digest] = pair else {
+                    return Err(err("malformed digest entry"));
+                };
+                digests.insert(value_u64(index)?, digest.clone());
+            }
+        }
+        self.digests = digests;
         // Derived state, recomputed rather than trusted from the file.
         self.observers_inflight = self
             .pending

@@ -97,6 +97,15 @@ pub struct PipelineMetrics {
     /// each observer return had to be checked against.
     pub checker_observer_window: Arc<Histogram>,
 
+    // -- Linearizability checking mode (Checker::lin) --
+    /// Observer windows searched for a linearization witness.
+    pub checker_lin_windows_searched: Arc<Counter>,
+    /// Window candidates rejected during lin witness searches.
+    pub checker_lin_witness_backtracks: Arc<Counter>,
+    /// Lin windows resolved entirely via the fixed-ADT observation
+    /// digest (no full specification snapshot consulted).
+    pub checker_lin_fastpath_hits: Arc<Counter>,
+
     // -- OnlineVerifier (crate::online) --
     /// Supervised single-stream check attempts (incl. restarts).
     pub online_checks: Arc<Counter>,
@@ -153,6 +162,9 @@ pub fn pipeline() -> &'static PipelineMetrics {
         checker_view_keys_compared: metrics::counter("checker.view_keys_compared"),
         checker_writes_replayed: metrics::counter("checker.writes_replayed"),
         checker_observer_window: metrics::histogram("checker.observer_window"),
+        checker_lin_windows_searched: metrics::counter("lin.windows_searched"),
+        checker_lin_witness_backtracks: metrics::counter("lin.witness_backtracks"),
+        checker_lin_fastpath_hits: metrics::counter("lin.fastpath_hits"),
         online_checks: metrics::counter("online.checks"),
         segment_sealed: metrics::counter("segment.sealed"),
         segment_deleted: metrics::counter("segment.deleted"),

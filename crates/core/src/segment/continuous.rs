@@ -414,6 +414,9 @@ impl ContinuousVerifier {
             m.view_comparisons += s.view_comparisons;
             m.view_keys_compared += s.view_keys_compared;
             m.writes_replayed += s.writes_replayed;
+            m.lin_windows_searched += s.lin_windows_searched;
+            m.lin_witness_backtracks += s.lin_witness_backtracks;
+            m.lin_fastpath_hits += s.lin_fastpath_hits;
             merged.degradation.absorb(&report.degradation);
             if merged.violation.is_none() {
                 merged.violation = report.violation.clone();

@@ -182,6 +182,43 @@ pub trait Spec: Clone + Send + 'static {
             "this specification does not support checkpoint restore",
         ))
     }
+
+    /// A compact summary of the current state that is *sufficient* to
+    /// judge any observer return value — the fixed-ADT fast path of the
+    /// linearizability checking mode (`Checker::lin`).
+    ///
+    /// For a stack, every `Peek` depends only on the top element; for a
+    /// queue, every `Front` depends only on the front element — so a
+    /// window candidate can be retained as one [`Value`] instead of a
+    /// full specification clone. Specs with such a summary override
+    /// this pair; the `None` default makes the lin checker fall back to
+    /// full snapshots and [`Spec::accepts_observation`].
+    ///
+    /// Contract: a spec must return `Some` at *every* state or at none
+    /// — the lin checker decides snapshot retention per window index
+    /// from this answer, and a spec that flips mid-run would leave some
+    /// window states with neither digest nor snapshot.
+    fn observation_digest(&self) -> Option<Value> {
+        None
+    }
+
+    /// Is `ret` a valid return value for observer `method(args)` at a
+    /// state summarized by `digest` (produced by
+    /// [`Spec::observation_digest`] at that state)?
+    ///
+    /// Must agree with [`Spec::accepts_observation`] evaluated at the
+    /// digested state; the property tests for lin/io agreement pin
+    /// this. The default rejects everything, matching the `None`
+    /// default of `observation_digest`.
+    fn accepts_observation_digest(
+        &self,
+        _method: &MethodId,
+        _args: &[Value],
+        _ret: &Value,
+        _digest: &Value,
+    ) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

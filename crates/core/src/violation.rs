@@ -99,6 +99,18 @@ pub enum Violation {
         /// Position in the log at which the problem was established.
         log_position: u64,
     },
+    /// The check was *misconfigured*: the scenario or pipeline was asked
+    /// to run in a checking mode it does not support (e.g. view
+    /// refinement of a structure with no replayer). Reported as a
+    /// failure so the run can never masquerade as a vacuous PASS —
+    /// nothing was actually verified.
+    UnsupportedMode {
+        /// What was asked for and why it cannot be served.
+        detail: String,
+        /// Position in the log at which the problem was established
+        /// (0 when the check was refused before consuming any events).
+        log_position: u64,
+    },
 }
 
 impl Violation {
@@ -111,6 +123,7 @@ impl Violation {
             Violation::InvariantViolation { .. } => "invariant-violation",
             Violation::CommitAnnotation { .. } => "commit-annotation",
             Violation::MalformedLog { .. } => "malformed-log",
+            Violation::UnsupportedMode { .. } => "unsupported-mode",
         }
     }
 
@@ -130,7 +143,8 @@ impl Violation {
             | Violation::ViewMismatch { log_position, .. }
             | Violation::InvariantViolation { log_position, .. }
             | Violation::CommitAnnotation { log_position, .. }
-            | Violation::MalformedLog { log_position, .. } => *log_position,
+            | Violation::MalformedLog { log_position, .. }
+            | Violation::UnsupportedMode { log_position, .. } => *log_position,
         }
     }
 }
@@ -217,6 +231,9 @@ impl fmt::Display for Violation {
                 ..
             } => write!(f, "commit annotation problem in {tid} {method}: {detail}"),
             Violation::MalformedLog { detail, .. } => write!(f, "malformed log: {detail}"),
+            Violation::UnsupportedMode { detail, .. } => {
+                write!(f, "unsupported checking mode: {detail}")
+            }
         }
     }
 }
@@ -244,6 +261,15 @@ pub struct CheckStats {
     pub view_keys_compared: u64,
     /// Writes replayed into the shadow state.
     pub writes_replayed: u64,
+    /// Observer windows searched for a linearization witness
+    /// (`Checker::lin` only; zero in io/view mode).
+    pub lin_windows_searched: u64,
+    /// Window candidates rejected before a witness was found (or the
+    /// window was exhausted) across all lin-mode searches.
+    pub lin_witness_backtracks: u64,
+    /// Lin-mode windows resolved entirely through the fixed-ADT
+    /// observation digest — no full specification snapshot consulted.
+    pub lin_fastpath_hits: u64,
     /// Events the program appended after the log was closed — actions the
     /// verifier never saw (straggler threads still running at
     /// `finish()`). Nonzero means the verdict covers a prefix of the

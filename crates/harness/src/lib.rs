@@ -87,6 +87,98 @@ mod tests {
     }
 
     #[test]
+    fn lockfree_registry_is_reachable_by_name() {
+        let names: Vec<&str> = scenarios::lockfree().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["Treiber-Stack", "MS-Queue"]);
+        for name in names {
+            let s = scenarios::by_name(name).expect(name);
+            assert!(!s.bug().is_empty());
+            assert!(s.supports(CheckKind::Io));
+            assert!(s.supports(CheckKind::Lin));
+            assert!(!s.supports(CheckKind::View));
+        }
+    }
+
+    #[test]
+    fn lockfree_correct_passes_io_and_lin_and_refuses_view() {
+        for s in scenarios::lockfree() {
+            let cfg = small();
+            let run = record_run(s.as_ref(), &cfg, LogMode::Io, Variant::Correct);
+            assert!(run.log_stats.events > 0, "{}: nothing was logged", s.name());
+            let io = s.check(CheckKind::Io, run.events.clone());
+            assert!(io.passed(), "{} io: {io}", s.name());
+            let lin = s.check(CheckKind::Lin, run.events.clone());
+            assert!(lin.passed(), "{} lin: {lin}", s.name());
+            assert!(lin.stats.lin_windows_searched > 0, "{}: observers open windows", s.name());
+            // An unsupported mode is a configuration error, never a
+            // vacuous PASS.
+            let view = s.check(CheckKind::View, run.events);
+            assert!(!view.passed(), "{} view must be refused", s.name());
+            let v = view.violation.expect("violation");
+            assert_eq!(v.category(), "unsupported-mode", "{v}");
+        }
+    }
+
+    #[test]
+    fn lockfree_buggy_fails_io_and_lin_deterministically() {
+        for s in scenarios::lockfree() {
+            let cfg = small();
+            let run = record_run(s.as_ref(), &cfg, LogMode::Io, Variant::Buggy);
+            for kind in [CheckKind::Io, CheckKind::Lin] {
+                let report = s.check(kind, run.events.clone());
+                assert!(!report.passed(), "{} {kind:?}: {report}", s.name());
+                let v = report.violation.expect("violation");
+                assert_eq!(v.category(), "spec-rejected-commit", "{} {kind:?}: {v}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn lockfree_online_lin_checking_agrees_with_offline() {
+        for s in scenarios::lockfree() {
+            let cfg = small();
+            let (_, report) = run_online(s.as_ref(), &cfg, CheckKind::Lin, Variant::Correct);
+            assert!(report.passed(), "{} online lin: {report}", s.name());
+            let (_, report) = run_online(s.as_ref(), &cfg, CheckKind::Lin, Variant::Buggy);
+            assert!(!report.passed(), "{} online lin buggy must fail", s.name());
+        }
+    }
+
+    #[test]
+    fn unsupported_stream_mode_drains_and_reports() {
+        // View against a lock-free scenario through the *online* path:
+        // the producer must not deadlock on an abandoned channel, and the
+        // verdict must name the configuration error.
+        let s = scenarios::TreiberStackScenario;
+        let cfg = small();
+        let (_, report) = run_online(&s, &cfg, CheckKind::View, Variant::Correct);
+        assert!(!report.passed(), "{report}");
+        let v = report.violation.expect("violation");
+        assert_eq!(v.category(), "unsupported-mode");
+    }
+
+    #[test]
+    fn lockfree_continuous_lin_checking_works() {
+        let s = scenarios::MsQueueScenario;
+        let cfg = small();
+        let dir = std::env::temp_dir()
+            .join(format!("vyrd-harness-continuous-lin-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let artifacts = run_continuous(
+            &s,
+            &cfg,
+            CheckKind::Lin,
+            Variant::Correct,
+            SegmentConfig::new(&dir).segment_bytes(4096),
+            ContinuousOptions::default(),
+        )
+        .unwrap();
+        assert!(artifacts.report.passed(), "{}", artifacts.report);
+        assert_eq!(artifacts.report.stats.events, artifacts.summary.events);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn every_correct_scenario_passes_both_checkers() {
         for s in scenarios::all() {
             let cfg = small();
@@ -156,29 +248,35 @@ mod tests {
 
     #[test]
     fn continuous_view_checking_works_where_the_replayer_checkpoints() {
-        let s = scenarios::CacheScenario;
-        let cfg = small();
-        let dir = std::env::temp_dir()
-            .join(format!("vyrd-harness-continuous-view-{}", std::process::id()));
-        std::fs::remove_dir_all(&dir).ok();
-        let artifacts = run_continuous(
-            &s,
-            &cfg,
-            CheckKind::View,
-            Variant::Correct,
-            SegmentConfig::new(&dir).segment_bytes(8192),
-            ContinuousOptions::default(),
-        )
-        .unwrap();
-        assert!(artifacts.report.passed(), "{}", artifacts.report);
-        assert!(artifacts.report.stats.view_comparisons > 0);
-        std::fs::remove_dir_all(&dir).ok();
+        // The cache replayer and both multiset replayers checkpoint.
+        for s in ["Cache", "Multiset-Vector", "Multiset-BinaryTree"] {
+            let s = scenarios::by_name(s).expect(s);
+            let cfg = small();
+            let dir = std::env::temp_dir().join(format!(
+                "vyrd-harness-continuous-view-{}-{}",
+                s.name(),
+                std::process::id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let artifacts = run_continuous(
+                s.as_ref(),
+                &cfg,
+                CheckKind::View,
+                Variant::Correct,
+                SegmentConfig::new(&dir).segment_bytes(8192),
+                ContinuousOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            assert!(artifacts.report.passed(), "{}: {}", s.name(), artifacts.report);
+            assert!(artifacts.report.stats.view_comparisons > 0, "{}", s.name());
+            std::fs::remove_dir_all(&dir).ok();
+        }
 
         // Scenarios whose replayer cannot checkpoint refuse view mode
         // rather than failing mid-run.
         let err = run_continuous(
             &scenarios::BLinkTreeScenario,
-            &cfg,
+            &small(),
             CheckKind::View,
             Variant::Correct,
             SegmentConfig::new(std::env::temp_dir().join("vyrd-harness-unsupported")),

@@ -17,7 +17,7 @@ use vyrd_core::segment::{
     ContinuousOptions, ContinuousVerifier, SegmentConfig, SegmentWriterSummary, SteppingFactory,
 };
 use vyrd_core::shard::ShardConfig;
-use vyrd_core::violation::Report;
+use vyrd_core::violation::{Report, Violation};
 use vyrd_core::{Event, ObjectId};
 
 use crate::measure::timed;
@@ -43,15 +43,42 @@ pub enum CheckKind {
     Io,
     /// View refinement (§5).
     View,
+    /// Linearizability checking: commit-order mutator replay as in
+    /// [`CheckKind::Io`], with every observer window *searched* for a
+    /// commit-order-consistent sequential witness
+    /// (`vyrd_core::checker::Checker::lin`).
+    Lin,
 }
 
+/// The checking modes, by their other common name.
+pub type CheckMode = CheckKind;
+
 impl CheckKind {
-    /// The logging mode this check requires.
+    /// The logging mode this check requires. Lin checking consumes the
+    /// same call/commit/return stream as I/O refinement — no
+    /// shared-variable writes.
     pub fn log_mode(self) -> LogMode {
         match self {
-            CheckKind::Io => LogMode::Io,
+            CheckKind::Io | CheckKind::Lin => LogMode::Io,
             CheckKind::View => LogMode::View,
         }
+    }
+}
+
+/// The fail-fast report for a scenario asked to check in a mode it does
+/// not support: a [`Verdict::Fail`](vyrd_core::violation::Verdict) with
+/// an `unsupported-mode` violation, never a vacuous PASS — nothing was
+/// verified, and the report must say so.
+pub fn unsupported_report(name: &str, kind: CheckKind) -> Report {
+    Report {
+        violation: Some(Violation::UnsupportedMode {
+            detail: format!(
+                "scenario {name} does not support {kind:?} checking — \
+                 pick a mode it reports via Scenario::supports"
+            ),
+            log_position: 0,
+        }),
+        ..Report::default()
     }
 }
 
@@ -73,6 +100,15 @@ pub trait Scenario: Send + Sync {
 
     /// The injected/known bug, as described in Table 1.
     fn bug(&self) -> &'static str;
+
+    /// Does this scenario support checking mode `kind`? A scenario
+    /// whose `check*` methods are called with an unsupported mode must
+    /// return [`unsupported_report`] — a failed verdict naming the
+    /// configuration error — rather than a vacuous PASS.
+    fn supports(&self, kind: CheckKind) -> bool {
+        let _ = kind;
+        true
+    }
 
     /// Runs the workload against a fresh instance that records into
     /// `log`.

@@ -10,6 +10,9 @@ use vyrd_javalib::{
     BufferPool, StringBufferReplayer, StringBufferSpec, StringBufferVariant, SyncVector,
     VectorReplayer, VectorSpec, VectorVariant,
 };
+use vyrd_lockfree::{
+    MsQueue, QueueSpec, QueueVariant, StackSpec, StackVariant, TreiberStack,
+};
 use vyrd_multiset::{
     BstMultiset, BstReplayer, BstVariant, FindSlotVariant, MultisetSpec, SlotReplayer,
     VectorMultiset,
@@ -26,7 +29,7 @@ use vyrd_core::segment::{SteppingChecker, SteppingFactory};
 use vyrd_core::spec::Spec;
 use vyrd_core::ObjectId;
 
-use crate::scenario::{CheckKind, Scenario, ShardFactory, Variant};
+use crate::scenario::{unsupported_report, CheckKind, Scenario, ShardFactory, Variant};
 use crate::workload::{ThreadWorkload, WorkloadConfig};
 
 /// All six table rows, in the paper's order.
@@ -41,9 +44,22 @@ pub fn all() -> Vec<Box<dyn Scenario>> {
     ]
 }
 
-/// Looks a scenario up by its table-row name.
+/// The lock-free scenario family — atomics-based structures whose
+/// commit points are successful CAS instructions. Not part of the
+/// paper's six table rows; checkable in `Io` and `Lin` modes (they log
+/// no shared-variable writes, so `View` refinement is unsupported and
+/// refused with a failed verdict).
+pub fn lockfree() -> Vec<Box<dyn Scenario>> {
+    vec![Box::new(TreiberStackScenario), Box::new(MsQueueScenario)]
+}
+
+/// Looks a scenario up by name, across the table rows ([`all`]) and the
+/// lock-free family ([`lockfree`]).
 pub fn by_name(name: &str) -> Option<Box<dyn Scenario>> {
-    all().into_iter().find(|s| s.name() == name)
+    all()
+        .into_iter()
+        .chain(lockfree())
+        .find(|s| s.name() == name)
 }
 
 /// Spawns `cfg.threads` workload threads plus (optionally) an internal
@@ -86,17 +102,26 @@ where
 }
 
 
-/// A continuous-verification factory over I/O-mode checkers of `make`'s
-/// specification. Every spec in this module is checkpointable, so every
-/// scenario supports continuous I/O checking; view-mode support
-/// additionally needs a checkpointable replayer (only the cache's
-/// replayer has one so far).
-fn io_stepping<S, F>(make: F) -> SteppingFactory
+/// A continuous-verification factory over spec-only (I/O or Lin mode)
+/// checkers of `make`'s specification. Every spec in this module is
+/// checkpointable, so every scenario supports continuous I/O and Lin
+/// checking; view-mode support additionally needs a checkpointable
+/// replayer (the cache and both multiset replayers have one) and is
+/// handled per scenario.
+fn spec_stepping<S, F>(kind: CheckKind, make: F) -> Option<SteppingFactory>
 where
     S: Spec + 'static,
     F: Fn() -> S + Send + Sync + 'static,
 {
-    Arc::new(move |_object| Box::new(Checker::io(make())) as Box<dyn SteppingChecker>)
+    match kind {
+        CheckKind::Io => {
+            Some(Arc::new(move |_object| Box::new(Checker::io(make())) as Box<dyn SteppingChecker>))
+        }
+        CheckKind::Lin => Some(Arc::new(move |_object| {
+            Box::new(Checker::lin(make())) as Box<dyn SteppingChecker>
+        })),
+        CheckKind::View => None,
+    }
 }
 
 /// Generates the three `Scenario` checking methods from the scenario's
@@ -106,6 +131,7 @@ macro_rules! impl_checks {
         fn check(&self, kind: CheckKind, events: Vec<Event>) -> Report {
             match kind {
                 CheckKind::Io => Checker::io($spec).check_events(events),
+                CheckKind::Lin => Checker::lin($spec).check_events(events),
                 CheckKind::View => Checker::view($spec, $replayer)
                     $(.with_invariant($inv))*
                     .check_events(events),
@@ -119,6 +145,9 @@ macro_rules! impl_checks {
             };
             match kind {
                 CheckKind::Io => Checker::io($spec)
+                    .with_options(options)
+                    .check_events(events),
+                CheckKind::Lin => Checker::lin($spec)
                     .with_options(options)
                     .check_events(events),
                 CheckKind::View => Checker::view($spec, $replayer)
@@ -135,6 +164,7 @@ macro_rules! impl_checks {
         ) -> Report {
             match kind {
                 CheckKind::Io => Checker::io($spec).check_receiver(receiver),
+                CheckKind::Lin => Checker::lin($spec).check_receiver(receiver),
                 CheckKind::View => Checker::view($spec, $replayer)
                     $(.with_invariant($inv))*
                     .check_receiver(receiver),
@@ -249,12 +279,19 @@ impl Scenario for MultisetVectorScenario {
     fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
         Some(Arc::new(move |_object| match kind {
             CheckKind::Io => Box::new(Checker::io(MultisetSpec::new())) as Box<dyn ObjectChecker>,
+            CheckKind::Lin => Box::new(Checker::lin(MultisetSpec::new())),
             CheckKind::View => Box::new(Checker::view(MultisetSpec::new(), SlotReplayer::new())),
         }))
     }
 
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
-        (kind == CheckKind::Io).then(|| io_stepping(MultisetSpec::new))
+        match kind {
+            CheckKind::View => Some(Arc::new(|_object| {
+                Box::new(Checker::view(MultisetSpec::new(), SlotReplayer::new()))
+                    as Box<dyn SteppingChecker>
+            })),
+            _ => spec_stepping(kind, MultisetSpec::new),
+        }
     }
 }
 
@@ -312,7 +349,13 @@ impl Scenario for MultisetBstScenario {
     impl_checks!(MultisetSpec::new(), BstReplayer::new());
 
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
-        (kind == CheckKind::Io).then(|| io_stepping(MultisetSpec::new))
+        match kind {
+            CheckKind::View => Some(Arc::new(|_object| {
+                Box::new(Checker::view(MultisetSpec::new(), BstReplayer::new()))
+                    as Box<dyn SteppingChecker>
+            })),
+            _ => spec_stepping(kind, MultisetSpec::new),
+        }
     }
 }
 
@@ -371,7 +414,7 @@ impl Scenario for JavaVectorScenario {
     impl_checks!(VectorSpec::new(), VectorReplayer::new());
 
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
-        (kind == CheckKind::Io).then(|| io_stepping(VectorSpec::new))
+        spec_stepping(kind, VectorSpec::new)
     }
 }
 
@@ -433,7 +476,7 @@ impl Scenario for StringBufferScenario {
     );
 
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
-        (kind == CheckKind::Io).then(|| io_stepping(|| StringBufferSpec::new(SB_BUFFERS)))
+        spec_stepping(kind, || StringBufferSpec::new(SB_BUFFERS))
     }
 }
 
@@ -489,7 +532,7 @@ impl Scenario for BLinkTreeScenario {
     impl_checks!(BLinkSpec::new(), BLinkReplayer::new());
 
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
-        (kind == CheckKind::Io).then(|| io_stepping(BLinkSpec::new))
+        spec_stepping(kind, BLinkSpec::new)
     }
 }
 
@@ -595,6 +638,7 @@ impl Scenario for CacheScenario {
     fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
         Some(Arc::new(move |_object| match kind {
             CheckKind::Io => Box::new(Checker::io(StoreSpec::new())) as Box<dyn ObjectChecker>,
+            CheckKind::Lin => Box::new(Checker::lin(StoreSpec::new())),
             CheckKind::View => Box::new(
                 Checker::view(StoreSpec::new(), CacheReplayer::new())
                     .with_invariant(clean_matches_chunk())
@@ -603,18 +647,341 @@ impl Scenario for CacheScenario {
         }))
     }
 
-    /// The cache replayer is checkpointable, so this is the one scenario
-    /// with continuous *view* refinement.
+    /// The cache replayer is checkpointable, so this scenario supports
+    /// continuous *view* refinement alongside I/O and Lin.
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
-        Some(match kind {
-            CheckKind::Io => io_stepping(StoreSpec::new),
-            CheckKind::View => Arc::new(|_object| {
+        match kind {
+            CheckKind::View => Some(Arc::new(|_object| {
                 Box::new(
                     Checker::view(StoreSpec::new(), CacheReplayer::new())
                         .with_invariant(clean_matches_chunk())
                         .with_invariant(entry_in_exactly_one_list()),
                 ) as Box<dyn SteppingChecker>
-            }),
-        })
+            })),
+            _ => spec_stepping(kind, StoreSpec::new),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock-free family — Treiber stack & Michael–Scott queue
+// ---------------------------------------------------------------------
+
+const LF_CAPACITY: usize = 64;
+
+/// `check`/`check_full`/`check_stream` for the spec-only (lock-free)
+/// scenarios: `Io` and `Lin` over the spec, `View` refused with
+/// [`unsupported_report`] — these structures log no shared-variable
+/// writes, so there is nothing for a replayer to replay.
+macro_rules! impl_spec_checks {
+    ($spec:expr) => {
+        fn check(&self, kind: CheckKind, events: Vec<Event>) -> Report {
+            match kind {
+                CheckKind::Io => Checker::io($spec).check_events(events),
+                CheckKind::Lin => Checker::lin($spec).check_events(events),
+                CheckKind::View => unsupported_report(self.name(), kind),
+            }
+        }
+
+        fn check_full(&self, kind: CheckKind, events: Vec<Event>) -> Report {
+            let options = CheckerOptions {
+                stop_at_first_violation: false,
+                ..CheckerOptions::default()
+            };
+            match kind {
+                CheckKind::Io => Checker::io($spec)
+                    .with_options(options)
+                    .check_events(events),
+                CheckKind::Lin => Checker::lin($spec)
+                    .with_options(options)
+                    .check_events(events),
+                CheckKind::View => unsupported_report(self.name(), kind),
+            }
+        }
+
+        fn check_stream(
+            &self,
+            kind: CheckKind,
+            receiver: &vyrd_rt::channel::Receiver<Event>,
+        ) -> Report {
+            match kind {
+                CheckKind::Io => Checker::io($spec).check_receiver(receiver),
+                CheckKind::Lin => Checker::lin($spec).check_receiver(receiver),
+                CheckKind::View => {
+                    // Drain the stream so the producer side never blocks
+                    // on an abandoned channel before reporting the
+                    // configuration error.
+                    while receiver.recv().is_ok() {}
+                    unsupported_report(self.name(), kind)
+                }
+            }
+        }
+
+        fn supports(&self, kind: CheckKind) -> bool {
+            kind != CheckKind::View
+        }
+    };
+}
+
+/// Parks a victim `Pop` inside its ABA window and recycles the node it
+/// read underneath it: pop both elements, push two fresh values — the
+/// old top slot comes back as the new top, the victim's index-only
+/// compare succeeds against it, and its stale commit is one the LIFO
+/// specification rejects. Runs before the workload threads start, so
+/// the buggy variant's first violation lands at a fixed log position
+/// regardless of the workload seed.
+fn aba_prologue(stack: &TreiberStack) {
+    let h = stack.handle();
+    h.push(1);
+    h.push(2);
+    let gate = Arc::new(std::sync::Barrier::new(2));
+    let release = Arc::new(std::sync::Barrier::new(2));
+    {
+        let gate = Arc::clone(&gate);
+        let release = Arc::clone(&release);
+        stack.arm_pop_hook(Box::new(move || {
+            gate.wait();
+            release.wait();
+        }));
+    }
+    let victim = {
+        let h = stack.handle();
+        std::thread::spawn(move || h.pop())
+    };
+    gate.wait();
+    h.pop();
+    h.pop();
+    h.push(7);
+    h.push(8);
+    release.wait();
+    victim.join().expect("victim pop thread");
+}
+
+/// The Treiber stack with the seeded ABA bug.
+#[derive(Debug)]
+pub struct TreiberStackScenario;
+
+impl Scenario for TreiberStackScenario {
+    fn name(&self) -> &'static str {
+        "Treiber-Stack"
+    }
+
+    fn bug(&self) -> &'static str {
+        "ABA head CAS in Pop (untagged)"
+    }
+
+    fn run(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant) {
+        let v = match variant {
+            Variant::Correct => StackVariant::Correct,
+            Variant::Buggy => StackVariant::AbaPop,
+        };
+        let stack = TreiberStack::new(v, LF_CAPACITY, log.clone());
+        if variant == Variant::Buggy {
+            aba_prologue(&stack);
+        }
+        drive(
+            cfg,
+            |_, mut wl| {
+                let h = stack.handle();
+                for _ in 0..cfg.calls_per_thread {
+                    match wl.next_op(&[4, 3, 3]) {
+                        0 => {
+                            h.push(wl.next_key());
+                        }
+                        1 => {
+                            h.pop();
+                        }
+                        _ => {
+                            h.peek();
+                        }
+                    }
+                }
+            },
+            None::<fn()>,
+        );
+    }
+
+    impl_spec_checks!(StackSpec::new());
+
+    /// §8 multi-object mode: one stack per object; the buggy prologue
+    /// runs on object 0 only, so exactly one shard carries the seeded
+    /// violation.
+    fn run_multi(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant, objects: u32) -> bool {
+        let v = match variant {
+            Variant::Correct => StackVariant::Correct,
+            Variant::Buggy => StackVariant::AbaPop,
+        };
+        let stacks: Vec<TreiberStack> = (0..objects.max(1))
+            .map(|i| TreiberStack::new(v, LF_CAPACITY, log.with_object(ObjectId(i))))
+            .collect();
+        if variant == Variant::Buggy {
+            aba_prologue(&stacks[0]);
+        }
+        drive(
+            cfg,
+            |_, mut wl| {
+                for _ in 0..cfg.calls_per_thread {
+                    let h = stacks[wl.next_int(stacks.len() as i64) as usize].handle();
+                    match wl.next_op(&[4, 3, 3]) {
+                        0 => {
+                            h.push(wl.next_key());
+                        }
+                        1 => {
+                            h.pop();
+                        }
+                        _ => {
+                            h.peek();
+                        }
+                    }
+                }
+            },
+            None::<fn()>,
+        );
+        true
+    }
+
+    fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
+        match kind {
+            CheckKind::Io => Some(Arc::new(|_object| {
+                Box::new(Checker::io(StackSpec::new())) as Box<dyn ObjectChecker>
+            })),
+            CheckKind::Lin => Some(Arc::new(|_object| {
+                Box::new(Checker::lin(StackSpec::new())) as Box<dyn ObjectChecker>
+            })),
+            CheckKind::View => None,
+        }
+    }
+
+    fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
+        spec_stepping(kind, StackSpec::new)
+    }
+}
+
+/// Parks a victim `Enqueue` after its premature tail swing (and commit)
+/// but before the predecessor link, enqueues behind it, and observes the
+/// unreachable front: the dequeue commits an "empty" result while the
+/// specification says the queue holds two elements. Runs before the
+/// workload threads start, so the buggy variant's first violation lands
+/// at a fixed log position regardless of the workload seed.
+fn tail_swing_prologue(queue: &MsQueue) {
+    let h = queue.handle();
+    let gate = Arc::new(std::sync::Barrier::new(2));
+    let release = Arc::new(std::sync::Barrier::new(2));
+    {
+        let gate = Arc::clone(&gate);
+        let release = Arc::clone(&release);
+        queue.arm_enqueue_hook(Box::new(move || {
+            gate.wait();
+            release.wait();
+        }));
+    }
+    let victim = {
+        let h = queue.handle();
+        std::thread::spawn(move || h.enqueue(5))
+    };
+    gate.wait();
+    h.enqueue(6);
+    h.dequeue();
+    release.wait();
+    victim.join().expect("victim enqueue thread");
+}
+
+/// The Michael–Scott queue with the seeded tail-swing bug.
+#[derive(Debug)]
+pub struct MsQueueScenario;
+
+impl Scenario for MsQueueScenario {
+    fn name(&self) -> &'static str {
+        "MS-Queue"
+    }
+
+    fn bug(&self) -> &'static str {
+        "Non-atomic tail swing in Enqueue"
+    }
+
+    fn run(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant) {
+        let v = match variant {
+            Variant::Correct => QueueVariant::Correct,
+            Variant::Buggy => QueueVariant::EarlyTailSwing,
+        };
+        let queue = MsQueue::new(v, LF_CAPACITY, log.clone());
+        if variant == Variant::Buggy {
+            tail_swing_prologue(&queue);
+        }
+        drive(
+            cfg,
+            |_, mut wl| {
+                let h = queue.handle();
+                for _ in 0..cfg.calls_per_thread {
+                    match wl.next_op(&[4, 3, 3]) {
+                        0 => {
+                            h.enqueue(wl.next_key());
+                        }
+                        1 => {
+                            h.dequeue();
+                        }
+                        _ => {
+                            h.front();
+                        }
+                    }
+                }
+            },
+            None::<fn()>,
+        );
+    }
+
+    impl_spec_checks!(QueueSpec::new());
+
+    /// §8 multi-object mode: one queue per object; the buggy prologue
+    /// runs on object 0 only, so exactly one shard carries the seeded
+    /// violation.
+    fn run_multi(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant, objects: u32) -> bool {
+        let v = match variant {
+            Variant::Correct => QueueVariant::Correct,
+            Variant::Buggy => QueueVariant::EarlyTailSwing,
+        };
+        let queues: Vec<MsQueue> = (0..objects.max(1))
+            .map(|i| MsQueue::new(v, LF_CAPACITY, log.with_object(ObjectId(i))))
+            .collect();
+        if variant == Variant::Buggy {
+            tail_swing_prologue(&queues[0]);
+        }
+        drive(
+            cfg,
+            |_, mut wl| {
+                for _ in 0..cfg.calls_per_thread {
+                    let h = queues[wl.next_int(queues.len() as i64) as usize].handle();
+                    match wl.next_op(&[4, 3, 3]) {
+                        0 => {
+                            h.enqueue(wl.next_key());
+                        }
+                        1 => {
+                            h.dequeue();
+                        }
+                        _ => {
+                            h.front();
+                        }
+                    }
+                }
+            },
+            None::<fn()>,
+        );
+        true
+    }
+
+    fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
+        match kind {
+            CheckKind::Io => Some(Arc::new(|_object| {
+                Box::new(Checker::io(QueueSpec::new())) as Box<dyn ObjectChecker>
+            })),
+            CheckKind::Lin => Some(Arc::new(|_object| {
+                Box::new(Checker::lin(QueueSpec::new())) as Box<dyn ObjectChecker>
+            })),
+            CheckKind::View => None,
+        }
+    }
+
+    fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
+        spec_stepping(kind, QueueSpec::new)
     }
 }

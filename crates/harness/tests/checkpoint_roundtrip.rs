@@ -105,6 +105,15 @@ fn assert_reports_agree(scratch: &Report, resumed: &Report, what: &str) {
     assert_eq!(a.observers_checked, b.observers_checked, "{what}: observers");
     assert_eq!(a.view_comparisons, b.view_comparisons, "{what}: view comparisons");
     assert_eq!(a.writes_replayed, b.writes_replayed, "{what}: writes replayed");
+    assert_eq!(
+        a.lin_windows_searched, b.lin_windows_searched,
+        "{what}: lin windows searched"
+    );
+    assert_eq!(
+        a.lin_witness_backtracks, b.lin_witness_backtracks,
+        "{what}: lin witness backtracks"
+    );
+    assert_eq!(a.lin_fastpath_hits, b.lin_fastpath_hits, "{what}: lin fastpath hits");
 }
 
 /// Sweeps a few split points (including mid-trace positions certain to
@@ -155,4 +164,30 @@ fn view_checkpoints_round_trip_where_the_replayer_supports_them() {
     let s = scenarios::CacheScenario;
     roundtrip(&s, CheckKind::View, Variant::Correct, "Cache-view");
     roundtrip(&s, CheckKind::View, Variant::Buggy, "Cache-view-buggy");
+
+    let s = scenarios::MultisetVectorScenario;
+    roundtrip(&s, CheckKind::View, Variant::Correct, "Multiset-Vector-view");
+    roundtrip(&s, CheckKind::View, Variant::Buggy, "Multiset-Vector-view-buggy");
+
+    let s = scenarios::MultisetBstScenario;
+    roundtrip(&s, CheckKind::View, Variant::Correct, "Multiset-BinaryTree-view");
+    roundtrip(&s, CheckKind::View, Variant::Buggy, "Multiset-BinaryTree-view-buggy");
+}
+
+#[test]
+fn lin_checkpoints_round_trip_with_their_retained_digests() {
+    // Lin mode retains per-window observation digests; they must cross
+    // the checkpoint boundary so a resumed checker searches exactly the
+    // windows — and takes exactly the fast paths — of a from-scratch one.
+    for s in scenarios::all().into_iter().chain(scenarios::lockfree()) {
+        roundtrip(s.as_ref(), CheckKind::Lin, Variant::Correct, &format!("{}-lin", s.name()));
+    }
+    for s in scenarios::lockfree() {
+        roundtrip(
+            s.as_ref(),
+            CheckKind::Lin,
+            Variant::Buggy,
+            &format!("{}-lin-buggy", s.name()),
+        );
+    }
 }

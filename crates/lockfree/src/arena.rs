@@ -1,0 +1,219 @@
+//! Index-based node arena with tagged packed pointers.
+//!
+//! A "pointer" in this crate is a packed `u64`: the low 32 bits are a
+//! node *index* into a preallocated slot array (or [`NIL`]), the high
+//! 32 bits are a monotonically bumped *tag*. Every successful CAS on a
+//! structural pointer bumps the tag, so a thread holding a stale
+//! `(tag, index)` pair can never win a compare-exchange after the node
+//! changed hands — the classic tagged-pointer ABA defense, with array
+//! indices standing in for addresses so reclamation needs no epochs,
+//! no hazard pointers, and no `unsafe`.
+//!
+//! The free list is itself a tagged Treiber stack threaded through the
+//! same `next` fields. [`Arena::release`] additionally bumps the
+//! released node's *own* `next` tag, so CASes aimed at the `next` field
+//! of a node that has since been recycled (the Michael–Scott link CAS)
+//! fail too.
+//!
+//! All atomics use `SeqCst`: this crate exists to exercise the
+//! refinement checker, and sequentially consistent orderings keep the
+//! *correct* variants unarguably correct so that every reported
+//! violation is the seeded bug, never a memory-ordering artifact.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::SeqCst};
+
+/// The null index: no node.
+pub const NIL: u32 = u32::MAX;
+
+/// Packs a `(tag, index)` pair into one atomic word.
+#[inline]
+pub fn pack(tag: u32, idx: u32) -> u64 {
+    (u64::from(tag) << 32) | u64::from(idx)
+}
+
+/// The tag half of a packed pointer.
+#[inline]
+pub fn tag(p: u64) -> u32 {
+    (p >> 32) as u32
+}
+
+/// The index half of a packed pointer.
+#[inline]
+pub fn idx(p: u64) -> u32 {
+    p as u32
+}
+
+/// One arena slot: the payload plus the structural/free-list link.
+#[derive(Debug)]
+struct Node {
+    value: AtomicI64,
+    next: AtomicU64,
+}
+
+/// A fixed-capacity node arena whose free list is a tagged Treiber
+/// stack.
+///
+/// Exhaustion is not an error: [`Arena::acquire`] returns `None` and
+/// the caller's method returns a failure value the specification
+/// accepts (like the fixed-capacity array multiset's full `Insert`).
+#[derive(Debug)]
+pub struct Arena {
+    nodes: Box<[Node]>,
+    free: AtomicU64,
+}
+
+impl Arena {
+    /// Creates an arena of `capacity` nodes, all on the free list.
+    pub fn new(capacity: usize) -> Arena {
+        let capacity = capacity.min(NIL as usize - 1);
+        let nodes: Box<[Node]> = (0..capacity)
+            .map(|i| Node {
+                value: AtomicI64::new(0),
+                next: AtomicU64::new(pack(
+                    0,
+                    if i + 1 < capacity { (i + 1) as u32 } else { NIL },
+                )),
+            })
+            .collect();
+        let head = if capacity == 0 { NIL } else { 0 };
+        Arena {
+            nodes,
+            free: AtomicU64::new(pack(0, head)),
+        }
+    }
+
+    /// Pops a node off the free list, or `None` when exhausted. The
+    /// returned node's `next` is reset to `NIL` under a fresh tag.
+    pub fn acquire(&self) -> Option<u32> {
+        loop {
+            let head = self.free.load(SeqCst);
+            let i = idx(head);
+            if i == NIL {
+                return None;
+            }
+            // The node may be recycled between this read and the CAS;
+            // the tagged head CAS then fails and we retry.
+            let next = self.next(i).load(SeqCst);
+            if self
+                .free
+                .compare_exchange(head, pack(tag(head).wrapping_add(1), idx(next)), SeqCst, SeqCst)
+                .is_ok()
+            {
+                self.reset_next(i);
+                return Some(i);
+            }
+        }
+    }
+
+    /// Pushes a node back on the free list, bumping its `next` tag so
+    /// stale CASes aimed at this node's link fail from now on.
+    pub fn release(&self, i: u32) {
+        loop {
+            let head = self.free.load(SeqCst);
+            let old = self.next(i).load(SeqCst);
+            self.next(i)
+                .store(pack(tag(old).wrapping_add(1), idx(head)), SeqCst);
+            if self
+                .free
+                .compare_exchange(head, pack(tag(head).wrapping_add(1), i), SeqCst, SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// The payload cell of node `i`.
+    pub fn value(&self, i: u32) -> &AtomicI64 {
+        &self.nodes[i as usize].value
+    }
+
+    /// The link cell of node `i`.
+    pub fn next(&self, i: u32) -> &AtomicU64 {
+        &self.nodes[i as usize].next
+    }
+
+    /// Rewrites node `i`'s link to `NIL` under a bumped tag.
+    pub fn reset_next(&self, i: u32) {
+        let old = self.next(i).load(SeqCst);
+        self.next(i)
+            .store(pack(tag(old).wrapping_add(1), NIL), SeqCst);
+    }
+
+    /// Points node `i`'s link at `target`, keeping the current tag
+    /// (publication happens via the structure-head CAS, not here).
+    pub fn set_next_idx(&self, i: u32, target: u32) {
+        let old = self.next(i).load(SeqCst);
+        self.next(i).store(pack(tag(old), target), SeqCst);
+    }
+
+    /// Total slots (free or live).
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let p = pack(7, 42);
+        assert_eq!(tag(p), 7);
+        assert_eq!(idx(p), 42);
+        assert_eq!(idx(pack(u32::MAX, NIL)), NIL);
+    }
+
+    #[test]
+    fn acquire_release_cycles_through_capacity() {
+        let a = Arena::new(3);
+        let mut got = Vec::new();
+        while let Some(i) = a.acquire() {
+            got.push(i);
+        }
+        assert_eq!(got.len(), 3);
+        assert!(a.acquire().is_none(), "exhausted arena must refuse");
+        for i in got {
+            a.release(i);
+        }
+        assert!(a.acquire().is_some(), "released nodes are reusable");
+    }
+
+    #[test]
+    fn release_bumps_the_next_tag() {
+        let a = Arena::new(2);
+        let i = a.acquire().unwrap();
+        let before = tag(a.next(i).load(std::sync::atomic::Ordering::SeqCst));
+        a.release(i);
+        let after = tag(a.next(i).load(std::sync::atomic::Ordering::SeqCst));
+        assert_ne!(before, after, "stale link CASes must be invalidated");
+    }
+
+    #[test]
+    fn concurrent_acquire_release_never_duplicates() {
+        let a = std::sync::Arc::new(Arena::new(8));
+        let mut threads = Vec::new();
+        for _ in 0..4 {
+            let a = std::sync::Arc::clone(&a);
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    if let Some(i) = a.acquire() {
+                        a.value(i).store(i64::from(i), SeqCst);
+                        assert_eq!(a.value(i).load(SeqCst), i64::from(i));
+                        a.release(i);
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Every slot is back on the free list.
+        let mut n = 0;
+        while a.acquire().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 8, "free list lost or duplicated slots");
+    }
+}

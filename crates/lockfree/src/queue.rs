@@ -1,0 +1,415 @@
+//! The Michael–Scott queue with CAS commit points.
+//!
+//! The standard two-pointer queue over a dummy head node: `Enqueue`
+//! commits at its successful `tail.next` link CAS (the point the
+//! element becomes reachable), `Dequeue` at its successful head CAS
+//! (or at the re-verified empty observation), and `Front` is a pure
+//! observer. Lagging tails are helped forward exactly as in the paper
+//! algorithm.
+
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use vyrd_core::instrument::MethodSession;
+use vyrd_core::log::{EventLog, ThreadLogger};
+use vyrd_core::Value;
+use vyrd_rt::sync::Mutex;
+
+use crate::arena::{idx, pack, tag, Arena, NIL};
+use crate::spec::methods;
+use crate::Hook;
+
+/// Which `Enqueue` the queue runs: the link-then-swing original or the
+/// seeded non-atomic tail swing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueVariant {
+    /// Link `tail.next` first (the commit), then swing `tail` —
+    /// Michael–Scott as published.
+    Correct,
+    /// `Enqueue` swings `tail` to the new node (and commits) *before*
+    /// linking `predecessor.next`: until the link lands the element is
+    /// unreachable from `head`, so concurrent `Dequeue`s see an empty
+    /// queue the specification says is non-empty.
+    EarlyTailSwing,
+}
+
+struct Inner {
+    arena: Arena,
+    head: AtomicU64,
+    tail: AtomicU64,
+    variant: QueueVariant,
+    /// §6.1 instrumentation atomicity — see [`crate::TreiberStack`].
+    commit_lock: Mutex<()>,
+    /// One-shot choreography pause point; fires between the premature
+    /// tail swing and the missing link of [`QueueVariant::EarlyTailSwing`].
+    hook: Mutex<Option<Hook>>,
+    log: EventLog,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("variant", &self.variant)
+            .field("capacity", &self.arena.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Inner {
+    fn fire_hook(&self) {
+        let hook = self.hook.lock().take();
+        if let Some(f) = hook {
+            f();
+        }
+    }
+}
+
+/// A fixed-capacity lock-free Michael–Scott FIFO queue of `i64` values.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::checker::Checker;
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_lockfree::{MsQueue, QueueSpec, QueueVariant};
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let q = MsQueue::new(QueueVariant::Correct, 8, log.clone());
+/// let h = q.handle();
+/// assert!(h.enqueue(1).is_success());
+/// assert!(h.enqueue(2).is_success());
+/// assert_eq!(h.front().as_int(), Some(1));
+/// assert_eq!(h.dequeue().as_int(), Some(1));
+/// assert_eq!(h.dequeue().as_int(), Some(2));
+/// assert!(h.dequeue().is_failure());
+///
+/// let report = Checker::lin(QueueSpec::new()).check_events(log.snapshot());
+/// assert!(report.passed());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MsQueue {
+    inner: Arc<Inner>,
+}
+
+impl MsQueue {
+    /// Creates a queue with room for `capacity` live elements (one
+    /// extra arena slot is reserved for the dummy node).
+    pub fn new(variant: QueueVariant, capacity: usize, log: EventLog) -> MsQueue {
+        let arena = Arena::new(capacity + 1);
+        let dummy = arena.acquire().unwrap_or(NIL);
+        assert_ne!(dummy, NIL, "arena must hold at least the dummy node");
+        MsQueue {
+            inner: Arc::new(Inner {
+                head: AtomicU64::new(pack(0, dummy)),
+                tail: AtomicU64::new(pack(0, dummy)),
+                arena,
+                variant,
+                commit_lock: Mutex::new(()),
+                hook: Mutex::new(None),
+                log,
+            }),
+        }
+    }
+
+    /// The event log this queue records into.
+    pub fn log(&self) -> &EventLog {
+        &self.inner.log
+    }
+
+    /// Arms the one-shot swing-window pause point (buggy variant only).
+    pub fn arm_enqueue_hook(&self, hook: Hook) {
+        *self.inner.hook.lock() = Some(hook);
+    }
+
+    /// Creates a per-thread handle with a fresh thread id.
+    pub fn handle(&self) -> MsQueueHandle {
+        MsQueueHandle {
+            queue: self.clone(),
+            logger: self.inner.log.logger(),
+        }
+    }
+}
+
+/// Per-thread access to an [`MsQueue`].
+#[derive(Clone, Debug)]
+pub struct MsQueueHandle {
+    queue: MsQueue,
+    logger: ThreadLogger,
+}
+
+impl MsQueueHandle {
+    /// `Enqueue(x)`: appends one value; fails only when the arena is
+    /// exhausted.
+    pub fn enqueue(&self, x: i64) -> Value {
+        let mut session = MethodSession::enter(&self.logger, methods::ENQUEUE, &[Value::from(x)]);
+        let inner = &self.queue.inner;
+        let Some(n) = inner.arena.acquire() else {
+            let guard = inner.commit_lock.lock();
+            session.commit();
+            drop(guard);
+            return session.exit(Value::failure());
+        };
+        inner.arena.value(n).store(x, SeqCst);
+        loop {
+            let t = inner.tail.load(SeqCst);
+            let tn = inner.arena.next(idx(t)).load(SeqCst);
+            if inner.tail.load(SeqCst) != t {
+                continue;
+            }
+            if idx(tn) != NIL {
+                // Tail lags: help swing it forward and retry.
+                let _ = inner.tail.compare_exchange(
+                    t,
+                    pack(tag(t).wrapping_add(1), idx(tn)),
+                    SeqCst,
+                    SeqCst,
+                );
+                continue;
+            }
+            match inner.variant {
+                QueueVariant::Correct => {
+                    let guard = inner.commit_lock.lock();
+                    if inner
+                        .arena
+                        .next(idx(t))
+                        .compare_exchange(tn, pack(tag(tn).wrapping_add(1), n), SeqCst, SeqCst)
+                        .is_ok()
+                    {
+                        // The link is the linearization point.
+                        session.commit();
+                        drop(guard);
+                        let _ = inner.tail.compare_exchange(
+                            t,
+                            pack(tag(t).wrapping_add(1), n),
+                            SeqCst,
+                            SeqCst,
+                        );
+                        return session.exit(Value::success());
+                    }
+                    drop(guard);
+                }
+                QueueVariant::EarlyTailSwing => {
+                    let guard = inner.commit_lock.lock();
+                    // BUG: swing the tail (and commit — the element is
+                    // claimed to be in the queue) before the predecessor
+                    // link exists.
+                    if inner
+                        .tail
+                        .compare_exchange(t, pack(tag(t).wrapping_add(1), n), SeqCst, SeqCst)
+                        .is_ok()
+                    {
+                        session.commit();
+                        drop(guard);
+                        // The window: head-side traversal cannot reach
+                        // `n` until this store lands.
+                        inner.fire_hook();
+                        inner
+                            .arena
+                            .next(idx(t))
+                            .store(pack(tag(tn).wrapping_add(1), n), SeqCst);
+                        return session.exit(Value::success());
+                    }
+                    drop(guard);
+                }
+            }
+        }
+    }
+
+    /// `Dequeue()`: removes and returns the front value, or a failure
+    /// value when the queue is empty.
+    pub fn dequeue(&self) -> Value {
+        let mut session = MethodSession::enter(&self.logger, methods::DEQUEUE, &[]);
+        let inner = &self.queue.inner;
+        loop {
+            let h = inner.head.load(SeqCst);
+            let hn = inner.arena.next(idx(h)).load(SeqCst);
+            if inner.head.load(SeqCst) != h {
+                continue;
+            }
+            if idx(hn) == NIL {
+                // Commit the empty observation only if it still holds
+                // under the lock.
+                let guard = inner.commit_lock.lock();
+                let still_empty = inner.head.load(SeqCst) == h
+                    && idx(inner.arena.next(idx(h)).load(SeqCst)) == NIL;
+                if still_empty {
+                    session.commit();
+                    drop(guard);
+                    return session.exit(Value::failure());
+                }
+                drop(guard);
+                continue;
+            }
+            let t = inner.tail.load(SeqCst);
+            if idx(h) == idx(t) {
+                // Tail lags behind a linked node: help it forward.
+                let _ = inner.tail.compare_exchange(
+                    t,
+                    pack(tag(t).wrapping_add(1), idx(hn)),
+                    SeqCst,
+                    SeqCst,
+                );
+                continue;
+            }
+            // Read before the CAS: the dummy is recycled right after.
+            let val = inner.arena.value(idx(hn)).load(SeqCst);
+            let guard = inner.commit_lock.lock();
+            if inner
+                .head
+                .compare_exchange(h, pack(tag(h).wrapping_add(1), idx(hn)), SeqCst, SeqCst)
+                .is_ok()
+            {
+                session.commit();
+                drop(guard);
+                inner.arena.release(idx(h));
+                return session.exit(Value::from(val));
+            }
+            drop(guard);
+        }
+    }
+
+    /// `Front()`: the current front value, or a failure value when
+    /// empty. Observer — no commit, justified by the window search.
+    pub fn front(&self) -> Value {
+        let session = MethodSession::enter(&self.logger, methods::FRONT, &[]);
+        let inner = &self.queue.inner;
+        let ret = loop {
+            let h = inner.head.load(SeqCst);
+            let hn = inner.arena.next(idx(h)).load(SeqCst);
+            if inner.head.load(SeqCst) != h {
+                continue;
+            }
+            if idx(hn) == NIL {
+                break Value::failure();
+            }
+            let val = inner.arena.value(idx(hn)).load(SeqCst);
+            if inner.head.load(SeqCst) == h {
+                break Value::from(val);
+            }
+        };
+        session.exit(ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vyrd_core::checker::Checker;
+    use vyrd_core::log::LogMode;
+    use crate::spec::QueueSpec;
+
+    fn io_log() -> EventLog {
+        EventLog::in_memory(LogMode::Io)
+    }
+
+    #[test]
+    fn sequential_fifo_semantics() {
+        let log = io_log();
+        let q = MsQueue::new(QueueVariant::Correct, 4, log.clone());
+        let h = q.handle();
+        assert!(h.dequeue().is_failure());
+        assert!(h.front().is_failure());
+        assert!(h.enqueue(10).is_success());
+        assert!(h.enqueue(20).is_success());
+        assert_eq!(h.front().as_int(), Some(10));
+        assert_eq!(h.dequeue().as_int(), Some(10));
+        assert_eq!(h.dequeue().as_int(), Some(20));
+        assert!(h.dequeue().is_failure());
+        let report = Checker::io(QueueSpec::new()).check_events(log.snapshot());
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn exhausted_arena_fails_the_enqueue_and_the_spec_accepts_it() {
+        let log = io_log();
+        let q = MsQueue::new(QueueVariant::Correct, 2, log.clone());
+        let h = q.handle();
+        assert!(h.enqueue(1).is_success());
+        assert!(h.enqueue(2).is_success());
+        assert!(h.enqueue(3).is_failure(), "capacity 2 must refuse a third");
+        assert_eq!(h.dequeue().as_int(), Some(1));
+        assert!(h.enqueue(4).is_success(), "freed capacity is reusable");
+        for checker in [
+            Checker::io(QueueSpec::new()),
+            Checker::lin(QueueSpec::new()),
+        ] {
+            let report = checker.check_events(log.snapshot());
+            assert!(report.passed(), "{report}");
+        }
+    }
+
+    #[test]
+    fn concurrent_correct_run_passes_io_and_lin() {
+        let log = io_log();
+        let q = MsQueue::new(QueueVariant::Correct, 64, log.clone());
+        let mut threads = Vec::new();
+        for t in 0..4i64 {
+            let h = q.handle();
+            threads.push(std::thread::spawn(move || {
+                for i in 0..60 {
+                    match i % 3 {
+                        0 => {
+                            h.enqueue(t * 100 + i);
+                        }
+                        1 => {
+                            h.dequeue();
+                        }
+                        _ => {
+                            h.front();
+                        }
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let io = Checker::io(QueueSpec::new()).check_events(log.snapshot());
+        assert!(io.passed(), "io: {io}");
+        let lin = Checker::lin(QueueSpec::new()).check_events(log.snapshot());
+        assert!(lin.passed(), "lin: {lin}");
+        assert!(lin.stats.lin_windows_searched > 0, "fronts open windows");
+    }
+
+    #[test]
+    fn choreographed_tail_swing_is_a_deterministic_violation() {
+        let log = io_log();
+        let q = MsQueue::new(QueueVariant::EarlyTailSwing, 8, log.clone());
+        let h = q.handle();
+
+        // Park the victim enqueue after its premature swing+commit but
+        // before the predecessor link...
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let release = Arc::new(std::sync::Barrier::new(2));
+        {
+            let gate = Arc::clone(&gate);
+            let release = Arc::clone(&release);
+            q.arm_enqueue_hook(Box::new(move || {
+                gate.wait();
+                release.wait();
+            }));
+        }
+        let victim = {
+            let h = q.handle();
+            std::thread::spawn(move || h.enqueue(5))
+        };
+        gate.wait();
+        // ...the spec now says [5]; enqueue 6 behind it and observe the
+        // unreachable front: the dequeue sees an empty chain from head.
+        assert!(h.enqueue(6).is_success());
+        let d = h.dequeue();
+        assert!(d.is_failure(), "head chain must look empty, got {d}");
+        release.wait();
+        assert!(victim.join().unwrap().is_success());
+
+        for report in [
+            Checker::io(QueueSpec::new()).check_events(log.snapshot()),
+            Checker::lin(QueueSpec::new()).check_events(log.snapshot()),
+        ] {
+            assert!(!report.passed(), "tail swing must fail: {report}");
+            let v = report.violation.expect("violation");
+            assert_eq!(v.category(), "spec-rejected-commit", "{v}");
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The Treiber stack with CAS commit points.
+//!
+//! `Push` and `Pop` are the classic compare-and-swap loops over a
+//! tagged head pointer; each commits at its *successful* head CAS (or,
+//! for `Pop` of an empty stack / `Push` into an exhausted arena, at the
+//! point the terminal condition is re-verified). `Peek` is a pure
+//! observer: it never takes the commit lock and is justified by the
+//! checker's observer-window search.
+
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use vyrd_core::instrument::MethodSession;
+use vyrd_core::log::{EventLog, ThreadLogger};
+use vyrd_core::Value;
+use vyrd_rt::sync::Mutex;
+
+use crate::arena::{idx, pack, tag, Arena, NIL};
+use crate::spec::methods;
+use crate::Hook;
+
+/// Which `Pop` the stack runs: the tagged-CAS original or the seeded
+/// ABA bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackVariant {
+    /// Full `(tag, index)` compare — immune to ABA.
+    Correct,
+    /// `Pop` compares only the head *index* before installing its stale
+    /// `next` pointer: a node popped, recycled, and pushed back between
+    /// the read and the CAS satisfies the compare, and the stack is
+    /// corrupted — the textbook ABA failure.
+    AbaPop,
+}
+
+struct Inner {
+    arena: Arena,
+    head: AtomicU64,
+    variant: StackVariant,
+    /// §6.1 instrumentation atomicity: held across
+    /// `{successful CAS, session.commit()}` only, so the logged commit
+    /// order equals the CAS linearization order. Observers never take it.
+    commit_lock: Mutex<()>,
+    /// One-shot choreography pause point (see [`crate::Hook`]); fires
+    /// inside the ABA window of [`StackVariant::AbaPop`].
+    hook: Mutex<Option<Hook>>,
+    log: EventLog,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("variant", &self.variant)
+            .field("capacity", &self.arena.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Inner {
+    fn fire_hook(&self) {
+        let hook = self.hook.lock().take();
+        if let Some(f) = hook {
+            f();
+        }
+    }
+}
+
+/// A fixed-capacity lock-free Treiber stack of `i64` values.
+///
+/// # Examples
+///
+/// ```
+/// use vyrd_core::checker::Checker;
+/// use vyrd_core::log::{EventLog, LogMode};
+/// use vyrd_lockfree::{StackSpec, StackVariant, TreiberStack};
+///
+/// let log = EventLog::in_memory(LogMode::Io);
+/// let stack = TreiberStack::new(StackVariant::Correct, 8, log.clone());
+/// let h = stack.handle();
+/// assert!(h.push(1).is_success());
+/// assert!(h.push(2).is_success());
+/// assert_eq!(h.peek().as_int(), Some(2));
+/// assert_eq!(h.pop().as_int(), Some(2));
+/// assert_eq!(h.pop().as_int(), Some(1));
+/// assert!(h.pop().is_failure());
+///
+/// let report = Checker::lin(StackSpec::new()).check_events(log.snapshot());
+/// assert!(report.passed());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TreiberStack {
+    inner: Arc<Inner>,
+}
+
+impl TreiberStack {
+    /// Creates a stack with room for `capacity` live elements.
+    pub fn new(variant: StackVariant, capacity: usize, log: EventLog) -> TreiberStack {
+        TreiberStack {
+            inner: Arc::new(Inner {
+                arena: Arena::new(capacity),
+                head: AtomicU64::new(pack(0, NIL)),
+                variant,
+                commit_lock: Mutex::new(()),
+                hook: Mutex::new(None),
+                log,
+            }),
+        }
+    }
+
+    /// The event log this stack records into.
+    pub fn log(&self) -> &EventLog {
+        &self.inner.log
+    }
+
+    /// Arms the one-shot ABA-window pause point (buggy variant only —
+    /// the correct `Pop` never reaches it).
+    pub fn arm_pop_hook(&self, hook: Hook) {
+        *self.inner.hook.lock() = Some(hook);
+    }
+
+    /// Creates a per-thread handle with a fresh thread id.
+    pub fn handle(&self) -> TreiberStackHandle {
+        TreiberStackHandle {
+            stack: self.clone(),
+            logger: self.inner.log.logger(),
+        }
+    }
+}
+
+/// Per-thread access to a [`TreiberStack`].
+#[derive(Clone, Debug)]
+pub struct TreiberStackHandle {
+    stack: TreiberStack,
+    logger: ThreadLogger,
+}
+
+impl TreiberStackHandle {
+    /// `Push(x)`: pushes one value; fails only when the arena is
+    /// exhausted (a spec-visible capacity failure, not an error).
+    pub fn push(&self, x: i64) -> Value {
+        let mut session = MethodSession::enter(&self.logger, methods::PUSH, &[Value::from(x)]);
+        let inner = &self.stack.inner;
+        let Some(n) = inner.arena.acquire() else {
+            let guard = inner.commit_lock.lock();
+            session.commit();
+            drop(guard);
+            return session.exit(Value::failure());
+        };
+        inner.arena.value(n).store(x, SeqCst);
+        loop {
+            let head = inner.head.load(SeqCst);
+            inner.arena.set_next_idx(n, idx(head));
+            let guard = inner.commit_lock.lock();
+            if inner
+                .head
+                .compare_exchange(head, pack(tag(head).wrapping_add(1), n), SeqCst, SeqCst)
+                .is_ok()
+            {
+                session.commit();
+                drop(guard);
+                return session.exit(Value::success());
+            }
+            drop(guard);
+        }
+    }
+
+    /// `Pop()`: removes and returns the top value, or a failure value
+    /// when the stack is empty.
+    pub fn pop(&self) -> Value {
+        let mut session = MethodSession::enter(&self.logger, methods::POP, &[]);
+        let inner = &self.stack.inner;
+        loop {
+            let head = inner.head.load(SeqCst);
+            if idx(head) == NIL {
+                // Commit the empty observation only if it still holds
+                // under the lock, so the logged order is the real one.
+                let guard = inner.commit_lock.lock();
+                if inner.head.load(SeqCst) == head {
+                    session.commit();
+                    drop(guard);
+                    return session.exit(Value::failure());
+                }
+                drop(guard);
+                continue;
+            }
+            // Both reads must precede the CAS: after it, the node can be
+            // recycled immediately.
+            let next = inner.arena.next(idx(head)).load(SeqCst);
+            let val = inner.arena.value(idx(head)).load(SeqCst);
+            match inner.variant {
+                StackVariant::Correct => {
+                    let guard = inner.commit_lock.lock();
+                    if inner
+                        .head
+                        .compare_exchange(
+                            head,
+                            pack(tag(head).wrapping_add(1), idx(next)),
+                            SeqCst,
+                            SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        session.commit();
+                        drop(guard);
+                        inner.arena.release(idx(head));
+                        return session.exit(Value::from(val));
+                    }
+                    drop(guard);
+                }
+                StackVariant::AbaPop => {
+                    // The race window: `next`/`val` are already read.
+                    inner.fire_hook();
+                    let guard = inner.commit_lock.lock();
+                    let cur = inner.head.load(SeqCst);
+                    // BUG: index-only compare — a recycled node at the
+                    // same slot passes, and the stale `next` is
+                    // installed.
+                    if idx(cur) == idx(head) {
+                        inner
+                            .head
+                            .store(pack(tag(cur).wrapping_add(1), idx(next)), SeqCst);
+                        session.commit();
+                        drop(guard);
+                        inner.arena.release(idx(head));
+                        return session.exit(Value::from(val));
+                    }
+                    drop(guard);
+                }
+            }
+        }
+    }
+
+    /// `Peek()`: the current top value, or a failure value when empty.
+    /// Observer — no commit, justified by the window search.
+    pub fn peek(&self) -> Value {
+        let session = MethodSession::enter(&self.logger, methods::PEEK, &[]);
+        let inner = &self.stack.inner;
+        let ret = loop {
+            let head = inner.head.load(SeqCst);
+            if idx(head) == NIL {
+                break Value::failure();
+            }
+            let val = inner.arena.value(idx(head)).load(SeqCst);
+            // Tag revalidation: the value is the top's iff the head did
+            // not move while we read it.
+            if inner.head.load(SeqCst) == head {
+                break Value::from(val);
+            }
+        };
+        session.exit(ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vyrd_core::checker::Checker;
+    use vyrd_core::log::LogMode;
+    use crate::spec::StackSpec;
+
+    fn io_log() -> EventLog {
+        EventLog::in_memory(LogMode::Io)
+    }
+
+    #[test]
+    fn sequential_lifo_semantics() {
+        let log = io_log();
+        let s = TreiberStack::new(StackVariant::Correct, 4, log.clone());
+        let h = s.handle();
+        assert!(h.pop().is_failure());
+        assert!(h.peek().is_failure());
+        assert!(h.push(10).is_success());
+        assert!(h.push(20).is_success());
+        assert_eq!(h.peek().as_int(), Some(20));
+        assert_eq!(h.pop().as_int(), Some(20));
+        assert_eq!(h.pop().as_int(), Some(10));
+        assert!(h.pop().is_failure());
+        let report = Checker::io(StackSpec::new()).check_events(log.snapshot());
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn exhausted_arena_fails_the_push_and_the_spec_accepts_it() {
+        let log = io_log();
+        let s = TreiberStack::new(StackVariant::Correct, 2, log.clone());
+        let h = s.handle();
+        assert!(h.push(1).is_success());
+        assert!(h.push(2).is_success());
+        assert!(h.push(3).is_failure(), "capacity 2 must refuse a third");
+        assert_eq!(h.pop().as_int(), Some(2));
+        assert!(h.push(4).is_success(), "freed capacity is reusable");
+        for checker in [
+            Checker::io(StackSpec::new()),
+            Checker::lin(StackSpec::new()),
+        ] {
+            let report = checker.check_events(log.snapshot());
+            assert!(report.passed(), "{report}");
+        }
+    }
+
+    #[test]
+    fn concurrent_correct_run_passes_io_and_lin() {
+        let log = io_log();
+        let s = TreiberStack::new(StackVariant::Correct, 64, log.clone());
+        let mut threads = Vec::new();
+        for t in 0..4i64 {
+            let h = s.handle();
+            threads.push(std::thread::spawn(move || {
+                for i in 0..60 {
+                    match i % 3 {
+                        0 => {
+                            h.push(t * 100 + i);
+                        }
+                        1 => {
+                            h.pop();
+                        }
+                        _ => {
+                            h.peek();
+                        }
+                    }
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let io = Checker::io(StackSpec::new()).check_events(log.snapshot());
+        assert!(io.passed(), "io: {io}");
+        let lin = Checker::lin(StackSpec::new()).check_events(log.snapshot());
+        assert!(lin.passed(), "lin: {lin}");
+        assert!(lin.stats.lin_windows_searched > 0, "peeks open windows");
+    }
+
+    #[test]
+    fn choreographed_aba_pop_is_a_deterministic_violation() {
+        let log = io_log();
+        let s = TreiberStack::new(StackVariant::AbaPop, 8, log.clone());
+        let h = s.handle();
+        assert!(h.push(1).is_success());
+        assert!(h.push(2).is_success());
+
+        // Park the victim pop inside its ABA window...
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let release = Arc::new(std::sync::Barrier::new(2));
+        {
+            let gate = Arc::clone(&gate);
+            let release = Arc::clone(&release);
+            s.arm_pop_hook(Box::new(move || {
+                gate.wait();
+                release.wait();
+            }));
+        }
+        let victim = {
+            let h = s.handle();
+            std::thread::spawn(move || h.pop())
+        };
+        gate.wait();
+        // ...recycle the node it read: pop both, push two fresh values.
+        // The old top slot comes back as the new top with a stale next.
+        assert_eq!(h.pop().as_int(), Some(2));
+        assert_eq!(h.pop().as_int(), Some(1));
+        assert!(h.push(7).is_success());
+        assert!(h.push(8).is_success());
+        release.wait();
+        let stale = victim.join().unwrap();
+        // The stale pop "succeeds" and returns the value it read before
+        // the window — which is no longer the top of anything.
+        assert_eq!(stale.as_int(), Some(2));
+
+        for report in [
+            Checker::io(StackSpec::new()).check_events(log.snapshot()),
+            Checker::lin(StackSpec::new()).check_events(log.snapshot()),
+        ] {
+            assert!(!report.passed(), "ABA pop must fail: {report}");
+            let v = report.violation.expect("violation");
+            assert_eq!(v.category(), "spec-rejected-commit", "{v}");
+        }
+    }
+}

@@ -4,6 +4,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use vyrd_core::replay::Replayer;
+use vyrd_core::spec::SpecError;
 use vyrd_core::view::View;
 use vyrd_core::{Value, VarId};
 
@@ -97,6 +98,57 @@ impl Replayer for SlotReplayer {
                 .map(Value::from)
                 .collect(),
         )
+    }
+
+    fn save_state(&self) -> Option<Value> {
+        // The multiplicity map is derived from the slots; persisting the
+        // slots and the dirty set is the complete state.
+        let mut slots: Vec<_> = self.slots.iter().collect();
+        slots.sort_by_key(|(&i, _)| i);
+        Some(Value::List(vec![
+            Value::List(
+                slots
+                    .into_iter()
+                    .map(|(&i, &(elt, valid))| {
+                        Value::List(vec![
+                            Value::from(i),
+                            elt.map(Value::from).unwrap_or(Value::Unit),
+                            Value::from(valid),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Value::List(self.dirty.iter().map(|&x| Value::from(x)).collect()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SpecError> {
+        let malformed = || SpecError::new("malformed slot-replayer state");
+        let parts = state.as_list().ok_or_else(malformed)?;
+        let [slots_v, dirty_v] = parts else {
+            return Err(malformed());
+        };
+        let mut slots = HashMap::new();
+        let mut counts = BTreeMap::new();
+        for entry in slots_v.as_list().ok_or_else(malformed)? {
+            let [i, elt, valid] = entry.as_list().ok_or_else(malformed)? else {
+                return Err(malformed());
+            };
+            let i = i.as_int().ok_or_else(malformed)?;
+            let state = (elt.as_int(), valid.as_bool().ok_or_else(malformed)?);
+            if let Some(x) = Self::contribution(&state) {
+                *counts.entry(x).or_insert(0u64) += 1;
+            }
+            slots.insert(i, state);
+        }
+        let mut dirty = BTreeSet::new();
+        for x in dirty_v.as_list().ok_or_else(malformed)? {
+            dirty.insert(x.as_int().ok_or_else(malformed)?);
+        }
+        self.slots = slots;
+        self.counts = counts;
+        self.dirty = dirty;
+        Ok(())
     }
 }
 
@@ -222,6 +274,70 @@ impl Replayer for BstReplayer {
                 .map(Value::from)
                 .collect(),
         )
+    }
+
+    fn save_state(&self) -> Option<Value> {
+        fn id_map<V: Copy>(
+            map: &HashMap<i64, V>,
+            encode: impl Fn(V) -> Value,
+        ) -> Value {
+            let mut rows: Vec<_> = map.iter().collect();
+            rows.sort_by_key(|(&id, _)| id);
+            Value::List(
+                rows.into_iter()
+                    .map(|(&id, &v)| Value::pair(Value::from(id), encode(v)))
+                    .collect(),
+            )
+        }
+        let link = |l: Option<i64>| l.map(Value::from).unwrap_or(Value::Unit);
+        Some(Value::List(vec![
+            id_map(&self.keys, Value::from),
+            id_map(&self.counts, Value::from),
+            id_map(&self.left, link),
+            id_map(&self.right, link),
+            self.root.map(Value::from).unwrap_or(Value::Unit),
+            Value::List(self.dirty.iter().map(|&x| Value::from(x)).collect()),
+            Value::from(self.structure_changed),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), SpecError> {
+        let malformed = || SpecError::new("malformed bst-replayer state");
+        fn id_map<V>(
+            rows: &Value,
+            decode: impl Fn(&Value) -> Result<V, SpecError>,
+        ) -> Result<HashMap<i64, V>, SpecError> {
+            let malformed = || SpecError::new("malformed bst-replayer state");
+            let mut map = HashMap::new();
+            for row in rows.as_list().ok_or_else(malformed)? {
+                let (id, v) = row.as_pair().ok_or_else(malformed)?;
+                map.insert(id.as_int().ok_or_else(malformed)?, decode(v)?);
+            }
+            Ok(map)
+        }
+        let parts = state.as_list().ok_or_else(malformed)?;
+        let [keys_v, counts_v, left_v, right_v, root_v, dirty_v, structure_v] = parts else {
+            return Err(malformed());
+        };
+        let int = |v: &Value| v.as_int().ok_or_else(malformed);
+        let count = |v: &Value| Ok(int(v)?.max(0) as u64);
+        let link = |v: &Value| Ok(v.as_int());
+        let keys = id_map(keys_v, int)?;
+        let counts = id_map(counts_v, count)?;
+        let left = id_map(left_v, link)?;
+        let right = id_map(right_v, link)?;
+        let mut dirty = BTreeSet::new();
+        for x in dirty_v.as_list().ok_or_else(malformed)? {
+            dirty.insert(x.as_int().ok_or_else(malformed)?);
+        }
+        self.keys = keys;
+        self.counts = counts;
+        self.left = left;
+        self.right = right;
+        self.root = root_v.as_int();
+        self.dirty = dirty;
+        self.structure_changed = structure_v.as_bool().ok_or_else(malformed)?;
+        Ok(())
     }
 }
 
@@ -350,6 +466,63 @@ mod tests {
         // Must terminate and report both nodes once.
         let v = r.view();
         assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn slot_replayer_checkpoint_round_trips() {
+        let mut r = SlotReplayer::new();
+        w(&mut r, "elt", 0, Value::from(5i64));
+        w(&mut r, "valid", 0, Value::from(true));
+        w(&mut r, "elt", 1, Value::from(5i64));
+        w(&mut r, "valid", 1, Value::from(true));
+        w(&mut r, "elt", 2, Value::from(9i64)); // reserved, not valid
+        let state = r.save_state().expect("slot replayer checkpoints");
+        let mut restored = SlotReplayer::new();
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.view(), r.view());
+        assert_eq!(restored.count(5), 2);
+        // The dirty set travels with the checkpoint.
+        assert_eq!(restored.take_dirty(), r.take_dirty());
+        // And the restored state keeps replaying identically.
+        w(&mut restored, "valid", 2, Value::from(true));
+        assert_eq!(restored.count(9), 1);
+    }
+
+    #[test]
+    fn slot_replayer_rejects_malformed_checkpoints() {
+        let mut r = SlotReplayer::new();
+        assert!(r.restore_state(&Value::Unit).is_err());
+        assert!(r.restore_state(&Value::List(vec![Value::Unit])).is_err());
+    }
+
+    #[test]
+    fn bst_replayer_checkpoint_round_trips() {
+        let mut r = BstReplayer::new();
+        link(&mut r, 1, 50, 1);
+        link(&mut r, 2, 30, 2);
+        w(&mut r, "bst.root", 0, Value::from(1i64));
+        w(&mut r, "bst.left", 1, Value::from(2i64));
+        link(&mut r, 3, 99, 1); // orphan stays an orphan
+        let state = r.save_state().expect("bst replayer checkpoints");
+        let mut restored = BstReplayer::new();
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.view(), r.view());
+        assert_eq!(restored.view_of(&Value::from(99i64)), None);
+        // The pending structure-changed flag travels with the checkpoint:
+        // both sides demand a full comparison next.
+        assert_eq!(restored.take_dirty(), None);
+        assert_eq!(r.take_dirty(), None);
+        // And the restored tree keeps replaying identically.
+        w(&mut restored, "bst.count", 2, Value::from(5i64));
+        assert_eq!(restored.view_of(&Value::from(30i64)), Some(Value::from(5u64)));
+        assert_eq!(restored.take_dirty(), Some(vec![Value::from(30i64)]));
+    }
+
+    #[test]
+    fn bst_replayer_rejects_malformed_checkpoints() {
+        let mut r = BstReplayer::new();
+        assert!(r.restore_state(&Value::Unit).is_err());
+        assert!(r.restore_state(&Value::List(vec![Value::Unit; 3])).is_err());
     }
 
     #[test]

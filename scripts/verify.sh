@@ -40,6 +40,15 @@ echo "==> append agreement (VYRD_FAULT_SEED=3405691582)"
 VYRD_FAULT_SEED=3405691582 \
     cargo test --release --offline -q --test append_agreement >/dev/null
 
+# Lock-free linearizability agreement: the K=4 sharded Lin pool must
+# agree event-for-event with the offline per-object reference on both
+# lock-free scenarios (correct PASS, buggy FAIL on the prologue shard,
+# injected drops degrade-never-forge), pinned to the same replayable
+# seed as the fault matrix.
+echo "==> lock-free lin agreement (VYRD_FAULT_SEED=3405691582)"
+VYRD_FAULT_SEED=3405691582 \
+    cargo test --release --offline -q --test lin_agreement >/dev/null
+
 # Bench smoke: the append-throughput microbenchmark must run to
 # completion and write its JSON into results/, the canonical artifact
 # directory (numbers are not gated here — the container's core count
@@ -47,6 +56,12 @@ VYRD_FAULT_SEED=3405691582 \
 echo "==> append_throughput bench smoke"
 cargo bench --offline -p vyrd-bench --bench append_throughput >/dev/null 2>&1
 test -f results/BENCH_append_throughput.json
+
+# Lin-vs-Io checking cost on the same recorded lock-free traces; the
+# artifact (events/s per mode) feeds the EXPERIMENTS.md overhead row.
+echo "==> lin_check bench smoke"
+cargo bench --offline -p vyrd-bench --bench lin_check >/dev/null 2>&1
+test -f results/BENCH_lin_check.json
 
 # Metrics export + reconciliation: the stats binary runs a live sharded
 # scenario with metrics and spans on, then replays the pinned-seed fault

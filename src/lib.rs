@@ -11,6 +11,9 @@
 //! * [`javalib`] — the `java.util.Vector` / `StringBuffer` benchmarks;
 //! * [`storage`] — the Boxwood ChunkManager + Cache stack (Fig. 8);
 //! * [`blinktree`] — the Boxwood B-link tree (Fig. 9);
+//! * [`lockfree`] — the atomics-based family (Treiber stack,
+//!   Michael–Scott queue) whose commit points are successful CASes,
+//!   exercised by the linearizability checking mode (`Checker::lin`);
 //! * [`harness`] — the §7.1 workload harness and the Tables 1–3 drivers;
 //! * [`rt`] — the in-tree, `std`-only concurrency & measurement substrate
 //!   (MPSC channel, poison-free locks, seedable PRNG, benchmark runner)
@@ -34,6 +37,7 @@ pub use vyrd_blinktree as blinktree;
 pub use vyrd_core as core;
 pub use vyrd_harness as harness;
 pub use vyrd_javalib as javalib;
+pub use vyrd_lockfree as lockfree;
 pub use vyrd_multiset as multiset;
 pub use vyrd_rt as rt;
 pub use vyrd_storage as storage;
