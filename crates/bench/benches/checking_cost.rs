@@ -30,6 +30,7 @@ fn recorded_trace(scenario: &dyn Scenario) -> Vec<Event> {
         shrink_pool: true,
         internal_task: false,
         seed: SEED,
+        pace: None,
     };
     record_run(scenario, &cfg, LogMode::View, Variant::Correct).events
 }

@@ -22,6 +22,7 @@ fn trace() -> Vec<Event> {
         shrink_pool: false,
         internal_task: true,
         seed: SEED,
+        pace: None,
     };
     record_run(scenario.as_ref(), &cfg, LogMode::View, Variant::Correct).events
 }

@@ -20,6 +20,7 @@ fn cfg() -> WorkloadConfig {
         shrink_pool: true,
         internal_task: false,
         seed: 0xBEEF,
+        pace: None,
     }
 }
 

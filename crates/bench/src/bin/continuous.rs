@@ -32,7 +32,7 @@ use vyrd_core::segment::{scan_segments, ContinuousOptions, ContinuousVerifier, S
 use vyrd_core::violation::Report;
 use vyrd_harness::scenario::{record_run, CheckKind, Scenario, Variant};
 use vyrd_harness::scenarios;
-use vyrd_harness::workload::WorkloadConfig;
+use vyrd_harness::workload::{PaceConfig, WorkloadConfig};
 use vyrd_rt::metrics;
 
 /// Default seed: the fault matrix's CI seed, so runs replay under the
@@ -49,6 +49,13 @@ struct Options {
     calls: usize,
     segment_bytes: u64,
     checkpoint_every: u64,
+    /// Open-loop arrival rate, calls/s (0 = flat-out). The workload is
+    /// paced — `--calls` ignored — once `--rate` or `--duration` is given.
+    rate: u64,
+    /// Open-loop run length.
+    duration: Duration,
+    /// True once `--rate` or `--duration` was given.
+    paced: bool,
     json: Option<std::path::PathBuf>,
 }
 
@@ -56,7 +63,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: continuous <produce|resume|single> [--dir D] [--scenario NAME] \
          [--kind io|view|lin] [--seed N] [--threads N] [--calls N] \
-         [--segment-bytes N] [--checkpoint-every N] [--json PATH]"
+         [--segment-bytes N] [--checkpoint-every N] [--rate OPS_PER_S] \
+         [--duration SECONDS] [--json PATH]"
     );
     ExitCode::from(2)
 }
@@ -77,6 +85,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         calls: 2_000,
         segment_bytes: 4_096,
         checkpoint_every: 1,
+        rate: 0,
+        duration: Duration::from_secs(2),
+        paced: false,
         json: None,
     };
     while let Some(a) = args.next() {
@@ -99,6 +110,18 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--checkpoint-every" => {
                 opts.checkpoint_every = value()?.parse().map_err(|_| usage())?
             }
+            "--rate" => {
+                opts.rate = value()?.parse().map_err(|_| usage())?;
+                opts.paced = true;
+            }
+            "--duration" => {
+                let secs: f64 = value()?.parse().map_err(|_| usage())?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(usage());
+                }
+                opts.duration = Duration::from_secs_f64(secs);
+                opts.paced = true;
+            }
             "--json" => opts.json = Some(value()?.into()),
             _ => return Err(usage()),
         }
@@ -109,11 +132,15 @@ fn parse_args() -> Result<Options, ExitCode> {
 fn workload(opts: &Options) -> WorkloadConfig {
     WorkloadConfig {
         threads: opts.threads,
-        calls_per_thread: opts.calls,
+        calls_per_thread: if opts.paced { 0 } else { opts.calls },
         key_pool: 16,
         shrink_pool: true,
         internal_task: false,
         seed: opts.seed,
+        pace: opts.paced.then_some(PaceConfig {
+            rate_per_sec: opts.rate,
+            duration: opts.duration,
+        }),
     }
 }
 

@@ -1,0 +1,713 @@
+//! `soak` — the open-loop soak harness with adaptive overload control.
+//!
+//! Unlike the closed-loop table drivers (which issue the next call only
+//! after the previous one returns, so offered load self-throttles to
+//! whatever the pipeline sustains), this binary offers load on a *fixed
+//! arrival schedule*: `--rate` calls per second for `--duration`
+//! seconds, released by [`OpBudget`]'s pacer whether or not the verifier
+//! keeps up. Queue depth is therefore allowed to grow — which is the
+//! point. Past saturation the adaptive controller
+//! ([`vyrd_core::AdaptiveShed`]) must tighten admission, shed with exact
+//! accounting, and converge to a bounded-lag DEGRADED PASS — never an
+//! unbounded queue, a deadlock, or a forged verdict.
+//!
+//! Two modes:
+//!
+//! * **Soak** (default): one scenario (or `--scenario all`) driven
+//!   through the adaptive sharded pipeline at the offered rate. Prints
+//!   offered vs sustained throughput and the p50/p95/p99/p99.9
+//!   call→commit and call→return latencies from the span ring, and
+//!   writes `results/SOAK_<scenario>.json`.
+//! * **Smoke** (`--smoke`): a pinned-seed, seconds-long saturation run
+//!   for CI. A `pool.check` delay failpoint stalls one shard
+//!   deterministically while the pacer keeps offering load, forcing the
+//!   controller through its shed/decrease/recover cycle. Writes
+//!   `results/SOAK_smoke.json` and exits non-zero unless the metrics
+//!   registry, the [`Degradation`] ledger, and the log's own counters
+//!   reconcile exactly — and unless the correct variant stays
+//!   non-FAIL while the buggy variant stays non-PASS.
+//!
+//! [`OpBudget`]: vyrd_harness::workload::OpBudget
+//! [`Degradation`]: vyrd_core::violation::Degradation
+
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use vyrd_bench::results_dir;
+use vyrd_core::pool::SupervisorConfig;
+use vyrd_core::violation::{AdaptiveAction, Verdict, WatchdogAction};
+use vyrd_core::AdaptiveConfig;
+use vyrd_harness::scenario::{run_soak, CheckKind, Scenario, SoakArtifacts, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::workload::{PaceConfig, WorkloadConfig};
+use vyrd_rt::fault::{self, FaultAction, FaultPlan, FaultRule};
+use vyrd_rt::metrics;
+
+/// Default seed: the fault matrix's CI seed, so smoke runs replay the
+/// same workload schedule `scripts/verify.sh` pins everywhere else.
+const DEFAULT_SEED: u64 = 3_405_691_582;
+
+#[derive(Clone, Debug)]
+struct Options {
+    scenario: String,
+    kind: CheckKind,
+    variant: Variant,
+    rate: u64,
+    duration: Duration,
+    objects: u32,
+    workers: usize,
+    capacity: usize,
+    threads: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            scenario: "Multiset-Vector".to_string(),
+            kind: CheckKind::View,
+            variant: Variant::Correct,
+            rate: 50_000,
+            duration: Duration::from_secs(10),
+            objects: 4,
+            workers: 4,
+            capacity: 1024,
+            threads: 8,
+            seed: DEFAULT_SEED,
+            smoke: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soak [--scenario NAME|all] [--kind io|view|lin] [--variant correct|buggy]\n\
+         \x20           [--rate OPS_PER_S] [--duration SECS] [--objects N] [--workers N]\n\
+         \x20           [--capacity N] [--threads N] [--seed N] [--smoke]\n\
+         \n\
+         --rate 0 means flat-out (no pacing; duration-bounded only).\n\
+         --smoke runs the pinned-seed CI saturation check and writes results/SOAK_smoke.json."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut iter = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    };
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--scenario" => opts.scenario = need(&mut iter, "--scenario"),
+            "--kind" => {
+                opts.kind = match need(&mut iter, "--kind").as_str() {
+                    "io" => CheckKind::Io,
+                    "view" => CheckKind::View,
+                    "lin" => CheckKind::Lin,
+                    other => {
+                        eprintln!("unknown kind {other:?} (io|view|lin)");
+                        usage()
+                    }
+                }
+            }
+            "--variant" => {
+                opts.variant = match need(&mut iter, "--variant").as_str() {
+                    "correct" => Variant::Correct,
+                    "buggy" => Variant::Buggy,
+                    other => {
+                        eprintln!("unknown variant {other:?} (correct|buggy)");
+                        usage()
+                    }
+                }
+            }
+            "--rate" => opts.rate = parse_num(&need(&mut iter, "--rate"), "--rate"),
+            "--duration" => {
+                let secs: f64 = need(&mut iter, "--duration").parse().unwrap_or_else(|_| {
+                    eprintln!("--duration takes seconds, e.g. --duration 10");
+                    usage()
+                });
+                if !secs.is_finite() || secs <= 0.0 {
+                    eprintln!("--duration must be a positive number of seconds");
+                    usage()
+                }
+                opts.duration = Duration::from_secs_f64(secs);
+            }
+            "--objects" => opts.objects = parse_num(&need(&mut iter, "--objects"), "--objects") as u32,
+            "--workers" => opts.workers = parse_num(&need(&mut iter, "--workers"), "--workers") as usize,
+            "--capacity" => {
+                opts.capacity = parse_num(&need(&mut iter, "--capacity"), "--capacity") as usize
+            }
+            "--threads" => opts.threads = parse_num(&need(&mut iter, "--threads"), "--threads") as usize,
+            "--seed" => opts.seed = parse_num(&need(&mut iter, "--seed"), "--seed"),
+            "--smoke" => opts.smoke = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn parse_num(s: &str, flag: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} takes an integer, got {s:?}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    if opts.smoke {
+        return smoke(opts.seed);
+    }
+    let names: Vec<String> = if opts.scenario == "all" {
+        scenarios::all()
+            .into_iter()
+            .chain(scenarios::lockfree())
+            .map(|s| s.name().to_string())
+            .collect()
+    } else {
+        vec![opts.scenario.clone()]
+    };
+    let mut ok = true;
+    for name in names {
+        let Some(scenario) = scenarios::by_name(&name) else {
+            eprintln!("soak: unknown scenario {name:?}");
+            return ExitCode::from(2);
+        };
+        // Lock-free structures log no shared-variable writes, so view
+        // refinement is impossible there; fall back to I/O checking.
+        let kind = if scenario.supports(opts.kind) {
+            opts.kind
+        } else {
+            CheckKind::Io
+        };
+        match soak_once(scenario.as_ref(), kind, opts.variant, &opts, None) {
+            Some(outcome) => {
+                print_outcome(&outcome);
+                let path = results_dir().join(format!("SOAK_{}.json", file_stem(&name)));
+                match fs::write(&path, outcome.to_json()) {
+                    Ok(()) => eprintln!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("soak: cannot write {}: {e}", path.display());
+                        ok = false;
+                    }
+                }
+                ok &= outcome.reconciled();
+            }
+            None => {
+                eprintln!("soak: {name} has no multi-object mode for {kind:?}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("soak: FAILED (reconciliation drift or unsupported scenario)");
+        ExitCode::FAILURE
+    }
+}
+
+/// One soak run's complete accounting: throughput, tail latency, the
+/// degradation ledger's view, the metrics registry's view, and the
+/// reconciliation checks tying the two together.
+struct Outcome {
+    scenario: String,
+    kind: CheckKind,
+    variant: Variant,
+    offered_rate: u64,
+    duration_s: f64,
+    wall_s: f64,
+    calls: u64,
+    sustained_rate: f64,
+    /// `(name, p50, p95, p99, p999)` per span latency histogram, ns.
+    latencies: Vec<(String, u64, u64, u64, u64)>,
+    appended: u64,
+    routed: u64,
+    checked: u64,
+    shed: u64,
+    shed_timeout: u64,
+    shed_abandoned: u64,
+    shed_injected: u64,
+    stranded: u64,
+    unreliable_violations: u64,
+    lag_peak: u64,
+    occupancy_peak: u64,
+    decisions_decrease: u64,
+    decisions_recover: u64,
+    watchdog_rescues: u64,
+    watchdog_quarantines: u64,
+    shed_windows: Vec<String>,
+    verdict: Verdict,
+    /// `(name, ledger, metric)` triples; agreement is exact equality.
+    checks: Vec<(&'static str, u64, u64)>,
+}
+
+impl Outcome {
+    fn reconciled(&self) -> bool {
+        self.checks.iter().all(|&(_, a, b)| a == b)
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"scenario\": \"{}\",", self.scenario);
+        let _ = writeln!(out, "  \"kind\": \"{:?}\",", self.kind);
+        let _ = writeln!(out, "  \"variant\": \"{:?}\",", self.variant);
+        let _ = writeln!(out, "  \"offered_rate_per_s\": {},", self.offered_rate);
+        let _ = writeln!(out, "  \"duration_s\": {:.3},", self.duration_s);
+        let _ = writeln!(out, "  \"wall_s\": {:.3},", self.wall_s);
+        let _ = writeln!(out, "  \"calls\": {},", self.calls);
+        let _ = writeln!(out, "  \"sustained_rate_per_s\": {:.1},", self.sustained_rate);
+        let _ = writeln!(out, "  \"latencies_ns\": [");
+        for (i, (name, p50, p95, p99, p999)) in self.latencies.iter().enumerate() {
+            let sep = if i + 1 == self.latencies.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{name}\", \"p50\": {p50}, \"p95\": {p95}, \
+                 \"p99\": {p99}, \"p999\": {p999}}}{sep}"
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"appended\": {},", self.appended);
+        let _ = writeln!(out, "  \"routed\": {},", self.routed);
+        let _ = writeln!(out, "  \"checked\": {},", self.checked);
+        let _ = writeln!(out, "  \"shed\": {},", self.shed);
+        let _ = writeln!(out, "  \"shed_timeout\": {},", self.shed_timeout);
+        let _ = writeln!(out, "  \"shed_abandoned\": {},", self.shed_abandoned);
+        let _ = writeln!(out, "  \"shed_injected\": {},", self.shed_injected);
+        let _ = writeln!(out, "  \"stranded\": {},", self.stranded);
+        let _ = writeln!(
+            out,
+            "  \"unreliable_violations\": {},",
+            self.unreliable_violations
+        );
+        let _ = writeln!(out, "  \"lag_peak\": {},", self.lag_peak);
+        let _ = writeln!(out, "  \"occupancy_peak\": {},", self.occupancy_peak);
+        let _ = writeln!(out, "  \"decisions_decrease\": {},", self.decisions_decrease);
+        let _ = writeln!(out, "  \"decisions_recover\": {},", self.decisions_recover);
+        let _ = writeln!(out, "  \"watchdog_rescues\": {},", self.watchdog_rescues);
+        let _ = writeln!(out, "  \"watchdog_quarantines\": {},", self.watchdog_quarantines);
+        let _ = writeln!(out, "  \"shed_windows\": [");
+        for (i, w) in self.shed_windows.iter().enumerate() {
+            let sep = if i + 1 == self.shed_windows.len() { "" } else { "," };
+            let _ = writeln!(out, "    \"{w}\"{sep}");
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"verdict\": \"{}\",", self.verdict);
+        let _ = writeln!(out, "  \"reconciled\": {},", self.reconciled());
+        let _ = writeln!(out, "  \"checks\": [");
+        for (i, (name, ledger, metric)) in self.checks.iter().enumerate() {
+            let sep = if i + 1 == self.checks.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{name}\", \"ledger\": {ledger}, \"metric\": {metric}}}{sep}"
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+/// Drives one scenario through the adaptive pipeline at the offered
+/// rate, with counters and spans live, and reconciles every counter the
+/// ledger and the registry share. `adaptive` overrides the derived
+/// controller config (the smoke uses a deliberately tiny one).
+fn soak_once(
+    scenario: &dyn Scenario,
+    kind: CheckKind,
+    variant: Variant,
+    opts: &Options,
+    adaptive: Option<AdaptiveConfig>,
+) -> Option<Outcome> {
+    let cfg = WorkloadConfig {
+        threads: opts.threads,
+        calls_per_thread: 0, // ignored: pace drives the budget
+        key_pool: 8,
+        shrink_pool: true,
+        internal_task: true,
+        seed: opts.seed,
+        pace: Some(PaceConfig {
+            rate_per_sec: opts.rate,
+            duration: opts.duration,
+        }),
+    };
+    let adaptive =
+        adaptive.unwrap_or_else(|| AdaptiveConfig::for_pool(opts.capacity, opts.objects as usize));
+    metrics::reset();
+    metrics::set_enabled(true);
+    metrics::set_spans_enabled(true);
+    let artifacts = run_soak(
+        scenario,
+        &cfg,
+        kind,
+        variant,
+        opts.objects,
+        opts.workers,
+        adaptive,
+        SupervisorConfig::default(),
+    );
+    metrics::set_spans_enabled(false);
+    metrics::set_enabled(false);
+    let SoakArtifacts {
+        wall,
+        report,
+        log_stats,
+    } = artifacts?;
+    let snap = metrics::snapshot();
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    let g = |name: &str| snap.gauge(name).unwrap_or(0);
+    let d = &report.merged.degradation;
+    if std::env::var_os("SOAK_DEBUG").is_some() {
+        for (object, r) in &report.per_object {
+            eprintln!(
+                "DEBUG obj{}: fanout={} stats.events={} violation={}",
+                object.0,
+                c(&format!("shard.fanout.obj{}", object.0)),
+                r.stats.events,
+                r.violation.is_some(),
+            );
+            if let Some(v) = &r.violation {
+                eprintln!("DEBUG obj{} violation @{}: {v}", object.0, v.log_position());
+            }
+        }
+    }
+
+    let latencies = ["span.call_to_commit_ns", "span.call_to_return_ns"]
+        .iter()
+        .filter_map(|name| {
+            snap.histogram(name)
+                .map(|h| (name.to_string(), h.p50, h.p95, h.p99, h.p999))
+        })
+        .collect();
+
+    let ledger_decrease = d
+        .adaptive_decisions
+        .iter()
+        .filter(|x| x.action == AdaptiveAction::Decrease)
+        .count() as u64;
+    let ledger_recover = d
+        .adaptive_decisions
+        .iter()
+        .filter(|x| x.action == AdaptiveAction::Recover)
+        .count() as u64;
+    let ledger_rescues = d
+        .watchdog_events
+        .iter()
+        .filter(|x| x.action == WatchdogAction::RescueWorker)
+        .count() as u64;
+    let ledger_quarantines = d
+        .watchdog_events
+        .iter()
+        .filter(|x| x.action == WatchdogAction::Quarantine)
+        .count() as u64;
+    let window_sum: u64 = d.shed_windows.iter().map(|w| w.events).sum();
+
+    let appended = c("log.events_appended");
+    let routed = c("shard.events_routed");
+    let shed = c("shard.events_shed");
+    let checked = c("pool.events_checked");
+    let stranded = d.stranded_events;
+    let wall_s = wall.as_secs_f64();
+    let checks = vec![
+        // The log's own counters and the registry agree.
+        ("log events vs log.events_appended", log_stats.events, appended),
+        // Conservation at the router: every appended event was either
+        // delivered to a shard or accounted as shed — nothing vanishes.
+        ("appended vs routed + shed", appended, routed + shed),
+        // Everything delivered to a shard was either checked or is
+        // stranded in an abandoned shard's queue — sheds and stranded
+        // residue are the *only* coverage gaps, and both are counted.
+        ("routed vs checked + stranded", routed, checked + stranded),
+        ("checked vs merged report stats", checked, report.merged.stats.events),
+        // The ledger's shed total, its per-kind split, and its seq-window
+        // stamps all agree with the registry increment for increment.
+        ("ledger sheds vs shard.events_shed", d.sheds(), shed),
+        (
+            "shed kind split sums to total",
+            c("shard.sheds_timeout") + c("shard.sheds_abandoned") + c("shard.sheds_injected"),
+            shed,
+        ),
+        ("shed window events vs ledger sheds", window_sum, d.sheds()),
+        // Every adaptive decision and watchdog escalation the controller
+        // took is in the ledger, and only those.
+        (
+            "decrease decisions ledger vs metric",
+            ledger_decrease,
+            c("overload.decisions_decrease"),
+        ),
+        (
+            "recover decisions ledger vs metric",
+            ledger_recover,
+            c("overload.decisions_recover"),
+        ),
+        (
+            "watchdog rescues ledger vs metric",
+            ledger_rescues,
+            c("overload.watchdog_rescues"),
+        ),
+        (
+            "watchdog quarantines ledger vs metric",
+            ledger_quarantines,
+            c("overload.watchdog_quarantines"),
+        ),
+        // Bounded lag: the queues' high-water mark never exceeded the
+        // pipeline's total buffer space — overload shed instead of
+        // queuing without bound.
+        (
+            "occupancy peak within buffer space",
+            u64::from(g("overload.occupancy_peak") <= adaptive.capacity as u64),
+            1,
+        ),
+    ];
+
+    Some(Outcome {
+        scenario: scenario.name().to_string(),
+        kind,
+        variant,
+        offered_rate: opts.rate,
+        duration_s: opts.duration.as_secs_f64(),
+        wall_s,
+        calls: log_stats.calls,
+        sustained_rate: if wall_s > 0.0 {
+            log_stats.calls as f64 / wall_s
+        } else {
+            0.0
+        },
+        latencies,
+        appended,
+        routed,
+        checked,
+        shed,
+        shed_timeout: c("shard.sheds_timeout"),
+        shed_abandoned: c("shard.sheds_abandoned"),
+        shed_injected: c("shard.sheds_injected"),
+        lag_peak: g("overload.lag_peak"),
+        occupancy_peak: g("overload.occupancy_peak"),
+        decisions_decrease: c("overload.decisions_decrease"),
+        decisions_recover: c("overload.decisions_recover"),
+        watchdog_rescues: c("overload.watchdog_rescues"),
+        watchdog_quarantines: c("overload.watchdog_quarantines"),
+        stranded,
+        unreliable_violations: d.unreliable_violations,
+        shed_windows: d.shed_windows.iter().map(|w| w.to_string()).collect(),
+        verdict: report.merged.verdict(),
+        checks,
+    })
+}
+
+fn print_outcome(o: &Outcome) {
+    println!(
+        "== soak: {} ({:?}, {:?}) ==",
+        o.scenario, o.kind, o.variant
+    );
+    if o.offered_rate == 0 {
+        println!("offered:   flat-out for {:.1}s", o.duration_s);
+    } else {
+        println!("offered:   {} calls/s for {:.1}s", o.offered_rate, o.duration_s);
+    }
+    println!(
+        "sustained: {:.0} calls/s ({} calls in {:.2}s)",
+        o.sustained_rate, o.calls, o.wall_s
+    );
+    for (name, p50, p95, p99, p999) in &o.latencies {
+        println!("{name:<28} p50={p50} p95={p95} p99={p99} p999={p999}");
+    }
+    println!(
+        "events:    appended {} routed {} checked {} shed {} (timeout {} abandoned {} injected {}) stranded {}",
+        o.appended,
+        o.routed,
+        o.checked,
+        o.shed,
+        o.shed_timeout,
+        o.shed_abandoned,
+        o.shed_injected,
+        o.stranded
+    );
+    if o.unreliable_violations > 0 {
+        println!(
+            "unreliable: {} violation(s) past a coverage gap suppressed",
+            o.unreliable_violations
+        );
+    }
+    println!(
+        "overload:  lag peak {} occupancy peak {} decisions -{}+{} watchdog rescues {} quarantines {}",
+        o.lag_peak,
+        o.occupancy_peak,
+        o.decisions_decrease,
+        o.decisions_recover,
+        o.watchdog_rescues,
+        o.watchdog_quarantines
+    );
+    for w in &o.shed_windows {
+        println!("uncovered: {w}");
+    }
+    println!("verdict:   {}", o.verdict);
+    for &(name, ledger, metric) in &o.checks {
+        if ledger != metric {
+            println!("DRIFT:     {name}: ledger {ledger} vs metric {metric}");
+        }
+    }
+}
+
+/// The adaptive config the smoke pins: tiny channels, a fast tick, and a
+/// small initial budget, so a single stalled checker drives the
+/// controller through shed → abandon → decrease within a second.
+fn smoke_adaptive(objects: u32) -> AdaptiveConfig {
+    let space = 4 * objects as u64;
+    AdaptiveConfig {
+        capacity: 4,
+        initial_timeout: Duration::from_micros(500),
+        initial_budget: 16,
+        tick: Duration::from_millis(2),
+        high_watermark: space * 3 / 4,
+        low_watermark: (space / 4).max(1),
+        min_timeout: Duration::from_micros(50),
+        max_timeout: Duration::from_millis(10),
+        // Low enough that a stalled shard exhausts its budget and is
+        // abandoned within the smoke's sub-second run, instead of paying
+        // the shed timeout per event for the whole duration.
+        max_budget: 64,
+        watchdog_deadline: Duration::from_millis(200),
+    }
+}
+
+/// The pinned-seed CI saturation check (`--smoke`): two legs, both
+/// offered ~4× what the stalled pipeline sustains.
+///
+/// * Correct leg: Multiset-Vector under view refinement with shard 0's
+///   checker stalled 150 ms. Must shed (we drove it past saturation),
+///   must reconcile exactly, and must end DEGRADED PASS — overload never
+///   turns a correct run into FAIL, and never forges a clean PASS.
+/// * Buggy leg: Treiber-Stack (seeded ABA violation on object 0) under
+///   I/O checking with shard *1* stalled instead, so the violation
+///   carrier is checked while another shard degrades. Must reconcile and
+///   must not PASS.
+fn smoke(seed: u64) -> ExitCode {
+    eprintln!("soak --smoke: seed {seed} (replay with --seed {seed})");
+    let mut ok = true;
+    let mut outcomes = Vec::new();
+
+    let correct = scenarios::by_name("Multiset-Vector").expect("Multiset-Vector scenario");
+    let opts = Options {
+        rate: 60_000,
+        duration: Duration::from_millis(900),
+        objects: 3,
+        workers: 3,
+        capacity: 4,
+        threads: 4,
+        seed,
+        ..Options::default()
+    };
+    let scope = fault::install(FaultPlan::seeded(seed).rule(
+        "pool.check.0",
+        FaultRule::once(FaultAction::Delay(Duration::from_millis(150))),
+    ));
+    let outcome = soak_once(
+        correct.as_ref(),
+        CheckKind::View,
+        Variant::Correct,
+        &opts,
+        Some(smoke_adaptive(opts.objects)),
+    );
+    drop(scope);
+    match outcome {
+        Some(mut o) => {
+            o.checks.push(("sheds observed past saturation", u64::from(o.shed > 0), 1));
+            o.checks.push((
+                "controller reacted (decrease decisions)",
+                u64::from(o.decisions_decrease > 0),
+                1,
+            ));
+            o.checks.push((
+                "correct run is a degraded pass, not FAIL",
+                u64::from(o.verdict == Verdict::DegradedPass),
+                1,
+            ));
+            print_outcome(&o);
+            ok &= o.reconciled();
+            outcomes.push(o);
+        }
+        None => {
+            eprintln!("soak --smoke: correct leg unsupported");
+            ok = false;
+        }
+    }
+
+    let buggy = scenarios::by_name("Treiber-Stack").expect("Treiber-Stack scenario");
+    let scope = fault::install(FaultPlan::seeded(seed).rule(
+        "pool.check.1",
+        FaultRule::once(FaultAction::Delay(Duration::from_millis(150))),
+    ));
+    let outcome = soak_once(
+        buggy.as_ref(),
+        CheckKind::Io,
+        Variant::Buggy,
+        &opts,
+        Some(smoke_adaptive(opts.objects)),
+    );
+    drop(scope);
+    match outcome {
+        Some(mut o) => {
+            o.checks.push((
+                "buggy run never forged into PASS",
+                u64::from(o.verdict != Verdict::Pass),
+                1,
+            ));
+            print_outcome(&o);
+            ok &= o.reconciled();
+            outcomes.push(o);
+        }
+        None => {
+            eprintln!("soak --smoke: buggy leg unsupported");
+            ok = false;
+        }
+    }
+
+    let legs: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            o.to_json()
+                .trim_end()
+                .lines()
+                .map(|line| format!("    {line}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"ok\": {ok},");
+    let _ = writeln!(json, "  \"legs\": [");
+    let _ = writeln!(json, "{}", legs.join(",\n"));
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    let path = results_dir().join("SOAK_smoke.json");
+    match fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("soak --smoke: cannot write {}: {e}", path.display());
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("soak --smoke: FAILED (reconciliation drift or wrong verdict direction)");
+        ExitCode::FAILURE
+    }
+}
+
+/// `Multiset-Vector` → `Multiset_Vector` for a results filename.
+fn file_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}

@@ -29,8 +29,10 @@ use std::time::Duration;
 
 use vyrd_bench::results_dir;
 use vyrd_core::log::EventLog;
+use vyrd_core::AdaptiveConfig;
 use vyrd_core::pool::{PoolReport, SupervisorConfig, VerifierPool};
 use vyrd_core::shard::ShardConfig;
+use vyrd_core::violation::{AdaptiveAction, WatchdogAction};
 use vyrd_core::Event;
 use vyrd_harness::scenario::{run_online_sharded, CheckKind, Scenario, Variant};
 use vyrd_harness::scenarios;
@@ -54,6 +56,7 @@ fn cfg(seed: u64) -> WorkloadConfig {
         shrink_pool: true,
         internal_task: true,
         seed,
+        pace: None,
     }
 }
 
@@ -258,6 +261,13 @@ fn reconcile(scenario: &dyn Scenario, seed: u64) -> bool {
     // report's lin counters and the registry's `lin.*` counters must
     // agree exactly.
     cells.push(run_lin_cell(seed));
+
+    // Adaptive overload: a stalled checker under tiny adaptive budgets;
+    // every controller decision, watchdog escalation, shed, and stranded
+    // event the run produced must appear in the ledger exactly as the
+    // registry counted it, and the correct trace must never turn a shed
+    // storm into a FAIL.
+    cells.push(run_adaptive_cell(scenario, seed, &events));
 
     let all_agree = cells.iter().all(Cell::agrees);
     println!("== fault reconciliation (seed {seed}) ==");
@@ -559,6 +569,134 @@ fn run_lin_cell(seed: u64) -> Cell {
             (
                 "verdict stays a pass",
                 u64::from(report.merged.passed()),
+                1,
+            ),
+        ],
+    }
+}
+
+/// Adaptive-overload cell: replays the recorded correct trace through
+/// [`VerifierPool::spawn_adaptive`] with shard 0's checker stalled and a
+/// deliberately tiny capacity/budget, so the run sheds, abandons, and
+/// drives the AIMD controller. The ledger's decisions, watchdog events,
+/// sheds, windows, and stranded residue must reconcile exactly with the
+/// `overload.*`/`shard.*` registry counters — and the verdict must stay
+/// degrade-never-forge (a correct trace cannot FAIL from shedding).
+fn run_adaptive_cell(scenario: &dyn Scenario, seed: u64, events: &[Event]) -> Cell {
+    let case = "adaptive-overload";
+    let fail = |what: &'static str| Cell {
+        case,
+        checks: vec![(what, 0, 1)],
+    };
+    let Some(factory) = scenario.shard_factory(CheckKind::View) else {
+        return fail("View shard factory missing");
+    };
+    let space = 4 * u64::from(OBJECTS);
+    let adaptive = AdaptiveConfig {
+        capacity: 4,
+        initial_timeout: Duration::from_micros(200),
+        initial_budget: 8,
+        tick: Duration::from_millis(2),
+        high_watermark: space * 3 / 4,
+        low_watermark: (space / 4).max(1),
+        min_timeout: Duration::from_micros(50),
+        max_timeout: Duration::from_millis(5),
+        max_budget: 32,
+        watchdog_deadline: Duration::from_millis(100),
+    };
+    metrics::reset();
+    metrics::set_enabled(true);
+    let scope = fault::install(FaultPlan::seeded(seed).rule(
+        "pool.check.0",
+        FaultRule::once(FaultAction::Delay(Duration::from_millis(120))),
+    ));
+    let pool = VerifierPool::spawn_adaptive(
+        CheckKind::View.log_mode(),
+        WORKERS,
+        adaptive,
+        SupervisorConfig::default(),
+        move |object| factory(object),
+    );
+    for e in events {
+        pool.log().append_event(e.clone());
+    }
+    let log_stats = pool.log().stats();
+    let report = pool.finish_all();
+    drop(scope);
+    metrics::set_enabled(false);
+    let snap = metrics::snapshot();
+    let d = &report.merged.degradation;
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    let decrease = d
+        .adaptive_decisions
+        .iter()
+        .filter(|x| x.action == AdaptiveAction::Decrease)
+        .count() as u64;
+    let recover = d
+        .adaptive_decisions
+        .iter()
+        .filter(|x| x.action == AdaptiveAction::Recover)
+        .count() as u64;
+    let rescues = d
+        .watchdog_events
+        .iter()
+        .filter(|x| x.action == WatchdogAction::RescueWorker)
+        .count() as u64;
+    let quarantines = d
+        .watchdog_events
+        .iter()
+        .filter(|x| x.action == WatchdogAction::Quarantine)
+        .count() as u64;
+    let window_sum: u64 = d.shed_windows.iter().map(|w| w.events).sum();
+    Cell {
+        case,
+        checks: vec![
+            (
+                "log events vs log.events_appended",
+                log_stats.events,
+                c("log.events_appended"),
+            ),
+            (
+                "appended vs routed + shed",
+                c("log.events_appended"),
+                c("shard.events_routed") + c("shard.events_shed"),
+            ),
+            (
+                "routed vs checked + stranded",
+                c("shard.events_routed"),
+                c("pool.events_checked") + d.stranded_events,
+            ),
+            ("ledger sheds vs shard.events_shed", d.sheds(), c("shard.events_shed")),
+            (
+                "shed kind split sums to total",
+                c("shard.sheds_timeout") + c("shard.sheds_abandoned") + c("shard.sheds_injected"),
+                c("shard.events_shed"),
+            ),
+            ("shed window events vs ledger sheds", window_sum, d.sheds()),
+            (
+                "decrease decisions ledger vs metric",
+                decrease,
+                c("overload.decisions_decrease"),
+            ),
+            (
+                "recover decisions ledger vs metric",
+                recover,
+                c("overload.decisions_recover"),
+            ),
+            (
+                "watchdog rescues ledger vs metric",
+                rescues,
+                c("overload.watchdog_rescues"),
+            ),
+            (
+                "watchdog quarantines ledger vs metric",
+                quarantines,
+                c("overload.watchdog_quarantines"),
+            ),
+            ("sheds observed under the stall", u64::from(d.sheds() > 0), 1),
+            (
+                "degrade never forge: no FAIL on a correct trace",
+                u64::from(report.merged.violation.is_none()),
                 1,
             ),
         ],

@@ -58,6 +58,7 @@ fn main() {
             shrink_pool: true,
             internal_task: matches!(name, "BLinkTree" | "Cache" | "Multiset-Vector"),
             seed: args.seed,
+            pace: None,
         };
         let mut prog = Aggregate::new();
         let mut logging = Aggregate::new();

@@ -149,6 +149,7 @@ pub fn table_config(scenario: &str, threads: usize, seed: u64) -> WorkloadConfig
         shrink_pool: true,
         internal_task: internal,
         seed,
+        pace: None,
     }
 }
 

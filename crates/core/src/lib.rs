@@ -97,6 +97,7 @@ pub mod instrument;
 pub mod log;
 pub mod metrics;
 pub mod online;
+pub mod overload;
 pub mod pool;
 pub mod replay;
 pub mod segment;
@@ -109,10 +110,14 @@ pub mod violation;
 pub use codec::DecodeOutcome;
 pub use event::{Event, MethodId, ObjectId, ThreadId, VarId};
 pub use log::{EventLog, LogMode, ThreadLogger};
+pub use overload::{AdaptiveConfig, AdaptiveShed, ShedControl};
 pub use pool::{ObjectChecker, SupervisorConfig, VerifierPool};
 pub use segment::{ContinuousVerifier, SegmentConfig, SegmentLogHandle};
 pub use shard::{OverloadPolicy, ShardConfig, ShardRouter};
 pub use spec::{MethodKind, Spec, SpecEffect, SpecError};
 pub use value::Value;
 pub use view::View;
-pub use violation::{CheckStats, Degradation, Report, ShardFailure, Verdict, Violation};
+pub use violation::{
+    AdaptiveAction, AdaptiveDecision, CheckStats, Degradation, Report, ShardFailure, ShedWindow,
+    Verdict, Violation, WatchdogAction, WatchdogEvent,
+};

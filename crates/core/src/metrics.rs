@@ -57,6 +57,21 @@ pub struct PipelineMetrics {
     /// mirrors the [`Degradation`](crate::violation::Degradation) ledger
     /// increment-for-increment.
     pub shard_events_shed: Arc<Counter>,
+    /// Sheds whose `send_timeout` waited the full shed timeout on a full
+    /// channel (the checker is too slow). Disjoint from
+    /// `shard_sheds_abandoned` / `shard_sheds_injected`; the three sum
+    /// to `shard_events_shed`.
+    pub shard_sheds_timeout: Arc<Counter>,
+    /// Sheds taken without waiting because the shard was already
+    /// abandoned (`Slot::Shedding` after budget exhaustion) or
+    /// quarantined by the watchdog.
+    pub shard_sheds_abandoned: Arc<Counter>,
+    /// Sheds injected by the `shard.route` failpoint.
+    pub shard_sheds_injected: Arc<Counter>,
+    /// Nanoseconds each `Shed`-policy dispatch spent inside
+    /// `send_timeout` — the invisible stall the append critical section
+    /// pays under overload, successful sends included.
+    pub shard_shed_wait_ns: Arc<Histogram>,
     /// Distinct objects the router has announced shards for.
     pub shard_objects_seen: Arc<Gauge>,
 
@@ -75,6 +90,35 @@ pub struct PipelineMetrics {
     /// End-of-run verifier lag: events appended minus events checked
     /// (sheds/drops/discards keep it positive — see the module docs).
     pub pool_lag_events: Arc<Gauge>,
+
+    // -- Adaptive overload controller (crate::overload) --
+    /// Controller ticks executed.
+    pub overload_ticks: Arc<Counter>,
+    /// Live verification lag at the last tick: events appended minus
+    /// events consumed by shard channels minus events already accounted
+    /// as shed/dropped. Unlike `pool.lag_events` (end-of-run), this is
+    /// sampled while the run is in flight.
+    pub overload_lag_events: Arc<Gauge>,
+    /// Highest live lag any tick observed.
+    pub overload_lag_peak: Arc<Gauge>,
+    /// Highest single-shard channel occupancy any tick observed.
+    pub overload_occupancy_peak: Arc<Gauge>,
+    /// Current shed timeout, ns (moves with the controller).
+    pub overload_timeout_ns: Arc<Gauge>,
+    /// Current shed budget (moves with the controller).
+    pub overload_budget: Arc<Gauge>,
+    /// Admission-tightening decisions (lag above the high watermark);
+    /// mirrors the `AdaptiveAction::Decrease` ledger entries exactly.
+    pub overload_decisions_decrease: Arc<Counter>,
+    /// Admission-relaxing decisions (lag below the low watermark);
+    /// mirrors the `AdaptiveAction::Recover` ledger entries exactly.
+    pub overload_decisions_recover: Arc<Counter>,
+    /// Watchdog rescues: unclaimed stuck shards handed to a freshly
+    /// spawned supervised worker.
+    pub overload_watchdog_rescues: Arc<Counter>,
+    /// Watchdog quarantines: claimed-but-stuck shards whose future
+    /// events are shed at the router.
+    pub overload_watchdog_quarantines: Arc<Counter>,
 
     // -- Checker (crate::checker) --
     /// Events stepped by checkers (the consumption side of lag).
@@ -146,6 +190,10 @@ pub fn pipeline() -> &'static PipelineMetrics {
         log_events_dropped_injected: metrics::counter("log.events_dropped_injected"),
         shard_events_routed: metrics::counter("shard.events_routed"),
         shard_events_shed: metrics::counter("shard.events_shed"),
+        shard_sheds_timeout: metrics::counter("shard.sheds_timeout"),
+        shard_sheds_abandoned: metrics::counter("shard.sheds_abandoned"),
+        shard_sheds_injected: metrics::counter("shard.sheds_injected"),
+        shard_shed_wait_ns: metrics::histogram("router.shed_wait_ns"),
         shard_objects_seen: metrics::gauge("shard.objects_seen"),
         pool_events_checked: metrics::counter("pool.events_checked"),
         pool_restarts: metrics::counter("pool.restarts"),
@@ -153,6 +201,16 @@ pub fn pipeline() -> &'static PipelineMetrics {
         pool_spawn_fallbacks: metrics::counter("pool.spawn_fallbacks"),
         pool_verdict_latency_us: metrics::histogram("pool.verdict_latency_us"),
         pool_lag_events: metrics::gauge("pool.lag_events"),
+        overload_ticks: metrics::counter("overload.ticks"),
+        overload_lag_events: metrics::gauge("overload.lag_events"),
+        overload_lag_peak: metrics::gauge("overload.lag_peak"),
+        overload_occupancy_peak: metrics::gauge("overload.occupancy_peak"),
+        overload_timeout_ns: metrics::gauge("overload.timeout_ns"),
+        overload_budget: metrics::gauge("overload.budget"),
+        overload_decisions_decrease: metrics::counter("overload.decisions_decrease"),
+        overload_decisions_recover: metrics::counter("overload.decisions_recover"),
+        overload_watchdog_rescues: metrics::counter("overload.watchdog_rescues"),
+        overload_watchdog_quarantines: metrics::counter("overload.watchdog_quarantines"),
         checker_events: metrics::counter("checker.events"),
         checker_commits_applied: metrics::counter("checker.commits_applied"),
         checker_methods_completed: metrics::counter("checker.methods_completed"),

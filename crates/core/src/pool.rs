@@ -79,10 +79,11 @@ use crate::checker::Checker;
 use crate::event::{Event, ObjectId};
 use crate::log::{EventLog, LogMode};
 use crate::metrics::pipeline;
+use crate::overload::{AdaptiveConfig, AdaptiveShed, ShedControl};
 use crate::replay::Replayer;
 use crate::shard::{ShardConfig, ShardRouter};
 use crate::spec::Spec;
-use crate::violation::{Degradation, Report, ShardFailure};
+use crate::violation::{Degradation, Report, ShardFailure, Violation};
 
 /// An object-erased checker: what the [`VerifierPool`] factory returns.
 ///
@@ -180,6 +181,13 @@ fn check_shard(
         }));
         match outcome {
             Ok(mut report) => {
+                // Events the checker pulled off the channel but never
+                // stepped — its lookahead buffer at the moment it
+                // stopped at a violation. Delivered but unchecked, so
+                // they are stranded coverage, same as queue residue.
+                let consumed = receiver.popped() - consumed_before;
+                report.degradation.stranded_events +=
+                    consumed.saturating_sub(report.stats.events);
                 if vyrd_rt::metrics::enabled() {
                     pipeline().pool_events_checked.add(report.stats.events);
                     record_latency(started);
@@ -269,6 +277,68 @@ pub struct VerifierPool {
     supervisor: SupervisorConfig,
     workers: Vec<JoinHandle<()>>,
     results: Arc<Mutex<Vec<(ObjectId, Report)>>>,
+    adaptive: Option<AdaptiveRuntime>,
+}
+
+/// The moving parts an adaptive pool carries on top of a supervised one.
+struct AdaptiveRuntime {
+    control: Arc<ShedControl>,
+    /// The controller's ticker thread; stopped before workers are
+    /// joined so no rescue can race the shutdown.
+    ticker: Option<vyrd_rt::time::Ticker>,
+    /// Rescue workers the watchdog spawned for unclaimed stuck shards.
+    rescues: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Spawns `count` competing shard workers (subject to the `pool.spawn`
+/// failpoint). With a `control`, each worker marks its claim so the
+/// watchdog can tell an unclaimed shard from a claimed-but-stuck one.
+fn spawn_workers(
+    router: &Arc<ShardRouter>,
+    factory: &Factory,
+    results: &Arc<Mutex<Vec<(ObjectId, Report)>>>,
+    supervisor: SupervisorConfig,
+    control: Option<&Arc<ShedControl>>,
+    count: usize,
+    name_prefix: &str,
+) -> Vec<JoinHandle<()>> {
+    let mut handles = Vec::new();
+    for i in 0..count {
+        let worker_router = Arc::clone(router);
+        let worker_factory = Arc::clone(factory);
+        let worker_results = Arc::clone(results);
+        let worker_control = control.map(Arc::clone);
+        // `pool.spawn` failpoint: a Drop disposition simulates the OS
+        // refusing the thread. Whether injected or real, a failed
+        // spawn is not fatal — the shards that worker would have
+        // serviced are checked inline during `finish` instead.
+        let spawned = if matches!(
+            vyrd_rt::fault::inject("pool.spawn"),
+            vyrd_rt::fault::Disposition::Drop
+        ) {
+            Err(io::Error::other("injected worker spawn failure"))
+        } else {
+            thread::Builder::new()
+                .name(format!("{name_prefix}-{i}"))
+                .spawn(move || {
+                    // Workers compete for newly announced shards; each
+                    // shard is checked by exactly one worker, start to
+                    // finish. recv_shard errors once the log is closed
+                    // and every shard has been handed out.
+                    while let Ok((object, receiver)) = worker_router.recv_shard() {
+                        if let Some(control) = &worker_control {
+                            control.mark_claimed(object);
+                        }
+                        let report = check_shard(object, &receiver, &worker_factory, supervisor);
+                        worker_results.lock().push((object, report));
+                    }
+                })
+        };
+        if let Ok(handle) = spawned {
+            handles.push(handle);
+        }
+    }
+    handles
 }
 
 impl fmt::Debug for VerifierPool {
@@ -322,39 +392,15 @@ impl VerifierPool {
         let router = Arc::new(router);
         let factory: Factory = Arc::new(factory);
         let results = Arc::new(Mutex::new(Vec::new()));
-        let mut handles = Vec::new();
-        for i in 0..workers.max(1) {
-            let worker_router = Arc::clone(&router);
-            let worker_factory = Arc::clone(&factory);
-            let worker_results = Arc::clone(&results);
-            // `pool.spawn` failpoint: a Drop disposition simulates the OS
-            // refusing the thread. Whether injected or real, a failed
-            // spawn is not fatal — the shards that worker would have
-            // serviced are checked inline during `finish` instead.
-            let spawned = if matches!(
-                vyrd_rt::fault::inject("pool.spawn"),
-                vyrd_rt::fault::Disposition::Drop
-            ) {
-                Err(io::Error::other("injected worker spawn failure"))
-            } else {
-                thread::Builder::new()
-                    .name(format!("vyrd-verifier-{i}"))
-                    .spawn(move || {
-                        // Workers compete for newly announced shards; each
-                        // shard is checked by exactly one worker, start to
-                        // finish. recv_shard errors once the log is closed
-                        // and every shard has been handed out.
-                        while let Ok((object, receiver)) = worker_router.recv_shard() {
-                            let report =
-                                check_shard(object, &receiver, &worker_factory, supervisor);
-                            worker_results.lock().push((object, report));
-                        }
-                    })
-            };
-            if let Ok(handle) = spawned {
-                handles.push(handle);
-            }
-        }
+        let handles = spawn_workers(
+            &router,
+            &factory,
+            &results,
+            supervisor,
+            None,
+            workers.max(1),
+            "vyrd-verifier",
+        );
         VerifierPool {
             log,
             router,
@@ -362,6 +408,89 @@ impl VerifierPool {
             supervisor,
             workers: handles,
             results,
+            adaptive: None,
+        }
+    }
+
+    /// Spawns a pool whose `Shed` overload parameters are driven by an
+    /// [`AdaptiveShed`] controller instead of static constants: shards
+    /// are bounded at `cfg.capacity`, a background ticker samples live
+    /// lag every `cfg.tick` and moves the shed timeout/budget
+    /// (AIMD-style), and a watchdog escalates stuck shards — an
+    /// unclaimed one to a freshly spawned supervised rescue worker, a
+    /// claimed-but-dead one to router-level quarantine. Every adaptive
+    /// decision and escalation lands in the merged report's
+    /// [`Degradation`] ledger with the dispatch-seq window it affected.
+    ///
+    /// If the controller's ticker thread cannot be spawned the pool
+    /// still runs, frozen at the initial parameters (the static
+    /// [`VerifierPool::spawn_supervised`] behavior).
+    pub fn spawn_adaptive<F>(
+        mode: LogMode,
+        workers: usize,
+        cfg: AdaptiveConfig,
+        supervisor: SupervisorConfig,
+        factory: F,
+    ) -> VerifierPool
+    where
+        F: Fn(ObjectId) -> Box<dyn ObjectChecker> + Send + Sync + 'static,
+    {
+        let control = Arc::new(ShedControl::new(cfg.initial_timeout, cfg.initial_budget));
+        let shard_config =
+            ShardConfig::bounded_shedding(cfg.capacity, cfg.initial_timeout, cfg.initial_budget);
+        let (log, router) = ShardRouter::new_adaptive(mode, shard_config, Arc::clone(&control));
+        let router = Arc::new(router);
+        let factory: Factory = Arc::new(factory);
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let handles = spawn_workers(
+            &router,
+            &factory,
+            &results,
+            supervisor,
+            Some(&control),
+            workers.max(1),
+            "vyrd-verifier",
+        );
+        let rescues: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let rescue = {
+            let router = Arc::clone(&router);
+            let factory = Arc::clone(&factory);
+            let results = Arc::clone(&results);
+            let control = Arc::clone(&control);
+            let rescues = Arc::clone(&rescues);
+            let mut next_id = 0usize;
+            move || {
+                let handles = spawn_workers(
+                    &router,
+                    &factory,
+                    &results,
+                    supervisor,
+                    Some(&control),
+                    1,
+                    &format!("vyrd-rescue-{next_id}"),
+                );
+                next_id += 1;
+                let ok = !handles.is_empty();
+                rescues.lock().extend(handles);
+                ok
+            }
+        };
+        let ticker = AdaptiveShed::new(Arc::clone(&control), cfg)
+            .with_rescue(rescue)
+            .into_ticker()
+            .ok();
+        VerifierPool {
+            log,
+            router,
+            factory,
+            supervisor,
+            workers: handles,
+            results,
+            adaptive: Some(AdaptiveRuntime {
+                control,
+                ticker,
+                rescues,
+            }),
         }
     }
 
@@ -389,8 +518,16 @@ impl VerifierPool {
 
     /// Like [`VerifierPool::finish`], also returning the per-object
     /// reports.
-    pub fn finish_all(self) -> PoolReport {
+    pub fn finish_all(mut self) -> PoolReport {
         self.log.close();
+        // Stop the adaptive controller before joining anything: no new
+        // rescue workers may appear while the pool shuts down, and the
+        // final ledger must not gain entries after it is drained.
+        if let Some(adaptive) = &mut self.adaptive {
+            if let Some(ticker) = &mut adaptive.ticker {
+                ticker.stop();
+            }
+        }
         let mut lost_workers = 0u64;
         for handle in self.workers {
             // check_shard already catches checker panics, so a worker
@@ -398,6 +535,14 @@ impl VerifierPool {
             // rather than unwinding the caller.
             if handle.join().is_err() {
                 lost_workers += 1;
+            }
+        }
+        if let Some(adaptive) = &self.adaptive {
+            let rescues = std::mem::take(&mut *adaptive.rescues.lock());
+            for handle in rescues {
+                if handle.join().is_err() {
+                    lost_workers += 1;
+                }
             }
         }
         // Shards no worker ever picked up — spawn failures (injected or
@@ -411,6 +556,35 @@ impl VerifierPool {
         }
         let mut per_object = std::mem::take(&mut *self.results.lock());
         per_object.sort_by_key(|(object, _)| *object);
+        // Degrade, never forge: a violation established at or beyond an
+        // object's gap-free prefix was observed across a shed gap — the
+        // checker's input was missing events there, so the "violation"
+        // may be an artifact of the hole rather than a program bug.
+        // Suppress it into the ledger (the verdict degrades instead of
+        // failing); a violation inside the prefix saw a faithful slice
+        // of the execution and stands.
+        let shed_windows = self.router.shed_windows();
+        for (object, report) in per_object.iter_mut() {
+            let Some(window) = shed_windows.iter().find(|w| w.object == *object) else {
+                continue;
+            };
+            // Three unreliable shapes on a shard with a coverage gap: a
+            // violation at or past the gap-free prefix (the checker's
+            // input was already torn there); a violation established at
+            // end-of-stream (`log_position == stats.events`, past the
+            // last processed event); and a malformed-log verdict — the
+            // "end" and any missing return were manufactured by shedding
+            // or abandoning the shard mid-method, so they indict the
+            // truncation, not the program.
+            if report.violation.as_ref().is_some_and(|v| {
+                v.log_position() >= window.prefix_events
+                    || v.log_position() >= report.stats.events
+                    || matches!(v, Violation::MalformedLog { .. })
+            }) {
+                report.violation = None;
+                report.degradation.unreliable_violations += 1;
+            }
+        }
         let mut merged = Report::default();
         for (_, report) in &per_object {
             let s = &report.stats;
@@ -436,11 +610,26 @@ impl VerifierPool {
         // by the `log.append` failpoint.
         let routing_losses = Degradation {
             sheds_by_object: self.router.sheds(),
+            shed_windows: self.router.shed_windows(),
             lost_workers,
             spawn_fallbacks,
             ..Degradation::default()
         };
         merged.degradation.absorb(&routing_losses);
+        if let Some(adaptive) = &self.adaptive {
+            let (decisions, watchdog) = adaptive.control.finalize();
+            // Workers are joined and unclaimed shards drained inline, so
+            // whatever the probes still see queued is permanently
+            // stranded (abandoned/quarantined shards whose checker hung
+            // up or stopped early).
+            let controller_ledger = Degradation {
+                adaptive_decisions: decisions,
+                watchdog_events: watchdog,
+                stranded_events: adaptive.control.stranded_events(),
+                ..Degradation::default()
+            };
+            merged.degradation.absorb(&controller_ledger);
+        }
         let log_stats = self.log.stats();
         merged.degradation.events_lost += log_stats.events_dropped_injected;
         merged.stats.events_discarded_after_close = log_stats.events_discarded_after_close;

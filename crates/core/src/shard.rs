@@ -36,9 +36,9 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vyrd_rt::channel::{self, Receiver, RecvError, SendTimeoutError, Sender, TryRecvError};
 use vyrd_rt::sync::Mutex;
@@ -46,6 +46,8 @@ use vyrd_rt::sync::Mutex;
 use crate::event::{Event, ObjectId};
 use crate::log::{EventLog, LogMode};
 use crate::metrics::pipeline;
+use crate::overload::ShedControl;
+use crate::violation::ShedWindow;
 
 /// What a bounded shard does when a program thread appends to it while it
 /// is full.
@@ -132,6 +134,61 @@ enum Slot {
     Shedding,
 }
 
+/// Why an event was shed — the three disjoint causes whose counts sum
+/// to `shard.events_shed`.
+#[derive(Clone, Copy)]
+enum ShedKind {
+    /// `send_timeout` expired on a full channel.
+    Timeout,
+    /// The shard was already abandoned (`Slot::Shedding`) or quarantined
+    /// by the watchdog; no wait was attempted.
+    Abandoned,
+    /// The `shard.route` failpoint dropped the event.
+    Injected,
+}
+
+/// Folds one shed into the per-object count and its dispatch-seq window,
+/// mirroring the metric increments exactly (the `stats` binary asserts
+/// the ledger and the counters never drift). `delivered` is the number
+/// of events already delivered to this object's shard; the first shed
+/// freezes it into the window as the gap-free prefix length.
+fn record_shed(
+    sheds: &Mutex<BTreeMap<ObjectId, u64>>,
+    windows: &Mutex<BTreeMap<u32, ShedWindow>>,
+    object: ObjectId,
+    seq: u64,
+    delivered: u64,
+    kind: ShedKind,
+) -> u64 {
+    let total = {
+        let mut sheds = sheds.lock();
+        let count = sheds.entry(object).or_insert(0);
+        *count += 1;
+        *count
+    };
+    let mut windows = windows.lock();
+    let window = windows.entry(object.0).or_insert(ShedWindow {
+        object,
+        first_seq: seq,
+        last_seq: seq,
+        events: 0,
+        prefix_events: delivered,
+        abandoned_at_seq: None,
+    });
+    window.last_seq = seq;
+    window.events += 1;
+    if vyrd_rt::metrics::enabled() {
+        let pm = pipeline();
+        pm.shard_events_shed.inc();
+        match kind {
+            ShedKind::Timeout => pm.shard_sheds_timeout.inc(),
+            ShedKind::Abandoned => pm.shard_sheds_abandoned.inc(),
+            ShedKind::Injected => pm.shard_sheds_injected.inc(),
+        }
+    }
+    total
+}
+
 /// Fans a program's events out into per-object logs (§6.1).
 ///
 /// Create with [`ShardRouter::new`]; hand the returned [`EventLog`] to the
@@ -149,48 +206,114 @@ enum Slot {
 pub struct ShardRouter {
     shards: Receiver<(ObjectId, Receiver<Event>)>,
     sheds: Arc<Mutex<BTreeMap<ObjectId, u64>>>,
+    windows: Arc<Mutex<BTreeMap<u32, ShedWindow>>>,
 }
 
 impl ShardRouter {
     /// Creates a router and the log that feeds it.
     pub fn new(mode: LogMode, config: ShardConfig) -> (EventLog, ShardRouter) {
+        ShardRouter::build(mode, config, None)
+    }
+
+    /// Creates a router whose `Shed` timeout and budget are read live
+    /// from `control` on every overloaded dispatch, and whose shards are
+    /// registered with the controller (queue monitors for lag sampling
+    /// and watchdog stall detection, quarantine honored per event).
+    /// `config` supplies the channel capacity and the *initial* policy;
+    /// [`AdaptiveShed`](crate::overload::AdaptiveShed) then moves the
+    /// parameters while the run is in flight.
+    pub fn new_adaptive(
+        mode: LogMode,
+        config: ShardConfig,
+        control: Arc<ShedControl>,
+    ) -> (EventLog, ShardRouter) {
+        ShardRouter::build(mode, config, Some(control))
+    }
+
+    fn build(
+        mode: LogMode,
+        config: ShardConfig,
+        control: Option<Arc<ShedControl>>,
+    ) -> (EventLog, ShardRouter) {
         let (announce, shards) = channel::unbounded();
         let sheds: Arc<Mutex<BTreeMap<ObjectId, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let windows: Arc<Mutex<BTreeMap<u32, ShedWindow>>> =
+            Arc::new(Mutex::new(BTreeMap::new()));
         let dispatch_sheds = Arc::clone(&sheds);
+        let dispatch_windows = Arc::clone(&windows);
         let mut slots: HashMap<u32, Slot> = HashMap::new();
         // Per-object delivery counters, registered lazily as each object
         // announces its shard (the registration allocation happens once
         // per object, not per event).
         let mut fanout: HashMap<u32, Arc<vyrd_rt::metrics::Counter>> = HashMap::new();
+        // Dispatch index: this event's position in the total order at the
+        // fan-out point. Stamped into shed windows and published to the
+        // controller so adaptive decisions can name the seq range they
+        // governed.
+        let mut seq: u64 = 0;
+        // Quarantine set, cached against the controller's epoch so the
+        // per-event cost is one relaxed load until a watchdog actually
+        // quarantines something.
+        let mut quarantine_epoch: u64 = 0;
+        let mut quarantined: HashSet<u32> = HashSet::new();
+        // Per-object delivered counts (successful sends only): the length
+        // of the gap-free prefix each shard's checker consumes. Frozen
+        // into the shed window at the object's first shed so merge-time
+        // verdicts can tell prefix violations (sound) from post-gap ones
+        // (unreliable). Tracked unconditionally — the ledger needs it
+        // whether or not metrics are on.
+        let mut delivered: HashMap<u32, u64> = HashMap::new();
         let log = EventLog::dispatching(mode, move |event: Event| {
             let object = event.object();
+            let my_seq = seq;
+            seq += 1;
+            if let Some(control) = &control {
+                control.note_dispatch(seq);
+            }
+            let delivered_so_far = delivered.get(&object.0).copied().unwrap_or(0);
             // `shard.route` failpoint: a Drop disposition loses the event
             // in the fan-out, counted as a shed for its object.
             if vyrd_rt::fault::enabled() {
                 if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("shard.route") {
-                    *dispatch_sheds.lock().entry(object).or_insert(0) += 1;
-                    if vyrd_rt::metrics::enabled() {
-                        pipeline().shard_events_shed.inc();
-                    }
+                    record_shed(
+                        &dispatch_sheds,
+                        &dispatch_windows,
+                        object,
+                        my_seq,
+                        delivered_so_far,
+                        ShedKind::Injected,
+                    );
                     return;
                 }
             }
-            if vyrd_rt::metrics::enabled() {
-                let pm = pipeline();
-                pm.shard_events_routed.inc();
-                fanout
-                    .entry(object.0)
-                    .or_insert_with(|| {
-                        vyrd_rt::metrics::counter(&format!("shard.fanout.obj{}", object.0))
-                    })
-                    .inc();
-                pm.shard_objects_seen.set_max(fanout.len() as u64);
+            // Watchdog quarantine: a claimed-but-stuck checker must not
+            // cost the program a full shed timeout per event.
+            if let Some(control) = &control {
+                let epoch = control.quarantine_epoch();
+                if epoch != quarantine_epoch {
+                    quarantined = control.quarantined_objects();
+                    quarantine_epoch = epoch;
+                }
+                if quarantined.contains(&object.0) {
+                    record_shed(
+                        &dispatch_sheds,
+                        &dispatch_windows,
+                        object,
+                        my_seq,
+                        delivered_so_far,
+                        ShedKind::Abandoned,
+                    );
+                    return;
+                }
             }
             let slot = slots.entry(object.0).or_insert_with(|| {
                 let (tx, rx) = match config.capacity {
                     Some(n) => channel::bounded(n),
                     None => channel::unbounded(),
                 };
+                if let Some(control) = &control {
+                    control.register_shard(object, rx.monitor());
+                }
                 // The consumer side being gone just means checking was
                 // abandoned; keep the program running (same contract as
                 // the plain channel sink).
@@ -200,42 +323,115 @@ impl ShardRouter {
             let sender = match slot {
                 Slot::Live(sender) => sender,
                 Slot::Shedding => {
-                    *dispatch_sheds.lock().entry(object).or_insert(0) += 1;
-                    if vyrd_rt::metrics::enabled() {
-                        pipeline().shard_events_shed.inc();
-                    }
+                    record_shed(
+                        &dispatch_sheds,
+                        &dispatch_windows,
+                        object,
+                        my_seq,
+                        delivered_so_far,
+                        ShedKind::Abandoned,
+                    );
                     return;
+                }
+            };
+            // Marks one successful delivery: the gap-free-prefix counter
+            // plus the routed/fan-out metrics. `shard.events_routed`
+            // counts deliveries only — appends that were shed instead
+            // are under `shard.events_shed`, so
+            // `appended == routed + shed (+ stranded at shutdown)`.
+            let mut mark_delivered = || {
+                *delivered.entry(object.0).or_insert(0) += 1;
+                if vyrd_rt::metrics::enabled() {
+                    let pm = pipeline();
+                    pm.shard_events_routed.inc();
+                    fanout
+                        .entry(object.0)
+                        .or_insert_with(|| {
+                            vyrd_rt::metrics::counter(&format!("shard.fanout.obj{}", object.0))
+                        })
+                        .inc();
+                    pm.shard_objects_seen.set_max(fanout.len() as u64);
                 }
             };
             match config.policy {
                 OverloadPolicy::Shed { timeout, budget } if config.capacity.is_some() => {
-                    match sender.send_timeout(event, timeout) {
-                        Ok(()) => {}
-                        // Checker hung up: checking was abandoned for this
-                        // object, not overload — keep the program running.
-                        Err(SendTimeoutError::Closed(_)) => {}
-                        Err(SendTimeoutError::Timeout(_)) => {
-                            let mut sheds = dispatch_sheds.lock();
-                            let count = sheds.entry(object).or_insert(0);
-                            *count += 1;
-                            if vyrd_rt::metrics::enabled() {
-                                pipeline().shard_events_shed.inc();
+                    // Under adaptive control the static parameters are
+                    // only the starting point; read the live values.
+                    let (timeout, budget) = match &control {
+                        Some(control) => (control.timeout(), control.budget()),
+                        None => (timeout, budget),
+                    };
+                    let wait_started =
+                        if vyrd_rt::metrics::enabled() { Some(Instant::now()) } else { None };
+                    let outcome = sender.send_timeout(event, timeout);
+                    if let Some(t0) = wait_started {
+                        pipeline()
+                            .shard_shed_wait_ns
+                            .record(t0.elapsed().as_nanos() as u64);
+                    }
+                    match outcome {
+                        Ok(()) => mark_delivered(),
+                        // Checker hung up (stopped at a violation, or its
+                        // worker died): checking is over for this object.
+                        // Count the loss and stop attempting delivery —
+                        // every later event goes down the fast Shedding
+                        // path instead of a doomed send.
+                        Err(SendTimeoutError::Closed(_)) => {
+                            record_shed(
+                                &dispatch_sheds,
+                                &dispatch_windows,
+                                object,
+                                my_seq,
+                                delivered_so_far,
+                                ShedKind::Abandoned,
+                            );
+                            *slot = Slot::Shedding;
+                            if let Some(w) = dispatch_windows.lock().get_mut(&object.0) {
+                                if w.abandoned_at_seq.is_none() {
+                                    w.abandoned_at_seq = Some(my_seq);
+                                }
                             }
-                            if *count >= budget {
+                        }
+                        Err(SendTimeoutError::Timeout(_)) => {
+                            let shed_so_far = record_shed(
+                                &dispatch_sheds,
+                                &dispatch_windows,
+                                object,
+                                my_seq,
+                                delivered_so_far,
+                                ShedKind::Timeout,
+                            );
+                            if shed_so_far >= budget {
                                 // Abandon the shard: dropping the sender
                                 // disconnects the channel so the checker
                                 // finishes on the events it already has.
                                 *slot = Slot::Shedding;
+                                if let Some(w) =
+                                    dispatch_windows.lock().get_mut(&object.0)
+                                {
+                                    if w.abandoned_at_seq.is_none() {
+                                        w.abandoned_at_seq = Some(my_seq);
+                                    }
+                                }
                             }
                         }
                     }
                 }
                 _ => {
-                    let _ = sender.send(event);
+                    if sender.send(event).is_ok() {
+                        mark_delivered();
+                    }
                 }
             }
         });
-        (log, ShardRouter { shards, sheds })
+        (
+            log,
+            ShardRouter {
+                shards,
+                sheds,
+                windows,
+            },
+        )
     }
 
     /// Blocks for the next newly-announced shard. Returns [`RecvError`]
@@ -259,6 +455,15 @@ impl ShardRouter {
             .iter()
             .map(|(object, count)| (*object, *count))
             .collect()
+    }
+
+    /// The dispatch-seq window each object's sheds span, in object
+    /// order — *where* in the total order coverage was lost. Each
+    /// window's `events` equals the object's entry in
+    /// [`ShardRouter::sheds`]; the merged report carries them in
+    /// [`Degradation::shed_windows`](crate::violation::Degradation::shed_windows).
+    pub fn shed_windows(&self) -> Vec<ShedWindow> {
+        self.windows.lock().values().copied().collect()
     }
 }
 

@@ -305,6 +305,169 @@ impl fmt::Display for ShardFailure {
     }
 }
 
+/// The dispatch-seq window over which one object's events were shed.
+///
+/// Sequence numbers are *dispatch* indices — the router's running count
+/// of events entering the fan-out, stamped inside the append critical
+/// section — so the window names exactly which slice of the total order
+/// the verdict does not cover. "Events 312..=8907 of object 3 were
+/// never checked" is actionable in a way a bare shed count is not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShedWindow {
+    /// The object whose events were shed.
+    pub object: ObjectId,
+    /// Dispatch seq of the first shed event.
+    pub first_seq: u64,
+    /// Dispatch seq of the last shed event.
+    pub last_seq: u64,
+    /// Events shed inside the window (the window may interleave with
+    /// delivered events, so this is not `last_seq - first_seq + 1`).
+    pub events: u64,
+    /// Events *delivered* to this object's shard before the first shed —
+    /// the length of the gap-free prefix of the checker's input. A
+    /// violation the checker reports at a position below this count was
+    /// found on a faithful slice of the execution and stands; one at or
+    /// beyond it was observed across a coverage gap and is downgraded to
+    /// degradation rather than forged into a FAIL (see
+    /// [`Degradation::unreliable_violations`]).
+    pub prefix_events: u64,
+    /// Dispatch seq at which delivery to the shard was abandoned for the
+    /// rest of the run (the `Shed` budget ran out, the watchdog
+    /// quarantined the object, or the checker hung up), if it was.
+    pub abandoned_at_seq: Option<u64>,
+}
+
+impl fmt::Display for ShedWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} seq {}..={} ({} shed{})",
+            self.object,
+            self.first_seq,
+            self.last_seq,
+            self.events,
+            match self.abandoned_at_seq {
+                Some(seq) => format!(", abandoned at {seq}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// What the [`AdaptiveShed`](crate::overload::AdaptiveShed) controller
+/// did on one tick that changed admission parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdaptiveAction {
+    /// Lag crossed the high watermark: admission was tightened (shorter
+    /// shed timeout, larger budget so shards keep shedding per-event
+    /// instead of being abandoned mid-storm).
+    Decrease,
+    /// Lag drained below the low watermark: admission was relaxed back
+    /// toward the configured baseline.
+    Recover,
+}
+
+impl fmt::Display for AdaptiveAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdaptiveAction::Decrease => "decrease",
+            AdaptiveAction::Recover => "recover",
+        })
+    }
+}
+
+/// One admission change recorded by the adaptive overload controller.
+///
+/// The seq window `[first_seq, last_seq)` is the slice of the dispatch
+/// order routed while these parameters were in force: `first_seq` is the
+/// dispatch seq when the decision was taken, `last_seq` the seq when the
+/// *next* decision superseded it (or the final dispatch count, for the
+/// last decision). Together the decisions partition the overloaded
+/// portion of the run, so a DEGRADED PASS can say exactly which events
+/// were admitted under which policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveDecision {
+    /// Controller tick (1-based) on which the decision was taken.
+    pub tick: u64,
+    /// What changed.
+    pub action: AdaptiveAction,
+    /// Live verification lag (appended − consumed − shed − dropped) that
+    /// triggered the decision.
+    pub lag_events: u64,
+    /// Shed timeout after the decision, in nanoseconds.
+    pub timeout_ns: u64,
+    /// Shed budget after the decision.
+    pub budget: u64,
+    /// First dispatch seq routed under the new parameters.
+    pub first_seq: u64,
+    /// Dispatch seq at which the next decision took over (exclusive).
+    pub last_seq: u64,
+}
+
+impl fmt::Display for AdaptiveDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tick {}: {} at lag {} -> timeout {}ns budget {} (seq {}..{})",
+            self.tick,
+            self.action,
+            self.lag_events,
+            self.timeout_ns,
+            self.budget,
+            self.first_seq,
+            self.last_seq
+        )
+    }
+}
+
+/// How the watchdog escalated a shard with no checker progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WatchdogAction {
+    /// The shard was announced but no worker had claimed it: a
+    /// supervised rescue worker was spawned to pick it up.
+    RescueWorker,
+    /// A worker owned the shard but stopped consuming: further events
+    /// for the object are shed at the router (quarantine) so producers
+    /// can never block behind the stuck checker. The sheds are counted
+    /// and windowed like any other.
+    Quarantine,
+}
+
+impl fmt::Display for WatchdogAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WatchdogAction::RescueWorker => "rescue-worker",
+            WatchdogAction::Quarantine => "quarantine",
+        })
+    }
+}
+
+/// One watchdog escalation recorded by the adaptive overload controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogEvent {
+    /// The stuck shard's object.
+    pub object: ObjectId,
+    /// Controller tick (1-based) on which the escalation fired.
+    pub tick: u64,
+    /// Queue occupancy observed when the deadline expired.
+    pub queued: u64,
+    /// What the watchdog did.
+    pub action: WatchdogAction,
+    /// Dispatch seq at escalation — where in the total order the stall
+    /// was declared.
+    pub at_seq: u64,
+}
+
+impl fmt::Display for WatchdogEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: watchdog {} at tick {} ({} queued, seq {})",
+            self.object, self.action, self.tick, self.queued, self.at_seq
+        )
+    }
+}
+
 /// Lost-coverage accounting attached to every [`Report`].
 ///
 /// Refinement checking degrades rather than aborts: a shed event, a
@@ -342,6 +505,30 @@ pub struct Degradation {
     /// [`codec::read_log_recovering`]: crate::codec::read_log_recovering
     /// [`DecodeOutcome::RecoveredPrefix`]: crate::codec::DecodeOutcome::RecoveredPrefix
     pub torn_bytes_discarded: u64,
+    /// Per-object dispatch-seq windows over which events were shed —
+    /// *where* in the total order the coverage gap sits, complementing
+    /// the per-object counts in `sheds_by_object`.
+    pub shed_windows: Vec<ShedWindow>,
+    /// Admission changes taken by the adaptive overload controller, in
+    /// tick order, each stamped with the dispatch-seq window it governed.
+    pub adaptive_decisions: Vec<AdaptiveDecision>,
+    /// Watchdog escalations of stuck shards (rescue worker spawned, or
+    /// object quarantined at the router).
+    pub watchdog_events: Vec<WatchdogEvent>,
+    /// Violations a checker reported at or beyond its shard's first
+    /// coverage gap (see [`ShedWindow::prefix_events`]), suppressed at
+    /// merge time. A torn stream routinely *looks* inconsistent — a
+    /// return without its call, a replayed view missing shed writes —
+    /// so such a finding is evidence of degraded coverage, not of a
+    /// refinement violation: the verdict degrades instead of failing.
+    pub unreliable_violations: u64,
+    /// Events delivered to a shard's queue but never consumed by its
+    /// checker — the residue left in an abandoned or quarantined shard's
+    /// channel at shutdown (the checker stopped at its first violation,
+    /// hung up, or was quarantined mid-stream). Counted separately from
+    /// `events_lost` so conservation reconciles exactly:
+    /// `appended == checked + sheds + stranded (+ injected drops)`.
+    pub stranded_events: u64,
 }
 
 impl Degradation {
@@ -361,6 +548,8 @@ impl Degradation {
             || !self.shard_failures.is_empty()
             || self.lost_workers > 0
             || self.torn_bytes_discarded > 0
+            || self.unreliable_violations > 0
+            || self.stranded_events > 0
     }
 
     /// Folds another degradation record into this one (used when merging
@@ -379,6 +568,33 @@ impl Degradation {
         self.spawn_fallbacks += other.spawn_fallbacks;
         self.lost_workers += other.lost_workers;
         self.torn_bytes_discarded += other.torn_bytes_discarded;
+        for window in &other.shed_windows {
+            match self
+                .shed_windows
+                .iter_mut()
+                .find(|w| w.object == window.object)
+            {
+                Some(w) => {
+                    w.first_seq = w.first_seq.min(window.first_seq);
+                    w.last_seq = w.last_seq.max(window.last_seq);
+                    w.events += window.events;
+                    // The earliest gap bounds the trustworthy prefix.
+                    w.prefix_events = w.prefix_events.min(window.prefix_events);
+                    w.abandoned_at_seq = match (w.abandoned_at_seq, window.abandoned_at_seq) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                }
+                None => self.shed_windows.push(*window),
+            }
+        }
+        self.shed_windows.sort_by_key(|w| w.object);
+        self.adaptive_decisions.extend(other.adaptive_decisions.iter().copied());
+        self.adaptive_decisions.sort_by_key(|d| d.tick);
+        self.watchdog_events.extend(other.watchdog_events.iter().copied());
+        self.watchdog_events.sort_by_key(|e| (e.tick, e.object));
+        self.unreliable_violations += other.unreliable_violations;
+        self.stranded_events += other.stranded_events;
     }
 }
 
@@ -397,6 +613,31 @@ impl fmt::Display for Degradation {
         }
         if self.torn_bytes_discarded > 0 {
             write!(f, ", {} torn bytes discarded", self.torn_bytes_discarded)?;
+        }
+        if !self.shed_windows.is_empty() {
+            f.write_str("; uncovered: ")?;
+            for (i, w) in self.shed_windows.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{w}")?;
+            }
+        }
+        if !self.adaptive_decisions.is_empty() {
+            write!(f, "; {} adaptive decisions", self.adaptive_decisions.len())?;
+        }
+        for e in &self.watchdog_events {
+            write!(f, "; {e}")?;
+        }
+        if self.unreliable_violations > 0 {
+            write!(
+                f,
+                "; {} violation(s) past a coverage gap suppressed",
+                self.unreliable_violations
+            )?;
+        }
+        if self.stranded_events > 0 {
+            write!(f, "; {} events stranded in shard queues", self.stranded_events)?;
         }
         Ok(())
     }

@@ -150,6 +150,7 @@ mod tests {
             shrink_pool: true,
             internal_task: false,
             seed: 7,
+            pace: None,
         };
         let m = measure_detection(&MultisetVectorScenario, &cfg, 2, 60);
         assert!(

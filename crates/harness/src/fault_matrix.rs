@@ -84,6 +84,7 @@ fn cfg(seed: u64) -> WorkloadConfig {
         shrink_pool: true,
         internal_task: true,
         seed,
+        pace: None,
     }
 }
 

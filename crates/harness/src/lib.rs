@@ -62,6 +62,7 @@ mod tests {
             shrink_pool: true,
             internal_task: true,
             seed: 99,
+            pace: None,
         }
     }
 

@@ -18,7 +18,7 @@ use vyrd_core::segment::{
 };
 use vyrd_core::shard::ShardConfig;
 use vyrd_core::violation::{Report, Violation};
-use vyrd_core::{Event, ObjectId};
+use vyrd_core::{AdaptiveConfig, Event, ObjectId};
 
 use crate::measure::timed;
 use crate::workload::WorkloadConfig;
@@ -270,6 +270,68 @@ pub fn run_online_sharded_with(
         Err(panic) => {
             // Unblock the workers before unwinding; dropping the pool
             // detaches them and the closed log ends their shards.
+            pool.log().close();
+            std::panic::resume_unwind(panic)
+        }
+    }
+}
+
+/// What an open-loop soak run produced (see [`run_soak`]).
+#[derive(Debug)]
+pub struct SoakArtifacts {
+    /// Wall-clock duration of the run (workload threads only).
+    pub wall: Duration,
+    /// The adaptive pool's full report — merged verdict, per-object
+    /// verdicts, and the degradation ledger with shed windows, adaptive
+    /// decisions, and watchdog events.
+    pub report: PoolReport,
+    /// The program-side log counters (appended / dropped / bytes), read
+    /// after the workload finished and before the pool folded its
+    /// ledger — the reconciliation baseline for the soak gates.
+    pub log_stats: LogStats,
+}
+
+/// Runs a scenario's multi-object workload against an *adaptive*
+/// [`VerifierPool`] — the open-loop soak path. The workload offers load
+/// on the fixed arrival schedule in `cfg.pace` (or closed-loop when
+/// unset); the pool's [`AdaptiveShed`](vyrd_core::AdaptiveShed) ticker
+/// adjusts shed budgets/timeouts AIMD-style and escalates stuck shards,
+/// so past saturation the run converges to a bounded-lag DEGRADED PASS
+/// instead of an unbounded queue. Returns `None` when the scenario has
+/// no multi-object mode or no shard factory for `kind`.
+#[allow(clippy::too_many_arguments)] // one call site (soak), every knob load-bearing
+pub fn run_soak(
+    scenario: &dyn Scenario,
+    cfg: &WorkloadConfig,
+    kind: CheckKind,
+    variant: Variant,
+    objects: u32,
+    workers: usize,
+    adaptive: AdaptiveConfig,
+    supervisor: SupervisorConfig,
+) -> Option<SoakArtifacts> {
+    let factory = scenario.shard_factory(kind)?;
+    let pool = VerifierPool::spawn_adaptive(
+        kind.log_mode(),
+        workers,
+        adaptive,
+        supervisor,
+        move |object| factory(object),
+    );
+    let run_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        timed(|| scenario.run_multi(cfg, pool.log(), variant, objects))
+    }));
+    match run_result {
+        Ok((supported, wall)) => {
+            let log_stats = pool.log().stats();
+            let report = pool.finish_all();
+            supported.then_some(SoakArtifacts {
+                wall,
+                report,
+                log_stats,
+            })
+        }
+        Err(panic) => {
             pool.log().close();
             std::panic::resume_unwind(panic)
         }

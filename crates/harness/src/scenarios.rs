@@ -30,7 +30,7 @@ use vyrd_core::spec::Spec;
 use vyrd_core::ObjectId;
 
 use crate::scenario::{unsupported_report, CheckKind, Scenario, ShardFactory, Variant};
-use crate::workload::{ThreadWorkload, WorkloadConfig};
+use crate::workload::{OpBudget, ThreadWorkload, WorkloadConfig};
 
 /// All six table rows, in the paper's order.
 pub fn all() -> Vec<Box<dyn Scenario>> {
@@ -64,12 +64,19 @@ pub fn by_name(name: &str) -> Option<Box<dyn Scenario>> {
 
 /// Spawns `cfg.threads` workload threads plus (optionally) an internal
 /// task thread, joining everything before returning.
+///
+/// Each thread receives an [`OpBudget`] alongside its random stream:
+/// closed-loop runs count to `cfg.calls_per_thread`, open-loop runs
+/// (`cfg.pace` set) release calls on a fixed arrival schedule until the
+/// duration deadline. All budgets share one start instant so the
+/// aggregate offered rate is exactly `pace.rate_per_sec`.
 fn drive<W, T>(cfg: &WorkloadConfig, per_thread: W, internal_task: Option<T>)
 where
-    W: Fn(usize, ThreadWorkload) + Send + Sync,
+    W: Fn(usize, ThreadWorkload, OpBudget) + Send + Sync,
     T: FnMut() + Send,
 {
     let stop = std::sync::atomic::AtomicBool::new(false);
+    let start = std::time::Instant::now();
     std::thread::scope(|scope| {
         let task_handle = internal_task.map(|mut task| {
             let stop = &stop;
@@ -88,7 +95,8 @@ where
         let workers: Vec<_> = (0..cfg.threads)
             .map(|i| {
                 let wl = ThreadWorkload::new(cfg, i);
-                scope.spawn(move || per_thread(i, wl))
+                let budget = OpBudget::new(cfg, i, start);
+                scope.spawn(move || per_thread(i, wl, budget))
             })
             .collect();
         for w in workers {
@@ -202,9 +210,9 @@ impl Scenario for MultisetVectorScenario {
         });
         drive(
             cfg,
-            |_, mut wl| {
+            |_, mut wl, mut ops| {
                 let h = ms.handle();
-                for _ in 0..cfg.calls_per_thread {
+                while ops.next().is_some() {
                     let op = wl.next_op(&[3, 2, 3, 2]);
                     let x = wl.next_key();
                     match op {
@@ -250,8 +258,8 @@ impl Scenario for MultisetVectorScenario {
         });
         drive(
             cfg,
-            |_, mut wl| {
-                for _ in 0..cfg.calls_per_thread {
+            |_, mut wl, mut ops| {
+                while ops.next().is_some() {
                     let h = sets[wl.next_int(sets.len() as i64) as usize].handle();
                     let op = wl.next_op(&[3, 2, 3, 2]);
                     let x = wl.next_key();
@@ -324,9 +332,9 @@ impl Scenario for MultisetBstScenario {
         });
         drive(
             cfg,
-            |_, mut wl| {
+            |_, mut wl, mut ops| {
                 let h = ms.handle();
-                for _ in 0..cfg.calls_per_thread {
+                while ops.next().is_some() {
                     let op = wl.next_op(&[5, 2, 3]);
                     let x = wl.next_key();
                     match op {
@@ -347,6 +355,59 @@ impl Scenario for MultisetBstScenario {
     }
 
     impl_checks!(MultisetSpec::new(), BstReplayer::new());
+
+    /// §8 multi-object mode: `objects` independent BST multisets, each
+    /// logging under its own [`ObjectId`]; every call picks an instance
+    /// from the workload stream. The compressor services the trees in
+    /// rotation.
+    fn run_multi(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant, objects: u32) -> bool {
+        let v = match variant {
+            Variant::Correct => BstVariant::Correct,
+            Variant::Buggy => BstVariant::UnlockParentEarly,
+        };
+        let sets: Vec<BstMultiset> = (0..objects.max(1))
+            .map(|i| BstMultiset::new(v, log.with_object(ObjectId(i))))
+            .collect();
+        let task = cfg.internal_task.then(|| {
+            let handles: Vec<_> = sets.iter().map(|s| s.handle()).collect();
+            let mut next = 0usize;
+            move || {
+                handles[next % handles.len()].compress();
+                next += 1;
+            }
+        });
+        drive(
+            cfg,
+            |_, mut wl, mut ops| {
+                while ops.next().is_some() {
+                    let h = sets[wl.next_int(sets.len() as i64) as usize].handle();
+                    let op = wl.next_op(&[5, 2, 3]);
+                    let x = wl.next_key();
+                    match op {
+                        0 => {
+                            h.insert(x);
+                        }
+                        1 => {
+                            h.delete(x);
+                        }
+                        _ => {
+                            h.lookup(x);
+                        }
+                    }
+                }
+            },
+            task,
+        );
+        true
+    }
+
+    fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
+        Some(Arc::new(move |_object| match kind {
+            CheckKind::Io => Box::new(Checker::io(MultisetSpec::new())) as Box<dyn ObjectChecker>,
+            CheckKind::Lin => Box::new(Checker::lin(MultisetSpec::new())),
+            CheckKind::View => Box::new(Checker::view(MultisetSpec::new(), BstReplayer::new())),
+        }))
+    }
 
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
         match kind {
@@ -389,9 +450,9 @@ impl Scenario for JavaVectorScenario {
         }
         drive(
             cfg,
-            |_, mut wl| {
+            |_, mut wl, mut ops| {
                 let h = vec.handle();
-                for _ in 0..cfg.calls_per_thread {
+                while ops.next().is_some() {
                     let op = wl.next_op(&[4, 3, 3, 1]);
                     match op {
                         0 => h.add(wl.next_key()),
@@ -412,6 +473,56 @@ impl Scenario for JavaVectorScenario {
     }
 
     impl_checks!(VectorSpec::new(), VectorReplayer::new());
+
+    /// §8 multi-object mode: `objects` independent vectors, each seeded
+    /// and logging under its own [`ObjectId`]; every call picks an
+    /// instance from the workload stream.
+    fn run_multi(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant, objects: u32) -> bool {
+        let v = match variant {
+            Variant::Correct => VectorVariant::Correct,
+            Variant::Buggy => VectorVariant::Buggy,
+        };
+        let vecs: Vec<SyncVector> = (0..objects.max(1))
+            .map(|i| SyncVector::new(v, log.with_object(ObjectId(i))))
+            .collect();
+        for vec in &vecs {
+            let seeder = vec.handle();
+            for i in 0..8 {
+                seeder.add(i);
+            }
+        }
+        drive(
+            cfg,
+            |_, mut wl, mut ops| {
+                while ops.next().is_some() {
+                    let h = vecs[wl.next_int(vecs.len() as i64) as usize].handle();
+                    let op = wl.next_op(&[4, 3, 3, 1]);
+                    match op {
+                        0 => h.add(wl.next_key()),
+                        1 => {
+                            h.remove_last();
+                        }
+                        2 => {
+                            h.last_index_of(wl.next_key());
+                        }
+                        _ => {
+                            h.size();
+                        }
+                    }
+                }
+            },
+            None::<fn()>,
+        );
+        true
+    }
+
+    fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
+        Some(Arc::new(move |_object| match kind {
+            CheckKind::Io => Box::new(Checker::io(VectorSpec::new())) as Box<dyn ObjectChecker>,
+            CheckKind::Lin => Box::new(Checker::lin(VectorSpec::new())),
+            CheckKind::View => Box::new(Checker::view(VectorSpec::new(), VectorReplayer::new())),
+        }))
+    }
 
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
         spec_stepping(kind, VectorSpec::new)
@@ -449,9 +560,9 @@ impl Scenario for StringBufferScenario {
         }
         drive(
             cfg,
-            |_, mut wl| {
+            |_, mut wl, mut ops| {
                 let h = pool.handle();
-                for _ in 0..cfg.calls_per_thread {
+                while ops.next().is_some() {
                     let op = wl.next_op(&[3, 4, 3, 1]);
                     let id = wl.next_int(SB_BUFFERS as i64);
                     match op {
@@ -474,6 +585,60 @@ impl Scenario for StringBufferScenario {
         StringBufferSpec::new(SB_BUFFERS),
         StringBufferReplayer::with_buffers(SB_BUFFERS),
     );
+
+    /// §8 multi-object mode: `objects` independent buffer pools, each
+    /// seeded and logging under its own [`ObjectId`]; every call picks a
+    /// pool from the workload stream.
+    fn run_multi(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant, objects: u32) -> bool {
+        let v = match variant {
+            Variant::Correct => StringBufferVariant::Correct,
+            Variant::Buggy => StringBufferVariant::Buggy,
+        };
+        let pools: Vec<BufferPool> = (0..objects.max(1))
+            .map(|i| BufferPool::new(SB_BUFFERS, v, log.with_object(ObjectId(i))))
+            .collect();
+        for pool in &pools {
+            let seeder = pool.handle();
+            for id in 0..SB_BUFFERS as i64 {
+                seeder.append(id, "0123456789");
+            }
+        }
+        drive(
+            cfg,
+            |_, mut wl, mut ops| {
+                while ops.next().is_some() {
+                    let h = pools[wl.next_int(pools.len() as i64) as usize].handle();
+                    let op = wl.next_op(&[3, 4, 3, 1]);
+                    let id = wl.next_int(SB_BUFFERS as i64);
+                    match op {
+                        0 => h.append(id, "ab"),
+                        1 => {
+                            h.append_buffer(id, wl.next_int(SB_BUFFERS as i64));
+                        }
+                        2 => h.set_length(id, wl.next_int(12) as usize),
+                        _ => {
+                            h.length(id);
+                        }
+                    }
+                }
+            },
+            None::<fn()>,
+        );
+        true
+    }
+
+    fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
+        Some(Arc::new(move |_object| match kind {
+            CheckKind::Io => {
+                Box::new(Checker::io(StringBufferSpec::new(SB_BUFFERS))) as Box<dyn ObjectChecker>
+            }
+            CheckKind::Lin => Box::new(Checker::lin(StringBufferSpec::new(SB_BUFFERS))),
+            CheckKind::View => Box::new(Checker::view(
+                StringBufferSpec::new(SB_BUFFERS),
+                StringBufferReplayer::with_buffers(SB_BUFFERS),
+            )),
+        }))
+    }
 
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
         spec_stepping(kind, || StringBufferSpec::new(SB_BUFFERS))
@@ -509,9 +674,9 @@ impl Scenario for BLinkTreeScenario {
         });
         drive(
             cfg,
-            |_, mut wl| {
+            |_, mut wl, mut ops| {
                 let h = tree.handle();
-                for i in 0..cfg.calls_per_thread {
+                for i in ops.by_ref() {
                     let op = wl.next_op(&[5, 2, 3]);
                     let k = wl.next_key();
                     match op {
@@ -530,6 +695,56 @@ impl Scenario for BLinkTreeScenario {
     }
 
     impl_checks!(BLinkSpec::new(), BLinkReplayer::new());
+
+    /// §8 multi-object mode: `objects` independent trees, each logging
+    /// under its own [`ObjectId`]; every call picks a tree from the
+    /// workload stream. The compressor services the trees in rotation.
+    fn run_multi(&self, cfg: &WorkloadConfig, log: &EventLog, variant: Variant, objects: u32) -> bool {
+        let v = match variant {
+            Variant::Correct => BLinkVariant::Correct,
+            Variant::Buggy => BLinkVariant::DuplicateDataNodes,
+        };
+        let trees: Vec<BLinkTree> = (0..objects.max(1))
+            .map(|i| BLinkTree::new(v, log.with_object(ObjectId(i))))
+            .collect();
+        let task = cfg.internal_task.then(|| {
+            let handles: Vec<_> = trees.iter().map(|t| t.handle()).collect();
+            let mut next = 0usize;
+            move || {
+                handles[next % handles.len()].compress();
+                next += 1;
+            }
+        });
+        drive(
+            cfg,
+            |_, mut wl, mut ops| {
+                for i in ops.by_ref() {
+                    let h = trees[wl.next_int(trees.len() as i64) as usize].handle();
+                    let op = wl.next_op(&[5, 2, 3]);
+                    let k = wl.next_key();
+                    match op {
+                        0 => h.insert(k, i as i64),
+                        1 => {
+                            h.delete(k);
+                        }
+                        _ => {
+                            h.lookup(k);
+                        }
+                    }
+                }
+            },
+            task,
+        );
+        true
+    }
+
+    fn shard_factory(&self, kind: CheckKind) -> Option<ShardFactory> {
+        Some(Arc::new(move |_object| match kind {
+            CheckKind::Io => Box::new(Checker::io(BLinkSpec::new())) as Box<dyn ObjectChecker>,
+            CheckKind::Lin => Box::new(Checker::lin(BLinkSpec::new())),
+            CheckKind::View => Box::new(Checker::view(BLinkSpec::new(), BLinkReplayer::new())),
+        }))
+    }
 
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
         spec_stepping(kind, BLinkSpec::new)
@@ -570,9 +785,9 @@ impl Scenario for CacheScenario {
         };
         drive(
             cfg,
-            |_, mut wl| {
+            |_, mut wl, mut ops| {
                 let h = cache.handle();
-                for i in 0..cfg.calls_per_thread {
+                for i in ops.by_ref() {
                     let op = wl.next_op(&[6, 3, 1]);
                     let handle = wl.next_int(CACHE_HANDLES);
                     match op {
@@ -616,8 +831,8 @@ impl Scenario for CacheScenario {
         };
         drive(
             cfg,
-            |_, mut wl| {
-                for i in 0..cfg.calls_per_thread {
+            |_, mut wl, mut ops| {
+                for i in ops.by_ref() {
                     let h = caches[wl.next_int(caches.len() as i64) as usize].handle();
                     let op = wl.next_op(&[6, 3, 1]);
                     let handle = wl.next_int(CACHE_HANDLES);
@@ -781,9 +996,9 @@ impl Scenario for TreiberStackScenario {
         }
         drive(
             cfg,
-            |_, mut wl| {
+            |_, mut wl, mut ops| {
                 let h = stack.handle();
-                for _ in 0..cfg.calls_per_thread {
+                while ops.next().is_some() {
                     match wl.next_op(&[4, 3, 3]) {
                         0 => {
                             h.push(wl.next_key());
@@ -819,8 +1034,8 @@ impl Scenario for TreiberStackScenario {
         }
         drive(
             cfg,
-            |_, mut wl| {
-                for _ in 0..cfg.calls_per_thread {
+            |_, mut wl, mut ops| {
+                while ops.next().is_some() {
                     let h = stacks[wl.next_int(stacks.len() as i64) as usize].handle();
                     match wl.next_op(&[4, 3, 3]) {
                         0 => {
@@ -910,9 +1125,9 @@ impl Scenario for MsQueueScenario {
         }
         drive(
             cfg,
-            |_, mut wl| {
+            |_, mut wl, mut ops| {
                 let h = queue.handle();
-                for _ in 0..cfg.calls_per_thread {
+                while ops.next().is_some() {
                     match wl.next_op(&[4, 3, 3]) {
                         0 => {
                             h.enqueue(wl.next_key());
@@ -948,8 +1163,8 @@ impl Scenario for MsQueueScenario {
         }
         drive(
             cfg,
-            |_, mut wl| {
-                for _ in 0..cfg.calls_per_thread {
+            |_, mut wl, mut ops| {
+                while ops.next().is_some() {
                     let h = queues[wl.next_int(queues.len() as i64) as usize].handle();
                     match wl.next_op(&[4, 3, 3]) {
                         0 => {

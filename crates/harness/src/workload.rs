@@ -8,14 +8,34 @@
 //! gradually over time to focus more concurrent method calls on a
 //! smaller region of the data structure."
 
+use std::time::{Duration, Instant};
+
 use vyrd_rt::rng::Rng;
+use vyrd_rt::time::Pacer;
+
+/// Open-loop pacing for a workload: a target aggregate arrival rate and
+/// a wall-clock duration. When set on a [`WorkloadConfig`], threads stop
+/// issuing calls at the duration deadline instead of after a fixed call
+/// count, and each call is released on a fixed arrival schedule —
+/// *never* rescheduled when the system under test falls behind (that is
+/// the open-loop property: offered load is independent of service rate,
+/// so queues are allowed to grow).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaceConfig {
+    /// Aggregate target arrival rate across all threads, calls/second.
+    /// 0 means flat-out (no pacing, duration-bounded only).
+    pub rate_per_sec: u64,
+    /// How long the workload runs.
+    pub duration: Duration,
+}
 
 /// Parameters of one workload run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkloadConfig {
     /// Number of application threads issuing method calls.
     pub threads: usize,
-    /// Method calls issued by each thread.
+    /// Method calls issued by each thread (closed-loop mode; ignored
+    /// when `pace` is set).
     pub calls_per_thread: usize,
     /// Size of the initial shared key pool.
     pub key_pool: usize,
@@ -26,6 +46,9 @@ pub struct WorkloadConfig {
     pub internal_task: bool,
     /// RNG seed; each thread derives its stream from this and its index.
     pub seed: u64,
+    /// `Some` switches the run from closed-loop (fixed call count) to
+    /// open-loop (arrival-rate driven, duration-bounded).
+    pub pace: Option<PaceConfig>,
 }
 
 impl WorkloadConfig {
@@ -38,10 +61,11 @@ impl WorkloadConfig {
             shrink_pool: true,
             internal_task: false,
             seed: 42,
+            pace: None,
         }
     }
 
-    /// Total method calls across application threads.
+    /// Total method calls across application threads (closed-loop).
     pub fn total_calls(&self) -> usize {
         self.threads * self.calls_per_thread
     }
@@ -51,6 +75,116 @@ impl WorkloadConfig {
     pub fn with_seed(mut self, seed: u64) -> WorkloadConfig {
         self.seed = seed;
         self
+    }
+
+    /// Derives the configuration with open-loop pacing.
+    pub fn with_pace(mut self, pace: PaceConfig) -> WorkloadConfig {
+        self.pace = Some(pace);
+        self
+    }
+}
+
+/// One thread's call allowance: either a fixed count (closed-loop) or
+/// an open-loop arrival schedule with a deadline.
+///
+/// Scenario loops draw from it — `while let Some(i) = budget.next()` —
+/// so the same workload code serves both modes; `i` is the call index
+/// the loop would have used as its counter.
+#[derive(Debug)]
+pub enum OpBudget {
+    /// Closed-loop: exactly `remaining` more calls.
+    Calls {
+        /// Calls left to issue.
+        remaining: usize,
+        /// Calls already issued (the next call's index).
+        issued: usize,
+    },
+    /// Open-loop: calls released on the pacer's fixed schedule until
+    /// the deadline.
+    Paced {
+        /// The thread's arrival schedule.
+        pacer: Pacer,
+        /// Wall-clock stop time.
+        deadline: Instant,
+        /// Calls already issued (the next call's index).
+        issued: usize,
+    },
+}
+
+impl OpBudget {
+    /// The budget for thread `index` of a run that started at `start`.
+    ///
+    /// In paced mode each thread runs at `rate / threads`, phase-shifted
+    /// by its index so the per-thread schedules interleave instead of
+    /// thundering on the same instants.
+    pub fn new(cfg: &WorkloadConfig, index: usize, start: Instant) -> OpBudget {
+        match cfg.pace {
+            None => OpBudget::Calls {
+                remaining: cfg.calls_per_thread,
+                issued: 0,
+            },
+            Some(pace) => {
+                let threads = cfg.threads.max(1) as u64;
+                let per_thread = pace.rate_per_sec / threads;
+                let phase = if per_thread == 0 {
+                    Duration::ZERO
+                } else {
+                    Duration::from_nanos(
+                        (1_000_000_000 / per_thread.max(1)) * (index as u64) / threads,
+                    )
+                };
+                OpBudget::Paced {
+                    pacer: Pacer::with_phase(start, per_thread, phase),
+                    deadline: start + pace.duration,
+                    issued: 0,
+                }
+            }
+        }
+    }
+
+    /// Calls issued so far.
+    pub fn issued(&self) -> usize {
+        match self {
+            OpBudget::Calls { issued, .. } | OpBudget::Paced { issued, .. } => *issued,
+        }
+    }
+}
+
+/// Issues the next call, yielding its index — ends when the budget is
+/// spent (count exhausted, or deadline reached). Paced budgets block
+/// until the call's scheduled arrival when ahead of schedule and yield
+/// immediately when behind.
+impl Iterator for OpBudget {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            OpBudget::Calls { remaining, issued } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                let i = *issued;
+                *issued += 1;
+                Some(i)
+            }
+            OpBudget::Paced {
+                pacer,
+                deadline,
+                issued,
+            } => {
+                // Wall-clock stop: a flat-out pacer (rate 0) has every
+                // arrival due at the start, so the schedule alone would
+                // never end the run.
+                if Instant::now() >= *deadline {
+                    return None;
+                }
+                pacer.next_arrival_before(*deadline)?;
+                let i = *issued;
+                *issued += 1;
+                Some(i)
+            }
+        }
     }
 }
 
@@ -193,5 +327,51 @@ mod tests {
         let cfg = WorkloadConfig::small().with_seed(7);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.total_calls(), 4 * 50);
+    }
+
+    #[test]
+    fn closed_loop_budget_yields_exactly_the_call_count() {
+        let cfg = WorkloadConfig::small();
+        let mut b = OpBudget::new(&cfg, 0, Instant::now());
+        let indices: Vec<usize> = std::iter::from_fn(|| b.next()).collect();
+        assert_eq!(indices, (0..cfg.calls_per_thread).collect::<Vec<_>>());
+        assert_eq!(b.next(), None, "spent budgets stay spent");
+        assert_eq!(b.issued(), cfg.calls_per_thread);
+    }
+
+    #[test]
+    fn paced_budget_stops_at_the_deadline() {
+        let cfg = WorkloadConfig::small().with_pace(PaceConfig {
+            rate_per_sec: 40_000,
+            duration: Duration::from_millis(40),
+        });
+        let start = Instant::now();
+        let mut b = OpBudget::new(&cfg, 0, start);
+        let mut n = 0usize;
+        while b.next().is_some() {
+            n += 1;
+        }
+        assert!(n > 0, "paced budget issued nothing");
+        // 40k/s over 4 threads for 40ms ≈ 400 arrivals per thread; the
+        // deadline must cap the schedule even if the loop runs fast.
+        assert!(n <= 401, "issued past the schedule: {n}");
+        assert!(
+            start.elapsed() >= Duration::from_millis(30),
+            "returned long before the deadline"
+        );
+    }
+
+    #[test]
+    fn flat_out_pace_is_duration_bounded_only() {
+        let cfg = WorkloadConfig::small().with_pace(PaceConfig {
+            rate_per_sec: 0,
+            duration: Duration::from_millis(10),
+        });
+        let mut b = OpBudget::new(&cfg, 2, Instant::now());
+        let mut n = 0usize;
+        while b.next().is_some() && n < 100_000 {
+            n += 1;
+        }
+        assert!(n >= 1_000, "flat-out pace should issue freely: {n}");
     }
 }

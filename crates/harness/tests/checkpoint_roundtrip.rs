@@ -25,6 +25,7 @@ fn cfg() -> WorkloadConfig {
         shrink_pool: true,
         internal_task: true,
         seed: SEED,
+        pace: None,
     }
 }
 

@@ -486,6 +486,15 @@ impl<T> Receiver<T> {
         self.shared.lock().popped
     }
 
+    /// A read-only probe of this channel's queue, detached from the
+    /// single-consumer discipline: it can be cloned and shipped to a
+    /// supervisor thread without granting it the ability to receive.
+    pub fn monitor(&self) -> Monitor<T> {
+        Monitor {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// A blocking iterator: yields until the channel is empty *and*
     /// disconnected.
     pub fn iter(&self) -> Iter<'_, T> {
@@ -518,6 +527,51 @@ impl<T> Drop for Receiver<T> {
             // receiver and fail out instead of sleeping forever.
             self.shared.not_full.notify_all();
         }
+    }
+}
+
+/// A passive observer of one channel's queue, handed out by
+/// [`Receiver::monitor`].
+///
+/// Holds the shared state but participates in none of the disconnect
+/// bookkeeping: dropping a `Monitor` never closes the channel, and a
+/// `Monitor` outliving the `Receiver` simply keeps reporting the frozen
+/// final counters. An overload controller samples `len()` (current
+/// occupancy) and `popped()` (monotone consumption) to tell a checker
+/// that is *slow* from one that has *stopped*: occupancy > 0 with
+/// `popped` frozen across a deadline is a stuck shard.
+pub struct Monitor<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Monitor<T> {
+    fn clone(&self) -> Self {
+        Monitor {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Monitor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Monitor { .. }")
+    }
+}
+
+impl<T> Monitor<T> {
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().queue.is_empty()
+    }
+
+    /// Total messages ever received through this channel (monotone).
+    pub fn popped(&self) -> u64 {
+        self.shared.lock().popped
     }
 }
 

@@ -13,7 +13,7 @@
 //! 2. later work can shard the logger or instrument the channel itself
 //!    without fighting an opaque dependency.
 //!
-//! Seven modules:
+//! Eight modules:
 //!
 //! * [`channel`] — an unbounded MPSC channel with the `crossbeam::channel`
 //!   subset the event log uses (`send`/`send_timeout`/`recv`/`try_recv`/
@@ -37,7 +37,10 @@
 //!   deterministic by seed;
 //! * [`bench`] — a minimal benchmark runner (warmup, N timed iterations,
 //!   mean/median/p95/stddev, `BENCH_*.json` emission) so the
-//!   `crates/bench` binaries run as plain `harness = false` programs.
+//!   `crates/bench` binaries run as plain `harness = false` programs;
+//! * [`time`] — open-loop pacing ([`Pacer`](time::Pacer): fixed arrival
+//!   schedule, never reflowed when the caller falls behind) and a
+//!   stoppable periodic [`Ticker`](time::Ticker) for control loops.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -49,3 +52,4 @@ pub mod intern;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
+pub mod time;

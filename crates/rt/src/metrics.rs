@@ -256,6 +256,7 @@ impl Histogram {
             p50: quantile(0.50),
             p95: quantile(0.95),
             p99: quantile(0.99),
+            p999: quantile(0.999),
         }
     }
 }
@@ -436,6 +437,9 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// 99th percentile, as the matching bucket's upper bound.
     pub p99: u64,
+    /// 99.9th percentile, as the matching bucket's upper bound — the
+    /// tail a soak run is judged on.
+    pub p999: u64,
 }
 
 impl HistogramSnapshot {
@@ -508,7 +512,8 @@ impl Snapshot {
             let _ = write!(
                 out,
                 "\n    {{\"name\": {}, \"count\": {}, \"sum\": {}, \"mean\": {:.1}, \
-                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}{}",
+                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+                 \"p999\": {}}}{}",
                 json_str(&h.name),
                 h.count,
                 h.sum,
@@ -518,6 +523,7 @@ impl Snapshot {
                 h.p50,
                 h.p95,
                 h.p99,
+                h.p999,
                 sep,
             );
         }
@@ -562,8 +568,8 @@ impl fmt::Display for Snapshot {
         for h in &self.histograms {
             writeln!(
                 f,
-                "  {:<44} n={} mean={:.0} p50={} p95={} p99={} max={}",
-                h.name, h.count, h.mean(), h.p50, h.p95, h.p99, h.max
+                "  {:<44} n={} mean={:.0} p50={} p95={} p99={} p999={} max={}",
+                h.name, h.count, h.mean(), h.p50, h.p95, h.p99, h.p999, h.max
             )?;
         }
         if self.spans_recorded > 0 {

@@ -1,0 +1,235 @@
+//! Wall-clock plumbing for open-loop load generation and periodic
+//! control loops.
+//!
+//! Two pieces:
+//!
+//! * [`Pacer`] — converts a target arrival rate into a fixed schedule of
+//!   per-arrival deadlines. The schedule is decided at construction and
+//!   never reflows: when the caller falls behind, overdue arrivals are
+//!   released immediately (no sleeping) and the backlog is *not*
+//!   rescheduled. That is the open-loop discipline a soak harness needs —
+//!   queue depth is allowed to grow, unlike a closed loop where a slow
+//!   server silently throttles its own offered load.
+//! * [`Ticker`] — a background thread firing a callback on a fixed
+//!   period until stopped, for controllers that must keep sampling while
+//!   the rest of the process is saturated.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// An open-loop arrival schedule: arrival `k` is due at
+/// `start + phase + k * interval`.
+///
+/// `next_arrival` sleeps until the next deadline when the caller is
+/// ahead of schedule and returns immediately when behind; the deadlines
+/// themselves never move. With `threads` generator threads each running
+/// its own `Pacer` at `rate / threads`, staggered by
+/// [`Pacer::with_phase`], the aggregate offered rate is `rate`
+/// regardless of how slowly the system under test absorbs it.
+#[derive(Debug)]
+pub struct Pacer {
+    start: Instant,
+    /// Nanoseconds between consecutive arrivals; 0 ⇒ flat-out.
+    interval_ns: u64,
+    issued: u64,
+}
+
+impl Pacer {
+    /// A pacer whose first arrival is due immediately.
+    pub fn new(rate_per_sec: u64) -> Pacer {
+        Pacer::with_phase(Instant::now(), rate_per_sec, Duration::ZERO)
+    }
+
+    /// A pacer anchored at `start`, offset by `phase` (so several
+    /// threads sharing one anchor interleave instead of thundering).
+    pub fn with_phase(start: Instant, rate_per_sec: u64, phase: Duration) -> Pacer {
+        let interval_ns = if rate_per_sec == 0 {
+            0
+        } else {
+            1_000_000_000u64 / rate_per_sec.max(1)
+        };
+        Pacer {
+            start: start + phase,
+            interval_ns,
+            issued: 0,
+        }
+    }
+
+    /// Deadline of the next (not yet issued) arrival.
+    fn next_due(&self) -> Instant {
+        self.start + Duration::from_nanos(self.issued.saturating_mul(self.interval_ns))
+    }
+
+    /// Blocks until the next scheduled arrival is due, then issues it.
+    /// Returns the arrival's index. Never sleeps when already behind
+    /// schedule.
+    pub fn next_arrival(&mut self) -> u64 {
+        let due = self.next_due();
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let k = self.issued;
+        self.issued += 1;
+        k
+    }
+
+    /// Like [`next_arrival`](Pacer::next_arrival), but refuses to sleep
+    /// past `deadline`: returns `None` (issuing nothing) if the next
+    /// arrival is due after the deadline. An arrival already overdue is
+    /// always released, even at the deadline itself.
+    pub fn next_arrival_before(&mut self, deadline: Instant) -> Option<u64> {
+        let due = self.next_due();
+        if due > deadline {
+            return None;
+        }
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let k = self.issued;
+        self.issued += 1;
+        Some(k)
+    }
+
+    /// Arrivals issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Arrivals currently overdue (scheduled in the past but not yet
+    /// issued) — a direct measure of how far the generator is behind
+    /// its own schedule.
+    pub fn behind(&self) -> u64 {
+        if self.interval_ns == 0 {
+            return 0;
+        }
+        let elapsed = Instant::now().saturating_duration_since(self.start);
+        let due = (elapsed.as_nanos() / u128::from(self.interval_ns)) as u64;
+        due.saturating_sub(self.issued)
+    }
+}
+
+/// A background thread invoking a callback every `period` until
+/// [`stop`](Ticker::stop) (or drop). Stop latency is at most one period.
+#[derive(Debug)]
+pub struct Ticker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Ticker {
+    /// Spawns the ticker thread. Fails only if the OS refuses to spawn
+    /// a thread — callers are expected to treat that as "run without
+    /// the periodic task", not to panic.
+    pub fn spawn<F>(period: Duration, mut tick: F) -> std::io::Result<Ticker>
+    where
+        F: FnMut() + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("vyrd-ticker".to_owned())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    tick();
+                    // Sleep in small slices so stop() is responsive even
+                    // with long periods.
+                    let mut left = period;
+                    while left > Duration::ZERO && !flag.load(Ordering::Acquire) {
+                        let slice = left.min(Duration::from_millis(5));
+                        std::thread::sleep(slice);
+                        left = left.saturating_sub(slice);
+                    }
+                }
+            })?;
+        Ok(Ticker {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Signals the thread and joins it. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pacer_releases_backlog_without_sleeping() {
+        // Anchor in the past: every arrival is overdue, so issuing 1000
+        // of them must be near-instant (no per-arrival sleeps).
+        let start = Instant::now() - Duration::from_secs(1);
+        let mut p = Pacer::with_phase(start, 10_000, Duration::ZERO);
+        let t0 = Instant::now();
+        for expect in 0..1000u64 {
+            assert_eq!(p.next_arrival(), expect);
+        }
+        assert!(t0.elapsed() < Duration::from_millis(500), "backlog slept");
+        assert!(p.behind() >= 9_000, "schedule reflowed: {}", p.behind());
+    }
+
+    #[test]
+    fn pacer_paces_when_ahead() {
+        let mut p = Pacer::new(100); // 10ms apart
+        let t0 = Instant::now();
+        p.next_arrival(); // due immediately
+        p.next_arrival(); // due at +10ms
+        assert!(t0.elapsed() >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn pacer_respects_deadline() {
+        let mut p = Pacer::new(10); // 100ms apart
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert_eq!(p.next_arrival_before(deadline), Some(0));
+        // Arrival 1 is due at +100ms — past the deadline.
+        assert_eq!(p.next_arrival_before(deadline), None);
+        assert_eq!(p.issued(), 1);
+    }
+
+    #[test]
+    fn pacer_zero_rate_is_flat_out() {
+        let mut p = Pacer::new(0);
+        let t0 = Instant::now();
+        for _ in 0..10_000 {
+            p.next_arrival();
+        }
+        assert!(t0.elapsed() < Duration::from_millis(500));
+        assert_eq!(p.issued(), 10_000);
+    }
+
+    #[test]
+    fn ticker_fires_and_stops() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let mut t = Ticker::spawn(Duration::from_millis(1), move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("spawn ticker");
+        while hits.load(Ordering::Relaxed) < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        t.stop();
+        let frozen = hits.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(hits.load(Ordering::Relaxed), frozen, "ticked after stop");
+        t.stop(); // idempotent
+    }
+}

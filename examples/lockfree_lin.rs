@@ -30,6 +30,7 @@ fn main() {
         shrink_pool: true,
         internal_task: false,
         seed: 0xCA5,
+        pace: None,
     };
 
     let mut failures = 0u32;

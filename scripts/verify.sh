@@ -164,6 +164,34 @@ else
 fi
 rm -rf "$SEG_DIR" "$SEG_LOG" "$SEG_DIR.resume.log"
 
+# Open-loop soak smoke: drive an arrival-rate workload well past the
+# verifier's saturation point under the pinned seed, with the adaptive
+# overload controller on. The binary itself exits non-zero unless the
+# run converges to a bounded-lag DEGRADED PASS with exact shed/stranded
+# accounting (appended == routed + shed, routed == checked + stranded,
+# ledger == metrics) on the correct leg, and the buggy leg still FAILs
+# on a pre-gap violation — overload must never forge a verdict either
+# way.
+echo "==> open-loop soak smoke (seed 3405691582)"
+target/release/soak --smoke --seed 3405691582 >/dev/null
+test -s results/SOAK_smoke.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+doc = json.load(open("results/SOAK_smoke.json"))
+assert doc["ok"] is True, "soak smoke did not reconcile"
+legs = {leg["variant"]: leg for leg in doc["legs"]}
+correct, buggy = legs["Correct"], legs["Buggy"]
+assert correct["verdict"] == "DEGRADED PASS", correct
+assert correct["reconciled"] is True, correct
+assert correct["shed"] > 0, "smoke never saturated"
+assert buggy["verdict"] == "FAIL", buggy
+assert buggy["reconciled"] is True, buggy
+print("    -> SOAK_smoke.json: correct leg DEGRADED PASS"
+      f" ({correct['shed']} sheds, reconciled), buggy leg FAIL")
+EOF
+fi
+
 # Clippy is optional tooling: run it when the component is installed,
 # skip quietly when not (the container may ship a bare toolchain).
 # Note: crates/core's pipeline modules (log/shard/pool/online/codec/

@@ -57,6 +57,7 @@ fn cfg(seed: u64) -> WorkloadConfig {
         shrink_pool: true,
         internal_task: false,
         seed,
+        pace: None,
     }
 }
 

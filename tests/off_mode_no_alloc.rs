@@ -261,6 +261,7 @@ fn shed_metric_reconciles_with_degradation_ledger() {
         shrink_pool: true,
         internal_task: true,
         seed,
+        pace: None,
     };
 
     // Record the trace before enabling metrics, so only the checked

@@ -15,6 +15,7 @@ fn cfg(seed: u64) -> WorkloadConfig {
         shrink_pool: true,
         internal_task: true,
         seed,
+        pace: None,
     }
 }
 

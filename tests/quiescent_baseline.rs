@@ -36,6 +36,7 @@ fn quiescent_baseline_never_detects_earlier() {
             shrink_pool: true,
             internal_task: true,
             seed,
+            pace: None,
         };
         let run = record_run(&CacheScenario, &cfg, LogMode::View, Variant::Buggy);
         let per_commit = check_with_policy(run.events.clone(), ViewCheckPolicy::EveryCommit);
@@ -84,6 +85,7 @@ fn both_policies_pass_correct_runs() {
             shrink_pool: true,
             internal_task: true,
             seed,
+            pace: None,
         };
         let run = record_run(&CacheScenario, &cfg, LogMode::View, Variant::Correct);
         // Sanity: the scenario's own checker agrees.
