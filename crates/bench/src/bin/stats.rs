@@ -252,6 +252,13 @@ fn reconcile(scenario: &dyn Scenario, seed: u64) -> bool {
         Some(ShardConfig::bounded_shedding(2, Duration::from_millis(1), 4)),
     ));
 
+    // Decode/consume reconciliation: the framed trace decoded through
+    // the buffered reader, then replayed through the batched pool under
+    // injected routing drops. `decode.events`, the log's own count, and
+    // `checker.batch_events` must reconcile exactly, with every lost
+    // event accounted in the shed/stranded ledger.
+    cells.push(run_decode_cell(scenario, seed, &events));
+
     // Torn tail: spill a trace to durable segments, tear the unsealed
     // tail mid-frame, and reconcile the continuous verifier's damage
     // accounting against the codec's own recovery report.
@@ -388,6 +395,106 @@ fn run_cell(
                 "dropped_injected vs log.events_dropped_injected",
                 log_stats.events_dropped_injected,
                 c("log.events_dropped_injected"),
+            ),
+        ],
+    }
+}
+
+/// Decode-consume cell: encode the recorded trace to framed bytes,
+/// decode it back through the buffered `LogReader` (which folds the
+/// `decode.*` counters when it drops), and replay the decoded events
+/// through a supervised pool with a pinned-seed `shard.route` drop plan.
+///
+/// The chain the tentpole promises — `decode.events` ≡ the log's own
+/// append count ≡ `checker.batch_events` — must hold exactly, with the
+/// two legitimate leaks (injected sheds, stranded in-flight events when
+/// a checker stops) accounted increment-for-increment by the ledger.
+fn run_decode_cell(scenario: &dyn Scenario, seed: u64, events: &[Event]) -> Cell {
+    use vyrd_core::codec::{self, LogReader};
+
+    let case = "decode-consume";
+    let fail = |what: &'static str| Cell {
+        case,
+        checks: vec![(what, 0, 1)],
+    };
+    let mut encoded = Vec::new();
+    if codec::write_log(&mut encoded, events).is_err() {
+        return fail("trace encode failed");
+    }
+
+    metrics::reset();
+    metrics::set_enabled(true);
+    let decoded = (|| -> std::io::Result<Vec<Event>> {
+        let mut reader = LogReader::new(encoded.as_slice())?;
+        let mut out = Vec::new();
+        while let Some(e) = reader.next_event()? {
+            out.push(e);
+        }
+        Ok(out)
+    })();
+    let decoded = match decoded {
+        Ok(d) => d,
+        Err(_) => {
+            metrics::set_enabled(false);
+            return fail("trace decode failed");
+        }
+    };
+    let scope = fault::install(FaultPlan::seeded(seed).rule(
+        "shard.route",
+        FaultRule::always(FaultAction::Drop).after(3).times(7),
+    ));
+    let result = run_pool(
+        scenario,
+        &decoded,
+        ShardConfig::default(),
+        SupervisorConfig::default(),
+    );
+    drop(scope);
+    metrics::set_enabled(false);
+    let snap = metrics::snapshot();
+    let Some((report, log_stats)) = result else {
+        return fail("shard factory missing");
+    };
+    let d = &report.merged.degradation;
+    let s = &report.merged.stats;
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    Cell {
+        case,
+        checks: vec![
+            (
+                "decode.events vs recorded trace",
+                c("decode.events"),
+                events.len() as u64,
+            ),
+            (
+                "decode.events vs log.events_appended",
+                c("decode.events"),
+                log_stats.events,
+            ),
+            (
+                "appended vs routed + shed",
+                c("log.events_appended"),
+                c("shard.events_routed") + c("shard.events_shed"),
+            ),
+            (
+                "checker.batch_events vs checked + stranded",
+                c("checker.batch_events"),
+                c("pool.events_checked") + d.stranded_events,
+            ),
+            (
+                "checker.batch_events vs report batch_events",
+                c("checker.batch_events"),
+                s.batch_events,
+            ),
+            (
+                "batched delivery actually used",
+                u64::from(s.batches > 0 && s.batch_events >= s.batches),
+                1,
+            ),
+            (
+                "decode framing reconciles (frames <= events, bytes > 0)",
+                u64::from(c("decode.frames") == c("decode.events") && c("decode.bytes") > 0),
+                1,
             ),
         ],
     }

@@ -199,6 +199,42 @@ impl std::fmt::Display for WitnessStep {
     }
 }
 
+/// Initial (and post-quiescence) snapshot stride.
+const STRIDE_MIN: u64 = 4;
+/// Upper bound on the stride: caps the replay distance from the nearest
+/// retained snapshot to any window state.
+const STRIDE_MAX: u64 = 64;
+
+/// Per-drain cap for [`Checker::check_receiver`] on an *unbounded*
+/// channel. Unbounded producers never block, so the only party timing
+/// the checker's stints is the overload watchdog (hundreds of ms): a
+/// 1024-event drain keeps the stint in the low milliseconds while
+/// amortizing the channel lock and wakeup three orders of magnitude.
+pub const CONSUME_BATCH_MAX: usize = 1024;
+
+/// Per-drain cap for [`Checker::check_receiver`] on a *bounded*
+/// channel. Bounded-channel producers park on a full queue, and
+/// Shed-policy producers park **with a deadline** the adaptive overload
+/// controller can tighten to tens of microseconds. The consumer's
+/// processing stint is exactly how long a parked producer waits for a
+/// slot, so it must stay below the tightest shed timeout or an
+/// otherwise keeping-up run sheds spuriously — and one spurious shed
+/// punches a gap that costs the whole shard (the checker stops at the
+/// resulting unreliable violation). Eight events keeps the stint within
+/// ~the 50 µs minimum timeout at live per-event checking cost while
+/// still amortizing the lock and wakeup 8-fold.
+pub const BOUNDED_CONSUME_BATCH_MAX: usize = 8;
+
+/// The signature of one applied mutator commit — enough to re-apply it
+/// to a specification snapshot during window replay. Recorded (instead
+/// of a full spec clone) for every commit that lands while observer
+/// windows are open.
+struct CommitSig {
+    method: MethodId,
+    args: ArgList,
+    ret: Value,
+}
+
 /// A method execution in progress (between its call and return actions).
 struct PendingExec {
     method: MethodId,
@@ -256,8 +292,28 @@ pub struct Checker<S: Spec, R: Replayer = NoopReplayer> {
     /// Number of commits applied to the specification so far.
     commits_applied: u64,
     /// Snapshots of the specification state `s_j` (after `j` commits),
-    /// kept while observer executions are in flight (§4.3).
+    /// kept while observer executions are in flight (§4.3). Retention is
+    /// *strided*: an anchor is pinned at every observer window start, and
+    /// while windows stay open only every `stride`-th commit state is
+    /// materialized — the states in between are reconstructed on demand
+    /// by replaying `commit_log` forward from the nearest retained
+    /// snapshot. This replaces the old per-commit O(|state|) clone with
+    /// an O(1) signature record per commit.
     snapshots: BTreeMap<u64, S>,
+    /// Signatures of the commits applied while observer windows were
+    /// open and full snapshots were being elided: entry `i - commit_log_base`
+    /// is the (method, args, ret) that transformed `s_i` into `s_{i+1}`.
+    /// Contiguous by construction — every commit while
+    /// `observers_inflight > 0` records one — and trimmed with the
+    /// snapshots it serves.
+    commit_log: VecDeque<CommitSig>,
+    /// Commit index of `commit_log`'s front entry.
+    commit_log_base: u64,
+    /// Snapshot stride: a full snapshot is retained every `stride`
+    /// commits while windows are open. Adapts upward (doubling, capped)
+    /// as open windows deepen — deep windows amortize replay over more
+    /// candidate states — and resets when the system quiesces.
+    stride: u64,
     /// Linearizability checking mode ([`Checker::lin`]): observer
     /// windows are searched for a commit-order-consistent sequential
     /// witness, with per-window accounting and — where the spec
@@ -329,6 +385,9 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             pending: HashMap::new(),
             commits_applied: 0,
             snapshots: BTreeMap::new(),
+            commit_log: VecDeque::new(),
+            commit_log_base: 0,
+            stride: STRIDE_MIN,
             lin: false,
             digests: BTreeMap::new(),
             observers_inflight: 0,
@@ -373,8 +432,49 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
     /// the verification thread runs this while the program executes).
     /// Returns when the channel closes or — with the default options — at
     /// the first violation.
-    pub fn check_receiver(self, receiver: &Receiver<Event>) -> Report {
-        self.run(|| receiver.recv().ok()).0
+    ///
+    /// Consumes the channel **batch-at-a-time**
+    /// ([`Receiver::recv_up_to`]): one lock round-trip and one wakeup
+    /// per batch instead of per event, the consume-side twin of the
+    /// append path's batched delivery. Events are still processed
+    /// strictly in arrival order, so the verdict (and every per-event
+    /// counter up to it) is identical to the per-event baseline —
+    /// `tests/consume_agreement.rs` pins that equivalence.
+    ///
+    /// The drain is capped by the channel's shape: an unlimited drain
+    /// lets the checker disappear into a multi-millisecond processing
+    /// stint while the refilled bounded channel stays full, and
+    /// Shed-policy producers time out against that stint and shed —
+    /// turning a saturated-but-healthy run into a gap cascade. Bounded
+    /// channels (the overloadable configurations) get the tight
+    /// [`BOUNDED_CONSUME_BATCH_MAX`]; unbounded channels, whose
+    /// producers never block, get the throughput-oriented
+    /// [`CONSUME_BATCH_MAX`].
+    pub fn check_receiver(mut self, receiver: &Receiver<Event>) -> Report {
+        let cap = if receiver.capacity().is_some() {
+            BOUNDED_CONSUME_BATCH_MAX
+        } else {
+            CONSUME_BATCH_MAX
+        };
+        let mut batch: Vec<Event> = Vec::new();
+        while !(self.violation.is_some() && self.options.stop_at_first_violation) {
+            batch.clear();
+            let Ok(n) = receiver.recv_up_to(&mut batch, cap) else {
+                break;
+            };
+            self.stats.batches += 1;
+            self.stats.batch_events += n as u64;
+            if vyrd_rt::metrics::enabled() {
+                crate::metrics::pipeline()
+                    .checker_batch_occupancy
+                    .record(n as u64);
+            }
+            for event in batch.drain(..) {
+                self.push(event);
+            }
+            self.pump(false);
+        }
+        self.seal().0
     }
 
     /// Checks a log in the binary wire format (e.g. written by
@@ -485,6 +585,9 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             pm.checker_lin_witness_backtracks
                 .add(self.stats.lin_witness_backtracks);
             pm.checker_lin_fastpath_hits.add(self.stats.lin_fastpath_hits);
+            pm.checker_batches.add(self.stats.batches);
+            pm.checker_batch_events.add(self.stats.batch_events);
+            pm.checker_snapshot_replays.add(self.stats.snapshot_replays);
         }
         let degradation = crate::violation::Degradation {
             events_lost: self.truncated_commits_lost,
@@ -690,17 +793,22 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
         );
     }
 
+    /// Pins the state `s_index` (which must be the *live* state — every
+    /// call site passes `self.commits_applied`) for later window checks.
+    ///
+    /// Digest-first, in every mode: a spec providing
+    /// [`Spec::observation_digest`] retains the O(1) digest instead of a
+    /// clone (the Lin fast path of PR 7, generalized — the digest
+    /// contract guarantees `accepts_observation_digest` agrees with
+    /// `accepts_observation`). Only digest-less specs pay for a full
+    /// snapshot clone.
     fn ensure_snapshot(&mut self, index: u64) {
-        // Lin-mode fixed-ADT fast path: retain the O(1) observation
-        // digest instead of cloning the whole specification.
-        if self.lin {
-            if self.digests.contains_key(&index) {
-                return;
-            }
-            if let Some(digest) = self.spec.observation_digest() {
-                self.digests.insert(index, digest);
-                return;
-            }
+        if self.digests.contains_key(&index) {
+            return;
+        }
+        if let Some(digest) = self.spec.observation_digest() {
+            self.digests.insert(index, digest);
+            return;
         }
         if let std::collections::btree_map::Entry::Vacant(e) = self.snapshots.entry(index) {
             e.insert(self.spec.clone());
@@ -829,11 +937,41 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
                 self.commits_since_quiescent_check += 1;
             }
         }
-        // Observer-window bookkeeping: snapshot the post-commit state while
+        // Observer-window bookkeeping: pin the post-commit state while
         // any observer is in flight (§4.3). This must happen even after a
         // violation has been recorded: in continue-after-violation mode
         // those observers still resolve later and consult the snapshots.
         if self.observers_inflight > 0 {
+            self.note_window_commit(commit_index, method, args, ret);
+        }
+    }
+
+    /// Pins the post-commit state `s_{commit_index + 1}` for the open
+    /// observer windows, the cheap way: digest specs retain the O(1)
+    /// digest; everything else records the commit's signature (so the
+    /// state can be *replayed* on demand) and materializes a full
+    /// snapshot only every `stride`-th commit.
+    fn note_window_commit(&mut self, commit_index: u64, method: MethodId, args: ArgList, ret: Value) {
+        if let Some(digest) = self.spec.observation_digest() {
+            self.digests.insert(self.commits_applied, digest);
+            return;
+        }
+        if self.commit_log.is_empty() {
+            self.commit_log_base = commit_index;
+        }
+        debug_assert_eq!(
+            self.commit_log_base + self.commit_log.len() as u64,
+            commit_index,
+            "commit signatures must stay contiguous while windows are open"
+        );
+        self.commit_log.push_back(CommitSig { method, args, ret });
+        // Deep open windows hold many elided states; widening the stride
+        // keeps the retained-snapshot count bounded, and replay distance
+        // stays capped at STRIDE_MAX.
+        if self.commit_log.len() as u64 > self.stride * 16 && self.stride < STRIDE_MAX {
+            self.stride *= 2;
+        }
+        if (self.commits_applied - self.commit_log_base).is_multiple_of(self.stride) {
             self.ensure_snapshot(self.commits_applied);
         }
     }
@@ -1010,9 +1148,19 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
                 let mut satisfied = false;
                 let mut rejected = 0u64;
                 let mut digest_only = self.lin;
+                // The replay cursor: at most one spec clone per window,
+                // advanced forward one commit signature at a time as `j`
+                // ascends past elided snapshot indices.
+                let mut cursor: Option<(u64, S)> = None;
                 for j in start..=end {
-                    if self.observation_holds_at(j, &method, &pending.args, &ret, &mut digest_only)
-                    {
+                    if self.observation_holds_at(
+                        j,
+                        &method,
+                        &pending.args,
+                        &ret,
+                        &mut digest_only,
+                        &mut cursor,
+                    ) {
                         satisfied = true;
                         break;
                     }
@@ -1044,45 +1192,98 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
     }
 
     /// Judges one window candidate: is the observation valid at state
-    /// `s_j`? Lin mode consults the retained digest (or, at the live
-    /// state, a freshly computed one) when the spec provides it; the
-    /// full-snapshot fallback clears `digest_only` so the window is not
-    /// counted as a fast-path hit.
+    /// `s_j`? Resolution order, cheapest first: a retained digest (any
+    /// mode — the Lin fast path of PR 7, generalized), the live state,
+    /// a retained snapshot, and finally on-demand replay from the
+    /// nearest retained snapshot through `commit_log` (the snapshot-
+    /// elision slow path, O(stride) spec applies amortized to O(1) per
+    /// window state via the ascending `cursor`). Every non-digest
+    /// resolution clears `digest_only` so Lin windows are only counted
+    /// as fast-path hits when digests carried them end to end.
     fn observation_holds_at(
-        &self,
+        &mut self,
         j: u64,
         method: &MethodId,
         args: &[Value],
         ret: &Value,
         digest_only: &mut bool,
+        cursor: &mut Option<(u64, S)>,
     ) -> bool {
-        if self.lin {
-            if let Some(digest) = self.digests.get(&j) {
-                return self.spec.accepts_observation_digest(method, args, ret, digest);
-            }
-            if j == self.commits_applied {
-                if let Some(digest) = self.spec.observation_digest() {
-                    return self.spec.accepts_observation_digest(method, args, ret, &digest);
-                }
+        if let Some(digest) = self.digests.get(&j) {
+            return self.spec.accepts_observation_digest(method, args, ret, digest);
+        }
+        if j == self.commits_applied {
+            if let Some(digest) = self.spec.observation_digest() {
+                return self.spec.accepts_observation_digest(method, args, ret, &digest);
             }
             *digest_only = false;
+            return self.spec.accepts_observation(method, args, ret);
         }
-        let state: &S = if j == self.commits_applied {
-            &self.spec
-        } else {
-            self.snapshots
-                .get(&j)
-                .expect("snapshot for every commit inside an open observer window")
-        };
-        state.accepts_observation(method, args, ret)
+        *digest_only = false;
+        if let Some(state) = self.snapshots.get(&j) {
+            return state.accepts_observation(method, args, ret);
+        }
+        match self.replayed_state_at(j, cursor) {
+            Some(state) => state.accepts_observation(method, args, ret),
+            // No retained snapshot at or below `j`: the anchor invariant
+            // was broken (a checker bug, asserted in debug builds). Fall
+            // back to the live state rather than inventing a verdict
+            // from nothing.
+            None => {
+                debug_assert!(false, "no snapshot anchor at or below window state {j}");
+                self.spec.accepts_observation(method, args, ret)
+            }
+        }
     }
 
-    /// Drops snapshots (and lin-mode digests) no open observer window
-    /// can reach.
+    /// Reconstructs the elided state `s_j` by cloning the nearest
+    /// retained snapshot at or below `j` into `cursor` and re-applying
+    /// the recorded commit signatures up to `j`. The cursor persists
+    /// across a window walk, so an ascending sequence of misses costs
+    /// one clone plus one `Spec::apply` per step in total.
+    ///
+    /// Relies on the spec-determinism contract of [`Spec::apply`]: a
+    /// signature that applied cleanly to the live spec applies cleanly
+    /// (and identically) to a replayed copy.
+    fn replayed_state_at<'c>(&mut self, j: u64, cursor: &'c mut Option<(u64, S)>) -> Option<&'c S> {
+        let need_seed = match cursor {
+            Some((at, _)) => *at > j,
+            None => true,
+        };
+        if need_seed {
+            let (anchor, snap) = self.snapshots.range(..=j).next_back()?;
+            *cursor = Some((*anchor, snap.clone()));
+        }
+        let (at, state) = cursor.as_mut()?;
+        while *at < j {
+            let Some(offset) = at.checked_sub(self.commit_log_base) else {
+                break;
+            };
+            let Some(sig) = self.commit_log.get(offset as usize) else {
+                break;
+            };
+            let applied = state.apply(&sig.method, &sig.args, &sig.ret);
+            debug_assert!(
+                applied.is_ok(),
+                "spec replay diverged: commit {at} applied live but not on replay"
+            );
+            self.stats.snapshot_replays += 1;
+            *at += 1;
+        }
+        debug_assert_eq!(*at, j, "commit signatures must cover every elided window state");
+        (*at == j).then_some(&*state)
+    }
+
+    /// Drops snapshots, digests, and commit signatures no open observer
+    /// window can reach; full quiescence also resets the adaptive
+    /// stride.
     fn gc_snapshots(&mut self) {
         if self.observers_inflight == 0 {
             self.snapshots.clear();
             self.digests.clear();
+            self.commit_log.clear();
+            self.commit_log_base = 0;
+            self.stride = STRIDE_MIN;
             return;
         }
         let min_start = self
@@ -1094,6 +1295,16 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             .unwrap_or(u64::MAX);
         self.snapshots = self.snapshots.split_off(&min_start);
         self.digests = self.digests.split_off(&min_start);
+        // Signatures below the oldest reachable window start can never
+        // be replayed across again (every window holds an anchor at its
+        // start, so replay never reaches below `min_start`).
+        while self.commit_log_base < min_start {
+            if self.commit_log.pop_front().is_none() {
+                self.commit_log_base = min_start;
+                break;
+            }
+            self.commit_log_base += 1;
+        }
     }
 
     fn finish(&mut self) {

@@ -24,7 +24,7 @@ use crate::spec::{MethodKind, Spec};
 use crate::value::Value;
 use crate::violation::{CheckStats, Violation};
 
-use super::{Checker, PendingExec};
+use super::{Checker, CommitSig, PendingExec, STRIDE_MIN};
 
 /// Version tag of the checkpoint state encoding; bump on layout changes.
 const STATE_VERSION: i64 = 1;
@@ -335,19 +335,23 @@ fn stats_value(s: &CheckStats) -> Result<Value, StateError> {
         u64_value(s.lin_windows_searched)?,
         u64_value(s.lin_witness_backtracks)?,
         u64_value(s.lin_fastpath_hits)?,
+        u64_value(s.batches)?,
+        u64_value(s.batch_events)?,
+        u64_value(s.snapshot_replays)?,
     ]))
 }
 
 fn value_stats(v: &Value) -> Result<CheckStats, StateError> {
     let items = value_list(v)?;
-    // 9 counters is the pre-lin layout; its lin counters are zero.
-    if items.len() != 9 && items.len() != 12 {
+    // 9 counters is the pre-lin layout, 12 the pre-batching one; the
+    // counters a layout lacks are zero.
+    if items.len() != 9 && items.len() != 12 && items.len() != 15 {
         return Err(err(format!(
-            "expected 9 or 12 stats counters, got {}",
+            "expected 9, 12, or 15 stats counters, got {}",
             items.len()
         )));
     }
-    let lin = |i: usize| -> Result<u64, StateError> {
+    let opt = |i: usize| -> Result<u64, StateError> {
         items.get(i).map(value_u64).transpose().map(Option::unwrap_or_default)
     };
     Ok(CheckStats {
@@ -360,9 +364,12 @@ fn value_stats(v: &Value) -> Result<CheckStats, StateError> {
         view_keys_compared: value_u64(&items[6])?,
         writes_replayed: value_u64(&items[7])?,
         events_discarded_after_close: value_u64(&items[8])?,
-        lin_windows_searched: lin(9)?,
-        lin_witness_backtracks: lin(10)?,
-        lin_fastpath_hits: lin(11)?,
+        lin_windows_searched: opt(9)?,
+        lin_witness_backtracks: opt(10)?,
+        lin_fastpath_hits: opt(11)?,
+        batches: opt(12)?,
+        batch_events: opt(13)?,
+        snapshot_replays: opt(14)?,
     })
 }
 
@@ -538,6 +545,25 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             u64_value(self.position)?,
             u64_value(self.commits_since_quiescent_check)?,
             Value::List(digests),
+            // Snapshot-elision state: the stride, plus the commit
+            // signatures that reconstruct elided window states from the
+            // strided snapshots above.
+            Value::List(vec![
+                u64_value(self.stride)?,
+                u64_value(self.commit_log_base)?,
+                Value::List(
+                    self.commit_log
+                        .iter()
+                        .map(|sig| {
+                            Ok(Value::List(vec![
+                                Value::from(sig.method.name()),
+                                Value::List(sig.args.to_vec()),
+                                sig.ret.clone(),
+                            ]))
+                        })
+                        .collect::<Result<_, StateError>>()?,
+                ),
+            ]),
         ]))
     }
 
@@ -552,10 +578,12 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
     /// the spec/replayer rejects its serialized state.
     pub fn restore_state(&mut self, state: &Value) -> Result<(), StateError> {
         let items = value_list(state)?;
-        // 13 fields is the pre-lin layout (no retained digests).
-        if items.len() != 13 && items.len() != 14 {
+        // 13 fields is the pre-lin layout (no retained digests), 14 the
+        // pre-elision one (no commit signatures — every window state has
+        // a full snapshot, so an empty commit log restores correctly).
+        if !(13..=15).contains(&items.len()) {
             return Err(err(format!(
-                "malformed checkpoint state: expected 13 or 14 fields, got {}",
+                "malformed checkpoint state: expected 13 to 15 fields, got {}",
                 items.len()
             )));
         }
@@ -621,6 +649,31 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             }
         }
         self.digests = digests;
+        // Field 15: elided-snapshot replay state. Absent in 13/14-field
+        // checkpoints, which retained a full snapshot per window state and
+        // therefore never need signature replay.
+        self.commit_log.clear();
+        self.commit_log_base = 0;
+        self.stride = STRIDE_MIN;
+        if let Some(elision_v) = items.get(14) {
+            let parts = value_list(elision_v)?;
+            let [stride_v, base_v, sigs_v] = parts else {
+                return Err(err("malformed commit-signature state"));
+            };
+            self.stride = value_u64(stride_v)?.max(1);
+            self.commit_log_base = value_u64(base_v)?;
+            for sig in value_list(sigs_v)? {
+                let fields = value_list(sig)?;
+                let [method, args, ret] = fields else {
+                    return Err(err("malformed commit signature"));
+                };
+                self.commit_log.push_back(CommitSig {
+                    method: MethodId::from(value_str(method)?),
+                    args: ArgList::from_slice(value_list(args)?),
+                    ret: ret.clone(),
+                });
+            }
+        }
         // Derived state, recomputed rather than trusted from the file.
         self.observers_inflight = self
             .pending

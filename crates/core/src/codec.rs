@@ -45,7 +45,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
-use crate::event::{Event, MethodId, ObjectId, ThreadId, VarId};
+use crate::event::{ArgList, Event, MethodId, ObjectId, ThreadId, VarId};
 use crate::log::LogMode;
 use crate::value::Value;
 
@@ -465,6 +465,179 @@ pub fn read_event<R: Read>(r: &mut R) -> io::Result<Option<Event>> {
     read_event_body(r, tag[0], LAST_UNFRAMED_VERSION).map(Some)
 }
 
+/// Cursor over an in-memory frame payload.
+///
+/// Unlike the [`Read`]-based decoders, strings are *borrowed* straight
+/// from the payload: a method name goes to the interner as a `&str`
+/// without a temporary `String`, which is what keeps the framed decode
+/// loop allocation-flat for scalar-argument events.
+struct PayloadCursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> PayloadCursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "vyrd frame payload ends mid-record",
+                )
+            })?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self) -> io::Result<i64> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(i64::from_le_bytes(raw))
+    }
+
+    fn len(&mut self) -> io::Result<usize> {
+        let len = self.u32()?;
+        if len > MAX_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("vyrd log record length {len} exceeds limit"),
+            ));
+        }
+        Ok(len as usize)
+    }
+
+    fn str_(&mut self) -> io::Result<&'a str> {
+        let len = self.len()?;
+        std::str::from_utf8(self.take(len)?)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("invalid utf-8: {e}")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+fn decode_value(cur: &mut PayloadCursor<'_>, depth: u32) -> io::Result<Value> {
+    if depth > MAX_DEPTH {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("vyrd value nested deeper than {MAX_DEPTH} levels"),
+        ));
+    }
+    match cur.u8()? {
+        TAG_UNIT => Ok(Value::Unit),
+        TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+        TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => Ok(Value::Int(cur.i64()?)),
+        TAG_STR => Ok(Value::Str(cur.str_()?.to_owned())),
+        TAG_BYTES => {
+            let len = cur.len()?;
+            Ok(Value::Bytes(cur.take(len)?.to_vec()))
+        }
+        TAG_PAIR => {
+            let a = decode_value(cur, depth + 1)?;
+            let b = decode_value(cur, depth + 1)?;
+            Ok(Value::pair(a, b))
+        }
+        TAG_LIST => {
+            let len = cur.len()?;
+            let mut items = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                items.push(decode_value(cur, depth + 1)?);
+            }
+            Ok(Value::List(items))
+        }
+        t => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown vyrd value tag {t}"),
+        )),
+    }
+}
+
+/// Decodes one frame payload (a bare v2 record) entirely in memory.
+///
+/// `args_scratch` is a reusable staging buffer for call arguments: values
+/// decode into it and are cloned into the event's inline-capable
+/// [`ArgList`](crate::event::ArgList), so 0–2-argument calls add no heap
+/// traffic beyond what the values themselves own.
+fn decode_frame_payload(payload: &[u8], args_scratch: &mut Vec<Value>) -> io::Result<Event> {
+    let mut cur = PayloadCursor {
+        buf: payload,
+        at: 0,
+    };
+    let tag = cur.u8()?;
+    if !(TAG_CALL..=TAG_WRITE).contains(&tag) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown vyrd event tag {tag}"),
+        ));
+    }
+    let tid = ThreadId(cur.u32()?);
+    let object = ObjectId(cur.u32()?);
+    let event = match tag {
+        TAG_CALL => {
+            let method = MethodId::from(cur.str_()?);
+            let argc = cur.len()?;
+            args_scratch.clear();
+            for _ in 0..argc {
+                args_scratch.push(decode_value(&mut cur, 0)?);
+            }
+            Event::Call {
+                tid,
+                object,
+                method,
+                args: ArgList::from_slice(args_scratch),
+            }
+        }
+        TAG_RETURN => Event::Return {
+            tid,
+            object,
+            method: MethodId::from(cur.str_()?),
+            ret: decode_value(&mut cur, 0)?,
+        },
+        TAG_COMMIT => Event::Commit { tid, object },
+        TAG_BLOCK_BEGIN => Event::BlockBegin { tid, object },
+        TAG_BLOCK_END => Event::BlockEnd { tid, object },
+        TAG_WRITE => {
+            let space = cur.str_()?;
+            let index = cur.i64()?;
+            Event::Write {
+                tid,
+                object,
+                var: VarId::new(space, index),
+                value: decode_value(&mut cur, 0)?,
+            }
+        }
+        t => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown vyrd event tag {t}"),
+            ))
+        }
+    };
+    if cur.remaining() != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("vyrd frame has {} trailing bytes", cur.remaining()),
+        ));
+    }
+    Ok(event)
+}
+
 /// A [`Read`] adapter that tracks how many bytes have been consumed, so
 /// the decoder can report *where* a stream went bad.
 struct CountingReader<R: Read> {
@@ -480,6 +653,82 @@ impl<R: Read> Read for CountingReader<R> {
     }
 }
 
+/// Size of [`FrameBuf`]'s internal read buffer. Frames average tens of
+/// bytes, so one refill amortizes over hundreds to thousands of records.
+const DECODE_BUF_LEN: usize = 64 * 1024;
+
+/// A buffered [`Read`] adapter whose `pos` tracks the *logical* position —
+/// bytes handed to the decoder, not bytes pulled from the underlying
+/// stream. Reading ahead into the buffer therefore never disturbs the
+/// byte-exact `truncated_at` / `bytes_discarded` accounting of
+/// [`read_log_recovering`], while the underlying reader sees one `read`
+/// per buffer-full instead of one (or several) per record.
+struct FrameBuf<R: Read> {
+    inner: R,
+    buf: Box<[u8]>,
+    start: usize,
+    end: usize,
+    /// Logical position: bytes consumed by the decoder.
+    pos: u64,
+    /// Reads issued to the underlying stream (the syscall count when the
+    /// stream is a raw `File`).
+    refills: u64,
+}
+
+impl<R: Read> FrameBuf<R> {
+    fn new(inner: R) -> FrameBuf<R> {
+        FrameBuf {
+            inner,
+            buf: vec![0u8; DECODE_BUF_LEN].into_boxed_slice(),
+            start: 0,
+            end: 0,
+            pos: 0,
+            refills: 0,
+        }
+    }
+
+    fn available(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Pulls more bytes from the underlying stream into the buffer.
+    /// Returns how many arrived (0 only at end of stream).
+    fn refill(&mut self) -> io::Result<usize> {
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        let n = self.inner.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        self.refills += 1;
+        Ok(n)
+    }
+}
+
+impl<R: Read> Read for FrameBuf<R> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.available() == 0 {
+            if out.len() >= self.buf.len() {
+                // A read at least as large as the buffer gains nothing
+                // from staging: hand it to the stream directly.
+                let n = self.inner.read(out)?;
+                self.refills += 1;
+                self.pos += n as u64;
+                return Ok(n);
+            }
+            if self.refill()? == 0 {
+                return Ok(0);
+            }
+        }
+        let n = out.len().min(self.available());
+        out[..n].copy_from_slice(&self.buf[self.start..self.start + n]);
+        self.start += n;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
 /// Version-aware streaming decoder.
 ///
 /// Sniffs the stream's first byte: the magic's `b'V'` means a versioned
@@ -487,13 +736,24 @@ impl<R: Read> Read for CountingReader<R> {
 /// stream, whose records decode with
 /// [`ObjectId::DEFAULT`](crate::ObjectId::DEFAULT).
 pub struct LogReader<R: Read> {
-    reader: CountingReader<R>,
+    reader: FrameBuf<R>,
     version: u32,
     /// Capture mode from the header; `None` for v1–v3 streams, which
     /// predate the mode byte.
     mode: Option<LogMode>,
     /// First byte of a v1 stream, consumed while sniffing for the magic.
     pending_tag: Option<u8>,
+    /// Reusable frame payload; its capacity survives across records so
+    /// steady-state decoding re-reads into the same storage.
+    payload: Vec<u8>,
+    /// Reusable staging buffer for call arguments.
+    args_scratch: Vec<Value>,
+    /// Events decoded so far (all versions).
+    events: u64,
+    /// CRC frames decoded so far (v3+ streams only).
+    frames: u64,
+    /// Payload bytes decoded so far (frame headers excluded).
+    payload_bytes: u64,
 }
 
 impl<R: Read> fmt::Debug for LogReader<R> {
@@ -514,20 +774,12 @@ impl<R: Read> LogReader<R> {
     /// Returns `InvalidData` for a corrupt magic or an unsupported version,
     /// and propagates I/O errors.
     pub fn new(reader: R) -> io::Result<LogReader<R>> {
-        let mut reader = CountingReader {
-            inner: reader,
-            pos: 0,
-        };
+        let mut reader = FrameBuf::new(reader);
         let mut first = [0u8; 1];
         match reader.read(&mut first)? {
             0 => {
                 // Empty stream: version is moot, `next_event` yields None.
-                return Ok(LogReader {
-                    reader,
-                    version: FORMAT_VERSION,
-                    mode: None,
-                    pending_tag: None,
-                });
+                return Ok(LogReader::assemble(reader, FORMAT_VERSION, None, None));
             }
             1 => {}
             _ => unreachable!("read of 1-byte buffer returned >1"),
@@ -564,21 +816,30 @@ impl<R: Read> LogReader<R> {
             } else {
                 None
             };
-            Ok(LogReader {
-                reader,
-                version,
-                mode,
-                pending_tag: None,
-            })
+            Ok(LogReader::assemble(reader, version, mode, None))
         } else {
             // No magic: a legacy v1 stream; the byte we read is its first
             // record tag.
-            Ok(LogReader {
-                reader,
-                version: 1,
-                mode: None,
-                pending_tag: Some(first[0]),
-            })
+            Ok(LogReader::assemble(reader, 1, None, Some(first[0])))
+        }
+    }
+
+    fn assemble(
+        reader: FrameBuf<R>,
+        version: u32,
+        mode: Option<LogMode>,
+        pending_tag: Option<u8>,
+    ) -> LogReader<R> {
+        LogReader {
+            reader,
+            version,
+            mode,
+            pending_tag,
+            payload: Vec::new(),
+            args_scratch: Vec::new(),
+            events: 0,
+            frames: 0,
+            payload_bytes: 0,
         }
     }
 
@@ -630,7 +891,9 @@ impl<R: Read> LogReader<R> {
                 }
             }
         };
-        read_event_body(&mut self.reader, tag, self.version).map(Some)
+        let event = read_event_body(&mut self.reader, tag, self.version)?;
+        self.events += 1;
+        Ok(Some(event))
     }
 
     /// Decodes one v3 frame: `[len: u32][crc32: u32][payload]`.
@@ -660,9 +923,10 @@ impl<R: Read> LogReader<R> {
             ));
         }
         let expected_crc = read_u32(&mut self.reader)?;
-        let mut payload = vec![0u8; len as usize];
-        self.reader.read_exact(&mut payload)?;
-        let actual_crc = crc32(&payload);
+        self.payload.clear();
+        self.payload.resize(len as usize, 0);
+        self.reader.read_exact(&mut self.payload)?;
+        let actual_crc = crc32(&self.payload);
         if actual_crc != expected_crc {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -671,15 +935,26 @@ impl<R: Read> LogReader<R> {
                 ),
             ));
         }
-        let mut body = &payload[1..];
-        let event = read_event_body(&mut body, payload[0], LAST_UNFRAMED_VERSION)?;
-        if !body.is_empty() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("vyrd frame has {} trailing bytes", body.len()),
-            ));
-        }
+        let event = decode_frame_payload(&self.payload, &mut self.args_scratch)?;
+        self.frames += 1;
+        self.payload_bytes += u64::from(len);
+        self.events += 1;
         Ok(Some(event))
+    }
+}
+
+impl<R: Read> Drop for LogReader<R> {
+    /// Folds the per-reader decode tallies into the `decode.*` pipeline
+    /// metrics once per stream, keeping the record loop free of even a
+    /// counter touch.
+    fn drop(&mut self) {
+        if (self.events > 0 || self.reader.refills > 0) && vyrd_rt::metrics::enabled() {
+            let pm = crate::metrics::pipeline();
+            pm.decode_events.add(self.events);
+            pm.decode_frames.add(self.frames);
+            pm.decode_bytes.add(self.payload_bytes);
+            pm.decode_refills.add(self.reader.refills);
+        }
     }
 }
 
@@ -823,34 +1098,40 @@ pub fn read_log_recovering<R: Read>(r: R) -> DecodeOutcome {
     // An outer byte counter survives the decoder, so after damage the
     // untrusted remainder can be measured (drained) rather than guessed.
     let mut outer = CountingReader { inner: r, pos: 0 };
-    let mut reader = match LogReader::new(&mut outer) {
-        Ok(reader) => reader,
-        Err(e) => {
-            let detail = e.to_string();
+    match decode_trusted_prefix(&mut outer) {
+        Ok(records) => DecodeOutcome::Complete { records },
+        Err((records, truncated_at, detail)) => {
             drain_remaining(&mut outer);
-            return DecodeOutcome::RecoveredPrefix {
-                records: Vec::new(),
-                truncated_at: 0,
+            DecodeOutcome::RecoveredPrefix {
+                records,
+                truncated_at,
                 detail,
-                bytes_discarded: outer.pos,
-            };
+                bytes_discarded: outer.pos.saturating_sub(truncated_at),
+            }
         }
+    }
+}
+
+/// Decodes until clean EOF (`Ok`) or the first damage (`Err` with the
+/// trusted prefix, the damage offset, and a description). Scoped so the
+/// inner [`LogReader`] — and its borrow of the outer counter — is gone
+/// before the caller measures the untrusted remainder.
+#[allow(clippy::type_complexity)]
+fn decode_trusted_prefix<R: Read>(
+    outer: &mut CountingReader<R>,
+) -> Result<Vec<Event>, (Vec<Event>, u64, String)> {
+    let mut reader = match LogReader::new(outer) {
+        Ok(reader) => reader,
+        Err(e) => return Err((Vec::new(), 0, e.to_string())),
     };
     let mut records = Vec::new();
-    let (offset, detail) = loop {
+    loop {
         let offset = reader.next_record_offset();
         match reader.next_event() {
             Ok(Some(e)) => records.push(e),
-            Ok(None) => return DecodeOutcome::Complete { records },
-            Err(e) => break (offset, e.to_string()),
+            Ok(None) => return Ok(records),
+            Err(e) => return Err((records, offset, e.to_string())),
         }
-    };
-    drain_remaining(&mut outer);
-    DecodeOutcome::RecoveredPrefix {
-        records,
-        truncated_at: offset,
-        detail,
-        bytes_discarded: outer.pos.saturating_sub(offset),
     }
 }
 
@@ -1332,6 +1613,64 @@ mod tests {
                 value: rand_value(rng, 3),
             },
         }
+    }
+
+    /// A [`Read`] wrapper counting how many `read` calls reach the
+    /// underlying stream — the syscall count when the stream is a file.
+    struct CountingReads<'a> {
+        inner: &'a [u8],
+        reads: usize,
+    }
+
+    impl Read for CountingReads<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.reads += 1;
+            self.inner.read(buf)
+        }
+    }
+
+    #[test]
+    fn decoding_a_64kib_segment_issues_constant_reads() {
+        // ~64 KiB of small frames. Unbuffered decoding issued several
+        // reads per record (tag, ids, lengths, payload) — thousands for
+        // this stream; the buffered reader must stay within a handful.
+        let mut buf = Vec::new();
+        write_header(&mut buf, LogMode::Io).unwrap();
+        let mut scratch = Vec::new();
+        let mut records = 0usize;
+        while buf.len() < 64 * 1024 {
+            write_frame_with(
+                &mut buf,
+                &mut scratch,
+                &Event::Call {
+                    tid: ThreadId(1),
+                    object: ObjectId(2),
+                    method: "Insert".into(),
+                    args: vec![Value::Int(records as i64)].into(),
+                },
+            )
+            .unwrap();
+            records += 1;
+        }
+        assert!(records > 1_000, "stream too small to be meaningful");
+        let mut source = CountingReads {
+            inner: buf.as_slice(),
+            reads: 0,
+        };
+        let mut reader = LogReader::new(&mut source).unwrap();
+        let mut decoded = 0usize;
+        while reader.next_event().unwrap().is_some() {
+            decoded += 1;
+        }
+        drop(reader);
+        assert_eq!(decoded, records);
+        // One refill per DECODE_BUF_LEN of stream, plus the EOF probe.
+        let ceiling = buf.len().div_ceil(DECODE_BUF_LEN) + 2;
+        assert!(
+            source.reads <= ceiling,
+            "{decoded} records took {} reads (allowed {ceiling})",
+            source.reads
+        );
     }
 
     #[test]

@@ -188,21 +188,28 @@ impl Sink for ChannelSink {
     }
 }
 
-/// Hands each event to an arbitrary callback — the hook
+/// Hands whole merged runs to an arbitrary callback — the hook
 /// [`crate::shard::ShardRouter`] uses to fan events out per object.
 ///
-/// The callback receives events by value, in log order, from inside the
-/// merger's critical section; it must stay as cheap as a channel send, and
-/// it must not call back into the log (the merger lock is held).
+/// The callback receives a run of owned events in log order, from inside
+/// the merger's critical section; it must consume the vector (leave it
+/// empty so its allocation is recycled), stay cheap, and must not call
+/// back into the log (the merger lock is held). Routing a whole run at
+/// once is what lets the router batch its per-object channel sends.
+/// A run-level dispatch callback: receives each delivered run and is
+/// expected to drain it (any leftovers are cleared defensively).
+type RunDispatch = Box<dyn FnMut(&mut Vec<Event>) + Send>;
+
 struct DispatchSink {
-    dispatch: Box<dyn FnMut(Event) + Send>,
+    dispatch: RunDispatch,
 }
 
 impl Sink for DispatchSink {
     fn append_run(&mut self, run: &mut Vec<Event>) {
-        for event in run.drain(..) {
-            (self.dispatch)(event);
-        }
+        (self.dispatch)(run);
+        // Defensive: a callback that forgot to drain must not make the
+        // merger re-deliver the same events with the next run.
+        run.clear();
     }
 }
 
@@ -782,9 +789,29 @@ impl EventLog {
     /// order falls out for free, but the callback must stay cheap (the
     /// shard router's per-object channel send is the intended shape) and
     /// must not call back into this log.
-    pub fn dispatching<F>(mode: LogMode, dispatch: F) -> EventLog
+    pub fn dispatching<F>(mode: LogMode, mut dispatch: F) -> EventLog
     where
         F: FnMut(Event) + Send + 'static,
+    {
+        EventLog::dispatching_runs(mode, move |run: &mut Vec<Event>| {
+            for event in run.drain(..) {
+                dispatch(event);
+            }
+        })
+    }
+
+    /// Creates a log that hands each merged *run* — a batch of owned
+    /// events already in total order — to `dispatch`. The batched twin of
+    /// [`EventLog::dispatching`]: destinations that can forward many
+    /// events per synchronization point (the shard router's per-object
+    /// `send_many`) consume the run wholesale instead of event-at-a-time.
+    ///
+    /// The callback must leave the vector empty (its allocation is
+    /// recycled for the next run), runs inside the merger's critical
+    /// section, and must not call back into this log.
+    pub fn dispatching_runs<F>(mode: LogMode, dispatch: F) -> EventLog
+    where
+        F: FnMut(&mut Vec<Event>) + Send + 'static,
     {
         EventLog::with_sink(
             mode,

@@ -74,6 +74,11 @@ pub struct PipelineMetrics {
     pub shard_shed_wait_ns: Arc<Histogram>,
     /// Distinct objects the router has announced shards for.
     pub shard_objects_seen: Arc<Gauge>,
+    /// Per-object batches handed to shard channels via `send_many`
+    /// (batched routing mode only).
+    pub shard_batch_sends: Arc<Counter>,
+    /// Events per routed batch at flush time.
+    pub shard_batch_occupancy: Arc<Histogram>,
 
     // -- VerifierPool (crate::pool) --
     /// Events consumed by per-shard checkers (summed over restarts).
@@ -140,6 +145,16 @@ pub struct PipelineMetrics {
     /// Observer-window sizes in commits (§4.3): how much commit-history
     /// each observer return had to be checked against.
     pub checker_observer_window: Arc<Histogram>,
+    /// Channel batches drained by `check_receiver`'s `recv_many` loop.
+    pub checker_batches: Arc<Counter>,
+    /// Events delivered through those batches (equals `decode.events`
+    /// and the append-side event count when nothing was shed).
+    pub checker_batch_events: Arc<Counter>,
+    /// Events per drained consume batch.
+    pub checker_batch_occupancy: Arc<Histogram>,
+    /// Commit signatures re-applied to reconstruct elided window
+    /// snapshots on demand.
+    pub checker_snapshot_replays: Arc<Counter>,
 
     // -- Linearizability checking mode (Checker::lin) --
     /// Observer windows searched for a linearization witness.
@@ -149,6 +164,16 @@ pub struct PipelineMetrics {
     /// Lin windows resolved entirely via the fixed-ADT observation
     /// digest (no full specification snapshot consulted).
     pub checker_lin_fastpath_hits: Arc<Counter>,
+
+    // -- Log decode (crate::codec) --
+    /// Events decoded by buffered log readers.
+    pub decode_events: Arc<Counter>,
+    /// Payload bytes decoded (CRC frames, headers excluded).
+    pub decode_bytes: Arc<Counter>,
+    /// CRC frames decoded.
+    pub decode_frames: Arc<Counter>,
+    /// Read syscalls issued to refill the decode buffer.
+    pub decode_refills: Arc<Counter>,
 
     // -- OnlineVerifier (crate::online) --
     /// Supervised single-stream check attempts (incl. restarts).
@@ -195,6 +220,8 @@ pub fn pipeline() -> &'static PipelineMetrics {
         shard_sheds_injected: metrics::counter("shard.sheds_injected"),
         shard_shed_wait_ns: metrics::histogram("router.shed_wait_ns"),
         shard_objects_seen: metrics::gauge("shard.objects_seen"),
+        shard_batch_sends: metrics::counter("shard.batch_sends"),
+        shard_batch_occupancy: metrics::histogram("shard.batch_occupancy"),
         pool_events_checked: metrics::counter("pool.events_checked"),
         pool_restarts: metrics::counter("pool.restarts"),
         pool_shard_failures: metrics::counter("pool.shard_failures"),
@@ -220,9 +247,17 @@ pub fn pipeline() -> &'static PipelineMetrics {
         checker_view_keys_compared: metrics::counter("checker.view_keys_compared"),
         checker_writes_replayed: metrics::counter("checker.writes_replayed"),
         checker_observer_window: metrics::histogram("checker.observer_window"),
+        checker_batches: metrics::counter("checker.batches"),
+        checker_batch_events: metrics::counter("checker.batch_events"),
+        checker_batch_occupancy: metrics::histogram("checker.batch_occupancy"),
+        checker_snapshot_replays: metrics::counter("checker.snapshot_replays"),
         checker_lin_windows_searched: metrics::counter("lin.windows_searched"),
         checker_lin_witness_backtracks: metrics::counter("lin.witness_backtracks"),
         checker_lin_fastpath_hits: metrics::counter("lin.fastpath_hits"),
+        decode_events: metrics::counter("decode.events"),
+        decode_bytes: metrics::counter("decode.bytes"),
+        decode_frames: metrics::counter("decode.frames"),
+        decode_refills: metrics::counter("decode.refills"),
         online_checks: metrics::counter("online.checks"),
         segment_sealed: metrics::counter("segment.sealed"),
         segment_deleted: metrics::counter("segment.deleted"),

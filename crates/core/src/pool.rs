@@ -600,6 +600,9 @@ impl VerifierPool {
             m.lin_windows_searched += s.lin_windows_searched;
             m.lin_witness_backtracks += s.lin_witness_backtracks;
             m.lin_fastpath_hits += s.lin_fastpath_hits;
+            m.batches += s.batches;
+            m.batch_events += s.batch_events;
+            m.snapshot_replays += s.snapshot_replays;
             merged.degradation.absorb(&report.degradation);
             if merged.violation.is_none() {
                 merged.violation = report.violation.clone();

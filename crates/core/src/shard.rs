@@ -189,6 +189,266 @@ fn record_shed(
     total
 }
 
+/// The routing state captured by the dispatch-sink closure: everything
+/// [`ShardRouter::build`] threads through the fan-out, including the
+/// per-object pending batches of the run-level delivery path.
+struct RouteState {
+    config: ShardConfig,
+    /// Whether events are batched per object and delivered with one
+    /// `send_many` per (object, run) instead of one `send` per event.
+    /// True for unbounded and bounded-blocking shards; the Shed policy
+    /// needs per-event fullness observations and stays unbatched.
+    batched: bool,
+    control: Option<Arc<ShedControl>>,
+    announce: Sender<(ObjectId, Receiver<Event>)>,
+    sheds: Arc<Mutex<BTreeMap<ObjectId, u64>>>,
+    windows: Arc<Mutex<BTreeMap<u32, ShedWindow>>>,
+    slots: HashMap<u32, Slot>,
+    /// Per-object delivery counters, registered lazily as each object
+    /// announces its shard (the registration allocation happens once per
+    /// object, not per event).
+    fanout: HashMap<u32, Arc<vyrd_rt::metrics::Counter>>,
+    /// Dispatch index: this event's position in the total order at the
+    /// fan-out point. Stamped into shed windows and published to the
+    /// controller so adaptive decisions can name the seq range they
+    /// governed.
+    seq: u64,
+    /// Quarantine set, cached against the controller's epoch so the
+    /// per-event cost is one relaxed load until a watchdog actually
+    /// quarantines something.
+    quarantine_epoch: u64,
+    quarantined: HashSet<u32>,
+    /// Per-object delivered counts (successful sends only): the length
+    /// of the gap-free prefix each shard's checker consumes. Frozen into
+    /// the shed window at the object's first shed so merge-time verdicts
+    /// can tell prefix violations (sound) from post-gap ones
+    /// (unreliable). Tracked unconditionally — the ledger needs it
+    /// whether or not metrics are on.
+    delivered: HashMap<u32, u64>,
+    /// Per-object batches accumulated during the current merged run
+    /// (batched mode only). Buffers persist across runs so their
+    /// capacity is recycled; they are empty between runs.
+    pending: HashMap<u32, Vec<Event>>,
+    /// Objects whose pending batch became non-empty this run — the
+    /// flush worklist (may hold duplicates after a mid-run flush; a
+    /// flush of an empty batch is a no-op).
+    touched: Vec<u32>,
+}
+
+impl RouteState {
+    /// Routes one event: stamps its dispatch seq, runs the failpoint /
+    /// quarantine / slot front matter in exactly the per-event order the
+    /// unbatched router used (fault-seed replay depends on it), then
+    /// either buffers it (batched mode) or sends it under the Shed
+    /// policy's timeout discipline.
+    fn route(&mut self, event: Event) {
+        let object = event.object();
+        let my_seq = self.seq;
+        self.seq += 1;
+        if let Some(control) = &self.control {
+            control.note_dispatch(self.seq);
+        }
+        // `shard.route` failpoint: a Drop disposition loses the event in
+        // the fan-out, counted as a shed for its object. The object's
+        // pending batch is flushed *first* so the shed window's
+        // gap-free-prefix count reflects every event that was actually
+        // delivered ahead of this loss.
+        if vyrd_rt::fault::enabled() {
+            if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("shard.route") {
+                self.flush_object(object.0);
+                self.record_shed_now(object, my_seq, ShedKind::Injected);
+                return;
+            }
+        }
+        // Watchdog quarantine: a claimed-but-stuck checker must not cost
+        // the program a full shed timeout per event.
+        if let Some(control) = &self.control {
+            let epoch = control.quarantine_epoch();
+            if epoch != self.quarantine_epoch {
+                self.quarantined = control.quarantined_objects();
+                self.quarantine_epoch = epoch;
+            }
+            if self.quarantined.contains(&object.0) {
+                self.flush_object(object.0);
+                self.record_shed_now(object, my_seq, ShedKind::Abandoned);
+                return;
+            }
+        }
+        match self.slots.entry(object.0) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                if matches!(slot.get(), Slot::Shedding) {
+                    self.flush_object(object.0);
+                    self.record_shed_now(object, my_seq, ShedKind::Abandoned);
+                    return;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let (tx, rx) = match self.config.capacity {
+                    Some(n) => channel::bounded(n),
+                    None => channel::unbounded(),
+                };
+                if let Some(control) = &self.control {
+                    control.register_shard(object, rx.monitor());
+                }
+                // The consumer side being gone just means checking was
+                // abandoned; keep the program running (same contract as
+                // the plain channel sink).
+                let _ = self.announce.send((object, rx));
+                slot.insert(Slot::Live(tx));
+            }
+        }
+        if self.batched {
+            let buf = self.pending.entry(object.0).or_default();
+            if buf.is_empty() {
+                self.touched.push(object.0);
+            }
+            buf.push(event);
+            return;
+        }
+        self.send_shedding(object, my_seq, event);
+    }
+
+    /// The Shed policy's per-event delivery: wait at most the (possibly
+    /// adaptive) timeout for a slot, shed on expiry, abandon the shard
+    /// once the budget is spent or the checker hangs up.
+    fn send_shedding(&mut self, object: ObjectId, my_seq: u64, event: Event) {
+        let (OverloadPolicy::Shed { timeout, budget }, Some(Slot::Live(sender))) =
+            (self.config.policy, self.slots.get(&object.0))
+        else {
+            // Unbatched routing only happens under the Shed policy, and
+            // the slot was just created or checked Live above.
+            return;
+        };
+        // Under adaptive control the static parameters are only the
+        // starting point; read the live values.
+        let (timeout, budget) = match &self.control {
+            Some(control) => (control.timeout(), control.budget()),
+            None => (timeout, budget),
+        };
+        let wait_started = if vyrd_rt::metrics::enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let outcome = sender.send_timeout(event, timeout);
+        if let Some(t0) = wait_started {
+            pipeline()
+                .shard_shed_wait_ns
+                .record(t0.elapsed().as_nanos() as u64);
+        }
+        match outcome {
+            Ok(()) => self.mark_delivered(object, 1),
+            // Checker hung up (stopped at a violation, or its worker
+            // died): checking is over for this object. Count the loss
+            // and stop attempting delivery — every later event goes down
+            // the fast Shedding path instead of a doomed send.
+            Err(SendTimeoutError::Closed(_)) => {
+                self.record_shed_now(object, my_seq, ShedKind::Abandoned);
+                self.abandon(object, my_seq);
+            }
+            Err(SendTimeoutError::Timeout(_)) => {
+                let shed_so_far = self.record_shed_now(object, my_seq, ShedKind::Timeout);
+                if shed_so_far >= budget {
+                    // Abandon the shard: dropping the sender disconnects
+                    // the channel so the checker finishes on the events
+                    // it already has.
+                    self.abandon(object, my_seq);
+                }
+            }
+        }
+    }
+
+    /// Tombstones the object's slot and stamps the abandonment seq into
+    /// its shed window.
+    fn abandon(&mut self, object: ObjectId, my_seq: u64) {
+        if let Some(slot) = self.slots.get_mut(&object.0) {
+            *slot = Slot::Shedding;
+        }
+        if let Some(w) = self.windows.lock().get_mut(&object.0) {
+            if w.abandoned_at_seq.is_none() {
+                w.abandoned_at_seq = Some(my_seq);
+            }
+        }
+    }
+
+    /// Records one shed against the object's ledger entry and window,
+    /// using the *current* delivered count (callers flush the object's
+    /// pending batch first so that count is exact).
+    fn record_shed_now(&mut self, object: ObjectId, my_seq: u64, kind: ShedKind) -> u64 {
+        let delivered_so_far = self.delivered.get(&object.0).copied().unwrap_or(0);
+        record_shed(
+            &self.sheds,
+            &self.windows,
+            object,
+            my_seq,
+            delivered_so_far,
+            kind,
+        )
+    }
+
+    /// Marks `n` successful deliveries: the gap-free-prefix counter plus
+    /// the routed/fan-out metrics. `shard.events_routed` counts
+    /// deliveries only — appends that were shed instead are under
+    /// `shard.events_shed`, so
+    /// `appended == routed + shed (+ stranded at shutdown)`.
+    fn mark_delivered(&mut self, object: ObjectId, n: u64) {
+        *self.delivered.entry(object.0).or_insert(0) += n;
+        if vyrd_rt::metrics::enabled() {
+            let pm = pipeline();
+            pm.shard_events_routed.add(n);
+            self.fanout
+                .entry(object.0)
+                .or_insert_with(|| {
+                    vyrd_rt::metrics::counter(&format!("shard.fanout.obj{}", object.0))
+                })
+                .add(n);
+            pm.shard_objects_seen.set_max(self.fanout.len() as u64);
+        }
+    }
+
+    /// Delivers the object's pending batch with one `send_many`. A
+    /// disconnected checker loses the batch, matching the per-event
+    /// path's fire-and-forget send; the buffer's capacity is retained
+    /// for the next run either way.
+    fn flush_object(&mut self, object: u32) {
+        let Some(buf) = self.pending.get_mut(&object) else {
+            return;
+        };
+        if buf.is_empty() {
+            return;
+        }
+        let n = buf.len() as u64;
+        let sent = match self.slots.get(&object) {
+            Some(Slot::Live(sender)) => sender.send_many(buf).is_ok(),
+            _ => false,
+        };
+        buf.clear();
+        if sent {
+            self.mark_delivered(ObjectId(object), n);
+            if vyrd_rt::metrics::enabled() {
+                let pm = pipeline();
+                pm.shard_batch_sends.inc();
+                pm.shard_batch_occupancy.record(n);
+            }
+        }
+    }
+
+    /// End-of-run flush: every object touched this run delivers its
+    /// batch. Called from inside the merger's critical section, so by
+    /// the time any log flush point returns, batched events have reached
+    /// their shards.
+    fn flush_pending(&mut self) {
+        if self.touched.is_empty() {
+            return;
+        }
+        let mut touched = std::mem::take(&mut self.touched);
+        for object in touched.drain(..) {
+            self.flush_object(object);
+        }
+        self.touched = touched;
+    }
+}
+
 /// Fans a program's events out into per-object logs (§6.1).
 ///
 /// Create with [`ShardRouter::new`]; hand the returned [`EventLog`] to the
@@ -239,190 +499,33 @@ impl ShardRouter {
         let sheds: Arc<Mutex<BTreeMap<ObjectId, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
         let windows: Arc<Mutex<BTreeMap<u32, ShedWindow>>> =
             Arc::new(Mutex::new(BTreeMap::new()));
-        let dispatch_sheds = Arc::clone(&sheds);
-        let dispatch_windows = Arc::clone(&windows);
-        let mut slots: HashMap<u32, Slot> = HashMap::new();
-        // Per-object delivery counters, registered lazily as each object
-        // announces its shard (the registration allocation happens once
-        // per object, not per event).
-        let mut fanout: HashMap<u32, Arc<vyrd_rt::metrics::Counter>> = HashMap::new();
-        // Dispatch index: this event's position in the total order at the
-        // fan-out point. Stamped into shed windows and published to the
-        // controller so adaptive decisions can name the seq range they
-        // governed.
-        let mut seq: u64 = 0;
-        // Quarantine set, cached against the controller's epoch so the
-        // per-event cost is one relaxed load until a watchdog actually
-        // quarantines something.
-        let mut quarantine_epoch: u64 = 0;
-        let mut quarantined: HashSet<u32> = HashSet::new();
-        // Per-object delivered counts (successful sends only): the length
-        // of the gap-free prefix each shard's checker consumes. Frozen
-        // into the shed window at the object's first shed so merge-time
-        // verdicts can tell prefix violations (sound) from post-gap ones
-        // (unreliable). Tracked unconditionally — the ledger needs it
-        // whether or not metrics are on.
-        let mut delivered: HashMap<u32, u64> = HashMap::new();
-        let log = EventLog::dispatching(mode, move |event: Event| {
-            let object = event.object();
-            let my_seq = seq;
-            seq += 1;
-            if let Some(control) = &control {
-                control.note_dispatch(seq);
+        let mut state = RouteState {
+            // Batched delivery holds events back until the end of the
+            // merged run, so it is only sound when a full channel blocks
+            // (or cannot fill). The Shed policy must observe fullness
+            // event-by-event to stamp exact shed windows, so it keeps the
+            // per-event send path.
+            batched: !(matches!(config.policy, OverloadPolicy::Shed { .. })
+                && config.capacity.is_some()),
+            config,
+            control,
+            announce,
+            sheds: Arc::clone(&sheds),
+            windows: Arc::clone(&windows),
+            slots: HashMap::new(),
+            fanout: HashMap::new(),
+            seq: 0,
+            quarantine_epoch: 0,
+            quarantined: HashSet::new(),
+            delivered: HashMap::new(),
+            pending: HashMap::new(),
+            touched: Vec::new(),
+        };
+        let log = EventLog::dispatching_runs(mode, move |run: &mut Vec<Event>| {
+            for event in run.drain(..) {
+                state.route(event);
             }
-            let delivered_so_far = delivered.get(&object.0).copied().unwrap_or(0);
-            // `shard.route` failpoint: a Drop disposition loses the event
-            // in the fan-out, counted as a shed for its object.
-            if vyrd_rt::fault::enabled() {
-                if let vyrd_rt::fault::Disposition::Drop = vyrd_rt::fault::inject("shard.route") {
-                    record_shed(
-                        &dispatch_sheds,
-                        &dispatch_windows,
-                        object,
-                        my_seq,
-                        delivered_so_far,
-                        ShedKind::Injected,
-                    );
-                    return;
-                }
-            }
-            // Watchdog quarantine: a claimed-but-stuck checker must not
-            // cost the program a full shed timeout per event.
-            if let Some(control) = &control {
-                let epoch = control.quarantine_epoch();
-                if epoch != quarantine_epoch {
-                    quarantined = control.quarantined_objects();
-                    quarantine_epoch = epoch;
-                }
-                if quarantined.contains(&object.0) {
-                    record_shed(
-                        &dispatch_sheds,
-                        &dispatch_windows,
-                        object,
-                        my_seq,
-                        delivered_so_far,
-                        ShedKind::Abandoned,
-                    );
-                    return;
-                }
-            }
-            let slot = slots.entry(object.0).or_insert_with(|| {
-                let (tx, rx) = match config.capacity {
-                    Some(n) => channel::bounded(n),
-                    None => channel::unbounded(),
-                };
-                if let Some(control) = &control {
-                    control.register_shard(object, rx.monitor());
-                }
-                // The consumer side being gone just means checking was
-                // abandoned; keep the program running (same contract as
-                // the plain channel sink).
-                let _ = announce.send((object, rx));
-                Slot::Live(tx)
-            });
-            let sender = match slot {
-                Slot::Live(sender) => sender,
-                Slot::Shedding => {
-                    record_shed(
-                        &dispatch_sheds,
-                        &dispatch_windows,
-                        object,
-                        my_seq,
-                        delivered_so_far,
-                        ShedKind::Abandoned,
-                    );
-                    return;
-                }
-            };
-            // Marks one successful delivery: the gap-free-prefix counter
-            // plus the routed/fan-out metrics. `shard.events_routed`
-            // counts deliveries only — appends that were shed instead
-            // are under `shard.events_shed`, so
-            // `appended == routed + shed (+ stranded at shutdown)`.
-            let mut mark_delivered = || {
-                *delivered.entry(object.0).or_insert(0) += 1;
-                if vyrd_rt::metrics::enabled() {
-                    let pm = pipeline();
-                    pm.shard_events_routed.inc();
-                    fanout
-                        .entry(object.0)
-                        .or_insert_with(|| {
-                            vyrd_rt::metrics::counter(&format!("shard.fanout.obj{}", object.0))
-                        })
-                        .inc();
-                    pm.shard_objects_seen.set_max(fanout.len() as u64);
-                }
-            };
-            match config.policy {
-                OverloadPolicy::Shed { timeout, budget } if config.capacity.is_some() => {
-                    // Under adaptive control the static parameters are
-                    // only the starting point; read the live values.
-                    let (timeout, budget) = match &control {
-                        Some(control) => (control.timeout(), control.budget()),
-                        None => (timeout, budget),
-                    };
-                    let wait_started =
-                        if vyrd_rt::metrics::enabled() { Some(Instant::now()) } else { None };
-                    let outcome = sender.send_timeout(event, timeout);
-                    if let Some(t0) = wait_started {
-                        pipeline()
-                            .shard_shed_wait_ns
-                            .record(t0.elapsed().as_nanos() as u64);
-                    }
-                    match outcome {
-                        Ok(()) => mark_delivered(),
-                        // Checker hung up (stopped at a violation, or its
-                        // worker died): checking is over for this object.
-                        // Count the loss and stop attempting delivery —
-                        // every later event goes down the fast Shedding
-                        // path instead of a doomed send.
-                        Err(SendTimeoutError::Closed(_)) => {
-                            record_shed(
-                                &dispatch_sheds,
-                                &dispatch_windows,
-                                object,
-                                my_seq,
-                                delivered_so_far,
-                                ShedKind::Abandoned,
-                            );
-                            *slot = Slot::Shedding;
-                            if let Some(w) = dispatch_windows.lock().get_mut(&object.0) {
-                                if w.abandoned_at_seq.is_none() {
-                                    w.abandoned_at_seq = Some(my_seq);
-                                }
-                            }
-                        }
-                        Err(SendTimeoutError::Timeout(_)) => {
-                            let shed_so_far = record_shed(
-                                &dispatch_sheds,
-                                &dispatch_windows,
-                                object,
-                                my_seq,
-                                delivered_so_far,
-                                ShedKind::Timeout,
-                            );
-                            if shed_so_far >= budget {
-                                // Abandon the shard: dropping the sender
-                                // disconnects the channel so the checker
-                                // finishes on the events it already has.
-                                *slot = Slot::Shedding;
-                                if let Some(w) =
-                                    dispatch_windows.lock().get_mut(&object.0)
-                                {
-                                    if w.abandoned_at_seq.is_none() {
-                                        w.abandoned_at_seq = Some(my_seq);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-                _ => {
-                    if sender.send(event).is_ok() {
-                        mark_delivered();
-                    }
-                }
-            }
+            state.flush_pending();
         });
         (
             log,

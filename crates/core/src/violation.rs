@@ -270,6 +270,16 @@ pub struct CheckStats {
     /// Lin-mode windows resolved entirely through the fixed-ADT
     /// observation digest — no full specification snapshot consulted.
     pub lin_fastpath_hits: u64,
+    /// Channel batches consumed by the batched online path
+    /// (`Checker::check_receiver`'s `recv_many` loop); zero offline.
+    pub batches: u64,
+    /// Events received through those batches. Greater than or equal to
+    /// `events` when a violation stopped the run mid-batch (the rest of
+    /// the batch was received but not processed).
+    pub batch_events: u64,
+    /// Commit signatures re-applied to reconstruct elided observer-window
+    /// snapshots (the snapshot-stride slow path).
+    pub snapshot_replays: u64,
     /// Events the program appended after the log was closed — actions the
     /// verifier never saw (straggler threads still running at
     /// `finish()`). Nonzero means the verdict covers a prefix of the

@@ -404,6 +404,15 @@ impl<T> fmt::Debug for Receiver<T> {
 }
 
 impl<T> Receiver<T> {
+    /// The channel's capacity: `Some(n)` for a bounded channel, `None`
+    /// for unbounded. Lets a consumer adapt its drain discipline to the
+    /// producers' blocking behavior (bounded-channel producers park —
+    /// and shed-style producers park *with a deadline* — so consumers
+    /// of bounded channels should keep their service stints short).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.lock().capacity
+    }
+
     /// Blocks until a message is available or the channel disconnects.
     /// Buffered messages are always drained before [`RecvError`].
     pub fn recv(&self) -> Result<T, RecvError> {
@@ -413,6 +422,69 @@ impl<T> Receiver<T> {
                 state.popped += 1;
                 self.notify_not_full(&state);
                 return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until at least one message is available, then drains the
+    /// *entire* queue into `buf` under a single lock acquisition,
+    /// returning how many messages were appended.
+    ///
+    /// This is the consumer-side twin of [`Sender::send_many`]: a checker
+    /// that processes events batch-at-a-time pays one lock round-trip and
+    /// one wakeup per batch instead of per event. `buf` is not cleared —
+    /// messages are appended after its existing contents — so a caller
+    /// can reuse one allocation across calls (`buf.clear()` then
+    /// `recv_many`).
+    ///
+    /// On a bounded channel *every* blocked sender is woken (a bulk drain
+    /// frees many slots at once, so `notify_one` would strand all but one
+    /// of them until the next receive).
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] only when the channel is empty *and* every sender is
+    /// gone — buffered messages are always drained first, like
+    /// [`Receiver::recv`].
+    pub fn recv_many(&self, buf: &mut Vec<T>) -> Result<usize, RecvError> {
+        self.recv_up_to(buf, usize::MAX)
+    }
+
+    /// Like [`Receiver::recv_many`], but takes at most `max` messages.
+    ///
+    /// The cap bounds the *consumer's service stint*: a consumer that
+    /// drains the whole queue then processes it holds producers off for
+    /// the full batch's processing time, which matters when producers
+    /// bound their own waits (shed-style overload policies time out and
+    /// drop instead of waiting out a long stint). A capped drain keeps
+    /// the free-a-slot cadence close to per-event consumption while
+    /// still amortizing the lock and wakeup costs `max`-fold.
+    ///
+    /// # Panics
+    ///
+    /// `max` must be at least 1.
+    pub fn recv_up_to(&self, buf: &mut Vec<T>, max: usize) -> Result<usize, RecvError> {
+        assert!(max > 0, "recv_up_to cap must be at least 1");
+        let mut state = self.shared.lock();
+        loop {
+            if !state.queue.is_empty() {
+                let n = state.queue.len().min(max);
+                buf.extend(state.queue.drain(..n));
+                state.popped += n as u64;
+                let bounded = state.capacity.is_some();
+                drop(state);
+                if bounded {
+                    self.shared.not_full.notify_all();
+                }
+                return Ok(n);
             }
             if state.senders == 0 {
                 return Err(RecvError);
@@ -915,6 +987,113 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         drop(rx);
         assert_eq!(t.join().unwrap(), Err(SendError(())));
+    }
+
+    #[test]
+    fn recv_many_drains_the_whole_queue_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let mut buf = vec![-1];
+        assert_eq!(rx.recv_many(&mut buf), Ok(10));
+        // Appends after existing contents; caller controls clearing.
+        assert_eq!(buf, (-1..10).collect::<Vec<_>>());
+        assert_eq!(rx.popped(), 10);
+        drop(tx);
+        buf.clear();
+        assert_eq!(rx.recv_many(&mut buf), Err(RecvError));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn recv_up_to_caps_the_drain_and_keeps_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_up_to(&mut buf, 4), Ok(4));
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        assert_eq!(rx.popped(), 4);
+        assert_eq!(rx.recv_up_to(&mut buf, 4), Ok(4));
+        // Shorter final drain, then disconnect.
+        assert_eq!(rx.recv_up_to(&mut buf, 4), Ok(2));
+        assert_eq!(buf, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.popped(), 10);
+        assert_eq!(rx.recv_up_to(&mut buf, 4), Err(RecvError));
+    }
+
+    /// A capped drain of a full bounded channel must still wake blocked
+    /// senders: the freed slots belong to whoever is parked.
+    #[test]
+    fn recv_up_to_frees_slots_for_blocked_senders() {
+        let (tx, rx) = bounded(2);
+        tx.send(0).unwrap();
+        tx.send(1).unwrap();
+        let blocked = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send(2))
+        };
+        thread::sleep(Duration::from_millis(20));
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_up_to(&mut buf, 1), Ok(1));
+        assert_eq!(buf, vec![0]);
+        assert_eq!(blocked.join().unwrap(), Ok(()));
+        drop(tx);
+        while let Ok(_n) = rx.recv_up_to(&mut buf, 1) {}
+        assert_eq!(buf, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn recv_many_blocks_until_a_message_arrives() {
+        let (tx, rx) = unbounded::<i32>();
+        let t = thread::spawn(move || {
+            let mut buf = Vec::new();
+            let n = rx.recv_many(&mut buf);
+            (n, buf)
+        });
+        thread::sleep(Duration::from_millis(20));
+        tx.send_many(&mut vec![7, 8, 9]).unwrap();
+        let (n, buf) = t.join().unwrap();
+        assert_eq!(n, Ok(3));
+        assert_eq!(buf, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn recv_many_drains_buffered_messages_before_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_many(&mut buf), Ok(2));
+        assert_eq!(buf, vec![1, 2]);
+        assert_eq!(rx.recv_many(&mut buf), Err(RecvError));
+    }
+
+    /// A bulk drain frees every slot of a bounded channel at once, so all
+    /// parked senders must wake — `notify_one` would strand the rest.
+    #[test]
+    fn recv_many_wakes_every_blocked_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let blocked: Vec<_> = (1..=3)
+            .map(|i| {
+                let tx = tx.clone();
+                thread::spawn(move || tx.send(i))
+            })
+            .collect();
+        drop(tx);
+        thread::sleep(Duration::from_millis(30));
+        let mut got = Vec::new();
+        while rx.recv_many(&mut got).is_ok() {}
+        for t in blocked {
+            t.join().unwrap().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -49,6 +49,20 @@ echo "==> lock-free lin agreement (VYRD_FAULT_SEED=3405691582)"
 VYRD_FAULT_SEED=3405691582 \
     cargo test --release --offline -q --test lin_agreement >/dev/null
 
+# Consume-path agreement: the batched router+pool pipeline must return
+# the same verdict as the per-event baseline on every scenario family
+# (Correct and Buggy, 1 and 4 workers), and injected route drops must
+# stamp the identical degradation ledger across batch boundaries —
+# pinned to the fault matrix's seed so a divergence replays exactly.
+echo "==> consume agreement (VYRD_FAULT_SEED=3405691582)"
+VYRD_FAULT_SEED=3405691582 \
+    cargo test --release --offline -q --test consume_agreement >/dev/null
+
+# Allocation-flat decode: steady-state framed replay must never touch
+# the heap (counting global allocator; own binary, see the test header).
+echo "==> decode no-alloc"
+cargo test --release --offline -q --test decode_no_alloc >/dev/null
+
 # Bench smoke: the append-throughput microbenchmark must run to
 # completion and write its JSON into results/, the canonical artifact
 # directory (numbers are not gated here — the container's core count
@@ -62,6 +76,14 @@ test -f results/BENCH_append_throughput.json
 echo "==> lin_check bench smoke"
 cargo bench --offline -p vyrd-bench --bench lin_check >/dev/null 2>&1
 test -f results/BENCH_lin_check.json
+
+# Consume-path regression gate: the batched delivery discipline checked
+# against the per-event baseline on the same recorded traces. The bench
+# itself exits non-zero if the batched path is >10% slower than the
+# baseline on any scenario (it should be an order of magnitude faster).
+echo "==> check_throughput --smoke gate"
+cargo bench --offline -p vyrd-bench --bench check_throughput -- --smoke >/dev/null 2>&1
+test -f results/BENCH_check_throughput.json
 
 # Metrics export + reconciliation: the stats binary runs a live sharded
 # scenario with metrics and spans on, then replays the pinned-seed fault
@@ -201,9 +223,12 @@ fi
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --offline"
     # result_large_err fires on the checker's pre-existing Report-sized
-    # error variants; waived until that type is boxed.
+    # error variants; waived until that type is boxed. redundant_clone
+    # is opted *in* (it is off by default): the consume-path overhaul
+    # stripped the checker/decode hot paths of defensive clones, and
+    # this keeps them from creeping back.
     cargo clippy --workspace --all-targets --offline -- \
-        -D warnings -A clippy::result_large_err
+        -D warnings -W clippy::redundant_clone -A clippy::result_large_err
 else
     echo "==> clippy not installed; skipping"
 fi

@@ -1,0 +1,125 @@
+//! Regression test for the buffered decode path: replaying a framed log
+//! in steady state must not touch the heap. The reader owns one internal
+//! read buffer, one recycled frame payload, and one argument staging
+//! buffer; after those reach capacity, every further scalar-argument
+//! record decodes allocation-free (method names resolve through the
+//! process-wide interner, which allocates only on first sight of a name).
+//!
+//! Installs a counting global allocator for this binary, which is why it
+//! lives alone in its own integration-test file: no other test may share
+//! the process and allocate while the counter is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use vyrd::core::codec::{write_log, LogReader};
+use vyrd::core::event::Event;
+use vyrd::core::{ObjectId, ThreadId, Value};
+
+/// Counts allocations (not deallocations) made by the test thread while
+/// armed; libtest's harness threads allocate concurrently and must not
+/// count against the decode loop.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static IN_TEST_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counted() -> bool {
+    ARMED.load(Ordering::Relaxed) && IN_TEST_THREAD.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// A call/commit/return trace with inline-capable integer arguments —
+/// the shape the paper's benchmark drivers produce almost exclusively.
+fn scalar_log(records: usize) -> Vec<Event> {
+    let mut events = Vec::new();
+    for i in 0..records as i64 {
+        events.push(Event::Call {
+            tid: ThreadId((i % 4) as u32),
+            object: ObjectId((i % 3) as u32),
+            method: "Insert".into(),
+            args: vec![Value::from(i), Value::from(i * 2)].into(),
+        });
+        events.push(Event::Commit {
+            tid: ThreadId((i % 4) as u32),
+            object: ObjectId((i % 3) as u32),
+        });
+        events.push(Event::Return {
+            tid: ThreadId((i % 4) as u32),
+            object: ObjectId((i % 3) as u32),
+            method: "Insert".into(),
+            ret: Value::from(i),
+        });
+    }
+    events
+}
+
+#[test]
+fn framed_decode_steady_state_allocates_nothing() {
+    IN_TEST_THREAD.with(|c| c.set(true));
+    let log = scalar_log(2_000);
+    let mut encoded = Vec::new();
+    write_log(&mut encoded, &log).expect("encode");
+
+    let mut reader = LogReader::new(encoded.as_slice()).expect("header");
+    // Warm up: the reader's internal buffer, payload scratch, and the
+    // interner entry for "Insert" all materialize on the first records.
+    let mut decoded = 0usize;
+    for _ in 0..16 {
+        assert!(reader.next_event().expect("warmup record").is_some());
+        decoded += 1;
+    }
+
+    ARMED.store(true, Ordering::SeqCst);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    while let Some(event) = reader.next_event().expect("record") {
+        // Touch the event so the decode isn't optimized away, then drop
+        // it — replay consumers hand events straight to the checker.
+        decoded += usize::from(!matches!(event, Event::Write { .. }));
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert_eq!(decoded, log.len(), "every record decoded");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state framed decode hit the allocator {} time(s) over {} records",
+        after - before,
+        log.len() - 16
+    );
+}
