@@ -19,12 +19,14 @@ use std::process::ExitCode;
 use std::thread;
 
 use vyrd_bench::results_dir;
+use vyrd_core::checker::{Checker, CheckerOptions, SnapshotRetention};
 use vyrd_core::log::EventLog;
 use vyrd_core::shard::partition_by_object;
 use vyrd_core::{Event, ObjectId};
 use vyrd_harness::scenario::{CheckKind, Scenario, Variant};
 use vyrd_harness::scenarios;
 use vyrd_harness::workload::WorkloadConfig;
+use vyrd_multiset::{MultisetSpec, SlotReplayer};
 use vyrd_rt::bench::{black_box, BenchGroup};
 use vyrd_rt::channel;
 
@@ -99,6 +101,67 @@ fn consume_per_event(
     }
 }
 
+/// The PR-9 regression pin: Multiset view checking with the spec's
+/// dense-retention hint must not cost more than the adaptive elision
+/// policy it replaces on the identical trace. The multiset's clone is a
+/// few map nodes, so eliding snapshots and replaying signatures was a
+/// net loss (the 1.13× checking-cost row); the `Spec::snapshot_stride`
+/// hint pins retention back to per-commit and this gate pins the ratio
+/// to ≤1.0×.
+fn multiset_retention_gate(group: &mut BenchGroup) -> bool {
+    let Some(scenario) = scenarios::by_name("Multiset-Vector") else {
+        return true;
+    };
+    // Single-object trace: the raw checkers below are per-object.
+    let cfg = WorkloadConfig {
+        threads: 4,
+        calls_per_thread: 150,
+        key_pool: 12,
+        shrink_pool: true,
+        internal_task: true,
+        seed: SEED,
+        pace: None,
+    };
+    let events =
+        vyrd_harness::scenario::record_run(scenario.as_ref(), &cfg, CheckKind::View.log_mode(), Variant::Correct)
+            .events;
+    // This gate compares two near-equal-cost policies, so it runs the
+    // sides interleaved (drift hits both equally) with more samples
+    // than the order-of-magnitude throughput rows above.
+    group.sample_size(25);
+    let (adaptive, hinted) = group.bench_paired(
+        "Multiset-Vector/view_adaptive_retention",
+        "Multiset-Vector/view_hinted_retention",
+        || {
+            black_box(
+                Checker::view(MultisetSpec::new(), SlotReplayer::new())
+                    .with_options(CheckerOptions {
+                        snapshot_retention: SnapshotRetention::Adaptive,
+                        ..CheckerOptions::default()
+                    })
+                    .check_events(events.clone()),
+            );
+        },
+        || {
+            black_box(
+                Checker::view(MultisetSpec::new(), SlotReplayer::new())
+                    .check_events(events.clone()),
+            );
+        },
+    );
+    // Fastest-sample ratio with a 2% tolerance: the minimum is the
+    // least-interfered-with measurement on each side, and the gate
+    // exists to catch the 1.13× class of regression, not scheduler
+    // jitter (per-sample noise on this row runs ±7%).
+    let ratio = hinted.min_ns / adaptive.min_ns;
+    eprintln!("    Multiset-Vector retention: hinted/adaptive = {ratio:.2}x (gate: <= 1.0x + 2% noise)");
+    if ratio > 1.02 {
+        eprintln!("    !! Multiset-Vector: hinted retention slower than adaptive elision");
+        return false;
+    }
+    true
+}
+
 fn main() -> ExitCode {
     let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
     let mut group = BenchGroup::new("check_throughput");
@@ -138,6 +201,9 @@ fn main() -> ExitCode {
             eprintln!("    !! {name}: batched path >10% slower than per-event baseline");
             gate_ok = false;
         }
+    }
+    if !multiset_retention_gate(&mut group) {
+        gate_ok = false;
     }
     group.finish().expect("write BENCH_check_throughput.json");
     if smoke && !gate_ok {

@@ -30,7 +30,10 @@ use vyrd_core::log::EventLog;
 use vyrd_core::metrics::pipeline;
 use vyrd_core::segment::{scan_segments, ContinuousOptions, ContinuousVerifier, SegmentConfig};
 use vyrd_core::violation::Report;
-use vyrd_harness::scenario::{record_run, CheckKind, Scenario, Variant};
+use vyrd_core::Event;
+use vyrd_harness::scenario::{
+    build_witness, reconstruct_witness, record_run, CheckKind, Scenario, Variant,
+};
 use vyrd_harness::scenarios;
 use vyrd_harness::workload::{PaceConfig, WorkloadConfig};
 use vyrd_rt::metrics;
@@ -57,14 +60,18 @@ struct Options {
     /// True once `--rate` or `--duration` was given.
     paced: bool,
     json: Option<std::path::PathBuf>,
+    variant: Variant,
+    /// On a FAIL verdict, minimize + explain it into
+    /// `results/WITNESS_<scenario>.json`.
+    witness: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: continuous <produce|resume|single> [--dir D] [--scenario NAME] \
-         [--kind io|view|lin] [--seed N] [--threads N] [--calls N] \
-         [--segment-bytes N] [--checkpoint-every N] [--rate OPS_PER_S] \
-         [--duration SECONDS] [--json PATH]"
+         [--kind io|view|lin] [--variant correct|buggy] [--seed N] [--threads N] \
+         [--calls N] [--segment-bytes N] [--checkpoint-every N] [--rate OPS_PER_S] \
+         [--duration SECONDS] [--json PATH] [--witness]"
     );
     ExitCode::from(2)
 }
@@ -89,6 +96,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         duration: Duration::from_secs(2),
         paced: false,
         json: None,
+        variant: Variant::Correct,
+        witness: false,
     };
     while let Some(a) = args.next() {
         let mut value = || args.next().ok_or_else(usage);
@@ -123,6 +132,14 @@ fn parse_args() -> Result<Options, ExitCode> {
                 opts.paced = true;
             }
             "--json" => opts.json = Some(value()?.into()),
+            "--variant" => {
+                opts.variant = match value()?.as_str() {
+                    "correct" => Variant::Correct,
+                    "buggy" => Variant::Buggy,
+                    _ => return Err(usage()),
+                }
+            }
+            "--witness" => opts.witness = true,
             _ => return Err(usage()),
         }
     }
@@ -157,10 +174,7 @@ fn main() -> ExitCode {
     let outcome = match opts.mode.as_str() {
         "produce" => produce(scenario.as_ref(), &opts),
         "resume" => resume(scenario.as_ref(), &opts),
-        "single" => {
-            single(scenario.as_ref(), &opts);
-            Ok(())
-        }
+        "single" => single(scenario.as_ref(), &opts),
         _ => unreachable!("parse_args validated the mode"),
     };
     match outcome {
@@ -220,6 +234,40 @@ fn print_final(report: &Report, resume_seq: u64, live: u64, peak_live: u64) {
     );
 }
 
+/// On a FAIL verdict with `--witness`: minimize + explain the violation
+/// and write `results/WITNESS_<scenario>.json`. `single` mode passes the
+/// retained in-memory trace; the segmented modes pass `None` (checked
+/// segments are deleted as the verifier advances), so the witness is
+/// built from a reconstructed closed-loop recording of the same seeded
+/// bug instead.
+fn maybe_witness(
+    scenario: &dyn Scenario,
+    opts: &Options,
+    report: &Report,
+    events: Option<&[Event]>,
+) -> std::io::Result<()> {
+    if !opts.witness || report.passed() {
+        return Ok(());
+    }
+    let cx = match events {
+        Some(evs) => build_witness(scenario, opts.kind, evs, report)
+            .map_err(|e| std::io::Error::other(format!("witness pipeline: {e}")))?,
+        None => reconstruct_witness(scenario, opts.kind, opts.variant, &workload(opts), 60)
+            .map_err(std::io::Error::other)?,
+    };
+    println!("{}", cx.explanation);
+    let path = cx.write_json(&vyrd_bench::results_dir())?;
+    println!(
+        "witness path={} events_in={} events_out={} oracle_runs={}",
+        path.display(),
+        cx.original_events,
+        cx.events.len(),
+        cx.oracle_runs
+    );
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
 /// Runs the workload into segments with a concurrent polling verifier.
 fn produce(scenario: &dyn Scenario, opts: &Options) -> std::io::Result<()> {
     let factory = scenario
@@ -231,7 +279,7 @@ fn produce(scenario: &dyn Scenario, opts: &Options) -> std::io::Result<()> {
     let done = AtomicBool::new(false);
     std::thread::scope(|scope| {
         let worker = scope.spawn(|| {
-            scenario.run(&cfg, &log, Variant::Correct);
+            scenario.run(&cfg, &log, opts.variant);
             done.store(true, Ordering::Relaxed);
         });
         let mut verifier = ContinuousVerifier::open(
@@ -264,6 +312,7 @@ fn produce(scenario: &dyn Scenario, opts: &Options) -> std::io::Result<()> {
         let live = scan_segments(&opts.dir)?.len() as u64;
         peak_live = peak_live.max(summary.segments_sealed.min(live));
         print_final(&report, resume_seq, live, peak_live);
+        maybe_witness(scenario, opts, &report, None)?;
         std::io::stdout().flush()
     })
 }
@@ -303,13 +352,15 @@ fn resume(scenario: &dyn Scenario, opts: &Options) -> std::io::Result<()> {
         std::fs::write(path, json)?;
         eprintln!("wrote {}", path.display());
     }
+    maybe_witness(scenario, opts, &report, None)?;
     Ok(())
 }
 
 /// The single-process reference check (in-memory log, no segments).
-fn single(scenario: &dyn Scenario, opts: &Options) {
+fn single(scenario: &dyn Scenario, opts: &Options) -> std::io::Result<()> {
     let cfg = workload(opts);
-    let run = record_run(scenario, &cfg, opts.kind.log_mode(), Variant::Correct);
-    let report = scenario.check(opts.kind, run.events);
+    let run = record_run(scenario, &cfg, opts.kind.log_mode(), opts.variant);
+    let report = scenario.check(opts.kind, run.events.clone());
     print_final(&report, 0, 0, 0);
+    maybe_witness(scenario, opts, &report, Some(&run.events))
 }

@@ -27,6 +27,11 @@
 //!   reconcile exactly — and unless the correct variant stays
 //!   non-FAIL while the buggy variant stays non-PASS.
 //!
+//! With `--witness`, a FAIL verdict additionally produces a minimized,
+//! explained counterexample (`results/WITNESS_<scenario>.json`) — built
+//! from a reconstructed closed-loop trace of the same seeded bug, since
+//! the streaming pipeline retains no events.
+//!
 //! [`OpBudget`]: vyrd_harness::workload::OpBudget
 //! [`Degradation`]: vyrd_core::violation::Degradation
 
@@ -39,7 +44,9 @@ use vyrd_bench::results_dir;
 use vyrd_core::pool::SupervisorConfig;
 use vyrd_core::violation::{AdaptiveAction, Verdict, WatchdogAction};
 use vyrd_core::AdaptiveConfig;
-use vyrd_harness::scenario::{run_soak, CheckKind, Scenario, SoakArtifacts, Variant};
+use vyrd_harness::scenario::{
+    reconstruct_witness, run_soak, CheckKind, Scenario, SoakArtifacts, Variant,
+};
 use vyrd_harness::scenarios;
 use vyrd_harness::workload::{PaceConfig, WorkloadConfig};
 use vyrd_rt::fault::{self, FaultAction, FaultPlan, FaultRule};
@@ -62,6 +69,7 @@ struct Options {
     threads: usize,
     seed: u64,
     smoke: bool,
+    witness: bool,
 }
 
 impl Default for Options {
@@ -78,6 +86,7 @@ impl Default for Options {
             threads: 8,
             seed: DEFAULT_SEED,
             smoke: false,
+            witness: false,
         }
     }
 }
@@ -86,10 +95,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: soak [--scenario NAME|all] [--kind io|view|lin] [--variant correct|buggy]\n\
          \x20           [--rate OPS_PER_S] [--duration SECS] [--objects N] [--workers N]\n\
-         \x20           [--capacity N] [--threads N] [--seed N] [--smoke]\n\
+         \x20           [--capacity N] [--threads N] [--seed N] [--smoke] [--witness]\n\
          \n\
          --rate 0 means flat-out (no pacing; duration-bounded only).\n\
-         --smoke runs the pinned-seed CI saturation check and writes results/SOAK_smoke.json."
+         --smoke runs the pinned-seed CI saturation check and writes results/SOAK_smoke.json.\n\
+         --witness minimizes + explains a FAIL (reconstructed closed-loop, same seed walk)\n\
+         \x20         and writes results/WITNESS_<scenario>.json."
     );
     std::process::exit(2);
 }
@@ -147,6 +158,7 @@ fn parse_args() -> Options {
             "--threads" => opts.threads = parse_num(&need(&mut iter, "--threads"), "--threads") as usize,
             "--seed" => opts.seed = parse_num(&need(&mut iter, "--seed"), "--seed"),
             "--smoke" => opts.smoke = true,
+            "--witness" => opts.witness = true,
             _ => usage(),
         }
     }
@@ -198,6 +210,9 @@ fn main() -> ExitCode {
                         ok = false;
                     }
                 }
+                if opts.witness && outcome.verdict == Verdict::Fail {
+                    ok &= write_witness(scenario.as_ref(), kind, opts.variant, &opts);
+                }
                 ok &= outcome.reconciled();
             }
             None => {
@@ -211,6 +226,49 @@ fn main() -> ExitCode {
     } else {
         eprintln!("soak: FAILED (reconciliation drift or unsupported scenario)");
         ExitCode::FAILURE
+    }
+}
+
+/// Minimizes + explains a soak FAIL. The open-loop pipeline streams
+/// events into the sharded checkers and retains nothing, so the witness
+/// is built from a *reconstructed* closed-loop recording of the same
+/// seeded bug (see [`reconstruct_witness`]) — a clean, fully covered
+/// trace, never the degraded streaming run.
+fn write_witness(scenario: &dyn Scenario, kind: CheckKind, variant: Variant, opts: &Options) -> bool {
+    let cfg = WorkloadConfig {
+        threads: opts.threads,
+        calls_per_thread: 150,
+        key_pool: 8,
+        shrink_pool: true,
+        internal_task: true,
+        seed: opts.seed,
+        pace: None,
+    };
+    match reconstruct_witness(scenario, kind, variant, &cfg, 60) {
+        Ok(cx) => {
+            println!("{}", cx.explanation);
+            match cx.write_json(&results_dir()) {
+                Ok(path) => {
+                    println!(
+                        "witness path={} events_in={} events_out={} oracle_runs={}",
+                        path.display(),
+                        cx.original_events,
+                        cx.events.len(),
+                        cx.oracle_runs
+                    );
+                    eprintln!("wrote {}", path.display());
+                    true
+                }
+                Err(e) => {
+                    eprintln!("soak: cannot write witness: {e}");
+                    false
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("soak: witness reconstruction failed: {e}");
+            false
+        }
     }
 }
 

@@ -15,6 +15,9 @@
 //!    agrees *exactly* — increment for increment — with the
 //!    [`Degradation`] ledger and the log's own counters. Writes
 //!    `results/METRICS_fault_matrix.json` with one record per cell.
+//!    One cell exercises the counterexample pipeline: the `oracle_runs`
+//!    a witness claims must equal the oracle invocations observed, and
+//!    the minimized trace must re-fail with the identical category.
 //!
 //! Exit status is non-zero if any reconciliation disagrees, so CI can
 //! gate on it. Seed comes from `VYRD_FAULT_SEED` (or `--seed N`),
@@ -33,6 +36,7 @@ use vyrd_core::AdaptiveConfig;
 use vyrd_core::pool::{PoolReport, SupervisorConfig, VerifierPool};
 use vyrd_core::shard::ShardConfig;
 use vyrd_core::violation::{AdaptiveAction, WatchdogAction};
+use vyrd_core::witness::{ViolationKey, WitnessPipeline};
 use vyrd_core::Event;
 use vyrd_harness::scenario::{run_online_sharded, CheckKind, Scenario, Variant};
 use vyrd_harness::scenarios;
@@ -268,6 +272,11 @@ fn reconcile(scenario: &dyn Scenario, seed: u64) -> bool {
     // report's lin counters and the registry's `lin.*` counters must
     // agree exactly.
     cells.push(run_lin_cell(seed));
+
+    // Witness minimization: the counterexample pipeline's claimed ddmin
+    // cost vs the oracle invocations actually observed, plus a
+    // from-scratch re-check of the minimized trace.
+    cells.push(run_witness_cell(seed));
 
     // Adaptive overload: a stalled checker under tiny adaptive budgets;
     // every controller decision, watchdog escalation, shed, and stranded
@@ -676,6 +685,73 @@ fn run_lin_cell(seed: u64) -> Cell {
             (
                 "verdict stays a pass",
                 u64::from(report.merged.passed()),
+                1,
+            ),
+        ],
+    }
+}
+
+/// Witness cell: minimize a pinned-seed buggy lock-free trace through
+/// the counterexample pipeline and reconcile its *claimed* cost and
+/// result against independent observation — the `oracle_runs` the
+/// pipeline reports vs the oracle invocations actually counted, and the
+/// minimized trace vs a from-scratch re-check that must fail with the
+/// identical category and object.
+fn run_witness_cell(seed: u64) -> Cell {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let case = "witness-minimization";
+    let fail = |what: &'static str| Cell {
+        case,
+        checks: vec![(what, 0, 1)],
+    };
+    let Some(scenario) = scenarios::by_name("Treiber-Stack") else {
+        return fail("Treiber-Stack scenario missing");
+    };
+    let log = EventLog::in_memory(CheckKind::Lin.log_mode());
+    scenario.run(&cfg(seed), &log, Variant::Buggy);
+    let events = log.snapshot();
+    let report = scenario.check(CheckKind::Lin, events.clone());
+    if report.passed() {
+        return fail("seeded ABA trace did not fail");
+    }
+    let observed = AtomicU64::new(0);
+    let oracle = |evs: &[Event]| {
+        observed.fetch_add(1, Ordering::Relaxed);
+        scenario.check(CheckKind::Lin, evs.to_vec())
+    };
+    let pipeline = WitnessPipeline {
+        minimizer: scenario.minimizer(CheckKind::Lin),
+        explainer: scenario.explainer(CheckKind::Lin),
+    };
+    let cx = match pipeline.run(scenario.name(), "lin", &events, &report, &oracle) {
+        Ok(cx) => cx,
+        Err(_) => return fail("witness pipeline refused a failing report"),
+    };
+    let minimized = cx.minimized_events();
+    let re = scenario.check(CheckKind::Lin, minimized.clone());
+    let key_preserved = ViolationKey::of(&re, &minimized)
+        .is_some_and(|k| k.category == cx.category && k.object == cx.object);
+    Cell {
+        case,
+        checks: vec![
+            (
+                "claimed oracle_runs vs observed oracle calls",
+                cx.oracle_runs as u64,
+                observed.load(Ordering::Relaxed),
+            ),
+            (
+                "minimized re-check preserves category + object",
+                u64::from(key_preserved),
+                1,
+            ),
+            (
+                "witness no larger than its trace",
+                u64::from(cx.events.len() <= events.len()),
+                1,
+            ),
+            (
+                "minimization actually shrank the trace",
+                u64::from(cx.events.len() < events.len()),
                 1,
             ),
         ],

@@ -1,0 +1,161 @@
+//! `witness` — produce a minimized, explained counterexample for a
+//! seeded buggy scenario, sized for CI gating.
+//!
+//! Records the buggy workload closed-loop (walking seeds until a trace
+//! fails the requested check), runs it through the counterexample
+//! pipeline ([`vyrd_core::witness`]), prints the one-page explanation,
+//! and writes `results/WITNESS_<scenario>.json`.
+//!
+//! The summary line is `key=value` tokens (`witness scenario=…
+//! events_in=… events_out=… oracle_runs=… path=…`) so
+//! `scripts/verify.sh` can parse it with `split_whitespace` alone.
+//! Exit is non-zero when no failing trace reproduces, when the pipeline
+//! refuses (category drift on the re-check, unreliable degradation), or
+//! when the `--max-events` / `--min-log` gates are violated.
+
+use std::process::ExitCode;
+
+use vyrd_bench::results_dir;
+use vyrd_harness::scenario::{reconstruct_witness, CheckKind, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::workload::WorkloadConfig;
+
+/// Default seed: the fault matrix's CI seed, so gate runs replay the
+/// same workload schedule `scripts/verify.sh` pins everywhere else.
+const DEFAULT_SEED: u64 = 3_405_691_582;
+
+struct Options {
+    scenario: String,
+    kind: CheckKind,
+    seed: u64,
+    threads: usize,
+    calls: usize,
+    runs: u32,
+    /// Fail unless the minimized witness has at most this many events
+    /// (0 = no gate).
+    max_events: usize,
+    /// Fail unless the originating log had at least this many events
+    /// (0 = no gate) — guards against a gate that "passes" because the
+    /// workload was trivial.
+    min_log: usize,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: witness [--scenario NAME] [--kind io|view|lin] [--seed N] [--threads N] \
+         [--calls N] [--runs N] [--max-events N] [--min-log N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        scenario: "Vector".to_owned(),
+        kind: CheckKind::View,
+        seed: DEFAULT_SEED,
+        threads: 4,
+        calls: 200,
+        runs: 60,
+        max_events: 0,
+        min_log: 0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or_else(usage);
+        match a.as_str() {
+            "--scenario" => opts.scenario = value()?,
+            "--kind" => {
+                opts.kind = match value()?.as_str() {
+                    "io" => CheckKind::Io,
+                    "view" => CheckKind::View,
+                    "lin" => CheckKind::Lin,
+                    _ => return Err(usage()),
+                }
+            }
+            "--seed" => opts.seed = value()?.parse().map_err(|_| usage())?,
+            "--threads" => opts.threads = value()?.parse().map_err(|_| usage())?,
+            "--calls" => opts.calls = value()?.parse().map_err(|_| usage())?,
+            "--runs" => opts.runs = value()?.parse().map_err(|_| usage())?,
+            "--max-events" => opts.max_events = value()?.parse().map_err(|_| usage())?,
+            "--min-log" => opts.min_log = value()?.parse().map_err(|_| usage())?,
+            _ => return Err(usage()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let Some(scenario) = scenarios::by_name(&opts.scenario) else {
+        eprintln!("witness: unknown scenario {:?}", opts.scenario);
+        return ExitCode::from(2);
+    };
+    if !scenario.supports(opts.kind) {
+        eprintln!(
+            "witness: {} does not support {:?} checking",
+            opts.scenario, opts.kind
+        );
+        return ExitCode::from(2);
+    }
+    let cfg = WorkloadConfig {
+        threads: opts.threads,
+        calls_per_thread: opts.calls,
+        key_pool: 6,
+        shrink_pool: true,
+        internal_task: true,
+        seed: opts.seed,
+        pace: None,
+    };
+    let cx = match reconstruct_witness(scenario.as_ref(), opts.kind, Variant::Buggy, &cfg, opts.runs)
+    {
+        Ok(cx) => cx,
+        Err(e) => {
+            eprintln!("witness: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", cx.explanation);
+    let path = match cx.write_json(&results_dir()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("witness: cannot write artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "witness scenario={} kind={:?} category={} events_in={} events_out={} oracle_runs={} path={}",
+        cx.scenario,
+        opts.kind,
+        cx.category,
+        cx.original_events,
+        cx.events.len(),
+        cx.oracle_runs,
+        path.display()
+    );
+    eprintln!("wrote {}", path.display());
+    let mut ok = true;
+    if opts.max_events > 0 && cx.events.len() > opts.max_events {
+        eprintln!(
+            "witness: FAILED: minimized witness has {} events (gate: <= {})",
+            cx.events.len(),
+            opts.max_events
+        );
+        ok = false;
+    }
+    if opts.min_log > 0 && cx.original_events < opts.min_log {
+        eprintln!(
+            "witness: FAILED: originating log had only {} events (gate: >= {}) — \
+             raise --calls so the gate minimizes a real trace",
+            cx.original_events, opts.min_log
+        );
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

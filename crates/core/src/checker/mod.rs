@@ -157,6 +157,11 @@ pub struct CheckerOptions {
     pub record_witness: bool,
     /// When view comparisons run (per-commit vs quiescent-only baseline).
     pub view_check_policy: ViewCheckPolicy,
+    /// How window-state snapshots are retained (defer to the spec's
+    /// [`Spec::snapshot_stride`] hint by default; the bench gates force
+    /// a policy to compare the hinted one against the adaptive default
+    /// on the same spec).
+    pub snapshot_retention: SnapshotRetention,
 }
 
 impl Default for CheckerOptions {
@@ -166,8 +171,24 @@ impl Default for CheckerOptions {
             full_view_compare: false,
             record_witness: false,
             view_check_policy: ViewCheckPolicy::EveryCommit,
+            snapshot_retention: SnapshotRetention::FromSpec,
         }
     }
+}
+
+/// Snapshot-retention policy for the observer-window machinery (see
+/// [`CheckerOptions::snapshot_retention`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SnapshotRetention {
+    /// Defer to the specification's [`Spec::snapshot_stride`] hint
+    /// (adaptive when the spec offers none). The default.
+    #[default]
+    FromSpec,
+    /// Adaptive strided retention regardless of the spec's hint.
+    Adaptive,
+    /// Fixed stride regardless of the spec's hint (clamped to the
+    /// checker's stride bounds; `1` retains every window state).
+    Fixed(u64),
 }
 
 /// One step of the witness interleaving: a mutator execution, in commit
@@ -314,6 +335,11 @@ pub struct Checker<S: Spec, R: Replayer = NoopReplayer> {
     /// as open windows deepen — deep windows amortize replay over more
     /// candidate states — and resets when the system quiesces.
     stride: u64,
+    /// Pinned stride, when the retention policy is non-adaptive: the
+    /// spec's [`Spec::snapshot_stride`] hint (cheap-to-clone specs pin
+    /// `1` and never replay) or a [`SnapshotRetention::Fixed`] override.
+    /// `None` means the adaptive doubling policy owns `stride`.
+    fixed_stride: Option<u64>,
     /// Linearizability checking mode ([`Checker::lin`]): observer
     /// windows are searched for a commit-order-consistent sequential
     /// witness, with per-window accounting and — where the spec
@@ -371,6 +397,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
     }
 
     fn new(spec: S, replayer: Option<R>) -> Checker<S, R> {
+        let fixed_stride = spec.snapshot_stride().map(|s| s.clamp(1, STRIDE_MAX));
         Checker {
             spec,
             replayer,
@@ -387,7 +414,8 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             snapshots: BTreeMap::new(),
             commit_log: VecDeque::new(),
             commit_log_base: 0,
-            stride: STRIDE_MIN,
+            stride: fixed_stride.unwrap_or(STRIDE_MIN),
+            fixed_stride,
             lin: false,
             digests: BTreeMap::new(),
             observers_inflight: 0,
@@ -402,6 +430,13 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
     /// Replaces the options.
     pub fn with_options(mut self, options: CheckerOptions) -> Checker<S, R> {
         self.options = options;
+        self.fixed_stride = match self.options.snapshot_retention {
+            SnapshotRetention::FromSpec => self.spec.snapshot_stride(),
+            SnapshotRetention::Adaptive => None,
+            SnapshotRetention::Fixed(s) => Some(s),
+        }
+        .map(|s| s.clamp(1, STRIDE_MAX));
+        self.stride = self.fixed_stride.unwrap_or(STRIDE_MIN);
         self
     }
 
@@ -967,8 +1002,12 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
         self.commit_log.push_back(CommitSig { method, args, ret });
         // Deep open windows hold many elided states; widening the stride
         // keeps the retained-snapshot count bounded, and replay distance
-        // stays capped at STRIDE_MAX.
-        if self.commit_log.len() as u64 > self.stride * 16 && self.stride < STRIDE_MAX {
+        // stays capped at STRIDE_MAX. A pinned stride (spec hint or
+        // option override) never adapts.
+        if self.fixed_stride.is_none()
+            && self.commit_log.len() as u64 > self.stride * 16
+            && self.stride < STRIDE_MAX
+        {
             self.stride *= 2;
         }
         if (self.commits_applied - self.commit_log_base).is_multiple_of(self.stride) {
@@ -1283,7 +1322,7 @@ impl<S: Spec, R: Replayer> Checker<S, R> {
             self.digests.clear();
             self.commit_log.clear();
             self.commit_log_base = 0;
-            self.stride = STRIDE_MIN;
+            self.stride = self.fixed_stride.unwrap_or(STRIDE_MIN);
             return;
         }
         let min_start = self

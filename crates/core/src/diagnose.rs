@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 
-use crate::event::Event;
+use crate::event::{Event, ObjectId};
 use crate::violation::Report;
 
 /// Renders the events around `position` (0-based log index), marking the
@@ -30,7 +30,18 @@ use crate::violation::Report;
 /// assert!(text.contains("> [1]"));
 /// ```
 pub fn excerpt(events: &[Event], position: u64, radius: usize) -> String {
-    let pos = usize::try_from(position).unwrap_or(usize::MAX);
+    // A position outside the log (or beyond this platform's `usize`)
+    // gets an explicit note — rendering an empty window, or a bogus
+    // "N earlier events" banner from a wrapped index, would silently
+    // hide that the caller's position does not index this log (the
+    // classic mistake: a sharded report's per-object position applied
+    // to the merged log — use [`explain_sharded`] for those).
+    let Some(pos) = usize::try_from(position).ok().filter(|&p| p < events.len()) else {
+        return format!(
+            "  (violation position {position} is outside this {}-event log)\n",
+            events.len()
+        );
+    };
     let start = pos.saturating_sub(radius);
     let end = pos.saturating_add(radius + 1).min(events.len());
     let mut out = String::new();
@@ -57,6 +68,62 @@ pub fn explain(report: &Report, events: &[Event]) -> String {
             let _ = writeln!(out, "{report}");
             let _ = writeln!(out, "log neighborhood of the violation:");
             out.push_str(&excerpt(events, violation.log_position(), 6));
+            out
+        }
+    }
+}
+
+/// Maps a *per-object* log position to its index in the merged log.
+///
+/// Sharded reports (from [`crate::pool::VerifierPool`]) are produced by
+/// checkers that each consumed only their object's subsequence, so
+/// their `log_position` counts that object's events — position `k`
+/// names the `k`-th event of `object` in arrival order, not the `k`-th
+/// event of the merged log. Returns `None` when `object` has fewer
+/// than `k + 1` events in `events`.
+pub fn merged_position(events: &[Event], object: ObjectId, position: u64) -> Option<usize> {
+    let mut seen: u64 = 0;
+    for (i, event) in events.iter().enumerate() {
+        if event.object() == object {
+            if seen == position {
+                return Some(i);
+            }
+            seen += 1;
+        }
+    }
+    None
+}
+
+/// Renders a *sharded* failed report against the merged log: the
+/// violation's per-object position is translated through
+/// [`merged_position`] before excerpting, so the `>` marker lands on
+/// the actual violating event rather than whatever happens to sit at
+/// that index in the merged interleaving.
+pub fn explain_sharded(report: &Report, object: ObjectId, events: &[Event]) -> String {
+    match &report.violation {
+        None => format!("{report}\n"),
+        Some(violation) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "{report}");
+            let per_object = violation.log_position();
+            match merged_position(events, object, per_object) {
+                Some(merged) => {
+                    let _ = writeln!(
+                        out,
+                        "log neighborhood of the violation ({object} position {per_object} = \
+                         merged position {merged}):"
+                    );
+                    out.push_str(&excerpt(events, merged as u64, 6));
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  ({object} has no event at per-object position {per_object} in this \
+                         {}-event log)",
+                        events.len()
+                    );
+                }
+            }
             out
         }
     }
@@ -98,9 +165,58 @@ mod tests {
         assert!(text.contains("  [2]"));
         assert!(!text.contains("earlier events"));
         assert!(!text.contains("later events"));
-        // Out-of-range position degrades gracefully.
+        // Out-of-range position says so instead of rendering an empty
+        // (or bogusly-bannered) window.
         let text = excerpt(&events, 99, 2);
         assert!(!text.contains('>'));
+        assert!(text.contains("position 99 is outside this 3-event log"));
+        // Positions beyond usize on any platform take the same path.
+        let text = excerpt(&events, u64::MAX, 2);
+        assert!(text.contains("outside this 3-event log"));
+    }
+
+    #[test]
+    fn sharded_reports_excerpt_through_the_per_object_mapping() {
+        // Merged log: object 7's events sit interleaved with object 1's,
+        // so object 7's per-object position 2 is merged position 4.
+        let o1 = ObjectId(1);
+        let o7 = ObjectId(7);
+        let events = vec![
+            Event::Commit { tid: ThreadId(0), object: o7 }, // o7 #0
+            Event::Commit { tid: ThreadId(1), object: o1 },
+            Event::Commit { tid: ThreadId(0), object: o7 }, // o7 #1
+            Event::Commit { tid: ThreadId(1), object: o1 },
+            Event::Commit { tid: ThreadId(2), object: o7 }, // o7 #2 <- violation
+            Event::Commit { tid: ThreadId(1), object: o1 },
+        ];
+        assert_eq!(merged_position(&events, o7, 2), Some(4));
+        assert_eq!(merged_position(&events, o7, 3), None);
+
+        let report = Report {
+            violation: Some(Violation::MalformedLog {
+                detail: "commit outside any method execution".to_owned(),
+                log_position: 2, // per-object coordinates
+            }),
+            ..Report::default()
+        };
+        let text = explain_sharded(&report, o7, &events);
+        assert!(text.contains("position 2 = merged position 4"), "{text}");
+        assert!(text.contains("> [4]"), "{text}");
+        // The naive (unmapped) rendering would have marked merged
+        // position 2, which belongs to the wrong event.
+        assert!(!text.contains("> [2]"), "{text}");
+
+        // A per-object position past the object's event count reports
+        // the mismatch instead of marking nothing.
+        let report = Report {
+            violation: Some(Violation::MalformedLog {
+                detail: "x".to_owned(),
+                log_position: 9,
+            }),
+            ..Report::default()
+        };
+        let text = explain_sharded(&report, o7, &events);
+        assert!(text.contains("no event at per-object position 9"), "{text}");
     }
 
     #[test]

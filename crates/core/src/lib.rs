@@ -106,6 +106,7 @@ pub mod spec;
 pub mod value;
 pub mod view;
 pub mod violation;
+pub mod witness;
 
 pub use codec::DecodeOutcome;
 pub use event::{Event, MethodId, ObjectId, ThreadId, VarId};

@@ -219,6 +219,26 @@ pub trait Spec: Clone + Send + 'static {
     ) -> bool {
         false
     }
+
+    /// Snapshot-retention hint for the observer-window machinery: how
+    /// many commits may elapse between retained full-spec snapshots
+    /// while observer windows are open.
+    ///
+    /// `None` (the default) selects the adaptive strided policy — the
+    /// checker starts dense and widens the stride as windows deepen,
+    /// replaying elided states from commit signatures on demand. A
+    /// spec that knows its own cost balance can pin the stride
+    /// instead: `Some(1)` retains every post-commit state and never
+    /// replays (right when cloning is cheaper than re-applying even
+    /// one commit); a wide stride retains almost nothing and replays
+    /// freely (right when a commit re-apply is one cheap map update,
+    /// so the adaptive policy's dense early-window cloning is pure
+    /// overhead — the multiset family pins this). Values are clamped
+    /// to the checker's stride bounds; digest-capable specs never
+    /// consult this hint (digests are cheaper than either policy).
+    fn snapshot_stride(&self) -> Option<u64> {
+        None
+    }
 }
 
 #[cfg(test)]

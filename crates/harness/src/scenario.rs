@@ -18,6 +18,10 @@ use vyrd_core::segment::{
 };
 use vyrd_core::shard::ShardConfig;
 use vyrd_core::violation::{Report, Violation};
+use vyrd_core::witness::{
+    BasicExplainer, Counterexample, DdminMinimizer, Explainer, Minimizer, WitnessError,
+    WitnessPipeline,
+};
 use vyrd_core::{AdaptiveConfig, Event, ObjectId};
 
 use crate::measure::timed;
@@ -149,6 +153,105 @@ pub trait Scenario: Send + Sync {
         let _ = kind;
         None
     }
+
+    /// The counterexample minimizer for this scenario family. The
+    /// default is plain ddmin over commit-atomic chunks; families whose
+    /// violations are about a single key or element (multiset, the
+    /// lock-free structures) override with the argument-focused
+    /// variant, which prunes unrelated executions in one oracle run
+    /// before ddmin proper.
+    fn minimizer(&self, kind: CheckKind) -> Box<dyn Minimizer> {
+        let _ = kind;
+        Box::new(DdminMinimizer::default())
+    }
+
+    /// The witness explainer for this scenario family in mode `kind`.
+    /// The default renders the basic one-page text; view-refinement
+    /// families add the first divergent spec state, the lock-free
+    /// family adds observer-window commentary.
+    fn explainer(&self, kind: CheckKind) -> Box<dyn Explainer> {
+        let _ = kind;
+        Box::new(BasicExplainer)
+    }
+}
+
+/// Builds a [`Counterexample`] for a failing check of `scenario` in
+/// mode `kind`: wires the scenario's offline checker in as the ddmin
+/// oracle and its family-specific minimizer/explainer into a
+/// [`WitnessPipeline`].
+///
+/// `report` may be a merged/sharded report — the pipeline re-grounds
+/// the violation against `events` (the merged log) with one oracle run
+/// before minimizing, so per-object positions never leak into the
+/// witness.
+///
+/// # Errors
+///
+/// Propagates [`WitnessError`]: passing reports, degradation-flagged
+/// (unreliable) violations, and category drift on the re-check.
+pub fn build_witness(
+    scenario: &dyn Scenario,
+    kind: CheckKind,
+    events: &[Event],
+    report: &Report,
+) -> Result<Counterexample, WitnessError> {
+    let oracle = |evs: &[Event]| scenario.check(kind, evs.to_vec());
+    let pipeline = WitnessPipeline {
+        minimizer: scenario.minimizer(kind),
+        explainer: scenario.explainer(kind),
+    };
+    let mode = match kind {
+        CheckKind::Io => "io",
+        CheckKind::View => "view",
+        CheckKind::Lin => "lin",
+    };
+    pipeline.run(scenario.name(), mode, events, report, &oracle)
+}
+
+/// Builds a witness for a seeded bug whose streaming run retained no
+/// events (the soak pipeline and the segmented continuous service both
+/// consume-and-discard): re-runs the workload closed-loop with an
+/// in-memory log, walking seeds until a trace fails the `kind` check,
+/// then feeds that trace through [`build_witness`].
+///
+/// The witness certifies the *reconstructed* trace — a clean, fully
+/// covered recording of the same seeded bug — never the discarded
+/// (possibly degraded) streaming run, which keeps the degrade-never-
+/// forge rule intact.
+///
+/// # Errors
+///
+/// Returns a human-readable reason: no failing trace within `max_runs`
+/// attempts, or a [`WitnessError`] from the pipeline itself.
+pub fn reconstruct_witness(
+    scenario: &dyn Scenario,
+    kind: CheckKind,
+    variant: Variant,
+    cfg: &WorkloadConfig,
+    max_runs: u32,
+) -> Result<Counterexample, String> {
+    // Paced (open-loop) configs set `calls_per_thread: 0`; the reprise
+    // is closed-loop so it terminates on its own and records a bounded
+    // trace.
+    let mut base = *cfg;
+    base.pace = None;
+    if base.calls_per_thread == 0 {
+        base.calls_per_thread = 150;
+    }
+    let mut seed = base.seed;
+    for _ in 0..max_runs {
+        let run = record_run(scenario, &base.with_seed(seed), kind.log_mode(), variant);
+        let report = scenario.check(kind, run.events.clone());
+        if !report.passed() {
+            return build_witness(scenario, kind, &run.events, &report)
+                .map_err(|e| format!("witness pipeline: {e}"));
+        }
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    }
+    Err(format!(
+        "no failing {kind:?} trace for {} in {max_runs} {variant:?} runs",
+        scenario.name()
+    ))
 }
 
 /// Runs a scenario's workload with an in-memory log and returns the

@@ -27,6 +27,9 @@ use std::sync::Arc;
 use vyrd_core::pool::ObjectChecker;
 use vyrd_core::segment::{SteppingChecker, SteppingFactory};
 use vyrd_core::spec::Spec;
+use vyrd_core::witness::{
+    BasicExplainer, DdminMinimizer, Explainer, LinExplainer, Minimizer, ViewExplainer,
+};
 use vyrd_core::ObjectId;
 
 use crate::scenario::{unsupported_report, CheckKind, Scenario, ShardFactory, Variant};
@@ -301,6 +304,17 @@ impl Scenario for MultisetVectorScenario {
             _ => spec_stepping(kind, MultisetSpec::new),
         }
     }
+
+    fn minimizer(&self, _kind: CheckKind) -> Box<dyn Minimizer> {
+        Box::new(DdminMinimizer::focused())
+    }
+
+    fn explainer(&self, kind: CheckKind) -> Box<dyn Explainer> {
+        match kind {
+            CheckKind::View => Box::new(ViewExplainer),
+            _ => Box::new(BasicExplainer),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -416,6 +430,17 @@ impl Scenario for MultisetBstScenario {
                     as Box<dyn SteppingChecker>
             })),
             _ => spec_stepping(kind, MultisetSpec::new),
+        }
+    }
+
+    fn minimizer(&self, _kind: CheckKind) -> Box<dyn Minimizer> {
+        Box::new(DdminMinimizer::focused())
+    }
+
+    fn explainer(&self, kind: CheckKind) -> Box<dyn Explainer> {
+        match kind {
+            CheckKind::View => Box::new(ViewExplainer),
+            _ => Box::new(BasicExplainer),
         }
     }
 }
@@ -1070,6 +1095,17 @@ impl Scenario for TreiberStackScenario {
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
         spec_stepping(kind, StackSpec::new)
     }
+
+    fn minimizer(&self, _kind: CheckKind) -> Box<dyn Minimizer> {
+        Box::new(DdminMinimizer::focused())
+    }
+
+    fn explainer(&self, kind: CheckKind) -> Box<dyn Explainer> {
+        match kind {
+            CheckKind::Lin => Box::new(LinExplainer),
+            _ => Box::new(BasicExplainer),
+        }
+    }
 }
 
 /// Parks a victim `Enqueue` after its premature tail swing (and commit)
@@ -1198,5 +1234,16 @@ impl Scenario for MsQueueScenario {
 
     fn stepping_factory(&self, kind: CheckKind) -> Option<SteppingFactory> {
         spec_stepping(kind, QueueSpec::new)
+    }
+
+    fn minimizer(&self, _kind: CheckKind) -> Box<dyn Minimizer> {
+        Box::new(DdminMinimizer::focused())
+    }
+
+    fn explainer(&self, kind: CheckKind) -> Box<dyn Explainer> {
+        match kind {
+            CheckKind::Lin => Box::new(LinExplainer),
+            _ => Box::new(BasicExplainer),
+        }
     }
 }

@@ -1,0 +1,149 @@
+//! End-to-end witness acceptance: every seeded buggy scenario — the six
+//! table families plus both lock-free bugs — must yield a *minimized*
+//! counterexample that still FAILs with the identical violation category
+//! and object, with the ddmin oracle-run count reported.
+
+use vyrd_core::log::LogMode;
+use vyrd_core::witness::ViolationKey;
+use vyrd_core::Event;
+use vyrd_harness::scenario::{build_witness, record_run, CheckKind, Scenario, Variant};
+use vyrd_harness::scenarios;
+use vyrd_harness::workload::WorkloadConfig;
+
+fn base_cfg() -> WorkloadConfig {
+    WorkloadConfig {
+        threads: 4,
+        calls_per_thread: 60,
+        key_pool: 6,
+        shrink_pool: true,
+        internal_task: true,
+        seed: 7,
+        pace: None,
+    }
+}
+
+/// Keeps re-running the buggy workload with fresh seeds until one trace
+/// fails the check, mirroring `detect::measure_detection`'s seed walk.
+/// Panics (naming the scenario) if no failure shows up within the
+/// budget — every seeded bug is expected to be detectable.
+fn failing_trace(
+    scenario: &dyn Scenario,
+    kind: CheckKind,
+    max_runs: u32,
+) -> (Vec<Event>, vyrd_core::violation::Report) {
+    let mut seed = base_cfg().seed;
+    for _ in 0..max_runs {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let cfg = WorkloadConfig {
+            seed,
+            ..base_cfg()
+        };
+        let run = record_run(scenario, &cfg, kind.log_mode(), Variant::Buggy);
+        let report = scenario.check(kind, run.events.clone());
+        if !report.passed() {
+            return (run.events, report);
+        }
+    }
+    panic!(
+        "{} ({kind:?}): no failing trace in {max_runs} buggy runs",
+        scenario.name()
+    );
+}
+
+fn assert_witness(scenario: &dyn Scenario, kind: CheckKind, max_runs: u32) {
+    let name = scenario.name();
+    let (events, report) = failing_trace(scenario, kind, max_runs);
+    let key = ViolationKey::of(&report, &events).expect("failing report has a key");
+
+    let cx = build_witness(scenario, kind, &events, &report)
+        .unwrap_or_else(|e| panic!("{name} ({kind:?}): witness pipeline failed: {e}"));
+
+    // Category and object survive minimization.
+    assert_eq!(cx.category, key.category, "{name} ({kind:?}) category drifted");
+    assert_eq!(cx.object, key.object, "{name} ({kind:?}) object drifted");
+
+    // The minimized trace is a genuine counterexample: re-checking it
+    // from scratch still fails with the same category.
+    let minimized = cx.minimized_events();
+    assert!(!minimized.is_empty(), "{name}: empty witness");
+    assert!(
+        minimized.len() <= events.len(),
+        "{name}: witness grew ({} -> {})",
+        events.len(),
+        minimized.len()
+    );
+    let re = scenario.check(kind, minimized.clone());
+    let re_key = ViolationKey::of(&re, &minimized)
+        .unwrap_or_else(|| panic!("{name} ({kind:?}): minimized trace passes"));
+    assert_eq!(re_key.category, key.category, "{name}: re-check category drifted");
+
+    // The oracle-run count is reported — both as a field and in the
+    // rendered explanation's minimization line.
+    assert!(cx.oracle_runs >= 1, "{name}: no oracle runs recorded");
+    assert!(
+        cx.explanation.contains("oracle runs"),
+        "{name}: explanation lacks the minimization cost line:\n{}",
+        cx.explanation
+    );
+    assert!(
+        cx.explanation.contains(name),
+        "{name}: explanation does not name the scenario"
+    );
+}
+
+#[test]
+fn multiset_vector_view_witness() {
+    assert_witness(&scenarios::MultisetVectorScenario, CheckKind::View, 60);
+}
+
+#[test]
+fn multiset_bst_view_witness() {
+    assert_witness(&scenarios::MultisetBstScenario, CheckKind::View, 60);
+}
+
+#[test]
+fn java_vector_view_witness() {
+    assert_witness(&scenarios::JavaVectorScenario, CheckKind::View, 60);
+}
+
+#[test]
+fn string_buffer_view_witness() {
+    assert_witness(&scenarios::StringBufferScenario, CheckKind::View, 60);
+}
+
+#[test]
+fn blink_tree_view_witness() {
+    assert_witness(&scenarios::BLinkTreeScenario, CheckKind::View, 60);
+}
+
+#[test]
+fn cache_view_witness() {
+    assert_witness(&scenarios::CacheScenario, CheckKind::View, 60);
+}
+
+#[test]
+fn treiber_stack_lin_witness() {
+    assert_witness(&scenarios::TreiberStackScenario, CheckKind::Lin, 10);
+}
+
+#[test]
+fn ms_queue_lin_witness() {
+    assert_witness(&scenarios::MsQueueScenario, CheckKind::Lin, 10);
+}
+
+/// Witnesses are never produced from reports the checker itself flagged
+/// as unreliable, and never from passing reports — the error paths of
+/// the pipeline, exercised through the harness entry point.
+#[test]
+fn witness_refuses_passing_and_mismatched_reports() {
+    let s = scenarios::TreiberStackScenario;
+    let cfg = base_cfg();
+    let run = record_run(&s, &cfg, LogMode::Io, Variant::Correct);
+    let report = s.check(CheckKind::Lin, run.events.clone());
+    assert!(report.passed(), "correct stack must pass lin: {report}");
+    let err = build_witness(&s, CheckKind::Lin, &run.events, &report);
+    assert!(
+        matches!(err, Err(vyrd_core::witness::WitnessError::Passed)),
+        "passing report must not produce a witness: {err:?}"
+    );
+}

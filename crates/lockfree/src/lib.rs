@@ -42,9 +42,20 @@
 //! surrounding lock to piggyback on, so each structure carries a small
 //! `commit_lock` held across `{CAS attempt, session.commit()}` only.
 //! The algorithms are unchanged — every mutation still happens by CAS,
-//! failed CASes still retry, observers never take the lock — the lock
-//! only serializes *logging* against *publication*, exactly the
-//! instrumentation obligation the paper states for its benchmarks.
+//! failed CASes still retry — the lock only serializes *logging*
+//! against *publication*, exactly the instrumentation obligation the
+//! paper states for its benchmarks.
+//!
+//! Observers (`Peek`/`Front`) never mutate and never commit, but they
+//! carry their own obligation: the justifying commit must land in the
+//! log before the observer's return action, or the checker's window
+//! `[call, return]` will not contain it. A mutator preempted between
+//! its successful CAS and its commit append (it still holds the commit
+//! lock) leaves visible-but-unlogged state, so each observer passes an
+//! **observer fence** — an empty acquire/release of the commit lock —
+//! between its final state read and its return append. Lock acquisition
+//! order guarantees every critical section whose CAS the observer saw
+//! has completed, commit append included.
 //!
 //! Specifications live in [`spec`]: [`StackSpec`] (LIFO) and
 //! [`QueueSpec`] (FIFO), both checkpointable and both exposing the

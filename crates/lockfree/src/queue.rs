@@ -39,11 +39,18 @@ struct Inner {
     head: AtomicU64,
     tail: AtomicU64,
     variant: QueueVariant,
-    /// §6.1 instrumentation atomicity — see [`crate::TreiberStack`].
+    /// §6.1 instrumentation atomicity — see [`crate::TreiberStack`];
+    /// `Front` passes the same observer fence as `Peek`.
     commit_lock: Mutex<()>,
     /// One-shot choreography pause point; fires between the premature
     /// tail swing and the missing link of [`QueueVariant::EarlyTailSwing`].
     hook: Mutex<Option<Hook>>,
+    /// One-shot pause point between the correct `Enqueue`'s successful
+    /// link CAS and its commit append (commit lock held).
+    commit_hook: Mutex<Option<Hook>>,
+    /// One-shot pause point between `Front`'s state read and the
+    /// observer fence.
+    observer_hook: Mutex<Option<Hook>>,
     log: EventLog,
 }
 
@@ -62,6 +69,25 @@ impl Inner {
         if let Some(f) = hook {
             f();
         }
+    }
+
+    fn fire_commit_hook(&self) {
+        let hook = self.commit_hook.lock().take();
+        if let Some(f) = hook {
+            f();
+        }
+    }
+
+    fn fire_observer_hook(&self) {
+        let hook = self.observer_hook.lock().take();
+        if let Some(f) = hook {
+            f();
+        }
+    }
+
+    /// The observer fence: an empty acquire/release of the commit lock.
+    fn observer_fence(&self) {
+        drop(self.commit_lock.lock());
     }
 }
 
@@ -107,6 +133,8 @@ impl MsQueue {
                 variant,
                 commit_lock: Mutex::new(()),
                 hook: Mutex::new(None),
+                commit_hook: Mutex::new(None),
+                observer_hook: Mutex::new(None),
                 log,
             }),
         }
@@ -120,6 +148,18 @@ impl MsQueue {
     /// Arms the one-shot swing-window pause point (buggy variant only).
     pub fn arm_enqueue_hook(&self, hook: Hook) {
         *self.inner.hook.lock() = Some(hook);
+    }
+
+    /// Arms the one-shot pause point between the correct `Enqueue`'s
+    /// successful link CAS and its commit append (commit lock held).
+    pub fn arm_enqueue_commit_hook(&self, hook: Hook) {
+        *self.inner.commit_hook.lock() = Some(hook);
+    }
+
+    /// Arms the one-shot pause point between `Front`'s final state read
+    /// and the observer fence.
+    pub fn arm_front_hook(&self, hook: Hook) {
+        *self.inner.observer_hook.lock() = Some(hook);
     }
 
     /// Creates a per-thread handle with a fresh thread id.
@@ -176,7 +216,9 @@ impl MsQueueHandle {
                         .compare_exchange(tn, pack(tag(tn).wrapping_add(1), n), SeqCst, SeqCst)
                         .is_ok()
                     {
-                        // The link is the linearization point.
+                        // The link is the linearization point; the
+                        // element is reachable but its commit unlogged.
+                        inner.fire_commit_hook();
                         session.commit();
                         drop(guard);
                         let _ = inner.tail.compare_exchange(
@@ -288,6 +330,11 @@ impl MsQueueHandle {
                 break Value::from(val);
             }
         };
+        inner.fire_observer_hook();
+        // Observer fence (see `TreiberStack::peek`): every CAS whose
+        // effect the reads above saw has its commit appended before the
+        // return below, keeping the justification inside the window.
+        inner.observer_fence();
         session.exit(ret)
     }
 }
@@ -370,6 +417,71 @@ mod tests {
         let lin = Checker::lin(QueueSpec::new()).check_events(log.snapshot());
         assert!(lin.passed(), "lin: {lin}");
         assert!(lin.stats.lin_windows_searched > 0, "fronts open windows");
+    }
+
+    #[test]
+    fn observer_fence_keeps_the_justifying_commit_inside_the_window() {
+        // Queue twin of the stack regression: an enqueuer parked between
+        // its link CAS and its commit append publishes a reachable
+        // element whose commit is unlogged; an unfenced `Front` would
+        // log its return first and the window search would find no
+        // justification for the observed value.
+        use vyrd_core::event::Event;
+
+        let log = io_log();
+        let q = MsQueue::new(QueueVariant::Correct, 4, log.clone());
+
+        let parked = Arc::new(std::sync::Barrier::new(2));
+        let release = Arc::new(std::sync::Barrier::new(2));
+        {
+            let parked = Arc::clone(&parked);
+            let release = Arc::clone(&release);
+            q.arm_enqueue_commit_hook(Box::new(move || {
+                parked.wait();
+                release.wait();
+            }));
+        }
+        let observed = Arc::new(std::sync::Barrier::new(2));
+        {
+            let observed = Arc::clone(&observed);
+            q.arm_front_hook(Box::new(move || {
+                observed.wait();
+            }));
+        }
+
+        let enqueuer = {
+            let h = q.handle();
+            std::thread::spawn(move || h.enqueue(9))
+        };
+        parked.wait();
+        let observer = {
+            let h = q.handle();
+            std::thread::spawn(move || h.front())
+        };
+        observed.wait();
+        // Give an unfenced observer time to (wrongly) log its return
+        // first — a fenced one stays blocked regardless.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        release.wait();
+        assert!(enqueuer.join().unwrap().is_success());
+        assert_eq!(observer.join().unwrap().as_int(), Some(9));
+
+        let events = log.snapshot();
+        let commit = events
+            .iter()
+            .position(|e| matches!(e, Event::Commit { .. }))
+            .expect("enqueue committed");
+        let front_ret = events
+            .iter()
+            .position(
+                |e| matches!(e, Event::Return { method, .. } if method.name() == methods::FRONT),
+            )
+            .expect("front returned");
+        assert!(commit < front_ret, "fence must order commit before the observer return");
+
+        let lin = Checker::lin(QueueSpec::new()).check_events(events);
+        assert!(lin.passed(), "lin: {lin}");
+        assert!(lin.stats.lin_windows_searched > 0);
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! tagged head pointer; each commits at its *successful* head CAS (or,
 //! for `Pop` of an empty stack / `Push` into an exhausted arena, at the
 //! point the terminal condition is re-verified). `Peek` is a pure
-//! observer: it never takes the commit lock and is justified by the
-//! checker's observer-window search.
+//! observer justified by the checker's observer-window search; before
+//! logging its return it passes the commit *fence* (an empty
+//! acquire/release of the commit lock) so every CAS whose effect it
+//! observed has its commit event in the log first — see
+//! [`crate`]-level docs on observer fencing.
 
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::atomic::AtomicU64;
@@ -39,11 +42,24 @@ struct Inner {
     variant: StackVariant,
     /// §6.1 instrumentation atomicity: held across
     /// `{successful CAS, session.commit()}` only, so the logged commit
-    /// order equals the CAS linearization order. Observers never take it.
+    /// order equals the CAS linearization order. Observers acquire and
+    /// release it empty-handed (the *fence*) between their final state
+    /// read and their return append: any mutator whose effect the
+    /// observer saw held this lock from before its CAS until after its
+    /// commit append, so the fence cannot be passed until that commit
+    /// is in the log and the observer's window is guaranteed to contain
+    /// its justification.
     commit_lock: Mutex<()>,
     /// One-shot choreography pause point (see [`crate::Hook`]); fires
     /// inside the ABA window of [`StackVariant::AbaPop`].
     hook: Mutex<Option<Hook>>,
+    /// One-shot pause point between `Push`'s successful CAS and its
+    /// commit append (commit lock held): the instant the new top is
+    /// visible to other threads but its commit event is not yet logged.
+    commit_hook: Mutex<Option<Hook>>,
+    /// One-shot pause point between `Peek`'s state read and the
+    /// observer fence.
+    observer_hook: Mutex<Option<Hook>>,
     log: EventLog,
 }
 
@@ -62,6 +78,25 @@ impl Inner {
         if let Some(f) = hook {
             f();
         }
+    }
+
+    fn fire_commit_hook(&self) {
+        let hook = self.commit_hook.lock().take();
+        if let Some(f) = hook {
+            f();
+        }
+    }
+
+    fn fire_observer_hook(&self) {
+        let hook = self.observer_hook.lock().take();
+        if let Some(f) = hook {
+            f();
+        }
+    }
+
+    /// The observer fence: an empty acquire/release of the commit lock.
+    fn observer_fence(&self) {
+        drop(self.commit_lock.lock());
     }
 }
 
@@ -102,6 +137,8 @@ impl TreiberStack {
                 variant,
                 commit_lock: Mutex::new(()),
                 hook: Mutex::new(None),
+                commit_hook: Mutex::new(None),
+                observer_hook: Mutex::new(None),
                 log,
             }),
         }
@@ -116,6 +153,19 @@ impl TreiberStack {
     /// the correct `Pop` never reaches it).
     pub fn arm_pop_hook(&self, hook: Hook) {
         *self.inner.hook.lock() = Some(hook);
+    }
+
+    /// Arms the one-shot pause point between `Push`'s successful CAS
+    /// and its commit append. The hook runs with the commit lock held —
+    /// a choreographed stand-in for a mutator preempted in that gap.
+    pub fn arm_push_commit_hook(&self, hook: Hook) {
+        *self.inner.commit_hook.lock() = Some(hook);
+    }
+
+    /// Arms the one-shot pause point between `Peek`'s final state read
+    /// and the observer fence.
+    pub fn arm_peek_hook(&self, hook: Hook) {
+        *self.inner.observer_hook.lock() = Some(hook);
     }
 
     /// Creates a per-thread handle with a fresh thread id.
@@ -156,6 +206,8 @@ impl TreiberStackHandle {
                 .compare_exchange(head, pack(tag(head).wrapping_add(1), n), SeqCst, SeqCst)
                 .is_ok()
             {
+                // The new top is published; its commit is not yet logged.
+                inner.fire_commit_hook();
                 session.commit();
                 drop(guard);
                 return session.exit(Value::success());
@@ -247,6 +299,12 @@ impl TreiberStackHandle {
                 break Value::from(val);
             }
         };
+        inner.fire_observer_hook();
+        // Any CAS whose effect the reads above saw ran under the commit
+        // lock and appended its commit before releasing it; passing the
+        // fence before the return append keeps that commit inside this
+        // observer's window.
+        inner.observer_fence();
         session.exit(ret)
     }
 }
@@ -329,6 +387,80 @@ mod tests {
         let lin = Checker::lin(StackSpec::new()).check_events(log.snapshot());
         assert!(lin.passed(), "lin: {lin}");
         assert!(lin.stats.lin_windows_searched > 0, "peeks open windows");
+    }
+
+    #[test]
+    fn observer_fence_keeps_the_justifying_commit_inside_the_window() {
+        // Regression for the flaky `lockfree_correct_passes_io_and_lin`
+        // failure: a mutator preempted between its successful CAS and
+        // its commit append leaves visible-but-unlogged state, and an
+        // unfenced observer logs its return *before* the justifying
+        // commit — the window search then (correctly, per the log)
+        // reports the observation unjustified. The choreography below
+        // pins that exact interleaving.
+        use vyrd_core::event::Event;
+
+        let log = io_log();
+        let s = TreiberStack::new(StackVariant::Correct, 4, log.clone());
+
+        // Park the pusher after its CAS, before its commit append.
+        let parked = Arc::new(std::sync::Barrier::new(2));
+        let release = Arc::new(std::sync::Barrier::new(2));
+        {
+            let parked = Arc::clone(&parked);
+            let release = Arc::clone(&release);
+            s.arm_push_commit_hook(Box::new(move || {
+                parked.wait();
+                release.wait();
+            }));
+        }
+        // The observer announces once it has read the published top and
+        // is about to pass the fence.
+        let observed = Arc::new(std::sync::Barrier::new(2));
+        {
+            let observed = Arc::clone(&observed);
+            s.arm_peek_hook(Box::new(move || {
+                observed.wait();
+            }));
+        }
+
+        let pusher = {
+            let h = s.handle();
+            std::thread::spawn(move || h.push(5))
+        };
+        parked.wait();
+        let observer = {
+            let h = s.handle();
+            std::thread::spawn(move || h.peek())
+        };
+        // The peek has seen the new top while its commit is unlogged;
+        // it now blocks on the fence until the pusher's commit lands.
+        observed.wait();
+        // Give an unfenced observer time to (wrongly) log its return
+        // first — a fenced one stays blocked regardless.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        release.wait();
+        assert!(pusher.join().unwrap().is_success());
+        assert_eq!(observer.join().unwrap().as_int(), Some(5));
+
+        // The fence forces the logged order: Commit(Push) precedes
+        // Return(Peek), so the window contains its justification.
+        let events = log.snapshot();
+        let commit = events
+            .iter()
+            .position(|e| matches!(e, Event::Commit { .. }))
+            .expect("push committed");
+        let peek_ret = events
+            .iter()
+            .position(
+                |e| matches!(e, Event::Return { method, .. } if method.name() == methods::PEEK),
+            )
+            .expect("peek returned");
+        assert!(commit < peek_ret, "fence must order commit before the observer return");
+
+        let lin = Checker::lin(StackSpec::new()).check_events(events);
+        assert!(lin.passed(), "lin: {lin}");
+        assert!(lin.stats.lin_windows_searched > 0);
     }
 
     #[test]

@@ -28,6 +28,9 @@ const WARMUP_TIME: Duration = Duration::from_millis(50);
 pub struct Stats {
     /// Mean time per iteration.
     pub mean_ns: f64,
+    /// Fastest sample's time per iteration — the least-interfered-with
+    /// measurement, the robust numerator/denominator for ratio gates.
+    pub min_ns: f64,
     /// Median time per iteration.
     pub median_ns: f64,
     /// 95th-percentile time per iteration.
@@ -60,6 +63,7 @@ impl Stats {
         };
         Stats {
             mean_ns: mean,
+            min_ns: per_iter_ns[0],
             median_ns: median,
             p95_ns: p95,
             stddev_ns: var.sqrt(),
@@ -158,6 +162,50 @@ impl BenchGroup {
         self.record(id, Some(bytes), f)
     }
 
+    /// Times two closures in strict alternation (A, B, A, B, …), one
+    /// sample of each per round, and records both. Slow drift —
+    /// thermal throttling, background load — lands on both sides of
+    /// every round, so a ratio gate built on the two medians stays
+    /// meaningful where two back-to-back [`bench`](Self::bench) runs
+    /// would compare different machine states. Iterations are
+    /// calibrated once (from `a`) and shared so batching is identical.
+    pub fn bench_paired(
+        &mut self,
+        id_a: &str,
+        id_b: &str,
+        mut a: impl FnMut(),
+        mut b: impl FnMut(),
+    ) -> (Stats, Stats) {
+        let iters = match self.fixed_iters {
+            Some(n) => {
+                a();
+                b();
+                n
+            }
+            None => {
+                let n = calibrate(&mut a);
+                b();
+                n
+            }
+        };
+        let mut ns_a = Vec::with_capacity(self.sample_size);
+        let mut ns_b = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            for (f, ns) in [(&mut a as &mut dyn FnMut(), &mut ns_a), (&mut b, &mut ns_b)] {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+            }
+        }
+        let stats_a = Stats::from_samples(&mut ns_a, iters);
+        let stats_b = Stats::from_samples(&mut ns_b, iters);
+        self.push(id_a, None, stats_a.clone());
+        self.push(id_b, None, stats_b.clone());
+        (stats_a, stats_b)
+    }
+
     fn record(&mut self, id: &str, bytes: Option<u64>, mut f: impl FnMut()) -> Stats {
         let iters = match self.fixed_iters {
             Some(n) => {
@@ -177,6 +225,12 @@ impl BenchGroup {
             per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
         }
         let stats = Stats::from_samples(&mut per_iter_ns, iters);
+        self.push(id, bytes, stats.clone());
+        stats
+    }
+
+    /// Prints one result line and appends it to the JSON record set.
+    fn push(&mut self, id: &str, bytes: Option<u64>, stats: Stats) {
         let mut line = format!(
             "  {:<40} mean {:>12}  median {:>12}  p95 {:>12}  (±{}, {} samples × {} iters)",
             id,
@@ -194,10 +248,9 @@ impl BenchGroup {
         eprintln!("{line}");
         self.records.push(Record {
             id: id.to_string(),
-            stats: stats.clone(),
+            stats,
             throughput_bytes: bytes,
         });
-        stats
     }
 
     /// Renders the group's results as the `BENCH_<name>.json` document.
@@ -211,10 +264,11 @@ impl BenchGroup {
             let sep = if i + 1 == self.records.len() { "" } else { "," };
             let _ = writeln!(
                 out,
-                "    {{\"id\": {}, \"mean\": {:.1}, \"median\": {:.1}, \"p95\": {:.1}, \
+                "    {{\"id\": {}, \"mean\": {:.1}, \"min\": {:.1}, \"median\": {:.1}, \"p95\": {:.1}, \
                  \"stddev\": {:.1}, \"iters\": {}, \"samples\": {}, \"throughput_bytes\": {}}}{}",
                 json_str(&r.id),
                 r.stats.mean_ns,
+                r.stats.min_ns,
                 r.stats.median_ns,
                 r.stats.p95_ns,
                 r.stats.stddev_ns,

@@ -214,6 +214,37 @@ print("    -> SOAK_smoke.json: correct leg DEGRADED PASS"
 EOF
 fi
 
+# Witness smoke gate: two seeded bugs through the counterexample
+# pipeline under the pinned seed. Each run records a multi-thousand-
+# event buggy trace, ddmin-minimizes it with the scenario's checker as
+# the oracle, and writes results/WITNESS_<scenario>.json. The binary
+# exits non-zero if the violation category drifts during minimization,
+# if the minimized witness exceeds 50 events, or if the originating log
+# was under 2000 events (a trivial trace would make the gate vacuous).
+echo "==> witness minimization gate (seed 3405691582)"
+target/release/witness --scenario Vector --kind view --seed 3405691582 \
+    --max-events 50 --min-log 2000 >/dev/null
+target/release/witness --scenario Treiber-Stack --kind lin --seed 3405691582 \
+    --max-events 50 --min-log 2000 >/dev/null
+test -s results/WITNESS_Vector.json
+test -s results/WITNESS_Treiber-Stack.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+for name, category in (
+    ("results/WITNESS_Vector.json", "observer-unjustified"),
+    ("results/WITNESS_Treiber-Stack.json", "spec-rejected-commit"),
+):
+    doc = json.load(open(name))
+    assert doc["category"] == category, f"{name}: category drifted: {doc['category']}"
+    assert 0 < len(doc["events"]) <= 50, f"{name}: witness not minimized"
+    assert doc["original_events"] >= 2000, f"{name}: trivial originating trace"
+    assert doc["oracle_runs"] >= 1, f"{name}: no ddmin cost reported"
+    print(f"    -> {name}: {doc['original_events']} events ->",
+          f"{len(doc['events'])} ({doc['oracle_runs']} oracle runs)")
+EOF
+fi
+
 # Clippy is optional tooling: run it when the component is installed,
 # skip quietly when not (the container may ship a bare toolchain).
 # Note: crates/core's pipeline modules (log/shard/pool/online/codec/
